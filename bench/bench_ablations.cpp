@@ -1,0 +1,199 @@
+// Design-choice ablations called out in DESIGN.md §5:
+//   A. Bε-tree flush policy: fullest-child vs round-robin.
+//   B. Cache ratio: how RAM/data shifts the Figure-2 node-size curve.
+//   C. Range queries vs node size: §5's "small nodes under-utilize disk
+//      bandwidth on range queries" claim, quantified.
+//   D. Upserts vs read-modify-write: the Bε-tree's blind-write advantage.
+#include <memory>
+
+#include "bench_common.h"
+#include "betree/betree.h"
+#include "btree/btree.h"
+#include "harness/experiments.h"
+#include "harness/report.h"
+#include "kv/slice.h"
+#include "sim/profiles.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace damkit;
+
+constexpr size_t kValueBytes = 100;
+
+void flush_policy_ablation(const bench::BenchArgs& args) {
+  const uint64_t items = args.quick ? 40'000 : 150'000;
+  Table t({"flush policy", "key distribution", "insert (ms/op)",
+           "flushes", "messages per flush"});
+  for (const auto policy :
+       {betree::FlushPolicy::kFullestChild, betree::FlushPolicy::kRoundRobin}) {
+    for (const bool skewed : {false, true}) {
+      sim::HddDevice dev(sim::testbed_hdd_profile(), args.seed);
+      sim::IoContext io(dev);
+      betree::BeTreeConfig cfg;
+      cfg.node_bytes = 256 * kKiB;
+      cfg.target_fanout = 16;
+      cfg.cache_bytes = 4 * kMiB;
+      cfg.flush_policy = policy;
+      betree::BeTree tree(dev, io, cfg);
+      Rng rng(args.seed);
+      Zipfian zipf(items, 0.99);
+      const sim::SimTime t0 = io.now();
+      for (uint64_t i = 0; i < items; ++i) {
+        const uint64_t id =
+            skewed ? zipf.sample(rng) * 0x9e3779b97f4a7c15ULL % (4 * items)
+                   : rng.uniform(4 * items);
+        tree.put(kv::encode_key(id, 16), kv::make_value(id, kValueBytes));
+      }
+      tree.flush_cache();
+      const double ms = sim::to_seconds(io.now() - t0) * 1e3 /
+                        static_cast<double>(items);
+      const auto& s = tree.op_stats();
+      t.add_row(
+          {policy == betree::FlushPolicy::kFullestChild ? "fullest child"
+                                                        : "round robin",
+           skewed ? "zipfian(0.99)" : "uniform", strfmt("%.4f", ms),
+           strfmt("%llu", static_cast<unsigned long long>(s.flushes)),
+           strfmt("%.0f", s.flushes == 0
+                              ? 0.0
+                              : static_cast<double>(s.messages_moved) /
+                                    static_cast<double>(s.flushes))});
+    }
+  }
+  harness::emit("A. Flush policy ablation", t,
+                args.csv_prefix + "ablation_flush.csv");
+  std::printf(
+      "fullest-child moves the biggest possible batch per node write; "
+      "round-robin wastes writes on near-empty buffers — worst under "
+      "skew.\n");
+}
+
+void cache_ratio_ablation(const bench::BenchArgs& args) {
+  Table t({"cache/data", "16 KiB query ms", "256 KiB query ms",
+           "256KiB/16KiB"});
+  for (const double ratio : {0.05, 0.25, 0.6}) {
+    harness::SweepConfig cfg;
+    cfg.kind = harness::TreeKind::kBTree;
+    cfg.node_sizes = {16 * kKiB, 256 * kKiB};
+    cfg.items = args.quick ? 80'000 : 250'000;
+    cfg.queries = args.quick ? 120 : 300;
+    cfg.inserts = 50;
+    cfg.cache_ratio = ratio;
+    cfg.seed = args.seed;
+    const auto res = run_nodesize_sweep(sim::testbed_hdd_profile(), cfg);
+    t.add_row({strfmt("%.2f", ratio),
+               strfmt("%.2f", res.points[0].query_ms),
+               strfmt("%.2f", res.points[1].query_ms),
+               strfmt("%.2fx", res.points[1].query_ms /
+                                   res.points[0].query_ms)});
+  }
+  harness::emit("B. Cache-ratio ablation (B-tree point queries)", t,
+                args.csv_prefix + "ablation_cache.csv");
+  std::printf(
+      "bigger caches blunt the node-size penalty (fewer uncached levels); "
+      "the paper's 1/4 ratio keeps the effect visible, tiny caches "
+      "amplify it.\n");
+}
+
+void range_scan_ablation(const bench::BenchArgs& args) {
+  const uint64_t items = args.quick ? 80'000 : 300'000;
+  const uint32_t scan_len = 20'000;
+  const int scans = args.quick ? 8 : 20;
+  Table t({"node size", "scan MB/s", "% of disk bandwidth"});
+  const double disk_bw =
+      1.0 / sim::testbed_hdd_profile().expected_transfer_s_per_byte() / 1e6;
+  for (const uint64_t node : {4 * kKiB, 16 * kKiB, 64 * kKiB, 256 * kKiB,
+                              1 * kMiB, 4 * kMiB}) {
+    sim::HddDevice dev(sim::testbed_hdd_profile(), args.seed);
+    sim::IoContext io(dev);
+    btree::BTreeConfig cfg;
+    cfg.node_bytes = node;
+    cfg.cache_bytes = std::max<uint64_t>(node * 4, 4 * kMiB);
+    btree::BTree tree(dev, io, cfg);
+    tree.bulk_load(items, [](uint64_t i) {
+      return std::make_pair(kv::encode_key(i, 16),
+                            kv::make_value(i, kValueBytes));
+    });
+    Rng rng(args.seed);
+    const sim::SimTime t0 = io.now();
+    uint64_t bytes = 0;
+    for (int s = 0; s < scans; ++s) {
+      const uint64_t start = rng.uniform(items - scan_len);
+      for (const auto& [k, v] : tree.scan(kv::encode_key(start, 16),
+                                          scan_len)) {
+        bytes += k.size() + v.size();
+      }
+    }
+    const double mbps =
+        static_cast<double>(bytes) / sim::to_seconds(io.now() - t0) / 1e6;
+    t.add_row({format_bytes(node), strfmt("%.1f", mbps),
+               strfmt("%.0f%%", mbps / disk_bw * 100.0)});
+  }
+  harness::emit("C. Range-query bandwidth vs node size (B-tree)", t,
+                args.csv_prefix + "ablation_range.csv");
+  std::printf(
+      "paper (§5): nodes sized for point queries leave range queries far "
+      "below disk bandwidth; OLAP systems use ~1 MB nodes for this "
+      "reason.\n");
+}
+
+void upsert_ablation(const bench::BenchArgs& args) {
+  // Counter increments: Bε upsert messages vs read-modify-write. The
+  // counter set must exceed RAM or RMW reads come free from the cache.
+  const uint64_t counters = args.quick ? 300'000 : 1'000'000;
+  const uint64_t ops = args.quick ? 2'000 : 5'000;
+  Table t({"method", "ms per increment", "read IOs"});
+  for (const bool blind : {true, false}) {
+    sim::HddDevice dev(sim::testbed_hdd_profile(), args.seed);
+    sim::IoContext io(dev);
+    betree::BeTreeConfig cfg;
+    cfg.node_bytes = 512 * kKiB;
+    cfg.cache_bytes = 2 * kMiB;
+    betree::BeTree tree(dev, io, cfg);
+    tree.bulk_load(counters, [](uint64_t i) {
+      return std::make_pair(kv::encode_key(i, 16),
+                            betree::encode_counter(0));
+    });
+    Rng rng(args.seed);
+    dev.clear_stats();
+    const sim::SimTime t0 = io.now();
+    for (uint64_t i = 0; i < ops; ++i) {
+      const std::string key = kv::encode_key(rng.uniform(counters), 16);
+      if (blind) {
+        tree.upsert(key, 1);
+      } else {
+        const auto cur = tree.get(key);
+        const uint64_t v = cur ? betree::decode_counter(*cur) : 0;
+        tree.put(key, betree::encode_counter(v + 1));
+      }
+    }
+    tree.flush_cache();
+    t.add_row({blind ? "upsert message (blind)" : "read-modify-write",
+               strfmt("%.3f",
+                      sim::to_seconds(io.now() - t0) * 1e3 /
+                          static_cast<double>(ops)),
+               strfmt("%llu",
+                      static_cast<unsigned long long>(dev.stats().reads))});
+  }
+  harness::emit("D. Upserts vs read-modify-write (Be-tree)", t,
+                args.csv_prefix + "ablation_upsert.csv");
+  std::printf(
+      "blind upserts inherit the insert bound O((F/B + aF) log); RMW pays "
+      "a full point query per increment (§3's motivation for message-"
+      "encoded updates).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Design ablations (flush policy, cache ratio, ranges, "
+                "upserts)",
+                "DESIGN.md §5");
+  flush_policy_ablation(args);
+  cache_ratio_ablation(args);
+  range_scan_ablation(args);
+  upsert_ablation(args);
+  return 0;
+}

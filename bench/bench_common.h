@@ -1,0 +1,42 @@
+// Shared helpers for the table/figure reproduction binaries: a tiny flag
+// parser (--quick scales everything down; --seed sets determinism) and a
+// banner printer so every bench states what it reproduces.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace damkit::bench {
+
+struct BenchArgs {
+  bool quick = false;    // reduced scale for smoke runs
+  uint64_t seed = 42;
+  std::string csv_prefix = "results_";
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv-prefix") == 0 && i + 1 < argc) {
+      args.csv_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--quick] [--seed N] [--csv-prefix P]\n",
+                  argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline void banner(const char* what, const char* paper_ref) {
+  std::printf("damkit reproduction bench: %s\n", what);
+  std::printf("paper reference: %s (Bender et al., SPAA '19)\n", paper_ref);
+}
+
+}  // namespace damkit::bench

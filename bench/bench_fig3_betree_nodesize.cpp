@@ -1,0 +1,62 @@
+// Figure 3: ms per query/insert vs node size for a Bε-tree on an HDD
+// (the paper's TokuDB experiment, compression off).
+//
+// Paper: query optimum near 512 KiB and insert optimum near 4 MiB; the
+// next few larger node sizes degrade performance only slightly — in
+// contrast to the B-tree's sharp growth in Figure 2 (F ≈ √B insulates
+// the Bε-tree from node-size error, Table 3).
+#include "bench_common.h"
+#include "harness/experiments.h"
+#include "harness/report.h"
+#include "sim/profiles.h"
+#include "util/bytes.h"
+
+int main(int argc, char** argv) {
+  using namespace damkit;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Figure 3 — Be-tree node-size sweep on HDD", "Figure 3, §7");
+
+  harness::SweepConfig cfg;
+  cfg.kind = harness::TreeKind::kBeTree;
+  cfg.node_sizes = {64 * kKiB, 256 * kKiB, 1 * kMiB, 4 * kMiB};
+  cfg.items = args.quick ? 200'000 : 1'000'000;
+  cfg.queries = args.quick ? 150 : 600;
+  cfg.inserts = args.quick ? 150 : 600;
+  cfg.cache_ratio = 0.25;
+  cfg.betree_fanout = 0;  // F = sqrt(B), the TokuDB-like epsilon = 1/2
+  cfg.seed = args.seed;
+  std::printf(
+      "scale note: %llu items (paper: 16 GB data); cache = data/4; "
+      "F = sqrt(B)\n",
+      static_cast<unsigned long long>(cfg.items));
+
+  const auto res = run_nodesize_sweep(sim::testbed_hdd_profile(), cfg);
+  const Table fig = harness::make_sweep_figure(res);
+  harness::emit("Figure 3: TokuDB-style Be-tree, ms/op vs node size", fig,
+                args.csv_prefix + "fig3.csv");
+
+  // Sensitivity comparison against Figure 2's B-tree at shared sizes.
+  harness::SweepConfig bt = cfg;
+  bt.kind = harness::TreeKind::kBTree;
+  bt.node_sizes = {64 * kKiB, 1 * kMiB};
+  const auto btres = run_nodesize_sweep(sim::testbed_hdd_profile(), bt);
+  Table cmp({"structure", "insert growth 64KiB->1MiB",
+             "query growth 64KiB->1MiB"});
+  const auto growth = [](double a, double b) { return b / a; };
+  cmp.add_row({"B-tree",
+               strfmt("%.2fx", growth(btres.points[0].insert_ms,
+                                      btres.points[1].insert_ms)),
+               strfmt("%.2fx", growth(btres.points[0].query_ms,
+                                      btres.points[1].query_ms))});
+  cmp.add_row({"Be-tree",
+               strfmt("%.2fx", growth(res.points[0].insert_ms,
+                                      res.points[2].insert_ms)),
+               strfmt("%.2fx", growth(res.points[0].query_ms,
+                                      res.points[2].query_ms))});
+  harness::emit("Sensitivity: Be-tree vs B-tree under 16x node growth", cmp,
+                args.csv_prefix + "fig3_sensitivity.csv");
+  std::printf(
+      "\npaper: Be-tree degrades only slightly at the next few larger node "
+      "sizes; the B-tree degrades sharply (Figures 2 vs 3).\n");
+  return 0;
+}

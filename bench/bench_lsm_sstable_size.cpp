@@ -1,0 +1,136 @@
+// Extension experiment: SSTable-size sensitivity of an LSM-tree under
+// the affine model.
+//
+// §1 of the paper: "Nor does [the DAM] explain why ... LevelDB's LSM-tree
+// uses 2 MiB SSTables for all workloads." In the DAM every table size is
+// equivalent; in the affine model, compaction IO is sequential (cost
+// ~ αx per byte once tables amortize the setup) while point queries pay
+// one block read per probed table — so table size trades compaction
+// efficiency against level geometry exactly like the Bε-tree's B. This
+// bench sweeps the SSTable target size on the paper's testbed HDD and
+// prints insert cost, query cost, and write amplification.
+#include <memory>
+
+#include "bench_common.h"
+#include "harness/report.h"
+#include "kv/slice.h"
+#include "lsm/lsm_tree.h"
+#include "sim/profiles.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace damkit;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("LSM-tree SSTable-size sweep (extension)",
+                "§1 discussion of LevelDB's 2 MiB SSTables");
+
+  const uint64_t items = args.quick ? 60'000 : 300'000;
+  const uint64_t queries = args.quick ? 200 : 600;
+  const size_t value_bytes = 100;
+
+  Table t({"SSTable size", "insert (ms/op)", "query (ms/op)", "write amp",
+           "compactions", "levels"});
+  for (const uint64_t sstable :
+       {64 * kKiB, 256 * kKiB, 1 * kMiB, 2 * kMiB, 8 * kMiB, 32 * kMiB}) {
+    sim::HddDevice dev(sim::testbed_hdd_profile(), args.seed);
+    sim::IoContext io(dev);
+    lsm::LsmConfig cfg;
+    cfg.memtable_bytes = 1 * kMiB;
+    cfg.sstable_target_bytes = sstable;
+    cfg.block_bytes = 4096;
+    cfg.level1_bytes = 8 * kMiB;
+    cfg.size_ratio = 10.0;
+    lsm::LsmTree tree(dev, io, cfg);
+
+    // Load phase (random order; the LSM makes it all sequential IO).
+    Rng rng(args.seed);
+    dev.clear_stats();
+    const sim::SimTime t0 = io.now();
+    for (uint64_t i = 0; i < items; ++i) {
+      const uint64_t id = i * 2654435761 % (4 * items);
+      tree.put(kv::encode_key(id, 16), kv::make_value(id, value_bytes));
+    }
+    tree.flush();
+    const sim::SimTime t1 = io.now();
+    const double insert_ms =
+        sim::to_seconds(t1 - t0) * 1e3 / static_cast<double>(items);
+    const double wamp = static_cast<double>(dev.stats().bytes_written) /
+                        (static_cast<double>(items) * (16.0 + value_bytes));
+
+    // Query phase.
+    const sim::SimTime q0 = io.now();
+    uint64_t hits = 0;
+    for (uint64_t q = 0; q < queries; ++q) {
+      const uint64_t id =
+          (rng.uniform(items)) * 2654435761 % (4 * items);
+      hits += tree.get(kv::encode_key(id, 16)).has_value() ? 1 : 0;
+    }
+    const double query_ms = sim::to_seconds(io.now() - q0) * 1e3 /
+                            static_cast<double>(queries);
+    DAMKIT_CHECK(hits == queries);
+
+    t.add_row({format_bytes(sstable), strfmt("%.3f", insert_ms),
+               strfmt("%.2f", query_ms), strfmt("%.1f", wamp),
+               strfmt("%llu", static_cast<unsigned long long>(
+                                  tree.stats().compactions)),
+               strfmt("%zu", tree.level_count())});
+  }
+  harness::emit("LSM: cost vs SSTable target size", t,
+                args.csv_prefix + "lsm_sstable.csv");
+
+  // Leveled vs tiered compaction — the write-amp/read-amp dial the
+  // paper's Theorem 4(4) analysis generalizes across WODs.
+  Table styles({"compaction", "insert (ms/op)", "query (ms/op)",
+                "write amp", "table probes/query"});
+  for (const auto style :
+       {lsm::CompactionStyle::kLeveled, lsm::CompactionStyle::kTiered}) {
+    sim::HddDevice dev(sim::testbed_hdd_profile(), args.seed);
+    sim::IoContext io(dev);
+    lsm::LsmConfig cfg;
+    cfg.memtable_bytes = 1 * kMiB;
+    cfg.sstable_target_bytes = 2 * kMiB;
+    cfg.level1_bytes = 8 * kMiB;
+    cfg.size_ratio = 10.0;
+    cfg.style = style;
+    lsm::LsmTree tree(dev, io, cfg);
+    Rng rng(args.seed);
+    dev.clear_stats();
+    const sim::SimTime t0 = io.now();
+    for (uint64_t i = 0; i < items; ++i) {
+      const uint64_t id = i * 2654435761 % (4 * items);
+      tree.put(kv::encode_key(id, 16), kv::make_value(id, value_bytes));
+    }
+    tree.flush();
+    const double insert_ms =
+        sim::to_seconds(io.now() - t0) * 1e3 / static_cast<double>(items);
+    const double wamp = static_cast<double>(dev.stats().bytes_written) /
+                        (static_cast<double>(items) * (16.0 + value_bytes));
+    const uint64_t probes_before = tree.stats().table_probes;
+    const sim::SimTime q0 = io.now();
+    for (uint64_t q = 0; q < queries; ++q) {
+      const uint64_t id = (rng.uniform(items)) * 2654435761 % (4 * items);
+      if (!tree.get(kv::encode_key(id, 16)).has_value()) std::abort();
+    }
+    const double query_ms = sim::to_seconds(io.now() - q0) * 1e3 /
+                            static_cast<double>(queries);
+    styles.add_row(
+        {style == lsm::CompactionStyle::kLeveled ? "leveled" : "tiered",
+         strfmt("%.3f", insert_ms), strfmt("%.2f", query_ms),
+         strfmt("%.1f", wamp),
+         strfmt("%.1f", static_cast<double>(tree.stats().table_probes -
+                                            probes_before) /
+                            static_cast<double>(queries))});
+  }
+  harness::emit("LSM: leveled vs tiered compaction", styles,
+                args.csv_prefix + "lsm_styles.csv");
+  std::printf(
+      "\nreading: below ~1 MiB, per-table setup costs (seeks between many "
+      "small compaction inputs, per-table metadata) raise insert cost and "
+      "write amp; beyond it the curve is nearly flat — the same 'large "
+      "nodes, low sensitivity' behaviour the paper proves for Be-trees "
+      "(Table 3) and that lets LevelDB ship one 2 MiB size for all "
+      "workloads. The DAM charges every choice identically and cannot "
+      "express this question.\n");
+  return 0;
+}

@@ -1,0 +1,273 @@
+// Microbenchmarks of damkit's core components (google-benchmark): raw
+// host-CPU throughput of the structures and simulators. These are not
+// paper reproductions — they guard against performance regressions in
+// the library itself.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "betree/betree.h"
+#include "btree/btree.h"
+#include "cache/buffer_pool.h"
+#include "kv/slice.h"
+#include "lsm/lsm_tree.h"
+#include "pdam_tree/veb_layout.h"
+#include "sim/closed_loop.h"
+#include "sim/hdd.h"
+#include "sim/profiles.h"
+#include "sim/scheduler.h"
+#include "sim/ssd.h"
+#include "util/bloom.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace damkit;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfianSample(benchmark::State& state) {
+  Rng rng(1);
+  Zipfian z(1'000'000, 0.99);
+  for (auto _ : state) benchmark::DoNotOptimize(z.sample(rng));
+}
+BENCHMARK(BM_ZipfianSample);
+
+void BM_HddSubmit(benchmark::State& state) {
+  sim::HddDevice dev(sim::testbed_hdd_profile());
+  Rng rng(2);
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    const uint64_t off = rng.uniform(dev.capacity_bytes() / 4096) * 4096;
+    now = dev.submit({sim::IoKind::kRead, off, 4096}, now).finish;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HddSubmit);
+
+void BM_SsdSubmit(benchmark::State& state) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  Rng rng(2);
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    const uint64_t off =
+        rng.uniform(dev.capacity_bytes() / (64 * kKiB)) * 64 * kKiB;
+    now = dev.submit({sim::IoKind::kRead, off, 64 * kKiB}, now).finish;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SsdSubmit);
+
+void BM_BufferPoolGetHit(benchmark::State& state) {
+  cache::BufferPool pool(1 << 20, [](uint64_t, void*) {});
+  for (uint64_t i = 0; i < 64; ++i) {
+    pool.put(i, std::make_shared<int>(static_cast<int>(i)), 1024, false);
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.get<int>(i % 64));
+    ++i;
+  }
+}
+BENCHMARK(BM_BufferPoolGetHit);
+
+struct BTreeFixture {
+  BTreeFixture(uint64_t node_bytes, uint64_t items) {
+    sim::HddConfig cfg;
+    cfg.capacity_bytes = 8ULL * kGiB;
+    dev = std::make_unique<sim::HddDevice>(cfg, 1);
+    io = std::make_unique<sim::IoContext>(*dev);
+    btree::BTreeConfig tc;
+    tc.node_bytes = node_bytes;
+    tc.cache_bytes = 64 * kMiB;  // in-cache: measures CPU cost
+    tree = std::make_unique<btree::BTree>(*dev, *io, tc);
+    tree->bulk_load(items, [](uint64_t i) {
+      return std::make_pair(kv::encode_key(i), kv::make_value(i, 100));
+    });
+  }
+  std::unique_ptr<sim::HddDevice> dev;
+  std::unique_ptr<sim::IoContext> io;
+  std::unique_ptr<btree::BTree> tree;
+};
+
+void BM_BTreeGet(benchmark::State& state) {
+  BTreeFixture f(64 * kKiB, 100'000);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.tree->get(kv::encode_key(rng.uniform(100'000))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreeGet);
+
+void BM_BTreePut(benchmark::State& state) {
+  BTreeFixture f(64 * kKiB, 100'000);
+  Rng rng(3);
+  for (auto _ : state) {
+    const uint64_t id = rng.uniform(100'000);
+    f.tree->put(kv::encode_key(id), kv::make_value(id, 100));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreePut);
+
+struct BeTreeFixture {
+  BeTreeFixture(uint64_t node_bytes, uint64_t items) {
+    sim::HddConfig cfg;
+    cfg.capacity_bytes = 8ULL * kGiB;
+    dev = std::make_unique<sim::HddDevice>(cfg, 1);
+    io = std::make_unique<sim::IoContext>(*dev);
+    betree::BeTreeConfig tc;
+    tc.node_bytes = node_bytes;
+    tc.cache_bytes = 64 * kMiB;
+    tree = std::make_unique<betree::BeTree>(*dev, *io, tc);
+    tree->bulk_load(items, [](uint64_t i) {
+      return std::make_pair(kv::encode_key(i), kv::make_value(i, 100));
+    });
+  }
+  std::unique_ptr<sim::HddDevice> dev;
+  std::unique_ptr<sim::IoContext> io;
+  std::unique_ptr<betree::BeTree> tree;
+};
+
+void BM_BeTreePut(benchmark::State& state) {
+  BeTreeFixture f(256 * kKiB, 100'000);
+  Rng rng(3);
+  for (auto _ : state) {
+    const uint64_t id = rng.uniform(200'000);
+    f.tree->put(kv::encode_key(id), kv::make_value(id, 100));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BeTreePut);
+
+void BM_BeTreeGet(benchmark::State& state) {
+  BeTreeFixture f(256 * kKiB, 100'000);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.tree->get(kv::encode_key(rng.uniform(100'000))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BeTreeGet);
+
+void BM_BeTreeUpsert(benchmark::State& state) {
+  BeTreeFixture f(256 * kKiB, 100'000);
+  Rng rng(3);
+  for (auto _ : state) {
+    f.tree->upsert(kv::encode_key(rng.uniform(100'000)), 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BeTreeUpsert);
+
+void BM_VebLayoutBuild(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdam_tree::veb_positions(h));
+  }
+}
+BENCHMARK(BM_VebLayoutBuild)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_ClosedLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SsdDevice dev(sim::testbed_ssd_profile());
+    sim::ClosedLoopConfig cl;
+    cl.clients = 8;
+    cl.ios_per_client = 512;
+    cl.io_bytes = 64 * kKiB;
+    benchmark::DoNotOptimize(sim::run_closed_loop(dev, cl));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8 * 512);
+}
+BENCHMARK(BM_ClosedLoop);
+
+struct LsmFixture {
+  LsmFixture() {
+    sim::HddConfig cfg;
+    cfg.capacity_bytes = 8ULL * kGiB;
+    dev = std::make_unique<sim::HddDevice>(cfg, 1);
+    io = std::make_unique<sim::IoContext>(*dev);
+    lsm::LsmConfig lc;
+    lc.memtable_bytes = 1 * kMiB;
+    lc.sstable_target_bytes = 2 * kMiB;
+    tree = std::make_unique<lsm::LsmTree>(*dev, *io, lc);
+    for (uint64_t i = 0; i < 100'000; ++i) {
+      tree->put(kv::encode_key(i), kv::make_value(i, 100));
+    }
+    tree->flush();
+  }
+  std::unique_ptr<sim::HddDevice> dev;
+  std::unique_ptr<sim::IoContext> io;
+  std::unique_ptr<lsm::LsmTree> tree;
+};
+
+void BM_LsmPut(benchmark::State& state) {
+  LsmFixture f;
+  Rng rng(3);
+  for (auto _ : state) {
+    const uint64_t id = rng.uniform(200'000);
+    f.tree->put(kv::encode_key(id), kv::make_value(id, 100));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LsmPut);
+
+void BM_LsmGet(benchmark::State& state) {
+  LsmFixture f;
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.tree->get(kv::encode_key(rng.uniform(100'000))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LsmGet);
+
+void BM_BloomMayContain(benchmark::State& state) {
+  BloomFilter f(100'000, 10.0);
+  for (uint64_t i = 0; i < 100'000; ++i) f.add(kv::encode_key(i));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.may_contain(kv::encode_key(rng.next())));
+  }
+}
+BENCHMARK(BM_BloomMayContain);
+
+void BM_SchedulerScan(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<sim::TimedRequest> reqs;
+  for (int i = 0; i < 512; ++i) {
+    reqs.push_back({{sim::IoKind::kRead,
+                     rng.uniform((500ULL << 30) / 4096 - 1) * 4096, 4096},
+                    0});
+  }
+  for (auto _ : state) {
+    sim::HddDevice dev(sim::testbed_hdd_profile(), 1);
+    benchmark::DoNotOptimize(
+        run_scheduled(dev, {sim::SchedPolicy::kScan, 32}, reqs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_SchedulerScan);
+
+void BM_SegmentedFit(benchmark::State& state) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 64; ++i) {
+    x.push_back(i);
+    y.push_back(i <= 8 ? 10.0 : 10.0 + 2.0 * (i - 8));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(segmented_linear_fit(x, y));
+  }
+}
+BENCHMARK(BM_SegmentedFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Concurrent queries on an SSD: the §8 design dilemma and its resolution.
+//
+// A database serves a *varying* number of query clients from one index.
+// Small nodes waste device parallelism when clients are few; big plain
+// nodes serialize clients when they are many. The van Emde Boas node
+// layout serves every client count near-optimally with one layout.
+//
+//   ./examples/concurrent_queries
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "damkit.h"
+
+int main() {
+  using namespace damkit;
+
+  // A 4M-key index on a P=16 device.
+  Rng rng(5);
+  std::vector<uint64_t> keys(1ULL << 21);
+  for (auto& k : keys) k = rng.next() >> 1;
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  pdam_tree::PdamTreeConfig cfg;
+  cfg.parallelism = 16;
+  cfg.block_bytes = 1024;
+  cfg.slot_bytes = 16;
+  cfg.layout = pdam_tree::NodeLayout::kVeb;
+  const pdam_tree::PdamBTree veb(keys, cfg);
+  cfg.layout = pdam_tree::NodeLayout::kBfs;
+  const pdam_tree::PdamBTree bfs(keys, cfg);
+
+  std::printf("index: %zu keys, global height %d, PB-node height %d, "
+              "%llu blocks per node, P = %d\n\n",
+              keys.size(), veb.global_height(), veb.node_height(),
+              static_cast<unsigned long long>(veb.node_blocks()),
+              cfg.parallelism);
+
+  std::printf("%8s %14s %14s %10s\n", "clients", "vEB q/step", "BFS q/step",
+              "vEB gain");
+  for (int k : {1, 2, 4, 8, 16}) {
+    const auto rv = veb.run_queries(k, 500, 99);
+    const auto rb = bfs.run_queries(k, 500, 99);
+    std::printf("%8d %14.3f %14.3f %9.2fx\n", k, rv.throughput(),
+                rb.throughput(), rv.throughput() / rb.throughput());
+  }
+
+  std::printf(
+      "\nthe same tree adapts from k=1 (whole node prefetched per step — "
+      "the big-node optimum) to k=P (one block per client per step — the "
+      "small-node optimum) with no re-tuning; Lemma 13's throughput is "
+      "Om(k / log_{PB/k} N).\n");
+
+  // Oracle check: the step-driven clients answer the same queries as a
+  // plain binary search.
+  uint64_t probe = 0x123456789abcULL;
+  const uint64_t rank = veb.lower_bound(probe);
+  const uint64_t expect = static_cast<uint64_t>(
+      std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+  std::printf("\nsanity: lower_bound(0x%llx) = %llu (std::lower_bound: "
+              "%llu)\n",
+              static_cast<unsigned long long>(probe),
+              static_cast<unsigned long long>(rank),
+              static_cast<unsigned long long>(expect));
+  return rank == expect ? 0 : 1;
+}

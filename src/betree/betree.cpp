@@ -1,0 +1,482 @@
+#include "betree/betree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "kv/slice.h"
+
+namespace damkit::betree {
+
+BeTree::BeTree(sim::Device& dev, sim::IoContext& io, BeTreeConfig config)
+    : dev_(&dev),
+      io_(&io),
+      config_(config),
+      store_(dev, io, config.node_bytes, config.base_offset) {
+  DAMKIT_CHECK(config_.node_bytes >= 1024);
+  DAMKIT_CHECK(config_.cache_bytes >= config_.node_bytes);
+  if (config_.target_fanout > 0) {
+    fanout_ = config_.target_fanout;
+  } else {
+    // ε = 1/2 default: F = sqrt(B / pivot_estimate) — the B^(1/2)-tree.
+    fanout_ = static_cast<size_t>(std::sqrt(
+        static_cast<double>(config_.node_bytes) /
+        static_cast<double>(config_.pivot_estimate_bytes)));
+  }
+  fanout_ = std::max<size_t>(fanout_, 4);
+  pool_ = std::make_unique<cache::BufferPool>(
+      config_.cache_bytes, [this](uint64_t id, void* object) {
+        auto* node = static_cast<BeTreeNode*>(object);
+        node->serialize(io_buf_);
+        store_.write_node(id, io_buf_);
+      });
+}
+
+BeTree::~BeTree() { pool_->flush_all(); }
+
+BeTree::NodeRef BeTree::fetch(uint64_t id) {
+  DAMKIT_CHECK(id != kInvalidNode);
+  if (NodeRef cached = pool_->get<BeTreeNode>(id)) return cached;
+  store_.read_node(id, io_buf_);
+  NodeRef node = BeTreeNode::deserialize(io_buf_);
+  pool_->put(id, node, config_.node_bytes, /*dirty=*/false);
+  return node;
+}
+
+void BeTree::install_new(uint64_t id, NodeRef node) {
+  pool_->put(id, std::move(node), config_.node_bytes, /*dirty=*/true);
+}
+
+void BeTree::put(std::string_view key, std::string_view value) {
+  // A leaf must be able to hold two entries or splitting cannot make
+  // progress; surface misconfiguration loudly.
+  DAMKIT_CHECK_MSG(
+      Message::bytes_for(key.size(), value.size()) <= config_.node_bytes / 2,
+      "entry of " << key.size() + value.size()
+                  << " bytes too large for node_bytes=" << config_.node_bytes);
+  ++op_stats_.puts;
+  op_stats_.logical_bytes_written += key.size() + value.size();
+  root_add(Message{MessageKind::kPut, std::string(key), std::string(value)});
+}
+
+void BeTree::erase(std::string_view key) {
+  ++op_stats_.erases;
+  op_stats_.logical_bytes_written += key.size();
+  root_add(Message{MessageKind::kTombstone, std::string(key), {}});
+}
+
+void BeTree::upsert(std::string_view key, int64_t delta) {
+  ++op_stats_.upserts;
+  op_stats_.logical_bytes_written += key.size() + 8;
+  root_add(Message{MessageKind::kUpsert, std::string(key),
+                   encode_delta(delta)});
+}
+
+void BeTree::root_add(Message msg) {
+  if (root_ == kInvalidNode) {
+    root_ = store_.allocate();
+    install_new(root_, BeTreeNode::make_leaf());
+    height_ = 1;
+  }
+  NodeRef root = fetch(root_);
+  if (root->is_leaf()) {
+    root->leaf_apply(msg);
+  } else {
+    // Two statements: the child index must be computed before the message
+    // is moved into the buffer (argument evaluation order is unspecified).
+    const size_t idx = root->child_index(msg.key);
+    root->buffer_add(idx, std::move(msg));
+  }
+  mark_dirty(root_);
+  if (overflowing(*root) || flush_pressure(*root)) fix_root();
+}
+
+bool BeTree::flush_pressure(const BeTreeNode& /*node*/) const { return false; }
+
+void BeTree::fix_root() {
+  NodeRef root = fetch(root_);
+  std::vector<SplitInfo> splits;
+  fix_node(root_, root, splits);
+  if (splits.empty()) return;
+  const uint64_t new_root_id = store_.allocate();
+  NodeRef new_root = BeTreeNode::make_internal();
+  new_root->internal_init(root_);
+  for (auto& s : splits) {
+    new_root->internal_insert(new_root->child_count() - 1,
+                              std::move(s.separator), s.right_id);
+  }
+  install_new(new_root_id, new_root);
+  root_ = new_root_id;
+  ++height_;
+  // A burst of splits can overfill even the fresh root.
+  if (overflowing(*new_root) ||
+      new_root->child_count() > fanout_) {
+    fix_root();
+  }
+}
+
+size_t BeTree::pick_flush_child(const BeTreeNode& n) {
+  if (config_.flush_policy == FlushPolicy::kFullestChild) {
+    return n.fullest_child();
+  }
+  // Round robin over non-empty buffers.
+  const size_t count = n.child_count();
+  for (size_t step = 0; step < count; ++step) {
+    const size_t i = (round_robin_cursor_ + step) % count;
+    if (n.buffer_bytes(i) > 0) {
+      round_robin_cursor_ = (i + 1) % count;
+      return i;
+    }
+  }
+  return n.fullest_child();
+}
+
+void BeTree::fix_node(uint64_t id, NodeRef node, std::vector<SplitInfo>& out) {
+  if (!node->is_leaf()) {
+    while ((overflowing(*node) || flush_pressure(*node)) &&
+           node->total_buffer_bytes() > 0) {
+      flush_one(id, node);
+    }
+  }
+  const bool need_split = overflowing(*node) ||
+                          (!node->is_leaf() && node->child_count() > fanout_);
+  if (!need_split) return;
+  if (node->is_leaf() && node->entry_count() < 2) return;
+  if (!node->is_leaf() && node->child_count() < 2) return;
+
+  BeTreeNode::SplitResult sr = node->split();
+  if (node->is_leaf()) {
+    ++op_stats_.leaf_splits;
+  } else {
+    ++op_stats_.internal_splits;
+  }
+  const uint64_t right_id = store_.allocate();
+  NodeRef right = sr.right;
+  install_new(right_id, right);
+  mark_dirty(id);
+  // Either half may still violate limits; recurse on both, emitting the
+  // accumulated separators in strictly ascending key order: left's splits
+  // (keys < separator), then the separator, then right's (keys > it).
+  fix_node(id, node, out);
+  out.push_back({std::move(sr.separator), right_id});
+  fix_node(right_id, right, out);
+}
+
+void BeTree::flush_one(uint64_t id, NodeRef node) {
+  const size_t idx = pick_flush_child(*node);
+  if (node->buffer_bytes(idx) == 0) return;
+  std::vector<Message> msgs = node->buffer_take(idx);
+  ++op_stats_.flushes;
+  op_stats_.messages_moved += msgs.size();
+  mark_dirty(id);
+
+  const uint64_t child_id = node->child(idx);
+  NodeRef child = fetch(child_id);
+  if (child->is_leaf()) {
+    apply_to_leaf_child(id, node, idx, std::move(msgs));
+    return;
+  }
+
+  for (Message& m : msgs) {
+    const size_t ci = child->child_index(m.key);
+    child->buffer_add(ci, std::move(m));
+  }
+  mark_dirty(child_id);
+  if (overflowing(*child)) {
+    std::vector<SplitInfo> splits;
+    fix_node(child_id, child, splits);
+    size_t at = idx;
+    for (auto& s : splits) {
+      node->internal_insert(at, std::move(s.separator), s.right_id);
+      ++at;
+    }
+  }
+}
+
+void BeTree::apply_to_leaf_child(uint64_t parent_id, NodeRef parent,
+                                 size_t child_idx, std::vector<Message> msgs) {
+  const uint64_t leaf_id = parent->child(child_idx);
+  NodeRef leaf = fetch(leaf_id);
+  for (const Message& m : msgs) leaf->leaf_apply(m);
+  mark_dirty(leaf_id);
+
+  if (overflowing(*leaf)) {
+    std::vector<SplitInfo> splits;
+    fix_node(leaf_id, leaf, splits);
+    size_t at = child_idx;
+    for (auto& s : splits) {
+      parent->internal_insert(at, std::move(s.separator), s.right_id);
+      ++at;
+    }
+    mark_dirty(parent_id);
+    return;
+  }
+
+  // Underflow: merge small leaves so tombstone-heavy workloads shrink the
+  // tree instead of accumulating empty leaves.
+  const auto min_bytes = static_cast<uint64_t>(
+      config_.min_fill * static_cast<double>(config_.node_bytes));
+  if (leaf->byte_size() >= min_bytes || parent->child_count() < 2) return;
+
+  const size_t li = (child_idx + 1 < parent->child_count()) ? child_idx
+                                                            : child_idx - 1;
+  const uint64_t left_id = parent->child(li);
+  const uint64_t right_id = parent->child(li + 1);
+  NodeRef left = fetch(left_id);
+  NodeRef right = fetch(right_id);
+  if (!left->is_leaf() || !right->is_leaf()) return;
+  const uint64_t merged =
+      left->byte_size() + right->byte_size() - BeTreeNode::header_bytes();
+  if (merged > config_.node_bytes * 9 / 10) return;
+
+  left->leaf_merge_from_right(*right);
+  parent->internal_remove_child(li);
+  mark_dirty(left_id);
+  mark_dirty(parent_id);
+  pool_->erase(right_id);
+  store_.free(right_id);
+  ++op_stats_.leaf_merges;
+  collapse_root();
+}
+
+void BeTree::collapse_root() {
+  while (height_ > 1) {
+    NodeRef root = fetch(root_);
+    if (root->is_leaf() || root->child_count() > 1) return;
+    if (root->total_buffer_bytes() > 0) {
+      // Push the stragglers down before collapsing.
+      flush_one(root_, root);
+      continue;
+    }
+    const uint64_t only = root->child(0);
+    pool_->erase(root_);
+    store_.free(root_);
+    root_ = only;
+    --height_;
+  }
+}
+
+std::optional<std::string> BeTree::get(std::string_view key) {
+  ++op_stats_.gets;
+  if (root_ == kInvalidNode) return std::nullopt;
+  std::vector<std::vector<Message>> collected;  // root-first
+  uint64_t id = root_;
+  NodeRef node = fetch(id);
+  while (!node->is_leaf()) {
+    const size_t idx = node->child_index(key);
+    std::vector<Message> msgs;
+    node->collect_for_key(idx, key, &msgs);
+    collected.push_back(std::move(msgs));
+    id = node->child(idx);
+    node = fetch(id);
+  }
+  std::optional<std::string> state;
+  const size_t i = node->lower_bound(key);
+  if (node->key_equals(i, key)) state = node->value(i);
+  // Deeper buffers are older: apply leaf-adjacent levels first, each level
+  // in arrival order.
+  for (auto level = collected.rbegin(); level != collected.rend(); ++level) {
+    for (const Message& m : *level) state = apply_message(std::move(state), m);
+  }
+  return state;
+}
+
+namespace {
+
+/// Keep only messages whose key is within [lo, hi) (either bound optional),
+/// preserving level structure and order.
+std::vector<std::vector<Message>> filter_pending(
+    const std::vector<std::vector<Message>>& pending, const std::string* lo,
+    const std::string* hi) {
+  std::vector<std::vector<Message>> out;
+  out.reserve(pending.size());
+  for (const auto& level : pending) {
+    std::vector<Message> kept;
+    for (const Message& m : level) {
+      if (lo != nullptr && kv::compare(m.key, *lo) < 0) continue;
+      if (hi != nullptr && kv::compare(m.key, *hi) >= 0) continue;
+      kept.push_back(m);
+    }
+    out.push_back(std::move(kept));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool BeTree::scan_rec(uint64_t id, std::string_view lo, size_t limit,
+                      const std::vector<std::vector<Message>>& pending,
+                      std::vector<std::pair<std::string, std::string>>* out) {
+  NodeRef node = fetch(id);
+  if (node->is_leaf()) {
+    // Merge leaf entries with pending messages; std::map gives key order.
+    std::map<std::string, std::optional<std::string>> state;
+    for (size_t i = node->lower_bound(lo); i < node->entry_count(); ++i) {
+      state.emplace(node->key(i), node->value(i));
+    }
+    for (auto level = pending.rbegin(); level != pending.rend(); ++level) {
+      for (const Message& m : *level) {
+        auto it = state.find(m.key);
+        std::optional<std::string> base;
+        if (it != state.end()) base = it->second;
+        state[m.key] = apply_message(std::move(base), m);
+      }
+    }
+    for (auto& [k, v] : state) {
+      if (!v.has_value()) continue;
+      if (out->size() >= limit) return true;
+      out->emplace_back(k, std::move(*v));
+    }
+    return out->size() >= limit;
+  }
+
+  const size_t start = node->child_index(lo);
+  for (size_t i = start; i < node->child_count(); ++i) {
+    const std::string* child_lo = (i == 0) ? nullptr : &node->pivot(i - 1);
+    const std::string* child_hi =
+        (i == node->pivot_count()) ? nullptr : &node->pivot(i);
+    std::vector<std::vector<Message>> child_pending =
+        filter_pending(pending, child_lo, child_hi);
+    std::vector<Message> mine;
+    for (const Message& m : node->buffer(i)) {
+      if (kv::compare(m.key, lo) >= 0) mine.push_back(m);
+    }
+    child_pending.push_back(std::move(mine));
+    if (scan_rec(node->child(i), lo, limit, child_pending, out)) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<std::string, std::string>> BeTree::scan(
+    std::string_view lo, size_t limit) {
+  ++op_stats_.scans;
+  std::vector<std::pair<std::string, std::string>> out;
+  if (root_ == kInvalidNode || limit == 0) return out;
+  scan_rec(root_, lo, limit, {}, &out);
+  return out;
+}
+
+void BeTree::bulk_load(
+    uint64_t count,
+    const std::function<std::pair<std::string, std::string>(uint64_t)>& item) {
+  DAMKIT_CHECK_MSG(root_ == kInvalidNode, "bulk_load requires an empty tree");
+  if (count == 0) return;
+
+  const auto target = static_cast<uint64_t>(
+      config_.bulk_fill * static_cast<double>(config_.node_bytes));
+
+  auto write_direct = [this](uint64_t id, BeTreeNode& n) {
+    n.serialize(io_buf_);
+    store_.write_node(id, io_buf_);
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> level;  // (first key, id)
+  NodeRef cur = BeTreeNode::make_leaf();
+  std::string cur_first;
+  std::string prev_key;
+  for (uint64_t i = 0; i < count; ++i) {
+    auto [key, value] = item(i);
+    DAMKIT_CHECK_MSG(i == 0 || kv::compare(prev_key, key) < 0,
+                     "bulk_load keys must be strictly ascending");
+    prev_key = key;
+    const uint64_t add =
+        BeTreeNode::leaf_entry_bytes(key.size(), value.size());
+    if (cur->entry_count() > 0 && cur->byte_size() + add > target) {
+      const uint64_t id = store_.allocate();
+      write_direct(id, *cur);
+      level.emplace_back(std::move(cur_first), id);
+      cur = BeTreeNode::make_leaf();
+    }
+    if (cur->entry_count() == 0) cur_first = key;
+    cur->leaf_append(std::move(key), std::move(value));
+  }
+  {
+    const uint64_t id = store_.allocate();
+    write_direct(id, *cur);
+    level.emplace_back(std::move(cur_first), id);
+  }
+  height_ = 1;
+
+  while (level.size() > 1) {
+    std::vector<std::pair<std::string, uint64_t>> above;
+    size_t i = 0;
+    while (i < level.size()) {
+      NodeRef node = BeTreeNode::make_internal();
+      std::string first = level[i].first;
+      node->internal_init(level[i].second);
+      ++i;
+      while (i < level.size() && node->child_count() < fanout_) {
+        const uint64_t add = BeTreeNode::pivot_bytes(level[i].first.size()) +
+                             BeTreeNode::child_bytes();
+        if (node->byte_size() + add > target && node->child_count() >= 2) {
+          break;
+        }
+        node->internal_insert(node->child_count() - 1,
+                              std::move(level[i].first), level[i].second);
+        ++i;
+      }
+      const uint64_t id = store_.allocate();
+      write_direct(id, *node);
+      above.emplace_back(std::move(first), id);
+    }
+    level = std::move(above);
+    ++height_;
+  }
+  root_ = level.front().second;
+}
+
+void BeTree::flush_cache() { pool_->flush_all(); }
+
+void BeTree::check_invariants() {
+  if (root_ == kInvalidNode) return;
+  uint64_t live = 0;
+  check_subtree(root_, nullptr, nullptr, 0, height_ - 1, &live);
+}
+
+void BeTree::check_subtree(uint64_t id, const std::string* lo,
+                           const std::string* hi, size_t depth,
+                           size_t leaf_depth, uint64_t* live) {
+  NodeRef node = fetch(id);
+  DAMKIT_CHECK_MSG(node->byte_size() == node->recomputed_byte_size(),
+                   "byte-size drift at node " << id);
+  DAMKIT_CHECK_MSG(node->byte_size() <= config_.node_bytes,
+                   "overflowing node " << id << " left behind");
+  if (node->is_leaf()) {
+    DAMKIT_CHECK_MSG(depth == leaf_depth, "leaf at wrong depth");
+    for (size_t i = 0; i < node->entry_count(); ++i) {
+      if (i > 0) DAMKIT_CHECK(kv::compare(node->key(i - 1), node->key(i)) < 0);
+      if (lo != nullptr) DAMKIT_CHECK(kv::compare(*lo, node->key(i)) <= 0);
+      if (hi != nullptr) DAMKIT_CHECK(kv::compare(node->key(i), *hi) < 0);
+    }
+    *live += node->entry_count();
+    return;
+  }
+  DAMKIT_CHECK_MSG(node->child_count() <= fanout_,
+                   "fanout " << node->child_count() << " exceeds cap "
+                             << fanout_);
+  DAMKIT_CHECK(node->child_count() == node->pivot_count() + 1);
+  for (size_t i = 0; i + 1 < node->pivot_count(); ++i) {
+    DAMKIT_CHECK(kv::compare(node->pivot(i), node->pivot(i + 1)) < 0);
+  }
+  for (size_t i = 0; i < node->child_count(); ++i) {
+    const std::string* child_lo = (i == 0) ? lo : &node->pivot(i - 1);
+    const std::string* child_hi =
+        (i == node->pivot_count()) ? hi : &node->pivot(i);
+    // Buffer routing: every pending message belongs to this child's range.
+    for (const Message& m : node->buffer(i)) {
+      DAMKIT_CHECK_MSG(
+          child_lo == nullptr || kv::compare(*child_lo, m.key) <= 0,
+          "misrouted message below child " << i << "/" << node->child_count()
+              << " of node " << id << " key=" << kv::decode_key(m.key));
+      DAMKIT_CHECK_MSG(
+          child_hi == nullptr || kv::compare(m.key, *child_hi) < 0,
+          "misrouted message above child " << i << "/" << node->child_count()
+              << " of node " << id << " key=" << kv::decode_key(m.key)
+              << " hi=" << kv::decode_key(*child_hi));
+    }
+    check_subtree(node->child(i), child_lo, child_hi, depth + 1, leaf_depth,
+                  live);
+  }
+}
+
+}  // namespace damkit::betree

@@ -1,0 +1,160 @@
+// A disk-resident Bε-tree over a simulated device — the "TokuDB" of the
+// paper's §7 experiments.
+//
+// Inserts/deletes/upserts become messages appended to the root's buffer;
+// when a node's serialized size exceeds the node size, the buffer of the
+// fullest child is flushed down one level (recursing as children
+// overflow). Queries collect pending messages for the key on the
+// root-to-leaf path and apply them to the leaf state. Node size B and
+// target fanout F are the tuning knobs of §6: F ≈ B^ε.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "betree/betree_node.h"
+#include "blockdev/block_device.h"
+#include "cache/buffer_pool.h"
+#include "sim/device.h"
+
+namespace damkit::betree {
+
+enum class FlushPolicy : uint8_t {
+  kFullestChild,  // classic: flush the child with the most pending bytes
+  kRoundRobin,    // ablation baseline: rotate through children
+};
+
+struct BeTreeConfig {
+  uint64_t node_bytes = 1024 * 1024;
+  /// Target fanout F. 0 means "choose F = sqrt(B / pivot_estimate)" — the
+  /// ε = 1/2 regime the paper calls the B^(1/2)-tree.
+  size_t target_fanout = 0;
+  uint64_t cache_bytes = 32 * 1024 * 1024;
+  double bulk_fill = 0.85;
+  double min_fill = 0.2;  // leaf-merge threshold during flushes
+  FlushPolicy flush_policy = FlushPolicy::kFullestChild;
+  uint64_t base_offset = 0;
+  /// Estimated key size used only for the default-fanout heuristic.
+  size_t pivot_estimate_bytes = 24;
+};
+
+struct BeTreeOpStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t erases = 0;
+  uint64_t upserts = 0;
+  uint64_t scans = 0;
+  uint64_t flushes = 0;
+  uint64_t leaf_splits = 0;
+  uint64_t internal_splits = 0;
+  uint64_t leaf_merges = 0;
+  uint64_t messages_moved = 0;
+  uint64_t logical_bytes_written = 0;
+};
+
+class BeTree {
+ public:
+  BeTree(sim::Device& dev, sim::IoContext& io, BeTreeConfig config);
+  virtual ~BeTree();
+
+  BeTree(const BeTree&) = delete;
+  BeTree& operator=(const BeTree&) = delete;
+
+  /// Insert or overwrite.
+  void put(std::string_view key, std::string_view value);
+  /// Delete (tombstone message; returns void — a Bε-tree delete is blind).
+  void erase(std::string_view key);
+  /// Blind counter increment (8-byte LE semantics, see message.h).
+  void upsert(std::string_view key, int64_t delta);
+
+  /// Point query.
+  virtual std::optional<std::string> get(std::string_view key);
+
+  /// Range query: up to `limit` live pairs with key >= lo, in key order.
+  std::vector<std::pair<std::string, std::string>> scan(std::string_view lo,
+                                                        size_t limit);
+
+  /// Build from `count` strictly-ascending items; tree must be empty.
+  void bulk_load(uint64_t count,
+                 const std::function<std::pair<std::string, std::string>(
+                     uint64_t)>& item);
+
+  void flush_cache();  // write back all dirty nodes
+
+  size_t height() const { return height_; }
+  size_t target_fanout() const { return fanout_; }
+  uint64_t nodes_in_use() const { return store_.nodes_in_use(); }
+  const BeTreeOpStats& op_stats() const { return op_stats_; }
+  const cache::BufferPoolStats& cache_stats() const { return pool_->stats(); }
+  const BeTreeConfig& config() const { return config_; }
+  sim::IoContext& io() { return *io_; }
+
+  /// Structural invariants: key ordering, buffer routing (every buffered
+  /// message's key lies in its child's range), size accounting, uniform
+  /// leaf depth, fanout bounds.
+  void check_invariants();
+
+ protected:
+  using NodeRef = std::shared_ptr<BeTreeNode>;
+
+  struct SplitInfo {
+    std::string separator;
+    uint64_t right_id;
+  };
+
+  /// Fetch for structural/mutating access (whole-node IO on miss).
+  /// Subclasses may refine the IO accounting (see OptBeTree).
+  virtual NodeRef fetch(uint64_t id);
+  /// Additional flush pressure beyond whole-node overflow. The optimized
+  /// Bε-tree caps per-child buffers at B/F (Theorem 9) by overriding this.
+  virtual bool flush_pressure(const BeTreeNode& node) const;
+  void install_new(uint64_t id, NodeRef node);
+  void mark_dirty(uint64_t id) { pool_->mark_dirty(id); }
+
+  void root_add(Message msg);
+  /// Restore size/fanout invariants at (id, node); any splits that the
+  /// parent must absorb are appended to `out` in ascending key order.
+  void fix_node(uint64_t id, NodeRef node, std::vector<SplitInfo>& out);
+  /// Move one child buffer down a level; fixes the child recursively and
+  /// absorbs its splits into `node`.
+  void flush_one(uint64_t id, NodeRef node);
+  /// Apply messages to a leaf child of (parent); may merge/drop the leaf.
+  void apply_to_leaf_child(uint64_t parent_id, NodeRef parent,
+                           size_t child_idx, std::vector<Message> msgs);
+  void fix_root();
+  void collapse_root();
+  /// Depth-first range collection merging leaf entries with the pending
+  /// ancestor messages routed to each subtree. Returns true once `limit`
+  /// pairs have been emitted.
+  bool scan_rec(uint64_t id, std::string_view lo, size_t limit,
+                const std::vector<std::vector<Message>>& pending,
+                std::vector<std::pair<std::string, std::string>>* out);
+
+  bool overflowing(const BeTreeNode& n) const {
+    return n.byte_size() > config_.node_bytes;
+  }
+  size_t pick_flush_child(const BeTreeNode& n);
+
+  void check_subtree(uint64_t id, const std::string* lo, const std::string* hi,
+                     size_t depth, size_t leaf_depth, uint64_t* live);
+
+  sim::Device* dev_;
+  sim::IoContext* io_;
+  BeTreeConfig config_;
+  size_t fanout_;
+  blockdev::NodeStore store_;
+  std::unique_ptr<cache::BufferPool> pool_;
+
+  uint64_t root_ = kInvalidNode;
+  size_t height_ = 0;
+  BeTreeOpStats op_stats_;
+  size_t round_robin_cursor_ = 0;
+  std::vector<uint8_t> io_buf_;
+};
+
+}  // namespace damkit::betree

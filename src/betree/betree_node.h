@@ -1,0 +1,138 @@
+// In-memory Bε-tree node and its on-"disk" image.
+//
+// Leaves hold sorted key/value entries exactly like B-tree leaves.
+// Internal nodes hold pivots, child ids, and one message buffer *per
+// child*: all messages destined for child i sit contiguously in arrival
+// order. Keeping buffers bucketed by child is how TokuDB organizes nodes
+// and is also the prerequisite for the Theorem-9 optimization (a query
+// needs only the one segment for the child it descends into).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "betree/message.h"
+
+namespace damkit::betree {
+
+inline constexpr uint64_t kInvalidNode = ~0ULL;
+
+class BeTreeNode {
+ public:
+  static std::shared_ptr<BeTreeNode> make_leaf();
+  static std::shared_ptr<BeTreeNode> make_internal();
+
+  bool is_leaf() const { return is_leaf_; }
+  uint64_t byte_size() const { return byte_size_; }
+
+  /// IO accounting for partial (sub-node) reads — used only by OptBeTree
+  /// (Theorem 9). When `partial` is set, only the listed segments (child
+  /// buffer segments for internal nodes, basement chunks for leaves) have
+  /// been charged to the device; touching any other segment, or mutating
+  /// the node, must charge the missing bytes first. Not serialized.
+  struct Residency {
+    bool partial = false;
+    uint64_t charged_bytes = 0;
+    std::vector<uint32_t> segments;  // small, unsorted
+
+    bool has_segment(uint32_t idx) const {
+      return std::find(segments.begin(), segments.end(), idx) !=
+             segments.end();
+    }
+  };
+  Residency residency;
+
+  // --- Leaf interface ---
+  size_t entry_count() const { return keys_.size(); }
+  const std::string& key(size_t i) const { return keys_[i]; }
+  const std::string& value(size_t i) const { return values_[i]; }
+  size_t lower_bound(std::string_view key) const;
+  bool key_equals(size_t i, std::string_view key) const;
+  /// Apply a message to the leaf's entries (put/tombstone/upsert).
+  void leaf_apply(const Message& msg);
+  void leaf_append(std::string key, std::string value);  // bulk load
+
+  // --- Internal interface ---
+  size_t child_count() const { return children_.size(); }
+  uint64_t child(size_t i) const { return children_[i]; }
+  size_t pivot_count() const { return pivots_.size(); }
+  const std::string& pivot(size_t i) const { return pivots_[i]; }
+  size_t child_index(std::string_view key) const;
+
+  void internal_init(uint64_t first_child);
+  /// Insert (pivot, right_child) after child `child_idx` with an empty
+  /// buffer; used when a child splits (its buffer here is empty then).
+  void internal_insert(size_t child_idx, std::string pivot,
+                       uint64_t right_child);
+  /// Remove pivot i and child i+1, folding child i+1's buffer into child
+  /// i's (key ranges are disjoint so per-key order is preserved).
+  void internal_remove_child(size_t pivot_idx);
+  void internal_set_child(size_t i, uint64_t id) { children_[i] = id; }
+
+  // --- Buffers ---
+  uint64_t buffer_bytes(size_t child_idx) const {
+    return buffer_bytes_[child_idx];
+  }
+  uint64_t total_buffer_bytes() const { return total_buffer_bytes_; }
+  size_t buffer_count(size_t child_idx) const {
+    return buffers_[child_idx].size();
+  }
+  const std::vector<Message>& buffer(size_t child_idx) const {
+    return buffers_[child_idx];
+  }
+  /// Append a message to child i's buffer (arrival order).
+  void buffer_add(size_t child_idx, Message msg);
+  /// Move child i's entire buffer out (clears it).
+  std::vector<Message> buffer_take(size_t child_idx);
+  /// Index of the child with the largest pending buffer (bytes).
+  size_t fullest_child() const;
+  /// Collect messages for `key` in child i's buffer, in arrival order.
+  void collect_for_key(size_t child_idx, std::string_view key,
+                       std::vector<Message>* out) const;
+
+  // --- Splitting ---
+  struct SplitResult {
+    std::string separator;
+    std::shared_ptr<BeTreeNode> right;
+  };
+  /// Split roughly in half by bytes. Leaves split like B-tree leaves;
+  /// internal nodes split at a child boundary, partitioning buffers.
+  SplitResult split();
+
+  /// Merge the right sibling leaf into this leaf (both leaves).
+  void leaf_merge_from_right(BeTreeNode& right);
+
+  // --- Serialization ---
+  void serialize(std::vector<uint8_t>& out) const;
+  static std::shared_ptr<BeTreeNode> deserialize(
+      std::span<const uint8_t> image);
+  uint64_t recomputed_byte_size() const;
+
+  static uint64_t header_bytes() { return 4 + 1 + 4; }
+  static uint64_t leaf_entry_bytes(size_t klen, size_t vlen) {
+    return 2 + 4 + klen + vlen;
+  }
+  static uint64_t pivot_bytes(size_t klen) { return 2 + klen; }
+  /// Per-child fixed cost: child id (8) + buffer count (4).
+  static uint64_t child_bytes() { return 12; }
+
+ private:
+  BeTreeNode() = default;
+
+  bool is_leaf_ = true;
+  std::vector<std::string> keys_;    // leaf entry keys
+  std::vector<std::string> values_;  // leaf entry values
+  std::vector<std::string> pivots_;
+  std::vector<uint64_t> children_;
+  std::vector<std::vector<Message>> buffers_;  // parallel to children_
+  std::vector<uint64_t> buffer_bytes_;         // parallel to children_
+  uint64_t total_buffer_bytes_ = 0;
+  uint64_t byte_size_ = 0;
+};
+
+}  // namespace damkit::betree

@@ -1,0 +1,46 @@
+// Bε-tree messages (§3): modifications are encoded as messages that drift
+// down the tree in node buffers and are eventually applied to the leaves.
+//
+// Three kinds, matching the write-optimized dictionaries the paper cites:
+//   kPut       — insert-or-overwrite with the payload value.
+//   kTombstone — delete (the payload is empty).
+//   kUpsert    — blind read-modify-write: the payload is an 8-byte
+//                little-endian delta added to the current 8-byte LE
+//                counter value (missing/deleted counts as zero). Upserts
+//                are what make Bε-trees strictly faster than B-trees for
+//                read-modify-write workloads: no read is needed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace damkit::betree {
+
+enum class MessageKind : uint8_t { kPut = 0, kTombstone = 1, kUpsert = 2 };
+
+struct Message {
+  MessageKind kind = MessageKind::kPut;
+  std::string key;
+  std::string payload;  // value for kPut, delta for kUpsert, empty for kTombstone
+
+  /// Serialized footprint of a message with the given sizes.
+  static uint64_t bytes_for(size_t key_len, size_t payload_len) {
+    return 1 + 2 + 4 + key_len + payload_len;
+  }
+  uint64_t bytes() const { return bytes_for(key.size(), payload.size()); }
+};
+
+/// Encode a counter for use with kUpsert payloads/values.
+std::string encode_counter(uint64_t v);
+uint64_t decode_counter(std::string_view v);
+/// Encode a (possibly negative) upsert delta.
+std::string encode_delta(int64_t d);
+
+/// Apply one message to the current state of a key (nullopt = absent).
+/// Returns the new state (nullopt = absent/deleted).
+std::optional<std::string> apply_message(std::optional<std::string> base,
+                                         const Message& msg);
+
+}  // namespace damkit::betree

@@ -1,0 +1,50 @@
+#include "blockdev/block_device.h"
+
+#include <cstring>
+
+namespace damkit::blockdev {
+
+NodeStore::NodeStore(sim::Device& dev, sim::IoContext& io, uint64_t node_bytes,
+                     uint64_t base_offset)
+    : dev_(&dev),
+      io_(&io),
+      node_bytes_(node_bytes),
+      alloc_(base_offset, node_bytes,
+             (dev.capacity_bytes() - base_offset) / node_bytes) {
+  DAMKIT_CHECK(node_bytes_ > 0);
+  DAMKIT_CHECK(base_offset < dev.capacity_bytes());
+}
+
+void NodeStore::read_node(uint64_t node_id, std::vector<uint8_t>& out) {
+  out.resize(node_bytes_);
+  io_->read(alloc_.offset_of(node_id), out);
+}
+
+void NodeStore::write_node(uint64_t node_id, std::span<const uint8_t> image) {
+  DAMKIT_CHECK_MSG(image.size() <= node_bytes_,
+                   "node image " << image.size() << " exceeds extent "
+                                 << node_bytes_);
+  // Whole-extent write: pad the image so the device sees a node_bytes IO.
+  scratch_.resize(node_bytes_);
+  std::memcpy(scratch_.data(), image.data(), image.size());
+  std::memset(scratch_.data() + image.size(), 0, node_bytes_ - image.size());
+  io_->write(alloc_.offset_of(node_id), scratch_);
+}
+
+void NodeStore::read_span(uint64_t node_id, uint64_t offset,
+                          std::span<uint8_t> out) {
+  DAMKIT_CHECK(offset + out.size() <= node_bytes_);
+  io_->read(alloc_.offset_of(node_id) + offset, out);
+}
+
+void NodeStore::peek_node(uint64_t node_id, std::vector<uint8_t>& out) {
+  out.resize(node_bytes_);
+  dev_->read_bytes(alloc_.offset_of(node_id), out);
+}
+
+void NodeStore::touch_read(uint64_t node_id, uint64_t offset, uint64_t length) {
+  DAMKIT_CHECK(offset + length <= node_bytes_);
+  io_->touch_read(alloc_.offset_of(node_id) + offset, length);
+}
+
+}  // namespace damkit::blockdev

@@ -1,0 +1,65 @@
+// NodeStore: the trees' view of a device — numbered node extents of a
+// fixed size with whole-extent and sub-extent IO, every access charged to
+// an IoContext so the caller's simulated clock reflects real device delays.
+//
+// Whole-node reads/writes model the classic B-tree / Bε-tree IO discipline
+// ("a node is the unit of transfer", §5–6); sub-extent reads model the
+// Theorem-9 optimized Bε-tree, which exploits the affine model by issuing
+// smaller IOs into a known region of a node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blockdev/extent_allocator.h"
+#include "sim/device.h"
+
+namespace damkit::blockdev {
+
+class NodeStore {
+ public:
+  /// Carves the device (from `base_offset` up) into node slots of
+  /// `node_bytes`. The IoContext is borrowed; it must outlive the store.
+  NodeStore(sim::Device& dev, sim::IoContext& io, uint64_t node_bytes,
+            uint64_t base_offset = 0);
+
+  uint64_t node_bytes() const { return node_bytes_; }
+  uint64_t nodes_in_use() const { return alloc_.slots_in_use(); }
+
+  uint64_t allocate() { return alloc_.allocate(); }
+  void free(uint64_t node_id) { alloc_.free(node_id); }
+
+  /// Read the entire node extent (cost: one IO of node_bytes).
+  void read_node(uint64_t node_id, std::vector<uint8_t>& out);
+
+  /// Write a node image (padded to the full extent; cost: one IO of
+  /// node_bytes — classic trees write whole nodes).
+  void write_node(uint64_t node_id, std::span<const uint8_t> image);
+
+  /// Read `length` bytes at `offset` within the node (cost: one IO of
+  /// `length` bytes). Used by the optimized Bε-tree's pivot/segment reads.
+  void read_span(uint64_t node_id, uint64_t offset, std::span<uint8_t> out);
+
+  /// Charge a read of `length` bytes at node-relative `offset` without
+  /// copying payload (layout experiments where only timing matters).
+  void touch_read(uint64_t node_id, uint64_t offset, uint64_t length);
+
+  /// Payload-only read with NO timing charge. Callers must charge the
+  /// appropriate (possibly smaller) IO separately via touch_read — this is
+  /// the OptBeTree sub-node read path, where the IO size is decided by the
+  /// pivots the parent level already delivered.
+  void peek_node(uint64_t node_id, std::vector<uint8_t>& out);
+
+  sim::IoContext& io() { return *io_; }
+  sim::Device& device() { return *dev_; }
+
+ private:
+  sim::Device* dev_;
+  sim::IoContext* io_;
+  uint64_t node_bytes_;
+  ExtentAllocator alloc_;
+  std::vector<uint8_t> scratch_;  // write padding buffer
+};
+
+}  // namespace damkit::blockdev

@@ -1,0 +1,58 @@
+// Byte-granularity extent arena for variable-sized on-device objects
+// (LSM SSTables). Bump allocation with TRIM-on-free: freed ranges return
+// their simulated-host memory but are not recycled — the device address
+// space is effectively infinite at experiment scale, and real LSM stores
+// likewise treat table files as append-then-delete objects. Fragmentation
+// is therefore not modelled (recorded in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace damkit::blockdev {
+
+class ByteArena {
+ public:
+  ByteArena(sim::Device& dev, uint64_t base_offset, uint64_t alignment = 4096)
+      : dev_(&dev),
+        next_(base_offset),
+        alignment_(alignment) {
+    DAMKIT_CHECK(alignment_ > 0);
+    DAMKIT_CHECK(base_offset < dev.capacity_bytes());
+  }
+
+  /// Reserve `length` bytes; returns the device offset.
+  uint64_t allocate(uint64_t length) {
+    DAMKIT_CHECK(length > 0);
+    const uint64_t offset = next_;
+    next_ += damkit::align_up(length, alignment_);
+    DAMKIT_CHECK_MSG(next_ <= dev_->capacity_bytes(),
+                     "arena exhausted the device address space");
+    live_bytes_ += length;
+    return offset;
+  }
+
+  /// Release a previously allocated range (TRIMs the device).
+  void free(uint64_t offset, uint64_t length) {
+    dev_->trim(offset, damkit::align_up(length, alignment_));
+    DAMKIT_CHECK(live_bytes_ >= length);
+    live_bytes_ -= length;
+    freed_bytes_ += length;
+  }
+
+  uint64_t live_bytes() const { return live_bytes_; }
+  uint64_t freed_bytes() const { return freed_bytes_; }
+  uint64_t high_water_offset() const { return next_; }
+
+ private:
+  sim::Device* dev_;
+  uint64_t next_;
+  uint64_t alignment_;
+  uint64_t live_bytes_ = 0;
+  uint64_t freed_bytes_ = 0;
+};
+
+}  // namespace damkit::blockdev

@@ -1,0 +1,38 @@
+#include "blockdev/extent_allocator.h"
+
+namespace damkit::blockdev {
+
+ExtentAllocator::ExtentAllocator(uint64_t base_offset, uint64_t slot_bytes,
+                                 uint64_t slot_count)
+    : base_offset_(base_offset),
+      slot_bytes_(slot_bytes),
+      slot_count_(slot_count) {
+  DAMKIT_CHECK(slot_bytes_ > 0);
+  DAMKIT_CHECK(slot_count_ > 0);
+  allocated_.assign(slot_count_, false);
+}
+
+uint64_t ExtentAllocator::allocate() {
+  uint64_t slot;
+  if (!free_list_.empty()) {
+    slot = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    DAMKIT_CHECK_MSG(next_fresh_ < slot_count_,
+                     "extent space exhausted: " << slot_count_ << " slots of "
+                                                << slot_bytes_ << " bytes");
+    slot = next_fresh_++;
+  }
+  DAMKIT_CHECK(!allocated_[slot]);
+  allocated_[slot] = true;
+  return slot;
+}
+
+void ExtentAllocator::free(uint64_t slot) {
+  DAMKIT_CHECK(slot < next_fresh_);
+  DAMKIT_CHECK_MSG(allocated_[slot], "double free of slot " << slot);
+  allocated_[slot] = false;
+  free_list_.push_back(slot);
+}
+
+}  // namespace damkit::blockdev

@@ -1,0 +1,46 @@
+// Fixed-size extent allocator: hands out node slots on a simulated device.
+// Slot ids are dense and stable; freed slots are recycled LIFO (a freed
+// slot is usually still warm in the device's mechanical neighbourhood).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace damkit::blockdev {
+
+class ExtentAllocator {
+ public:
+  /// Manages `slot_count` extents of `slot_bytes` starting at `base_offset`.
+  ExtentAllocator(uint64_t base_offset, uint64_t slot_bytes,
+                  uint64_t slot_count);
+
+  /// Allocate a slot id; CHECK-fails when the device is full (the
+  /// experiments size devices generously; exhaustion is a config bug).
+  uint64_t allocate();
+
+  void free(uint64_t slot);
+
+  uint64_t offset_of(uint64_t slot) const {
+    DAMKIT_CHECK(slot < slot_count_);
+    return base_offset_ + slot * slot_bytes_;
+  }
+
+  uint64_t slot_bytes() const { return slot_bytes_; }
+  uint64_t slots_in_use() const { return next_fresh_ - free_list_.size(); }
+  uint64_t slot_count() const { return slot_count_; }
+
+ private:
+  uint64_t base_offset_;
+  uint64_t slot_bytes_;
+  uint64_t slot_count_;
+  uint64_t next_fresh_ = 0;          // never-yet-allocated watermark
+  std::vector<uint64_t> free_list_;  // recycled ids, LIFO
+  // Double-free/stale-free detection. Always present: conditional members
+  // would make the ABI depend on NDEBUG, and a vector<bool> per slot is
+  // cheap next to the simulated device state.
+  std::vector<bool> allocated_;
+};
+
+}  // namespace damkit::blockdev

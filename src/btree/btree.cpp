@@ -1,0 +1,377 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+
+#include "kv/slice.h"
+
+namespace damkit::btree {
+
+BTree::BTree(sim::Device& dev, sim::IoContext& io, BTreeConfig config)
+    : dev_(&dev),
+      io_(&io),
+      config_(config),
+      store_(dev, io, config.node_bytes, config.base_offset) {
+  DAMKIT_CHECK(config_.node_bytes >= 512);
+  DAMKIT_CHECK(config_.cache_bytes >= config_.node_bytes);
+  pool_ = std::make_unique<cache::BufferPool>(
+      config_.cache_bytes, [this](uint64_t id, void* object) {
+        auto* node = static_cast<BTreeNode*>(object);
+        node->serialize(io_buf_);
+        store_.write_node(id, io_buf_);
+      });
+}
+
+BTree::~BTree() { pool_->flush_all(); }
+
+BTree::NodeRef BTree::fetch(uint64_t id) {
+  DAMKIT_CHECK(id != kInvalidNode);
+  if (NodeRef cached = pool_->get<BTreeNode>(id)) return cached;
+  store_.read_node(id, io_buf_);
+  NodeRef node = BTreeNode::deserialize(io_buf_);
+  pool_->put(id, node, config_.node_bytes, /*dirty=*/false);
+  return node;
+}
+
+void BTree::install_new(uint64_t id, NodeRef node) {
+  pool_->put(id, std::move(node), config_.node_bytes, /*dirty=*/true);
+}
+
+BTree::NodeRef BTree::descend(std::string_view key, uint64_t* leaf_id,
+                              std::vector<PathEntry>* path) {
+  uint64_t id = root_;
+  NodeRef node = fetch(id);
+  while (!node->is_leaf()) {
+    const size_t idx = node->child_index(key);
+    if (path != nullptr) path->push_back({id, node, idx});
+    id = node->child(idx);
+    node = fetch(id);
+  }
+  *leaf_id = id;
+  return node;
+}
+
+void BTree::put(std::string_view key, std::string_view value) {
+  // A leaf must be able to hold two entries or splitting cannot make
+  // progress; surface misconfiguration loudly.
+  DAMKIT_CHECK_MSG(
+      BTreeNode::leaf_entry_bytes(key.size(), value.size()) <=
+          config_.node_bytes / 2,
+      "entry of " << key.size() + value.size()
+                  << " bytes too large for node_bytes=" << config_.node_bytes);
+  ++op_stats_.puts;
+  op_stats_.logical_bytes_written += key.size() + value.size();
+  if (root_ == kInvalidNode) {
+    root_ = store_.allocate();
+    install_new(root_, BTreeNode::make_leaf());
+    height_ = 1;
+  }
+  std::vector<PathEntry> path;
+  uint64_t leaf_id;
+  NodeRef leaf = descend(key, &leaf_id, &path);
+  if (leaf->leaf_put(key, value)) ++size_;
+  mark_dirty(leaf_id);
+  if (overflowing(*leaf)) split_upward(path, leaf_id, leaf);
+}
+
+void BTree::split_upward(std::vector<PathEntry>& path, uint64_t node_id,
+                         NodeRef node) {
+  while (overflowing(*node)) {
+    ++op_stats_.splits;
+    BTreeNode::SplitResult split = node->split();
+    const uint64_t right_id = store_.allocate();
+    if (node->is_leaf()) node->set_next_leaf(right_id);
+    install_new(right_id, split.right);
+    mark_dirty(node_id);
+
+    if (path.empty()) {
+      // Grow a new root above.
+      const uint64_t new_root = store_.allocate();
+      NodeRef root = BTreeNode::make_internal();
+      root->internal_init(node_id);
+      root->internal_insert(0, std::move(split.separator), right_id);
+      install_new(new_root, root);
+      root_ = new_root;
+      ++height_;
+      return;
+    }
+
+    PathEntry parent = path.back();
+    path.pop_back();
+    parent.node->internal_insert(parent.child_idx, std::move(split.separator),
+                                 right_id);
+    mark_dirty(parent.id);
+    node = parent.node;
+    node_id = parent.id;
+  }
+}
+
+std::optional<std::string> BTree::get(std::string_view key) {
+  ++op_stats_.gets;
+  if (root_ == kInvalidNode) return std::nullopt;
+  uint64_t leaf_id;
+  NodeRef leaf = descend(key, &leaf_id, nullptr);
+  const size_t i = leaf->lower_bound(key);
+  if (!leaf->key_equals(i, key)) return std::nullopt;
+  return leaf->value(i);
+}
+
+bool BTree::erase(std::string_view key) {
+  ++op_stats_.erases;
+  if (root_ == kInvalidNode) return false;
+  std::vector<PathEntry> path;
+  uint64_t leaf_id;
+  NodeRef leaf = descend(key, &leaf_id, &path);
+  if (!leaf->leaf_erase(key)) return false;
+  --size_;
+  op_stats_.logical_bytes_written += key.size();
+  mark_dirty(leaf_id);
+  if (underflowing(*leaf) && !path.empty()) {
+    rebalance_upward(path, leaf_id, leaf);
+  }
+  return true;
+}
+
+void BTree::rebalance_upward(std::vector<PathEntry>& path, uint64_t node_id,
+                             NodeRef node) {
+  while (underflowing(*node) && !path.empty()) {
+    PathEntry parent = path.back();
+    path.pop_back();
+
+    // Pair the node with a sibling: prefer the right one.
+    size_t left_idx;
+    uint64_t left_id, right_id;
+    NodeRef left, right;
+    if (parent.child_idx + 1 < parent.node->child_count()) {
+      left_idx = parent.child_idx;
+      left_id = node_id;
+      left = node;
+      right_id = parent.node->child(left_idx + 1);
+      right = fetch(right_id);
+    } else {
+      DAMKIT_CHECK(parent.child_idx > 0);
+      left_idx = parent.child_idx - 1;
+      left_id = parent.node->child(left_idx);
+      left = fetch(left_id);
+      right_id = node_id;
+      right = node;
+    }
+    const std::string separator = parent.node->pivot(left_idx);
+
+    uint64_t merged = left->byte_size() + right->byte_size() -
+                      BTreeNode::header_bytes();
+    if (!left->is_leaf()) {
+      merged += BTreeNode::pivot_bytes(separator.size());
+    }
+
+    if (merged <= config_.node_bytes) {
+      ++op_stats_.merges;
+      left->merge_from_right(*right, separator);
+      parent.node->internal_remove(left_idx);
+      mark_dirty(left_id);
+      mark_dirty(parent.id);
+      pool_->erase(right_id);
+      store_.free(right_id);
+    } else {
+      ++op_stats_.borrows;
+      std::string new_sep = left->borrow_balance(*right, separator);
+      parent.node->internal_set_pivot(left_idx, std::move(new_sep));
+      mark_dirty(left_id);
+      mark_dirty(right_id);
+      mark_dirty(parent.id);
+      // Borrowing fixes the pair locally; the parent's size is unchanged,
+      // so no further propagation is needed.
+      break;
+    }
+
+    node = parent.node;
+    node_id = parent.id;
+  }
+
+  // Collapse trivial roots: an internal root with one child.
+  while (height_ > 1) {
+    NodeRef root = fetch(root_);
+    if (root->is_leaf() || root->child_count() > 1) break;
+    const uint64_t only_child = root->child(0);
+    pool_->erase(root_);
+    store_.free(root_);
+    root_ = only_child;
+    --height_;
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> BTree::scan(
+    std::string_view lo, size_t limit) {
+  ++op_stats_.scans;
+  std::vector<std::pair<std::string, std::string>> out;
+  if (root_ == kInvalidNode || limit == 0) return out;
+  uint64_t leaf_id;
+  NodeRef leaf = descend(lo, &leaf_id, nullptr);
+  size_t i = leaf->lower_bound(lo);
+  while (out.size() < limit) {
+    if (i >= leaf->entry_count()) {
+      const uint64_t next = leaf->next_leaf();
+      if (next == kInvalidNode) break;
+      leaf = fetch(next);
+      i = 0;
+      continue;
+    }
+    out.emplace_back(leaf->key(i), leaf->value(i));
+    ++i;
+  }
+  return out;
+}
+
+void BTree::bulk_load(
+    uint64_t count,
+    const std::function<std::pair<std::string, std::string>(uint64_t)>& item) {
+  DAMKIT_CHECK_MSG(root_ == kInvalidNode, "bulk_load requires an empty tree");
+  if (count == 0) return;
+
+  const auto target =
+      static_cast<uint64_t>(config_.bulk_fill *
+                            static_cast<double>(config_.node_bytes));
+
+  struct Level {  // (first key, node id) per completed node
+    std::vector<std::pair<std::string, uint64_t>> nodes;
+  };
+  Level leaves;
+
+  // Build leaves; a leaf is written as soon as its successor's id is known
+  // (the chain pointer must be in the image).
+  NodeRef pending;
+  uint64_t pending_id = kInvalidNode;
+  std::string pending_first;
+  NodeRef cur = BTreeNode::make_leaf();
+  uint64_t cur_id = store_.allocate();
+  std::string cur_first;
+  std::string prev_key;
+
+  auto write_direct = [this](uint64_t id, BTreeNode& n) {
+    n.serialize(io_buf_);
+    store_.write_node(id, io_buf_);
+  };
+
+  for (uint64_t i = 0; i < count; ++i) {
+    auto [key, value] = item(i);
+    DAMKIT_CHECK_MSG(i == 0 || kv::compare(prev_key, key) < 0,
+                     "bulk_load keys must be strictly ascending");
+    prev_key = key;
+    const uint64_t add = BTreeNode::leaf_entry_bytes(key.size(), value.size());
+    if (cur->entry_count() > 0 && cur->byte_size() + add > target) {
+      if (pending) {
+        pending->set_next_leaf(cur_id);
+        write_direct(pending_id, *pending);
+        leaves.nodes.emplace_back(std::move(pending_first), pending_id);
+      }
+      pending = std::move(cur);
+      pending_id = cur_id;
+      pending_first = std::move(cur_first);
+      cur = BTreeNode::make_leaf();
+      cur_id = store_.allocate();
+    }
+    if (cur->entry_count() == 0) cur_first = key;
+    cur->leaf_append(std::move(key), std::move(value));
+  }
+  if (pending) {
+    pending->set_next_leaf(cur_id);
+    write_direct(pending_id, *pending);
+    leaves.nodes.emplace_back(std::move(pending_first), pending_id);
+  }
+  cur->set_next_leaf(kInvalidNode);
+  write_direct(cur_id, *cur);
+  leaves.nodes.emplace_back(std::move(cur_first), cur_id);
+
+  size_ = count;
+  height_ = 1;
+
+  // Build internal levels until a single node remains.
+  Level below = std::move(leaves);
+  while (below.nodes.size() > 1) {
+    Level above;
+    size_t i = 0;
+    while (i < below.nodes.size()) {
+      NodeRef node = BTreeNode::make_internal();
+      const uint64_t id = store_.allocate();
+      std::string first = below.nodes[i].first;
+      node->internal_init(below.nodes[i].second);
+      ++i;
+      while (i < below.nodes.size()) {
+        const uint64_t add =
+            BTreeNode::pivot_bytes(below.nodes[i].first.size()) +
+            BTreeNode::child_bytes();
+        if (node->byte_size() + add > target && node->child_count() >= 2) {
+          break;
+        }
+        // Never strand a single child for the next node.
+        if (i + 1 == below.nodes.size() - 1 &&
+            node->byte_size() + add > target) {
+          break;
+        }
+        node->internal_insert(node->child_count() - 1,
+                              std::move(below.nodes[i].first),
+                              below.nodes[i].second);
+        ++i;
+      }
+      write_direct(id, *node);
+      above.nodes.emplace_back(std::move(first), id);
+    }
+    below = std::move(above);
+    ++height_;
+  }
+  root_ = below.nodes.front().second;
+}
+
+void BTree::flush() { pool_->flush_all(); }
+
+void BTree::check_invariants() {
+  if (root_ == kInvalidNode) {
+    DAMKIT_CHECK(size_ == 0);
+    return;
+  }
+  uint64_t entries = 0;
+  uint64_t leftmost = kInvalidNode;
+  check_subtree(root_, nullptr, nullptr, 0, height_ - 1, &entries, &leftmost);
+  DAMKIT_CHECK_MSG(entries == size_,
+                   "entry count " << entries << " != size " << size_);
+}
+
+void BTree::check_subtree(uint64_t id, const std::string* lo,
+                          const std::string* hi, size_t depth,
+                          size_t leaf_depth, uint64_t* entries,
+                          uint64_t* expected_leaf) {
+  NodeRef node = fetch(id);
+  DAMKIT_CHECK_MSG(node->byte_size() == node->recomputed_byte_size(),
+                   "byte-size drift at node " << id);
+  DAMKIT_CHECK_MSG(node->byte_size() <= config_.node_bytes,
+                   "overflowing node " << id << " left behind");
+  if (node->is_leaf()) {
+    DAMKIT_CHECK_MSG(depth == leaf_depth, "leaf at wrong depth");
+    if (*expected_leaf != kInvalidNode) {
+      DAMKIT_CHECK_MSG(*expected_leaf == id, "leaf chain broken at " << id);
+    }
+    *expected_leaf = node->next_leaf();
+    for (size_t i = 0; i < node->entry_count(); ++i) {
+      if (i > 0) {
+        DAMKIT_CHECK(kv::compare(node->key(i - 1), node->key(i)) < 0);
+      }
+      if (lo != nullptr) DAMKIT_CHECK(kv::compare(*lo, node->key(i)) <= 0);
+      if (hi != nullptr) DAMKIT_CHECK(kv::compare(node->key(i), *hi) < 0);
+    }
+    *entries += node->entry_count();
+    return;
+  }
+  DAMKIT_CHECK(node->child_count() >= 2 || id != root_ || height_ == 1);
+  DAMKIT_CHECK(node->child_count() == node->pivot_count() + 1);
+  for (size_t i = 0; i + 1 < node->pivot_count(); ++i) {
+    DAMKIT_CHECK(kv::compare(node->pivot(i), node->pivot(i + 1)) < 0);
+  }
+  for (size_t i = 0; i < node->child_count(); ++i) {
+    const std::string* child_lo = (i == 0) ? lo : &node->pivot(i - 1);
+    const std::string* child_hi =
+        (i == node->pivot_count()) ? hi : &node->pivot(i);
+    check_subtree(node->child(i), child_lo, child_hi, depth + 1, leaf_depth,
+                  entries, expected_leaf);
+  }
+}
+
+}  // namespace damkit::btree

@@ -1,0 +1,137 @@
+// A disk-resident B-tree (B+-tree variant) over a simulated device.
+//
+// This is the "BerkeleyDB" stand-in of the paper's §7 experiments: nodes
+// are the unit of IO (read and written whole), the node size is the
+// central tuning knob, and a byte-budgeted buffer pool plays the role of
+// RAM (the M of the models). All IO passes through the owning IoContext,
+// so `io.now()` advances by exactly the simulated device time the
+// workload would take.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "btree/btree_node.h"
+#include "cache/buffer_pool.h"
+#include "sim/device.h"
+
+namespace damkit::btree {
+
+struct BTreeConfig {
+  uint64_t node_bytes = 64 * 1024;
+  uint64_t cache_bytes = 32 * 1024 * 1024;
+  /// Bulk-load leaf/internal fill fraction (§7 loads the data set first).
+  double bulk_fill = 0.85;
+  /// Underflow threshold as a fraction of node_bytes.
+  double min_fill = 0.25;
+  /// Device offset where this tree's extents begin.
+  uint64_t base_offset = 0;
+};
+
+struct BTreeOpStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t erases = 0;
+  uint64_t scans = 0;
+  uint64_t splits = 0;
+  uint64_t merges = 0;
+  uint64_t borrows = 0;
+  uint64_t logical_bytes_written = 0;  // key+value bytes the user modified
+};
+
+class BTree {
+ public:
+  BTree(sim::Device& dev, sim::IoContext& io, BTreeConfig config);
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Insert or overwrite a key/value pair.
+  void put(std::string_view key, std::string_view value);
+
+  /// Point query; returns the value if present.
+  std::optional<std::string> get(std::string_view key);
+
+  /// Delete; returns true if the key existed.
+  bool erase(std::string_view key);
+
+  /// Range query: up to `limit` pairs with key >= `lo`, in key order.
+  std::vector<std::pair<std::string, std::string>> scan(std::string_view lo,
+                                                        size_t limit);
+
+  /// Build the tree from `count` items in strictly ascending key order;
+  /// item(i) supplies the i-th pair. The tree must be empty. Nodes are
+  /// written once each, bottom-up.
+  void bulk_load(uint64_t count,
+                 const std::function<std::pair<std::string, std::string>(
+                     uint64_t)>& item);
+
+  /// Write back all dirty nodes (checkpoint).
+  void flush();
+
+  uint64_t size() const { return size_; }
+  size_t height() const { return height_; }
+  uint64_t nodes_in_use() const { return store_.nodes_in_use(); }
+  const BTreeOpStats& op_stats() const { return op_stats_; }
+  const cache::BufferPoolStats& cache_stats() const { return pool_->stats(); }
+  const BTreeConfig& config() const { return config_; }
+  sim::IoContext& io() { return *io_; }
+
+  /// Structural invariant check (test support): key order within and
+  /// across nodes, child counts, leaf chain consistency, size accounting.
+  void check_invariants();
+
+ private:
+  using NodeRef = std::shared_ptr<BTreeNode>;
+
+  NodeRef fetch(uint64_t id);
+  void install_new(uint64_t id, NodeRef node);
+  void mark_dirty(uint64_t id) { pool_->mark_dirty(id); }
+
+  struct PathEntry {
+    uint64_t id;
+    NodeRef node;
+    size_t child_idx;  // which child we descended into
+  };
+  /// Descend to the leaf for `key`, recording the internal path.
+  NodeRef descend(std::string_view key, uint64_t* leaf_id,
+                  std::vector<PathEntry>* path);
+
+  void split_upward(std::vector<PathEntry>& path, uint64_t node_id,
+                    NodeRef node);
+  void rebalance_upward(std::vector<PathEntry>& path, uint64_t node_id,
+                        NodeRef node);
+
+  bool overflowing(const BTreeNode& n) const {
+    return n.byte_size() > config_.node_bytes;
+  }
+  bool underflowing(const BTreeNode& n) const {
+    return static_cast<double>(n.byte_size()) <
+           config_.min_fill * static_cast<double>(config_.node_bytes);
+  }
+
+  void check_subtree(uint64_t id, const std::string* lo, const std::string* hi,
+                     size_t depth, size_t leaf_depth, uint64_t* entries,
+                     uint64_t* leftmost_leaf);
+
+  sim::Device* dev_;
+  sim::IoContext* io_;
+  BTreeConfig config_;
+  blockdev::NodeStore store_;
+  std::unique_ptr<cache::BufferPool> pool_;
+
+  uint64_t root_ = kInvalidNode;
+  size_t height_ = 0;  // number of levels (1 = just a leaf root)
+  uint64_t size_ = 0;  // live key count
+  BTreeOpStats op_stats_;
+  std::vector<uint8_t> io_buf_;  // scratch for node IO
+};
+
+}  // namespace damkit::btree

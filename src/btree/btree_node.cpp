@@ -1,0 +1,363 @@
+#include "btree/btree_node.h"
+
+#include <algorithm>
+
+#include "kv/codec.h"
+#include "kv/slice.h"
+#include "util/status.h"
+
+namespace damkit::btree {
+
+namespace {
+constexpr uint32_t kMagic = 0x42544e44;  // "BTND"
+}  // namespace
+
+uint64_t BTreeNode::header_bytes() {
+  // magic u32 + flags u8 + count u32 + next_leaf u64.
+  return 4 + 1 + 4 + 8;
+}
+
+uint64_t BTreeNode::leaf_entry_bytes(size_t klen, size_t vlen) {
+  return 2 + 4 + klen + vlen;  // u16 klen + u32 vlen + payloads
+}
+
+uint64_t BTreeNode::pivot_bytes(size_t klen) { return 2 + klen; }
+
+std::shared_ptr<BTreeNode> BTreeNode::make_leaf() {
+  auto n = std::shared_ptr<BTreeNode>(new BTreeNode());
+  n->is_leaf_ = true;
+  n->byte_size_ = header_bytes();
+  return n;
+}
+
+std::shared_ptr<BTreeNode> BTreeNode::make_internal() {
+  auto n = std::shared_ptr<BTreeNode>(new BTreeNode());
+  n->is_leaf_ = false;
+  n->byte_size_ = header_bytes();
+  return n;
+}
+
+size_t BTreeNode::lower_bound(std::string_view key) const {
+  const auto it = std::lower_bound(
+      keys_.begin(), keys_.end(), key,
+      [](const std::string& a, std::string_view b) {
+        return kv::compare(a, b) < 0;
+      });
+  return static_cast<size_t>(it - keys_.begin());
+}
+
+bool BTreeNode::key_equals(size_t i, std::string_view key) const {
+  return i < keys_.size() && kv::compare(keys_[i], key) == 0;
+}
+
+bool BTreeNode::leaf_put(std::string_view key, std::string_view value) {
+  DAMKIT_CHECK(is_leaf_);
+  const size_t i = lower_bound(key);
+  if (key_equals(i, key)) {
+    byte_size_ += value.size();
+    byte_size_ -= values_[i].size();
+    values_[i].assign(value);
+    return false;
+  }
+  keys_.insert(keys_.begin() + static_cast<ptrdiff_t>(i), std::string(key));
+  values_.insert(values_.begin() + static_cast<ptrdiff_t>(i),
+                 std::string(value));
+  byte_size_ += leaf_entry_bytes(key.size(), value.size());
+  return true;
+}
+
+bool BTreeNode::leaf_erase(std::string_view key) {
+  DAMKIT_CHECK(is_leaf_);
+  const size_t i = lower_bound(key);
+  if (!key_equals(i, key)) return false;
+  byte_size_ -= leaf_entry_bytes(keys_[i].size(), values_[i].size());
+  keys_.erase(keys_.begin() + static_cast<ptrdiff_t>(i));
+  values_.erase(values_.begin() + static_cast<ptrdiff_t>(i));
+  return true;
+}
+
+void BTreeNode::leaf_append(std::string key, std::string value) {
+  DAMKIT_CHECK(is_leaf_);
+  DAMKIT_CHECK(keys_.empty() || kv::compare(keys_.back(), key) < 0);
+  byte_size_ += leaf_entry_bytes(key.size(), value.size());
+  keys_.push_back(std::move(key));
+  values_.push_back(std::move(value));
+}
+
+size_t BTreeNode::child_index(std::string_view key) const {
+  DAMKIT_CHECK(!is_leaf_);
+  const auto it = std::upper_bound(
+      keys_.begin(), keys_.end(), key,
+      [](std::string_view a, const std::string& b) {
+        return kv::compare(a, b) < 0;
+      });
+  return static_cast<size_t>(it - keys_.begin());
+}
+
+void BTreeNode::internal_init(uint64_t first_child) {
+  DAMKIT_CHECK(!is_leaf_);
+  DAMKIT_CHECK(children_.empty());
+  children_.push_back(first_child);
+  byte_size_ += child_bytes();
+}
+
+void BTreeNode::internal_insert(size_t child_idx, std::string pivot,
+                                uint64_t right_child) {
+  DAMKIT_CHECK(!is_leaf_);
+  DAMKIT_CHECK(child_idx < children_.size());
+  byte_size_ += pivot_bytes(pivot.size()) + child_bytes();
+  keys_.insert(keys_.begin() + static_cast<ptrdiff_t>(child_idx),
+               std::move(pivot));
+  children_.insert(children_.begin() + static_cast<ptrdiff_t>(child_idx) + 1,
+                   right_child);
+}
+
+void BTreeNode::internal_remove(size_t pivot_idx) {
+  DAMKIT_CHECK(!is_leaf_);
+  DAMKIT_CHECK(pivot_idx < keys_.size());
+  byte_size_ -= pivot_bytes(keys_[pivot_idx].size()) + child_bytes();
+  keys_.erase(keys_.begin() + static_cast<ptrdiff_t>(pivot_idx));
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(pivot_idx) + 1);
+}
+
+void BTreeNode::internal_set_pivot(size_t i, std::string key) {
+  DAMKIT_CHECK(!is_leaf_);
+  DAMKIT_CHECK(i < keys_.size());
+  byte_size_ += pivot_bytes(key.size());
+  byte_size_ -= pivot_bytes(keys_[i].size());
+  keys_[i] = std::move(key);
+}
+
+BTreeNode::SplitResult BTreeNode::split() {
+  SplitResult result;
+  if (is_leaf_) {
+    DAMKIT_CHECK(keys_.size() >= 2);
+    // Split point: first index where the prefix reaches half the payload.
+    const uint64_t payload = byte_size_ - header_bytes();
+    uint64_t acc = 0;
+    size_t m = 0;
+    while (m + 1 < keys_.size() && acc < payload / 2) {
+      acc += leaf_entry_bytes(keys_[m].size(), values_[m].size());
+      ++m;
+    }
+    if (m == 0) m = 1;
+
+    result.right = make_leaf();
+    BTreeNode& r = *result.right;
+    for (size_t i = m; i < keys_.size(); ++i) {
+      r.byte_size_ += leaf_entry_bytes(keys_[i].size(), values_[i].size());
+    }
+    r.keys_.assign(std::make_move_iterator(keys_.begin() + static_cast<ptrdiff_t>(m)),
+                   std::make_move_iterator(keys_.end()));
+    r.values_.assign(
+        std::make_move_iterator(values_.begin() + static_cast<ptrdiff_t>(m)),
+        std::make_move_iterator(values_.end()));
+    keys_.resize(m);
+    values_.resize(m);
+    byte_size_ -= r.byte_size_ - header_bytes();
+    r.next_leaf_ = next_leaf_;
+    // Caller sets this->next_leaf_ to the new node's id once allocated.
+    result.separator = r.keys_.front();
+  } else {
+    DAMKIT_CHECK(keys_.size() >= 3);
+    // Median pivot (by bytes) moves up.
+    const uint64_t payload = byte_size_ - header_bytes();
+    uint64_t acc = child_bytes();
+    size_t m = 0;
+    while (m + 2 < keys_.size() && acc < payload / 2) {
+      acc += pivot_bytes(keys_[m].size()) + child_bytes();
+      ++m;
+    }
+    if (m == 0) m = 1;
+
+    result.separator = std::move(keys_[m]);
+    result.right = make_internal();
+    BTreeNode& r = *result.right;
+    for (size_t i = m + 1; i < keys_.size(); ++i) {
+      r.byte_size_ += pivot_bytes(keys_[i].size());
+    }
+    r.byte_size_ += child_bytes() * (children_.size() - (m + 1));
+    r.keys_.assign(
+        std::make_move_iterator(keys_.begin() + static_cast<ptrdiff_t>(m) + 1),
+        std::make_move_iterator(keys_.end()));
+    r.children_.assign(children_.begin() + static_cast<ptrdiff_t>(m) + 1,
+                       children_.end());
+    keys_.resize(m);
+    children_.resize(m + 1);
+    byte_size_ -= r.byte_size_ - header_bytes();
+    byte_size_ -= pivot_bytes(result.separator.size());
+  }
+  return result;
+}
+
+void BTreeNode::merge_from_right(BTreeNode& right, std::string_view separator) {
+  DAMKIT_CHECK(is_leaf_ == right.is_leaf_);
+  if (is_leaf_) {
+    for (size_t i = 0; i < right.keys_.size(); ++i) {
+      byte_size_ +=
+          leaf_entry_bytes(right.keys_[i].size(), right.values_[i].size());
+      keys_.push_back(std::move(right.keys_[i]));
+      values_.push_back(std::move(right.values_[i]));
+    }
+    next_leaf_ = right.next_leaf_;
+  } else {
+    byte_size_ += pivot_bytes(separator.size());
+    keys_.emplace_back(separator);
+    for (auto& k : right.keys_) {
+      byte_size_ += pivot_bytes(k.size());
+      keys_.push_back(std::move(k));
+    }
+    for (uint64_t c : right.children_) {
+      byte_size_ += child_bytes();
+      children_.push_back(c);
+    }
+  }
+  right.keys_.clear();
+  right.values_.clear();
+  right.children_.clear();
+  right.byte_size_ = header_bytes();
+}
+
+std::string BTreeNode::borrow_balance(BTreeNode& right,
+                                      std::string_view separator) {
+  DAMKIT_CHECK(is_leaf_ == right.is_leaf_);
+  if (is_leaf_) {
+    // Move entries across until the byte sizes are as balanced as possible.
+    while (byte_size_ < right.byte_size_ && right.keys_.size() > 1) {
+      const uint64_t moved =
+          leaf_entry_bytes(right.keys_.front().size(),
+                           right.values_.front().size());
+      if (byte_size_ + moved > right.byte_size_ - moved &&
+          byte_size_ + moved > right.byte_size_) {
+        break;
+      }
+      keys_.push_back(std::move(right.keys_.front()));
+      values_.push_back(std::move(right.values_.front()));
+      right.keys_.erase(right.keys_.begin());
+      right.values_.erase(right.values_.begin());
+      byte_size_ += moved;
+      right.byte_size_ -= moved;
+    }
+    while (right.byte_size_ < byte_size_ && keys_.size() > 1) {
+      const uint64_t moved =
+          leaf_entry_bytes(keys_.back().size(), values_.back().size());
+      if (right.byte_size_ + moved > byte_size_ - moved &&
+          right.byte_size_ + moved > byte_size_) {
+        break;
+      }
+      right.keys_.insert(right.keys_.begin(), std::move(keys_.back()));
+      right.values_.insert(right.values_.begin(), std::move(values_.back()));
+      keys_.pop_back();
+      values_.pop_back();
+      right.byte_size_ += moved;
+      byte_size_ -= moved;
+    }
+    return right.keys_.front();
+  }
+
+  // Internal: rotate through the separator.
+  std::string sep(separator);
+  while (byte_size_ < right.byte_size_ && right.keys_.size() > 1) {
+    const uint64_t gain = pivot_bytes(sep.size()) + child_bytes();
+    const uint64_t loss =
+        pivot_bytes(right.keys_.front().size()) + child_bytes();
+    if (byte_size_ + gain > right.byte_size_ - loss) break;
+    keys_.push_back(std::move(sep));
+    children_.push_back(right.children_.front());
+    byte_size_ += gain;
+    sep = std::move(right.keys_.front());
+    right.keys_.erase(right.keys_.begin());
+    right.children_.erase(right.children_.begin());
+    right.byte_size_ -= loss;
+  }
+  while (right.byte_size_ < byte_size_ && keys_.size() > 1) {
+    const uint64_t gain = pivot_bytes(sep.size()) + child_bytes();
+    const uint64_t loss = pivot_bytes(keys_.back().size()) + child_bytes();
+    if (right.byte_size_ + gain > byte_size_ - loss) break;
+    right.keys_.insert(right.keys_.begin(), std::move(sep));
+    right.children_.insert(right.children_.begin(), children_.back());
+    right.byte_size_ += gain;
+    sep = std::move(keys_.back());
+    keys_.pop_back();
+    children_.pop_back();
+    byte_size_ -= loss;
+  }
+  return sep;
+}
+
+void BTreeNode::serialize(std::vector<uint8_t>& out) const {
+  out.clear();
+  out.reserve(byte_size_);
+  kv::Writer w(out);
+  w.put_u32(kMagic);
+  w.put_u8(is_leaf_ ? 1 : 0);
+  w.put_u32(static_cast<uint32_t>(is_leaf_ ? keys_.size() : children_.size()));
+  w.put_u64(next_leaf_);
+  if (is_leaf_) {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      w.put_u16(static_cast<uint16_t>(keys_[i].size()));
+      w.put_u32(static_cast<uint32_t>(values_[i].size()));
+      w.put_bytes(keys_[i]);
+      w.put_bytes(values_[i]);
+    }
+  } else {
+    for (uint64_t c : children_) w.put_u64(c);
+    for (const auto& k : keys_) {
+      w.put_u16(static_cast<uint16_t>(k.size()));
+      w.put_bytes(k);
+    }
+  }
+  DAMKIT_CHECK_MSG(out.size() == byte_size_,
+                   "size accounting drift: serialized "
+                       << out.size() << " vs tracked " << byte_size_);
+}
+
+std::shared_ptr<BTreeNode> BTreeNode::deserialize(
+    std::span<const uint8_t> image) {
+  kv::Reader r(image);
+  DAMKIT_CHECK_MSG(r.get_u32() == kMagic, "bad node magic");
+  const bool leaf = r.get_u8() != 0;
+  const uint32_t count = r.get_u32();
+  const uint64_t next = r.get_u64();
+  auto node = leaf ? make_leaf() : make_internal();
+  node->next_leaf_ = next;
+  if (leaf) {
+    node->keys_.reserve(count);
+    node->values_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint16_t klen = r.get_u16();
+      const uint32_t vlen = r.get_u32();
+      node->keys_.push_back(r.get_bytes(klen));
+      node->values_.push_back(r.get_bytes(vlen));
+      node->byte_size_ += leaf_entry_bytes(klen, vlen);
+    }
+  } else {
+    node->children_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      node->children_.push_back(r.get_u64());
+      node->byte_size_ += child_bytes();
+    }
+    node->keys_.reserve(count - 1);
+    for (uint32_t i = 0; i + 1 < count; ++i) {
+      const uint16_t klen = r.get_u16();
+      node->keys_.push_back(r.get_bytes(klen));
+      node->byte_size_ += pivot_bytes(klen);
+    }
+  }
+  return node;
+}
+
+uint64_t BTreeNode::recomputed_byte_size() const {
+  uint64_t size = header_bytes();
+  if (is_leaf_) {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      size += leaf_entry_bytes(keys_[i].size(), values_[i].size());
+    }
+  } else {
+    size += child_bytes() * children_.size();
+    for (const auto& k : keys_) size += pivot_bytes(k.size());
+  }
+  return size;
+}
+
+}  // namespace damkit::btree

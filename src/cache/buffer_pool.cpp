@@ -1,0 +1,103 @@
+#include "cache/buffer_pool.h"
+
+namespace damkit::cache {
+
+BufferPool::BufferPool(uint64_t capacity_bytes, WritebackFn writeback)
+    : capacity_bytes_(capacity_bytes), writeback_(std::move(writeback)) {
+  DAMKIT_CHECK(capacity_bytes_ > 0);
+  DAMKIT_CHECK(writeback_ != nullptr);
+}
+
+BufferPool::~BufferPool() {
+  // Owners are expected to flush before teardown; losing dirty state here
+  // would silently skip simulated write IO, so surface it loudly.
+  for (const Entry& e : lru_) {
+    DAMKIT_CHECK_MSG(!e.dirty,
+                     "BufferPool destroyed with dirty entry id=" << e.id
+                         << "; call flush_all() first");
+  }
+}
+
+std::shared_ptr<void> BufferPool::get_erased(uint64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+  return it->second->object;
+}
+
+void BufferPool::put(uint64_t id, std::shared_ptr<void> object,
+                     uint64_t charged_bytes, bool dirty) {
+  DAMKIT_CHECK(object != nullptr);
+  DAMKIT_CHECK_MSG(index_.find(id) == index_.end(),
+                   "put of already-resident id " << id);
+  make_room(charged_bytes);
+  lru_.push_front(Entry{id, std::move(object), charged_bytes, dirty});
+  index_[id] = lru_.begin();
+  charged_bytes_ += charged_bytes;
+  ++stats_.inserted;
+}
+
+void BufferPool::mark_dirty(uint64_t id) {
+  const auto it = index_.find(id);
+  DAMKIT_CHECK_MSG(it != index_.end(), "mark_dirty of absent id " << id);
+  it->second->dirty = true;
+}
+
+bool BufferPool::is_dirty(uint64_t id) const {
+  const auto it = index_.find(id);
+  return it != index_.end() && it->second->dirty;
+}
+
+void BufferPool::erase(uint64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  Entry& e = *it->second;
+  charged_bytes_ -= e.bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void BufferPool::writeback(Entry& e) {
+  if (!e.dirty) return;
+  writeback_(e.id, e.object.get());
+  e.dirty = false;
+  ++stats_.dirty_writebacks;
+}
+
+void BufferPool::flush_all() {
+  for (Entry& e : lru_) writeback(e);
+}
+
+void BufferPool::clear() {
+  flush_all();
+  for (const Entry& e : lru_) {
+    DAMKIT_CHECK_MSG(!pinned(e), "clear() with pinned entry id=" << e.id);
+  }
+  lru_.clear();
+  index_.clear();
+  charged_bytes_ = 0;
+}
+
+void BufferPool::make_room(uint64_t incoming_bytes) {
+  if (charged_bytes_ + incoming_bytes <= capacity_bytes_) return;
+  // Walk from the cold end, skipping pinned entries. If everything is
+  // pinned the pool runs over budget — by design it never deadlocks; the
+  // trees pin only O(height) nodes at a time.
+  auto it = lru_.end();
+  while (charged_bytes_ + incoming_bytes > capacity_bytes_ &&
+         it != lru_.begin()) {
+    --it;
+    if (pinned(*it)) continue;
+    writeback(*it);
+    charged_bytes_ -= it->bytes;
+    index_.erase(it->id);
+    it = lru_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace damkit::cache

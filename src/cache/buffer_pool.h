@@ -1,0 +1,107 @@
+// BufferPool: a byte-budgeted object cache for deserialized tree nodes —
+// the "M" of the DAM/affine/PDAM models.
+//
+// The pool is deliberately an *object* cache (like TokuDB's cachetable)
+// rather than a page cache: trees keep deserialized nodes in it, and the
+// pool tracks a budget of charged bytes, evicting cold, unpinned entries
+// LRU-first. Eviction of a dirty entry invokes the owner's writeback
+// callback, which serializes the node and performs (and charges!) the
+// device write. Pinning is implicit: an entry whose handle is still held
+// by a caller (shared_ptr use_count > 1) is never evicted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace damkit::cache {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+  uint64_t inserted = 0;
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class BufferPool {
+ public:
+  /// Writeback(id, object): owner must serialize and write the object to
+  /// its backing store, charging the IO to its IoContext.
+  using WritebackFn = std::function<void(uint64_t id, void* object)>;
+
+  BufferPool(uint64_t capacity_bytes, WritebackFn writeback);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Look up `id`; returns the cached object (moved to MRU) or nullptr.
+  /// The typed wrapper below is the usual entry point.
+  std::shared_ptr<void> get_erased(uint64_t id);
+
+  template <typename T>
+  std::shared_ptr<T> get(uint64_t id) {
+    return std::static_pointer_cast<T>(get_erased(id));
+  }
+
+  /// Insert an object charged at `charged_bytes`. The id must not already
+  /// be present. May trigger evictions (and dirty writebacks) to fit.
+  void put(uint64_t id, std::shared_ptr<void> object, uint64_t charged_bytes,
+           bool dirty);
+
+  /// Mark a resident entry dirty (id must be present).
+  void mark_dirty(uint64_t id);
+  bool is_dirty(uint64_t id) const;
+
+  /// Drop an entry without writeback (caller deleted the node). No-op if
+  /// absent. The entry must not be pinned by anyone but the caller.
+  void erase(uint64_t id);
+
+  /// Write back every dirty entry (checkpoint); entries stay resident.
+  void flush_all();
+
+  /// Write back and drop everything evictable; CHECKs nothing is pinned.
+  void clear();
+
+  bool contains(uint64_t id) const { return index_.count(id) > 0; }
+  uint64_t charged_bytes() const { return charged_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t entries() const { return index_.size(); }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void clear_stats() { stats_ = BufferPoolStats{}; }
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    std::shared_ptr<void> object;
+    uint64_t bytes = 0;
+    bool dirty = false;
+  };
+  using LruList = std::list<Entry>;
+
+  bool pinned(const Entry& e) const { return e.object.use_count() > 1; }
+  void writeback(Entry& e);
+  /// Evict cold unpinned entries until the budget fits `incoming_bytes`.
+  void make_room(uint64_t incoming_bytes);
+
+  uint64_t capacity_bytes_;
+  WritebackFn writeback_;
+  LruList lru_;  // front = MRU, back = LRU victim candidate
+  std::unordered_map<uint64_t, LruList::iterator> index_;
+  uint64_t charged_bytes_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace damkit::cache

@@ -1,0 +1,59 @@
+#include "harness/fitting.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace damkit::harness {
+
+AffineFit fit_affine(const std::vector<AffineSample>& samples) {
+  DAMKIT_CHECK(samples.size() >= 2);
+  std::vector<double> x, y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    x.push_back(static_cast<double>(s.io_bytes));
+    y.push_back(s.seconds);
+  }
+  const LinearFit lf = linear_fit(x, y);
+  AffineFit fit;
+  fit.s = lf.intercept;
+  fit.t_per_byte = lf.slope;
+  fit.t_per_4k = lf.slope * 4096.0;
+  fit.alpha = (fit.s > 0.0) ? fit.t_per_4k / fit.s : 0.0;
+  fit.r2 = lf.r2;
+  fit.rms = lf.rms;
+  return fit;
+}
+
+PdamFit fit_pdam(const std::vector<PdamSample>& samples) {
+  DAMKIT_CHECK(samples.size() >= 4);
+  std::vector<double> x, y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    x.push_back(static_cast<double>(s.threads));
+    y.push_back(s.seconds);
+  }
+  PdamFit fit;
+  fit.segments = segmented_linear_fit(x, y);
+  fit.p = fit.segments.breakpoint;
+  fit.r2 = fit.segments.r2;
+  // Saturated throughput: on the linear segment, each added thread adds
+  // (bytes per thread) work and slope seconds, so throughput converges to
+  // bytes_per_thread / slope. Use the measured largest round as a
+  // cross-check; prefer the regression slope (the paper's ∝PB).
+  const PdamSample& last = samples.back();
+  const double bytes_per_thread =
+      static_cast<double>(last.total_bytes) / last.threads;
+  if (fit.segments.right.slope > 0.0) {
+    fit.saturated_mbps =
+        bytes_per_thread / fit.segments.right.slope / 1e6;
+  } else {
+    fit.saturated_mbps =
+        static_cast<double>(last.total_bytes) / last.seconds / 1e6;
+  }
+  return fit;
+}
+
+}  // namespace damkit::harness

@@ -1,0 +1,50 @@
+// Fitting measured device behaviour to the affine and PDAM models — the
+// §4 methodology: issue microbenchmarks, then regress.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace damkit::harness {
+
+/// One point of the §4.2 experiment: mean time of random reads of a size.
+struct AffineSample {
+  uint64_t io_bytes = 0;
+  double seconds = 0.0;  // mean seconds per IO at this size
+};
+
+/// Affine-model parameters recovered by OLS (Table 2 columns).
+struct AffineFit {
+  double s = 0.0;           // setup seconds (intercept)
+  double t_per_byte = 0.0;  // transfer seconds per byte (slope)
+  double t_per_4k = 0.0;    // the paper reports t per 4096 bytes
+  double alpha = 0.0;       // t_per_4k-normalized? No: alpha = t/s per *block*
+  double r2 = 0.0;
+  double rms = 0.0;
+};
+
+/// OLS of seconds against io_bytes. `alpha` follows the paper's Table 2
+/// convention: α = t/s with t in seconds per 4 KiB block.
+AffineFit fit_affine(const std::vector<AffineSample>& samples);
+
+/// One point of the §4.1 experiment: total time for p threads to each
+/// complete their reads.
+struct PdamSample {
+  int threads = 0;
+  double seconds = 0.0;      // makespan
+  uint64_t total_bytes = 0;  // bytes moved in this round
+};
+
+/// PDAM parameters recovered by segmented linear regression (Table 1).
+struct PdamFit {
+  double p = 0.0;              // effective parallelism (segment intersection)
+  double saturated_mbps = 0.0; // ∝ PB: throughput on the saturated segment
+  double r2 = 0.0;
+  SegmentedFit segments;       // full regression detail
+};
+
+PdamFit fit_pdam(const std::vector<PdamSample>& samples);
+
+}  // namespace damkit::harness

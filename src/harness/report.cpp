@@ -1,0 +1,82 @@
+#include "harness/report.h"
+
+#include <cstdio>
+
+#include "util/bytes.h"
+
+namespace damkit::harness {
+
+Table make_affine_table(
+    const std::vector<std::pair<std::string, AffineExperimentResult>>& rows) {
+  Table t({"Disk", "s (s)", "t (s/4K)", "alpha", "R^2"});
+  for (const auto& [name, res] : rows) {
+    t.add_row({name, strfmt("%.4f", res.fit.s),
+               strfmt("%.6f", res.fit.t_per_4k),
+               strfmt("%.4f", res.fit.alpha), strfmt("%.4f", res.fit.r2)});
+  }
+  return t;
+}
+
+Table make_pdam_table(
+    const std::vector<std::pair<std::string, PdamExperimentResult>>& rows) {
+  Table t({"Device", "P", "~PB (MB/s)", "R^2"});
+  for (const auto& [name, res] : rows) {
+    t.add_row({name, strfmt("%.1f", res.fit.p),
+               strfmt("%.0f", res.fit.saturated_mbps),
+               strfmt("%.3f", res.fit.r2)});
+  }
+  return t;
+}
+
+Table make_pdam_figure(
+    const std::vector<std::pair<std::string, PdamExperimentResult>>& rows) {
+  std::vector<std::string> header{"threads"};
+  header.reserve(rows.size() + 1);
+  for (const auto& [name, res] : rows) {
+    header.push_back(name + " (s)");
+  }
+  Table t(std::move(header));
+  if (rows.empty()) return t;
+  const size_t points = rows.front().second.samples.size();
+  for (size_t i = 0; i < points; ++i) {
+    std::vector<std::string> cells;
+    cells.push_back(
+        strfmt("%d", rows.front().second.samples[i].threads));
+    for (const auto& [name, res] : rows) {
+      cells.push_back(strfmt("%.2f", res.samples[i].seconds));
+    }
+    t.add_row(std::move(cells));
+  }
+  return t;
+}
+
+Table make_sweep_figure(const SweepResult& result) {
+  Table t({"node size", "query (ms/op)", "insert (ms/op)",
+           "affine query (ms)", "affine insert (ms)", "write amp", "height",
+           "cache hit"});
+  for (size_t i = 0; i < result.points.size(); ++i) {
+    const SweepPoint& p = result.points[i];
+    t.add_row({format_bytes(p.node_bytes), strfmt("%.2f", p.query_ms),
+               strfmt("%.2f", p.insert_ms),
+               strfmt("%.2f", result.affine_query_ms[i]),
+               strfmt("%.2f", result.affine_insert_ms[i]),
+               strfmt("%.1f", p.write_amp), strfmt("%zu", p.height),
+               strfmt("%.2f", p.cache_hit_rate)});
+  }
+  return t;
+}
+
+std::string emit(const std::string& caption, const Table& table,
+                 const std::string& csv_path) {
+  std::string out = "\n== " + caption + " ==\n" + table.to_string();
+  std::fputs(out.c_str(), stdout);
+  std::fflush(stdout);
+  if (!csv_path.empty()) {
+    if (!table.write_csv(csv_path)) {
+      std::fprintf(stderr, "warning: could not write %s\n", csv_path.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace damkit::harness

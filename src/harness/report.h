@@ -1,0 +1,32 @@
+// Table/figure emitters: render experiment results in the paper's shape
+// (stdout tables) and drop machine-readable CSVs next to them.
+#pragma once
+
+#include <string>
+
+#include "harness/experiments.h"
+#include "util/table.h"
+
+namespace damkit::harness {
+
+/// Table 2-style row set for a list of HDD results.
+Table make_affine_table(
+    const std::vector<std::pair<std::string, AffineExperimentResult>>& rows);
+
+/// Table 1-style row set for a list of SSD results.
+Table make_pdam_table(
+    const std::vector<std::pair<std::string, PdamExperimentResult>>& rows);
+
+/// Figure 1-style series: one column per device, rows = thread counts.
+Table make_pdam_figure(
+    const std::vector<std::pair<std::string, PdamExperimentResult>>& rows);
+
+/// Figure 2/3-style series for a node-size sweep.
+Table make_sweep_figure(const SweepResult& result);
+
+/// Print a table with a caption and optionally write CSV to `csv_path`
+/// (empty = skip). Returns the rendered text (also written to stdout).
+std::string emit(const std::string& caption, const Table& table,
+                 const std::string& csv_path);
+
+}  // namespace damkit::harness

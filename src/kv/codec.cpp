@@ -1,0 +1,5 @@
+#include "kv/codec.h"
+
+// Writer/Reader are header-only; this TU anchors the target.
+
+namespace damkit::kv {}  // namespace damkit::kv

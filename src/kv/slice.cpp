@@ -1,0 +1,55 @@
+#include "kv/slice.h"
+
+#include <cstring>
+
+#include "util/status.h"
+
+namespace damkit::kv {
+
+std::string encode_key(uint64_t id, size_t width) {
+  DAMKIT_CHECK(width >= 8);
+  std::string key(width, '\0');
+  for (int i = 0; i < 8; ++i) {
+    key[width - 1 - static_cast<size_t>(i)] =
+        static_cast<char>((id >> (8 * i)) & 0xff);
+  }
+  return key;
+}
+
+uint64_t decode_key(std::string_view key) {
+  DAMKIT_CHECK(key.size() >= 8);
+  uint64_t id = 0;
+  const size_t base = key.size() - 8;
+  for (size_t i = 0; i < 8; ++i) {
+    id = (id << 8) | static_cast<uint8_t>(key[base + i]);
+  }
+  return id;
+}
+
+std::string make_value(uint64_t id, size_t len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
+  std::string value(len, '\0');
+  uint64_t state = id * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL;
+  for (size_t i = 0; i < len; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    value[i] = kAlphabet[state & 63];
+  }
+  return value;
+}
+
+bool check_value(uint64_t id, std::string_view value) {
+  return make_value(id, value.size()) == value;
+}
+
+int compare(std::string_view a, std::string_view b) {
+  const size_t n = std::min(a.size(), b.size());
+  const int c = n == 0 ? 0 : std::memcmp(a.data(), b.data(), n);
+  if (c != 0) return c;
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+}  // namespace damkit::kv

@@ -1,0 +1,31 @@
+// Key/value conventions for the dictionary structures.
+//
+// Keys and values are owned byte strings; lookups take string_views. Keys
+// compare lexicographically, so fixed-width integer keys are encoded
+// big-endian (numeric order == byte order).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace damkit::kv {
+
+/// Encode `id` as a fixed-width big-endian key of `width` >= 8 bytes
+/// (left-padded with zeros) so lexicographic order matches numeric order.
+std::string encode_key(uint64_t id, size_t width = 8);
+
+/// Inverse of encode_key (reads the trailing 8 bytes).
+uint64_t decode_key(std::string_view key);
+
+/// Deterministic pseudo-random printable value of `len` bytes derived from
+/// `id` — verifiable without storing the expected bytes.
+std::string make_value(uint64_t id, size_t len);
+
+/// True iff `value` equals make_value(id, value.size()).
+bool check_value(uint64_t id, std::string_view value);
+
+/// Three-way lexicographic comparison (memcmp semantics).
+int compare(std::string_view a, std::string_view b);
+
+}  // namespace damkit::kv

@@ -1,0 +1,71 @@
+#include "kv/workload.h"
+
+#include <numeric>
+
+#include "kv/slice.h"
+#include "util/status.h"
+
+namespace damkit::kv {
+
+OpGenerator::OpGenerator(const WorkloadSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  DAMKIT_CHECK(spec_.key_space > 0);
+  total_weight_ = spec_.get_weight + spec_.put_weight + spec_.delete_weight +
+                  spec_.scan_weight + spec_.upsert_weight;
+  DAMKIT_CHECK_MSG(total_weight_ > 0.0, "all op weights are zero");
+  if (spec_.distribution == Distribution::kZipfian) {
+    zipf_.emplace(spec_.key_space, spec_.zipf_theta);
+  }
+}
+
+uint64_t OpGenerator::next_key_id() {
+  switch (spec_.distribution) {
+    case Distribution::kUniform:
+      return rng_.uniform(spec_.key_space);
+    case Distribution::kZipfian: {
+      // Scramble the rank so hot keys are spread over the key space.
+      const uint64_t rank = zipf_->sample(rng_);
+      return (rank * 0x9e3779b97f4a7c15ULL) % spec_.key_space;
+    }
+    case Distribution::kSequential: {
+      const uint64_t id = sequential_cursor_;
+      sequential_cursor_ = (sequential_cursor_ + 1) % spec_.key_space;
+      return id;
+    }
+  }
+  return 0;
+}
+
+Op OpGenerator::next() {
+  Op op;
+  op.key_id = next_key_id();
+  double r = rng_.uniform_double() * total_weight_;
+  if ((r -= spec_.get_weight) < 0.0) {
+    op.type = OpType::kGet;
+  } else if ((r -= spec_.put_weight) < 0.0) {
+    op.type = OpType::kPut;
+  } else if ((r -= spec_.delete_weight) < 0.0) {
+    op.type = OpType::kDelete;
+  } else if ((r -= spec_.scan_weight) < 0.0) {
+    op.type = OpType::kScan;
+    op.scan_length = spec_.scan_length;
+  } else {
+    op.type = OpType::kUpsert;
+  }
+  return op;
+}
+
+std::vector<uint64_t> shuffled_ids(uint64_t n, uint64_t seed) {
+  std::vector<uint64_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  Rng rng(seed);
+  rng.shuffle(ids);
+  return ids;
+}
+
+BulkItem bulk_item(uint64_t index, const WorkloadSpec& spec) {
+  return BulkItem{encode_key(index, spec.key_bytes),
+                  make_value(index, spec.value_bytes)};
+}
+
+}  // namespace damkit::kv

@@ -1,0 +1,75 @@
+// Workload generation for the data-structure experiments (§7): bulk data
+// sets, then streams of random inserts / queries / scans over a configured
+// key distribution, mirroring the paper's "insert 16GB of key-value pairs,
+// then perform random inserts and random queries" procedure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace damkit::kv {
+
+enum class Distribution : uint8_t { kUniform, kZipfian, kSequential };
+
+enum class OpType : uint8_t { kGet, kPut, kDelete, kScan, kUpsert };
+
+struct Op {
+  OpType type = OpType::kGet;
+  uint64_t key_id = 0;
+  uint32_t scan_length = 0;  // for kScan
+};
+
+struct WorkloadSpec {
+  uint64_t key_space = 1'000'000;  // ids drawn from [0, key_space)
+  size_t key_bytes = 16;
+  size_t value_bytes = 100;
+  Distribution distribution = Distribution::kUniform;
+  double zipf_theta = 0.99;
+
+  // Mix (weights; need not sum to 1, normalized internally).
+  double get_weight = 0.5;
+  double put_weight = 0.5;
+  double delete_weight = 0.0;
+  double scan_weight = 0.0;
+  double upsert_weight = 0.0;
+  uint32_t scan_length = 100;
+
+  uint64_t seed = 7;
+};
+
+/// Stream of operations drawn from a WorkloadSpec.
+class OpGenerator {
+ public:
+  explicit OpGenerator(const WorkloadSpec& spec);
+
+  Op next();
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  uint64_t next_key_id();
+
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::optional<Zipfian> zipf_;
+  uint64_t sequential_cursor_ = 0;
+  double total_weight_;
+};
+
+/// The ids 0..n-1 in a deterministic random permutation — the paper's
+/// "random insert" load order (every key inserted exactly once).
+std::vector<uint64_t> shuffled_ids(uint64_t n, uint64_t seed);
+
+/// A sorted bulk-load stream: (encode_key(i), make_value(i, value_bytes))
+/// for i in [0, n), materialized lazily by index to bound host memory.
+struct BulkItem {
+  std::string key;
+  std::string value;
+};
+BulkItem bulk_item(uint64_t index, const WorkloadSpec& spec);
+
+}  // namespace damkit::kv

@@ -1,0 +1,475 @@
+#include "lsm/lsm_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kv/slice.h"
+
+namespace damkit::lsm {
+
+LsmTree::LsmTree(sim::Device& dev, sim::IoContext& io, LsmConfig config)
+    : dev_(&dev),
+      io_(&io),
+      config_(config),
+      arena_(dev, config.base_offset) {
+  DAMKIT_CHECK(config_.memtable_bytes >= 1024);
+  DAMKIT_CHECK(config_.sstable_target_bytes >= config_.block_bytes);
+  DAMKIT_CHECK(config_.size_ratio > 1.0);
+  levels_.resize(2);  // L0 and L1 exist from the start
+}
+
+LsmTree::~LsmTree() = default;
+
+void LsmTree::put(std::string_view key, std::string_view value) {
+  ++stats_.puts;
+  mem_.put(key, value);
+  if (mem_.approximate_bytes() >= config_.memtable_bytes) {
+    flush_memtable();
+    maybe_compact();
+  }
+}
+
+void LsmTree::erase(std::string_view key) {
+  ++stats_.erases;
+  mem_.erase(key);
+  if (mem_.approximate_bytes() >= config_.memtable_bytes) {
+    flush_memtable();
+    maybe_compact();
+  }
+}
+
+void LsmTree::flush() {
+  if (!mem_.empty()) {
+    flush_memtable();
+    maybe_compact();
+  }
+}
+
+void LsmTree::flush_memtable() {
+  SSTableBuilder builder(*dev_, *io_, arena_, config_.block_bytes,
+                         config_.bloom_bits_per_key, next_sequence_++);
+  for (const auto& [key, slot] : mem_.entries()) {
+    builder.add(Entry{key, slot.value, slot.tombstone});
+  }
+  SSTableRef table = builder.finish();
+  if (table != nullptr) {
+    levels_[0].insert(levels_[0].begin(), std::move(table));  // newest first
+  }
+  mem_.clear();
+  ++stats_.memtable_flushes;
+}
+
+uint64_t LsmTree::level_capacity(size_t level) const {
+  DAMKIT_CHECK(level >= 1);
+  return static_cast<uint64_t>(
+      static_cast<double>(config_.level1_bytes) *
+      std::pow(config_.size_ratio, static_cast<double>(level - 1)));
+}
+
+uint64_t LsmTree::level_bytes(size_t level) const {
+  DAMKIT_CHECK(level < levels_.size());
+  uint64_t bytes = 0;
+  for (const auto& t : levels_[level]) bytes += t->total_bytes();
+  return bytes;
+}
+
+std::vector<size_t> LsmTree::level_table_counts() const {
+  std::vector<size_t> counts;
+  counts.reserve(levels_.size());
+  for (const auto& level : levels_) counts.push_back(level.size());
+  return counts;
+}
+
+void LsmTree::maybe_compact() {
+  if (config_.style == CompactionStyle::kTiered) {
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (size_t i = 0; i < levels_.size(); ++i) {
+        if (levels_[i].size() > config_.level0_limit) {
+          compact_tier(i);
+          changed = true;
+        }
+      }
+    }
+    return;
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    if (levels_[0].size() > config_.level0_limit) {
+      compact_level0();
+      changed = true;
+    }
+    for (size_t i = 1; i < levels_.size(); ++i) {
+      if (!levels_[i].empty() && level_bytes(i) > level_capacity(i)) {
+        compact_level(i);
+        changed = true;
+      }
+    }
+  }
+}
+
+void LsmTree::compact_tier(size_t level) {
+  if (level + 1 >= levels_.size()) levels_.resize(level + 2);
+  // Merge the whole tier; newest-first order is already maintained.
+  std::vector<SSTableRef> inputs = levels_[level];
+  bool bottom = true;
+  for (size_t i = level + 1; i < levels_.size(); ++i) {
+    if (!levels_[i].empty()) bottom = false;
+  }
+  // One output table per merge: in tiered compaction a run must stay a
+  // single unit, or run counting (and with it termination) breaks.
+  std::vector<SSTableRef> outputs =
+      merge_tables(inputs, bottom, /*split_output=*/false);
+  for (const auto& t : levels_[level]) t->release();
+  levels_[level].clear();
+  // The merged run lands at the *front* of the next tier (it is newer
+  // than everything already there).
+  levels_[level + 1].insert(levels_[level + 1].begin(), outputs.begin(),
+                            outputs.end());
+}
+
+std::vector<SSTableRef> LsmTree::merge_tables(
+    const std::vector<SSTableRef>& inputs, bool bottom, bool split_output) {
+  ++stats_.compactions;
+  for (const auto& t : inputs) stats_.compaction_bytes_in += t->total_bytes();
+
+  // K-way merge, recency = input order (lower index shadows higher).
+  struct Cursor {
+    SSTable::Iterator it;
+    size_t priority;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    SSTable::Iterator it =
+        inputs[i]->seek("", *io_, config_.scan_readahead_blocks);
+    if (it.valid()) cursors.push_back({std::move(it), i});
+  }
+
+  std::vector<SSTableRef> outputs;
+  std::unique_ptr<SSTableBuilder> builder;
+  auto emit = [&](Entry e) {
+    if (bottom && e.tombstone) return;  // tombstones die at the bottom
+    if (!builder) {
+      builder = std::make_unique<SSTableBuilder>(
+          *dev_, *io_, arena_, config_.block_bytes,
+          config_.bloom_bits_per_key, next_sequence_++);
+    }
+    builder->add(std::move(e));
+    if (split_output &&
+        builder->data_bytes() >= config_.sstable_target_bytes) {
+      outputs.push_back(builder->finish());
+      builder.reset();
+    }
+  };
+
+  while (!cursors.empty()) {
+    // Find the smallest key; among equals, the lowest priority (newest).
+    size_t best = 0;
+    for (size_t i = 1; i < cursors.size(); ++i) {
+      const int c = kv::compare(cursors[i].it.entry().key,
+                                cursors[best].it.entry().key);
+      if (c < 0 || (c == 0 && cursors[i].priority < cursors[best].priority)) {
+        best = i;
+      }
+    }
+    Entry winner = cursors[best].it.entry();
+    // Advance every cursor positioned at this key (shadowed versions).
+    for (size_t i = 0; i < cursors.size();) {
+      if (kv::compare(cursors[i].it.entry().key, winner.key) == 0) {
+        cursors[i].it.next();
+        if (!cursors[i].it.valid()) {
+          cursors.erase(cursors.begin() + static_cast<ptrdiff_t>(i));
+          continue;
+        }
+      }
+      ++i;
+    }
+    emit(std::move(winner));
+  }
+  if (builder) {
+    SSTableRef last = builder->finish();
+    if (last != nullptr) outputs.push_back(std::move(last));
+  }
+  for (const auto& t : outputs) stats_.compaction_bytes_out += t->total_bytes();
+  return outputs;
+}
+
+void LsmTree::install_level1plus(size_t level, std::vector<SSTableRef> added,
+                                 const std::vector<SSTableRef>& removed) {
+  Level& lv = levels_[level];
+  for (const auto& dead : removed) {
+    const auto it = std::find(lv.begin(), lv.end(), dead);
+    if (it != lv.end()) lv.erase(it);
+  }
+  for (auto& t : added) lv.push_back(std::move(t));
+  std::sort(lv.begin(), lv.end(), [](const SSTableRef& a, const SSTableRef& b) {
+    return kv::compare(a->min_key(), b->min_key()) < 0;
+  });
+}
+
+void LsmTree::compact_level0() {
+  // All of L0 plus every overlapping L1 table.
+  std::vector<SSTableRef> inputs = levels_[0];  // newest first already
+  std::string lo = inputs.front()->min_key();
+  std::string hi = inputs.front()->max_key();
+  for (const auto& t : inputs) {
+    if (kv::compare(t->min_key(), lo) < 0) lo = t->min_key();
+    if (kv::compare(t->max_key(), hi) > 0) hi = t->max_key();
+  }
+  std::vector<SSTableRef> overlapped;
+  for (const auto& t : levels_[1]) {
+    if (t->overlaps(lo, hi)) overlapped.push_back(t);
+  }
+  inputs.insert(inputs.end(), overlapped.begin(), overlapped.end());
+
+  bool bottom = true;
+  for (size_t i = 2; i < levels_.size(); ++i) {
+    if (!levels_[i].empty()) bottom = false;
+  }
+  // Remaining (non-overlapped) L1 tables also shadow deeper data; only
+  // drop tombstones if L1 is the lowest level, which `bottom` captures.
+  std::vector<SSTableRef> outputs = merge_tables(inputs, bottom);
+
+  for (const auto& t : levels_[0]) t->release();
+  levels_[0].clear();
+  for (const auto& t : overlapped) t->release();
+  install_level1plus(1, std::move(outputs), overlapped);
+}
+
+void LsmTree::compact_level(size_t level) {
+  DAMKIT_CHECK(level >= 1);
+  if (level + 1 >= levels_.size()) levels_.resize(level + 2);
+  Level& lv = levels_[level];
+  DAMKIT_CHECK(!lv.empty());
+  const SSTableRef victim = lv[compact_cursor_ % lv.size()];
+  ++compact_cursor_;
+
+  std::vector<SSTableRef> overlapped;
+  for (const auto& t : levels_[level + 1]) {
+    if (t->overlaps(victim->min_key(), victim->max_key())) {
+      overlapped.push_back(t);
+    }
+  }
+  std::vector<SSTableRef> inputs{victim};
+  inputs.insert(inputs.end(), overlapped.begin(), overlapped.end());
+
+  bool bottom = true;
+  for (size_t i = level + 2; i < levels_.size(); ++i) {
+    if (!levels_[i].empty()) bottom = false;
+  }
+  std::vector<SSTableRef> outputs = merge_tables(inputs, bottom);
+
+  const auto it = std::find(lv.begin(), lv.end(), victim);
+  DAMKIT_CHECK(it != lv.end());
+  lv.erase(it);
+  victim->release();
+  for (const auto& t : overlapped) t->release();
+  install_level1plus(level + 1, std::move(outputs), overlapped);
+}
+
+std::optional<std::string> LsmTree::get(std::string_view key) {
+  ++stats_.gets;
+  if (const auto hit = mem_.get(key)) {
+    if (hit->tombstone) return std::nullopt;
+    return hit->value;
+  }
+  // Probe one table: returns the resolved value (or deletion) if found.
+  enum class Probe { kMiss, kFound, kDeleted };
+  std::string found;
+  const auto probe = [&](const SSTableRef& t) {
+    if (!t->overlaps(key, key)) return Probe::kMiss;
+    ++stats_.table_probes;
+    if (!t->may_contain(key)) {
+      ++stats_.bloom_negative;
+      return Probe::kMiss;
+    }
+    const auto hit = t->get(key, *io_);
+    if (!hit.has_value()) return Probe::kMiss;
+    if (hit->tombstone) return Probe::kDeleted;
+    found = hit->value;
+    return Probe::kFound;
+  };
+
+  if (config_.style == CompactionStyle::kTiered) {
+    // Every tier may hold overlapping runs: probe all, newest first.
+    for (const auto& level : levels_) {
+      for (const auto& t : level) {
+        switch (probe(t)) {
+          case Probe::kFound: return found;
+          case Probe::kDeleted: return std::nullopt;
+          case Probe::kMiss: break;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  // L0: newest first, may overlap.
+  for (const auto& t : levels_[0]) {
+    switch (probe(t)) {
+      case Probe::kFound: return found;
+      case Probe::kDeleted: return std::nullopt;
+      case Probe::kMiss: break;
+    }
+  }
+  // L1+: at most one candidate table per level.
+  for (size_t i = 1; i < levels_.size(); ++i) {
+    const Level& lv = levels_[i];
+    const auto it = std::upper_bound(
+        lv.begin(), lv.end(), key,
+        [](std::string_view k, const SSTableRef& t) {
+          return kv::compare(k, t->min_key()) < 0;
+        });
+    if (it == lv.begin()) continue;
+    switch (probe(*(it - 1))) {
+      case Probe::kFound: return found;
+      case Probe::kDeleted: return std::nullopt;
+      case Probe::kMiss: break;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::string, std::string>> LsmTree::scan(
+    std::string_view lo, size_t limit) {
+  ++stats_.scans;
+  std::vector<std::pair<std::string, std::string>> out;
+  if (limit == 0) return out;
+
+  // A cursor per source; priority orders recency (lower = newer).
+  struct Source {
+    // Either a memtable iterator...
+    const MemTable::Map* mem = nullptr;
+    MemTable::Map::const_iterator mem_it;
+    // ...or a level run (sequence of tables + an open table iterator).
+    const Level* level = nullptr;
+    size_t table_idx = 0;
+    std::unique_ptr<SSTable::Iterator> it;
+    size_t priority = 0;
+
+    bool valid() const {
+      return mem != nullptr ? mem_it != mem->end()
+                            : (it != nullptr && it->valid());
+    }
+    std::string_view key() const {
+      return mem != nullptr ? std::string_view(mem_it->first)
+                            : std::string_view(it->entry().key);
+    }
+  };
+
+  std::vector<Source> sources;
+  size_t priority = 0;
+  {
+    Source s;
+    s.mem = &mem_.entries();
+    s.mem_it = mem_.entries().lower_bound(lo);
+    s.priority = priority++;
+    if (s.valid()) sources.push_back(std::move(s));
+  }
+  const size_t overlapping_levels =
+      (config_.style == CompactionStyle::kTiered) ? levels_.size() : 1;
+  for (size_t i = 0; i < overlapping_levels; ++i) {
+    for (const auto& t : levels_[i]) {
+      Source s;
+      s.priority = priority++;
+      if (kv::compare(t->max_key(), lo) >= 0) {
+        s.it = std::make_unique<SSTable::Iterator>(
+            t->seek(lo, *io_, config_.scan_readahead_blocks));
+        if (s.it->valid()) sources.push_back(std::move(s));
+      }
+    }
+  }
+  for (size_t i = overlapping_levels; i < levels_.size(); ++i) {
+    const Level& lv = levels_[i];
+    Source s;
+    s.level = &lv;
+    s.priority = priority++;
+    // First table whose max_key >= lo.
+    size_t idx = 0;
+    while (idx < lv.size() && kv::compare(lv[idx]->max_key(), lo) < 0) ++idx;
+    if (idx == lv.size()) continue;
+    s.table_idx = idx;
+    s.it = std::make_unique<SSTable::Iterator>(
+        lv[idx]->seek(lo, *io_, config_.scan_readahead_blocks));
+    if (s.it->valid()) sources.push_back(std::move(s));
+  }
+
+  auto advance = [&](Source& s) {
+    if (s.mem != nullptr) {
+      ++s.mem_it;
+      return;
+    }
+    s.it->next();
+    // A level run continues into the next table.
+    while (s.level != nullptr && !s.it->valid() &&
+           s.table_idx + 1 < s.level->size()) {
+      ++s.table_idx;
+      s.it = std::make_unique<SSTable::Iterator>(
+          (*s.level)[s.table_idx]->seek(lo, *io_, config_.scan_readahead_blocks));
+    }
+  };
+
+  while (out.size() < limit) {
+    // Smallest key; ties resolved by recency.
+    int best = -1;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (!sources[i].valid()) continue;
+      if (best < 0) {
+        best = static_cast<int>(i);
+        continue;
+      }
+      const int c = kv::compare(sources[i].key(),
+                                sources[static_cast<size_t>(best)].key());
+      if (c < 0 || (c == 0 && sources[i].priority <
+                                  sources[static_cast<size_t>(best)].priority)) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    Source& winner = sources[static_cast<size_t>(best)];
+    const std::string key(winner.key());
+    std::string value;
+    bool tombstone;
+    if (winner.mem != nullptr) {
+      value = winner.mem_it->second.value;
+      tombstone = winner.mem_it->second.tombstone;
+    } else {
+      value = winner.it->entry().value;
+      tombstone = winner.it->entry().tombstone;
+    }
+    // Skip every shadowed version of this key.
+    for (auto& s : sources) {
+      while (s.valid() && kv::compare(s.key(), key) == 0) advance(s);
+    }
+    if (!tombstone) out.emplace_back(key, std::move(value));
+  }
+  return out;
+}
+
+void LsmTree::check_invariants() const {
+  const bool tiered = config_.style == CompactionStyle::kTiered;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    for (const auto& t : levels_[i]) {
+      DAMKIT_CHECK(kv::compare(t->min_key(), t->max_key()) <= 0);
+      DAMKIT_CHECK(t->entry_count() > 0);
+    }
+    if (!tiered && i >= 1) {
+      for (size_t j = 1; j < levels_[i].size(); ++j) {
+        // Leveled: each level is one sorted, non-overlapping run.
+        DAMKIT_CHECK_MSG(
+            kv::compare(levels_[i][j - 1]->max_key(),
+                        levels_[i][j]->min_key()) < 0,
+            "level " << i << " tables overlap");
+      }
+    }
+  }
+  if (!tiered) {
+    // L0 recency: sequences strictly decreasing (newest first).
+    for (size_t j = 1; j < levels_[0].size(); ++j) {
+      DAMKIT_CHECK(levels_[0][j - 1]->sequence() > levels_[0][j]->sequence());
+    }
+  }
+}
+
+}  // namespace damkit::lsm

@@ -1,0 +1,126 @@
+// A leveled log-structured merge tree over a simulated device — the
+// third write-optimized dictionary the paper discusses (§1: "LevelDB's
+// LSM-tree uses 2 MiB SSTables for all workloads").
+//
+// Structure follows LevelDB: an in-memory memtable; level 0 holding
+// whole memtable flushes (tables may overlap, newest first); levels 1+
+// holding sorted, non-overlapping runs, each level `size_ratio` times
+// larger than the previous. Compaction merges one level-i table with the
+// overlapping tables of level i+1, splitting output at the SSTable
+// target size — the tuning knob this module exists to study under the
+// affine model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blockdev/byte_arena.h"
+#include "lsm/memtable.h"
+#include "lsm/sstable.h"
+#include "sim/device.h"
+
+namespace damkit::lsm {
+
+/// Compaction organization.
+///   kLeveled — LevelDB-style: levels 1+ are single sorted runs; merging
+///              rewrites overlapping data (higher write amp, 1 probe/level).
+///   kTiered  — every level holds up to `level0_limit` overlapping runs;
+///              a full level merges wholesale into the next (write amp
+///              ~ depth, but up to level0_limit probes per level).
+enum class CompactionStyle : uint8_t { kLeveled, kTiered };
+
+struct LsmConfig {
+  uint64_t memtable_bytes = 4 * 1024 * 1024;
+  /// Compaction output split size — LevelDB's 2 MiB knob.
+  uint64_t sstable_target_bytes = 2 * 1024 * 1024;
+  uint64_t block_bytes = 4096;      // point-read granularity
+  double bloom_bits_per_key = 10.0;
+  size_t level0_limit = 4;          // flushes before L0→L1 compaction
+  /// Blocks fetched per IO by scans and compactions (sequential access);
+  /// point reads always fetch exactly one block.
+  size_t scan_readahead_blocks = 32;
+  uint64_t level1_bytes = 10 * 1024 * 1024;
+  double size_ratio = 10.0;         // level i+1 / level i capacity
+  CompactionStyle style = CompactionStyle::kLeveled;
+  uint64_t base_offset = 0;         // device offset of the table arena
+};
+
+struct LsmStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t erases = 0;
+  uint64_t scans = 0;
+  uint64_t memtable_flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t compaction_bytes_in = 0;
+  uint64_t compaction_bytes_out = 0;
+  uint64_t bloom_negative = 0;  // table probes skipped by the filter
+  uint64_t table_probes = 0;    // tables consulted by point queries
+};
+
+class LsmTree {
+ public:
+  LsmTree(sim::Device& dev, sim::IoContext& io, LsmConfig config);
+  ~LsmTree();
+
+  LsmTree(const LsmTree&) = delete;
+  LsmTree& operator=(const LsmTree&) = delete;
+
+  void put(std::string_view key, std::string_view value);
+  void erase(std::string_view key);
+  std::optional<std::string> get(std::string_view key);
+
+  /// Up to `limit` live pairs with key >= lo, in key order, merged across
+  /// the memtable and every level (newest version wins).
+  std::vector<std::pair<std::string, std::string>> scan(std::string_view lo,
+                                                        size_t limit);
+
+  /// Force the memtable to disk (and any due compactions).
+  void flush();
+
+  /// Levels' table counts, for introspection ([0] = L0).
+  std::vector<size_t> level_table_counts() const;
+  uint64_t level_bytes(size_t level) const;
+  size_t level_count() const { return levels_.size(); }
+  const LsmStats& stats() const { return stats_; }
+  const LsmConfig& config() const { return config_; }
+  sim::IoContext& io() { return *io_; }
+
+  /// Invariants: levels 1+ sorted and non-overlapping; L0 ordered by
+  /// recency; all tables alive; per-table keys within [min,max].
+  void check_invariants() const;
+
+ private:
+  using Level = std::vector<SSTableRef>;  // L0: newest first; L1+: by key
+
+  void flush_memtable();
+  void maybe_compact();
+  void compact_level0();
+  void compact_level(size_t level);
+  /// Tiered: merge every run of `level` into level+1 wholesale.
+  void compact_tier(size_t level);
+  /// Merge `inputs` (newest first) into new tables, splitting at the
+  /// target size when `split_output` (leveled) or producing one table per
+  /// merge (tiered: a run is one table). `bottom` drops tombstones.
+  std::vector<SSTableRef> merge_tables(const std::vector<SSTableRef>& inputs,
+                                       bool bottom, bool split_output = true);
+  uint64_t level_capacity(size_t level) const;
+  void install_level1plus(size_t level, std::vector<SSTableRef> added,
+                          const std::vector<SSTableRef>& removed);
+
+  sim::Device* dev_;
+  sim::IoContext* io_;
+  LsmConfig config_;
+  blockdev::ByteArena arena_;
+  MemTable mem_;
+  std::vector<Level> levels_;
+  uint64_t next_sequence_ = 1;
+  size_t compact_cursor_ = 0;  // round-robin pick within a level
+  LsmStats stats_;
+};
+
+}  // namespace damkit::lsm

@@ -1,0 +1,228 @@
+#include "lsm/sstable.h"
+
+#include <algorithm>
+
+#include "kv/codec.h"
+#include "kv/slice.h"
+
+namespace damkit::lsm {
+
+namespace {
+
+void encode_entry(kv::Writer& w, const Entry& e) {
+  w.put_u8(e.tombstone ? 1 : 0);
+  w.put_u16(static_cast<uint16_t>(e.key.size()));
+  w.put_u32(static_cast<uint32_t>(e.value.size()));
+  w.put_bytes(e.key);
+  w.put_bytes(e.value);
+}
+
+Entry decode_entry(kv::Reader& r) {
+  Entry e;
+  e.tombstone = r.get_u8() != 0;
+  const uint16_t klen = r.get_u16();
+  const uint32_t vlen = r.get_u32();
+  e.key = r.get_bytes(klen);
+  e.value = r.get_bytes(vlen);
+  return e;
+}
+
+}  // namespace
+
+SSTableBuilder::SSTableBuilder(sim::Device& dev, sim::IoContext& io,
+                               blockdev::ByteArena& arena,
+                               uint64_t block_bytes, double bloom_bits_per_key,
+                               uint64_t sequence)
+    : dev_(&dev),
+      io_(&io),
+      arena_(&arena),
+      block_bytes_(block_bytes),
+      bloom_bits_(bloom_bits_per_key),
+      sequence_(sequence) {
+  DAMKIT_CHECK(block_bytes_ >= 256);
+}
+
+SSTableBuilder::~SSTableBuilder() = default;
+
+void SSTableBuilder::add(Entry entry) {
+  DAMKIT_CHECK(!finished_);
+  DAMKIT_CHECK_MSG(count_ == 0 || kv::compare(last_key_, entry.key) < 0,
+                   "SSTable keys must be strictly ascending");
+  if (count_ == 0) first_key_ = entry.key;
+  last_key_ = entry.key;
+
+  if (block_.empty()) {
+    index_.push_back(
+        {entry.key, data_.size(), 0, 0});
+  }
+  kv::Writer w(block_);
+  encode_entry(w, entry);
+  ++index_.back().entries;
+  keys_seen_.push_back(std::move(entry.key));
+  ++count_;
+  if (block_.size() >= block_bytes_) flush_block();
+}
+
+void SSTableBuilder::flush_block() {
+  if (block_.empty()) return;
+  index_.back().length = static_cast<uint32_t>(block_.size());
+  data_.insert(data_.end(), block_.begin(), block_.end());
+  block_.clear();
+}
+
+SSTableRef SSTableBuilder::finish() {
+  DAMKIT_CHECK(!finished_);
+  finished_ = true;
+  if (count_ == 0) return nullptr;
+  flush_block();
+
+  auto table = std::shared_ptr<SSTable>(new SSTable());
+  table->dev_ = dev_;
+  table->arena_ = arena_;
+  table->entry_count_ = count_;
+  table->sequence_ = sequence_;
+  table->min_key_ = std::move(first_key_);
+  table->max_key_ = std::move(last_key_);
+  table->data_bytes_ = data_.size();
+
+  table->bloom_ = BloomFilter(count_, bloom_bits_);
+  for (const auto& k : keys_seen_) table->bloom_.add(k);
+
+  table->index_.reserve(index_.size());
+  for (auto& ie : index_) {
+    table->index_.push_back(
+        {std::move(ie.first_key), ie.offset, ie.length, ie.entries});
+  }
+
+  // The written image includes the metadata footprint (index keys +
+  // bloom bits) so device bytes reflect the real storage cost, even
+  // though the handle keeps the metadata resident.
+  uint64_t meta_bytes = table->bloom_.byte_size();
+  for (const auto& ie : table->index_) {
+    meta_bytes += 16 + ie.first_key.size();
+  }
+  table->total_bytes_ = data_.size() + meta_bytes;
+
+  table->device_offset_ = arena_->allocate(table->total_bytes_);
+  // One streaming write: data payload followed by (opaque) metadata pad.
+  data_.resize(table->total_bytes_);
+  io_->write(table->device_offset_, data_);
+  return table;
+}
+
+SSTable::~SSTable() = default;
+
+void SSTable::release() const {
+  if (!released_ && arena_ != nullptr) {
+    arena_->free(device_offset_, total_bytes_);
+    released_ = true;
+  }
+}
+
+bool SSTable::overlaps(std::string_view lo, std::string_view hi) const {
+  return kv::compare(max_key_, lo) >= 0 && kv::compare(min_key_, hi) <= 0;
+}
+
+std::vector<Entry> SSTable::read_block(size_t block_idx,
+                                       sim::IoContext& io) const {
+  DAMKIT_CHECK(block_idx < index_.size());
+  DAMKIT_CHECK_MSG(!released_, "read from released SSTable");
+  const IndexEntry& ie = index_[block_idx];
+  std::vector<uint8_t> buf(ie.length);
+  io.read(device_offset_ + ie.offset, buf);
+  kv::Reader r(buf);
+  std::vector<Entry> entries;
+  entries.reserve(ie.entries);
+  for (uint32_t i = 0; i < ie.entries; ++i) entries.push_back(decode_entry(r));
+  return entries;
+}
+
+std::optional<Entry> SSTable::get(std::string_view key,
+                                  sim::IoContext& io) const {
+  if (kv::compare(key, min_key_) < 0 || kv::compare(key, max_key_) > 0) {
+    return std::nullopt;
+  }
+  if (!bloom_.may_contain(key)) return std::nullopt;
+  // Last block whose first key <= key.
+  const auto it = std::upper_bound(
+      index_.begin(), index_.end(), key,
+      [](std::string_view k, const IndexEntry& e) {
+        return kv::compare(k, e.first_key) < 0;
+      });
+  if (it == index_.begin()) return std::nullopt;
+  const size_t block_idx = static_cast<size_t>(it - index_.begin()) - 1;
+  const std::vector<Entry> entries = read_block(block_idx, io);
+  const auto pos = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const Entry& e, std::string_view k) {
+        return kv::compare(e.key, k) < 0;
+      });
+  if (pos == entries.end() || kv::compare(pos->key, key) != 0) {
+    return std::nullopt;
+  }
+  return *pos;
+}
+
+SSTable::Iterator::Iterator(const SSTable* table, sim::IoContext* io,
+                            std::string_view lo, size_t readahead_blocks)
+    : table_(table), io_(io), readahead_(std::max<size_t>(readahead_blocks, 1)) {
+  // First block that could contain keys >= lo.
+  const auto it = std::upper_bound(
+      table_->index_.begin(), table_->index_.end(), lo,
+      [](std::string_view k, const IndexEntry& e) {
+        return kv::compare(k, e.first_key) < 0;
+      });
+  const size_t block_idx =
+      (it == table_->index_.begin())
+          ? 0
+          : static_cast<size_t>(it - table_->index_.begin()) - 1;
+  load_blocks(block_idx);
+  // Skip entries below lo.
+  while (valid_ && kv::compare(current_.key, lo) < 0) next();
+}
+
+void SSTable::Iterator::load_blocks(size_t first_block) {
+  if (first_block >= table_->index_.size()) {
+    valid_ = false;
+    return;
+  }
+  DAMKIT_CHECK_MSG(!table_->released_, "read from released SSTable");
+  const size_t end =
+      std::min(first_block + readahead_, table_->index_.size());
+  // Blocks are contiguous in the image: one IO covers the whole run.
+  const IndexEntry& first = table_->index_[first_block];
+  const IndexEntry& last = table_->index_[end - 1];
+  const uint64_t run_bytes = last.offset + last.length - first.offset;
+  std::vector<uint8_t> buf(run_bytes);
+  io_->read(table_->device_offset_ + first.offset, buf);
+
+  entries_.clear();
+  kv::Reader r(buf);
+  for (size_t b = first_block; b < end; ++b) {
+    for (uint32_t i = 0; i < table_->index_[b].entries; ++i) {
+      entries_.push_back(decode_entry(r));
+    }
+  }
+  next_block_ = end;
+  pos_ = 0;
+  DAMKIT_CHECK(!entries_.empty());
+  current_ = entries_[0];
+  valid_ = true;
+}
+
+void SSTable::Iterator::next() {
+  DAMKIT_CHECK(valid_);
+  ++pos_;
+  if (pos_ < entries_.size()) {
+    current_ = entries_[pos_];
+    return;
+  }
+  load_blocks(next_block_);
+}
+
+SSTable::Iterator SSTable::seek(std::string_view lo, sim::IoContext& io,
+                                size_t readahead_blocks) const {
+  return Iterator(this, &io, lo, readahead_blocks);
+}
+
+}  // namespace damkit::lsm

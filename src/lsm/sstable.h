@@ -1,0 +1,169 @@
+// Immutable sorted string tables (SSTables) on a simulated device — the
+// LSM-tree's on-disk runs, modelled on LevelDB's format.
+//
+// On-device layout (one contiguous extent, written with a single
+// sequential IO — compactions stream):
+//
+//   [ data block 0 | data block 1 | ... | (index + bloom, not re-read) ]
+//
+// The per-block index (first key, offset, length) and the Bloom filter
+// are part of the written image but are kept resident in the in-memory
+// handle after the table is opened, as LevelDB does once a table is in
+// the table cache; point reads therefore cost one data-block IO.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blockdev/byte_arena.h"
+#include "sim/device.h"
+#include "util/bloom.h"
+
+namespace damkit::lsm {
+
+/// A key/value pair or a deletion marker inside a table.
+struct Entry {
+  std::string key;
+  std::string value;
+  bool tombstone = false;
+};
+
+class SSTable;
+using SSTableRef = std::shared_ptr<const SSTable>;
+
+/// Streams sorted entries into a new table image and writes it out.
+class SSTableBuilder {
+ public:
+  /// `sequence` orders tables by recency (larger = newer).
+  SSTableBuilder(sim::Device& dev, sim::IoContext& io,
+                 blockdev::ByteArena& arena, uint64_t block_bytes,
+                 double bloom_bits_per_key, uint64_t sequence);
+  ~SSTableBuilder();
+
+  /// Keys must arrive in strictly ascending order.
+  void add(Entry entry);
+
+  uint64_t entry_count() const { return count_; }
+  uint64_t data_bytes() const { return data_.size() + block_.size(); }
+
+  /// Write the table (one sequential device IO) and return its handle.
+  /// The builder must not be reused. Returns nullptr if no entries.
+  SSTableRef finish();
+
+ private:
+  void flush_block();
+
+  sim::Device* dev_;
+  sim::IoContext* io_;
+  blockdev::ByteArena* arena_;
+  uint64_t block_bytes_;
+  double bloom_bits_;
+  uint64_t sequence_;
+
+  std::vector<uint8_t> data_;    // completed blocks
+  std::vector<uint8_t> block_;   // current block under construction
+  struct IndexEntry {
+    std::string first_key;
+    uint64_t offset;  // within the table image
+    uint32_t length;
+    uint32_t entries;
+  };
+  std::vector<IndexEntry> index_;
+  std::vector<std::string> keys_seen_;  // for the bloom filter
+  std::string first_key_, last_key_;
+  uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// An open, immutable table. Thread-compatible (const after creation).
+class SSTable {
+ public:
+  ~SSTable();
+
+  uint64_t sequence() const { return sequence_; }
+  uint64_t entry_count() const { return entry_count_; }
+  uint64_t data_bytes() const { return data_bytes_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  const std::string& min_key() const { return min_key_; }
+  const std::string& max_key() const { return max_key_; }
+  size_t block_count() const { return index_.size(); }
+
+  /// True if [min_key, max_key] intersects [lo, hi] (inclusive bounds;
+  /// empty strings are not special).
+  bool overlaps(std::string_view lo, std::string_view hi) const;
+
+  /// Bloom-filter probe (no IO). False ⇒ the key is definitely absent.
+  bool may_contain(std::string_view key) const {
+    return bloom_.may_contain(key);
+  }
+
+  /// Point lookup. Consults the bloom filter first (no IO); on a maybe,
+  /// reads exactly one data block (charged to `io`). Returns nullopt if
+  /// the key is not in this table; a tombstone returns an Entry with
+  /// tombstone=true.
+  std::optional<Entry> get(std::string_view key, sim::IoContext& io) const;
+
+  /// Sequential cursor over entries with key >= lo. `readahead_blocks`
+  /// blocks are fetched per IO (1 = strict point granularity; scans and
+  /// compactions use larger runs — the affine model rewards exactly this).
+  class Iterator {
+   public:
+    bool valid() const { return valid_; }
+    const Entry& entry() const { return current_; }
+    void next();
+
+   private:
+    friend class SSTable;
+    Iterator(const SSTable* table, sim::IoContext* io, std::string_view lo,
+             size_t readahead_blocks);
+    void load_blocks(size_t first_block);
+
+    const SSTable* table_ = nullptr;
+    sim::IoContext* io_ = nullptr;
+    size_t readahead_ = 1;
+    size_t next_block_ = 0;       // first block not yet fetched
+    std::vector<Entry> entries_;  // decoded current run
+    size_t pos_ = 0;
+    Entry current_;
+    bool valid_ = false;
+  };
+  Iterator seek(std::string_view lo, sim::IoContext& io,
+                size_t readahead_blocks = 1) const;
+
+  /// Drop the table's device extent (called by the tree on obsolescence).
+  /// Lifecycle operation, allowed on const handles: the table's *data*
+  /// stays immutable; only its storage is reclaimed.
+  void release() const;
+
+ private:
+  friend class SSTableBuilder;
+  SSTable() = default;
+
+  /// Read + decode one data block (one device IO).
+  std::vector<Entry> read_block(size_t block_idx, sim::IoContext& io) const;
+
+  sim::Device* dev_ = nullptr;
+  blockdev::ByteArena* arena_ = nullptr;
+  uint64_t device_offset_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t data_bytes_ = 0;
+  uint64_t entry_count_ = 0;
+  uint64_t sequence_ = 0;
+  std::string min_key_, max_key_;
+
+  struct IndexEntry {
+    std::string first_key;
+    uint64_t offset;
+    uint32_t length;
+    uint32_t entries;
+  };
+  std::vector<IndexEntry> index_;
+  BloomFilter bloom_{0};
+  mutable bool released_ = false;
+};
+
+}  // namespace damkit::lsm

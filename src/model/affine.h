@@ -1,0 +1,53 @@
+// The affine IO model (§2.3): an IO of x bytes costs 1 + αx in normalized
+// units (the setup cost is 1), where α = t/s for hardware with setup cost
+// s seconds and transfer cost t seconds/byte. Most predictive of HDDs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace damkit::model {
+
+class AffineModel {
+ public:
+  /// Construct from the normalized bandwidth cost α (0 < α ≤ 1 expected
+  /// for storage; the model itself only needs α > 0).
+  explicit AffineModel(double alpha) : alpha_(alpha), setup_s_(1.0) {
+    DAMKIT_CHECK(alpha > 0.0);
+  }
+
+  /// Construct from physical parameters: setup `s` seconds and transfer
+  /// `t` seconds/byte; α = t/s.
+  AffineModel(double setup_s, double t_s_per_byte)
+      : alpha_(t_s_per_byte / setup_s), setup_s_(setup_s) {
+    DAMKIT_CHECK(setup_s > 0.0 && t_s_per_byte > 0.0);
+  }
+
+  double alpha() const { return alpha_; }
+  double setup_seconds() const { return setup_s_; }
+  double transfer_seconds_per_byte() const { return alpha_ * setup_s_; }
+
+  /// Normalized cost of one IO of `bytes` bytes: 1 + α·bytes.
+  double io_cost(double bytes) const { return 1.0 + alpha_ * bytes; }
+
+  /// Physical seconds for one IO of `bytes` bytes.
+  double io_seconds(double bytes) const { return setup_s_ * io_cost(bytes); }
+
+  /// The half-bandwidth point: the IO size where setup and transfer cost
+  /// are equal (cost 2). Lemma 1: a DAM with B = 1/α is within 2x of the
+  /// affine model in both directions.
+  double half_bandwidth_bytes() const { return 1.0 / alpha_; }
+
+  /// Lemma 1, forward direction: upper bound on the DAM cost (blocks of
+  /// size 1/α) of an affine algorithm with cost `affine_cost`.
+  double dam_cost_upper_bound(double affine_cost) const {
+    return 2.0 * affine_cost;
+  }
+
+ private:
+  double alpha_;
+  double setup_s_;
+};
+
+}  // namespace damkit::model

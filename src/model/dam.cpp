@@ -1,0 +1,6 @@
+#include "model/dam.h"
+
+// DamModel is header-only; this TU exists so the target has a stable
+// archive member per public header.
+
+namespace damkit::model {}  // namespace damkit::model

@@ -1,0 +1,41 @@
+// The Disk-Access Machine (DAM) model of Aggarwal–Vitter: data moves in
+// blocks of size B at unit cost per block; performance is the block count.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace damkit::model {
+
+class DamModel {
+ public:
+  explicit DamModel(uint64_t block_bytes) : block_bytes_(block_bytes) {
+    DAMKIT_CHECK(block_bytes_ > 0);
+  }
+
+  uint64_t block_bytes() const { return block_bytes_; }
+
+  /// Number of block transfers to move `bytes` contiguous bytes.
+  uint64_t ios_for(uint64_t bytes) const {
+    return damkit::ceil_div(bytes, block_bytes_);
+  }
+
+  /// DAM cost of an algorithm that performs `ios` block transfers: the DAM
+  /// counts IOs and nothing else.
+  double cost(uint64_t ios) const { return static_cast<double>(ios); }
+
+  /// Predicted wall-clock seconds for `ios` transfers on hardware with
+  /// setup cost `s` seconds and bandwidth cost `t` seconds/byte, under the
+  /// DAM assumption that every IO moves exactly one block.
+  double predicted_seconds(uint64_t ios, double s, double t) const {
+    return static_cast<double>(ios) *
+           (s + t * static_cast<double>(block_bytes_));
+  }
+
+ private:
+  uint64_t block_bytes_;
+};
+
+}  // namespace damkit::model

@@ -1,0 +1,64 @@
+#include "model/optimize.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace damkit::model {
+
+double minimize_golden(const std::function<double(double)>& f, double lo,
+                       double hi, double tol) {
+  DAMKIT_CHECK(lo < hi);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/φ
+  double a = lo, b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c), fd = f(d);
+  while (b - a > tol * (1.0 + std::abs(a) + std::abs(b))) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+uint64_t minimize_over(const std::function<double(uint64_t)>& f,
+                       const std::vector<uint64_t>& candidates) {
+  DAMKIT_CHECK(!candidates.empty());
+  uint64_t best = candidates.front();
+  double best_val = f(best);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    const double v = f(candidates[i]);
+    if (v < best_val) {
+      best_val = v;
+      best = candidates[i];
+    }
+  }
+  return best;
+}
+
+std::vector<uint64_t> geometric_ladder(uint64_t lo, uint64_t hi, double ratio) {
+  DAMKIT_CHECK(lo > 0 && lo <= hi);
+  DAMKIT_CHECK(ratio > 1.0);
+  std::vector<uint64_t> out;
+  double x = static_cast<double>(lo);
+  while (x <= static_cast<double>(hi) * (1.0 + 1e-12)) {
+    const auto v = static_cast<uint64_t>(std::llround(x));
+    if (out.empty() || v != out.back()) out.push_back(v);
+    x *= ratio;
+  }
+  if (out.empty() || out.back() != hi) out.push_back(hi);
+  return out;
+}
+
+}  // namespace damkit::model

@@ -1,0 +1,25 @@
+// Small numeric optimizers used to find optimal node sizes and fanouts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace damkit::model {
+
+/// Golden-section search minimizing a unimodal `f` on [lo, hi] to within
+/// absolute x-tolerance `tol`. Returns the minimizing x.
+double minimize_golden(const std::function<double(double)>& f, double lo,
+                       double hi, double tol = 1e-9);
+
+/// Exhaustive minimum over an explicit candidate list; returns the
+/// minimizing candidate (useful for integral node sizes / powers of two).
+/// Candidates must be non-empty.
+uint64_t minimize_over(const std::function<double(uint64_t)>& f,
+                       const std::vector<uint64_t>& candidates);
+
+/// Geometric candidate ladder: lo, lo·ratio, ... up to hi (inclusive-ish),
+/// rounded to integers, deduplicated.
+std::vector<uint64_t> geometric_ladder(uint64_t lo, uint64_t hi, double ratio);
+
+}  // namespace damkit::model

@@ -1,0 +1,42 @@
+#include "model/pdam.h"
+
+#include <cmath>
+
+namespace damkit::model {
+
+double PdamModel::veb_btree_throughput(double k, double n_items) const {
+  DAMKIT_CHECK(k > 0.0 && k <= p_ + 1e-9);
+  DAMKIT_CHECK(n_items > 2.0);
+  // Each client gets P/k block slots per step; with the node's blocks in
+  // van Emde Boas order a client descends log(PB/k) bits of the node's
+  // height per step, so a root-to-leaf path of log(N) bits takes
+  // log_{PB/k}(N) steps. k queries complete per wave.
+  const double node_fetch = p_ / k * static_cast<double>(block_bytes_);
+  const double base = std::max(node_fetch, 2.0);
+  return k / (std::log(n_items) / std::log(base));
+}
+
+double PdamModel::small_node_throughput(double k, double n_items) const {
+  DAMKIT_CHECK(k > 0.0);
+  DAMKIT_CHECK(n_items > 2.0);
+  const double base = std::max(static_cast<double>(block_bytes_), 2.0);
+  const double steps_per_query = std::log(n_items) / std::log(base);
+  // The device serves min(k, P) block IOs per step; each query consumes one
+  // per step of its root-to-leaf walk.
+  return std::min(k, p_) / steps_per_query;
+}
+
+double PdamModel::big_plain_node_throughput(double k, double n_items) const {
+  DAMKIT_CHECK(k > 0.0);
+  DAMKIT_CHECK(n_items > 2.0);
+  const double node_bytes = p_ * static_cast<double>(block_bytes_);
+  const double base = std::max(node_bytes, 2.0);
+  const double levels = std::log(n_items) / std::log(base);
+  // Loading one full node takes P block-slots = one step if a single client
+  // owns the device, but k clients must share: k·P slots per level wave
+  // over P slots/step = k steps per level.
+  const double steps_per_wave = std::max(k, 1.0) * levels;
+  return k / steps_per_wave;
+}
+
+}  // namespace damkit::model

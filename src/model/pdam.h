@@ -1,0 +1,74 @@
+// The PDAM model (§2.2, Definition 1): in each time step the device serves
+// up to P IOs of size B; unused slots are wasted. Performance is measured
+// in time steps. Most predictive of SSDs and NVMe devices.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace damkit::model {
+
+class PdamModel {
+ public:
+  PdamModel(double parallelism, uint64_t block_bytes, double step_seconds = 1.0)
+      : p_(parallelism), block_bytes_(block_bytes), step_s_(step_seconds) {
+    DAMKIT_CHECK(parallelism > 0.0);
+    DAMKIT_CHECK(block_bytes > 0);
+    DAMKIT_CHECK(step_seconds > 0.0);
+  }
+
+  double parallelism() const { return p_; }
+  uint64_t block_bytes() const { return block_bytes_; }
+  double step_seconds() const { return step_s_; }
+
+  /// Saturated device bandwidth in bytes per second: P·B per step.
+  double saturated_bps() const {
+    return p_ * static_cast<double>(block_bytes_) / step_s_;
+  }
+
+  /// Time steps for `total_ios` independent block IOs issued by `clients`
+  /// concurrent threads, each keeping one IO outstanding: the device
+  /// serves min(clients, P) per step.
+  double steps_for(uint64_t total_ios, double clients) const {
+    DAMKIT_CHECK(clients > 0.0);
+    const double served_per_step = std::min(clients, p_);
+    return static_cast<double>(total_ios) / served_per_step;
+  }
+
+  /// Predicted seconds for the §4.1 experiment: `clients` threads, each
+  /// performing `ios_per_client` random reads of one block, closed loop.
+  double predicted_seconds(double clients, uint64_t ios_per_client) const {
+    return steps_for(ios_per_client * static_cast<uint64_t>(clients), clients) *
+           step_s_;
+  }
+
+  /// DAM prediction of the same experiment (P ignored: one IO per step).
+  double dam_predicted_seconds(double clients, uint64_t ios_per_client) const {
+    return static_cast<double>(ios_per_client) * clients * step_s_;
+  }
+
+  /// Lemma 13: query throughput (queries per step) of a B-tree with nodes
+  /// of size P·B in van Emde Boas layout serving k ≤ P concurrent clients
+  /// over N items: Ω(k / log_{PB/k}(N)).
+  double veb_btree_throughput(double k, double n_items) const;
+
+  /// Throughput of the fixed-node-size alternatives Lemma 13 improves on:
+  /// small nodes (size B, sequential root-to-leaf, k clients):
+  ///   k / log_B(N)  per step.
+  double small_node_throughput(double k, double n_items) const;
+  /// big nodes (size PB) *without* vEB internal structure: a client must
+  /// fetch all P blocks of a node level by level; with k clients sharing P
+  /// slots, each node takes ceil(kP/P)=k steps of blocked transfer — big
+  /// plain nodes serve k clients in k·log_{PB}(N) steps per query wave.
+  double big_plain_node_throughput(double k, double n_items) const;
+
+ private:
+  double p_;
+  uint64_t block_bytes_;
+  double step_s_;
+};
+
+}  // namespace damkit::model

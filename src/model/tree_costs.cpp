@@ -1,0 +1,88 @@
+#include "model/tree_costs.h"
+
+#include "model/optimize.h"
+
+namespace damkit::model {
+
+double btree_op_cost(const TreeParams& p, double b) {
+  DAMKIT_CHECK(b > 1.0);
+  return (1.0 + p.alpha * b) * p.levels_uncached(b + 1.0);
+}
+
+double btree_range_cost(const TreeParams& p, double b, double ell) {
+  DAMKIT_CHECK(b > 1.0 && ell >= 0.0);
+  const double leaf_ios = std::ceil(ell / b);
+  return leaf_ios * (1.0 + p.alpha * b);
+}
+
+double btree_write_amp(double b) { return b; }
+
+double betree_insert_cost(const TreeParams& p, double b, double f) {
+  DAMKIT_CHECK(b > 1.0 && f > 1.0 && f <= b);
+  return (f / b + p.alpha * f) * p.levels_uncached(f);
+}
+
+double betree_query_cost_naive(const TreeParams& p, double b, double f) {
+  DAMKIT_CHECK(b > 1.0 && f > 1.0 && f <= b);
+  return (1.0 + p.alpha * b) * p.levels_uncached(f);
+}
+
+double betree_range_cost(const TreeParams& p, double b, double ell) {
+  DAMKIT_CHECK(b > 1.0 && ell >= 0.0);
+  return std::ceil(ell / b) * (1.0 + p.alpha * b);
+}
+
+double betree_write_amp(const TreeParams& p, double b, double f) {
+  DAMKIT_CHECK(b > 1.0 && f > 1.0 && f <= b);
+  // Each element is rewritten O(F) times per level it descends (the node
+  // and its F children are rewritten to move B elements down one level).
+  return f * p.levels_uncached(f);
+}
+
+double betree_query_cost_optimized(const TreeParams& p, double b, double f) {
+  DAMKIT_CHECK(b > 1.0 && f > 1.0 && f <= b);
+  const double log_f = std::log(f);
+  return (1.0 + p.alpha * b / f + p.alpha * f) * p.levels_uncached(f) *
+         (1.0 + 1.0 / log_f);
+}
+
+double bhalf_tree_insert_cost(const TreeParams& p, double b) {
+  return betree_insert_cost(p, b, std::sqrt(b));
+}
+
+double bhalf_tree_query_cost(const TreeParams& p, double b) {
+  return betree_query_cost_optimized(p, b, std::sqrt(b));
+}
+
+double half_bandwidth_node_size(double alpha) {
+  DAMKIT_CHECK(alpha > 0.0);
+  return 1.0 / alpha;
+}
+
+double optimal_btree_node_size(double alpha) {
+  DAMKIT_CHECK(alpha > 0.0 && alpha < 1.0);
+  // Minimize f(x) = (1 + αx)/ln(x + 1). Unimodal for x in (0, ∞); use
+  // golden-section on a bracket that certainly contains the optimum:
+  // the optimum is below the half-bandwidth point 1/α and above 2.
+  const auto f = [alpha](double x) {
+    return (1.0 + alpha * x) / std::log(x + 1.0);
+  };
+  return minimize_golden(f, 2.0, 4.0 / alpha, 1e-10);
+}
+
+OptimalBetreeChoice optimal_betree_choice(double alpha) {
+  DAMKIT_CHECK(alpha > 0.0 && alpha < 0.5);
+  const double f = 1.0 / (alpha * std::log(1.0 / alpha));
+  return {f, f * f};
+}
+
+double corollary12_insert_speedup(const TreeParams& p) {
+  const double b_btree = optimal_btree_node_size(p.alpha);
+  const OptimalBetreeChoice c = optimal_betree_choice(p.alpha);
+  const double btree_insert = btree_op_cost(p, b_btree);
+  const double be_insert = betree_insert_cost(p, c.node_size, c.fanout);
+  DAMKIT_CHECK(be_insert > 0.0);
+  return btree_insert / be_insert;
+}
+
+}  // namespace damkit::model

@@ -1,0 +1,102 @@
+// Affine-model cost formulas for B-trees and Bε-trees — the analytical
+// heart of §5 and §6 (Table 3, Lemmas 5 & 8, Theorem 9).
+//
+// Conventions: B and F are in *elements* of unit size (the paper treats a
+// word/element as the unit; to apply to byte-sized nodes divide by the
+// entry size). Costs are per operation, in normalized affine units where
+// one IO setup costs 1. Logarithms are natural unless a base is explicit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace damkit::model {
+
+/// Parameters shared by all formulas.
+struct TreeParams {
+  double alpha = 1e-4;  // normalized bandwidth cost (affine model)
+  double n = 1e9;       // total elements in the dictionary
+  double m = 1e6;       // elements that fit in cache
+  double levels_uncached(double fanout) const {
+    DAMKIT_CHECK(fanout > 1.0);
+    DAMKIT_CHECK(n > m && m >= 1.0);
+    return std::log(n / m) / std::log(fanout);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// B-tree (§5, Lemma 5 / Table 3 row 1).
+// ---------------------------------------------------------------------------
+
+/// Affine cost of a point query / insert / delete in a B-tree with size-B
+/// nodes: (1 + αB)·log_{B+1}(N/M).
+double btree_op_cost(const TreeParams& p, double b);
+
+/// Affine cost of a range query returning `ell` elements (excluding the
+/// initial point query): ceil(ell/B) leaf IOs of cost (1 + αB) each.
+double btree_range_cost(const TreeParams& p, double b, double ell);
+
+/// Worst-case write amplification of a B-tree with size-B nodes: Θ(B)
+/// (Lemma 3). Returned as exactly B — constants of the folklore bound.
+double btree_write_amp(double b);
+
+// ---------------------------------------------------------------------------
+// Bε-tree, naive whole-node IOs (§6, Lemma 8 / Table 3 row 3 insert).
+// ---------------------------------------------------------------------------
+
+/// Amortized affine insert cost with node size B and fanout F:
+/// (F/B + αF)·log_F(N/M).
+double betree_insert_cost(const TreeParams& p, double b, double f);
+
+/// Affine point-query cost reading whole nodes: (1 + αB)·log_F(N/M).
+double betree_query_cost_naive(const TreeParams& p, double b, double f);
+
+/// Affine range-query cost returning `ell` elements (excluding the point
+/// query): ceil(ell/B)·(1 + αB).
+double betree_range_cost(const TreeParams& p, double b, double ell);
+
+/// Write amplification: O(F·log_F(N/M)) data written per element flushed
+/// down each level (Theorem 4 restated for the affine analysis in §6).
+double betree_write_amp(const TreeParams& p, double b, double f);
+
+// ---------------------------------------------------------------------------
+// Optimized Bε-tree (Theorem 9): per-child contiguous buffer segments of at
+// most B/F elements, pivots stored in the parent, weight-balanced fanout.
+// ---------------------------------------------------------------------------
+
+/// Query cost with sub-node IOs: (1 + αB/F + αF)·log_F(N/M)·(1 + 1/log F).
+double betree_query_cost_optimized(const TreeParams& p, double b, double f);
+
+/// Table 3 row 2 (the B^{1/2}-tree): costs with F = sqrt(B).
+double bhalf_tree_insert_cost(const TreeParams& p, double b);
+double bhalf_tree_query_cost(const TreeParams& p, double b);
+
+// ---------------------------------------------------------------------------
+// Optimal parameter choices (§5 Corollaries 6–7, §6 Corollaries 11–12).
+// ---------------------------------------------------------------------------
+
+/// Corollary 6: node size optimizing all B-tree ops to within constant
+/// factors — the half-bandwidth point 1/α.
+double half_bandwidth_node_size(double alpha);
+
+/// Corollary 7: the node size minimizing (1 + αx)/ln(x + 1), i.e. the
+/// point-query/insert optimum Θ(1/(α·ln(1/α))). Solved numerically to
+/// machine precision (Newton on the stationarity condition).
+double optimal_btree_node_size(double alpha);
+
+/// Corollary 12: fanout F = 1/(α·ln(1/α)) and node size B = F² giving a
+/// Bε-tree whose query cost matches the optimal B-tree up to lower-order
+/// terms while inserts are Θ(log(1/α)) faster.
+struct OptimalBetreeChoice {
+  double fanout;
+  double node_size;
+};
+OptimalBetreeChoice optimal_betree_choice(double alpha);
+
+/// Insert speedup of the Corollary-12 Bε-tree over the optimal B-tree
+/// (should be Θ(log(1/α))).
+double corollary12_insert_speedup(const TreeParams& p);
+
+}  // namespace damkit::model

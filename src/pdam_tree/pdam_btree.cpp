@@ -1,0 +1,185 @@
+#include "pdam_tree/pdam_btree.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "pdam_tree/veb_layout.h"
+
+namespace damkit::pdam_tree {
+
+PdamBTree::PdamBTree(std::vector<uint64_t> sorted_keys, PdamTreeConfig config)
+    : keys_(std::move(sorted_keys)), config_(config) {
+  DAMKIT_CHECK(!keys_.empty());
+  DAMKIT_CHECK(std::is_sorted(keys_.begin(), keys_.end()));
+  DAMKIT_CHECK(config_.parallelism >= 1);
+  DAMKIT_CHECK(config_.block_bytes >= config_.slot_bytes);
+
+  global_height_ = 1;
+  while ((1ULL << global_height_) < keys_.size()) ++global_height_;
+
+  slots_per_block_ = config_.block_bytes / config_.slot_bytes;
+  const uint64_t node_slots =
+      static_cast<uint64_t>(config_.parallelism) * slots_per_block_;
+  // Largest complete pivot tree fitting in a PB node: 2^h - 1 <= node_slots.
+  node_height_ = 63 - std::countl_zero(node_slots + 1);
+  node_height_ = std::max(node_height_, 1);
+  node_height_ = std::min(node_height_, global_height_);
+  node_blocks_ =
+      ((1ULL << node_height_) - 1 + slots_per_block_ - 1) / slots_per_block_;
+
+  // Precompute layout tables for every node height that occurs: the full
+  // height and, if H is not a multiple of h, the bottom remainder.
+  layout_by_height_.resize(static_cast<size_t>(node_height_) + 1);
+  auto build = [&](int h) {
+    if (h >= 1 && layout_by_height_[static_cast<size_t>(h)].empty()) {
+      layout_by_height_[static_cast<size_t>(h)] =
+          (config_.layout == NodeLayout::kVeb) ? veb_positions(h)
+                                               : bfs_positions(h);
+    }
+  };
+  build(node_height_);
+  const int rem = global_height_ % node_height_;
+  if (rem != 0) build(rem);
+}
+
+uint64_t PdamBTree::pivot(uint64_t g, int d) const {
+  // Node g at depth d covers padded leaves [(g - 2^d)·2^(H-d), +2^(H-d)).
+  const uint64_t span = 1ULL << (global_height_ - d);
+  const uint64_t start = (g - (1ULL << d)) * span;
+  return key_at(start + span / 2 - 1);
+}
+
+uint64_t PdamBTree::lower_bound(uint64_t key) const {
+  uint64_t g = 1;
+  for (int d = 0; d < global_height_; ++d) {
+    g = (key <= pivot(g, d)) ? 2 * g : 2 * g + 1;
+  }
+  return g - (1ULL << global_height_);
+}
+
+uint64_t PdamBTree::block_of_local(uint64_t l, int h) const {
+  const auto& table = layout_by_height_[static_cast<size_t>(h)];
+  return table[l - 1] / slots_per_block_;
+}
+
+PdamBTree::RunResult PdamBTree::run_queries(int k, uint64_t queries_per_client,
+                                            uint64_t seed) const {
+  DAMKIT_CHECK(k >= 1);
+  struct Client {
+    uint64_t remaining;     // queries left (including the active one)
+    bool active = false;    // a query is in flight
+    uint64_t key = 0;
+    uint64_t g = 1;         // global BST position
+    int depth = 0;
+    uint64_t node_root = 1;  // global index of the current PB-node's root
+    uint64_t local = 1;      // local BFS position within the node
+    int local_height = 0;    // pivot levels in the current node
+    std::vector<bool> fetched;  // blocks of the current node in cache
+    Rng rng{0};
+  };
+
+  const int full_h = node_height_;
+  auto node_height_at = [&](int depth) {
+    return std::min(full_h, global_height_ - depth);
+  };
+
+  std::vector<Client> clients(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    auto& c = clients[static_cast<size_t>(i)];
+    c.remaining = queries_per_client;
+    c.rng.reseed(seed + static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
+    c.fetched.assign(node_blocks_, false);
+  }
+
+  RunResult result;
+  const int p = config_.parallelism;
+  uint64_t rotate = 0;
+
+  auto start_query = [&](Client& c) {
+    c.active = true;
+    c.key = c.rng.next();
+    c.g = 1;
+    c.depth = 0;
+    c.node_root = 1;
+    c.local = 1;
+    c.local_height = node_height_at(0);
+    std::fill(c.fetched.begin(), c.fetched.end(), false);
+  };
+
+  bool any = false;
+  for (auto& c : clients) {
+    if (c.remaining > 0) {
+      start_query(c);
+      any = true;
+    }
+  }
+
+  while (any) {
+    ++result.steps;
+    // Distribute P slots: floor(P/k) each, remainder rotating.
+    const int base = p / k;
+    const int extra = p % k;
+    for (int i = 0; i < k; ++i) {
+      Client& c = clients[static_cast<size_t>(i)];
+      if (!c.active) continue;
+      int budget = base + ((static_cast<uint64_t>(i) + rotate) %
+                               static_cast<uint64_t>(k) <
+                           static_cast<uint64_t>(extra)
+                               ? 1
+                               : 0);
+      bool fetched_this_step = false;
+
+      for (;;) {
+        if (c.depth == global_height_) {
+          // Query answered; immediately start the next one (closed loop),
+          // but its first block waits for a future step.
+          ++result.queries;
+          --c.remaining;
+          c.active = false;
+          if (c.remaining > 0) start_query(c);
+          break;
+        }
+        const uint64_t b = block_of_local(c.local, c.local_height);
+        if (!c.fetched[b]) {
+          if (fetched_this_step || budget == 0) break;  // wait for next step
+          // One contiguous read-ahead run per step: [b, b + budget).
+          const uint64_t blocks_in_node =
+              ((1ULL << c.local_height) - 1 + slots_per_block_ - 1) /
+              slots_per_block_;
+          const uint64_t end =
+              std::min(b + static_cast<uint64_t>(budget), blocks_in_node);
+          for (uint64_t j = b; j < end; ++j) c.fetched[j] = true;
+          fetched_this_step = true;
+          ++result.block_fetch_runs;
+        }
+        // Compare and descend one level.
+        c.g = (c.key <= pivot(c.g, c.depth)) ? 2 * c.g : 2 * c.g + 1;
+        ++c.depth;
+        const int local_depth =
+            63 - std::countl_zero(c.local);  // depth of local within node
+        if (local_depth + 1 == c.local_height) {
+          // Leaving this PB-node: the global position we just arrived at
+          // is the root of the child node one level of nodes down.
+          c.node_root = c.g;
+          c.local = 1;
+          c.local_height = node_height_at(c.depth);
+          std::fill(c.fetched.begin(), c.fetched.end(), false);
+        } else {
+          c.local = (c.g & 1ULL) ? 2 * c.local + 1 : 2 * c.local;
+        }
+      }
+    }
+    ++rotate;
+    any = false;
+    for (auto& c : clients) {
+      if (c.active) {
+        any = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace damkit::pdam_tree

@@ -1,0 +1,60 @@
+#include "pdam_tree/veb_layout.h"
+
+#include "util/status.h"
+
+namespace damkit::pdam_tree {
+
+namespace {
+
+// Assign vEB positions for the height-`h` subtree whose root has BFS index
+// `root` *in the full tree*. `next` is the next free storage slot.
+void assign(std::vector<uint32_t>& pos, uint64_t root, int h, uint32_t& next) {
+  if (h == 1) {
+    pos[root - 1] = next++;
+    return;
+  }
+  const int top = h / 2;        // height of the top tree
+  const int bottom = h - top;   // height of each bottom tree
+  assign(pos, root, top, next);
+  // Bottom-tree roots are the 2^top descendants of `root` at depth `top`.
+  const uint64_t first = root << top;
+  const uint64_t count = 1ULL << top;
+  for (uint64_t i = 0; i < count; ++i) {
+    assign(pos, first + i, bottom, next);
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> veb_positions(int height) {
+  DAMKIT_CHECK(height >= 1 && height <= 30);
+  const uint64_t nodes = (1ULL << height) - 1;
+  std::vector<uint32_t> pos(nodes);
+  uint32_t next = 0;
+
+  // The recursion above assigns positions for the subtree rooted at BFS 1
+  // of height `height`, but descendants' BFS indices used inside must be
+  // relative to the *full* tree: with root = 1 they coincide. However the
+  // bottom-tree recursion computes descendant indices by shifting the
+  // subtree root, which is only correct when every recursive call's tree
+  // is indexed by full-tree BFS numbers — true here because shifting a
+  // node's index left by d and adding an offset yields exactly its depth-d
+  // descendants in the same tree.
+  //
+  // One subtlety: for bottom subtrees, nodes *within* the subtree are not
+  // contiguous in full-tree BFS numbering, so we recurse with full-tree
+  // indices throughout and never assume contiguity.
+  assign(pos, 1, height, next);
+  DAMKIT_CHECK(next == nodes);
+  return pos;
+}
+
+std::vector<uint32_t> bfs_positions(int height) {
+  DAMKIT_CHECK(height >= 1 && height <= 30);
+  const uint64_t nodes = (1ULL << height) - 1;
+  std::vector<uint32_t> pos(nodes);
+  for (uint64_t i = 0; i < nodes; ++i) pos[i] = static_cast<uint32_t>(i);
+  return pos;
+}
+
+}  // namespace damkit::pdam_tree

@@ -1,0 +1,24 @@
+// van Emde Boas layout for complete binary trees.
+//
+// The vEB order stores the top half-height subtree first, then each
+// bottom subtree contiguously, recursively. Its defining property — any
+// root-to-leaf path touches O(log_m n) contiguous runs of size m — is
+// what lets the §8 PDAM B-tree adapt to any read-ahead window: a client
+// granted m blocks per time step descends ~log2(m·slots_per_block) levels
+// per fetch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace damkit::pdam_tree {
+
+/// Positions for a complete binary tree of height `height` (2^height - 1
+/// nodes, 1-based BFS indices). Returns pos such that pos[bfs - 1] is the
+/// storage slot (0-based) of BFS node `bfs` in vEB order.
+std::vector<uint32_t> veb_positions(int height);
+
+/// Identity (level-order / BFS) layout, the comparison baseline.
+std::vector<uint32_t> bfs_positions(int height);
+
+}  // namespace damkit::pdam_tree

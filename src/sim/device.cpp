@@ -1,0 +1,10 @@
+#include "sim/device.h"
+
+// Device is header-only apart from the destructor; keeping one
+// out-of-line definition pins the vtable to this translation unit.
+
+namespace damkit::sim {
+
+Device::~Device() = default;
+
+}  // namespace damkit::sim

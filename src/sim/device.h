@@ -1,0 +1,189 @@
+// Simulated storage device interface.
+//
+// damkit separates *timing* from *data*: a Device computes, in simulated
+// nanoseconds, when an IO submitted at time `now` completes (modelling
+// seeks, rotation, die parallelism, bus contention, queueing), while the
+// payload bytes live in a sparse in-memory store and are read/written
+// synchronously. All experiment "seconds" are simulated device time, so
+// results are deterministic and independent of host speed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "sim/memstore.h"
+#include "util/status.h"
+
+namespace damkit::sim {
+
+/// Simulated time in nanoseconds since device power-on.
+using SimTime = uint64_t;
+
+inline constexpr SimTime kNsPerUs = 1000;
+inline constexpr SimTime kNsPerMs = 1000 * kNsPerUs;
+inline constexpr SimTime kNsPerSec = 1000 * kNsPerMs;
+
+inline double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+inline SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kNsPerSec));
+}
+
+enum class IoKind : uint8_t { kRead, kWrite };
+
+/// A single device IO: a contiguous byte range.
+struct IoRequest {
+  IoKind kind = IoKind::kRead;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// When a submitted IO started service and when it completed.
+struct IoCompletion {
+  SimTime start = 0;   // service start (>= submission time; queueing included)
+  SimTime finish = 0;  // completion time
+  SimTime latency(SimTime submitted) const { return finish - submitted; }
+};
+
+/// Cumulative IO accounting, cheap enough to keep always-on. The
+/// write-amplification experiments read `bytes_written` directly.
+struct DeviceStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  SimTime busy_time = 0;  // total device-busy nanoseconds
+
+  void clear() { *this = DeviceStats{}; }
+};
+
+/// Abstract simulated block device.
+///
+/// Timing contract: submissions must arrive in nondecreasing `now` order
+/// (the closed-loop driver and single-threaded IoContext guarantee this).
+/// Devices may queue: `IoCompletion.start` can exceed `now`.
+class Device {
+ public:
+  explicit Device(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes), store_(capacity_bytes) {}
+  virtual ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Model name, e.g. "1 TB WD Black (2011)".
+  virtual std::string name() const = 0;
+
+  /// Compute service timing for `req` submitted at `now`, updating internal
+  /// mechanical/electrical state. Does not touch payload bytes.
+  virtual IoCompletion submit(const IoRequest& req, SimTime now) = 0;
+
+  uint64_t capacity_bytes() const { return capacity_; }
+
+  /// Host memory held by the sparse backing store (written, untrimmed
+  /// pages) — not a simulated quantity.
+  uint64_t resident_host_bytes() const { return store_.resident_bytes(); }
+
+  const DeviceStats& stats() const { return stats_; }
+  void clear_stats() { stats_.clear(); }
+
+  /// Stream every served IO into `trace` (nullptr stops recording). The
+  /// trace must outlive the recording window.
+  void set_trace(class IoTrace* trace) { trace_ = trace; }
+
+  /// TRIM/deallocate: the range's contents are dropped (read back as
+  /// zero) and host memory released. No timing charge — discard commands
+  /// are queue-asynchronous on real devices.
+  void trim(uint64_t offset, uint64_t length) {
+    store_.discard(offset, length);
+  }
+
+  /// Payload access (synchronous; timing handled by submit()).
+  void read_bytes(uint64_t offset, std::span<uint8_t> out) {
+    store_.read(offset, out);
+  }
+  void write_bytes(uint64_t offset, std::span<const uint8_t> data) {
+    store_.write(offset, data);
+  }
+
+  /// Convenience: timing + payload in one call.
+  IoCompletion read(uint64_t offset, std::span<uint8_t> out, SimTime now) {
+    const IoCompletion c = submit({IoKind::kRead, offset, out.size()}, now);
+    store_.read(offset, out);
+    return c;
+  }
+  IoCompletion write(uint64_t offset, std::span<const uint8_t> data,
+                     SimTime now) {
+    const IoCompletion c = submit({IoKind::kWrite, offset, data.size()}, now);
+    store_.write(offset, data);
+    return c;
+  }
+
+ protected:
+  void account(const IoRequest& req, const IoCompletion& c) {
+    if (req.kind == IoKind::kRead) {
+      ++stats_.reads;
+      stats_.bytes_read += req.length;
+    } else {
+      ++stats_.writes;
+      stats_.bytes_written += req.length;
+    }
+    stats_.busy_time += c.finish - c.start;
+    if (trace_ != nullptr) record_trace(req, c);
+  }
+
+  /// Out-of-line so this header need not see IoTrace's definition.
+  void record_trace(const IoRequest& req, const IoCompletion& c);
+
+  void check_bounds(const IoRequest& req) const {
+    DAMKIT_CHECK_MSG(req.length > 0, "zero-length IO");
+    DAMKIT_CHECK_MSG(req.offset + req.length <= capacity_,
+                     "IO past device end: off=" << req.offset
+                                                << " len=" << req.length
+                                                << " cap=" << capacity_);
+  }
+
+  uint64_t capacity_;
+  DeviceStats stats_;
+  MemStore store_;
+  class IoTrace* trace_ = nullptr;
+};
+
+/// Tracks one logical client's simulated clock against a device. All
+/// single-threaded data structures perform IO through an IoContext so the
+/// "wall-clock" they experience includes every device delay.
+class IoContext {
+ public:
+  explicit IoContext(Device& dev) : dev_(&dev) {}
+
+  SimTime now() const { return now_; }
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+  /// Charge pure CPU time (rarely used; IO dominates in these experiments).
+  void spend(SimTime dt) { now_ += dt; }
+
+  Device& device() { return *dev_; }
+
+  /// Issue a read and advance this context's clock to its completion.
+  void read(uint64_t offset, std::span<uint8_t> out) {
+    now_ = dev_->read(offset, out, now_).finish;
+  }
+  /// Issue a write and advance this context's clock to its completion.
+  void write(uint64_t offset, std::span<const uint8_t> data) {
+    now_ = dev_->write(offset, data, now_).finish;
+  }
+  /// Timing-only read (payload ignored), used by layout experiments.
+  void touch_read(uint64_t offset, uint64_t length) {
+    now_ = dev_->submit({IoKind::kRead, offset, length}, now_).finish;
+  }
+
+ private:
+  Device* dev_;
+  SimTime now_ = 0;
+};
+
+}  // namespace damkit::sim

@@ -1,0 +1,94 @@
+#include "sim/hdd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace damkit::sim {
+
+HddDevice::HddDevice(HddConfig config, uint64_t rng_seed)
+    : Device(config.capacity_bytes), config_(std::move(config)) {
+  DAMKIT_CHECK(config_.track_bytes > 0);
+  DAMKIT_CHECK(config_.capacity_bytes >= config_.track_bytes);
+  DAMKIT_CHECK(config_.full_stroke_s >= config_.track_to_track_s);
+  DAMKIT_CHECK(config_.zone_ratio >= 1.0);
+  num_tracks_ = config_.capacity_bytes / config_.track_bytes;
+  Rng rng(rng_seed);
+  head_track_ = rng.uniform(num_tracks_);
+}
+
+std::string HddDevice::name() const {
+  return config_.name + " (" + std::to_string(config_.year) + ")";
+}
+
+double HddDevice::bandwidth_at(uint64_t track) const {
+  // Outer tracks (low index) are faster; linear interpolation chosen so the
+  // surface-average bandwidth equals config_.avg_bandwidth_bps.
+  const double r = config_.zone_ratio;
+  const double outer = 2.0 * r / (1.0 + r);
+  const double inner = 2.0 / (1.0 + r);
+  const double frac =
+      static_cast<double>(track) / static_cast<double>(num_tracks_);
+  return config_.avg_bandwidth_bps * (outer + (inner - outer) * frac);
+}
+
+double HddDevice::seek_time_s(uint64_t distance) const {
+  if (distance == 0) return 0.0;
+  const double frac =
+      static_cast<double>(distance) / static_cast<double>(num_tracks_);
+  return config_.track_to_track_s +
+         (config_.full_stroke_s - config_.track_to_track_s) * std::sqrt(frac);
+}
+
+IoCompletion HddDevice::submit(const IoRequest& req, SimTime now) {
+  check_bounds(req);
+  const SimTime start = std::max(now, busy_until_);
+
+  // 1. Command processing + arm seek.
+  const uint64_t target_track = track_of(req.offset);
+  const uint64_t distance = (target_track > head_track_)
+                                ? target_track - head_track_
+                                : head_track_ - target_track;
+  const SimTime arrive =
+      start + from_seconds(config_.command_overhead_s + seek_time_s(distance));
+
+  // 2. Rotational latency: wait for the target sector to come under the
+  // head. The platter's angular position is a pure function of time.
+  const SimTime period = from_seconds(config_.rotation_period_s());
+  const double target_frac =
+      static_cast<double>(req.offset % config_.track_bytes) /
+      static_cast<double>(config_.track_bytes);
+  const SimTime target_in_period =
+      static_cast<SimTime>(target_frac * static_cast<double>(period));
+  const SimTime phase = arrive % period;
+  const SimTime rot_wait = (target_in_period >= phase)
+                               ? target_in_period - phase
+                               : period - phase + target_in_period;
+  SimTime t = arrive + rot_wait;
+
+  // 3. Media transfer, zone-aware, with a head/track switch at each track
+  // boundary crossed.
+  uint64_t off = req.offset;
+  uint64_t remaining = req.length;
+  double transfer_s = 0.0;
+  while (remaining > 0) {
+    const uint64_t track = off / config_.track_bytes;
+    const uint64_t in_track = config_.track_bytes - off % config_.track_bytes;
+    const uint64_t chunk = std::min(remaining, in_track);
+    transfer_s += static_cast<double>(chunk) / bandwidth_at(track);
+    off += chunk;
+    remaining -= chunk;
+    if (remaining > 0) transfer_s += config_.track_to_track_s * 0.25;
+  }
+  t += from_seconds(transfer_s);
+
+  head_track_ = track_of(req.offset + req.length - 1);
+  busy_until_ = t;
+
+  const IoCompletion c{start, t};
+  account(req, c);
+  return c;
+}
+
+}  // namespace damkit::sim

@@ -1,0 +1,147 @@
+#include "sim/profiles.h"
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace damkit::sim {
+
+HddConfig make_hdd_profile(std::string name, int year, uint64_t capacity_bytes,
+                           double rpm, double target_s,
+                           double target_t_per_4k) {
+  HddConfig cfg;
+  cfg.name = std::move(name);
+  cfg.year = year;
+  cfg.capacity_bytes = capacity_bytes;
+  cfg.rpm = rpm;
+  cfg.track_bytes = 1 * kMiB;
+  cfg.command_overhead_s = 50e-6;
+  cfg.track_to_track_s = 1e-3;
+  cfg.zone_ratio = 1.35;
+
+  // Solve for the full-stroke seek so that the mean setup cost of a uniform
+  // random access equals target_s:
+  //   target_s = cmd + t2t + (full - t2t)·E[sqrt(travel)] + rotation/2
+  const double half_rotation = (60.0 / rpm) / 2.0;
+  const double mean_seek = target_s - cfg.command_overhead_s - half_rotation;
+  DAMKIT_CHECK_MSG(mean_seek > cfg.track_to_track_s,
+                   "target setup cost too small for rpm");
+  cfg.full_stroke_s = cfg.track_to_track_s +
+                      (mean_seek - cfg.track_to_track_s) /
+                          HddConfig::kMeanSqrtTravel;
+
+  // Solve for the media rate so the *effective* per-byte cost (media
+  // transfer plus the track-switch penalty every track_bytes) matches
+  // target_t_per_4k / 4096.
+  const double target_per_byte = target_t_per_4k / 4096.0;
+  const double switch_per_byte =
+      cfg.track_to_track_s * 0.25 / static_cast<double>(cfg.track_bytes);
+  DAMKIT_CHECK_MSG(target_per_byte > switch_per_byte,
+                   "target transfer cost below track-switch floor");
+  cfg.avg_bandwidth_bps = 1.0 / (target_per_byte - switch_per_byte);
+  return cfg;
+}
+
+SsdConfig make_ssd_profile(std::string name, uint64_t capacity_bytes,
+                           int channels, int dies_per_channel,
+                           uint64_t page_bytes, double saturated_mbps,
+                           double knee_p, double command_overhead_s) {
+  SsdConfig cfg;
+  cfg.name = std::move(name);
+  cfg.capacity_bytes = capacity_bytes;
+  cfg.channels = channels;
+  cfg.dies_per_channel = dies_per_channel;
+  cfg.page_bytes = page_bytes;
+  // Real FTLs place stripes pseudo-randomly across many dies. A 64 KiB IO
+  // fans out over four 16 KiB stripes; with dozens of dies concurrent
+  // streams rarely collide below the knee, and the occasional die/channel
+  // collisions produce exactly the soft transition the paper attributes
+  // to bank conflicts.
+  cfg.stripe_bytes = 16 * kKiB;
+  cfg.hashed_striping = true;
+  cfg.command_overhead_s = command_overhead_s;
+
+  // Saturation is bound by the host link (SATA/PCIe): one shared pipe
+  // every payload crosses. In a closed loop, clients phase-lock around
+  // the link, so time stays flat until p · (link occupancy) exceeds the
+  // IO latency — a sharp knee at exactly the effective parallelism P,
+  // as the paper measures.
+  const double bytes_per_s = saturated_mbps * 1e6;
+  cfg.link_bps = bytes_per_s;
+  // Channel buses get 4x headroom so they never bind.
+  cfg.bus_s_per_page = cfg.channels * static_cast<double>(page_bytes) /
+                       (4.0 * bytes_per_s);
+
+  // P = L · saturated / 64 KiB, so put the single-stream 64 KiB latency L
+  // at knee_p · 64 KiB / saturated. Flash sense time is short (~60 us per
+  // stripe, real-NAND territory) so die conflicts barely perturb the flat
+  // region; the remainder of L is uncontended firmware/command overhead —
+  //   L = overhead + pages_per_stripe·(t_read + bus) + 64 KiB / link.
+  const double io_bytes = 64.0 * 1024.0;
+  const double pages_per_stripe = static_cast<double>(cfg.stripe_bytes) /
+                                  static_cast<double>(page_bytes);
+  const double target_latency = knee_p * io_bytes / bytes_per_s;
+  cfg.page_read_s = 60e-6 / pages_per_stripe;
+  cfg.page_write_s = cfg.page_read_s * 3.0;
+  const double overhead =
+      target_latency - io_bytes / cfg.link_bps -
+      pages_per_stripe * (cfg.page_read_s + cfg.bus_s_per_page);
+  DAMKIT_CHECK_MSG(overhead >= command_overhead_s * 0.5,
+                   "knee target infeasible for this bandwidth");
+  cfg.command_overhead_s = overhead;
+
+  // Sanity: flash-side headroom so the link is the binding limit.
+  DAMKIT_CHECK(cfg.saturated_read_bps() >= bytes_per_s * 0.99);
+  return cfg;
+}
+
+std::vector<HddConfig> paper_hdd_profiles() {
+  // Table 2 of the paper: (name, year, s seconds, t seconds per 4 KiB).
+  return {
+      make_hdd_profile("2 TB Seagate", 2002, 2048ULL * kGiB, 7200.0, 0.018,
+                       0.000021),
+      make_hdd_profile("250 GB Seagate", 2006, 250ULL * kGiB, 7200.0, 0.015,
+                       0.000033),
+      make_hdd_profile("1 TB Hitachi", 2009, 1024ULL * kGiB, 7200.0, 0.013,
+                       0.000041),
+      make_hdd_profile("1 TB WD Black", 2011, 1024ULL * kGiB, 7200.0, 0.012,
+                       0.000035),
+      make_hdd_profile("6 TB WD Red", 2018, 6144ULL * kGiB, 5400.0, 0.016,
+                       0.000026),
+  };
+}
+
+std::vector<SsdConfig> paper_ssd_profiles() {
+  // Table 1 of the paper: fitted P in {3.3, 5.5, 2.9, 4.6}, saturation in
+  // {530, 2500, 260, 520} MB/s. Each profile targets the paper's knee via
+  // its single-stream latency; many dies behind few channels give the
+  // flat-then-linear Figure 1 shape with a soft (bank-conflict) knee.
+  // The knee inputs below are calibrated so the *fitted* P of the §4.1
+  // experiment (which overshoots the physical knee slightly — the soft
+  // transition gives the left regression segment positive slope) matches
+  // the paper's reported values.
+  return {
+      make_ssd_profile("Samsung 860 pro", 256ULL * kGiB, 4, 16, 4096, 530.0,
+                       3.2, 20e-6),
+      make_ssd_profile("Samsung 970 pro", 512ULL * kGiB, 4, 16, 4096, 2500.0,
+                       4.0, 10e-6),
+      make_ssd_profile("Silicon Power S55", 240ULL * kGiB, 4, 16, 4096, 260.0,
+                       2.75, 25e-6),
+      make_ssd_profile("Sandisk Ultra II", 240ULL * kGiB, 4, 16, 4096, 520.0,
+                       4.4, 20e-6),
+  };
+}
+
+HddConfig testbed_hdd_profile() {
+  // 500 GiB Toshiba DT01ACA050 stand-in (the paper's PowerEdge T130 disks):
+  // ~12ms setup, ~150 MB/s sustained → t(4K) ≈ 27.3us.
+  return make_hdd_profile("500 GB Toshiba DT01ACA050", 2016, 500ULL * kGiB,
+                          7200.0, 0.012, 0.0000273);
+}
+
+SsdConfig testbed_ssd_profile() {
+  // 250 GiB Samsung 860 EVO stand-in: ~520 MB/s saturated, SATA overheads.
+  return make_ssd_profile("250 GB Samsung 860 EVO", 250ULL * kGiB, 4, 16,
+                          4096, 520.0, 3.0, 20e-6);
+}
+
+}  // namespace damkit::sim

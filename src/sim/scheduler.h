@@ -1,0 +1,57 @@
+// Disk IO scheduling over the HDD simulator.
+//
+// The affine model descends from disk-scheduling theory (the paper's
+// ref [3], Andrews–Bender–Zhang): the setup cost `s` a workload actually
+// pays depends on how requests are ordered. With a queue of pending
+// requests (NCQ-style window), the drive can serve the nearest one
+// instead of the submission order, shrinking the effective `s` — and
+// with it α = t/s, which moves every node-size optimum in §5–6.
+//
+// Policies:
+//   kFifo — submission order (queue depth irrelevant).
+//   kSstf — shortest seek time first within the window.
+//   kScan — elevator: sweep the window in one direction, reverse at ends.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/hdd.h"
+#include "util/histogram.h"
+
+namespace damkit::sim {
+
+enum class SchedPolicy : uint8_t { kFifo, kSstf, kScan };
+
+const char* sched_policy_name(SchedPolicy p);
+
+struct SchedulerConfig {
+  SchedPolicy policy = SchedPolicy::kFifo;
+  /// Requests the drive may reorder among (1 = no reordering).
+  size_t queue_depth = 1;
+};
+
+struct SchedulerResult {
+  SimTime makespan = 0;
+  Histogram latency;  // per-IO: completion − availability time
+  uint64_t ios = 0;
+  uint64_t direction_reversals = 0;  // kScan bookkeeping
+
+  double mean_seconds_per_io() const {
+    return ios == 0 ? 0.0 : to_seconds(makespan) / static_cast<double>(ios);
+  }
+};
+
+/// A request that becomes available to the scheduler at `available_at`.
+struct TimedRequest {
+  IoRequest io;
+  SimTime available_at = 0;
+};
+
+/// Executes `requests` against the disk, honouring availability times and
+/// reordering within a `queue_depth` window per the policy. Requests need
+/// not be sorted by availability.
+SchedulerResult run_scheduled(HddDevice& dev, const SchedulerConfig& config,
+                              std::vector<TimedRequest> requests);
+
+}  // namespace damkit::sim

@@ -1,0 +1,97 @@
+#include "sim/ssd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace damkit::sim {
+
+double SsdConfig::saturated_read_bps() const {
+  const double die_limit = static_cast<double>(total_dies()) *
+                           static_cast<double>(page_bytes) / page_read_s;
+  const double bus_limit = static_cast<double>(channels) *
+                           static_cast<double>(page_bytes) / bus_s_per_page;
+  double limit = std::min(die_limit, bus_limit);
+  if (link_bps > 0.0) limit = std::min(limit, link_bps);
+  return limit;
+}
+
+double SsdConfig::qd1_read_bps(uint64_t io_bytes) const {
+  // An IO fans out over its stripes (parallel dies); each die serves its
+  // stripe's pages serially. A single stream never overlaps its own IOs,
+  // so QD1 bandwidth is io_bytes over one fork-join latency.
+  const double pages_per_stripe =
+      std::ceil(static_cast<double>(std::min(io_bytes, stripe_bytes)) /
+                static_cast<double>(page_bytes));
+  double latency = command_overhead_s +
+                   pages_per_stripe * (page_read_s + bus_s_per_page);
+  if (link_bps > 0.0) latency += static_cast<double>(io_bytes) / link_bps;
+  return static_cast<double>(io_bytes) / latency;
+}
+
+SsdDevice::SsdDevice(SsdConfig config)
+    : Device(config.capacity_bytes), config_(std::move(config)) {
+  DAMKIT_CHECK(config_.channels > 0 && config_.dies_per_channel > 0);
+  DAMKIT_CHECK(config_.page_bytes > 0);
+  DAMKIT_CHECK(config_.stripe_bytes >= config_.page_bytes);
+  die_free_.assign(static_cast<size_t>(config_.total_dies()), 0);
+  channel_free_.assign(static_cast<size_t>(config_.channels), 0);
+}
+
+std::string SsdDevice::name() const { return config_.name; }
+
+IoCompletion SsdDevice::submit(const IoRequest& req, SimTime now) {
+  check_bounds(req);
+  const SimTime issue = now + from_seconds(config_.command_overhead_s);
+  const double service_s = (req.kind == IoKind::kRead) ? config_.page_read_s
+                                                       : config_.page_write_s;
+  const SimTime page_service = from_seconds(service_s);
+  const SimTime bus_service = from_seconds(config_.bus_s_per_page);
+
+  // Walk the request stripe by stripe; each stripe's pages are served
+  // serially by its die (a die has one sense amp), then cross the channel
+  // bus. Different stripes of one large IO land on different dies and
+  // proceed in parallel — exactly the internal parallelism the PDAM models.
+  SimTime finish = issue;
+  uint64_t off = req.offset;
+  uint64_t remaining = req.length;
+  while (remaining > 0) {
+    const uint64_t in_stripe =
+        config_.stripe_bytes - (off % config_.stripe_bytes);
+    const uint64_t chunk = std::min(remaining, in_stripe);
+    const uint64_t pages =
+        (chunk + config_.page_bytes - 1) / config_.page_bytes;
+
+    const int die = die_of(off);
+    const int chan = channel_of_die(die);
+    SimTime die_t = std::max(issue, die_free_[static_cast<size_t>(die)]);
+    SimTime chan_t = channel_free_[static_cast<size_t>(chan)];
+    for (uint64_t p = 0; p < pages; ++p) {
+      die_t += page_service;  // die busy for the page op
+      // Page payload crosses the channel bus after the die finishes it.
+      chan_t = std::max(chan_t, die_t) + bus_service;
+    }
+    die_free_[static_cast<size_t>(die)] = die_t;
+    channel_free_[static_cast<size_t>(chan)] = chan_t;
+    finish = std::max(finish, chan_t);
+
+    off += chunk;
+    remaining -= chunk;
+  }
+
+  // Host-link stage: the whole payload crosses one shared pipe
+  // contiguously once the flash side has produced it. Link saturation is
+  // what bounds the device's effective parallelism.
+  if (config_.link_bps > 0.0) {
+    const SimTime occupancy = from_seconds(
+        static_cast<double>(req.length) / config_.link_bps);
+    const SimTime start_link = std::max(finish, link_free_);
+    link_free_ = start_link + occupancy;
+    finish = link_free_;
+  }
+
+  const IoCompletion c{issue, finish};
+  account(req, c);
+  return c;
+}
+
+}  // namespace damkit::sim

@@ -1,0 +1,88 @@
+// Flash SSD / NVMe simulator.
+//
+// Like the HDD simulator, this models *more* mechanism than the PDAM it
+// validates: flash is organized as channels × dies, logical space is
+// striped across dies at a fixed stripe size, each die serves one page
+// operation at a time (bank conflicts!), and page payloads cross a shared
+// per-channel bus. §4.1 of the paper runs p concurrent random-read streams
+// against such a device and fits a two-segment regression; the left segment
+// is flat (parallelism absorbs added threads), the right is linear
+// (saturation), and the intersection estimates P.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+
+namespace damkit::sim {
+
+struct SsdConfig {
+  std::string name = "generic-ssd";
+  uint64_t capacity_bytes = 250ULL * 1024 * 1024 * 1024;
+
+  int channels = 2;
+  int dies_per_channel = 2;
+
+  uint64_t page_bytes = 4096;        // flash read unit
+  uint64_t stripe_bytes = 64 * 1024; // consecutive LBAs map to one die per stripe
+  /// FTL placement: false = round-robin stripes over dies (simple,
+  /// transparent for tests); true = pseudo-random die per stripe, which is
+  /// what real FTLs approximate and what softens bank conflicts — a
+  /// multi-stripe IO then fans out over random dies (fork-join).
+  bool hashed_striping = false;
+
+  double page_read_s = 60e-6;   // die busy time per page read
+  double page_write_s = 250e-6; // die busy time per page program
+  double bus_s_per_page = 3e-6; // channel occupancy per page transferred
+  double command_overhead_s = 15e-6;  // host/firmware per-IO latency
+  /// Host link (SATA/PCIe) bandwidth in bytes/s; 0 disables the stage.
+  /// The link is a single shared pipe each IO occupies contiguously for
+  /// length/link_bps — typically the resource whose saturation defines
+  /// the device's effective parallelism P.
+  double link_bps = 0.0;
+
+  int total_dies() const { return channels * dies_per_channel; }
+
+  /// Device saturation bandwidth implied by the config (bytes/s): dies
+  /// limited by page reads, channels limited by bus transfers.
+  double saturated_read_bps() const;
+  /// Single-stream (queue depth 1) read bandwidth for `io_bytes` IOs.
+  double qd1_read_bps(uint64_t io_bytes) const;
+};
+
+/// SSD with per-die and per-channel service queues. Submissions must be in
+/// nondecreasing time order (enforced by drivers); completions may overlap
+/// arbitrarily across dies — that overlap is the device parallelism P.
+class SsdDevice final : public Device {
+ public:
+  explicit SsdDevice(SsdConfig config);
+
+  std::string name() const override;
+  IoCompletion submit(const IoRequest& req, SimTime now) override;
+
+  const SsdConfig& config() const { return config_; }
+
+  /// Which die serves byte `offset` (stripe mapping). Exposed for tests.
+  int die_of(uint64_t offset) const {
+    const uint64_t stripe = offset / config_.stripe_bytes;
+    if (!config_.hashed_striping) {
+      return static_cast<int>(stripe %
+                              static_cast<uint64_t>(config_.total_dies()));
+    }
+    uint64_t z = stripe + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<int>(z % static_cast<uint64_t>(config_.total_dies()));
+  }
+  int channel_of_die(int die) const { return die % config_.channels; }
+
+ private:
+  SsdConfig config_;
+  std::vector<SimTime> die_free_;      // next idle time per die
+  std::vector<SimTime> channel_free_;  // next idle time per channel bus
+  SimTime link_free_ = 0;              // next idle time of the host link
+};
+
+}  // namespace damkit::sim

@@ -1,0 +1,73 @@
+// Byte-level helpers: little-endian fixed-width encode/decode used by the
+// on-"disk" node formats, and human-readable byte-size formatting/parsing
+// used by benches and reports.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace damkit {
+
+// ---------------------------------------------------------------------------
+// Little-endian fixed-width codecs. All node serialization goes through
+// these so that the stored images are architecture-independent.
+// ---------------------------------------------------------------------------
+
+inline void store_u16(uint8_t* dst, uint16_t v) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void store_u32(uint8_t* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline void store_u64(uint8_t* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline uint16_t load_u16(const uint8_t* src) {
+  return static_cast<uint16_t>(src[0] | (static_cast<uint16_t>(src[1]) << 8));
+}
+
+inline uint32_t load_u32(const uint8_t* src) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(src[i]) << (8 * i);
+  return v;
+}
+
+inline uint64_t load_u64(const uint8_t* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(src[i]) << (8 * i);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Size literals and formatting.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+/// "4 KiB", "2.5 MiB", "128 B" — two significant decimals max.
+std::string format_bytes(uint64_t bytes);
+
+/// Parses "64k", "64KiB", "4m", "1GiB", "512" (bytes). Returns 0 on failure.
+uint64_t parse_bytes(std::string_view text);
+
+/// Round `v` up to a multiple of `alignment` (alignment must be > 0).
+constexpr uint64_t align_up(uint64_t v, uint64_t alignment) {
+  return (v + alignment - 1) / alignment * alignment;
+}
+
+/// Integer ceiling division.
+constexpr uint64_t ceil_div(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// FNV-1a over a byte span; used for cheap content checksums in node images.
+uint64_t fnv1a(std::span<const uint8_t> data);
+
+}  // namespace damkit

@@ -1,0 +1,71 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace damkit {
+
+namespace {
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::uniform(uint64_t bound) {
+  DAMKIT_CHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    const uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+Zipfian::Zipfian(uint64_t n, double theta) : n_(n), theta_(theta) {
+  DAMKIT_CHECK(n > 0);
+  DAMKIT_CHECK(theta > 0.0 && theta < 1.0);
+  zetan_ = zeta(n, theta);
+  zeta2theta_ = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double Zipfian::zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t Zipfian::sample(Rng& rng) {
+  const double u = rng.uniform_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v =
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t rank = static_cast<uint64_t>(v);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+}  // namespace damkit

@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation for workloads and
+// simulators. Every experiment takes an explicit seed so runs are
+// reproducible bit-for-bit; nothing in the library touches global RNG state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace damkit {
+
+/// xoshiro256++ — fast, high-quality, 2^256-1 period. Satisfies the
+/// UniformRandomBitGenerator concept so it composes with <random> if needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize state from a 64-bit seed via splitmix64 expansion.
+  void reseed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  uint64_t operator()() { return next(); }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t uniform_range(uint64_t lo, uint64_t hi) {
+    DAMKIT_CHECK(hi >= lo);
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// Zipfian distribution over {0, ..., n-1} with skew theta (0 < theta < 1
+/// typical; theta→0 approaches uniform). Uses the Gray et al. rejection-free
+/// method with precomputed zeta constants — O(1) per sample after O(n) setup
+/// amortized via incremental zeta updates for the common "fixed n" case.
+class Zipfian {
+ public:
+  Zipfian(uint64_t n, double theta);
+
+  /// Sample an item rank; rank 0 is the most popular item.
+  uint64_t sample(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace damkit

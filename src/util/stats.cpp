@@ -1,0 +1,146 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+
+namespace damkit {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double ss = 0.0;
+    for (double x : xs) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  DAMKIT_CHECK(!xs.empty());
+  DAMKIT_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  DAMKIT_CHECK(x.size() == y.size());
+  DAMKIT_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  LinearFit fit;
+  fit.n = x.size();
+  // Degenerate x (all equal): best constant fit.
+  fit.slope = (sxx > 0.0) ? sxy / sxx : 0.0;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.slope * x[i] + fit.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - my) * (y[i] - my);
+  }
+  fit.r2 = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  fit.rms = std::sqrt(ss_res / n);
+  return fit;
+}
+
+namespace {
+// Residual sum of squares of an OLS fit on a range, without recomputing
+// the fit parameters separately.
+double fit_sse(std::span<const double> x, std::span<const double> y) {
+  const LinearFit f = linear_fit(x, y);
+  double sse = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (f.slope * x[i] + f.intercept);
+    sse += e * e;
+  }
+  return sse;
+}
+}  // namespace
+
+SegmentedFit segmented_linear_fit(std::span<const double> x,
+                                  std::span<const double> y) {
+  DAMKIT_CHECK(x.size() == y.size());
+  DAMKIT_CHECK_MSG(x.size() >= 4, "need >= 2 points per segment");
+  for (size_t i = 1; i < x.size(); ++i) DAMKIT_CHECK(x[i] >= x[i - 1]);
+
+  double best_sse = std::numeric_limits<double>::infinity();
+  size_t best_split = 2;
+  for (size_t split = 2; split + 2 <= x.size(); ++split) {
+    const double sse = fit_sse(x.subspan(0, split), y.subspan(0, split)) +
+                       fit_sse(x.subspan(split), y.subspan(split));
+    if (sse < best_sse) {
+      best_sse = sse;
+      best_split = split;
+    }
+  }
+
+  SegmentedFit out;
+  out.split_index = best_split;
+  out.left = linear_fit(x.subspan(0, best_split), y.subspan(0, best_split));
+  out.right = linear_fit(x.subspan(best_split), y.subspan(best_split));
+
+  const double ds = out.right.slope - out.left.slope;
+  if (std::abs(ds) > 1e-30) {
+    out.breakpoint = (out.left.intercept - out.right.intercept) / ds;
+  } else {
+    out.breakpoint = x[best_split];
+  }
+
+  // Combined R² over all points using the piecewise prediction.
+  std::vector<double> pred(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const LinearFit& f = (x[i] < out.breakpoint) ? out.left : out.right;
+    pred[i] = f.slope * x[i] + f.intercept;
+  }
+  out.r2 = r_squared(y, pred);
+  return out;
+}
+
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted) {
+  DAMKIT_CHECK(observed.size() == predicted.size());
+  DAMKIT_CHECK(!observed.empty());
+  double mean = 0.0;
+  for (double o : observed) mean += o;
+  mean /= static_cast<double>(observed.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - mean) * (observed[i] - mean);
+  }
+  return (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+}
+
+}  // namespace damkit

@@ -1,0 +1,63 @@
+// Statistics used to fit the affine and PDAM models to measured device
+// behaviour, mirroring §4 of the paper: ordinary least squares with R²
+// (Table 2) and two-segment ("segmented") linear regression whose segment
+// intersection estimates the device parallelism P (Table 1 / Figure 1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace damkit {
+
+/// Summary statistics of a sample.
+struct Summary {
+  size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// p in [0,100]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+
+/// Ordinary least-squares fit y ≈ slope·x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;       // coefficient of determination on the fitted data
+  double rms = 0.0;      // root-mean-square residual
+  size_t n = 0;
+};
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Two-segment continuous piecewise-linear fit.
+///
+/// Finds the segment boundary (over candidate splits between consecutive
+/// sample points) minimizing total squared error of independent OLS fits on
+/// each side, then reports the x-coordinate where the two fitted lines
+/// intersect as `breakpoint`. This is how the paper extracts P from the
+/// time-vs-threads curve: the left segment is nearly flat (device not yet
+/// saturated), the right grows linearly, and their intersection is the
+/// effective parallelism.
+struct SegmentedFit {
+  LinearFit left;
+  LinearFit right;
+  double breakpoint = 0.0;  // x where the two segments intersect
+  double r2 = 0.0;          // combined R² over all points
+  size_t split_index = 0;   // first index assigned to the right segment
+};
+
+/// Requires x sorted ascending and at least 4 points (2 per segment).
+SegmentedFit segmented_linear_fit(std::span<const double> x,
+                                  std::span<const double> y);
+
+/// R² of arbitrary predictions vs observations.
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted);
+
+}  // namespace damkit

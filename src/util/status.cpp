@@ -1,0 +1,40 @@
+#include "util/status.h"
+
+namespace damkit {
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kCorruption: return "corruption";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace detail {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& extra) {
+  std::fprintf(stderr, "DAMKIT_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, extra.empty() ? "" : " — ", extra.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace damkit

@@ -1,0 +1,163 @@
+// Lightweight error handling for damkit.
+//
+// The library favours Status/StatusOr returns on fallible paths and
+// CHECK-style invariant macros for programming errors. CHECK failures
+// abort with a message; they are never used for user-input validation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace damkit {
+
+// Error categories, deliberately small; most call sites only branch on ok().
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kCorruption,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("ok", "invalid_argument", ...).
+std::string_view status_code_name(StatusCode code);
+
+/// Value-type result of a fallible operation: a code plus optional message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status invalid_argument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status not_found(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status out_of_range(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status resource_exhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status failed_precondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or a non-ok Status. Minimal StatusOr good enough for the
+/// library's internal plumbing; value access CHECKs ok().
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    check_ok();
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    check_ok();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    check_ok();
+    return std::move(std::get<T>(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void check_ok() const {
+    if (!ok()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   std::get<Status>(rep_).to_string().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> rep_;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& extra);
+}  // namespace detail
+
+}  // namespace damkit
+
+// Invariant checks. Active in all build types: the simulators and trees are
+// the experiment; silent corruption would invalidate every measured number.
+#define DAMKIT_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      ::damkit::detail::check_failed(__FILE__, __LINE__, #expr, "");    \
+    }                                                                   \
+  } while (0)
+
+#define DAMKIT_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      std::ostringstream oss_;                                          \
+      oss_ << msg; /* NOLINT */                                         \
+      ::damkit::detail::check_failed(__FILE__, __LINE__, #expr,         \
+                                     oss_.str());                       \
+    }                                                                   \
+  } while (0)
+
+#define DAMKIT_CHECK_OK(status_expr)                                    \
+  do {                                                                  \
+    const ::damkit::Status s_ = (status_expr);                          \
+    if (!s_.ok()) [[unlikely]] {                                        \
+      ::damkit::detail::check_failed(__FILE__, __LINE__, #status_expr,  \
+                                     s_.to_string());                   \
+    }                                                                   \
+  } while (0)
+
+#define DAMKIT_RETURN_IF_ERROR(status_expr)       \
+  do {                                            \
+    ::damkit::Status s_ = (status_expr);          \
+    if (!s_.ok()) [[unlikely]] { return s_; }     \
+  } while (0)

@@ -1,0 +1,124 @@
+#include "util/table.h"
+
+#include <cctype>
+#include <cstdarg>
+
+#include "util/status.h"
+
+namespace damkit {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+               c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DAMKIT_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DAMKIT_CHECK_MSG(cells.size() == header_.size(),
+                   "row width " << cells.size() << " vs header "
+                                << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += (c == 0) ? "| " : " | ";
+      const size_t pad = width[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        out.append(pad, ' ');
+        out += row[c];
+      } else {
+        out += row[c];
+        out.append(pad, ' ');
+      }
+    }
+    out += " |\n";
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  out += "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out.append(width[c] + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += csv_escape(row[c]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string csv = to_csv();
+  const size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  const bool ok = (written == csv.size()) && (std::fclose(f) == 0);
+  if (written != csv.size()) std::fclose(f);
+  return ok;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace damkit

@@ -1,0 +1,41 @@
+// ASCII table and CSV emitters used by the benchmark harness to print
+// paper-style tables (Table 1, Table 2, ...) and figure series.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace damkit {
+
+/// Column-aligned plain-text table builder.
+///
+///   Table t({"Device", "P", "~PB (MB/s)", "R^2"});
+///   t.add_row({"Samsung 860 pro", "3.3", "530", "0.999"});
+///   std::fputs(t.to_string().c_str(), stdout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule; numeric-looking cells right-aligned.
+  std::string to_string() const;
+
+  /// Comma-separated rendering (header + rows) for machine consumption.
+  std::string to_csv() const;
+
+  /// Write the CSV form to `path`; returns false on IO failure.
+  bool write_csv(const std::string& path) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace damkit

@@ -1,0 +1,133 @@
+#include "blockdev/block_device.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/hdd.h"
+#include "util/bytes.h"
+
+namespace damkit::blockdev {
+namespace {
+
+class NodeStoreTest : public testing::Test {
+ protected:
+  NodeStoreTest() : dev_(make_config()), io_(dev_) {}
+
+  static sim::HddConfig make_config() {
+    sim::HddConfig cfg;
+    cfg.capacity_bytes = 1ULL * kGiB;
+    return cfg;
+  }
+
+  sim::HddDevice dev_;
+  sim::IoContext io_;
+};
+
+TEST_F(NodeStoreTest, WriteThenReadRoundTrip) {
+  NodeStore store(dev_, io_, 64 * kKiB);
+  const uint64_t id = store.allocate();
+  std::vector<uint8_t> image(1000);
+  for (size_t i = 0; i < image.size(); ++i) {
+    image[i] = static_cast<uint8_t>(i * 3);
+  }
+  store.write_node(id, image);
+  std::vector<uint8_t> back;
+  store.read_node(id, back);
+  ASSERT_EQ(back.size(), 64u * kKiB);  // whole extent
+  for (size_t i = 0; i < image.size(); ++i) EXPECT_EQ(back[i], image[i]);
+  for (size_t i = image.size(); i < back.size(); ++i) EXPECT_EQ(back[i], 0);
+}
+
+TEST_F(NodeStoreTest, WholeNodeIoCharged) {
+  NodeStore store(dev_, io_, 64 * kKiB);
+  const uint64_t id = store.allocate();
+  store.write_node(id, std::vector<uint8_t>(10));
+  EXPECT_EQ(dev_.stats().bytes_written, 64u * kKiB);  // padded write
+  std::vector<uint8_t> buf;
+  store.read_node(id, buf);
+  EXPECT_EQ(dev_.stats().bytes_read, 64u * kKiB);
+}
+
+TEST_F(NodeStoreTest, SpanReadChargesOnlySpan) {
+  NodeStore store(dev_, io_, 64 * kKiB);
+  const uint64_t id = store.allocate();
+  std::vector<uint8_t> image(64 * kKiB, 7);
+  store.write_node(id, image);
+  dev_.clear_stats();
+  std::vector<uint8_t> part(4096);
+  store.read_span(id, 8192, part);
+  EXPECT_EQ(dev_.stats().bytes_read, 4096u);
+  for (uint8_t b : part) EXPECT_EQ(b, 7);
+}
+
+TEST_F(NodeStoreTest, TouchReadAdvancesClockWithoutPayload) {
+  NodeStore store(dev_, io_, 64 * kKiB);
+  const uint64_t id = store.allocate();
+  const sim::SimTime before = io_.now();
+  store.touch_read(id, 0, 4096);
+  EXPECT_GT(io_.now(), before);
+  EXPECT_EQ(dev_.stats().bytes_read, 4096u);
+}
+
+TEST_F(NodeStoreTest, PeekNodeIsFreeOfTimingCharges) {
+  NodeStore store(dev_, io_, 64 * kKiB);
+  const uint64_t id = store.allocate();
+  store.write_node(id, std::vector<uint8_t>(16, 9));
+  const sim::SimTime before = io_.now();
+  dev_.clear_stats();
+  std::vector<uint8_t> buf;
+  store.peek_node(id, buf);
+  EXPECT_EQ(io_.now(), before);
+  EXPECT_EQ(dev_.stats().reads, 0u);
+  EXPECT_EQ(buf[0], 9);
+}
+
+TEST_F(NodeStoreTest, DistinctNodesDoNotAlias) {
+  NodeStore store(dev_, io_, 4 * kKiB);
+  const uint64_t a = store.allocate();
+  const uint64_t b = store.allocate();
+  store.write_node(a, std::vector<uint8_t>(10, 0xaa));
+  store.write_node(b, std::vector<uint8_t>(10, 0xbb));
+  std::vector<uint8_t> buf;
+  store.read_node(a, buf);
+  EXPECT_EQ(buf[0], 0xaa);
+  store.read_node(b, buf);
+  EXPECT_EQ(buf[0], 0xbb);
+}
+
+TEST_F(NodeStoreTest, FreeAndReuse) {
+  NodeStore store(dev_, io_, 4 * kKiB);
+  const uint64_t a = store.allocate();
+  EXPECT_EQ(store.nodes_in_use(), 1u);
+  store.free(a);
+  EXPECT_EQ(store.nodes_in_use(), 0u);
+  EXPECT_EQ(store.allocate(), a);
+}
+
+TEST_F(NodeStoreTest, BaseOffsetRespected) {
+  NodeStore store(dev_, io_, 4 * kKiB, 1 * kMiB);
+  const uint64_t id = store.allocate();
+  store.write_node(id, std::vector<uint8_t>(4, 0x11));
+  // The byte must land at base offset in the underlying device.
+  std::vector<uint8_t> raw(1);
+  dev_.read_bytes(1 * kMiB, raw);
+  EXPECT_EQ(raw[0], 0x11);
+}
+
+using NodeStoreDeathTest = NodeStoreTest;
+
+TEST_F(NodeStoreDeathTest, OversizeImageAborts) {
+  NodeStore store(dev_, io_, 4 * kKiB);
+  const uint64_t id = store.allocate();
+  EXPECT_DEATH(store.write_node(id, std::vector<uint8_t>(5 * kKiB)),
+               "exceeds extent");
+}
+
+TEST_F(NodeStoreDeathTest, SpanPastExtentAborts) {
+  NodeStore store(dev_, io_, 4 * kKiB);
+  const uint64_t id = store.allocate();
+  std::vector<uint8_t> buf(4096);
+  EXPECT_DEATH(store.read_span(id, 1024, buf), "");
+}
+
+}  // namespace
+}  // namespace damkit::blockdev

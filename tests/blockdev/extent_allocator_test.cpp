@@ -1,0 +1,68 @@
+#include "blockdev/extent_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace damkit::blockdev {
+namespace {
+
+TEST(ExtentAllocatorTest, SequentialAllocation) {
+  ExtentAllocator alloc(0, 4096, 10);
+  EXPECT_EQ(alloc.allocate(), 0u);
+  EXPECT_EQ(alloc.allocate(), 1u);
+  EXPECT_EQ(alloc.allocate(), 2u);
+  EXPECT_EQ(alloc.slots_in_use(), 3u);
+}
+
+TEST(ExtentAllocatorTest, OffsetsRespectBase) {
+  ExtentAllocator alloc(1 << 20, 4096, 10);
+  EXPECT_EQ(alloc.offset_of(0), 1u << 20);
+  EXPECT_EQ(alloc.offset_of(3), (1u << 20) + 3 * 4096);
+}
+
+TEST(ExtentAllocatorTest, FreedSlotsRecycledLifo) {
+  ExtentAllocator alloc(0, 4096, 10);
+  alloc.allocate();
+  const uint64_t b = alloc.allocate();
+  alloc.allocate();
+  alloc.free(b);
+  EXPECT_EQ(alloc.allocate(), b);
+}
+
+TEST(ExtentAllocatorTest, InUseCountsFreed) {
+  ExtentAllocator alloc(0, 4096, 10);
+  const uint64_t a = alloc.allocate();
+  alloc.allocate();
+  alloc.free(a);
+  EXPECT_EQ(alloc.slots_in_use(), 1u);
+}
+
+TEST(ExtentAllocatorTest, AllSlotsDistinct) {
+  ExtentAllocator alloc(0, 512, 100);
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) ids.insert(alloc.allocate());
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(ExtentAllocatorDeathTest, ExhaustionAborts) {
+  ExtentAllocator alloc(0, 4096, 2);
+  alloc.allocate();
+  alloc.allocate();
+  EXPECT_DEATH(alloc.allocate(), "exhausted");
+}
+
+TEST(ExtentAllocatorDeathTest, DoubleFreeAborts) {
+  ExtentAllocator alloc(0, 4096, 4);
+  const uint64_t a = alloc.allocate();
+  alloc.free(a);
+  EXPECT_DEATH(alloc.free(a), "double free");
+}
+
+TEST(ExtentAllocatorDeathTest, FreeNeverAllocatedAborts) {
+  ExtentAllocator alloc(0, 4096, 4);
+  EXPECT_DEATH(alloc.free(2), "");
+}
+
+}  // namespace
+}  // namespace damkit::blockdev

@@ -1,0 +1,174 @@
+#include "cache/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace damkit::cache {
+namespace {
+
+struct Obj {
+  explicit Obj(int v) : value(v) {}
+  int value;
+};
+
+class BufferPoolTest : public testing::Test {
+ protected:
+  std::vector<uint64_t> written_;
+  std::unique_ptr<BufferPool> make_pool(uint64_t capacity) {
+    return std::make_unique<BufferPool>(
+        capacity, [this](uint64_t id, void* obj) {
+          written_.push_back(id);
+          EXPECT_NE(obj, nullptr);
+        });
+  }
+};
+
+TEST_F(BufferPoolTest, GetMissThenHit) {
+  auto pool = make_pool(1000);
+  EXPECT_EQ(pool->get<Obj>(1), nullptr);
+  EXPECT_EQ(pool->stats().misses, 1u);
+  pool->put(1, std::make_shared<Obj>(42), 100, false);
+  auto obj = pool->get<Obj>(1);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->value, 42);
+  EXPECT_EQ(pool->stats().hits, 1u);
+}
+
+TEST_F(BufferPoolTest, EvictsLruFirst) {
+  auto pool = make_pool(300);
+  pool->put(1, std::make_shared<Obj>(1), 100, false);
+  pool->put(2, std::make_shared<Obj>(2), 100, false);
+  pool->put(3, std::make_shared<Obj>(3), 100, false);
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_NE(pool->get<Obj>(1), nullptr);
+  pool->put(4, std::make_shared<Obj>(4), 100, false);
+  EXPECT_TRUE(pool->contains(1));
+  EXPECT_FALSE(pool->contains(2));
+  EXPECT_TRUE(pool->contains(3));
+  EXPECT_TRUE(pool->contains(4));
+  EXPECT_EQ(pool->stats().evictions, 1u);
+}
+
+TEST_F(BufferPoolTest, DirtyEvictionWritesBack) {
+  auto pool = make_pool(200);
+  pool->put(1, std::make_shared<Obj>(1), 100, true);
+  pool->put(2, std::make_shared<Obj>(2), 100, false);
+  pool->put(3, std::make_shared<Obj>(3), 100, false);  // evicts 1 (dirty)
+  EXPECT_EQ(written_, std::vector<uint64_t>{1});
+  EXPECT_EQ(pool->stats().dirty_writebacks, 1u);
+}
+
+TEST_F(BufferPoolTest, CleanEvictionSkipsWriteback) {
+  auto pool = make_pool(100);
+  pool->put(1, std::make_shared<Obj>(1), 100, false);
+  pool->put(2, std::make_shared<Obj>(2), 100, false);
+  EXPECT_TRUE(written_.empty());
+}
+
+TEST_F(BufferPoolTest, PinnedEntriesSurviveEviction) {
+  auto pool = make_pool(200);
+  auto pinned = std::make_shared<Obj>(1);
+  pool->put(1, pinned, 100, false);  // we keep a reference → pinned
+  pool->put(2, std::make_shared<Obj>(2), 100, false);
+  pool->put(3, std::make_shared<Obj>(3), 100, false);  // must evict 2, not 1
+  EXPECT_TRUE(pool->contains(1));
+  EXPECT_FALSE(pool->contains(2));
+}
+
+TEST_F(BufferPoolTest, AllPinnedOverflowsGracefully) {
+  auto pool = make_pool(100);
+  auto a = std::make_shared<Obj>(1);
+  auto b = std::make_shared<Obj>(2);
+  pool->put(1, a, 100, false);
+  pool->put(2, b, 100, false);  // over budget but both pinned
+  EXPECT_TRUE(pool->contains(1));
+  EXPECT_TRUE(pool->contains(2));
+  EXPECT_GT(pool->charged_bytes(), pool->capacity_bytes());
+}
+
+TEST_F(BufferPoolTest, MarkDirtyThenFlushAll) {
+  auto pool = make_pool(1000);
+  pool->put(1, std::make_shared<Obj>(1), 100, false);
+  pool->put(2, std::make_shared<Obj>(2), 100, false);
+  pool->mark_dirty(1);
+  EXPECT_TRUE(pool->is_dirty(1));
+  EXPECT_FALSE(pool->is_dirty(2));
+  pool->flush_all();
+  EXPECT_EQ(written_, std::vector<uint64_t>{1});
+  EXPECT_FALSE(pool->is_dirty(1));  // clean after writeback
+  pool->flush_all();
+  EXPECT_EQ(written_.size(), 1u);  // no double write
+}
+
+TEST_F(BufferPoolTest, EraseDropsWithoutWriteback) {
+  auto pool = make_pool(1000);
+  pool->put(1, std::make_shared<Obj>(1), 100, true);
+  pool->erase(1);
+  EXPECT_FALSE(pool->contains(1));
+  EXPECT_TRUE(written_.empty());
+  EXPECT_EQ(pool->charged_bytes(), 0u);
+  pool->erase(99);  // absent: no-op
+}
+
+TEST_F(BufferPoolTest, ClearFlushesAndEmpties) {
+  auto pool = make_pool(1000);
+  pool->put(1, std::make_shared<Obj>(1), 100, true);
+  pool->put(2, std::make_shared<Obj>(2), 200, false);
+  pool->clear();
+  EXPECT_EQ(pool->entries(), 0u);
+  EXPECT_EQ(pool->charged_bytes(), 0u);
+  EXPECT_EQ(written_, std::vector<uint64_t>{1});
+}
+
+TEST_F(BufferPoolTest, ChargedBytesTracked) {
+  auto pool = make_pool(1000);
+  pool->put(1, std::make_shared<Obj>(1), 300, false);
+  pool->put(2, std::make_shared<Obj>(2), 400, false);
+  EXPECT_EQ(pool->charged_bytes(), 700u);
+  pool->erase(1);
+  EXPECT_EQ(pool->charged_bytes(), 400u);
+}
+
+TEST_F(BufferPoolTest, HitRate) {
+  auto pool = make_pool(1000);
+  pool->put(1, std::make_shared<Obj>(1), 10, false);
+  pool->get<Obj>(1);
+  pool->get<Obj>(1);
+  pool->get<Obj>(2);
+  EXPECT_NEAR(pool->stats().hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(BufferPoolTest, DestructorToleratesCleanEntries) {
+  auto pool = make_pool(1000);
+  pool->put(1, std::make_shared<Obj>(1), 10, false);
+  pool.reset();  // clean entries: fine
+}
+
+using BufferPoolDeathTest = BufferPoolTest;
+
+TEST_F(BufferPoolDeathTest, DoublePutAborts) {
+  auto pool = make_pool(1000);
+  pool->put(1, std::make_shared<Obj>(1), 10, false);
+  EXPECT_DEATH(pool->put(1, std::make_shared<Obj>(2), 10, false),
+               "already-resident");
+}
+
+TEST_F(BufferPoolDeathTest, MarkDirtyAbsentAborts) {
+  auto pool = make_pool(1000);
+  EXPECT_DEATH(pool->mark_dirty(5), "absent");
+}
+
+TEST_F(BufferPoolDeathTest, DestructorWithDirtyAborts) {
+  EXPECT_DEATH(
+      {
+        BufferPool p(1000, [](uint64_t, void*) {});
+        p.put(1, std::make_shared<Obj>(1), 10, true);
+        // p destroyed with dirty entry
+      },
+      "dirty entry");
+}
+
+}  // namespace
+}  // namespace damkit::cache

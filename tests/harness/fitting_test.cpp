@@ -1,0 +1,78 @@
+#include "harness/fitting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace damkit::harness {
+namespace {
+
+TEST(FitAffineTest, RecoversSyntheticDevice) {
+  // Synthetic: s = 12 ms, t = 30 us per 4 KiB.
+  const double s = 0.012;
+  const double t4k = 30e-6;
+  std::vector<AffineSample> samples;
+  for (uint64_t io = 4096; io <= (16u << 20); io *= 2) {
+    samples.push_back({io, s + t4k / 4096.0 * static_cast<double>(io)});
+  }
+  const AffineFit fit = fit_affine(samples);
+  EXPECT_NEAR(fit.s, s, s * 1e-9);
+  EXPECT_NEAR(fit.t_per_4k, t4k, t4k * 1e-9);
+  EXPECT_NEAR(fit.alpha, t4k / s, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitAffineTest, ToleratesNoise) {
+  std::vector<AffineSample> samples;
+  double wiggle = 1.0;
+  for (uint64_t io = 4096; io <= (16u << 20); io *= 2) {
+    wiggle = -wiggle;
+    samples.push_back(
+        {io, 0.015 * (1.0 + 0.02 * wiggle) +
+                 7e-9 * static_cast<double>(io)});
+  }
+  const AffineFit fit = fit_affine(samples);
+  EXPECT_NEAR(fit.s, 0.015, 0.002);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitPdamTest, RecoversParallelismFromKnee) {
+  // Flat 100 s until p = 4, then linear: time = 100·p/4.
+  std::vector<PdamSample> samples;
+  const uint64_t per_thread = 1ULL << 30;
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    const double t = (p <= 4) ? 100.0 : 100.0 * p / 4.0;
+    samples.push_back({p, t, per_thread * static_cast<uint64_t>(p)});
+  }
+  const PdamFit fit = fit_pdam(samples);
+  EXPECT_NEAR(fit.p, 4.0, 1.0);
+  // Saturated throughput: per-thread bytes / right-segment slope.
+  EXPECT_NEAR(fit.saturated_mbps,
+              static_cast<double>(per_thread) / 25.0 / 1e6,
+              fit.saturated_mbps * 0.05);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitPdamTest, SoftKneeStillRecoverable) {
+  // Rounded transition like real devices (bank conflicts).
+  std::vector<PdamSample> samples;
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    const double eff = 6.0 * (1.0 - std::pow(1.0 - 1.0 / 6.0, p));
+    const double t = 50.0 * p / eff;
+    samples.push_back({p, t, static_cast<uint64_t>(p) << 30});
+  }
+  const PdamFit fit = fit_pdam(samples);
+  // A fully smoothed knee biases the segment intersection upward (the
+  // left segment picks up slope); the estimate still lands within a small
+  // factor of the true parallelism of 6.
+  EXPECT_GT(fit.p, 2.0);
+  EXPECT_LT(fit.p, 15.0);
+}
+
+TEST(FitDeathTest, RequiresEnoughSamples) {
+  EXPECT_DEATH(fit_affine({{4096, 0.01}}), "");
+  EXPECT_DEATH(fit_pdam({{1, 1.0, 1}, {2, 1.0, 2}}), "");
+}
+
+}  // namespace
+}  // namespace damkit::harness

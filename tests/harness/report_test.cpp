@@ -1,0 +1,78 @@
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+namespace damkit::harness {
+namespace {
+
+AffineExperimentResult fake_affine() {
+  AffineExperimentResult r;
+  for (uint64_t io = 4096; io <= 1 << 20; io *= 2) {
+    r.samples.push_back({io, 0.012 + 7e-9 * static_cast<double>(io)});
+  }
+  r.fit = fit_affine(r.samples);
+  return r;
+}
+
+PdamExperimentResult fake_pdam() {
+  PdamExperimentResult r;
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    r.samples.push_back(
+        {p, p <= 4 ? 10.0 : 2.5 * p, uint64_t(p) << 30});
+  }
+  r.fit = fit_pdam(r.samples);
+  return r;
+}
+
+TEST(ReportTest, AffineTableHasRowPerDevice) {
+  const Table t = make_affine_table(
+      {{"disk A", fake_affine()}, {"disk B", fake_affine()}});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("disk A"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+}
+
+TEST(ReportTest, PdamTableShowsFittedP) {
+  const Table t = make_pdam_table({{"ssd X", fake_pdam()}});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("ssd X"), std::string::npos);
+  EXPECT_NE(s.find("4.0"), std::string::npos);  // breakpoint ≈ 4
+}
+
+TEST(ReportTest, PdamFigureOneRowPerThreadCount) {
+  const Table t = make_pdam_figure({{"a", fake_pdam()}, {"b", fake_pdam()}});
+  EXPECT_EQ(t.rows(), 7u);  // thread counts
+}
+
+TEST(ReportTest, SweepFigureAlignsOverlay) {
+  SweepResult r;
+  r.points.push_back({4096, 1.0, 2.0, 3.0, 0.9, 2});
+  r.points.push_back({8192, 1.5, 2.5, 4.0, 0.8, 2});
+  r.affine_query_ms = {1.0, 1.4};
+  r.affine_insert_ms = {2.0, 2.6};
+  const Table t = make_sweep_figure(r);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_NE(t.to_string().find("4 KiB"), std::string::npos);
+}
+
+TEST(ReportTest, EmitWritesCsv) {
+  Table t({"x"});
+  t.add_row({"1"});
+  const std::string path = testing::TempDir() + "/damkit_report_test.csv";
+  const std::string rendered = emit("caption", t, path);
+  EXPECT_NE(rendered.find("caption"), std::string::npos);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, EmitSkipsCsvWhenPathEmpty) {
+  Table t({"x"});
+  const std::string rendered = emit("no csv", t, "");
+  EXPECT_NE(rendered.find("no csv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace damkit::harness

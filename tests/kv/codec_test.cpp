@@ -1,0 +1,76 @@
+#include "kv/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace damkit::kv {
+namespace {
+
+TEST(CodecTest, PrimitivesRoundTrip) {
+  std::vector<uint8_t> buf;
+  Writer w(buf);
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  w.put_bytes("raw");
+  w.put_lp_bytes("length-prefixed");
+
+  Reader r(buf);
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.get_bytes(3), "raw");
+  EXPECT_EQ(r.get_lp_bytes(), "length-prefixed");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(CodecTest, WriterTracksSize) {
+  std::vector<uint8_t> buf;
+  Writer w(buf);
+  EXPECT_EQ(w.size(), 0u);
+  w.put_u32(1);
+  EXPECT_EQ(w.size(), 4u);
+  w.put_lp_bytes("abc");
+  EXPECT_EQ(w.size(), 4u + 4u + 3u);
+}
+
+TEST(CodecTest, EmptyPayloads) {
+  std::vector<uint8_t> buf;
+  Writer w(buf);
+  w.put_lp_bytes("");
+  Reader r(buf);
+  EXPECT_EQ(r.get_lp_bytes(), "");
+}
+
+TEST(CodecTest, ReaderPositionAdvances) {
+  std::vector<uint8_t> buf;
+  Writer w(buf);
+  w.put_u64(1);
+  w.put_u64(2);
+  Reader r(buf);
+  EXPECT_EQ(r.position(), 0u);
+  r.get_u64();
+  EXPECT_EQ(r.position(), 8u);
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
+TEST(CodecDeathTest, ShortReadAborts) {
+  std::vector<uint8_t> buf;
+  Writer w(buf);
+  w.put_u16(7);
+  Reader r(buf);
+  r.get_u16();
+  EXPECT_DEATH(r.get_u8(), "short read");
+}
+
+TEST(CodecDeathTest, TruncatedLengthPrefixAborts) {
+  std::vector<uint8_t> buf;
+  Writer w(buf);
+  w.put_u32(100);  // claims 100 bytes follow; none do
+  Reader r(buf);
+  EXPECT_DEATH(r.get_lp_bytes(), "short read");
+}
+
+}  // namespace
+}  // namespace damkit::kv

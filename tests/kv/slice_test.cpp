@@ -1,0 +1,73 @@
+#include "kv/slice.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace damkit::kv {
+namespace {
+
+TEST(SliceTest, EncodeDecodeRoundTrip) {
+  for (uint64_t id : {0ULL, 1ULL, 255ULL, 1ULL << 40, ~0ULL}) {
+    EXPECT_EQ(decode_key(encode_key(id)), id);
+    EXPECT_EQ(decode_key(encode_key(id, 16)), id);
+  }
+}
+
+TEST(SliceTest, EncodedOrderMatchesNumericOrder) {
+  std::vector<uint64_t> ids{0, 1, 2, 255, 256, 1000, 1ULL << 33, ~0ULL};
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    EXPECT_LT(compare(encode_key(ids[i]), encode_key(ids[i + 1])), 0)
+        << ids[i] << " vs " << ids[i + 1];
+  }
+}
+
+TEST(SliceTest, WidthPadsOnLeft) {
+  const std::string k = encode_key(1, 16);
+  EXPECT_EQ(k.size(), 16u);
+  for (size_t i = 0; i < 15; ++i) EXPECT_EQ(k[i], '\0');
+  EXPECT_EQ(k[15], '\x01');
+}
+
+TEST(SliceTest, MakeValueDeterministicAndDistinct) {
+  EXPECT_EQ(make_value(7, 64), make_value(7, 64));
+  EXPECT_NE(make_value(7, 64), make_value(8, 64));
+  EXPECT_EQ(make_value(7, 0), "");
+  EXPECT_EQ(make_value(9, 100).size(), 100u);
+}
+
+TEST(SliceTest, MakeValueIsPrintable) {
+  const std::string v = make_value(1234, 200);
+  for (char c : v) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                c == '_');
+  }
+}
+
+TEST(SliceTest, CheckValue) {
+  EXPECT_TRUE(check_value(5, make_value(5, 32)));
+  EXPECT_FALSE(check_value(6, make_value(5, 32)));
+  std::string tampered = make_value(5, 32);
+  tampered[0] = tampered[0] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(check_value(5, tampered));
+}
+
+TEST(SliceTest, CompareLexicographic) {
+  EXPECT_EQ(compare("abc", "abc"), 0);
+  EXPECT_LT(compare("abc", "abd"), 0);
+  EXPECT_GT(compare("abd", "abc"), 0);
+  EXPECT_LT(compare("ab", "abc"), 0);   // prefix sorts first
+  EXPECT_GT(compare("abc", "ab"), 0);
+  EXPECT_EQ(compare("", ""), 0);
+  EXPECT_LT(compare("", "a"), 0);
+}
+
+TEST(SliceTest, CompareTreatsBytesUnsigned) {
+  const std::string hi("\xff", 1);
+  const std::string lo("\x01", 1);
+  EXPECT_GT(compare(hi, lo), 0);
+}
+
+}  // namespace
+}  // namespace damkit::kv

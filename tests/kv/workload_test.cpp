@@ -1,0 +1,123 @@
+#include "kv/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "kv/slice.h"
+
+namespace damkit::kv {
+namespace {
+
+TEST(WorkloadTest, KeysStayInSpace) {
+  WorkloadSpec spec;
+  spec.key_space = 100;
+  OpGenerator gen(spec);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(gen.next().key_id, 100u);
+}
+
+TEST(WorkloadTest, Deterministic) {
+  WorkloadSpec spec;
+  spec.seed = 99;
+  OpGenerator a(spec), b(spec);
+  for (int i = 0; i < 100; ++i) {
+    const Op x = a.next(), y = b.next();
+    EXPECT_EQ(x.key_id, y.key_id);
+    EXPECT_EQ(x.type, y.type);
+  }
+}
+
+TEST(WorkloadTest, MixRespectsWeights) {
+  WorkloadSpec spec;
+  spec.get_weight = 0.9;
+  spec.put_weight = 0.1;
+  OpGenerator gen(spec);
+  int gets = 0;
+  constexpr int kOps = 10000;
+  for (int i = 0; i < kOps; ++i) {
+    if (gen.next().type == OpType::kGet) ++gets;
+  }
+  EXPECT_NEAR(gets, 9000, 300);
+}
+
+TEST(WorkloadTest, AllOpTypesReachable) {
+  WorkloadSpec spec;
+  spec.get_weight = spec.put_weight = spec.delete_weight = spec.scan_weight =
+      spec.upsert_weight = 1.0;
+  OpGenerator gen(spec);
+  std::set<OpType> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(gen.next().type);
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(WorkloadTest, ScanOpsCarryLength) {
+  WorkloadSpec spec;
+  spec.get_weight = 0.0;
+  spec.put_weight = 0.0;
+  spec.scan_weight = 1.0;
+  spec.scan_length = 77;
+  OpGenerator gen(spec);
+  const Op op = gen.next();
+  EXPECT_EQ(op.type, OpType::kScan);
+  EXPECT_EQ(op.scan_length, 77u);
+}
+
+TEST(WorkloadTest, SequentialWrapsAround) {
+  WorkloadSpec spec;
+  spec.distribution = Distribution::kSequential;
+  spec.key_space = 5;
+  spec.get_weight = 1.0;
+  spec.put_weight = 0.0;
+  OpGenerator gen(spec);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 12; ++i) ids.push_back(gen.next().key_id);
+  const std::vector<uint64_t> expected{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1};
+  EXPECT_EQ(ids, expected);
+}
+
+TEST(WorkloadTest, ZipfianSkewsTraffic) {
+  WorkloadSpec spec;
+  spec.distribution = Distribution::kZipfian;
+  spec.key_space = 100000;
+  spec.zipf_theta = 0.99;
+  OpGenerator gen(spec);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[gen.next().key_id];
+  int max_count = 0;
+  for (const auto& [id, c] : counts) max_count = std::max(max_count, c);
+  // Uniform would give ~1 access per key; zipfian has heavy hitters.
+  EXPECT_GT(max_count, 100);
+}
+
+TEST(WorkloadTest, ShuffledIdsIsPermutation) {
+  const auto ids = shuffled_ids(1000, 3);
+  std::vector<uint64_t> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<uint64_t> expected(1000);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(sorted, expected);
+  EXPECT_NE(ids, expected);  // shuffled
+  EXPECT_EQ(shuffled_ids(1000, 3), ids);  // deterministic
+  EXPECT_NE(shuffled_ids(1000, 4), ids);
+}
+
+TEST(WorkloadTest, BulkItemMatchesSpec) {
+  WorkloadSpec spec;
+  spec.key_bytes = 12;
+  spec.value_bytes = 50;
+  const BulkItem item = bulk_item(42, spec);
+  EXPECT_EQ(item.key, encode_key(42, 12));
+  EXPECT_EQ(item.value, make_value(42, 50));
+}
+
+TEST(WorkloadDeathTest, ZeroWeightsRejected) {
+  WorkloadSpec spec;
+  spec.get_weight = spec.put_weight = 0.0;
+  EXPECT_DEATH(OpGenerator{spec}, "weights");
+}
+
+}  // namespace
+}  // namespace damkit::kv

@@ -1,0 +1,77 @@
+#include "lsm/memtable.h"
+
+#include <gtest/gtest.h>
+
+namespace damkit::lsm {
+namespace {
+
+TEST(MemTableTest, PutGetOverwrite) {
+  MemTable m;
+  EXPECT_TRUE(m.empty());
+  m.put("k", "v1");
+  m.put("k", "v2");
+  const auto hit = m.get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value, "v2");
+  EXPECT_FALSE(hit->tombstone);
+  EXPECT_EQ(m.entry_count(), 1u);
+}
+
+TEST(MemTableTest, EraseLeavesTombstone) {
+  MemTable m;
+  m.put("k", "v");
+  m.erase("k");
+  const auto hit = m.get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->tombstone);
+  // Tombstone for a never-written key is also recorded (it may shadow
+  // older on-disk data).
+  m.erase("ghost");
+  ASSERT_TRUE(m.get("ghost").has_value());
+  EXPECT_TRUE(m.get("ghost")->tombstone);
+}
+
+TEST(MemTableTest, UnknownKeyIsNullopt) {
+  MemTable m;
+  m.put("a", "1");
+  EXPECT_FALSE(m.get("b").has_value());
+}
+
+TEST(MemTableTest, BytesTrackGrowthAndOverwrite) {
+  MemTable m;
+  EXPECT_EQ(m.approximate_bytes(), 0u);
+  m.put("key1", std::string(100, 'x'));
+  const uint64_t after_first = m.approximate_bytes();
+  EXPECT_GT(after_first, 100u);
+  // Overwriting with a smaller value shrinks the accounting.
+  m.put("key1", "tiny");
+  EXPECT_LT(m.approximate_bytes(), after_first);
+  // Tombstoning keeps the key but drops the payload bytes.
+  m.erase("key1");
+  EXPECT_LT(m.approximate_bytes(), after_first);
+}
+
+TEST(MemTableTest, EntriesAreKeyOrdered) {
+  MemTable m;
+  m.put("c", "3");
+  m.put("a", "1");
+  m.put("b", "2");
+  std::string prev;
+  for (const auto& [k, slot] : m.entries()) {
+    EXPECT_LT(prev, k);
+    prev = k;
+  }
+  EXPECT_EQ(m.entries().size(), 3u);
+}
+
+TEST(MemTableTest, ClearResets) {
+  MemTable m;
+  m.put("a", "1");
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.approximate_bytes(), 0u);
+  EXPECT_FALSE(m.get("a").has_value());
+}
+
+}  // namespace
+}  // namespace damkit::lsm

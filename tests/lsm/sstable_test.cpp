@@ -1,0 +1,166 @@
+#include "lsm/sstable.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kv/slice.h"
+#include "sim/hdd.h"
+#include "util/bytes.h"
+
+namespace damkit::lsm {
+namespace {
+
+class SSTableTest : public testing::Test {
+ protected:
+  SSTableTest()
+      : dev_(make_config()), io_(dev_), arena_(dev_, 0) {}
+
+  static sim::HddConfig make_config() {
+    sim::HddConfig cfg;
+    cfg.capacity_bytes = 4ULL * kGiB;
+    return cfg;
+  }
+
+  SSTableRef build(uint64_t count, uint64_t stride = 1,
+                   uint64_t block_bytes = 1024) {
+    SSTableBuilder b(dev_, io_, arena_, block_bytes, 10.0, 1);
+    for (uint64_t i = 0; i < count; ++i) {
+      b.add(Entry{kv::encode_key(i * stride), kv::make_value(i, 40), false});
+    }
+    return b.finish();
+  }
+
+  sim::HddDevice dev_;
+  sim::IoContext io_;
+  blockdev::ByteArena arena_;
+};
+
+TEST_F(SSTableTest, EmptyBuilderReturnsNull) {
+  SSTableBuilder b(dev_, io_, arena_, 1024, 10.0, 1);
+  EXPECT_EQ(b.finish(), nullptr);
+}
+
+TEST_F(SSTableTest, MetadataCorrect) {
+  SSTableRef t = build(1000, 2);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->entry_count(), 1000u);
+  EXPECT_EQ(t->min_key(), kv::encode_key(0));
+  EXPECT_EQ(t->max_key(), kv::encode_key(1998));
+  EXPECT_GT(t->block_count(), 10u);
+  EXPECT_GT(t->total_bytes(), t->data_bytes());
+  EXPECT_EQ(t->sequence(), 1u);
+}
+
+TEST_F(SSTableTest, GetFindsEveryKey) {
+  SSTableRef t = build(500, 3);
+  for (uint64_t i = 0; i < 500; i += 7) {
+    const auto hit = t->get(kv::encode_key(i * 3), io_);
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(hit->value, kv::make_value(i, 40));
+    EXPECT_FALSE(hit->tombstone);
+  }
+}
+
+TEST_F(SSTableTest, GetMissesBetweenAndOutside) {
+  SSTableRef t = build(100, 10);
+  EXPECT_FALSE(t->get(kv::encode_key(5), io_).has_value());    // between
+  EXPECT_FALSE(t->get(kv::encode_key(995), io_).has_value());  // between
+  EXPECT_FALSE(t->get(kv::encode_key(10'000), io_).has_value());  // above
+}
+
+TEST_F(SSTableTest, TombstonesSurfaceAsEntries) {
+  SSTableBuilder b(dev_, io_, arena_, 1024, 10.0, 1);
+  b.add(Entry{kv::encode_key(1), "v", false});
+  b.add(Entry{kv::encode_key(2), "", true});
+  SSTableRef t = b.finish();
+  const auto hit = t->get(kv::encode_key(2), io_);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->tombstone);
+}
+
+TEST_F(SSTableTest, PointReadCostsOneBlock) {
+  SSTableRef t = build(2000, 1, 4096);
+  dev_.clear_stats();
+  const auto hit = t->get(kv::encode_key(1234), io_);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(dev_.stats().reads, 1u);
+  EXPECT_LE(dev_.stats().bytes_read, 2u * 4096);  // one (possibly full) block
+}
+
+TEST_F(SSTableTest, BloomSkipsAbsentKeysWithoutIo) {
+  SSTableRef t = build(1000);
+  dev_.clear_stats();
+  int ios = 0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    // Keys inside the range but absent... range is dense 0..999; use
+    // the bloom API directly on far keys mapped into range via may_contain.
+    if (!t->may_contain(kv::encode_key(100'000 + i))) continue;
+    ++ios;
+  }
+  // ~1% false positive rate → almost everything skipped with no reads.
+  EXPECT_LT(ios, 30);
+  EXPECT_EQ(dev_.stats().reads, 0u);
+}
+
+TEST_F(SSTableTest, IteratorFullScanInOrder) {
+  SSTableRef t = build(1500, 2);
+  auto it = t->seek("", io_);
+  uint64_t n = 0;
+  std::string prev;
+  while (it.valid()) {
+    if (n > 0) EXPECT_LT(kv::compare(prev, it.entry().key), 0);
+    prev = it.entry().key;
+    it.next();
+    ++n;
+  }
+  EXPECT_EQ(n, 1500u);
+}
+
+TEST_F(SSTableTest, IteratorSeeksMidTable) {
+  SSTableRef t = build(1000, 2);  // keys 0,2,...,1998
+  auto it = t->seek(kv::encode_key(501), io_);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.entry().key, kv::encode_key(502));
+  auto it2 = t->seek(kv::encode_key(2000), io_);
+  EXPECT_FALSE(it2.valid());
+}
+
+TEST_F(SSTableTest, OverlapsSemantics) {
+  SSTableRef t = build(10, 10);  // keys 0..90
+  EXPECT_TRUE(t->overlaps(kv::encode_key(0), kv::encode_key(0)));
+  EXPECT_TRUE(t->overlaps(kv::encode_key(85), kv::encode_key(200)));
+  EXPECT_FALSE(t->overlaps(kv::encode_key(91), kv::encode_key(200)));
+}
+
+TEST_F(SSTableTest, ReleaseReturnsArenaBytes) {
+  SSTableRef t = build(1000);
+  const uint64_t live_before = arena_.live_bytes();
+  t->release();
+  EXPECT_LT(arena_.live_bytes(), live_before);
+}
+
+TEST_F(SSTableTest, WriteIsSingleSequentialIo) {
+  dev_.clear_stats();
+  SSTableRef t = build(5000);
+  EXPECT_EQ(dev_.stats().writes, 1u);
+  EXPECT_GE(dev_.stats().bytes_written, t->data_bytes());
+}
+
+using SSTableDeathTest = SSTableTest;
+
+TEST_F(SSTableDeathTest, OutOfOrderKeysAbort) {
+  SSTableBuilder b(dev_, io_, arena_, 1024, 10.0, 1);
+  b.add(Entry{kv::encode_key(10), "v", false});
+  EXPECT_DEATH(b.add(Entry{kv::encode_key(5), "v", false}),
+               "strictly ascending");
+}
+
+TEST_F(SSTableDeathTest, ReadAfterReleaseAborts) {
+  SSTableRef t = build(100);
+  t->release();
+  EXPECT_DEATH((void)t->get(kv::encode_key(5), io_), "released");
+}
+
+}  // namespace
+}  // namespace damkit::lsm

@@ -1,0 +1,42 @@
+#include "model/affine.h"
+
+#include <gtest/gtest.h>
+
+namespace damkit::model {
+namespace {
+
+TEST(AffineTest, IoCostIsAffine) {
+  AffineModel m(0.001);
+  EXPECT_DOUBLE_EQ(m.io_cost(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.io_cost(1000), 2.0);
+  EXPECT_DOUBLE_EQ(m.io_cost(2000), 3.0);
+}
+
+TEST(AffineTest, PhysicalConstruction) {
+  // s = 12 ms, t = 6.67 ns/byte (≈150 MB/s).
+  AffineModel m(0.012, 6.67e-9);
+  EXPECT_NEAR(m.alpha(), 6.67e-9 / 0.012, 1e-15);
+  EXPECT_DOUBLE_EQ(m.setup_seconds(), 0.012);
+  EXPECT_NEAR(m.io_seconds(1 << 20), 0.012 + 6.67e-9 * (1 << 20), 1e-9);
+}
+
+TEST(AffineTest, HalfBandwidthPoint) {
+  AffineModel m(0.001);
+  EXPECT_DOUBLE_EQ(m.half_bandwidth_bytes(), 1000.0);
+  // At the half-bandwidth point, setup equals transfer: cost exactly 2.
+  EXPECT_DOUBLE_EQ(m.io_cost(m.half_bandwidth_bytes()), 2.0);
+}
+
+TEST(AffineTest, DamUpperBound) {
+  AffineModel m(0.01);
+  EXPECT_DOUBLE_EQ(m.dam_cost_upper_bound(5.0), 10.0);
+}
+
+TEST(AffineDeathTest, RejectsNonPositive) {
+  EXPECT_DEATH(AffineModel(0.0), "");
+  EXPECT_DEATH(AffineModel(-1.0), "");
+  EXPECT_DEATH(AffineModel(0.0, 1e-9), "");
+}
+
+}  // namespace
+}  // namespace damkit::model

@@ -1,0 +1,51 @@
+#include "model/dam.h"
+
+#include <gtest/gtest.h>
+
+#include "model/affine.h"
+
+namespace damkit::model {
+namespace {
+
+TEST(DamTest, IosForRoundsUp) {
+  DamModel dam(4096);
+  EXPECT_EQ(dam.ios_for(1), 1u);
+  EXPECT_EQ(dam.ios_for(4096), 1u);
+  EXPECT_EQ(dam.ios_for(4097), 2u);
+  EXPECT_EQ(dam.ios_for(40960), 10u);
+}
+
+TEST(DamTest, CostCountsIos) {
+  DamModel dam(4096);
+  EXPECT_DOUBLE_EQ(dam.cost(17), 17.0);
+}
+
+TEST(DamTest, PredictedSecondsLinearInIos) {
+  DamModel dam(1 << 20);
+  const double one = dam.predicted_seconds(1, 0.01, 1e-8);
+  EXPECT_DOUBLE_EQ(one, 0.01 + 1e-8 * (1 << 20));
+  EXPECT_DOUBLE_EQ(dam.predicted_seconds(10, 0.01, 1e-8), 10 * one);
+}
+
+// Lemma 1: with B at the half-bandwidth point, the DAM approximates the
+// affine cost of any single IO to within a factor of 2 in both directions.
+TEST(DamTest, Lemma1FactorOfTwo) {
+  const double alpha = 1e-6;
+  const AffineModel affine(alpha);
+  const auto b = static_cast<uint64_t>(affine.half_bandwidth_bytes());
+  const DamModel dam(b);
+  for (uint64_t x : {uint64_t{1}, b / 100, b / 2, b, 2 * b, 100 * b}) {
+    const double affine_cost = affine.io_cost(static_cast<double>(x));
+    // DAM charges 2 units per block (setup + transfer at half-bandwidth).
+    const double dam_cost = 2.0 * static_cast<double>(dam.ios_for(x));
+    EXPECT_LE(affine_cost, 2.0 * dam_cost) << "x=" << x;
+    EXPECT_LE(dam_cost, 2.0 * affine_cost * 1.0001 + 2.0) << "x=" << x;
+  }
+}
+
+TEST(DamDeathTest, ZeroBlockRejected) {
+  EXPECT_DEATH(DamModel(0), "");
+}
+
+}  // namespace
+}  // namespace damkit::model

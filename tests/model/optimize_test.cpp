@@ -1,0 +1,69 @@
+#include "model/optimize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace damkit::model {
+namespace {
+
+TEST(GoldenTest, FindsParabolaMinimum) {
+  const double x =
+      minimize_golden([](double v) { return (v - 3.7) * (v - 3.7); }, 0, 10);
+  EXPECT_NEAR(x, 3.7, 1e-6);
+}
+
+TEST(GoldenTest, FindsBoundaryMinimum) {
+  const double x = minimize_golden([](double v) { return v; }, 2, 9);
+  EXPECT_NEAR(x, 2.0, 1e-5);
+}
+
+TEST(GoldenTest, HandlesAsymmetricUnimodal) {
+  // min of x + 100/x at x = 10.
+  const double x =
+      minimize_golden([](double v) { return v + 100.0 / v; }, 0.1, 1000);
+  EXPECT_NEAR(x, 10.0, 1e-4);
+}
+
+TEST(MinimizeOverTest, PicksBestCandidate) {
+  const std::vector<uint64_t> cands{1, 2, 4, 8, 16, 32};
+  const uint64_t best = minimize_over(
+      [](uint64_t v) {
+        const double d = static_cast<double>(v) - 7.0;
+        return d * d;
+      },
+      cands);
+  EXPECT_EQ(best, 8u);
+}
+
+TEST(MinimizeOverTest, FirstWinsTies) {
+  const std::vector<uint64_t> cands{3, 5};
+  EXPECT_EQ(minimize_over([](uint64_t) { return 1.0; }, cands), 3u);
+}
+
+TEST(GeometricLadderTest, CoversRange) {
+  const auto ladder = geometric_ladder(4, 1024, 2.0);
+  EXPECT_EQ(ladder.front(), 4u);
+  EXPECT_EQ(ladder.back(), 1024u);
+  for (size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i], ladder[i - 1]);
+  }
+  EXPECT_EQ(ladder.size(), 9u);  // 4, 8, ..., 1024
+}
+
+TEST(GeometricLadderTest, NonIntegerRatioDeduplicates) {
+  const auto ladder = geometric_ladder(10, 20, 1.05);
+  for (size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i], ladder[i - 1]);
+  }
+  EXPECT_EQ(ladder.back(), 20u);
+}
+
+TEST(GeometricLadderDeathTest, RejectsBadRange) {
+  EXPECT_DEATH(geometric_ladder(0, 10, 2.0), "");
+  EXPECT_DEATH(geometric_ladder(10, 5, 2.0), "");
+  EXPECT_DEATH(geometric_ladder(1, 10, 1.0), "");
+}
+
+}  // namespace
+}  // namespace damkit::model

@@ -1,0 +1,86 @@
+#include "model/pdam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace damkit::model {
+namespace {
+
+TEST(PdamTest, SaturatedBandwidth) {
+  PdamModel m(4.0, 64 * 1024, 0.001);
+  EXPECT_DOUBLE_EQ(m.saturated_bps(), 4.0 * 65536 / 0.001);
+}
+
+TEST(PdamTest, StepsFlatUpToP) {
+  PdamModel m(4.0, 4096, 1.0);
+  // p <= P: added threads are absorbed; per-thread time constant means
+  // total steps for p*n IOs with p served per step is n.
+  EXPECT_DOUBLE_EQ(m.steps_for(1000, 1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(m.steps_for(2000, 2.0), 1000.0);
+  EXPECT_DOUBLE_EQ(m.steps_for(4000, 4.0), 1000.0);
+  // p > P: linear growth.
+  EXPECT_DOUBLE_EQ(m.steps_for(8000, 8.0), 2000.0);
+  EXPECT_DOUBLE_EQ(m.steps_for(16000, 16.0), 4000.0);
+}
+
+TEST(PdamTest, PredictedSecondsMatchesFigure1Shape) {
+  PdamModel m(4.0, 64 * 1024, 0.0005);
+  const double t1 = m.predicted_seconds(1, 1000);
+  const double t4 = m.predicted_seconds(4, 1000);
+  const double t8 = m.predicted_seconds(8, 1000);
+  EXPECT_DOUBLE_EQ(t1, t4);        // flat region
+  EXPECT_DOUBLE_EQ(t8, 2.0 * t4);  // linear region
+}
+
+TEST(PdamTest, DamOverestimatesByP) {
+  PdamModel m(6.0, 4096, 1.0);
+  const double pdam = m.predicted_seconds(6, 100);
+  const double dam = m.dam_predicted_seconds(6, 100);
+  EXPECT_NEAR(dam / pdam, 6.0, 1e-9);
+}
+
+TEST(PdamTest, VebThroughputIncreasesWithClients) {
+  PdamModel m(16.0, 4096, 1.0);
+  const double n = 1e9;
+  double prev = 0.0;
+  for (double k = 1; k <= 16; k *= 2) {
+    const double th = m.veb_btree_throughput(k, n);
+    EXPECT_GT(th, prev);
+    prev = th;
+  }
+}
+
+TEST(PdamTest, VebMatchesEndpoints) {
+  PdamModel m(8.0, 4096, 1.0);
+  const double n = 1e8;
+  // k = P: each client gets one block per step — same as small nodes.
+  EXPECT_NEAR(m.veb_btree_throughput(8, n), m.small_node_throughput(8, n),
+              1e-9);
+  // k = 1: single client uses the whole node per step: log base PB.
+  const double single = m.veb_btree_throughput(1, n);
+  EXPECT_NEAR(single, 1.0 / (std::log(n) / std::log(8.0 * 4096)), 1e-9);
+}
+
+TEST(PdamTest, VebBeatsPlainBigNodesForManyClients) {
+  PdamModel m(8.0, 4096, 1.0);
+  const double n = 1e8;
+  EXPECT_GT(m.veb_btree_throughput(8, n), m.big_plain_node_throughput(8, n));
+}
+
+TEST(PdamTest, SmallNodeThroughputSaturatesAtP) {
+  PdamModel m(4.0, 4096, 1.0);
+  const double n = 1e8;
+  EXPECT_DOUBLE_EQ(m.small_node_throughput(4, n),
+                   m.small_node_throughput(8, n));
+}
+
+TEST(PdamDeathTest, RejectsBadParams) {
+  EXPECT_DEATH(PdamModel(0.0, 4096), "");
+  EXPECT_DEATH(PdamModel(4.0, 0), "");
+  PdamModel m(4.0, 4096);
+  EXPECT_DEATH(m.veb_btree_throughput(5.0, 1e6), "");  // k > P
+}
+
+}  // namespace
+}  // namespace damkit::model

@@ -1,0 +1,132 @@
+#include "model/tree_costs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace damkit::model {
+namespace {
+
+TreeParams params(double alpha = 1e-4) {
+  TreeParams p;
+  p.alpha = alpha;
+  p.n = 1e9;
+  p.m = 1e6;
+  return p;
+}
+
+TEST(TreeCostsTest, BtreeCostHasInteriorMinimum) {
+  const TreeParams p = params();
+  const double at_opt = btree_op_cost(p, optimal_btree_node_size(p.alpha));
+  EXPECT_LT(at_opt, btree_op_cost(p, 16.0));
+  EXPECT_LT(at_opt, btree_op_cost(p, 1.0 / p.alpha * 10));
+}
+
+// Corollary 7: the optimal B-tree node is Θ(1/(α ln(1/α))) — strictly
+// below the half-bandwidth point 1/α.
+TEST(TreeCostsTest, Corollary7OptBelowHalfBandwidth) {
+  for (double alpha : {1e-3, 1e-4, 1e-5}) {
+    const double opt = optimal_btree_node_size(alpha);
+    const double half = half_bandwidth_node_size(alpha);
+    EXPECT_LT(opt, half) << alpha;
+    // Within a small constant of the closed form.
+    const double closed = 1.0 / (alpha * std::log(1.0 / alpha));
+    EXPECT_GT(opt, closed / 4.0) << alpha;
+    EXPECT_LT(opt, closed * 4.0) << alpha;
+  }
+}
+
+TEST(TreeCostsTest, OptimumSatisfiesFirstOrderCondition) {
+  const double alpha = 1e-4;
+  const double x = optimal_btree_node_size(alpha);
+  // Numeric derivative of (1+αx)/ln(x+1) should vanish at x.
+  auto f = [alpha](double v) { return (1 + alpha * v) / std::log(v + 1); };
+  const double h = x * 1e-5;
+  const double deriv = (f(x + h) - f(x - h)) / (2 * h);
+  EXPECT_NEAR(deriv, 0.0, 1e-10);
+}
+
+// Table 3 row 1: B-tree cost grows ~linearly in B past the optimum.
+TEST(TreeCostsTest, BtreeSensitivityNearlyLinear) {
+  const TreeParams p = params();
+  const double b0 = 4.0 / p.alpha;  // well past half-bandwidth
+  const double r = btree_op_cost(p, 4 * b0) / btree_op_cost(p, b0);
+  EXPECT_GT(r, 2.5);  // ~4x/log correction
+  EXPECT_LT(r, 4.0);
+}
+
+// Corollary 10: the B^(1/2)-tree query cost grows ~sqrt(B) — much slower.
+TEST(TreeCostsTest, BhalfTreeLessSensitiveThanBtree) {
+  const TreeParams p = params();
+  const double b0 = 4.0 / p.alpha;
+  const double btree_ratio = btree_op_cost(p, 16 * b0) / btree_op_cost(p, b0);
+  const double bhalf_ratio =
+      bhalf_tree_query_cost(p, 16 * b0) / bhalf_tree_query_cost(p, b0);
+  EXPECT_LT(bhalf_ratio, btree_ratio / 2.0);
+}
+
+TEST(TreeCostsTest, BetreeInsertBeatsBtreeInsert) {
+  const TreeParams p = params();
+  const double b = 1.0 / p.alpha;
+  const double f = std::sqrt(b);
+  EXPECT_LT(betree_insert_cost(p, b, f), btree_op_cost(p, b) / 5.0);
+}
+
+TEST(TreeCostsTest, OptimizedQueryBeatsNaive) {
+  const TreeParams p = params();
+  const double b = 4.0 / p.alpha;  // large node: αB = 4
+  const double f = std::sqrt(b);
+  EXPECT_LT(betree_query_cost_optimized(p, b, f),
+            betree_query_cost_naive(p, b, f));
+}
+
+TEST(TreeCostsTest, RangeCostsScaleWithLength) {
+  const TreeParams p = params();
+  EXPECT_DOUBLE_EQ(btree_range_cost(p, 1000, 0), 0.0);
+  const double one_leaf = btree_range_cost(p, 1000, 500);
+  const double ten_leaves = btree_range_cost(p, 1000, 10000);
+  EXPECT_NEAR(ten_leaves / one_leaf, 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(betree_range_cost(p, 1000, 500), one_leaf);
+}
+
+TEST(TreeCostsTest, WriteAmps) {
+  const TreeParams p = params();
+  EXPECT_DOUBLE_EQ(btree_write_amp(4096), 4096.0);
+  // Bε write amp F·log_F(N/M) is far below B for big nodes.
+  EXPECT_LT(betree_write_amp(p, 1e6, 1000), btree_write_amp(1e6));
+}
+
+// Corollary 12: query parity with the optimal B-tree, inserts Θ(log 1/α)
+// faster.
+TEST(TreeCostsTest, Corollary12Speedup) {
+  for (double alpha : {1e-3, 1e-4}) {
+    TreeParams p = params(alpha);
+    const OptimalBetreeChoice c = optimal_betree_choice(alpha);
+    EXPECT_NEAR(c.node_size, c.fanout * c.fanout, 1e-6);
+
+    const double b_btree = optimal_btree_node_size(alpha);
+    const double q_btree = btree_op_cost(p, b_btree);
+    const double q_betree = betree_query_cost_optimized(p, c.node_size,
+                                                        c.fanout);
+    // Query parity within a modest constant (1 + o(1) in theory).
+    EXPECT_LT(q_betree, 2.5 * q_btree) << alpha;
+
+    const double speedup = corollary12_insert_speedup(p);
+    EXPECT_GT(speedup, std::log(1.0 / alpha) / 4.0) << alpha;
+  }
+}
+
+TEST(TreeCostsTest, SpeedupGrowsAsAlphaShrinks) {
+  EXPECT_GT(corollary12_insert_speedup(params(1e-5)),
+            corollary12_insert_speedup(params(1e-3)));
+}
+
+TEST(TreeCostsDeathTest, GuardsInputs) {
+  const TreeParams p = params();
+  EXPECT_DEATH(btree_op_cost(p, 0.5), "");
+  EXPECT_DEATH(betree_insert_cost(p, 100, 200), "");  // F > B
+  EXPECT_DEATH(optimal_btree_node_size(0.0), "");
+}
+
+}  // namespace
+}  // namespace damkit::model

@@ -1,0 +1,112 @@
+#include "pdam_tree/veb_layout.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace damkit::pdam_tree {
+namespace {
+
+TEST(VebLayoutTest, IsPermutation) {
+  for (int h = 1; h <= 12; ++h) {
+    const auto pos = veb_positions(h);
+    const uint64_t n = (1ULL << h) - 1;
+    ASSERT_EQ(pos.size(), n);
+    std::set<uint32_t> seen(pos.begin(), pos.end());
+    EXPECT_EQ(seen.size(), n) << "height " << h;
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), n - 1);
+  }
+}
+
+TEST(VebLayoutTest, HeightOneAndTwo) {
+  EXPECT_EQ(veb_positions(1), std::vector<uint32_t>({0}));
+  // Height 2: top = height 1 (root), bottoms = two height-1 leaves.
+  const auto pos = veb_positions(2);
+  EXPECT_EQ(pos[0], 0u);  // root first
+  EXPECT_EQ(pos[1], 1u);  // left leaf
+  EXPECT_EQ(pos[2], 2u);  // right leaf
+}
+
+TEST(VebLayoutTest, HeightFourStructure) {
+  // h=4: top tree height 2 (nodes 1,2,3), then four bottom trees of
+  // height 2 rooted at 4,5,6,7.
+  const auto pos = veb_positions(4);
+  EXPECT_EQ(pos[0], 0u);  // node 1
+  EXPECT_EQ(pos[1], 1u);  // node 2
+  EXPECT_EQ(pos[2], 2u);  // node 3
+  // Bottom tree at 4 occupies slots 3,4,5: nodes 4, 8, 9.
+  EXPECT_EQ(pos[3], 3u);
+  EXPECT_EQ(pos[7], 4u);
+  EXPECT_EQ(pos[8], 5u);
+  // Bottom tree at 5: nodes 5, 10, 11 → slots 6,7,8.
+  EXPECT_EQ(pos[4], 6u);
+  EXPECT_EQ(pos[9], 7u);
+  EXPECT_EQ(pos[10], 8u);
+}
+
+TEST(VebLayoutTest, SubtreesAreContiguous) {
+  // Defining property: each bottom subtree occupies a contiguous slot
+  // range. Check for height 8 with bottom height 4 at depth 4.
+  const int h = 8;
+  const auto pos = veb_positions(h);
+  const int top = h / 2;
+  for (uint64_t root = (1ULL << top); root < (1ULL << (top + 1)); ++root) {
+    // Gather all descendants of `root` within the bottom height.
+    std::vector<uint32_t> slots;
+    const int bottom = h - top;
+    for (int d = 0; d < bottom; ++d) {
+      for (uint64_t v = root << d; v < (root << d) + (1ULL << d); ++v) {
+        slots.push_back(pos[v - 1]);
+      }
+    }
+    std::sort(slots.begin(), slots.end());
+    for (size_t i = 1; i < slots.size(); ++i) {
+      EXPECT_EQ(slots[i], slots[i - 1] + 1) << "root " << root;
+    }
+  }
+}
+
+TEST(VebLayoutTest, RootToLeafPathTouchesFewRuns) {
+  // A root-to-leaf walk in vEB order should hop between far fewer
+  // contiguous regions than the BFS layout for the same height.
+  const int h = 16;
+  const auto veb = veb_positions(h);
+  const auto bfs = bfs_positions(h);
+  auto count_runs = [&](const std::vector<uint32_t>& pos, uint64_t leaf_path,
+                        uint32_t run_len) {
+    uint64_t v = 1;
+    int runs = 1;
+    uint32_t run_start = pos[0] / run_len;
+    for (int d = 0; d + 1 < h; ++d) {
+      v = 2 * v + ((leaf_path >> d) & 1);
+      const uint32_t region = pos[v - 1] / run_len;
+      if (region != run_start) {
+        ++runs;
+        run_start = region;
+      }
+    }
+    return runs;
+  };
+  int veb_runs = 0, bfs_runs = 0;
+  for (uint64_t path = 0; path < 64; ++path) {
+    veb_runs += count_runs(veb, path * 0x9e3779b9ULL, 256);
+    bfs_runs += count_runs(bfs, path * 0x9e3779b9ULL, 256);
+  }
+  EXPECT_LT(veb_runs, bfs_runs);
+}
+
+TEST(BfsLayoutTest, Identity) {
+  const auto pos = bfs_positions(5);
+  for (size_t i = 0; i < pos.size(); ++i) EXPECT_EQ(pos[i], i);
+}
+
+TEST(VebLayoutDeathTest, RejectsBadHeights) {
+  EXPECT_DEATH(veb_positions(0), "");
+  EXPECT_DEATH(veb_positions(31), "");
+}
+
+}  // namespace
+}  // namespace damkit::pdam_tree

@@ -1,0 +1,75 @@
+// Parameterized property sweep: *every* calibrated device profile must be
+// well-described by its model — the paper's central empirical claim, as a
+// regression test over the whole profile registry.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "sim/profiles.h"
+#include "util/bytes.h"
+
+namespace damkit::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HDD profiles: the affine model fits with high R² and recovers the
+// calibration targets.
+// ---------------------------------------------------------------------------
+
+class HddProfileFit : public testing::TestWithParam<size_t> {};
+
+TEST_P(HddProfileFit, AffineModelFitsWell) {
+  const HddConfig hdd = paper_hdd_profiles()[GetParam()];
+  harness::AffineExperimentConfig cfg;
+  cfg.reads_per_size = 32;
+  const auto res = run_affine_experiment(hdd, cfg);
+  EXPECT_GT(res.fit.r2, 0.99) << hdd.name;
+  EXPECT_NEAR(res.fit.s, hdd.expected_setup_s(),
+              hdd.expected_setup_s() * 0.15)
+      << hdd.name;
+  EXPECT_NEAR(res.fit.t_per_byte, hdd.expected_transfer_s_per_byte(),
+              hdd.expected_transfer_s_per_byte() * 0.1)
+      << hdd.name;
+  EXPECT_GT(res.fit.alpha, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperDisks, HddProfileFit,
+                         testing::Values(0u, 1u, 2u, 3u, 4u),
+                         [](const testing::TestParamInfo<size_t>& info) {
+                           return "disk" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// SSD profiles: the PDAM's flat-then-linear shape holds everywhere.
+// ---------------------------------------------------------------------------
+
+class SsdProfileFit : public testing::TestWithParam<size_t> {};
+
+TEST_P(SsdProfileFit, PdamShapeHolds) {
+  const SsdConfig ssd = paper_ssd_profiles()[GetParam()];
+  harness::PdamExperimentConfig cfg;
+  cfg.bytes_per_thread = 64ULL * kMiB;
+  const auto res = run_pdam_experiment(ssd, cfg);
+  EXPECT_GT(res.fit.r2, 0.98) << ssd.name;
+  // Flat-ish region start: doubling 1 -> 2 threads costs < 25%.
+  EXPECT_LT(res.samples[1].seconds / res.samples[0].seconds, 1.25)
+      << ssd.name;
+  // Saturated region: 32 -> 64 threads doubles time (±15%).
+  const double tail = res.samples[6].seconds / res.samples[5].seconds;
+  EXPECT_NEAR(tail, 2.0, 0.3) << ssd.name;
+  // Fitted P within the physically sensible band.
+  EXPECT_GT(res.fit.p, 1.5) << ssd.name;
+  EXPECT_LT(res.fit.p, 10.0) << ssd.name;
+  // Saturated throughput within 10% of the configured link.
+  EXPECT_NEAR(res.fit.saturated_mbps, ssd.saturated_read_bps() / 1e6,
+              ssd.saturated_read_bps() / 1e6 * 0.1)
+      << ssd.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperSsds, SsdProfileFit,
+                         testing::Values(0u, 1u, 2u, 3u),
+                         [](const testing::TestParamInfo<size_t>& info) {
+                           return "ssd" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace damkit::sim

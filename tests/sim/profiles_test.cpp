@@ -1,0 +1,86 @@
+#include "sim/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace damkit::sim {
+namespace {
+
+TEST(ProfilesTest, PaperHddListMatchesTable2Targets) {
+  const auto profiles = paper_hdd_profiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  // Table 2 targets: (s seconds, t seconds per 4 KiB).
+  const double target_s[] = {0.018, 0.015, 0.013, 0.012, 0.016};
+  const double target_t[] = {0.000021, 0.000033, 0.000041, 0.000035,
+                             0.000026};
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    EXPECT_NEAR(profiles[i].expected_setup_s(), target_s[i],
+                target_s[i] * 0.01)
+        << profiles[i].name;
+    const double eff_t = (profiles[i].expected_transfer_s_per_byte() +
+                          profiles[i].track_to_track_s * 0.25 /
+                              static_cast<double>(profiles[i].track_bytes)) *
+                         4096.0;
+    EXPECT_NEAR(eff_t, target_t[i], target_t[i] * 0.02) << profiles[i].name;
+  }
+}
+
+TEST(ProfilesTest, PaperSsdListMatchesTable1Saturation) {
+  const auto profiles = paper_ssd_profiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  const double target_mbps[] = {530, 2500, 260, 520};
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    EXPECT_NEAR(profiles[i].saturated_read_bps() / 1e6, target_mbps[i],
+                target_mbps[i] * 0.05)
+        << profiles[i].name;
+  }
+}
+
+TEST(ProfilesTest, HddYearsAndNamesPreserved) {
+  const auto profiles = paper_hdd_profiles();
+  EXPECT_EQ(profiles[0].year, 2002);
+  EXPECT_EQ(profiles[4].year, 2018);
+  EXPECT_NE(profiles[0].name.find("Seagate"), std::string::npos);
+  EXPECT_NE(profiles[4].name.find("WD Red"), std::string::npos);
+}
+
+TEST(ProfilesTest, MakeHddProfileSolvesSeekCurve) {
+  const HddConfig cfg =
+      make_hdd_profile("x", 2020, 512ULL * kGiB, 7200.0, 0.014, 0.00003);
+  EXPECT_NEAR(cfg.expected_setup_s(), 0.014, 1e-9);
+  EXPECT_GT(cfg.full_stroke_s, cfg.track_to_track_s);
+  HddDevice dev(cfg);
+  EXPECT_GT(dev.num_tracks(), 0u);
+}
+
+TEST(ProfilesTest, MakeSsdProfileBusBottleneckAndKnee) {
+  const SsdConfig cfg =
+      make_ssd_profile("y", 256ULL * kGiB, 4, 8, 4096, 500.0, 3.0, 20e-6);
+  EXPECT_EQ(cfg.total_dies(), 32);
+  EXPECT_NEAR(cfg.saturated_read_bps() / 1e6, 500.0, 5.0);
+  // Knee parameter sets the single-stream latency: P ≈ L·sat/64 KiB.
+  const double implied_p =
+      cfg.saturated_read_bps() / cfg.qd1_read_bps(64 * kKiB);
+  EXPECT_NEAR(implied_p, 3.0, 0.5);
+}
+
+TEST(ProfilesTest, TestbedProfilesConstruct) {
+  const HddConfig hdd = testbed_hdd_profile();
+  EXPECT_NEAR(hdd.expected_setup_s(), 0.012, 1e-6);
+  const SsdConfig ssd = testbed_ssd_profile();
+  EXPECT_NEAR(ssd.saturated_read_bps() / 1e6, 520.0, 10.0);
+}
+
+TEST(ProfilesDeathTest, InfeasibleTargetsRejected) {
+  // Setup cost smaller than half a rotation is unachievable at 7200 rpm.
+  EXPECT_DEATH(
+      make_hdd_profile("bad", 2020, kGiB, 7200.0, 0.003, 0.00003),
+      "target setup");
+  // Per-byte cost below the track-switch floor.
+  EXPECT_DEATH(make_hdd_profile("bad", 2020, kGiB, 7200.0, 0.014, 1e-10),
+               "track-switch floor");
+}
+
+}  // namespace
+}  // namespace damkit::sim

@@ -1,0 +1,79 @@
+#include "util/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "kv/slice.h"
+#include "util/rng.h"
+
+namespace damkit {
+namespace {
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter f(1000, 10.0);
+  for (uint64_t i = 0; i < 1000; ++i) f.add(kv::encode_key(i));
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(f.may_contain(kv::encode_key(i))) << i;
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateNearTarget) {
+  BloomFilter f(10000, 10.0);
+  for (uint64_t i = 0; i < 10000; ++i) f.add(kv::encode_key(i));
+  int fp = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (f.may_contain(kv::encode_key(1'000'000 + static_cast<uint64_t>(i)))) {
+      ++fp;
+    }
+  }
+  // 10 bits/key → ~1%; allow generous slack.
+  EXPECT_LT(fp, kProbes * 3 / 100);
+  EXPECT_GT(fp, 0);  // a bloom filter that never errs is suspicious
+}
+
+TEST(BloomTest, FewerBitsMoreFalsePositives) {
+  auto rate = [](double bits) {
+    BloomFilter f(5000, bits);
+    for (uint64_t i = 0; i < 5000; ++i) f.add(kv::encode_key(i));
+    int fp = 0;
+    for (int i = 0; i < 10000; ++i) {
+      if (f.may_contain(kv::encode_key(9'000'000 + static_cast<uint64_t>(i)))) {
+        ++fp;
+      }
+    }
+    return fp;
+  };
+  EXPECT_GT(rate(4.0), rate(12.0) * 2);
+}
+
+TEST(BloomTest, EmptyFilterRejectsEverything) {
+  BloomFilter f(0, 10.0);
+  EXPECT_FALSE(f.may_contain("anything"));
+}
+
+TEST(BloomTest, SerializeRoundTrip) {
+  BloomFilter f(500, 8.0);
+  for (uint64_t i = 0; i < 500; ++i) f.add(kv::encode_key(i * 3));
+  std::vector<uint8_t> image;
+  f.serialize(image);
+  const BloomFilter g = BloomFilter::deserialize(image);
+  EXPECT_EQ(g.bit_count(), f.bit_count());
+  EXPECT_EQ(g.hash_count(), f.hash_count());
+  for (uint64_t i = 0; i < 500; ++i) {
+    EXPECT_TRUE(g.may_contain(kv::encode_key(i * 3)));
+  }
+  // Identical decisions, positive or negative.
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string k = kv::encode_key(rng.next());
+    EXPECT_EQ(f.may_contain(k), g.may_contain(k));
+  }
+}
+
+TEST(BloomTest, ByteSizeScalesWithKeys) {
+  EXPECT_GT(BloomFilter(10000, 10).byte_size(),
+            BloomFilter(1000, 10).byte_size());
+}
+
+}  // namespace
+}  // namespace damkit

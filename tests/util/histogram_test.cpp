@@ -1,0 +1,91 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace damkit {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(HistogramTest, PercentileApproximation) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.record(v * 1000);
+  // Log-bucketed: ~3% relative resolution.
+  const uint64_t p50 = h.percentile(50);
+  EXPECT_GT(p50, 450'000u);
+  EXPECT_LT(p50, 550'000u);
+  const uint64_t p99 = h.percentile(99);
+  EXPECT_GT(p99, 900'000u);
+  EXPECT_LE(p99, 1'000'000u);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.record(5);
+  a.record(100);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 1105u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.record(42);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.record(~0ULL);
+  h.record(1ULL << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ULL);
+  EXPECT_GE(h.percentile(100), 1ULL << 62);
+}
+
+TEST(HistogramTest, ToStringRendersBars) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) h.record(rng.uniform(1 << 20));
+  const std::string s = h.to_string(8);
+  EXPECT_FALSE(s.empty());
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace damkit

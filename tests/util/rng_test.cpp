@@ -1,0 +1,128 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace damkit {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.uniform_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    hit_lo |= (v == 5);
+    hit_hi |= (v == 8);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<size_t>(rng.uniform(kBuckets))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets / 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ReseedResetsStream) {
+  Rng rng(21);
+  const uint64_t first = rng.next();
+  rng.next();
+  rng.reseed(21);
+  EXPECT_EQ(rng.next(), first);
+}
+
+TEST(ZipfianTest, RanksWithinRange) {
+  Rng rng(23);
+  Zipfian z(1000, 0.99);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(z.sample(rng), 1000u);
+}
+
+TEST(ZipfianTest, SkewFavorsLowRanks) {
+  Rng rng(29);
+  Zipfian z(10000, 0.99);
+  int hot = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (z.sample(rng) < 100) ++hot;  // top 1% of ranks
+  }
+  // Under theta=0.99 the top 1% draw a large share; uniform would be ~1%.
+  EXPECT_GT(hot, kSamples / 5);
+}
+
+TEST(ZipfianTest, LowThetaApproachesUniform) {
+  Rng rng(31);
+  Zipfian z(1000, 0.01);
+  int hot = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (z.sample(rng) < 10) ++hot;  // top 1%
+  }
+  EXPECT_LT(hot, kSamples / 20);  // far from heavily skewed
+}
+
+TEST(ZipfianDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(Zipfian(0, 0.5), "");
+  EXPECT_DEATH(Zipfian(10, 0.0), "");
+  EXPECT_DEATH(Zipfian(10, 1.0), "");
+}
+
+}  // namespace
+}  // namespace damkit

@@ -1,0 +1,115 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace damkit {
+namespace {
+
+TEST(SummaryTest, Basics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(SummaryTest, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const Summary s = summarize(std::vector<double>{42.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(LinearFitTest, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.5 * i + 2.0);
+  }
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 3.5, 1e-12);
+  EXPECT_NEAR(f.intercept, 2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+  EXPECT_NEAR(f.rms, 0.0, 1e-9);
+}
+
+TEST(LinearFitTest, RecoversNoisyLine) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(i);
+    y.push_back(0.7 * i + 10.0 + (rng.uniform_double() - 0.5) * 2.0);
+  }
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 0.7, 0.01);
+  EXPECT_NEAR(f.intercept, 10.0, 1.5);
+  EXPECT_GT(f.r2, 0.999);
+}
+
+TEST(LinearFitTest, ConstantXGivesMeanFit) {
+  const std::vector<double> x{2, 2, 2};
+  const std::vector<double> y{1, 2, 3};
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 2.0);
+}
+
+TEST(SegmentedFitTest, RecoversKnee) {
+  // Flat at 10 until x = 8, then slope 2: the PDAM experiment's shape.
+  std::vector<double> x, y;
+  for (int i = 1; i <= 32; ++i) {
+    x.push_back(i);
+    y.push_back(i <= 8 ? 10.0 : 10.0 + 2.0 * (i - 8));
+  }
+  const SegmentedFit f = segmented_linear_fit(x, y);
+  EXPECT_NEAR(f.left.slope, 0.0, 1e-9);
+  EXPECT_NEAR(f.right.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.breakpoint, 8.0, 0.5);
+  EXPECT_GT(f.r2, 0.999);
+}
+
+TEST(SegmentedFitTest, RecoversKneeWithNoise) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 1; i <= 64; ++i) {
+    const double noise = (rng.uniform_double() - 0.5) * 0.4;
+    x.push_back(i);
+    y.push_back((i <= 12 ? 20.0 : 20.0 + 1.5 * (i - 12)) + noise);
+  }
+  const SegmentedFit f = segmented_linear_fit(x, y);
+  EXPECT_NEAR(f.breakpoint, 12.0, 1.5);
+  EXPECT_NEAR(f.right.slope, 1.5, 0.05);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(SegmentedFitDeathTest, NeedsFourPoints) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DEATH(segmented_linear_fit(x, y), "");
+}
+
+TEST(RSquaredTest, PerfectAndPoorPredictions) {
+  const std::vector<double> obs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(obs, obs), 1.0);
+  const std::vector<double> bad{4, 3, 2, 1};
+  EXPECT_LT(r_squared(obs, bad), 0.0);  // worse than predicting the mean
+}
+
+}  // namespace
+}  // namespace damkit

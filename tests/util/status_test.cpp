@@ -1,0 +1,91 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace damkit {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  const Status s = Status::not_found("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "key 42");
+  EXPECT_EQ(s.to_string(), "not_found: key 42");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_EQ(status_code_name(StatusCode::kInvalidArgument),
+            "invalid_argument");
+  EXPECT_EQ(status_code_name(StatusCode::kNotFound), "not_found");
+  EXPECT_EQ(status_code_name(StatusCode::kOutOfRange), "out_of_range");
+  EXPECT_EQ(status_code_name(StatusCode::kCorruption), "corruption");
+  EXPECT_EQ(status_code_name(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+  EXPECT_EQ(status_code_name(StatusCode::kFailedPrecondition),
+            "failed_precondition");
+  EXPECT_EQ(status_code_name(StatusCode::kInternal), "internal");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::not_found("a"), Status::not_found("b"));
+  EXPECT_FALSE(Status::not_found("a") == Status::internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 7);
+  EXPECT_EQ(*v, 7);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::invalid_argument("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("payload"));
+  ASSERT_TRUE(v.ok());
+  const std::string moved = std::move(v).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(CheckTest, PassingCheckDoesNotAbort) {
+  DAMKIT_CHECK(1 + 1 == 2);
+  DAMKIT_CHECK_MSG(true, "never shown " << 42);
+  DAMKIT_CHECK_OK(Status());
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(DAMKIT_CHECK(false), "DAMKIT_CHECK failed");
+}
+
+TEST(CheckDeathTest, FailingCheckMsgIncludesDetail) {
+  EXPECT_DEATH(DAMKIT_CHECK_MSG(false, "detail " << 99), "detail 99");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(DAMKIT_CHECK_OK(Status::corruption("bad block")), "bad block");
+}
+
+Status helper_returning_error() {
+  DAMKIT_RETURN_IF_ERROR(Status::out_of_range("oops"));
+  return Status();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(helper_returning_error().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace damkit

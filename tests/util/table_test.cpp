@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace damkit {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"Device", "P"});
+  t.add_row({"Samsung 860 pro", "3.3"});
+  t.add_row({"Sandisk Ultra II", "4.6"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Device"), std::string::npos);
+  EXPECT_NE(s.find("Samsung 860 pro"), std::string::npos);
+  EXPECT_NE(s.find("4.6"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table t({"a", "b"});
+  t.add_row({"xxxxxxxx", "1"});
+  t.add_row({"y", "22"});
+  std::istringstream in(t.to_string());
+  std::string first, second;
+  std::getline(in, first);           // header
+  std::getline(in, second);          // rule
+  std::string r1, r2;
+  std::getline(in, r1);
+  std::getline(in, r2);
+  EXPECT_EQ(r1.size(), r2.size());
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"k", "v"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, WriteCsvRoundTrips) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string path = testing::TempDir() + "/damkit_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvFailsOnBadPath) {
+  Table t({"x"});
+  EXPECT_FALSE(t.write_csv("/nonexistent_dir_damkit/file.csv"));
+}
+
+TEST(TableDeathTest, RowWidthMustMatchHeader) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only one"}), "row width");
+}
+
+TEST(StrfmtTest, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("empty%s", ""), "empty");
+}
+
+}  // namespace
+}  // namespace damkit

@@ -1,0 +1,177 @@
+// damkit — command-line front end.
+//
+//   damkit devices                         list calibrated device profiles
+//   damkit fit hdd <index>                 run §4.2 and fit the affine model
+//   damkit fit ssd <index>                 run §4.1 and fit the PDAM
+//   damkit optimize <alpha> [entry_bytes]  Cor 6/7/12 design guidance
+//   damkit trace stats <file.csv>          analyze a recorded IO trace
+//   damkit trace replay <file.csv> <hdd-index|ssd:index>  what-if replay
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "damkit.h"
+
+namespace {
+
+using namespace damkit;
+
+int usage() {
+  std::puts(
+      "usage:\n"
+      "  damkit devices\n"
+      "  damkit fit hdd <index 0-4>\n"
+      "  damkit fit ssd <index 0-3>\n"
+      "  damkit optimize <alpha-per-entry> [entry_bytes]\n"
+      "  damkit trace stats <file.csv>\n"
+      "  damkit trace replay <file.csv> <hdd:IDX | ssd:IDX>");
+  return 2;
+}
+
+int cmd_devices() {
+  Table hdds({"#", "HDD", "year", "capacity", "rpm", "expected s (ms)",
+              "t (us/4K)"});
+  const auto hdd_profiles = sim::paper_hdd_profiles();
+  for (size_t i = 0; i < hdd_profiles.size(); ++i) {
+    const auto& h = hdd_profiles[i];
+    hdds.add_row({strfmt("%zu", i), h.name, strfmt("%d", h.year),
+                  format_bytes(h.capacity_bytes), strfmt("%.0f", h.rpm),
+                  strfmt("%.1f", h.expected_setup_s() * 1e3),
+                  strfmt("%.1f",
+                         h.expected_transfer_s_per_byte() * 4096 * 1e6)});
+  }
+  std::fputs(hdds.to_string().c_str(), stdout);
+
+  Table ssds({"#", "SSD", "capacity", "channels", "dies", "saturated MB/s"});
+  const auto ssd_profiles = sim::paper_ssd_profiles();
+  for (size_t i = 0; i < ssd_profiles.size(); ++i) {
+    const auto& s = ssd_profiles[i];
+    ssds.add_row({strfmt("%zu", i), s.name, format_bytes(s.capacity_bytes),
+                  strfmt("%d", s.channels), strfmt("%d", s.total_dies()),
+                  strfmt("%.0f", s.saturated_read_bps() / 1e6)});
+  }
+  std::fputs(ssds.to_string().c_str(), stdout);
+  std::puts("(testbed profiles: sim::testbed_hdd_profile(), "
+            "sim::testbed_ssd_profile())");
+  return 0;
+}
+
+int cmd_fit_hdd(size_t index) {
+  const auto profiles = sim::paper_hdd_profiles();
+  if (index >= profiles.size()) return usage();
+  std::printf("running the Table-2 microbenchmark on %s ...\n",
+              profiles[index].name.c_str());
+  const auto res =
+      harness::run_affine_experiment(profiles[index], {});
+  std::printf("affine fit: s = %.4f s, t = %.1f us/4KiB, alpha = %.4f, "
+              "R^2 = %.4f\n",
+              res.fit.s, res.fit.t_per_4k * 1e6, res.fit.alpha, res.fit.r2);
+  std::printf("half-bandwidth point: %s\n",
+              format_bytes(static_cast<uint64_t>(
+                               res.fit.s / res.fit.t_per_byte))
+                  .c_str());
+  return 0;
+}
+
+int cmd_fit_ssd(size_t index) {
+  const auto profiles = sim::paper_ssd_profiles();
+  if (index >= profiles.size()) return usage();
+  std::printf("running the Table-1 microbenchmark on %s (1 GiB/thread, "
+              "p = 1..64) ...\n",
+              profiles[index].name.c_str());
+  const auto res = harness::run_pdam_experiment(profiles[index], {});
+  std::printf("PDAM fit: P = %.1f, saturated = %.0f MB/s, R^2 = %.3f\n",
+              res.fit.p, res.fit.saturated_mbps, res.fit.r2);
+  for (const auto& s : res.samples) {
+    std::printf("  p=%2d  %8.2f s\n", s.threads, s.seconds);
+  }
+  return 0;
+}
+
+int cmd_optimize(double alpha, double entry_bytes) {
+  if (alpha <= 0.0 || alpha >= 0.5) {
+    std::puts("alpha must be in (0, 0.5): it is t/s per entry");
+    return 2;
+  }
+  const auto to_bytes = [&](double elems) {
+    return format_bytes(static_cast<uint64_t>(elems * entry_bytes));
+  };
+  std::printf("alpha = %g per entry (%g-byte entries)\n", alpha, entry_bytes);
+  std::printf("half-bandwidth point (Cor 6):   %s\n",
+              to_bytes(model::half_bandwidth_node_size(alpha)).c_str());
+  std::printf("optimal B-tree node (Cor 7):    %s\n",
+              to_bytes(model::optimal_btree_node_size(alpha)).c_str());
+  const auto c = model::optimal_betree_choice(alpha);
+  std::printf("Cor 12 Be-tree: fanout %.0f, node %s\n", c.fanout,
+              to_bytes(c.node_size).c_str());
+  model::TreeParams p;
+  p.alpha = alpha;
+  std::printf("insert speedup over the optimal B-tree: %.1fx\n",
+              model::corollary12_insert_speedup(p));
+  return 0;
+}
+
+int cmd_trace_stats(const char* path) {
+  const sim::IoTrace trace = sim::IoTrace::load(path);
+  std::printf("%zu IOs, %s total\n", trace.size(),
+              format_bytes(trace.total_bytes()).c_str());
+  std::printf("sequential fraction: %.1f%%\n",
+              trace.sequential_fraction() * 100.0);
+  std::printf("mean inter-IO gap:   %s\n",
+              format_bytes(static_cast<uint64_t>(trace.mean_seek_bytes()))
+                  .c_str());
+  return 0;
+}
+
+int cmd_trace_replay(const char* path, const std::string& target) {
+  const sim::IoTrace trace = sim::IoTrace::load(path);
+  const auto colon = target.find(':');
+  if (colon == std::string::npos) return usage();
+  const std::string kind = target.substr(0, colon);
+  const size_t index = std::strtoul(target.c_str() + colon + 1, nullptr, 10);
+  sim::SimTime t = 0;
+  std::string name;
+  if (kind == "hdd") {
+    const auto profiles = sim::paper_hdd_profiles();
+    if (index >= profiles.size()) return usage();
+    sim::HddDevice dev(profiles[index]);
+    t = sim::replay_trace(dev, trace);
+    name = dev.name();
+  } else if (kind == "ssd") {
+    const auto profiles = sim::paper_ssd_profiles();
+    if (index >= profiles.size()) return usage();
+    sim::SsdDevice dev(profiles[index]);
+    t = sim::replay_trace(dev, trace);
+    name = dev.name();
+  } else {
+    return usage();
+  }
+  std::printf("replay on %s: %.3f simulated seconds (%zu IOs)\n",
+              name.c_str(), sim::to_seconds(t), trace.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "devices") return cmd_devices();
+  if (cmd == "fit" && argc == 4) {
+    const size_t index = std::strtoul(argv[3], nullptr, 10);
+    if (std::strcmp(argv[2], "hdd") == 0) return cmd_fit_hdd(index);
+    if (std::strcmp(argv[2], "ssd") == 0) return cmd_fit_ssd(index);
+  }
+  if (cmd == "optimize" && (argc == 3 || argc == 4)) {
+    return cmd_optimize(std::strtod(argv[2], nullptr),
+                        argc == 4 ? std::strtod(argv[3], nullptr) : 128.0);
+  }
+  if (cmd == "trace" && argc >= 4 && std::strcmp(argv[2], "stats") == 0) {
+    return cmd_trace_stats(argv[3]);
+  }
+  if (cmd == "trace" && argc == 5 && std::strcmp(argv[2], "replay") == 0) {
+    return cmd_trace_replay(argv[3], argv[4]);
+  }
+  return usage();
+}
