@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_ssd_threads"
+  "../bench/bench_fig1_ssd_threads.pdb"
+  "CMakeFiles/bench_fig1_ssd_threads.dir/bench_fig1_ssd_threads.cpp.o"
+  "CMakeFiles/bench_fig1_ssd_threads.dir/bench_fig1_ssd_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ssd_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_btree_nodesize"
+  "../bench/bench_fig2_btree_nodesize.pdb"
+  "CMakeFiles/bench_fig2_btree_nodesize.dir/bench_fig2_btree_nodesize.cpp.o"
+  "CMakeFiles/bench_fig2_btree_nodesize.dir/bench_fig2_btree_nodesize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_btree_nodesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_betree_nodesize"
+  "../bench/bench_fig3_betree_nodesize.pdb"
+  "CMakeFiles/bench_fig3_betree_nodesize.dir/bench_fig3_betree_nodesize.cpp.o"
+  "CMakeFiles/bench_fig3_betree_nodesize.dir/bench_fig3_betree_nodesize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_betree_nodesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

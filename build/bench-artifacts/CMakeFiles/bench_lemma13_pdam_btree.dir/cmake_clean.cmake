@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lemma13_pdam_btree"
+  "../bench/bench_lemma13_pdam_btree.pdb"
+  "CMakeFiles/bench_lemma13_pdam_btree.dir/bench_lemma13_pdam_btree.cpp.o"
+  "CMakeFiles/bench_lemma13_pdam_btree.dir/bench_lemma13_pdam_btree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma13_pdam_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

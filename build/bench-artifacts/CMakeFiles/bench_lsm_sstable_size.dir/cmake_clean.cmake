@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lsm_sstable_size"
+  "../bench/bench_lsm_sstable_size.pdb"
+  "CMakeFiles/bench_lsm_sstable_size.dir/bench_lsm_sstable_size.cpp.o"
+  "CMakeFiles/bench_lsm_sstable_size.dir/bench_lsm_sstable_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsm_sstable_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

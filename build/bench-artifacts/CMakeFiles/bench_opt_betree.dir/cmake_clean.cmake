@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_opt_betree"
+  "../bench/bench_opt_betree.pdb"
+  "CMakeFiles/bench_opt_betree.dir/bench_opt_betree.cpp.o"
+  "CMakeFiles/bench_opt_betree.dir/bench_opt_betree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_betree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

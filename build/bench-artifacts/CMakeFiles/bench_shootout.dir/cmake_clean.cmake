@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_shootout"
+  "../bench/bench_shootout.pdb"
+  "CMakeFiles/bench_shootout.dir/bench_shootout.cpp.o"
+  "CMakeFiles/bench_shootout.dir/bench_shootout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

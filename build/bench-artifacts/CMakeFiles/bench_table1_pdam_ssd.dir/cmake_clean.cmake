@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_pdam_ssd"
+  "../bench/bench_table1_pdam_ssd.pdb"
+  "CMakeFiles/bench_table1_pdam_ssd.dir/bench_table1_pdam_ssd.cpp.o"
+  "CMakeFiles/bench_table1_pdam_ssd.dir/bench_table1_pdam_ssd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pdam_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_affine_hdd"
+  "../bench/bench_table2_affine_hdd.pdb"
+  "CMakeFiles/bench_table2_affine_hdd.dir/bench_table2_affine_hdd.cpp.o"
+  "CMakeFiles/bench_table2_affine_hdd.dir/bench_table2_affine_hdd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_affine_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_writeamp"
+  "../bench/bench_writeamp.pdb"
+  "CMakeFiles/bench_writeamp.dir/bench_writeamp.cpp.o"
+  "CMakeFiles/bench_writeamp.dir/bench_writeamp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_writeamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_queries.dir/concurrent_queries.cpp.o"
+  "CMakeFiles/concurrent_queries.dir/concurrent_queries.cpp.o.d"
+  "concurrent_queries"
+  "concurrent_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_modeling.dir/device_modeling.cpp.o"
+  "CMakeFiles/device_modeling.dir/device_modeling.cpp.o.d"
+  "device_modeling"
+  "device_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/lsm_compaction_lab.cpp" "examples/CMakeFiles/lsm_compaction_lab.dir/lsm_compaction_lab.cpp.o" "gcc" "examples/CMakeFiles/lsm_compaction_lab.dir/lsm_compaction_lab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/damkit_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_betree_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_betree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_pdam_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

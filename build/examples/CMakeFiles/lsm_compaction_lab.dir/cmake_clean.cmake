@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_compaction_lab.dir/lsm_compaction_lab.cpp.o"
+  "CMakeFiles/lsm_compaction_lab.dir/lsm_compaction_lab.cpp.o.d"
+  "lsm_compaction_lab"
+  "lsm_compaction_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_compaction_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lsm_compaction_lab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_vs_olap.dir/oltp_vs_olap.cpp.o"
+  "CMakeFiles/oltp_vs_olap.dir/oltp_vs_olap.cpp.o.d"
+  "oltp_vs_olap"
+  "oltp_vs_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_vs_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/betree/betree.cpp" "src/CMakeFiles/damkit_betree.dir/betree/betree.cpp.o" "gcc" "src/CMakeFiles/damkit_betree.dir/betree/betree.cpp.o.d"
+  "/root/repo/src/betree/betree_node.cpp" "src/CMakeFiles/damkit_betree.dir/betree/betree_node.cpp.o" "gcc" "src/CMakeFiles/damkit_betree.dir/betree/betree_node.cpp.o.d"
+  "/root/repo/src/betree/message.cpp" "src/CMakeFiles/damkit_betree.dir/betree/message.cpp.o" "gcc" "src/CMakeFiles/damkit_betree.dir/betree/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/damkit_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/damkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_betree.dir/betree/betree.cpp.o"
+  "CMakeFiles/damkit_betree.dir/betree/betree.cpp.o.d"
+  "CMakeFiles/damkit_betree.dir/betree/betree_node.cpp.o"
+  "CMakeFiles/damkit_betree.dir/betree/betree_node.cpp.o.d"
+  "CMakeFiles/damkit_betree.dir/betree/message.cpp.o"
+  "CMakeFiles/damkit_betree.dir/betree/message.cpp.o.d"
+  "libdamkit_betree.a"
+  "libdamkit_betree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_betree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdamkit_betree.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_betree_opt.dir/betree_opt/opt_betree.cpp.o"
+  "CMakeFiles/damkit_betree_opt.dir/betree_opt/opt_betree.cpp.o.d"
+  "libdamkit_betree_opt.a"
+  "libdamkit_betree_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_betree_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

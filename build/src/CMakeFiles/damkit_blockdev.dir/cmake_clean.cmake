@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_blockdev.dir/blockdev/block_device.cpp.o"
+  "CMakeFiles/damkit_blockdev.dir/blockdev/block_device.cpp.o.d"
+  "CMakeFiles/damkit_blockdev.dir/blockdev/extent_allocator.cpp.o"
+  "CMakeFiles/damkit_blockdev.dir/blockdev/extent_allocator.cpp.o.d"
+  "libdamkit_blockdev.a"
+  "libdamkit_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_btree.dir/btree/btree.cpp.o"
+  "CMakeFiles/damkit_btree.dir/btree/btree.cpp.o.d"
+  "CMakeFiles/damkit_btree.dir/btree/btree_node.cpp.o"
+  "CMakeFiles/damkit_btree.dir/btree/btree_node.cpp.o.d"
+  "libdamkit_btree.a"
+  "libdamkit_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_cache.dir/cache/buffer_pool.cpp.o"
+  "CMakeFiles/damkit_cache.dir/cache/buffer_pool.cpp.o.d"
+  "libdamkit_cache.a"
+  "libdamkit_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_harness.dir/harness/experiments.cpp.o"
+  "CMakeFiles/damkit_harness.dir/harness/experiments.cpp.o.d"
+  "CMakeFiles/damkit_harness.dir/harness/fitting.cpp.o"
+  "CMakeFiles/damkit_harness.dir/harness/fitting.cpp.o.d"
+  "CMakeFiles/damkit_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/damkit_harness.dir/harness/report.cpp.o.d"
+  "libdamkit_harness.a"
+  "libdamkit_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/codec.cpp" "src/CMakeFiles/damkit_kv.dir/kv/codec.cpp.o" "gcc" "src/CMakeFiles/damkit_kv.dir/kv/codec.cpp.o.d"
+  "/root/repo/src/kv/slice.cpp" "src/CMakeFiles/damkit_kv.dir/kv/slice.cpp.o" "gcc" "src/CMakeFiles/damkit_kv.dir/kv/slice.cpp.o.d"
+  "/root/repo/src/kv/workload.cpp" "src/CMakeFiles/damkit_kv.dir/kv/workload.cpp.o" "gcc" "src/CMakeFiles/damkit_kv.dir/kv/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/damkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

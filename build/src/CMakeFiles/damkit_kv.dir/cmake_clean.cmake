@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_kv.dir/kv/codec.cpp.o"
+  "CMakeFiles/damkit_kv.dir/kv/codec.cpp.o.d"
+  "CMakeFiles/damkit_kv.dir/kv/slice.cpp.o"
+  "CMakeFiles/damkit_kv.dir/kv/slice.cpp.o.d"
+  "CMakeFiles/damkit_kv.dir/kv/workload.cpp.o"
+  "CMakeFiles/damkit_kv.dir/kv/workload.cpp.o.d"
+  "libdamkit_kv.a"
+  "libdamkit_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

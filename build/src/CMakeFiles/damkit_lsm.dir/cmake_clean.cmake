@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_lsm.dir/lsm/lsm_tree.cpp.o"
+  "CMakeFiles/damkit_lsm.dir/lsm/lsm_tree.cpp.o.d"
+  "CMakeFiles/damkit_lsm.dir/lsm/sstable.cpp.o"
+  "CMakeFiles/damkit_lsm.dir/lsm/sstable.cpp.o.d"
+  "libdamkit_lsm.a"
+  "libdamkit_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/affine.cpp" "src/CMakeFiles/damkit_model.dir/model/affine.cpp.o" "gcc" "src/CMakeFiles/damkit_model.dir/model/affine.cpp.o.d"
+  "/root/repo/src/model/dam.cpp" "src/CMakeFiles/damkit_model.dir/model/dam.cpp.o" "gcc" "src/CMakeFiles/damkit_model.dir/model/dam.cpp.o.d"
+  "/root/repo/src/model/optimize.cpp" "src/CMakeFiles/damkit_model.dir/model/optimize.cpp.o" "gcc" "src/CMakeFiles/damkit_model.dir/model/optimize.cpp.o.d"
+  "/root/repo/src/model/pdam.cpp" "src/CMakeFiles/damkit_model.dir/model/pdam.cpp.o" "gcc" "src/CMakeFiles/damkit_model.dir/model/pdam.cpp.o.d"
+  "/root/repo/src/model/tree_costs.cpp" "src/CMakeFiles/damkit_model.dir/model/tree_costs.cpp.o" "gcc" "src/CMakeFiles/damkit_model.dir/model/tree_costs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/damkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

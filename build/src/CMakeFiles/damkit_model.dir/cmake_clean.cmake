@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_model.dir/model/affine.cpp.o"
+  "CMakeFiles/damkit_model.dir/model/affine.cpp.o.d"
+  "CMakeFiles/damkit_model.dir/model/dam.cpp.o"
+  "CMakeFiles/damkit_model.dir/model/dam.cpp.o.d"
+  "CMakeFiles/damkit_model.dir/model/optimize.cpp.o"
+  "CMakeFiles/damkit_model.dir/model/optimize.cpp.o.d"
+  "CMakeFiles/damkit_model.dir/model/pdam.cpp.o"
+  "CMakeFiles/damkit_model.dir/model/pdam.cpp.o.d"
+  "CMakeFiles/damkit_model.dir/model/tree_costs.cpp.o"
+  "CMakeFiles/damkit_model.dir/model/tree_costs.cpp.o.d"
+  "libdamkit_model.a"
+  "libdamkit_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

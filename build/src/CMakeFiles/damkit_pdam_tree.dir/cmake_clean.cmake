@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_pdam_tree.dir/pdam_tree/pdam_btree.cpp.o"
+  "CMakeFiles/damkit_pdam_tree.dir/pdam_tree/pdam_btree.cpp.o.d"
+  "CMakeFiles/damkit_pdam_tree.dir/pdam_tree/veb_layout.cpp.o"
+  "CMakeFiles/damkit_pdam_tree.dir/pdam_tree/veb_layout.cpp.o.d"
+  "libdamkit_pdam_tree.a"
+  "libdamkit_pdam_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_pdam_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

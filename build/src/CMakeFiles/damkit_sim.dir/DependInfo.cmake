@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/closed_loop.cpp" "src/CMakeFiles/damkit_sim.dir/sim/closed_loop.cpp.o" "gcc" "src/CMakeFiles/damkit_sim.dir/sim/closed_loop.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/CMakeFiles/damkit_sim.dir/sim/device.cpp.o" "gcc" "src/CMakeFiles/damkit_sim.dir/sim/device.cpp.o.d"
+  "/root/repo/src/sim/hdd.cpp" "src/CMakeFiles/damkit_sim.dir/sim/hdd.cpp.o" "gcc" "src/CMakeFiles/damkit_sim.dir/sim/hdd.cpp.o.d"
+  "/root/repo/src/sim/memstore.cpp" "src/CMakeFiles/damkit_sim.dir/sim/memstore.cpp.o" "gcc" "src/CMakeFiles/damkit_sim.dir/sim/memstore.cpp.o.d"
+  "/root/repo/src/sim/profiles.cpp" "src/CMakeFiles/damkit_sim.dir/sim/profiles.cpp.o" "gcc" "src/CMakeFiles/damkit_sim.dir/sim/profiles.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/damkit_sim.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/damkit_sim.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/ssd.cpp" "src/CMakeFiles/damkit_sim.dir/sim/ssd.cpp.o" "gcc" "src/CMakeFiles/damkit_sim.dir/sim/ssd.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/damkit_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/damkit_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/damkit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

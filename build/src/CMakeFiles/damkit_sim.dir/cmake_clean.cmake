@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_sim.dir/sim/closed_loop.cpp.o"
+  "CMakeFiles/damkit_sim.dir/sim/closed_loop.cpp.o.d"
+  "CMakeFiles/damkit_sim.dir/sim/device.cpp.o"
+  "CMakeFiles/damkit_sim.dir/sim/device.cpp.o.d"
+  "CMakeFiles/damkit_sim.dir/sim/hdd.cpp.o"
+  "CMakeFiles/damkit_sim.dir/sim/hdd.cpp.o.d"
+  "CMakeFiles/damkit_sim.dir/sim/memstore.cpp.o"
+  "CMakeFiles/damkit_sim.dir/sim/memstore.cpp.o.d"
+  "CMakeFiles/damkit_sim.dir/sim/profiles.cpp.o"
+  "CMakeFiles/damkit_sim.dir/sim/profiles.cpp.o.d"
+  "CMakeFiles/damkit_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/damkit_sim.dir/sim/scheduler.cpp.o.d"
+  "CMakeFiles/damkit_sim.dir/sim/ssd.cpp.o"
+  "CMakeFiles/damkit_sim.dir/sim/ssd.cpp.o.d"
+  "CMakeFiles/damkit_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/damkit_sim.dir/sim/trace.cpp.o.d"
+  "libdamkit_sim.a"
+  "libdamkit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_util.dir/util/bloom.cpp.o"
+  "CMakeFiles/damkit_util.dir/util/bloom.cpp.o.d"
+  "CMakeFiles/damkit_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/damkit_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/damkit_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/damkit_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/damkit_util.dir/util/rng.cpp.o"
+  "CMakeFiles/damkit_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/damkit_util.dir/util/stats.cpp.o"
+  "CMakeFiles/damkit_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/damkit_util.dir/util/status.cpp.o"
+  "CMakeFiles/damkit_util.dir/util/status.cpp.o.d"
+  "CMakeFiles/damkit_util.dir/util/table.cpp.o"
+  "CMakeFiles/damkit_util.dir/util/table.cpp.o.d"
+  "libdamkit_util.a"
+  "libdamkit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

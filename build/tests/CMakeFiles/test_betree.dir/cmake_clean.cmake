@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_betree.dir/betree/betree_node_fuzz_test.cpp.o"
+  "CMakeFiles/test_betree.dir/betree/betree_node_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_betree.dir/betree/betree_node_test.cpp.o"
+  "CMakeFiles/test_betree.dir/betree/betree_node_test.cpp.o.d"
+  "CMakeFiles/test_betree.dir/betree/betree_property_test.cpp.o"
+  "CMakeFiles/test_betree.dir/betree/betree_property_test.cpp.o.d"
+  "CMakeFiles/test_betree.dir/betree/betree_test.cpp.o"
+  "CMakeFiles/test_betree.dir/betree/betree_test.cpp.o.d"
+  "CMakeFiles/test_betree.dir/betree/message_test.cpp.o"
+  "CMakeFiles/test_betree.dir/betree/message_test.cpp.o.d"
+  "test_betree"
+  "test_betree.pdb"
+  "test_betree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_betree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

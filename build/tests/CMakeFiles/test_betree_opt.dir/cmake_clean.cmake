@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_betree_opt.dir/betree_opt/opt_betree_test.cpp.o"
+  "CMakeFiles/test_betree_opt.dir/betree_opt/opt_betree_test.cpp.o.d"
+  "test_betree_opt"
+  "test_betree_opt.pdb"
+  "test_betree_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_betree_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

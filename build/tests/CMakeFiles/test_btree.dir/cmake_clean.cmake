@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_btree.dir/btree/btree_churn_property_test.cpp.o"
+  "CMakeFiles/test_btree.dir/btree/btree_churn_property_test.cpp.o.d"
+  "CMakeFiles/test_btree.dir/btree/btree_node_test.cpp.o"
+  "CMakeFiles/test_btree.dir/btree/btree_node_test.cpp.o.d"
+  "CMakeFiles/test_btree.dir/btree/btree_property_test.cpp.o"
+  "CMakeFiles/test_btree.dir/btree/btree_property_test.cpp.o.d"
+  "CMakeFiles/test_btree.dir/btree/btree_test.cpp.o"
+  "CMakeFiles/test_btree.dir/btree/btree_test.cpp.o.d"
+  "test_btree"
+  "test_btree.pdb"
+  "test_btree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/blockdev/block_device_test.cpp.o"
+  "CMakeFiles/test_cache.dir/blockdev/block_device_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/blockdev/byte_arena_test.cpp.o"
+  "CMakeFiles/test_cache.dir/blockdev/byte_arena_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/blockdev/extent_allocator_test.cpp.o"
+  "CMakeFiles/test_cache.dir/blockdev/extent_allocator_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/buffer_pool_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/buffer_pool_test.cpp.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv.dir/kv/codec_fuzz_test.cpp.o"
+  "CMakeFiles/test_kv.dir/kv/codec_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_kv.dir/kv/codec_test.cpp.o"
+  "CMakeFiles/test_kv.dir/kv/codec_test.cpp.o.d"
+  "CMakeFiles/test_kv.dir/kv/slice_test.cpp.o"
+  "CMakeFiles/test_kv.dir/kv/slice_test.cpp.o.d"
+  "CMakeFiles/test_kv.dir/kv/workload_test.cpp.o"
+  "CMakeFiles/test_kv.dir/kv/workload_test.cpp.o.d"
+  "test_kv"
+  "test_kv.pdb"
+  "test_kv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

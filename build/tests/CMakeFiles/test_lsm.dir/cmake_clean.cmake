@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsm.dir/lsm/lsm_property_test.cpp.o"
+  "CMakeFiles/test_lsm.dir/lsm/lsm_property_test.cpp.o.d"
+  "CMakeFiles/test_lsm.dir/lsm/lsm_tree_test.cpp.o"
+  "CMakeFiles/test_lsm.dir/lsm/lsm_tree_test.cpp.o.d"
+  "CMakeFiles/test_lsm.dir/lsm/memtable_test.cpp.o"
+  "CMakeFiles/test_lsm.dir/lsm/memtable_test.cpp.o.d"
+  "CMakeFiles/test_lsm.dir/lsm/sstable_test.cpp.o"
+  "CMakeFiles/test_lsm.dir/lsm/sstable_test.cpp.o.d"
+  "test_lsm"
+  "test_lsm.pdb"
+  "test_lsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

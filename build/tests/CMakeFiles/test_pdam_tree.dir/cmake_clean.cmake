@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdam_tree.dir/pdam_tree/pdam_btree_test.cpp.o"
+  "CMakeFiles/test_pdam_tree.dir/pdam_tree/pdam_btree_test.cpp.o.d"
+  "CMakeFiles/test_pdam_tree.dir/pdam_tree/veb_layout_test.cpp.o"
+  "CMakeFiles/test_pdam_tree.dir/pdam_tree/veb_layout_test.cpp.o.d"
+  "test_pdam_tree"
+  "test_pdam_tree.pdb"
+  "test_pdam_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdam_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/closed_loop_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/closed_loop_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/hdd_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/hdd_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/memstore_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/memstore_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/profile_fit_property_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/profile_fit_property_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/profiles_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/profiles_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/scheduler_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/scheduler_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/ssd_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/ssd_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/trace_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/trace_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damkit_cli.dir/damkit_cli.cpp.o"
+  "CMakeFiles/damkit_cli.dir/damkit_cli.cpp.o.d"
+  "damkit"
+  "damkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damkit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
