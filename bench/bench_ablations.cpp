@@ -81,6 +81,7 @@ void cache_ratio_ablation(const bench::BenchArgs& args) {
     cfg.inserts = 50;
     cfg.cache_ratio = ratio;
     cfg.seed = args.seed;
+    cfg.threads = args.threads;
     const auto res = run_nodesize_sweep(sim::testbed_hdd_profile(), cfg);
     t.add_row({strfmt("%.2f", ratio),
                strfmt("%.2f", res.points[0].query_ms),

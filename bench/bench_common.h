@@ -14,6 +14,10 @@ struct BenchArgs {
   bool quick = false;    // reduced scale for smoke runs
   uint64_t seed = 42;
   std::string csv_prefix = "results_";
+  /// Host threads for sweep parallelism. Each sweep point owns its device
+  /// and RNG, so any value produces identical output — more threads only
+  /// finish sooner.
+  int threads = 1;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -25,9 +29,13 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--csv-prefix") == 0 && i + 1 < argc) {
       args.csv_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (args.threads < 1) args.threads = 1;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--quick] [--seed N] [--csv-prefix P]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--quick] [--seed N] [--csv-prefix P] [--threads N]\n",
+          argv[0]);
       std::exit(0);
     }
   }

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     harness::AffineExperimentConfig cfg;
     cfg.reads_per_size = args.quick ? 16 : 64;
     cfg.seed = args.seed;
+    cfg.threads = args.threads;
     const auto res = run_affine_experiment(hdd, cfg);
 
     // Parameterize both models from the same measurement, exactly as a

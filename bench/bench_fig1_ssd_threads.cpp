@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   harness::PdamExperimentConfig cfg;
   cfg.bytes_per_thread = args.quick ? 64ULL * kMiB : 1ULL * kGiB;
   cfg.seed = args.seed;
+  cfg.threads = args.threads;
 
   std::vector<std::pair<std::string, harness::PdamExperimentResult>> rows;
   for (const sim::SsdConfig& ssd : sim::paper_ssd_profiles()) {

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   cfg.inserts = args.quick ? 200 : 1000;
   cfg.cache_ratio = 0.25;  // paper: 4 GiB RAM / 16 GiB data
   cfg.seed = args.seed;
+  cfg.threads = args.threads;
   std::printf(
       "scale note: %llu items x %zu B values (paper: 16 GB data); cache = "
       "data/4 as in the paper\n",

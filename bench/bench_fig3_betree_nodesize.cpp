@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   cfg.cache_ratio = 0.25;
   cfg.betree_fanout = 0;  // F = sqrt(B), the TokuDB-like epsilon = 1/2
   cfg.seed = args.seed;
+  cfg.threads = args.threads;
   std::printf(
       "scale note: %llu items (paper: 16 GB data); cache = data/4; "
       "F = sqrt(B)\n",

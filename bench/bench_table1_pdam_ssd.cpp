@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   harness::PdamExperimentConfig cfg;
   cfg.bytes_per_thread = args.quick ? 64ULL * kMiB : 1ULL * kGiB;
   cfg.seed = args.seed;
+  cfg.threads = args.threads;
   std::printf(
       "scale note: %s per thread (paper used 10 GiB; fitted P and MB/s are "
       "volume-invariant)\n",

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   harness::AffineExperimentConfig cfg;
   cfg.reads_per_size = args.quick ? 16 : 64;
   cfg.seed = args.seed;
+  cfg.threads = args.threads;
 
   std::vector<std::pair<std::string, harness::AffineExperimentResult>> rows;
   for (const sim::HddConfig& hdd : sim::paper_hdd_profiles()) {

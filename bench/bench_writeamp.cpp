@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   cfg.items = args.quick ? 60'000 : 300'000;
   cfg.updates = args.quick ? 1'500 : 8'000;
   cfg.seed = args.seed;
+  cfg.threads = args.threads;
 
   const auto points =
       run_write_amp_experiment(sim::testbed_hdd_profile(), cfg);

@@ -41,6 +41,11 @@ struct BeTreeConfig {
   uint64_t base_offset = 0;
   /// Estimated key size used only for the default-fanout heuristic.
   size_t pivot_estimate_bytes = 24;
+  /// Max children batch-prefetched ahead of a range scan (0/1 disables).
+  /// The window doubles from 2 as a scan proceeds through an internal
+  /// node, so a short scan wastes at most one small batch while a long
+  /// one reaches full device parallelism.
+  size_t scan_prefetch_window = 8;
 };
 
 struct BeTreeOpStats {
@@ -110,6 +115,9 @@ class BeTree {
   /// Fetch for structural/mutating access (whole-node IO on miss).
   /// Subclasses may refine the IO accounting (see OptBeTree).
   virtual NodeRef fetch(uint64_t id);
+  /// Batch-read children [begin, end) of `node` that are not yet cached
+  /// (one vectored device IO), inserting them clean and fully resident.
+  void prefetch_children(const BeTreeNode& node, size_t begin, size_t end);
   /// Additional flush pressure beyond whole-node overflow. The optimized
   /// Bε-tree caps per-child buffers at B/F (Theorem 9) by overriding this.
   virtual bool flush_pressure(const BeTreeNode& node) const;

@@ -1,6 +1,8 @@
 #include "betree_opt/opt_betree.h"
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 namespace damkit::betree_opt {
 
@@ -32,15 +34,11 @@ uint64_t OptBeTree::dynamic_cap(const BeTreeNode& node) const {
   return std::max(segment_cap_, fair_share);
 }
 
-uint64_t OptBeTree::internal_segment_bytes(const BeTreeNode& node,
-                                           size_t idx) const {
-  // One set of pivots (the node's index region: child table + pivot keys)
-  // plus the single buffer segment on the query path. The index region is
-  // the αF term of Theorem 9; the segment (bounded by the flush cap) is
-  // the αB/F term.
-  const uint64_t index_bytes = node.byte_size() - node.total_buffer_bytes() -
-                               BeTreeNode::header_bytes();
-  return BeTreeNode::header_bytes() + index_bytes + node.buffer_bytes(idx);
+uint64_t OptBeTree::index_block_bytes(const BeTreeNode& node) const {
+  // The node's index region: header + child table + pivot keys. This is
+  // the αF term of Theorem 9; the buffer segment on the query path
+  // (bounded by the flush cap) is the αB/F term.
+  return node.byte_size() - node.total_buffer_bytes();
 }
 
 uint64_t OptBeTree::leaf_segment_bytes(const BeTreeNode& leaf) const {
@@ -80,18 +78,29 @@ OptBeTree::NodeRef OptBeTree::fetch(uint64_t id) {
 }
 
 void OptBeTree::charge_segment(uint64_t id, const NodeRef& node, uint32_t seg,
-                               uint64_t bytes, uint64_t offset_hint,
+                               std::span<const IoPart> parts,
                                bool newly_loaded) {
-  const uint64_t len = std::min<uint64_t>(bytes, config_.node_bytes);
-  const uint64_t offset =
-      std::min<uint64_t>(offset_hint, config_.node_bytes - len);
-  store_.touch_read(id, offset, len);
-  ++opt_stats_.segment_reads;
-  opt_stats_.segment_bytes_read += len;
+  // All parts of one descent step go out as a single batch: the pivot
+  // block and the buffer segment are known together (the parent's pivot
+  // block delivered both addresses), so the device may overlap them.
+  std::vector<blockdev::NodeStore::NodeSpan> spans;
+  spans.reserve(parts.size());
+  uint64_t total = 0;
+  for (const IoPart& p : parts) {
+    if (p.length == 0) continue;
+    const uint64_t len = std::min<uint64_t>(p.length, config_.node_bytes);
+    const uint64_t offset =
+        std::min<uint64_t>(p.offset, config_.node_bytes - len);
+    spans.push_back({id, offset, len});
+    total += len;
+  }
+  store_.touch_read_batch(spans);
+  opt_stats_.segment_reads += spans.size();
+  opt_stats_.segment_bytes_read += total;
 
   node->residency.partial = true;
   node->residency.charged_bytes =
-      std::min<uint64_t>(node->residency.charged_bytes + len,
+      std::min<uint64_t>(node->residency.charged_bytes + total,
                          config_.node_bytes);
   node->residency.segments.push_back(seg);
 
@@ -132,7 +141,8 @@ std::optional<std::string> OptBeTree::get(std::string_view key) {
       if (need_charge) {
         const uint64_t len = leaf_segment_bytes(*node);
         const uint64_t hint = static_cast<uint64_t>(chunk) * len;
-        charge_segment(id, node, chunk, len, hint, newly_loaded);
+        const IoPart part{hint, len};
+        charge_segment(id, node, chunk, {&part, 1}, newly_loaded);
       }
       const size_t i = node->lower_bound(key);
       if (node->key_equals(i, key)) result_state = node->value(i);
@@ -145,9 +155,12 @@ std::optional<std::string> OptBeTree::get(std::string_view key) {
         (node->residency.partial &&
          !node->residency.has_segment(static_cast<uint32_t>(idx)));
     if (need_charge) {
-      const uint64_t len = internal_segment_bytes(*node, idx);
+      // Pivot block at the extent head + the one buffer segment on the
+      // query path, issued together as a two-request batch.
       const uint64_t hint = (config_.node_bytes * idx) / node->child_count();
-      charge_segment(id, node, static_cast<uint32_t>(idx), len, hint,
+      const IoPart parts[] = {{0, index_block_bytes(*node)},
+                              {hint, node->buffer_bytes(idx)}};
+      charge_segment(id, node, static_cast<uint32_t>(idx), parts,
                      newly_loaded);
     }
     std::vector<Message> msgs;

@@ -61,18 +61,23 @@ class OptBeTree final : public betree::BeTree {
   /// Per-node flush cap: max(B/F, fair share for under-full nodes).
   uint64_t dynamic_cap(const betree::BeTreeNode& node) const;
 
-  /// Bytes a query-path IO for descending into child `idx` must cover:
-  /// the child-pivot block plus that child's buffer segment.
-  uint64_t internal_segment_bytes(const betree::BeTreeNode& node,
-                                  size_t idx) const;
+  /// Bytes of the node's index region (header + child table + pivot keys)
+  /// — the pivot-block read of a query-path descent (the αF term).
+  uint64_t index_block_bytes(const betree::BeTreeNode& node) const;
   uint64_t leaf_segment_bytes(const betree::BeTreeNode& leaf) const;
   /// Which basement chunk of `leaf` the key falls into.
   uint32_t leaf_chunk_of(const betree::BeTreeNode& leaf,
                          std::string_view key) const;
-  /// Charge a sub-node IO for segment `seg` and (re-)account the cache
-  /// entry at the node's accumulated charge.
+  /// One node-relative sub-extent of a query-path charge.
+  struct IoPart {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+  /// Charge the sub-node IOs in `parts` for segment `seg` as ONE device
+  /// batch (internal levels issue pivot block + buffer segment together)
+  /// and (re-)account the cache entry at the node's accumulated charge.
   void charge_segment(uint64_t id, const NodeRef& node, uint32_t seg,
-                      uint64_t bytes, uint64_t offset_hint, bool newly_loaded);
+                      std::span<const IoPart> parts, bool newly_loaded);
 
   uint64_t segment_cap_;
   OptBeTreeStats opt_stats_;

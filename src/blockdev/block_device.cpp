@@ -47,4 +47,54 @@ void NodeStore::touch_read(uint64_t node_id, uint64_t offset, uint64_t length) {
   io_->touch_read(alloc_.offset_of(node_id) + offset, length);
 }
 
+void NodeStore::read_nodes(std::span<const uint64_t> ids,
+                           std::vector<std::vector<uint8_t>>& out) {
+  out.resize(ids.size());
+  if (ids.empty()) return;
+  std::vector<sim::IoRequest> reqs;
+  reqs.reserve(ids.size());
+  for (uint64_t id : ids) {
+    reqs.push_back({sim::IoKind::kRead, alloc_.offset_of(id), node_bytes_});
+  }
+  io_->submit_batch(reqs);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out[i].resize(node_bytes_);
+    dev_->read_bytes(reqs[i].offset, out[i]);
+  }
+}
+
+void NodeStore::write_nodes(std::span<const NodeImage> writes) {
+  if (writes.empty()) return;
+  std::vector<sim::IoRequest> reqs;
+  reqs.reserve(writes.size());
+  for (const NodeImage& w : writes) {
+    DAMKIT_CHECK_MSG(w.image.size() <= node_bytes_,
+                     "node image " << w.image.size() << " exceeds extent "
+                                   << node_bytes_);
+    reqs.push_back({sim::IoKind::kWrite, alloc_.offset_of(w.node_id),
+                    node_bytes_});
+  }
+  io_->submit_batch(reqs);
+  scratch_.resize(node_bytes_);
+  for (size_t i = 0; i < writes.size(); ++i) {
+    std::memcpy(scratch_.data(), writes[i].image.data(),
+                writes[i].image.size());
+    std::memset(scratch_.data() + writes[i].image.size(), 0,
+                node_bytes_ - writes[i].image.size());
+    dev_->write_bytes(reqs[i].offset, scratch_);
+  }
+}
+
+void NodeStore::touch_read_batch(std::span<const NodeSpan> spans) {
+  if (spans.empty()) return;
+  std::vector<sim::IoRequest> reqs;
+  reqs.reserve(spans.size());
+  for (const NodeSpan& s : spans) {
+    DAMKIT_CHECK(s.offset + s.length <= node_bytes_);
+    reqs.push_back(
+        {sim::IoKind::kRead, alloc_.offset_of(s.node_id) + s.offset, s.length});
+  }
+  io_->submit_batch(reqs);
+}
+
 }  // namespace damkit::blockdev

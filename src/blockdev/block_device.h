@@ -51,6 +51,31 @@ class NodeStore {
   /// pivots the parent level already delivered.
   void peek_node(uint64_t node_id, std::vector<uint8_t>& out);
 
+  /// A pending whole-node write for the batched path.
+  struct NodeImage {
+    uint64_t node_id = 0;
+    std::span<const uint8_t> image;
+  };
+  /// A sub-extent read for the batched path (node-relative offset).
+  struct NodeSpan {
+    uint64_t node_id = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+
+  /// Vectored reads: all node extents are submitted as ONE device batch,
+  /// so the clock advances to the slowest completion instead of the sum.
+  /// out is resized to ids.size(), each element to node_bytes.
+  void read_nodes(std::span<const uint64_t> ids,
+                  std::vector<std::vector<uint8_t>>& out);
+
+  /// Vectored whole-node writes (each padded to the full extent), one
+  /// device batch.
+  void write_nodes(std::span<const NodeImage> writes);
+
+  /// Vectored timing-only sub-extent reads, one device batch.
+  void touch_read_batch(std::span<const NodeSpan> spans);
+
   sim::IoContext& io() { return *io_; }
   sim::Device& device() { return *dev_; }
 

@@ -1,6 +1,9 @@
 #include "btree/btree.h"
 
 #include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "kv/slice.h"
 
@@ -18,6 +21,18 @@ BTree::BTree(sim::Device& dev, sim::IoContext& io, BTreeConfig config)
         auto* node = static_cast<BTreeNode*>(object);
         node->serialize(io_buf_);
         store_.write_node(id, io_buf_);
+      });
+  // Checkpoints write all dirty nodes as one device batch.
+  pool_->set_batch_writeback(
+      [this](std::span<const std::pair<uint64_t, void*>> dirty) {
+        std::vector<std::vector<uint8_t>> images(dirty.size());
+        std::vector<blockdev::NodeStore::NodeImage> writes;
+        writes.reserve(dirty.size());
+        for (size_t i = 0; i < dirty.size(); ++i) {
+          static_cast<BTreeNode*>(dirty[i].second)->serialize(images[i]);
+          writes.push_back({dirty[i].first, images[i]});
+        }
+        store_.write_nodes(writes);
       });
 }
 

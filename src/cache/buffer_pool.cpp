@@ -35,6 +35,19 @@ void BufferPool::put(uint64_t id, std::shared_ptr<void> object,
   DAMKIT_CHECK_MSG(index_.find(id) == index_.end(),
                    "put of already-resident id " << id);
   make_room(charged_bytes);
+  // If we are still over budget, make_room evicted everything unpinned and
+  // the residue is all pinned. The incoming entry may push past M
+  // transiently (a descent pins the parent while loading a child), but a
+  // *resident* pinned set that alone exceeds M is a caller leak that would
+  // silently invalidate every experiment run against this pool — abort.
+  if (charged_bytes_ + charged_bytes > capacity_bytes_) {
+    DAMKIT_CHECK_MSG(
+        charged_bytes_ <= capacity_bytes_,
+        "BufferPool pinned set exceeds capacity: pinned="
+            << charged_bytes_ << " > capacity=" << capacity_bytes_
+            << " (callers hold too many references; incoming id=" << id
+            << " bytes=" << charged_bytes << ")");
+  }
   lru_.push_front(Entry{id, std::move(object), charged_bytes, dirty});
   index_[id] = lru_.begin();
   charged_bytes_ += charged_bytes;
@@ -69,7 +82,28 @@ void BufferPool::writeback(Entry& e) {
 }
 
 void BufferPool::flush_all() {
+  if (batch_writeback_ != nullptr) {
+    // Gather every dirty entry (MRU→LRU, a stable order) and hand them to
+    // the owner as one batch; the owner issues a single vectored write.
+    std::vector<std::pair<uint64_t, void*>> dirty;
+    for (Entry& e : lru_) {
+      if (e.dirty) dirty.emplace_back(e.id, e.object.get());
+    }
+    if (dirty.empty()) return;
+    batch_writeback_(dirty);
+    for (Entry& e : lru_) e.dirty = false;
+    stats_.dirty_writebacks += dirty.size();
+    return;
+  }
   for (Entry& e : lru_) writeback(e);
+}
+
+uint64_t BufferPool::pinned_bytes() const {
+  uint64_t total = 0;
+  for (const Entry& e : lru_) {
+    if (pinned(e)) total += e.bytes;
+  }
+  return total;
 }
 
 void BufferPool::clear() {

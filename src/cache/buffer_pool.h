@@ -14,7 +14,10 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/status.h"
 
@@ -26,6 +29,7 @@ struct BufferPoolStats {
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
   uint64_t inserted = 0;
+  uint64_t pinned_bytes = 0;  // snapshot, refreshed by stats()
 
   double hit_rate() const {
     const uint64_t total = hits + misses;
@@ -39,6 +43,12 @@ class BufferPool {
   /// Writeback(id, object): owner must serialize and write the object to
   /// its backing store, charging the IO to its IoContext.
   using WritebackFn = std::function<void(uint64_t id, void* object)>;
+
+  /// Vectored writeback for checkpoints: the owner serializes every listed
+  /// object and writes them as ONE device batch (NodeStore::write_nodes),
+  /// so a flush cascade pays the slowest write instead of the sum.
+  using BatchWritebackFn =
+      std::function<void(std::span<const std::pair<uint64_t, void*>> dirty)>;
 
   BufferPool(uint64_t capacity_bytes, WritebackFn writeback);
   ~BufferPool();
@@ -56,7 +66,11 @@ class BufferPool {
   }
 
   /// Insert an object charged at `charged_bytes`. The id must not already
-  /// be present. May trigger evictions (and dirty writebacks) to fit.
+  /// be present. May trigger evictions (and dirty writebacks) to fit. The
+  /// incoming entry may push past capacity transiently while callers pin a
+  /// descent path, but a resident pinned set that alone exceeds capacity
+  /// aborts — it means callers are leaking references and the M budget no
+  /// longer bounds memory.
   void put(uint64_t id, std::shared_ptr<void> object, uint64_t charged_bytes,
            bool dirty);
 
@@ -67,6 +81,13 @@ class BufferPool {
   /// Drop an entry without writeback (caller deleted the node). No-op if
   /// absent. The entry must not be pinned by anyone but the caller.
   void erase(uint64_t id);
+
+  /// Optional batched checkpoint path; when set, flush_all() hands all
+  /// dirty entries to `fn` in one call instead of one writeback per entry.
+  /// Single-entry eviction writebacks still use the per-entry callback.
+  void set_batch_writeback(BatchWritebackFn fn) {
+    batch_writeback_ = std::move(fn);
+  }
 
   /// Write back every dirty entry (checkpoint); entries stay resident.
   void flush_all();
@@ -79,7 +100,14 @@ class BufferPool {
   uint64_t capacity_bytes() const { return capacity_bytes_; }
   size_t entries() const { return index_.size(); }
 
-  const BufferPoolStats& stats() const { return stats_; }
+  /// Bytes charged by entries currently pinned (handle held by a caller).
+  /// Pins are implicit shared_ptr refs, so this is computed on demand.
+  uint64_t pinned_bytes() const;
+
+  const BufferPoolStats& stats() const {
+    stats_.pinned_bytes = pinned_bytes();
+    return stats_;
+  }
   void clear_stats() { stats_ = BufferPoolStats{}; }
 
  private:
@@ -98,10 +126,11 @@ class BufferPool {
 
   uint64_t capacity_bytes_;
   WritebackFn writeback_;
+  BatchWritebackFn batch_writeback_;
   LruList lru_;  // front = MRU, back = LRU victim candidate
   std::unordered_map<uint64_t, LruList::iterator> index_;
   uint64_t charged_bytes_ = 0;
-  BufferPoolStats stats_;
+  mutable BufferPoolStats stats_;
 };
 
 }  // namespace damkit::cache

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "harness/parallel.h"
+
 #include "betree/betree.h"
 #include "betree_opt/opt_betree.h"
 #include "btree/btree.h"
@@ -28,7 +30,9 @@ AffineExperimentResult run_affine_experiment(const sim::HddConfig& hdd,
                                              AffineExperimentConfig config) {
   if (config.io_sizes.empty()) config.io_sizes = default_io_ladder();
   AffineExperimentResult result;
-  for (uint64_t io_bytes : config.io_sizes) {
+  result.samples.resize(config.io_sizes.size());
+  parallel_sweep(config.io_sizes.size(), config.threads, [&](size_t i) {
+    const uint64_t io_bytes = config.io_sizes[i];
     // Fresh device per size: each round starts from quiescent hardware,
     // exactly like re-running the microbenchmark binary.
     sim::HddDevice dev(hdd, config.seed);
@@ -42,8 +46,8 @@ AffineExperimentResult run_affine_experiment(const sim::HddConfig& hdd,
     sample.io_bytes = io_bytes;
     sample.seconds = sim::to_seconds(r.makespan) /
                      static_cast<double>(r.total_ios);
-    result.samples.push_back(sample);
-  }
+    result.samples[i] = sample;
+  });
   result.fit = fit_affine(result.samples);
   return result;
 }
@@ -51,7 +55,9 @@ AffineExperimentResult run_affine_experiment(const sim::HddConfig& hdd,
 PdamExperimentResult run_pdam_experiment(const sim::SsdConfig& ssd,
                                          PdamExperimentConfig config) {
   PdamExperimentResult result;
-  for (int threads : config.thread_counts) {
+  result.samples.resize(config.thread_counts.size());
+  parallel_sweep(config.thread_counts.size(), config.threads, [&](size_t i) {
+    const int threads = config.thread_counts[i];
     sim::SsdDevice dev(ssd);
     sim::ClosedLoopConfig cl;
     cl.clients = threads;
@@ -63,8 +69,8 @@ PdamExperimentResult run_pdam_experiment(const sim::SsdConfig& ssd,
     sample.threads = threads;
     sample.seconds = sim::to_seconds(r.makespan);
     sample.total_bytes = r.total_bytes;
-    result.samples.push_back(sample);
-  }
+    result.samples[i] = sample;
+  });
   result.fit = fit_pdam(result.samples);
   return result;
 }
@@ -160,7 +166,9 @@ SweepResult run_nodesize_sweep(const sim::HddConfig& hdd, SweepConfig config) {
   const auto cache_bytes = static_cast<uint64_t>(
       config.cache_ratio * static_cast<double>(data_bytes));
 
-  for (uint64_t node_bytes : config.node_sizes) {
+  result.points.resize(config.node_sizes.size());
+  parallel_sweep(config.node_sizes.size(), config.threads, [&](size_t pi) {
+    const uint64_t node_bytes = config.node_sizes[pi];
     sim::HddDevice dev(hdd, config.seed);
     sim::IoContext io(dev);
     std::unique_ptr<Dict> dict;
@@ -228,8 +236,8 @@ SweepResult run_nodesize_sweep(const sim::HddConfig& hdd, SweepConfig config) {
                         static_cast<double>(logical);
     }
     point.cache_hit_rate = dict->cache_hit_rate();
-    result.points.push_back(point);
-  }
+    result.points[pi] = point;
+  });
 
   // Affine overlays (the fitted model lines of Figures 2–3): per-IO cost
   // s + t·x with the device's expected parameters, times the number of
@@ -298,8 +306,9 @@ std::vector<WriteAmpPoint> run_write_amp_experiment(const sim::HddConfig& hdd,
   const uint64_t logical =
       config.updates * (config.key_bytes + config.value_bytes);
 
-  std::vector<WriteAmpPoint> out;
-  for (uint64_t node_bytes : config.node_sizes) {
+  std::vector<WriteAmpPoint> out(config.node_sizes.size());
+  parallel_sweep(config.node_sizes.size(), config.threads, [&](size_t pi) {
+    const uint64_t node_bytes = config.node_sizes[pi];
     WriteAmpPoint point;
     point.node_bytes = node_bytes;
     const uint64_t effective_cache = std::max(cache_bytes, node_bytes * 4);
@@ -349,8 +358,8 @@ std::vector<WriteAmpPoint> run_write_amp_experiment(const sim::HddConfig& hdd,
       point.betree_write_amp = static_cast<double>(dev.stats().bytes_written) /
                                static_cast<double>(logical);
     }
-    out.push_back(point);
-  }
+    out[pi] = point;
+  });
   return out;
 }
 

@@ -24,6 +24,10 @@ struct AffineExperimentConfig {
   std::vector<uint64_t> io_sizes;  // default: 4 KiB … 16 MiB, ×2 ladder
   int reads_per_size = 64;         // the paper issues 64 per size
   uint64_t seed = 17;
+  /// Host threads running sweep points concurrently (one device + RNG per
+  /// point, so results are identical for any value). Same knob on every
+  /// sweep config below.
+  int threads = 1;
 };
 
 struct AffineExperimentResult {
@@ -43,6 +47,7 @@ struct PdamExperimentConfig {
   uint64_t bytes_per_thread = 1ULL << 30;  // paper: 10 GiB; scaled to 1 GiB
   uint64_t io_bytes = 64 * 1024;
   uint64_t seed = 23;
+  int threads = 1;
 };
 
 struct PdamExperimentResult {
@@ -70,6 +75,7 @@ struct SweepConfig {
   uint64_t inserts = 2000;      // measured random inserts
   size_t betree_fanout = 0;     // 0 = sqrt(B) default
   uint64_t seed = 31;
+  int threads = 1;
 };
 
 struct SweepPoint {
@@ -105,6 +111,7 @@ struct WriteAmpConfig {
   size_t value_bytes = 100;
   double cache_ratio = 0.1;
   uint64_t seed = 37;
+  int threads = 1;
 };
 
 struct WriteAmpPoint {

@@ -1,0 +1,36 @@
+#include "harness/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace damkit::harness {
+
+void parallel_sweep(size_t n, int threads,
+                    const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers =
+      std::min<size_t>(n, threads > 1 ? static_cast<size_t>(threads) : 1);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Atomic work cursor: points vary wildly in cost (large node sizes are
+  // slower to simulate), so dynamic handout beats static striping.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace damkit::harness

@@ -1,0 +1,21 @@
+// ParallelSweep: run independent sweep points on a pool of host threads.
+//
+// Simulated time is unaffected: every point owns its own device,
+// IoContext, and RNG, so results are bit-identical for any thread count —
+// threads only shrink host wall-clock. Work is handed out through an
+// atomic cursor; each point writes only its own result slot, so no
+// ordering between points is observable.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace damkit::harness {
+
+/// Runs fn(i) for every i in [0, n), using up to `threads` host threads
+/// (inline when threads <= 1 or n <= 1). fn must touch only state owned
+/// by point i; it runs concurrently for distinct i.
+void parallel_sweep(size_t n, int threads,
+                    const std::function<void(size_t)>& fn);
+
+}  // namespace damkit::harness

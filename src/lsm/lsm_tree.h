@@ -43,6 +43,10 @@ struct LsmConfig {
   /// Blocks fetched per IO by scans and compactions (sequential access);
   /// point reads always fetch exactly one block.
   size_t scan_readahead_blocks = 32;
+  /// Run IOs a compaction submits per device batch, interleaved across
+  /// its input tables so they land on distinct extents (SSD dies serve
+  /// them in parallel). 1 disables batching (serial per-run charging).
+  size_t compaction_batch_ios = 8;
   uint64_t level1_bytes = 10 * 1024 * 1024;
   double size_ratio = 10.0;         // level i+1 / level i capacity
   CompactionStyle style = CompactionStyle::kLeveled;

@@ -164,8 +164,12 @@ std::optional<Entry> SSTable::get(std::string_view key,
 }
 
 SSTable::Iterator::Iterator(const SSTable* table, sim::IoContext* io,
-                            std::string_view lo, size_t readahead_blocks)
-    : table_(table), io_(io), readahead_(std::max<size_t>(readahead_blocks, 1)) {
+                            std::string_view lo, size_t readahead_blocks,
+                            bool charge_io)
+    : table_(table),
+      io_(io),
+      readahead_(std::max<size_t>(readahead_blocks, 1)),
+      charge_io_(charge_io) {
   // First block that could contain keys >= lo.
   const auto it = std::upper_bound(
       table_->index_.begin(), table_->index_.end(), lo,
@@ -194,7 +198,13 @@ void SSTable::Iterator::load_blocks(size_t first_block) {
   const IndexEntry& last = table_->index_[end - 1];
   const uint64_t run_bytes = last.offset + last.length - first.offset;
   std::vector<uint8_t> buf(run_bytes);
-  io_->read(table_->device_offset_ + first.offset, buf);
+  if (charge_io_) {
+    io_->read(table_->device_offset_ + first.offset, buf);
+  } else {
+    // Timing was precharged by the caller (batched run requests); only
+    // the payload is needed here.
+    table_->dev_->read_bytes(table_->device_offset_ + first.offset, buf);
+  }
 
   entries_.clear();
   kv::Reader r(buf);
@@ -221,8 +231,24 @@ void SSTable::Iterator::next() {
 }
 
 SSTable::Iterator SSTable::seek(std::string_view lo, sim::IoContext& io,
-                                size_t readahead_blocks) const {
-  return Iterator(this, &io, lo, readahead_blocks);
+                                size_t readahead_blocks,
+                                bool charge_io) const {
+  return Iterator(this, &io, lo, readahead_blocks, charge_io);
+}
+
+std::vector<sim::IoRequest> SSTable::run_requests(
+    size_t readahead_blocks) const {
+  DAMKIT_CHECK_MSG(!released_, "run_requests on released SSTable");
+  const size_t readahead = std::max<size_t>(readahead_blocks, 1);
+  std::vector<sim::IoRequest> reqs;
+  for (size_t b = 0; b < index_.size(); b += readahead) {
+    const size_t end = std::min(b + readahead, index_.size());
+    const IndexEntry& first = index_[b];
+    const IndexEntry& last = index_[end - 1];
+    reqs.push_back({sim::IoKind::kRead, device_offset_ + first.offset,
+                    last.offset + last.length - first.offset});
+  }
+  return reqs;
 }
 
 }  // namespace damkit::lsm

@@ -110,6 +110,8 @@ class SSTable {
   /// Sequential cursor over entries with key >= lo. `readahead_blocks`
   /// blocks are fetched per IO (1 = strict point granularity; scans and
   /// compactions use larger runs — the affine model rewards exactly this).
+  /// With charge_io = false the cursor reads payload only: the caller has
+  /// already charged the run IOs (e.g. as one compaction-wide batch).
   class Iterator {
    public:
     bool valid() const { return valid_; }
@@ -119,12 +121,13 @@ class SSTable {
    private:
     friend class SSTable;
     Iterator(const SSTable* table, sim::IoContext* io, std::string_view lo,
-             size_t readahead_blocks);
+             size_t readahead_blocks, bool charge_io);
     void load_blocks(size_t first_block);
 
     const SSTable* table_ = nullptr;
     sim::IoContext* io_ = nullptr;
     size_t readahead_ = 1;
+    bool charge_io_ = true;
     size_t next_block_ = 0;       // first block not yet fetched
     std::vector<Entry> entries_;  // decoded current run
     size_t pos_ = 0;
@@ -132,7 +135,13 @@ class SSTable {
     bool valid_ = false;
   };
   Iterator seek(std::string_view lo, sim::IoContext& io,
-                size_t readahead_blocks = 1) const;
+                size_t readahead_blocks = 1, bool charge_io = true) const;
+
+  /// The device reads a full sequential pass at `readahead_blocks` issues:
+  /// one request per run of contiguous blocks. Used to precharge a
+  /// compaction's input IOs as device batches before iterating with
+  /// charge_io = false.
+  std::vector<sim::IoRequest> run_requests(size_t readahead_blocks) const;
 
   /// Drop the table's device extent (called by the tree on obsolescence).
   /// Lifecycle operation, allowed on const handles: the table's *data*

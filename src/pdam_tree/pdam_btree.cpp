@@ -63,6 +63,41 @@ uint64_t PdamBTree::block_of_local(uint64_t l, int h) const {
   return table[l - 1] / slots_per_block_;
 }
 
+namespace {
+
+/// The device's P block-slots per step, exposed as one shared
+/// submission/completion queue that all k clients draw from. grant(i) is
+/// the slot budget the queue admits for client i in the current step:
+/// floor(P/k) each plus one of the P mod k leftover slots, rotated one
+/// position per step so no client is systematically favoured. The queue
+/// is the single point deciding what the device serves; it also counts
+/// the read-ahead runs completed (the CQ side).
+class StepSlotQueue {
+ public:
+  StepSlotQueue(int p, int k) : p_(p), k_(k) {}
+
+  int grant(int client) const {
+    const int base = p_ / k_;
+    const int extra = p_ % k_;
+    const bool gets_leftover =
+        (static_cast<uint64_t>(client) + rotate_) % static_cast<uint64_t>(k_) <
+        static_cast<uint64_t>(extra);
+    return base + (gets_leftover ? 1 : 0);
+  }
+
+  void complete_run() { ++runs_; }
+  void next_step() { ++rotate_; }
+  uint64_t runs() const { return runs_; }
+
+ private:
+  int p_;
+  int k_;
+  uint64_t rotate_ = 0;
+  uint64_t runs_ = 0;
+};
+
+}  // namespace
+
 PdamBTree::RunResult PdamBTree::run_queries(int k, uint64_t queries_per_client,
                                             uint64_t seed) const {
   DAMKIT_CHECK(k >= 1);
@@ -93,8 +128,7 @@ PdamBTree::RunResult PdamBTree::run_queries(int k, uint64_t queries_per_client,
   }
 
   RunResult result;
-  const int p = config_.parallelism;
-  uint64_t rotate = 0;
+  StepSlotQueue queue(config_.parallelism, k);
 
   auto start_query = [&](Client& c) {
     c.active = true;
@@ -117,17 +151,10 @@ PdamBTree::RunResult PdamBTree::run_queries(int k, uint64_t queries_per_client,
 
   while (any) {
     ++result.steps;
-    // Distribute P slots: floor(P/k) each, remainder rotating.
-    const int base = p / k;
-    const int extra = p % k;
     for (int i = 0; i < k; ++i) {
       Client& c = clients[static_cast<size_t>(i)];
       if (!c.active) continue;
-      int budget = base + ((static_cast<uint64_t>(i) + rotate) %
-                               static_cast<uint64_t>(k) <
-                           static_cast<uint64_t>(extra)
-                               ? 1
-                               : 0);
+      const int budget = queue.grant(i);
       bool fetched_this_step = false;
 
       for (;;) {
@@ -151,7 +178,7 @@ PdamBTree::RunResult PdamBTree::run_queries(int k, uint64_t queries_per_client,
               std::min(b + static_cast<uint64_t>(budget), blocks_in_node);
           for (uint64_t j = b; j < end; ++j) c.fetched[j] = true;
           fetched_this_step = true;
-          ++result.block_fetch_runs;
+          queue.complete_run();
         }
         // Compare and descend one level.
         c.g = (c.key <= pivot(c.g, c.depth)) ? 2 * c.g : 2 * c.g + 1;
@@ -170,7 +197,7 @@ PdamBTree::RunResult PdamBTree::run_queries(int k, uint64_t queries_per_client,
         }
       }
     }
-    ++rotate;
+    queue.next_step();
     any = false;
     for (auto& c : clients) {
       if (c.active) {
@@ -179,6 +206,7 @@ PdamBTree::RunResult PdamBTree::run_queries(int k, uint64_t queries_per_client,
       }
     }
   }
+  result.block_fetch_runs = queue.runs();
   return result;
 }
 

@@ -1,10 +1,22 @@
 #include "sim/device.h"
 
-// Device is header-only apart from the destructor; keeping one
-// out-of-line definition pins the vtable to this translation unit.
+// Device is mostly header-only; the destructor pins the vtable to this
+// translation unit and the default batch path lives here so subclasses
+// that don't override it stay small.
 
 namespace damkit::sim {
 
 Device::~Device() = default;
+
+std::vector<IoCompletion> Device::submit_batch_io(
+    std::span<const IoRequest> reqs, SimTime now) {
+  // Every request is outstanding at the same `now`; the device's own
+  // queueing state (die/channel free times, actuator busy_until) decides
+  // how much of the batch overlaps.
+  std::vector<IoCompletion> out;
+  out.reserve(reqs.size());
+  for (const IoRequest& req : reqs) out.push_back(submit_io(req, now));
+  return out;
+}
 
 }  // namespace damkit::sim

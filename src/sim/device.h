@@ -8,10 +8,12 @@
 // results are deterministic and independent of host speed.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "sim/memstore.h"
 #include "util/status.h"
@@ -33,6 +35,16 @@ inline SimTime from_seconds(double s) {
 }
 
 enum class IoKind : uint8_t { kRead, kWrite };
+
+/// How a device may reorder requests it holds concurrently (an NCQ window
+/// or a submission-queue batch). Lives here rather than scheduler.h so
+/// device configs can carry a policy without a circular include.
+///   kFifo — submission order (queue depth irrelevant).
+///   kSstf — shortest seek time first within the window.
+///   kScan — elevator: sweep the window in one direction, reverse at ends.
+enum class SchedPolicy : uint8_t { kFifo, kSstf, kScan };
+
+const char* sched_policy_name(SchedPolicy p);
 
 /// A single device IO: a contiguous byte range.
 struct IoRequest {
@@ -63,8 +75,10 @@ struct DeviceStats {
 /// Abstract simulated block device.
 ///
 /// Timing contract: submissions must arrive in nondecreasing `now` order
-/// (the closed-loop driver and single-threaded IoContext guarantee this).
-/// Devices may queue: `IoCompletion.start` can exceed `now`.
+/// (the closed-loop driver and single-threaded IoContext guarantee this;
+/// `submit` aborts on violation — a reordered caller would otherwise
+/// corrupt timing silently). Devices may queue: `IoCompletion.start` can
+/// exceed `now`.
 class Device {
  public:
   explicit Device(uint64_t capacity_bytes)
@@ -79,7 +93,21 @@ class Device {
 
   /// Compute service timing for `req` submitted at `now`, updating internal
   /// mechanical/electrical state. Does not touch payload bytes.
-  virtual IoCompletion submit(const IoRequest& req, SimTime now) = 0;
+  IoCompletion submit(const IoRequest& req, SimTime now) {
+    enforce_clock(now);
+    return submit_io(req, now);
+  }
+
+  /// Batched submission (the SQ/CQ path): every request in `reqs` is
+  /// outstanding at `now`, so the device may serve them concurrently (SSD
+  /// dies) or reorder them within the batch window (HDD NCQ). Completions
+  /// are returned in request order; the batch as a whole completes at the
+  /// max finish, not the sum of latencies.
+  std::vector<IoCompletion> submit_batch(std::span<const IoRequest> reqs,
+                                         SimTime now) {
+    enforce_clock(now);
+    return submit_batch_io(reqs, now);
+  }
 
   uint64_t capacity_bytes() const { return capacity_; }
 
@@ -123,6 +151,23 @@ class Device {
   }
 
  protected:
+  /// Timing model for a single request. `now` is guaranteed nondecreasing
+  /// across calls (enforced by the public wrappers).
+  virtual IoCompletion submit_io(const IoRequest& req, SimTime now) = 0;
+
+  /// Timing model for a batch. The default serializes through submit_io at
+  /// a constant `now` — device queueing then decides the overlap (per-die
+  /// queues overlap on an SSD; the single actuator serializes on an HDD).
+  virtual std::vector<IoCompletion> submit_batch_io(
+      std::span<const IoRequest> reqs, SimTime now);
+
+  void enforce_clock(SimTime now) {
+    DAMKIT_CHECK_MSG(now >= last_submit_,
+                     "device clock ran backwards: now=" << now
+                         << " < last submission=" << last_submit_);
+    last_submit_ = now;
+  }
+
   void account(const IoRequest& req, const IoCompletion& c) {
     if (req.kind == IoKind::kRead) {
       ++stats_.reads;
@@ -150,6 +195,7 @@ class Device {
   DeviceStats stats_;
   MemStore store_;
   class IoTrace* trace_ = nullptr;
+  SimTime last_submit_ = 0;  // timing-contract watermark
 };
 
 /// Tracks one logical client's simulated clock against a device. All
@@ -179,6 +225,18 @@ class IoContext {
   /// Timing-only read (payload ignored), used by layout experiments.
   void touch_read(uint64_t offset, uint64_t length) {
     now_ = dev_->submit({IoKind::kRead, offset, length}, now_).finish;
+  }
+
+  /// Issue a batch of timing-only IOs and advance the clock to the *max*
+  /// completion. This is where batching pays: a serial loop advances by
+  /// the sum of latencies, a batch only by the slowest request (the
+  /// device overlaps the rest).
+  std::vector<IoCompletion> submit_batch(std::span<const IoRequest> reqs) {
+    std::vector<IoCompletion> cs = dev_->submit_batch(reqs, now_);
+    SimTime done = now_;
+    for (const IoCompletion& c : cs) done = std::max(done, c.finish);
+    now_ = done;
+    return cs;
   }
 
  private:

@@ -41,7 +41,7 @@ double HddDevice::seek_time_s(uint64_t distance) const {
          (config_.full_stroke_s - config_.track_to_track_s) * std::sqrt(frac);
 }
 
-IoCompletion HddDevice::submit(const IoRequest& req, SimTime now) {
+IoCompletion HddDevice::submit_io(const IoRequest& req, SimTime now) {
   check_bounds(req);
   const SimTime start = std::max(now, busy_until_);
 
@@ -89,6 +89,54 @@ IoCompletion HddDevice::submit(const IoRequest& req, SimTime now) {
   const IoCompletion c{start, t};
   account(req, c);
   return c;
+}
+
+std::vector<IoCompletion> HddDevice::submit_batch_io(
+    std::span<const IoRequest> reqs, SimTime now) {
+  std::vector<IoCompletion> out(reqs.size());
+  std::vector<size_t> pending(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) pending[i] = i;
+
+  // Greedy service order from the live arm position, mirroring the NCQ
+  // policies of scheduler.h at batch granularity.
+  while (!pending.empty()) {
+    size_t pick = 0;
+    if (config_.batch_policy != SchedPolicy::kFifo) {
+      const uint64_t head = head_track_;
+      auto distance = [&](size_t idx) {
+        const uint64_t t = track_of(reqs[idx].offset);
+        return t > head ? t - head : head - t;
+      };
+      if (config_.batch_policy == SchedPolicy::kSstf) {
+        for (size_t j = 1; j < pending.size(); ++j) {
+          if (distance(pending[j]) < distance(pending[pick])) pick = j;
+        }
+      } else {  // kScan: nearest track on the current sweep side
+        auto on_side = [&](size_t idx) {
+          const uint64_t t = track_of(reqs[idx].offset);
+          return batch_scan_up_ ? t >= head : t <= head;
+        };
+        bool found = false;
+        for (size_t j = 0; j < pending.size(); ++j) {
+          if (!on_side(pending[j])) continue;
+          if (!found || distance(pending[j]) < distance(pending[pick])) {
+            pick = j;
+            found = true;
+          }
+        }
+        if (!found) {  // nothing left on this side: reverse the sweep
+          batch_scan_up_ = !batch_scan_up_;
+          for (size_t j = 1; j < pending.size(); ++j) {
+            if (distance(pending[j]) < distance(pending[pick])) pick = j;
+          }
+        }
+      }
+    }
+    const size_t idx = pending[pick];
+    out[idx] = submit_io(reqs[idx], now);
+    pending.erase(pending.begin() + static_cast<ptrdiff_t>(pick));
+  }
+  return out;
 }
 
 }  // namespace damkit::sim

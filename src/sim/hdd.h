@@ -37,6 +37,12 @@ struct HddConfig {
   // Fixed per-IO controller/command overhead.
   double command_overhead_s = 50e-6;
 
+  /// How the drive orders the requests of one submit_batch (NCQ). The
+  /// actuator still serves them one at a time; reordering only shrinks the
+  /// aggregate seek distance. kFifo preserves exact serial-equivalent
+  /// timing for batches in submission order.
+  SchedPolicy batch_policy = SchedPolicy::kSstf;
+
   /// Rotation period in seconds.
   double rotation_period_s() const { return 60.0 / rpm; }
   /// E[sqrt(|X-Y|)] for X, Y uniform on [0,1]: the arm travel distance is
@@ -61,7 +67,6 @@ class HddDevice final : public Device {
   explicit HddDevice(HddConfig config, uint64_t rng_seed = 42);
 
   std::string name() const override;
-  IoCompletion submit(const IoRequest& req, SimTime now) override;
 
   const HddConfig& config() const { return config_; }
 
@@ -77,11 +82,21 @@ class HddDevice final : public Device {
   /// Pure seek time in seconds for arm travel of `distance` tracks.
   double seek_time_s(uint64_t distance) const;
 
+ protected:
+  IoCompletion submit_io(const IoRequest& req, SimTime now) override;
+  /// Serves the batch one request at a time (single actuator) but in the
+  /// order config().batch_policy picks from the current arm position —
+  /// the NCQ window reordering of scheduler.h applied to one batch.
+  /// Completions are returned in submission order.
+  std::vector<IoCompletion> submit_batch_io(std::span<const IoRequest> reqs,
+                                            SimTime now) override;
+
  private:
   HddConfig config_;
   uint64_t num_tracks_;
   SimTime busy_until_ = 0;   // single actuator: next time the arm is free
   uint64_t head_track_ = 0;  // arm position after the last IO
+  bool batch_scan_up_ = true;  // kScan sweep direction across batches
 };
 
 }  // namespace damkit::sim

@@ -21,9 +21,8 @@
 
 namespace damkit::sim {
 
-enum class SchedPolicy : uint8_t { kFifo, kSstf, kScan };
-
-const char* sched_policy_name(SchedPolicy p);
+// SchedPolicy and sched_policy_name live in device.h so device configs can
+// carry a policy; this header only adds the windowed-trace runner.
 
 struct SchedulerConfig {
   SchedPolicy policy = SchedPolicy::kFifo;

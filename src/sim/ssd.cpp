@@ -39,7 +39,7 @@ SsdDevice::SsdDevice(SsdConfig config)
 
 std::string SsdDevice::name() const { return config_.name; }
 
-IoCompletion SsdDevice::submit(const IoRequest& req, SimTime now) {
+IoCompletion SsdDevice::submit_io(const IoRequest& req, SimTime now) {
   check_bounds(req);
   const SimTime issue = now + from_seconds(config_.command_overhead_s);
   const double service_s = (req.kind == IoKind::kRead) ? config_.page_read_s
@@ -92,6 +92,31 @@ IoCompletion SsdDevice::submit(const IoRequest& req, SimTime now) {
   const IoCompletion c{issue, finish};
   account(req, c);
   return c;
+}
+
+std::vector<IoCompletion> SsdDevice::submit_batch_io(
+    std::span<const IoRequest> reqs, SimTime now) {
+  // Bucket requests by the die serving their first stripe, then dispatch
+  // round-robin across the buckets. All requests carry the same `now`, so
+  // the per-die/per-channel free-time queues overlap them; the dispatch
+  // order only decides who queues behind whom on a shared die, channel
+  // bus, or host link — round-robin keeps that fair across dies instead
+  // of letting one die's backlog serialize the bus.
+  std::vector<IoCompletion> out(reqs.size());
+  std::vector<std::vector<size_t>> by_die(
+      static_cast<size_t>(config_.total_dies()));
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    by_die[static_cast<size_t>(die_of(reqs[i].offset))].push_back(i);
+  }
+  size_t served = 0;
+  for (size_t round = 0; served < reqs.size(); ++round) {
+    for (const auto& bucket : by_die) {
+      if (round >= bucket.size()) continue;
+      out[bucket[round]] = submit_io(reqs[bucket[round]], now);
+      ++served;
+    }
+  }
+  return out;
 }
 
 }  // namespace damkit::sim

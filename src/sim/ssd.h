@@ -59,7 +59,6 @@ class SsdDevice final : public Device {
   explicit SsdDevice(SsdConfig config);
 
   std::string name() const override;
-  IoCompletion submit(const IoRequest& req, SimTime now) override;
 
   const SsdConfig& config() const { return config_; }
 
@@ -77,6 +76,16 @@ class SsdDevice final : public Device {
     return static_cast<int>(z % static_cast<uint64_t>(config_.total_dies()));
   }
   int channel_of_die(int die) const { return die % config_.channels; }
+
+ protected:
+  IoCompletion submit_io(const IoRequest& req, SimTime now) override;
+  /// P-way-parallel batch service: requests are dispatched round-robin
+  /// across the per-die buckets they map to, so a batch of ≤ total_dies()
+  /// single-stripe reads on distinct dies completes in one page-service
+  /// "step" — exactly the PDAM's `P` IOs of size `B` per time step.
+  /// Completions are returned in submission order.
+  std::vector<IoCompletion> submit_batch_io(std::span<const IoRequest> reqs,
+                                            SimTime now) override;
 
  private:
   SsdConfig config_;
