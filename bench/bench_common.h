@@ -8,6 +8,8 @@
 #include <cstring>
 #include <string>
 
+#include "stats/metrics.h"
+
 namespace damkit::bench {
 
 struct BenchArgs {
@@ -18,6 +20,9 @@ struct BenchArgs {
   /// and RNG, so any value produces identical output — more threads only
   /// finish sooner.
   int threads = 1;
+  /// When non-empty, benches that collect a MetricsRegistry write its JSON
+  /// snapshot here (CI's regression gate consumes it).
+  std::string metrics_json;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -32,14 +37,34 @@ inline BenchArgs parse_args(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       args.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
       if (args.threads < 1) args.threads = 1;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      args.metrics_json = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: %s [--quick] [--seed N] [--csv-prefix P] [--threads N]\n",
+          "usage: %s [--quick] [--seed N] [--csv-prefix P] [--threads N] "
+          "[--metrics-json FILE]\n",
           argv[0]);
       std::exit(0);
     }
   }
   return args;
+}
+
+/// Write `reg`'s JSON snapshot to `path`; returns false (with a message on
+/// stderr) if the file cannot be written.
+inline bool write_metrics_json(const stats::MetricsRegistry& reg,
+                               const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write metrics JSON to %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = reg.to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("metrics JSON written to %s\n", path.c_str());
+  return true;
 }
 
 inline void banner(const char* what, const char* paper_ref) {

@@ -1,0 +1,209 @@
+// BENCH_smoke: a reduced cross-layer sweep whose only product is a
+// metrics snapshot (BENCH_smoke.json). CI runs it on every push and gates
+// merges two ways:
+//
+//   1. regression — simulated-time gauges (*.sim_seconds / *.sim_steps)
+//      must stay within 15% of the checked-in baseline
+//      (bench/baselines/BENCH_smoke_baseline.json);
+//   2. model consistency — the HDD section's measured setup/transfer
+//      split must land within 5% of the closed-form affine prediction
+//      for the Table-2 drive (hdd.predicted_* gauges).
+//
+// Sections run under parallel_sweep, so a --threads 2 run also exercises
+// the registry's merge determinism: output is bit-identical for any
+// thread count.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "damkit.h"
+
+namespace {
+
+using namespace damkit;
+
+// Fixed-width decimal keys sort lexicographically in numeric order.
+std::string key_of(uint64_t k) {
+  return strfmt("%016llu", static_cast<unsigned long long>(k));
+}
+
+// §4.2 surrogate: uniform random fixed-size reads on the Table-2 drive.
+// The device decomposes each IO into setup (command + seek + rotation)
+// and transfer (zoned media) time; over a uniform workload the means must
+// match HddConfig's closed-form expectations.
+void run_hdd_affine(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
+  const sim::HddConfig profile = sim::paper_hdd_profiles()[0];
+  sim::HddDevice dev(profile);
+  sim::IoContext io(dev);
+  Rng rng(args.seed);
+  // Track-aligned IOs smaller than one track: the measured transfer time
+  // is then pure zoned media time, with no head-switch charges mixed in,
+  // so it is comparable to the closed-form 1/avg_bandwidth.
+  const uint64_t io_bytes = profile.track_bytes / 4;
+  const uint64_t tracks = profile.capacity_bytes / profile.track_bytes;
+  const int ios = args.quick ? 500 : 2000;
+  for (int i = 0; i < ios; ++i) {
+    io.touch_read((rng.next() % tracks) * profile.track_bytes, io_bytes);
+  }
+  dev.export_metrics(reg, "hdd.");
+  reg.set("hdd.sim_seconds", sim::to_seconds(io.now()));
+}
+
+// §4.1 surrogate: full-width read batches on the testbed SSD. Batch width
+// equals the die count, so every die serves one request per round and the
+// exported per-die utilizations stay balanced.
+void run_ssd_batch(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
+  const sim::SsdConfig profile = sim::testbed_ssd_profile();
+  sim::SsdDevice dev(profile);
+  sim::IoContext io(dev);
+  Rng rng(args.seed + 1);
+  const uint64_t stripes = profile.capacity_bytes / profile.stripe_bytes;
+  const int width = profile.total_dies();
+  const int rounds = args.quick ? 150 : 600;
+  std::vector<sim::IoRequest> batch;
+  for (int r = 0; r < rounds; ++r) {
+    batch.clear();
+    for (int w = 0; w < width; ++w) {
+      batch.push_back({sim::IoKind::kRead,
+                       (rng.next() % stripes) * profile.stripe_bytes,
+                       profile.stripe_bytes});
+    }
+    io.submit_batch(batch);
+  }
+  dev.export_metrics(reg, "ssd.");
+  reg.set("ssd.sim_seconds", sim::to_seconds(io.now()));
+}
+
+void run_btree(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  btree::BTreeConfig config;
+  config.node_bytes = 64 * 1024;
+  config.cache_bytes = 2 * 1024 * 1024;
+  btree::BTree tree(dev, io, config);
+  const uint64_t n = args.quick ? 4000 : 20000;
+  tree.bulk_load(n, [](uint64_t i) {
+    return std::make_pair(key_of(i * 2), std::string(64, 'v'));
+  });
+  Rng rng(args.seed + 2);
+  for (uint64_t i = 0; i < n / 2; ++i) {
+    tree.put(key_of(rng.next() % (n * 2)), std::string(64, 'v'));
+  }
+  for (uint64_t i = 0; i < n / 2; ++i) {
+    tree.get(key_of(rng.next() % (n * 2)));
+  }
+  tree.flush();
+  tree.export_metrics(reg, "btree.");
+  reg.set("btree.sim_seconds", sim::to_seconds(io.now()));
+}
+
+void run_betree(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  betree::BeTreeConfig config;
+  config.node_bytes = 128 * 1024;
+  config.cache_bytes = 1024 * 1024;
+  betree::BeTree tree(dev, io, config);
+  const uint64_t n = args.quick ? 6000 : 30000;
+  Rng rng(args.seed + 3);
+  for (uint64_t i = 0; i < n; ++i) {
+    tree.put(key_of(rng.next() % (n * 4)), std::string(100, 'v'));
+  }
+  for (uint64_t i = 0; i < n / 4; ++i) {
+    tree.get(key_of(rng.next() % (n * 4)));
+  }
+  tree.flush_cache();
+  tree.export_metrics(reg, "betree.");
+  reg.set("betree.sim_seconds", sim::to_seconds(io.now()));
+}
+
+void run_lsm(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  lsm::LsmConfig config;
+  config.memtable_bytes = 256 * 1024;
+  config.sstable_target_bytes = 128 * 1024;
+  config.level1_bytes = 512 * 1024;
+  lsm::LsmTree tree(dev, io, config);
+  const uint64_t n = args.quick ? 6000 : 30000;
+  Rng rng(args.seed + 4);
+  for (uint64_t i = 0; i < n; ++i) {
+    tree.put(key_of(rng.next() % (n * 4)), std::string(100, 'v'));
+  }
+  for (uint64_t i = 0; i < n / 4; ++i) {
+    tree.get(key_of(rng.next() % (n * 4)));
+  }
+  tree.flush();
+  tree.export_metrics(reg, "lsm.");
+  reg.set("lsm.sim_seconds", sim::to_seconds(io.now()));
+}
+
+// §8 surrogate: the PDAM B-tree has no wall clock, only time steps; the
+// occupancy gauge reports how much of the per-step P-slot budget the
+// clients consumed.
+void run_pdam(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
+  const uint64_t n = args.quick ? 1u << 16 : 1u << 18;
+  std::vector<uint64_t> keys(n);
+  for (uint64_t i = 0; i < n; ++i) keys[i] = i * 7 + 3;
+  pdam_tree::PdamTreeConfig config;
+  config.parallelism = 8;
+  pdam_tree::PdamBTree tree(std::move(keys), config);
+  const auto rr =
+      tree.run_queries(config.parallelism, args.quick ? 200 : 800,
+                       args.seed + 5);
+  reg.add("pdam.steps", rr.steps);
+  reg.add("pdam.queries", rr.queries);
+  reg.add("pdam.block_fetch_runs", rr.block_fetch_runs);
+  reg.add("pdam.blocks_fetched", rr.blocks_fetched);
+  reg.set("pdam.throughput_queries_per_step", rr.throughput());
+  reg.set("pdam.slot_occupancy", rr.slot_occupancy(config.parallelism));
+  reg.set("pdam.sim_steps", static_cast<double>(rr.steps));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  if (args.metrics_json.empty()) args.metrics_json = "BENCH_smoke.json";
+  bench::banner("cross-layer metrics smoke sweep",
+                "§4.1, §4.2, §7, §8 (reduced scale)");
+
+  struct Section {
+    const char* name;
+    std::function<void(const bench::BenchArgs&, stats::MetricsRegistry&)> run;
+  };
+  const std::vector<Section> sections = {
+      {"hdd", run_hdd_affine}, {"ssd", run_ssd_batch}, {"btree", run_btree},
+      {"betree", run_betree},  {"lsm", run_lsm},       {"pdam", run_pdam},
+  };
+
+  std::vector<stats::MetricsRegistry> per_section(sections.size());
+  harness::parallel_sweep(sections.size(), args.threads, [&](size_t i) {
+    sections[i].run(args, per_section[i]);
+  });
+
+  // Merge in section order: deterministic for any host thread count.
+  stats::MetricsRegistry merged;
+  for (const auto& reg : per_section) merged.merge(reg);
+
+  Table summary({"section", "sim_seconds"});
+  for (const auto& s : sections) {
+    const std::string gauge = std::string(s.name) + ".sim_seconds";
+    summary.add_row({s.name, merged.has_gauge(gauge)
+                                 ? strfmt("%.4f", merged.gauge(gauge))
+                                 : std::string("-")});
+  }
+  std::fputs(summary.to_string().c_str(), stdout);
+
+  std::printf("affine split on %s:\n", "the Table-2 drive");
+  std::printf("  setup/IO      measured %.6f s, predicted %.6f s\n",
+              merged.gauge("hdd.setup_seconds_per_io"),
+              merged.gauge("hdd.predicted_setup_seconds_per_io"));
+  std::printf("  transfer/byte measured %.3e s, predicted %.3e s\n",
+              merged.gauge("hdd.transfer_seconds_per_byte"),
+              merged.gauge("hdd.predicted_transfer_seconds_per_byte"));
+
+  return bench::write_metrics_json(merged, args.metrics_json) ? 0 : 1;
+}

@@ -128,7 +128,7 @@ bool BeTree::flush_pressure(const BeTreeNode& /*node*/) const { return false; }
 void BeTree::fix_root() {
   NodeRef root = fetch(root_);
   std::vector<SplitInfo> splits;
-  fix_node(root_, root, splits);
+  fix_node(root_, root, splits, /*depth=*/0);
   if (splits.empty()) return;
   const uint64_t new_root_id = store_.allocate();
   NodeRef new_root = BeTreeNode::make_internal();
@@ -163,11 +163,12 @@ size_t BeTree::pick_flush_child(const BeTreeNode& n) {
   return n.fullest_child();
 }
 
-void BeTree::fix_node(uint64_t id, NodeRef node, std::vector<SplitInfo>& out) {
+void BeTree::fix_node(uint64_t id, NodeRef node, std::vector<SplitInfo>& out,
+                      size_t depth) {
   if (!node->is_leaf()) {
     while ((overflowing(*node) || flush_pressure(*node)) &&
            node->total_buffer_bytes() > 0) {
-      flush_one(id, node);
+      flush_one(id, node, depth);
     }
   }
   const bool need_split = overflowing(*node) ||
@@ -189,23 +190,28 @@ void BeTree::fix_node(uint64_t id, NodeRef node, std::vector<SplitInfo>& out) {
   // Either half may still violate limits; recurse on both, emitting the
   // accumulated separators in strictly ascending key order: left's splits
   // (keys < separator), then the separator, then right's (keys > it).
-  fix_node(id, node, out);
+  fix_node(id, node, out, depth);
   out.push_back({std::move(sr.separator), right_id});
-  fix_node(right_id, right, out);
+  fix_node(right_id, right, out, depth);
 }
 
-void BeTree::flush_one(uint64_t id, NodeRef node) {
+void BeTree::flush_one(uint64_t id, NodeRef node, size_t depth) {
   const size_t idx = pick_flush_child(*node);
   if (node->buffer_bytes(idx) == 0) return;
   std::vector<Message> msgs = node->buffer_take(idx);
   ++op_stats_.flushes;
   op_stats_.messages_moved += msgs.size();
+  if (depth >= flushes_by_depth_.size()) flushes_by_depth_.resize(depth + 1);
+  ++flushes_by_depth_[depth];
+  DAMKIT_STATS_ONLY(if (events_ != nullptr && stats::collecting()) {
+    events_->emit({io_->now(), "betree", "flush", depth, msgs.size(), 0});
+  });
   mark_dirty(id);
 
   const uint64_t child_id = node->child(idx);
   NodeRef child = fetch(child_id);
   if (child->is_leaf()) {
-    apply_to_leaf_child(id, node, idx, std::move(msgs));
+    apply_to_leaf_child(id, node, idx, std::move(msgs), depth);
     return;
   }
 
@@ -216,7 +222,7 @@ void BeTree::flush_one(uint64_t id, NodeRef node) {
   mark_dirty(child_id);
   if (overflowing(*child)) {
     std::vector<SplitInfo> splits;
-    fix_node(child_id, child, splits);
+    fix_node(child_id, child, splits, depth + 1);
     size_t at = idx;
     for (auto& s : splits) {
       node->internal_insert(at, std::move(s.separator), s.right_id);
@@ -226,7 +232,8 @@ void BeTree::flush_one(uint64_t id, NodeRef node) {
 }
 
 void BeTree::apply_to_leaf_child(uint64_t parent_id, NodeRef parent,
-                                 size_t child_idx, std::vector<Message> msgs) {
+                                 size_t child_idx, std::vector<Message> msgs,
+                                 size_t depth) {
   const uint64_t leaf_id = parent->child(child_idx);
   NodeRef leaf = fetch(leaf_id);
   for (const Message& m : msgs) leaf->leaf_apply(m);
@@ -234,7 +241,7 @@ void BeTree::apply_to_leaf_child(uint64_t parent_id, NodeRef parent,
 
   if (overflowing(*leaf)) {
     std::vector<SplitInfo> splits;
-    fix_node(leaf_id, leaf, splits);
+    fix_node(leaf_id, leaf, splits, depth + 1);
     size_t at = child_idx;
     for (auto& s : splits) {
       parent->internal_insert(at, std::move(s.separator), s.right_id);
@@ -277,7 +284,7 @@ void BeTree::collapse_root() {
     if (root->is_leaf() || root->child_count() > 1) return;
     if (root->total_buffer_bytes() > 0) {
       // Push the stragglers down before collapsing.
-      flush_one(root_, root);
+      flush_one(root_, root, /*depth=*/0);
       continue;
     }
     const uint64_t only = root->child(0);
@@ -470,6 +477,39 @@ void BeTree::bulk_load(
 }
 
 void BeTree::flush_cache() { pool_->flush_all(); }
+
+void BeTree::export_metrics(stats::MetricsRegistry& reg,
+                            std::string_view prefix) const {
+  const std::string p(prefix);
+  reg.add(p + "puts", op_stats_.puts);
+  reg.add(p + "gets", op_stats_.gets);
+  reg.add(p + "erases", op_stats_.erases);
+  reg.add(p + "upserts", op_stats_.upserts);
+  reg.add(p + "scans", op_stats_.scans);
+  reg.add(p + "flushes", op_stats_.flushes);
+  reg.add(p + "leaf_splits", op_stats_.leaf_splits);
+  reg.add(p + "internal_splits", op_stats_.internal_splits);
+  reg.add(p + "leaf_merges", op_stats_.leaf_merges);
+  reg.add(p + "messages_moved", op_stats_.messages_moved);
+  reg.add(p + "logical_bytes_written", op_stats_.logical_bytes_written);
+  for (size_t d = 0; d < flushes_by_depth_.size(); ++d) {
+    reg.add(p + "flushes.depth" + std::to_string(d), flushes_by_depth_[d]);
+  }
+  reg.set(p + "height", static_cast<double>(height_));
+  reg.set(p + "target_fanout", static_cast<double>(fanout_));
+  if (op_stats_.flushes > 0) {
+    reg.set(p + "messages_per_flush",
+            static_cast<double>(op_stats_.messages_moved) /
+                static_cast<double>(op_stats_.flushes));
+  }
+  if (op_stats_.logical_bytes_written > 0) {
+    reg.set(p + "write_amplification",
+            static_cast<double>(store_.stats().bytes_written) /
+                static_cast<double>(op_stats_.logical_bytes_written));
+  }
+  pool_->export_metrics(reg, p + "cache.");
+  store_.export_metrics(reg, p + "store.");
+}
 
 void BeTree::check_invariants() {
   if (root_ == kInvalidNode) return;

@@ -21,6 +21,8 @@
 #include "blockdev/block_device.h"
 #include "cache/buffer_pool.h"
 #include "sim/device.h"
+#include "stats/metrics.h"
+#include "stats/trace_buffer.h"
 
 namespace damkit::betree {
 
@@ -104,6 +106,22 @@ class BeTree {
   /// leaf depth, fanout bounds.
   void check_invariants();
 
+  /// Flush counts by the depth of the flushing node at flush time (root =
+  /// 0). Depths are as-of-flush: a later root split does not re-label
+  /// earlier flushes.
+  const std::vector<uint64_t>& flushes_by_depth() const {
+    return flushes_by_depth_;
+  }
+
+  /// Structured-event sink for flush events (nullptr disables).
+  void set_event_trace(stats::TraceBuffer* events) { events_ = events; }
+
+  /// Export op counters, per-depth flush counts (`<prefix>flushes.depth<d>`),
+  /// cache (`<prefix>cache.`), store IO mix (`<prefix>store.`), and write
+  /// amplification under `prefix` (e.g. "betree.").
+  virtual void export_metrics(stats::MetricsRegistry& reg,
+                              std::string_view prefix) const;
+
  protected:
   using NodeRef = std::shared_ptr<BeTreeNode>;
 
@@ -127,13 +145,16 @@ class BeTree {
   void root_add(Message msg);
   /// Restore size/fanout invariants at (id, node); any splits that the
   /// parent must absorb are appended to `out` in ascending key order.
-  void fix_node(uint64_t id, NodeRef node, std::vector<SplitInfo>& out);
+  /// `depth` is the node's distance from the root (flush attribution).
+  void fix_node(uint64_t id, NodeRef node, std::vector<SplitInfo>& out,
+                size_t depth);
   /// Move one child buffer down a level; fixes the child recursively and
-  /// absorbs its splits into `node`.
-  void flush_one(uint64_t id, NodeRef node);
+  /// absorbs its splits into `node`. The flush is attributed to `depth`.
+  void flush_one(uint64_t id, NodeRef node, size_t depth);
   /// Apply messages to a leaf child of (parent); may merge/drop the leaf.
   void apply_to_leaf_child(uint64_t parent_id, NodeRef parent,
-                           size_t child_idx, std::vector<Message> msgs);
+                           size_t child_idx, std::vector<Message> msgs,
+                           size_t depth);
   void fix_root();
   void collapse_root();
   /// Depth-first range collection merging leaf entries with the pending
@@ -161,6 +182,8 @@ class BeTree {
   uint64_t root_ = kInvalidNode;
   size_t height_ = 0;
   BeTreeOpStats op_stats_;
+  std::vector<uint64_t> flushes_by_depth_;  // index = flushing node's depth
+  stats::TraceBuffer* events_ = nullptr;
   size_t round_robin_cursor_ = 0;
   std::vector<uint8_t> io_buf_;
 };

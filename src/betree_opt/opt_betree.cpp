@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace damkit::betree_opt {
@@ -175,6 +176,21 @@ std::optional<std::string> OptBeTree::get(std::string_view key) {
     }
   }
   return result_state;
+}
+
+void OptBeTree::export_metrics(stats::MetricsRegistry& reg,
+                               std::string_view prefix) const {
+  BeTree::export_metrics(reg, prefix);
+  const std::string p(prefix);
+  reg.add(p + "segment_reads", opt_stats_.segment_reads);
+  reg.add(p + "segment_bytes_read", opt_stats_.segment_bytes_read);
+  reg.add(p + "residency_upgrades", opt_stats_.residency_upgrades);
+  reg.set(p + "segment_cap_bytes", static_cast<double>(segment_cap_));
+  if (opt_stats_.segment_reads > 0) {
+    reg.set(p + "mean_segment_read_bytes",
+            static_cast<double>(opt_stats_.segment_bytes_read) /
+                static_cast<double>(opt_stats_.segment_reads));
+  }
 }
 
 }  // namespace damkit::betree_opt

@@ -49,6 +49,12 @@ class OptBeTree final : public betree::BeTree {
 
   const OptBeTreeStats& opt_stats() const { return opt_stats_; }
 
+  /// Base Bε-tree metrics plus the Theorem-9 query-path counters
+  /// (segment_reads, segment_bytes_read, residency_upgrades) and the mean
+  /// segment-read size.
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const override;
+
  protected:
   /// Structural access requires the whole node: upgrade partially-charged
   /// residents by charging the remaining bytes as one IO.

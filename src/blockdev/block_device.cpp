@@ -18,6 +18,8 @@ NodeStore::NodeStore(sim::Device& dev, sim::IoContext& io, uint64_t node_bytes,
 void NodeStore::read_node(uint64_t node_id, std::vector<uint8_t>& out) {
   out.resize(node_bytes_);
   io_->read(alloc_.offset_of(node_id), out);
+  ++stats_.node_reads;
+  stats_.bytes_read += node_bytes_;
 }
 
 void NodeStore::write_node(uint64_t node_id, std::span<const uint8_t> image) {
@@ -29,12 +31,16 @@ void NodeStore::write_node(uint64_t node_id, std::span<const uint8_t> image) {
   std::memcpy(scratch_.data(), image.data(), image.size());
   std::memset(scratch_.data() + image.size(), 0, node_bytes_ - image.size());
   io_->write(alloc_.offset_of(node_id), scratch_);
+  ++stats_.node_writes;
+  stats_.bytes_written += node_bytes_;
 }
 
 void NodeStore::read_span(uint64_t node_id, uint64_t offset,
                           std::span<uint8_t> out) {
   DAMKIT_CHECK(offset + out.size() <= node_bytes_);
   io_->read(alloc_.offset_of(node_id) + offset, out);
+  ++stats_.span_reads;
+  stats_.bytes_read += out.size();
 }
 
 void NodeStore::peek_node(uint64_t node_id, std::vector<uint8_t>& out) {
@@ -45,6 +51,8 @@ void NodeStore::peek_node(uint64_t node_id, std::vector<uint8_t>& out) {
 void NodeStore::touch_read(uint64_t node_id, uint64_t offset, uint64_t length) {
   DAMKIT_CHECK(offset + length <= node_bytes_);
   io_->touch_read(alloc_.offset_of(node_id) + offset, length);
+  ++stats_.touch_reads;
+  stats_.bytes_read += length;
 }
 
 void NodeStore::read_nodes(std::span<const uint64_t> ids,
@@ -57,6 +65,9 @@ void NodeStore::read_nodes(std::span<const uint64_t> ids,
     reqs.push_back({sim::IoKind::kRead, alloc_.offset_of(id), node_bytes_});
   }
   io_->submit_batch(reqs);
+  ++stats_.read_batches;
+  stats_.batched_reads += ids.size();
+  stats_.bytes_read += node_bytes_ * ids.size();
   for (size_t i = 0; i < ids.size(); ++i) {
     out[i].resize(node_bytes_);
     dev_->read_bytes(reqs[i].offset, out[i]);
@@ -75,6 +86,9 @@ void NodeStore::write_nodes(std::span<const NodeImage> writes) {
                     node_bytes_});
   }
   io_->submit_batch(reqs);
+  ++stats_.write_batches;
+  stats_.batched_writes += writes.size();
+  stats_.bytes_written += node_bytes_ * writes.size();
   scratch_.resize(node_bytes_);
   for (size_t i = 0; i < writes.size(); ++i) {
     std::memcpy(scratch_.data(), writes[i].image.data(),
@@ -93,8 +107,29 @@ void NodeStore::touch_read_batch(std::span<const NodeSpan> spans) {
     DAMKIT_CHECK(s.offset + s.length <= node_bytes_);
     reqs.push_back(
         {sim::IoKind::kRead, alloc_.offset_of(s.node_id) + s.offset, s.length});
+    stats_.bytes_read += s.length;
   }
   io_->submit_batch(reqs);
+  ++stats_.touch_batches;
+  stats_.batched_touches += spans.size();
+}
+
+void NodeStore::export_metrics(stats::MetricsRegistry& reg,
+                               std::string_view prefix) const {
+  const std::string p(prefix);
+  reg.add(p + "node_reads", stats_.node_reads);
+  reg.add(p + "node_writes", stats_.node_writes);
+  reg.add(p + "span_reads", stats_.span_reads);
+  reg.add(p + "touch_reads", stats_.touch_reads);
+  reg.add(p + "batched_reads", stats_.batched_reads);
+  reg.add(p + "batched_writes", stats_.batched_writes);
+  reg.add(p + "batched_touches", stats_.batched_touches);
+  reg.add(p + "read_batches", stats_.read_batches);
+  reg.add(p + "write_batches", stats_.write_batches);
+  reg.add(p + "touch_batches", stats_.touch_batches);
+  reg.add(p + "bytes_read", stats_.bytes_read);
+  reg.add(p + "bytes_written", stats_.bytes_written);
+  reg.add(p + "nodes_in_use", alloc_.slots_in_use());
 }
 
 }  // namespace damkit::blockdev

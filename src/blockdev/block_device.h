@@ -14,8 +14,31 @@
 
 #include "blockdev/extent_allocator.h"
 #include "sim/device.h"
+#include "stats/metrics.h"
 
 namespace damkit::blockdev {
+
+/// Always-on accounting of the store's IO mix: how much moved through the
+/// scalar (one IO, clock advances by the full latency) versus the
+/// vectored (one batch, clock advances to the slowest completion) paths.
+/// The vectored/scalar ratio is the "did batching actually engage"
+/// signal the benches watch.
+struct NodeStoreStats {
+  uint64_t node_reads = 0;        // whole-extent scalar reads
+  uint64_t node_writes = 0;       // whole-extent scalar writes
+  uint64_t span_reads = 0;        // sub-extent scalar reads
+  uint64_t touch_reads = 0;       // timing-only scalar reads
+  uint64_t batched_reads = 0;     // requests through read_nodes
+  uint64_t batched_writes = 0;    // requests through write_nodes
+  uint64_t batched_touches = 0;   // requests through touch_read_batch
+  uint64_t read_batches = 0;      // read_nodes calls
+  uint64_t write_batches = 0;     // write_nodes calls
+  uint64_t touch_batches = 0;     // touch_read_batch calls
+  uint64_t bytes_read = 0;        // payload+timing bytes, both paths
+  uint64_t bytes_written = 0;
+
+  void clear() { *this = NodeStoreStats{}; }
+};
 
 class NodeStore {
  public:
@@ -79,12 +102,21 @@ class NodeStore {
   sim::IoContext& io() { return *io_; }
   sim::Device& device() { return *dev_; }
 
+  const NodeStoreStats& stats() const { return stats_; }
+  void clear_stats() { stats_.clear(); }
+
+  /// Export scalar/vectored IO-mix counters under `prefix`
+  /// (e.g. "btree.store.").
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const;
+
  private:
   sim::Device* dev_;
   sim::IoContext* io_;
   uint64_t node_bytes_;
   ExtentAllocator alloc_;
   std::vector<uint8_t> scratch_;  // write padding buffer
+  NodeStoreStats stats_;
 };
 
 }  // namespace damkit::blockdev

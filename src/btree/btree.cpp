@@ -350,6 +350,28 @@ void BTree::check_invariants() {
                    "entry count " << entries << " != size " << size_);
 }
 
+void BTree::export_metrics(stats::MetricsRegistry& reg,
+                           std::string_view prefix) const {
+  const std::string p(prefix);
+  reg.add(p + "puts", op_stats_.puts);
+  reg.add(p + "gets", op_stats_.gets);
+  reg.add(p + "erases", op_stats_.erases);
+  reg.add(p + "scans", op_stats_.scans);
+  reg.add(p + "splits", op_stats_.splits);
+  reg.add(p + "merges", op_stats_.merges);
+  reg.add(p + "borrows", op_stats_.borrows);
+  reg.add(p + "logical_bytes_written", op_stats_.logical_bytes_written);
+  reg.set(p + "height", static_cast<double>(height_));
+  reg.set(p + "size", static_cast<double>(size_));
+  if (op_stats_.logical_bytes_written > 0) {
+    reg.set(p + "write_amplification",
+            static_cast<double>(store_.stats().bytes_written) /
+                static_cast<double>(op_stats_.logical_bytes_written));
+  }
+  pool_->export_metrics(reg, p + "cache.");
+  store_.export_metrics(reg, p + "store.");
+}
+
 void BTree::check_subtree(uint64_t id, const std::string* lo,
                           const std::string* hi, size_t depth,
                           size_t leaf_depth, uint64_t* entries,

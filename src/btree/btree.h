@@ -88,6 +88,12 @@ class BTree {
   /// across nodes, child counts, leaf chain consistency, size accounting.
   void check_invariants();
 
+  /// Export op counters, cache (`<prefix>cache.`), node-store IO mix
+  /// (`<prefix>store.`), and derived gauges (write amplification vs the
+  /// device bytes this tree's store moved) under `prefix` (e.g. "btree.").
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const;
+
  private:
   using NodeRef = std::shared_ptr<BTreeNode>;
 

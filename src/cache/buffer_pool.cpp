@@ -51,6 +51,9 @@ void BufferPool::put(uint64_t id, std::shared_ptr<void> object,
   lru_.push_front(Entry{id, std::move(object), charged_bytes, dirty});
   index_[id] = lru_.begin();
   charged_bytes_ += charged_bytes;
+  if (charged_bytes_ > stats_.charged_bytes_hwm) {
+    stats_.charged_bytes_hwm = charged_bytes_;
+  }
   ++stats_.inserted;
 }
 
@@ -79,6 +82,11 @@ void BufferPool::writeback(Entry& e) {
   writeback_(e.id, e.object.get());
   e.dirty = false;
   ++stats_.dirty_writebacks;
+  DAMKIT_STATS_ONLY({
+    if (events_ != nullptr && stats::collecting()) {
+      events_->emit({0, "cache", "writeback", e.id, e.bytes, 1});
+    }
+  });
 }
 
 void BufferPool::flush_all() {
@@ -122,16 +130,45 @@ void BufferPool::make_room(uint64_t incoming_bytes) {
   // pinned the pool runs over budget — by design it never deadlocks; the
   // trees pin only O(height) nodes at a time.
   auto it = lru_.end();
+  uint64_t pinned_seen = 0;  // opportunistic pinned high-water sample
   while (charged_bytes_ + incoming_bytes > capacity_bytes_ &&
          it != lru_.begin()) {
     --it;
-    if (pinned(*it)) continue;
+    if (pinned(*it)) {
+      pinned_seen += it->bytes;
+      continue;
+    }
     writeback(*it);
     charged_bytes_ -= it->bytes;
     index_.erase(it->id);
+    DAMKIT_STATS_ONLY({
+      if (events_ != nullptr && stats::collecting()) {
+        events_->emit({0, "cache", "evict", it->id, it->bytes, 0});
+      }
+    });
     it = lru_.erase(it);
     ++stats_.evictions;
   }
+  if (pinned_seen > stats_.pinned_bytes_hwm) {
+    stats_.pinned_bytes_hwm = pinned_seen;
+  }
+}
+
+void BufferPool::export_metrics(stats::MetricsRegistry& reg,
+                                std::string_view prefix) const {
+  const BufferPoolStats& st = stats();  // refreshes the pinned snapshot
+  const std::string p(prefix);
+  reg.add(p + "hits", st.hits);
+  reg.add(p + "misses", st.misses);
+  reg.add(p + "evictions", st.evictions);
+  reg.add(p + "dirty_writebacks", st.dirty_writebacks);
+  reg.add(p + "inserted", st.inserted);
+  reg.set(p + "hit_rate", st.hit_rate());
+  reg.set(p + "capacity_bytes", static_cast<double>(capacity_bytes_));
+  reg.set(p + "charged_bytes", static_cast<double>(charged_bytes_));
+  reg.set(p + "charged_bytes_hwm", static_cast<double>(st.charged_bytes_hwm));
+  reg.set(p + "pinned_bytes", static_cast<double>(st.pinned_bytes));
+  reg.set(p + "pinned_bytes_hwm", static_cast<double>(st.pinned_bytes_hwm));
 }
 
 }  // namespace damkit::cache

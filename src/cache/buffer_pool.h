@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "stats/metrics.h"
+#include "stats/trace_buffer.h"
 #include "util/status.h"
 
 namespace damkit::cache {
@@ -30,6 +32,12 @@ struct BufferPoolStats {
   uint64_t dirty_writebacks = 0;
   uint64_t inserted = 0;
   uint64_t pinned_bytes = 0;  // snapshot, refreshed by stats()
+  uint64_t charged_bytes_hwm = 0;  // high-water of charged bytes
+  /// High-water of pinned bytes. Pins are implicit shared_ptr refs, so
+  /// this is sampled where the pool already walks entries (eviction scans,
+  /// stats() calls) rather than recomputed per operation — treat it as a
+  /// lower bound on the true peak.
+  uint64_t pinned_bytes_hwm = 0;
 
   double hit_rate() const {
     const uint64_t total = hits + misses;
@@ -106,9 +114,20 @@ class BufferPool {
 
   const BufferPoolStats& stats() const {
     stats_.pinned_bytes = pinned_bytes();
+    if (stats_.pinned_bytes > stats_.pinned_bytes_hwm) {
+      stats_.pinned_bytes_hwm = stats_.pinned_bytes;
+    }
     return stats_;
   }
   void clear_stats() { stats_ = BufferPoolStats{}; }
+
+  /// Structured-event sink for evictions/writebacks (nullptr disables).
+  void set_event_trace(stats::TraceBuffer* events) { events_ = events; }
+
+  /// Export hit/miss/eviction counters and byte-budget gauges under
+  /// `prefix` (e.g. "btree.cache."). Refreshes the pinned snapshot.
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const;
 
  private:
   struct Entry {
@@ -131,6 +150,7 @@ class BufferPool {
   std::unordered_map<uint64_t, LruList::iterator> index_;
   uint64_t charged_bytes_ = 0;
   mutable BufferPoolStats stats_;
+  stats::TraceBuffer* events_ = nullptr;
 };
 
 }  // namespace damkit::cache

@@ -15,6 +15,7 @@
 #include "cache/buffer_pool.h"         // IWYU pragma: export
 #include "harness/experiments.h"       // IWYU pragma: export
 #include "harness/fitting.h"           // IWYU pragma: export
+#include "harness/parallel.h"          // IWYU pragma: export
 #include "harness/report.h"            // IWYU pragma: export
 #include "blockdev/byte_arena.h"       // IWYU pragma: export
 #include "kv/slice.h"                  // IWYU pragma: export
@@ -35,6 +36,9 @@
 #include "sim/scheduler.h"             // IWYU pragma: export
 #include "sim/ssd.h"                   // IWYU pragma: export
 #include "sim/trace.h"                 // IWYU pragma: export
+#include "stats/json.h"                // IWYU pragma: export
+#include "stats/metrics.h"             // IWYU pragma: export
+#include "stats/trace_buffer.h"        // IWYU pragma: export
 #include "util/bloom.h"                // IWYU pragma: export
 #include "util/histogram.h"            // IWYU pragma: export
 #include "util/rng.h"                  // IWYU pragma: export

@@ -22,6 +22,7 @@ LsmTree::~LsmTree() = default;
 
 void LsmTree::put(std::string_view key, std::string_view value) {
   ++stats_.puts;
+  stats_.logical_bytes_written += key.size() + value.size();
   mem_.put(key, value);
   if (mem_.approximate_bytes() >= config_.memtable_bytes) {
     flush_memtable();
@@ -31,6 +32,7 @@ void LsmTree::put(std::string_view key, std::string_view value) {
 
 void LsmTree::erase(std::string_view key) {
   ++stats_.erases;
+  stats_.logical_bytes_written += key.size();
   mem_.erase(key);
   if (mem_.approximate_bytes() >= config_.memtable_bytes) {
     flush_memtable();
@@ -46,17 +48,25 @@ void LsmTree::flush() {
 }
 
 void LsmTree::flush_memtable() {
+  const uint64_t mem_bytes = mem_.approximate_bytes();
   SSTableBuilder builder(*dev_, *io_, arena_, config_.block_bytes,
                          config_.bloom_bits_per_key, next_sequence_++);
   for (const auto& [key, slot] : mem_.entries()) {
     builder.add(Entry{key, slot.value, slot.tombstone});
   }
   SSTableRef table = builder.finish();
+  uint64_t table_bytes = 0;
   if (table != nullptr) {
+    table_bytes = table->total_bytes();
     levels_[0].insert(levels_[0].begin(), std::move(table));  // newest first
   }
   mem_.clear();
   ++stats_.memtable_flushes;
+  stats_.flush_bytes_out += table_bytes;
+  DAMKIT_STATS_ONLY(if (events_ != nullptr && stats::collecting()) {
+    events_->emit({io_->now(), "lsm", "memtable_flush", 0, mem_bytes,
+                   table_bytes});
+  });
 }
 
 uint64_t LsmTree::level_capacity(size_t level) const {
@@ -119,7 +129,7 @@ void LsmTree::compact_tier(size_t level) {
   // One output table per merge: in tiered compaction a run must stay a
   // single unit, or run counting (and with it termination) breaks.
   std::vector<SSTableRef> outputs =
-      merge_tables(inputs, bottom, /*split_output=*/false);
+      merge_tables(inputs, bottom, level, /*split_output=*/false);
   for (const auto& t : levels_[level]) t->release();
   levels_[level].clear();
   // The merged run lands at the *front* of the next tier (it is newer
@@ -129,9 +139,16 @@ void LsmTree::compact_tier(size_t level) {
 }
 
 std::vector<SSTableRef> LsmTree::merge_tables(
-    const std::vector<SSTableRef>& inputs, bool bottom, bool split_output) {
+    const std::vector<SSTableRef>& inputs, bool bottom, size_t source_level,
+    bool split_output) {
   ++stats_.compactions;
-  for (const auto& t : inputs) stats_.compaction_bytes_in += t->total_bytes();
+  if (source_level >= compactions_by_level_.size()) {
+    compactions_by_level_.resize(source_level + 1);
+  }
+  ++compactions_by_level_[source_level];
+  uint64_t bytes_in = 0;
+  for (const auto& t : inputs) bytes_in += t->total_bytes();
+  stats_.compaction_bytes_in += bytes_in;
 
   // Precharge the input reads through the batch path: the inputs are
   // immutable, so every run IO of the merge is known upfront. Interleave
@@ -157,6 +174,8 @@ std::vector<SSTableRef> LsmTree::merge_tables(
           batch.push_back(runs[round]);
           --total;
           if (batch.size() == config_.compaction_batch_ios || total == 0) {
+            ++stats_.compaction_batches;
+            stats_.compaction_batched_ios += batch.size();
             io_->submit_batch(batch);
             batch.clear();
           }
@@ -225,7 +244,13 @@ std::vector<SSTableRef> LsmTree::merge_tables(
     SSTableRef last = builder->finish();
     if (last != nullptr) outputs.push_back(std::move(last));
   }
-  for (const auto& t : outputs) stats_.compaction_bytes_out += t->total_bytes();
+  uint64_t bytes_out = 0;
+  for (const auto& t : outputs) bytes_out += t->total_bytes();
+  stats_.compaction_bytes_out += bytes_out;
+  DAMKIT_STATS_ONLY(if (events_ != nullptr && stats::collecting()) {
+    events_->emit({io_->now(), "lsm", "compaction", source_level, bytes_in,
+                   bytes_out});
+  });
   return outputs;
 }
 
@@ -263,7 +288,8 @@ void LsmTree::compact_level0() {
   }
   // Remaining (non-overlapped) L1 tables also shadow deeper data; only
   // drop tombstones if L1 is the lowest level, which `bottom` captures.
-  std::vector<SSTableRef> outputs = merge_tables(inputs, bottom);
+  std::vector<SSTableRef> outputs = merge_tables(inputs, bottom,
+                                                 /*source_level=*/0);
 
   for (const auto& t : levels_[0]) t->release();
   levels_[0].clear();
@@ -292,7 +318,7 @@ void LsmTree::compact_level(size_t level) {
   for (size_t i = level + 2; i < levels_.size(); ++i) {
     if (!levels_[i].empty()) bottom = false;
   }
-  std::vector<SSTableRef> outputs = merge_tables(inputs, bottom);
+  std::vector<SSTableRef> outputs = merge_tables(inputs, bottom, level);
 
   const auto it = std::find(lv.begin(), lv.end(), victim);
   DAMKIT_CHECK(it != lv.end());
@@ -479,6 +505,48 @@ std::vector<std::pair<std::string, std::string>> LsmTree::scan(
     if (!tombstone) out.emplace_back(key, std::move(value));
   }
   return out;
+}
+
+void LsmTree::export_metrics(stats::MetricsRegistry& reg,
+                             std::string_view prefix) const {
+  const std::string p(prefix);
+  reg.add(p + "puts", stats_.puts);
+  reg.add(p + "gets", stats_.gets);
+  reg.add(p + "erases", stats_.erases);
+  reg.add(p + "scans", stats_.scans);
+  reg.add(p + "memtable_flushes", stats_.memtable_flushes);
+  reg.add(p + "compactions", stats_.compactions);
+  reg.add(p + "compaction_bytes_in", stats_.compaction_bytes_in);
+  reg.add(p + "compaction_bytes_out", stats_.compaction_bytes_out);
+  reg.add(p + "compaction_batches", stats_.compaction_batches);
+  reg.add(p + "compaction_batched_ios", stats_.compaction_batched_ios);
+  reg.add(p + "flush_bytes_out", stats_.flush_bytes_out);
+  reg.add(p + "logical_bytes_written", stats_.logical_bytes_written);
+  reg.add(p + "bloom_negative", stats_.bloom_negative);
+  reg.add(p + "table_probes", stats_.table_probes);
+  for (size_t i = 0; i < compactions_by_level_.size(); ++i) {
+    reg.add(p + "compactions.level" + std::to_string(i),
+            compactions_by_level_[i]);
+  }
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const std::string lp = p + "level" + std::to_string(i) + ".";
+    reg.set(lp + "tables", static_cast<double>(levels_[i].size()));
+    reg.set(lp + "bytes", static_cast<double>(level_bytes(i)));
+  }
+  if (stats_.compaction_batches > 0) {
+    // Mean run IOs per submitted batch over the configured width — how
+    // full the compaction kept the device's parallel slots.
+    reg.set(p + "compaction_batch_occupancy",
+            static_cast<double>(stats_.compaction_batched_ios) /
+                static_cast<double>(stats_.compaction_batches *
+                                    config_.compaction_batch_ios));
+  }
+  if (stats_.logical_bytes_written > 0) {
+    reg.set(p + "write_amplification",
+            static_cast<double>(stats_.flush_bytes_out +
+                                stats_.compaction_bytes_out) /
+                static_cast<double>(stats_.logical_bytes_written));
+  }
 }
 
 void LsmTree::check_invariants() const {

@@ -22,6 +22,8 @@
 #include "lsm/memtable.h"
 #include "lsm/sstable.h"
 #include "sim/device.h"
+#include "stats/metrics.h"
+#include "stats/trace_buffer.h"
 
 namespace damkit::lsm {
 
@@ -64,6 +66,10 @@ struct LsmStats {
   uint64_t compaction_bytes_out = 0;
   uint64_t bloom_negative = 0;  // table probes skipped by the filter
   uint64_t table_probes = 0;    // tables consulted by point queries
+  uint64_t compaction_batches = 0;      // device batches merges submitted
+  uint64_t compaction_batched_ios = 0;  // run IOs inside those batches
+  uint64_t flush_bytes_out = 0;         // L0 table bytes memtable flushes wrote
+  uint64_t logical_bytes_written = 0;   // key+value bytes the user modified
 };
 
 class LsmTree {
@@ -98,6 +104,22 @@ class LsmTree {
   /// recency; all tables alive; per-table keys within [min,max].
   void check_invariants() const;
 
+  /// Compaction counts by source level ([0] = L0→L1). Tiered merges are
+  /// attributed to the tier that overflowed.
+  const std::vector<uint64_t>& compactions_by_level() const {
+    return compactions_by_level_;
+  }
+
+  /// Structured-event sink for memtable flushes / compactions (nullptr
+  /// disables).
+  void set_event_trace(stats::TraceBuffer* events) { events_ = events; }
+
+  /// Export op/compaction counters, per-level compaction counts
+  /// (`<prefix>compactions.level<i>`), batch occupancy, per-level table
+  /// counts/bytes, and write amplification under `prefix` (e.g. "lsm.").
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const;
+
  private:
   using Level = std::vector<SSTableRef>;  // L0: newest first; L1+: by key
 
@@ -110,8 +132,10 @@ class LsmTree {
   /// Merge `inputs` (newest first) into new tables, splitting at the
   /// target size when `split_output` (leveled) or producing one table per
   /// merge (tiered: a run is one table). `bottom` drops tombstones.
+  /// `source_level` attributes the compaction for per-level counts.
   std::vector<SSTableRef> merge_tables(const std::vector<SSTableRef>& inputs,
-                                       bool bottom, bool split_output = true);
+                                       bool bottom, size_t source_level,
+                                       bool split_output = true);
   uint64_t level_capacity(size_t level) const;
   void install_level1plus(size_t level, std::vector<SSTableRef> added,
                           const std::vector<SSTableRef>& removed);
@@ -125,6 +149,8 @@ class LsmTree {
   uint64_t next_sequence_ = 1;
   size_t compact_cursor_ = 0;  // round-robin pick within a level
   LsmStats stats_;
+  std::vector<uint64_t> compactions_by_level_;  // index = source level
+  stats::TraceBuffer* events_ = nullptr;
 };
 
 }  // namespace damkit::lsm

@@ -177,6 +177,7 @@ PdamBTree::RunResult PdamBTree::run_queries(int k, uint64_t queries_per_client,
           const uint64_t end =
               std::min(b + static_cast<uint64_t>(budget), blocks_in_node);
           for (uint64_t j = b; j < end; ++j) c.fetched[j] = true;
+          result.blocks_fetched += end - b;
           fetched_this_step = true;
           queue.complete_run();
         }

@@ -46,10 +46,20 @@ class PdamBTree {
     uint64_t steps = 0;
     uint64_t queries = 0;
     uint64_t block_fetch_runs = 0;  // read-ahead runs issued
+    uint64_t blocks_fetched = 0;    // block-slots consumed across all runs
     double throughput() const {
       return steps == 0 ? 0.0
                         : static_cast<double>(queries) /
                               static_cast<double>(steps);
+    }
+    /// Fraction of the P block-slots per step the clients actually used —
+    /// the measured occupancy of the PDAM's parallel budget.
+    double slot_occupancy(int parallelism) const {
+      return steps == 0 || parallelism <= 0
+                 ? 0.0
+                 : static_cast<double>(blocks_fetched) /
+                       (static_cast<double>(steps) *
+                        static_cast<double>(parallelism));
     }
   };
 

@@ -8,6 +8,28 @@ namespace damkit::sim {
 
 Device::~Device() = default;
 
+void Device::export_metrics(stats::MetricsRegistry& reg,
+                            std::string_view prefix) const {
+  const std::string p(prefix);
+  reg.add(p + "reads", stats_.reads);
+  reg.add(p + "writes", stats_.writes);
+  reg.add(p + "bytes_read", stats_.bytes_read);
+  reg.add(p + "bytes_written", stats_.bytes_written);
+  reg.add(p + "batches", stats_.batches);
+  reg.add(p + "batch_ios", stats_.batch_ios);
+  reg.set(p + "busy_seconds", to_seconds(stats_.busy_time));
+  reg.set(p + "setup_seconds", to_seconds(stats_.setup_time));
+  reg.set(p + "transfer_seconds", to_seconds(stats_.transfer_time));
+  reg.set(p + "queue_wait_seconds", to_seconds(stats_.queue_wait));
+  reg.set(p + "setup_seconds_per_io", stats_.mean_setup_s_per_io());
+  reg.set(p + "transfer_seconds_per_byte", stats_.mean_transfer_s_per_byte());
+  if (io_size_.count() > 0) reg.histo(p + "io_size_bytes").merge(io_size_);
+  if (latency_.count() > 0) reg.histo(p + "latency_ns").merge(latency_);
+  if (batch_width_.count() > 0) {
+    reg.histo(p + "batch_width").merge(batch_width_);
+  }
+}
+
 std::vector<IoCompletion> Device::submit_batch_io(
     std::span<const IoRequest> reqs, SimTime now) {
   // Every request is outstanding at the same `now`; the device's own

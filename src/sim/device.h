@@ -16,6 +16,9 @@
 #include <vector>
 
 #include "sim/memstore.h"
+#include "stats/metrics.h"
+#include "stats/trace_buffer.h"
+#include "util/histogram.h"
 #include "util/status.h"
 
 namespace damkit::sim {
@@ -62,12 +65,39 @@ struct IoCompletion {
 
 /// Cumulative IO accounting, cheap enough to keep always-on. The
 /// write-amplification experiments read `bytes_written` directly.
+///
+/// setup/transfer decompose each IO's service time the way the affine
+/// model does (§4.2): setup is everything paid before the first payload
+/// byte moves (command processing, seek, rotation — fixed per IO), and
+/// transfer is payload-proportional media/bus time. Each device model
+/// fills the split from its own mechanism; `queue_wait` is time spent
+/// waiting for device resources *before* service starts and belongs to
+/// neither side.
 struct DeviceStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
-  SimTime busy_time = 0;  // total device-busy nanoseconds
+  SimTime busy_time = 0;      // total device-busy nanoseconds
+  SimTime setup_time = 0;     // per-IO positioning/command time
+  SimTime transfer_time = 0;  // payload-proportional media/bus time
+  SimTime queue_wait = 0;     // submission-to-service-start wait
+  uint64_t batches = 0;       // submit_batch calls
+  uint64_t batch_ios = 0;     // requests that arrived via submit_batch
+
+  /// Measured affine parameters of the traffic seen so far: mean setup
+  /// seconds per IO and mean transfer seconds per byte. Compare against
+  /// HddConfig::expected_setup_s() / expected_transfer_s_per_byte().
+  double mean_setup_s_per_io() const {
+    const uint64_t ios = reads + writes;
+    return ios == 0 ? 0.0 : to_seconds(setup_time) / static_cast<double>(ios);
+  }
+  double mean_transfer_s_per_byte() const {
+    const uint64_t bytes = bytes_read + bytes_written;
+    return bytes == 0
+               ? 0.0
+               : to_seconds(transfer_time) / static_cast<double>(bytes);
+  }
 
   void clear() { *this = DeviceStats{}; }
 };
@@ -106,6 +136,18 @@ class Device {
   std::vector<IoCompletion> submit_batch(std::span<const IoRequest> reqs,
                                          SimTime now) {
     enforce_clock(now);
+    if (!reqs.empty()) {
+      ++stats_.batches;
+      stats_.batch_ios += reqs.size();
+      DAMKIT_STATS_ONLY({
+        if (stats::collecting()) {
+          batch_width_.record(reqs.size());
+          if (events_ != nullptr) {
+            events_->emit({now, "io", "batch", reqs.size(), 0, 0});
+          }
+        }
+      });
+    }
     return submit_batch_io(reqs, now);
   }
 
@@ -116,11 +158,34 @@ class Device {
   uint64_t resident_host_bytes() const { return store_.resident_bytes(); }
 
   const DeviceStats& stats() const { return stats_; }
-  void clear_stats() { stats_.clear(); }
+  void clear_stats() {
+    stats_.clear();
+    io_size_.clear();
+    latency_.clear();
+    batch_width_.clear();
+  }
 
   /// Stream every served IO into `trace` (nullptr stops recording). The
   /// trace must outlive the recording window.
   void set_trace(class IoTrace* trace) { trace_ = trace; }
+
+  /// Structured-event sink (nullptr stops emission). The buffer must
+  /// outlive the recording window; emission is additionally gated on
+  /// stats::collecting().
+  void set_event_trace(stats::TraceBuffer* events) { events_ = events; }
+
+  /// Log-scale distributions of per-request IO size (bytes), latency
+  /// (ns, submission to finish), and submit_batch width (requests).
+  /// Populated only while stats::collecting().
+  const Histogram& io_size_histogram() const { return io_size_; }
+  const Histogram& latency_histogram() const { return latency_; }
+  const Histogram& batch_width_histogram() const { return batch_width_; }
+
+  /// Export counters/gauges/histograms under `prefix` (e.g. "dev.").
+  /// Subclasses extend with model-specific metrics (per-die utilization,
+  /// seek decomposition) and must call the base implementation.
+  virtual void export_metrics(stats::MetricsRegistry& reg,
+                              std::string_view prefix) const;
 
   /// TRIM/deallocate: the range's contents are dropped (read back as
   /// zero) and host memory released. No timing charge — discard commands
@@ -168,7 +233,11 @@ class Device {
     last_submit_ = now;
   }
 
-  void account(const IoRequest& req, const IoCompletion& c) {
+  /// `now` is the submission time (for queue-wait and latency accounting);
+  /// `setup`/`transfer` are this IO's affine service split, computed by
+  /// the concrete device model.
+  void account(const IoRequest& req, const IoCompletion& c, SimTime now,
+               SimTime setup, SimTime transfer) {
     if (req.kind == IoKind::kRead) {
       ++stats_.reads;
       stats_.bytes_read += req.length;
@@ -177,6 +246,20 @@ class Device {
       stats_.bytes_written += req.length;
     }
     stats_.busy_time += c.finish - c.start;
+    stats_.setup_time += setup;
+    stats_.transfer_time += transfer;
+    stats_.queue_wait += c.start > now ? c.start - now : 0;
+    DAMKIT_STATS_ONLY({
+      if (stats::collecting()) {
+        io_size_.record(req.length);
+        latency_.record(c.latency(now));
+        if (events_ != nullptr) {
+          events_->emit({c.finish, "io",
+                         req.kind == IoKind::kRead ? "read" : "write",
+                         req.offset, req.length, c.latency(now)});
+        }
+      }
+    });
     if (trace_ != nullptr) record_trace(req, c);
   }
 
@@ -195,7 +278,11 @@ class Device {
   DeviceStats stats_;
   MemStore store_;
   class IoTrace* trace_ = nullptr;
+  stats::TraceBuffer* events_ = nullptr;
   SimTime last_submit_ = 0;  // timing-contract watermark
+  Histogram io_size_;      // bytes per request
+  Histogram latency_;      // ns, submission to completion
+  Histogram batch_width_;  // requests per submit_batch
 };
 
 /// Tracks one logical client's simulated clock against a device. All

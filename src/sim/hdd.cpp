@@ -50,8 +50,9 @@ IoCompletion HddDevice::submit_io(const IoRequest& req, SimTime now) {
   const uint64_t distance = (target_track > head_track_)
                                 ? target_track - head_track_
                                 : head_track_ - target_track;
-  const SimTime arrive =
-      start + from_seconds(config_.command_overhead_s + seek_time_s(distance));
+  const SimTime command_t = from_seconds(config_.command_overhead_s);
+  const SimTime seek_t = from_seconds(seek_time_s(distance));
+  const SimTime arrive = start + command_t + seek_t;
 
   // 2. Rotational latency: wait for the target sector to come under the
   // head. The platter's angular position is a pure function of time.
@@ -86,9 +87,34 @@ IoCompletion HddDevice::submit_io(const IoRequest& req, SimTime now) {
   head_track_ = track_of(req.offset + req.length - 1);
   busy_until_ = t;
 
+  // Affine split: setup = command + seek + rotational wait (everything
+  // before the first payload byte), transfer = zoned media time.
+  command_time_total_ += command_t;
+  seek_time_total_ += seek_t;
+  rot_wait_total_ += rot_wait;
+  DAMKIT_STATS_ONLY({
+    if (stats::collecting()) seek_tracks_.record(distance);
+  });
+
   const IoCompletion c{start, t};
-  account(req, c);
+  account(req, c, now, command_t + seek_t + rot_wait,
+          from_seconds(transfer_s));
   return c;
+}
+
+void HddDevice::export_metrics(stats::MetricsRegistry& reg,
+                               std::string_view prefix) const {
+  Device::export_metrics(reg, prefix);
+  const std::string p(prefix);
+  reg.set(p + "seek_seconds", to_seconds(seek_time_total_));
+  reg.set(p + "rot_wait_seconds", to_seconds(rot_wait_total_));
+  reg.set(p + "command_seconds", to_seconds(command_time_total_));
+  reg.set(p + "predicted_setup_seconds_per_io", config_.expected_setup_s());
+  reg.set(p + "predicted_transfer_seconds_per_byte",
+          config_.expected_transfer_s_per_byte());
+  if (seek_tracks_.count() > 0) {
+    reg.histo(p + "seek_tracks").merge(seek_tracks_);
+  }
 }
 
 std::vector<IoCompletion> HddDevice::submit_batch_io(

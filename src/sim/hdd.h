@@ -82,6 +82,12 @@ class HddDevice final : public Device {
   /// Pure seek time in seconds for arm travel of `distance` tracks.
   double seek_time_s(uint64_t distance) const;
 
+  /// Base metrics plus the mechanical setup decomposition: seek time,
+  /// rotational wait, and command overhead separately (their sum is the
+  /// base `setup_seconds`), and the arm-travel distance distribution.
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const override;
+
  protected:
   IoCompletion submit_io(const IoRequest& req, SimTime now) override;
   /// Serves the batch one request at a time (single actuator) but in the
@@ -97,6 +103,11 @@ class HddDevice final : public Device {
   SimTime busy_until_ = 0;   // single actuator: next time the arm is free
   uint64_t head_track_ = 0;  // arm position after the last IO
   bool batch_scan_up_ = true;  // kScan sweep direction across batches
+  // Setup decomposition (sums to DeviceStats::setup_time).
+  SimTime seek_time_total_ = 0;
+  SimTime rot_wait_total_ = 0;
+  SimTime command_time_total_ = 0;
+  Histogram seek_tracks_;  // arm travel distance per IO, in tracks
 };
 
 }  // namespace damkit::sim

@@ -35,6 +35,7 @@ SsdDevice::SsdDevice(SsdConfig config)
   DAMKIT_CHECK(config_.stripe_bytes >= config_.page_bytes);
   die_free_.assign(static_cast<size_t>(config_.total_dies()), 0);
   channel_free_.assign(static_cast<size_t>(config_.channels), 0);
+  die_busy_.assign(static_cast<size_t>(config_.total_dies()), 0);
 }
 
 std::string SsdDevice::name() const { return config_.name; }
@@ -54,6 +55,7 @@ IoCompletion SsdDevice::submit_io(const IoRequest& req, SimTime now) {
   SimTime finish = issue;
   uint64_t off = req.offset;
   uint64_t remaining = req.length;
+  uint64_t total_pages = 0;
   while (remaining > 0) {
     const uint64_t in_stripe =
         config_.stripe_bytes - (off % config_.stripe_bytes);
@@ -64,16 +66,19 @@ IoCompletion SsdDevice::submit_io(const IoRequest& req, SimTime now) {
     const int die = die_of(off);
     const int chan = channel_of_die(die);
     SimTime die_t = std::max(issue, die_free_[static_cast<size_t>(die)]);
+    die_wait_total_ += die_t - issue;  // queued behind this die's backlog
     SimTime chan_t = channel_free_[static_cast<size_t>(chan)];
     for (uint64_t p = 0; p < pages; ++p) {
       die_t += page_service;  // die busy for the page op
       // Page payload crosses the channel bus after the die finishes it.
       chan_t = std::max(chan_t, die_t) + bus_service;
     }
+    die_busy_[static_cast<size_t>(die)] += pages * page_service;
     die_free_[static_cast<size_t>(die)] = die_t;
     channel_free_[static_cast<size_t>(chan)] = chan_t;
     finish = std::max(finish, chan_t);
 
+    total_pages += pages;
     off += chunk;
     remaining -= chunk;
   }
@@ -81,17 +86,49 @@ IoCompletion SsdDevice::submit_io(const IoRequest& req, SimTime now) {
   // Host-link stage: the whole payload crosses one shared pipe
   // contiguously once the flash side has produced it. Link saturation is
   // what bounds the device's effective parallelism.
+  SimTime link_occupancy = 0;
   if (config_.link_bps > 0.0) {
-    const SimTime occupancy = from_seconds(
-        static_cast<double>(req.length) / config_.link_bps);
+    link_occupancy =
+        from_seconds(static_cast<double>(req.length) / config_.link_bps);
     const SimTime start_link = std::max(finish, link_free_);
-    link_free_ = start_link + occupancy;
+    link_free_ = start_link + link_occupancy;
     finish = link_free_;
   }
 
+  horizon_ = std::max(horizon_, finish);
+
+  // Affine split: setup is the fixed host/firmware command cost; transfer
+  // is the page-proportional flash + bus work plus the link occupancy
+  // (die queueing is tracked separately as die_wait).
   const IoCompletion c{issue, finish};
-  account(req, c);
+  account(req, c, now, issue - now,
+          total_pages * (page_service + bus_service) + link_occupancy);
   return c;
+}
+
+double SsdDevice::die_utilization(int die) const {
+  DAMKIT_CHECK(die >= 0 && die < config_.total_dies());
+  if (horizon_ == 0) return 0.0;
+  return to_seconds(die_busy_[static_cast<size_t>(die)]) /
+         to_seconds(horizon_);
+}
+
+void SsdDevice::export_metrics(stats::MetricsRegistry& reg,
+                               std::string_view prefix) const {
+  Device::export_metrics(reg, prefix);
+  const std::string p(prefix);
+  reg.set(p + "die_wait_seconds", to_seconds(die_wait_total_));
+  double total_util = 0.0;
+  for (int d = 0; d < config_.total_dies(); ++d) {
+    const double util = die_utilization(d);
+    total_util += util;
+    const std::string dp = p + "die" + std::to_string(d) + ".";
+    reg.set(dp + "busy_seconds",
+            to_seconds(die_busy_[static_cast<size_t>(d)]));
+    reg.set(dp + "utilization", util);
+  }
+  reg.set(p + "mean_die_utilization",
+          total_util / static_cast<double>(config_.total_dies()));
 }
 
 std::vector<IoCompletion> SsdDevice::submit_batch_io(

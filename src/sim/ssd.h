@@ -77,6 +77,18 @@ class SsdDevice final : public Device {
   }
   int channel_of_die(int die) const { return die % config_.channels; }
 
+  /// Fraction of simulated time die `die` spent serving page ops, over the
+  /// window from power-on to the last completion. This is the measured
+  /// face of the PDAM's P: a batch workload with width ≥ total_dies()
+  /// drives every die's utilization toward 1.
+  double die_utilization(int die) const;
+
+  /// Base metrics plus: per-die busy seconds and utilization
+  /// (die<i>.busy_seconds / die<i>.utilization), their mean, and the time
+  /// requests spent queued behind busy dies (`die_wait_seconds`).
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const override;
+
  protected:
   IoCompletion submit_io(const IoRequest& req, SimTime now) override;
   /// P-way-parallel batch service: requests are dispatched round-robin
@@ -92,6 +104,9 @@ class SsdDevice final : public Device {
   std::vector<SimTime> die_free_;      // next idle time per die
   std::vector<SimTime> channel_free_;  // next idle time per channel bus
   SimTime link_free_ = 0;              // next idle time of the host link
+  std::vector<SimTime> die_busy_;      // cumulative page-service time per die
+  SimTime die_wait_total_ = 0;         // time spent queued behind busy dies
+  SimTime horizon_ = 0;                // latest completion seen (utilization)
 };
 
 }  // namespace damkit::sim

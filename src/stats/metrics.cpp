@@ -1,0 +1,226 @@
+#include "stats/metrics.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+#include "stats/json.h"
+
+namespace damkit::stats {
+
+#if DAMKIT_STATS_ENABLED
+namespace {
+std::atomic<bool> g_collecting{true};
+}  // namespace
+
+bool collecting() { return g_collecting.load(std::memory_order_relaxed); }
+void set_collecting(bool on) {
+  g_collecting.store(on, std::memory_order_relaxed);
+}
+#endif
+
+void MetricsRegistry::add(std::string_view name, uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+Histogram& MetricsRegistry::histo(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+bool MetricsRegistry::has_counter(std::string_view name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+bool MetricsRegistry::has_gauge(std::string_view name) const {
+  return gauges_.find(name) != gauges_.end();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) add(name, v);
+  for (const auto& [name, v] : other.gauges_) {
+    const auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauges_.emplace(name, v);
+    } else if (v > it->second) {
+      it->second = v;
+    }
+  }
+  for (const auto& [name, h] : other.histograms_) histo(name).merge(h);
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const std::string&, uint64_t)>& fn) const {
+  for (const auto& [name, v] : counters_) fn(name, v);
+}
+
+void MetricsRegistry::for_each_gauge(
+    const std::function<void(const std::string&, double)>& fn) const {
+  for (const auto& [name, v] : gauges_) fn(name, v);
+}
+
+void MetricsRegistry::for_each_histogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  for (const auto& [name, h] : histograms_) fn(name, h);
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  char buf[32];
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_append_string(out, name);
+    std::snprintf(buf, sizeof(buf), ": %" PRIu64, v);
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_append_string(out, name);
+    out += ": ";
+    json_append_double(out, v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_append_string(out, name);
+    std::snprintf(buf, sizeof(buf), ": {\"count\": %" PRIu64, h.count());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"sum\": %" PRIu64, h.sum());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"min\": %" PRIu64, h.min());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"max\": %" PRIu64, h.max());
+    out += buf;
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    h.for_each_bucket([&](int index, uint64_t /*floor*/, uint64_t count) {
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      std::snprintf(buf, sizeof(buf), "[%d, %" PRIu64 "]", index, count);
+      out += buf;
+    });
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+StatusOr<MetricsRegistry> MetricsRegistry::from_json(std::string_view json) {
+  StatusOr<JsonValue> parsed = parse_json(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::invalid_argument("metrics json: root is not an object");
+  }
+
+  MetricsRegistry reg;
+  if (const JsonValue* counters = root.find("counters")) {
+    for (const auto& [name, v] : counters->object) {
+      if (!v.is_number() || !v.is_integer) {
+        return Status::invalid_argument("metrics json: counter '" + name +
+                                        "' is not a non-negative integer");
+      }
+      reg.add(name, v.uint_val);
+    }
+  }
+  if (const JsonValue* gauges = root.find("gauges")) {
+    for (const auto& [name, v] : gauges->object) {
+      if (!v.is_number()) {
+        return Status::invalid_argument("metrics json: gauge '" + name +
+                                        "' is not a number");
+      }
+      reg.set(name, v.num);
+    }
+  }
+  if (const JsonValue* histos = root.find("histograms")) {
+    for (const auto& [name, v] : histos->object) {
+      const JsonValue* count = v.find("count");
+      const JsonValue* sum = v.find("sum");
+      const JsonValue* min = v.find("min");
+      const JsonValue* max = v.find("max");
+      const JsonValue* buckets = v.find("buckets");
+      if (count == nullptr || !count->is_integer || sum == nullptr ||
+          !sum->is_integer || min == nullptr || !min->is_integer ||
+          max == nullptr || !max->is_integer || buckets == nullptr ||
+          !buckets->is_array()) {
+        return Status::invalid_argument("metrics json: histogram '" + name +
+                                        "' is malformed");
+      }
+      std::vector<std::pair<int, uint64_t>> pairs;
+      pairs.reserve(buckets->array.size());
+      uint64_t total = 0;
+      for (const JsonValue& b : buckets->array) {
+        if (!b.is_array() || b.array.size() != 2 || !b.array[0].is_integer ||
+            !b.array[1].is_integer ||
+            b.array[0].uint_val >=
+                static_cast<uint64_t>(Histogram::bucket_limit())) {
+          return Status::invalid_argument("metrics json: histogram '" + name +
+                                          "' has a malformed bucket");
+        }
+        pairs.emplace_back(static_cast<int>(b.array[0].uint_val),
+                           b.array[1].uint_val);
+        total += b.array[1].uint_val;
+      }
+      if (total != count->uint_val) {
+        return Status::invalid_argument("metrics json: histogram '" + name +
+                                        "' bucket counts disagree with count");
+      }
+      reg.histo(name) = Histogram::restore(count->uint_val, sum->uint_val,
+                                           min->uint_val, max->uint_val, pairs);
+    }
+  }
+  return reg;
+}
+
+}  // namespace damkit::stats

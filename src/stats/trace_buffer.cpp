@@ -1,0 +1,73 @@
+#include "stats/trace_buffer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "stats/json.h"
+#include "util/status.h"
+
+namespace damkit::stats {
+
+TraceBuffer::TraceBuffer(size_t capacity) {
+  DAMKIT_CHECK(capacity > 0);
+  ring_.reserve(capacity);
+}
+
+void TraceBuffer::emit(const Event& e) {
+  ++seq_;
+  if (ring_.size() < ring_.capacity()) {
+    ring_.push_back(e);
+    ++size_;
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+}
+
+std::vector<Event> TraceBuffer::events() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % size_]);
+  }
+  return out;
+}
+
+std::string TraceBuffer::to_jsonl() const {
+  std::string out;
+  char buf[64];
+  const uint64_t first_seq = seq_ - size_;
+  for (size_t i = 0; i < size_; ++i) {
+    const Event& e = ring_[(head_ + i) % size_];
+    std::snprintf(buf, sizeof(buf), "{\"seq\": %" PRIu64 ", \"t\": %" PRIu64,
+                  first_seq + i, e.t);
+    out += buf;
+    out += ", \"cat\": ";
+    json_append_string(out, e.category);
+    out += ", \"name\": ";
+    json_append_string(out, e.name);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"v0\": %" PRIu64 ", \"v1\": %" PRIu64
+                  ", \"v2\": %" PRIu64 "}\n",
+                  e.v0, e.v1, e.v2);
+    out += buf;
+  }
+  return out;
+}
+
+bool TraceBuffer::dump_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = to_jsonl();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  head_ = 0;
+  size_ = 0;
+  seq_ = 0;
+}
+
+}  // namespace damkit::stats

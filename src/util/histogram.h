@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace damkit {
@@ -18,6 +20,9 @@ class Histogram {
   void record(uint64_t value);
   void merge(const Histogram& other);
   void clear();
+
+  /// Total bucket slots (valid indices are [0, bucket_limit())).
+  static constexpr int bucket_limit() { return kBucketCount; }
 
   uint64_t count() const { return count_; }
   uint64_t sum() const { return sum_; }
@@ -34,6 +39,18 @@ class Histogram {
   /// Multi-line ASCII rendering (bucket | count | bar), top `max_rows`
   /// most-populated buckets.
   std::string to_string(size_t max_rows = 12) const;
+
+  /// Visit every non-empty bucket in ascending order:
+  /// fn(bucket_index, bucket_floor_value, count). Serialization support.
+  void for_each_bucket(
+      const std::function<void(int, uint64_t, uint64_t)>& fn) const;
+
+  /// Rebuild a histogram from serialized state (the exact inverse of
+  /// reading count()/sum()/min()/max() + for_each_bucket). The bucket
+  /// counts must sum to `count`; indices must be in range.
+  static Histogram restore(uint64_t count, uint64_t sum, uint64_t min,
+                           uint64_t max,
+                           const std::vector<std::pair<int, uint64_t>>& buckets);
 
  private:
   static constexpr int kSubBuckets = 16;  // per power-of-two

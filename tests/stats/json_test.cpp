@@ -1,0 +1,117 @@
+#include "stats/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "stats/metrics.h"
+
+namespace damkit::stats {
+namespace {
+
+TEST(JsonWriter, EscapesStrings) {
+  std::string out;
+  json_append_string(out, "a\"b\\c\n\t");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\t\"");
+}
+
+TEST(JsonWriter, DoublesRoundTripShortest) {
+  std::string out;
+  json_append_double(out, 0.1);
+  EXPECT_EQ(out, "0.1");
+  out.clear();
+  json_append_double(out, 1e-9);
+  EXPECT_EQ(std::stod(out), 1e-9);
+}
+
+TEST(JsonParser, ParsesScalarsAndContainers) {
+  const auto v = parse_json(
+      R"({"a": 1, "b": -2.5, "c": [true, false, null], "d": "x"})");
+  ASSERT_TRUE(v.ok());
+  const JsonValue* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->is_integer);
+  EXPECT_EQ(a->uint_val, 1u);
+  const JsonValue* b = v->find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(b->num, -2.5);
+  const JsonValue* c = v->find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->array.size(), 3u);
+  const JsonValue* d = v->find("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->str, "x");
+}
+
+TEST(JsonParser, PreservesLargeU64Exactly) {
+  // 2^64 - 1 is not representable in a double; the parser must keep the
+  // exact integer for counter round-trips.
+  const auto v = parse_json(R"({"n": 18446744073709551615})");
+  ASSERT_TRUE(v.ok());
+  const JsonValue* n = v->find("n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(n->is_integer);
+  EXPECT_EQ(n->uint_val, 18446744073709551615ULL);
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_json("{").ok());
+  EXPECT_FALSE(parse_json("[1,]").ok());
+  EXPECT_FALSE(parse_json("{} trailing").ok());
+  EXPECT_FALSE(parse_json("'single'").ok());
+}
+
+TEST(RegistryJson, RoundTripsAllThreeKinds) {
+  MetricsRegistry reg;
+  reg.add("dev.reads", 12345);
+  reg.add("dev.bytes", 18446744073709551615ULL);  // u64 max survives
+  reg.set("dev.util", 0.12345678901234);
+  reg.set("dev.neg", -1.5e-9);
+  reg.histo("dev.lat").record(1);
+  reg.histo("dev.lat").record(999);
+  reg.histo("dev.lat").record(1u << 20);
+
+  const std::string json = reg.to_json();
+  const auto back = MetricsRegistry::from_json(json);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+
+  EXPECT_EQ(back->counter("dev.reads"), 12345u);
+  EXPECT_EQ(back->counter("dev.bytes"), 18446744073709551615ULL);
+  EXPECT_DOUBLE_EQ(back->gauge("dev.util"), 0.12345678901234);
+  EXPECT_DOUBLE_EQ(back->gauge("dev.neg"), -1.5e-9);
+  const Histogram* h = back->histogram("dev.lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->max(), 1u << 20);
+
+  // A second round trip is byte-identical (canonical form).
+  EXPECT_EQ(back->to_json(), json);
+}
+
+TEST(RegistryJson, EmptyRegistryRoundTrips) {
+  MetricsRegistry reg;
+  const auto back = MetricsRegistry::from_json(reg.to_json());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(RegistryJson, RejectsCorruptHistogram) {
+  // Bucket counts that do not sum to `count` must be rejected, not abort.
+  const auto bad = MetricsRegistry::from_json(
+      R"({"counters":{},"gauges":{},"histograms":)"
+      R"({"h":{"count":5,"sum":10,"min":1,"max":9,"buckets":[[1,1]]}}})");
+  EXPECT_FALSE(bad.ok());
+  // Out-of-range bucket index likewise.
+  const auto oob = MetricsRegistry::from_json(
+      R"({"counters":{},"gauges":{},"histograms":)"
+      R"({"h":{"count":1,"sum":1,"min":1,"max":1,"buckets":[[9999,1]]}}})");
+  EXPECT_FALSE(oob.ok());
+}
+
+TEST(RegistryJson, RejectsNonObjectInput) {
+  EXPECT_FALSE(MetricsRegistry::from_json("[]").ok());
+  EXPECT_FALSE(MetricsRegistry::from_json("not json").ok());
+}
+
+}  // namespace
+}  // namespace damkit::stats

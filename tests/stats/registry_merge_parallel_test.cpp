@@ -1,0 +1,67 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/parallel.h"
+#include "stats/metrics.h"
+#include "util/rng.h"
+
+namespace damkit::stats {
+namespace {
+
+// Each sweep point fills its own registry from a point-seeded RNG, so the
+// contents are independent of scheduling. Merging in point order must then
+// be byte-identical for any thread count — the invariant bench_smoke and
+// the CI regression gate rely on.
+void fill_point(MetricsRegistry& reg, size_t i) {
+  Rng rng(static_cast<uint64_t>(i) + 1);
+  for (int k = 0; k < 50; ++k) {
+    reg.add("ops", rng.next() % 100);
+    reg.histo("latency").record(1 + rng.next() % 1000000);
+  }
+  reg.add("point" + std::to_string(i) + ".ops", i + 1);
+  reg.set("hwm", static_cast<double>(rng.next() % 1000));
+  reg.set("point" + std::to_string(i) + ".util",
+          static_cast<double>(i) / 16.0);
+}
+
+MetricsRegistry sweep_and_merge(size_t points, int threads) {
+  std::vector<MetricsRegistry> per_point(points);
+  harness::parallel_sweep(points, threads,
+                          [&](size_t i) { fill_point(per_point[i], i); });
+  MetricsRegistry merged;
+  for (const auto& reg : per_point) merged.merge(reg);
+  return merged;
+}
+
+TEST(RegistryMergeParallel, DeterministicAcrossThreadCounts) {
+  const MetricsRegistry serial = sweep_and_merge(16, 1);
+  const std::string golden = serial.to_json();
+  for (int threads : {2, 4, 8}) {
+    const MetricsRegistry parallel = sweep_and_merge(16, threads);
+    EXPECT_EQ(parallel.to_json(), golden) << "threads=" << threads;
+  }
+}
+
+TEST(RegistryMergeParallel, MergedValuesMatchSerialReplay) {
+  const MetricsRegistry merged = sweep_and_merge(8, 4);
+  // Replay the same point workloads serially and compare values.
+  uint64_t expected_ops = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    Rng rng(static_cast<uint64_t>(i) + 1);
+    for (int k = 0; k < 50; ++k) {
+      expected_ops += rng.next() % 100;
+      rng.next();  // histogram draw
+    }
+    EXPECT_EQ(merged.counter("point" + std::to_string(i) + ".ops"), i + 1);
+  }
+  EXPECT_EQ(merged.counter("ops"), expected_ops);
+  const Histogram* h = merged.histogram("latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 8u * 50u);
+}
+
+}  // namespace
+}  // namespace damkit::stats

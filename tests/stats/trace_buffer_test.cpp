@@ -1,0 +1,84 @@
+#include "stats/trace_buffer.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace damkit::stats {
+namespace {
+
+TEST(TraceBuffer, EmitAndReadBack) {
+  TraceBuffer buf(8);
+  buf.emit({100, "io", "read", 4096, 64, 7});
+  buf.emit({200, "cache", "evict", 3, 1024, 0});
+  ASSERT_EQ(buf.size(), 2u);
+  const auto events = buf.events();
+  EXPECT_EQ(events[0].t, 100u);
+  EXPECT_STREQ(events[0].category, "io");
+  EXPECT_STREQ(events[0].name, "read");
+  EXPECT_EQ(events[0].v0, 4096u);
+  EXPECT_EQ(events[1].t, 200u);
+  EXPECT_EQ(events[1].v1, 1024u);
+}
+
+TEST(TraceBuffer, RingOverwritesOldestAndTracksSeq) {
+  TraceBuffer buf(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    buf.emit({i, "io", "read", i, 0, 0});
+  }
+  EXPECT_EQ(buf.size(), 4u);          // capacity bound holds
+  EXPECT_EQ(buf.total_emitted(), 10u);
+  const auto events = buf.events();   // oldest-first among survivors
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().t, 6u);
+  EXPECT_EQ(events.back().t, 9u);
+}
+
+TEST(TraceBuffer, JsonlHasOneObjectPerLine) {
+  TraceBuffer buf(4);
+  buf.emit({1, "betree", "flush", 2, 37, 0});
+  buf.emit({2, "lsm", "compaction", 1, 100, 80});
+  const std::string jsonl = buf.to_jsonl();
+  size_t lines = 0;
+  for (char ch : jsonl) lines += (ch == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"cat\": \"betree\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\": \"compaction\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"v2\": 80"), std::string::npos);
+}
+
+TEST(TraceBuffer, SeqContinuesAcrossOverflow) {
+  TraceBuffer buf(2);
+  for (uint64_t i = 0; i < 5; ++i) buf.emit({i, "io", "read", 0, 0, 0});
+  const std::string jsonl = buf.to_jsonl();
+  // Survivors are emissions 3 and 4; their seq numbers are global.
+  EXPECT_NE(jsonl.find("\"seq\": 3"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"seq\": 4"), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"seq\": 0"), std::string::npos);
+}
+
+TEST(TraceBuffer, ClearEmpties) {
+  TraceBuffer buf(4);
+  buf.emit({1, "io", "read", 0, 0, 0});
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.to_jsonl().empty());
+}
+
+TEST(TraceBuffer, DumpJsonlWritesFile) {
+  TraceBuffer buf(4);
+  buf.emit({1, "io", "write", 8192, 4096, 123});
+  const std::string path = ::testing::TempDir() + "trace_buffer_test.jsonl";
+  ASSERT_TRUE(buf.dump_jsonl(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256] = {};
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(std::string(line).find("\"v0\": 8192"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace damkit::stats

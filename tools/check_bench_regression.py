@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""CI gate over a BENCH_smoke.json metrics snapshot.
+
+Two checks, both against closed-form or checked-in expectations:
+
+  1. Regression: every simulated-time gauge (name ending in `.sim_seconds`
+     or `.sim_steps`) present in the baseline must exist in the current
+     snapshot and must not exceed the baseline by more than --threshold
+     (default 15%). Simulated time is deterministic, so any increase is a
+     real modeling/code change, not noise — the slack only exists to let
+     intentional small refinements land without a baseline dance.
+
+  2. Affine split: for every device section that exports a closed-form
+     prediction (`<prefix>predicted_setup_seconds_per_io`), the measured
+     split must agree within --affine-tolerance (default 5%).
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json
+         [--threshold 0.15] [--affine-tolerance 0.05]
+
+Exit status 0 iff every check passes. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_SUFFIXES = (".sim_seconds", ".sim_steps")
+
+
+def load_gauges(path):
+    with open(path) as f:
+        doc = json.load(f)
+    gauges = doc.get("gauges", {})
+    if not isinstance(gauges, dict):
+        raise SystemExit(f"{path}: 'gauges' is not an object")
+    return {k: float(v) for k, v in gauges.items()}
+
+
+def check_regressions(current, baseline, threshold):
+    failures, report = [], []
+    gated = sorted(
+        k for k in baseline if k.endswith(GATED_SUFFIXES)
+    )
+    if not gated:
+        failures.append("baseline contains no gated *.sim_seconds gauges")
+    for name in gated:
+        base = baseline[name]
+        if name not in current:
+            failures.append(f"{name}: missing from current snapshot")
+            continue
+        cur = current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        status = "ok"
+        if cur > base * (1.0 + threshold):
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {cur:.6g} vs baseline {base:.6g} "
+                f"({(ratio - 1.0) * 100.0:+.1f}% > +{threshold * 100.0:.0f}%)"
+            )
+        elif cur < base * (1.0 - threshold):
+            status = "improved (consider refreshing the baseline)"
+        report.append(f"  {name}: {cur:.6g} / {base:.6g} ({status})")
+    return failures, report
+
+
+def check_affine(current, tolerance):
+    failures, report = [], []
+    pairs = [
+        ("setup_seconds_per_io", "predicted_setup_seconds_per_io"),
+        ("transfer_seconds_per_byte", "predicted_transfer_seconds_per_byte"),
+    ]
+    prefixes = sorted(
+        name[: -len("predicted_setup_seconds_per_io")]
+        for name in current
+        if name.endswith("predicted_setup_seconds_per_io")
+    )
+    if not prefixes:
+        failures.append("no predicted_setup_seconds_per_io gauge found")
+    for prefix in prefixes:
+        for measured_key, predicted_key in pairs:
+            measured = current.get(prefix + measured_key)
+            predicted = current.get(prefix + predicted_key)
+            if measured is None or predicted is None or predicted == 0:
+                failures.append(f"{prefix}{measured_key}: pair incomplete")
+                continue
+            err = abs(measured - predicted) / predicted
+            line = (
+                f"  {prefix}{measured_key}: measured {measured:.6g}, "
+                f"predicted {predicted:.6g} ({err * 100.0:.2f}% off)"
+            )
+            if err > tolerance:
+                failures.append(
+                    f"{prefix}{measured_key}: {err * 100.0:.2f}% from the "
+                    f"closed-form prediction (> {tolerance * 100.0:.0f}%)"
+                )
+                line += "  FAIL"
+            report.append(line)
+    return failures, report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.15)
+    parser.add_argument("--affine-tolerance", type=float, default=0.05)
+    args = parser.parse_args()
+
+    current = load_gauges(args.current)
+    baseline = load_gauges(args.baseline)
+
+    reg_failures, reg_report = check_regressions(
+        current, baseline, args.threshold
+    )
+    aff_failures, aff_report = check_affine(current, args.affine_tolerance)
+
+    print("simulated-time gauges vs baseline:")
+    print("\n".join(reg_report) or "  (none)")
+    print("affine-split consistency:")
+    print("\n".join(aff_report) or "  (none)")
+
+    failures = reg_failures + aff_failures
+    if failures:
+        print("\nFAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall bench gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

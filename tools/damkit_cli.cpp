@@ -6,9 +6,11 @@
 //   damkit optimize <alpha> [entry_bytes]  Cor 6/7/12 design guidance
 //   damkit trace stats <file.csv>          analyze a recorded IO trace
 //   damkit trace replay <file.csv> <hdd-index|ssd:index>  what-if replay
+//   damkit metrics [...]                   run a demo workload, dump metrics
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "damkit.h"
@@ -25,7 +27,9 @@ int usage() {
       "  damkit fit ssd <index 0-3>\n"
       "  damkit optimize <alpha-per-entry> [entry_bytes]\n"
       "  damkit trace stats <file.csv>\n"
-      "  damkit trace replay <file.csv> <hdd:IDX | ssd:IDX>");
+      "  damkit trace replay <file.csv> <hdd:IDX | ssd:IDX>\n"
+      "  damkit metrics [--device hdd|ssd|hdd:IDX|ssd:IDX] [--ops N]\n"
+      "                 [--json FILE] [--trace FILE]");
   return 2;
 }
 
@@ -152,6 +156,144 @@ int cmd_trace_replay(const char* path, const std::string& target) {
   return 0;
 }
 
+// Build the device named by `spec`: "hdd"/"ssd" (testbed profiles) or
+// "hdd:IDX"/"ssd:IDX" (paper profiles). Returns nullptr on a bad spec.
+std::unique_ptr<sim::Device> make_device(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  if (kind == "hdd") {
+    auto profile = sim::testbed_hdd_profile();
+    if (colon != std::string::npos) {
+      const auto profiles = sim::paper_hdd_profiles();
+      const size_t index =
+          std::strtoul(spec.c_str() + colon + 1, nullptr, 10);
+      if (index >= profiles.size()) return nullptr;
+      profile = profiles[index];
+    }
+    return std::make_unique<sim::HddDevice>(profile);
+  }
+  if (kind == "ssd") {
+    auto profile = sim::testbed_ssd_profile();
+    if (colon != std::string::npos) {
+      const auto profiles = sim::paper_ssd_profiles();
+      const size_t index =
+          std::strtoul(spec.c_str() + colon + 1, nullptr, 10);
+      if (index >= profiles.size()) return nullptr;
+      profile = profiles[index];
+    }
+    return std::make_unique<sim::SsdDevice>(profile);
+  }
+  return nullptr;
+}
+
+// Canned demo workload: load a Bε-tree, run a mixed read/write phase, and
+// checkpoint, collecting metrics from every layer it touched.
+int cmd_metrics(int argc, char** argv) {
+  std::string device_spec = "ssd";
+  std::string json_path;
+  std::string trace_path;
+  uint64_t ops = 20000;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (arg == "--device" && has_next) {
+      device_spec = argv[++i];
+    } else if (arg == "--ops" && has_next) {
+      ops = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--json" && has_next) {
+      json_path = argv[++i];
+    } else if (arg == "--trace" && has_next) {
+      trace_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  std::unique_ptr<sim::Device> dev = make_device(device_spec);
+  if (dev == nullptr || ops == 0) return usage();
+
+  stats::TraceBuffer events;
+  dev->set_event_trace(&events);
+  sim::IoContext io(*dev);
+
+  betree::BeTreeConfig config;
+  config.node_bytes = 256 * 1024;
+  config.cache_bytes = 4 * 1024 * 1024;
+  betree::BeTree tree(*dev, io, config);
+  tree.set_event_trace(&events);
+
+  Rng rng(42);
+  const auto key_of = [](uint64_t k) { return strfmt("key%012llu",
+      static_cast<unsigned long long>(k)); };
+  for (uint64_t i = 0; i < ops; ++i) {
+    tree.put(key_of(rng.next() % (ops * 4)), std::string(100, 'v'));
+  }
+  uint64_t found = 0;
+  for (uint64_t i = 0; i < ops / 4; ++i) {
+    found += tree.get(key_of(rng.next() % (ops * 4))).has_value() ? 1 : 0;
+  }
+  tree.scan(key_of(0), 100);
+  tree.flush_cache();
+
+  stats::MetricsRegistry reg;
+  dev->export_metrics(reg, "device.");
+  tree.export_metrics(reg, "betree.");
+
+  std::printf("workload: %llu puts, %llu gets (%llu hits), 1 scan on %s\n",
+              static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(ops / 4),
+              static_cast<unsigned long long>(found), dev->name().c_str());
+  std::printf("simulated time: %.3f s\n\n", sim::to_seconds(io.now()));
+
+  Table counters({"counter", "value"});
+  reg.for_each_counter([&](const std::string& name, uint64_t value) {
+    counters.add_row({name, strfmt("%llu",
+                                   static_cast<unsigned long long>(value))});
+  });
+  std::fputs(counters.to_string().c_str(), stdout);
+
+  Table gauges({"gauge", "value"});
+  reg.for_each_gauge([&](const std::string& name, double value) {
+    gauges.add_row({name, strfmt("%.6g", value)});
+  });
+  std::fputs(gauges.to_string().c_str(), stdout);
+
+  Table histos({"histogram", "count", "mean", "p50", "p99", "max"});
+  reg.for_each_histogram([&](const std::string& name, const Histogram& h) {
+    histos.add_row({name,
+                    strfmt("%llu", static_cast<unsigned long long>(h.count())),
+                    strfmt("%.1f", h.mean()),
+                    strfmt("%llu",
+                           static_cast<unsigned long long>(h.percentile(50))),
+                    strfmt("%llu",
+                           static_cast<unsigned long long>(h.percentile(99))),
+                    strfmt("%llu",
+                           static_cast<unsigned long long>(h.max()))});
+  });
+  std::fputs(histos.to_string().c_str(), stdout);
+
+  if (!json_path.empty()) {
+    const std::string json = reg.to_json();
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("metrics JSON written to %s\n", json_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!events.dump_jsonl(trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("%zu trace events written to %s\n", events.size(),
+                trace_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,5 +315,6 @@ int main(int argc, char** argv) {
   if (cmd == "trace" && argc == 5 && std::strcmp(argv[2], "replay") == 0) {
     return cmd_trace_replay(argv[3], argv[4]);
   }
+  if (cmd == "metrics") return cmd_metrics(argc, argv);
   return usage();
 }
