@@ -65,7 +65,7 @@ void BM_SsdSubmit(benchmark::State& state) {
 BENCHMARK(BM_SsdSubmit);
 
 void BM_BufferPoolGetHit(benchmark::State& state) {
-  cache::BufferPool pool(1 << 20, [](uint64_t, void*) {});
+  cache::BufferPool pool(1 << 20, [](uint64_t, void*) { return Status(); });
   for (uint64_t i = 0; i < 64; ++i) {
     pool.put(i, std::make_shared<int>(static_cast<int>(i)), 1024, false);
   }

@@ -30,12 +30,13 @@ BeTree::BeTree(sim::Device& dev, sim::IoContext& io, BeTreeConfig config)
       config_.cache_bytes, [this](uint64_t id, void* object) {
         auto* node = static_cast<BeTreeNode*>(object);
         node->serialize(io_buf_);
-        store_.write_node(id, io_buf_);
+        return store_.try_write_node(id, io_buf_);
       });
   // Checkpoints batch: serialize every dirty node, then write all extents
   // as one submission so the flush pays the slowest write, not the sum.
   pool_->set_batch_writeback(
-      [this](std::span<const std::pair<uint64_t, void*>> dirty) {
+      [this](std::span<const std::pair<uint64_t, void*>> dirty,
+             std::vector<bool>* written) {
         std::vector<std::vector<uint8_t>> images(dirty.size());
         std::vector<blockdev::NodeStore::NodeImage> writes;
         writes.reserve(dirty.size());
@@ -43,43 +44,54 @@ BeTree::BeTree(sim::Device& dev, sim::IoContext& io, BeTreeConfig config)
           static_cast<BeTreeNode*>(dirty[i].second)->serialize(images[i]);
           writes.push_back({dirty[i].first, images[i]});
         }
-        store_.write_nodes(writes);
+        return store_.try_write_nodes(writes, written);
       });
 }
 
-BeTree::~BeTree() { pool_->flush_all(); }
+BeTree::~BeTree() { DAMKIT_CHECK_OK(pool_->flush_all()); }
 
-BeTree::NodeRef BeTree::fetch(uint64_t id) {
+StatusOr<BeTree::NodeRef> BeTree::try_fetch(uint64_t id) {
   DAMKIT_CHECK(id != kInvalidNode);
   if (NodeRef cached = pool_->get<BeTreeNode>(id)) return cached;
-  store_.read_node(id, io_buf_);
+  DAMKIT_RETURN_IF_ERROR(store_.try_read_node(id, io_buf_));
   NodeRef node = BeTreeNode::deserialize(io_buf_);
   pool_->put(id, node, config_.node_bytes, /*dirty=*/false);
   return node;
+}
+
+BeTree::NodeRef BeTree::fetch(uint64_t id) {
+  StatusOr<NodeRef> node = try_fetch(id);
+  DAMKIT_CHECK_OK(node.status());
+  return *std::move(node);
 }
 
 void BeTree::install_new(uint64_t id, NodeRef node) {
   pool_->put(id, std::move(node), config_.node_bytes, /*dirty=*/true);
 }
 
-void BeTree::prefetch_children(const BeTreeNode& node, size_t begin,
-                               size_t end) {
+Status BeTree::prefetch_children(const BeTreeNode& node, size_t begin,
+                                 size_t end) {
   std::vector<uint64_t> missing;
   for (size_t i = begin; i < end && i < node.child_count(); ++i) {
     const uint64_t cid = node.child(i);
     if (!pool_->contains(cid)) missing.push_back(cid);
   }
   // A batch of one gains nothing over the fetch() the caller will do.
-  if (missing.size() < 2) return;
+  if (missing.size() < 2) return Status();
   std::vector<std::vector<uint8_t>> images;
-  store_.read_nodes(missing, images);
+  DAMKIT_RETURN_IF_ERROR(store_.try_read_nodes(missing, images));
   for (size_t i = 0; i < missing.size(); ++i) {
     pool_->put(missing[i], BeTreeNode::deserialize(images[i]),
                config_.node_bytes, /*dirty=*/false);
   }
+  return Status();
 }
 
 void BeTree::put(std::string_view key, std::string_view value) {
+  DAMKIT_CHECK_OK(try_put(key, value));
+}
+
+Status BeTree::try_put(std::string_view key, std::string_view value) {
   // A leaf must be able to hold two entries or splitting cannot make
   // progress; surface misconfiguration loudly.
   DAMKIT_CHECK_MSG(
@@ -88,29 +100,40 @@ void BeTree::put(std::string_view key, std::string_view value) {
                   << " bytes too large for node_bytes=" << config_.node_bytes);
   ++op_stats_.puts;
   op_stats_.logical_bytes_written += key.size() + value.size();
-  root_add(Message{MessageKind::kPut, std::string(key), std::string(value)});
+  return root_add(
+      Message{MessageKind::kPut, std::string(key), std::string(value)});
 }
 
-void BeTree::erase(std::string_view key) {
+void BeTree::erase(std::string_view key) { DAMKIT_CHECK_OK(try_erase(key)); }
+
+Status BeTree::try_erase(std::string_view key) {
   ++op_stats_.erases;
   op_stats_.logical_bytes_written += key.size();
-  root_add(Message{MessageKind::kTombstone, std::string(key), {}});
+  return root_add(Message{MessageKind::kTombstone, std::string(key), {}});
 }
 
 void BeTree::upsert(std::string_view key, int64_t delta) {
-  ++op_stats_.upserts;
-  op_stats_.logical_bytes_written += key.size() + 8;
-  root_add(Message{MessageKind::kUpsert, std::string(key),
-                   encode_delta(delta)});
+  DAMKIT_CHECK_OK(try_upsert(key, delta));
 }
 
-void BeTree::root_add(Message msg) {
+Status BeTree::try_upsert(std::string_view key, int64_t delta) {
+  ++op_stats_.upserts;
+  op_stats_.logical_bytes_written += key.size() + 8;
+  return root_add(
+      Message{MessageKind::kUpsert, std::string(key), encode_delta(delta)});
+}
+
+Status BeTree::root_add(Message msg) {
   if (root_ == kInvalidNode) {
-    root_ = store_.allocate();
+    StatusOr<uint64_t> id = store_.try_allocate();
+    DAMKIT_RETURN_IF_ERROR(id.status());
+    root_ = *id;
     install_new(root_, BeTreeNode::make_leaf());
     height_ = 1;
   }
-  NodeRef root = fetch(root_);
+  StatusOr<NodeRef> root_or = try_fetch(root_);
+  DAMKIT_RETURN_IF_ERROR(root_or.status());
+  NodeRef root = *std::move(root_or);
   if (root->is_leaf()) {
     root->leaf_apply(msg);
   } else {
@@ -120,17 +143,28 @@ void BeTree::root_add(Message msg) {
     root->buffer_add(idx, std::move(msg));
   }
   mark_dirty(root_);
-  if (overflowing(*root) || flush_pressure(*root)) fix_root();
+  if (overflowing(*root) || flush_pressure(*root)) return fix_root();
+  return Status();
 }
 
 bool BeTree::flush_pressure(const BeTreeNode& /*node*/) const { return false; }
 
-void BeTree::fix_root() {
-  NodeRef root = fetch(root_);
+Status BeTree::fix_root() {
+  StatusOr<NodeRef> root_or = try_fetch(root_);
+  DAMKIT_RETURN_IF_ERROR(root_or.status());
+  NodeRef root = *std::move(root_or);
+  // Reserve the potential new root up front: once fix_node has produced
+  // splits they MUST be linked under a new root, and an allocation failure
+  // at that point would orphan their subtrees.
+  StatusOr<uint64_t> reserved = store_.try_allocate();
+  DAMKIT_RETURN_IF_ERROR(reserved.status());
   std::vector<SplitInfo> splits;
-  fix_node(root_, root, splits, /*depth=*/0);
-  if (splits.empty()) return;
-  const uint64_t new_root_id = store_.allocate();
+  const Status fixed = fix_node(root_, root, splits, /*depth=*/0);
+  if (splits.empty()) {
+    store_.free(*reserved);
+    return fixed;
+  }
+  const uint64_t new_root_id = *reserved;
   NodeRef new_root = BeTreeNode::make_internal();
   new_root->internal_init(root_);
   for (auto& s : splits) {
@@ -140,11 +174,13 @@ void BeTree::fix_root() {
   install_new(new_root_id, new_root);
   root_ = new_root_id;
   ++height_;
+  DAMKIT_RETURN_IF_ERROR(fixed);
   // A burst of splits can overfill even the fresh root.
   if (overflowing(*new_root) ||
       new_root->child_count() > fanout_) {
-    fix_root();
+    return fix_root();
   }
+  return Status();
 }
 
 size_t BeTree::pick_flush_child(const BeTreeNode& n) {
@@ -163,41 +199,54 @@ size_t BeTree::pick_flush_child(const BeTreeNode& n) {
   return n.fullest_child();
 }
 
-void BeTree::fix_node(uint64_t id, NodeRef node, std::vector<SplitInfo>& out,
-                      size_t depth) {
+Status BeTree::fix_node(uint64_t id, NodeRef node, std::vector<SplitInfo>& out,
+                        size_t depth) {
   if (!node->is_leaf()) {
     while ((overflowing(*node) || flush_pressure(*node)) &&
            node->total_buffer_bytes() > 0) {
-      flush_one(id, node, depth);
+      DAMKIT_RETURN_IF_ERROR(flush_one(id, node, depth));
     }
   }
   const bool need_split = overflowing(*node) ||
                           (!node->is_leaf() && node->child_count() > fanout_);
-  if (!need_split) return;
-  if (node->is_leaf() && node->entry_count() < 2) return;
-  if (!node->is_leaf() && node->child_count() < 2) return;
+  if (!need_split) return Status();
+  if (node->is_leaf() && node->entry_count() < 2) return Status();
+  if (!node->is_leaf() && node->child_count() < 2) return Status();
 
+  // Allocate BEFORE split() mutates the node: an exhausted allocator then
+  // leaves the node whole (oversized but readable; retried later).
+  StatusOr<uint64_t> right_alloc = store_.try_allocate();
+  DAMKIT_RETURN_IF_ERROR(right_alloc.status());
+  const uint64_t right_id = *right_alloc;
   BeTreeNode::SplitResult sr = node->split();
   if (node->is_leaf()) {
     ++op_stats_.leaf_splits;
   } else {
     ++op_stats_.internal_splits;
   }
-  const uint64_t right_id = store_.allocate();
   NodeRef right = sr.right;
   install_new(right_id, right);
   mark_dirty(id);
   // Either half may still violate limits; recurse on both, emitting the
   // accumulated separators in strictly ascending key order: left's splits
   // (keys < separator), then the separator, then right's (keys > it).
-  fix_node(id, node, out, depth);
+  // The separator for the half just produced is pushed even when the left
+  // recursion fails — dropping it would orphan the right subtree.
+  const Status left_fixed = fix_node(id, node, out, depth);
   out.push_back({std::move(sr.separator), right_id});
-  fix_node(right_id, right, out, depth);
+  DAMKIT_RETURN_IF_ERROR(left_fixed);
+  return fix_node(right_id, right, out, depth);
 }
 
-void BeTree::flush_one(uint64_t id, NodeRef node, size_t depth) {
+Status BeTree::flush_one(uint64_t id, NodeRef node, size_t depth) {
   const size_t idx = pick_flush_child(*node);
-  if (node->buffer_bytes(idx) == 0) return;
+  if (node->buffer_bytes(idx) == 0) return Status();
+  // Fetch the child BEFORE draining the buffer: a read failure then leaves
+  // every pending message in place.
+  const uint64_t child_id = node->child(idx);
+  StatusOr<NodeRef> child_or = try_fetch(child_id);
+  DAMKIT_RETURN_IF_ERROR(child_or.status());
+  NodeRef child = *std::move(child_or);
   std::vector<Message> msgs = node->buffer_take(idx);
   ++op_stats_.flushes;
   op_stats_.messages_moved += msgs.size();
@@ -208,11 +257,8 @@ void BeTree::flush_one(uint64_t id, NodeRef node, size_t depth) {
   });
   mark_dirty(id);
 
-  const uint64_t child_id = node->child(idx);
-  NodeRef child = fetch(child_id);
   if (child->is_leaf()) {
-    apply_to_leaf_child(id, node, idx, std::move(msgs), depth);
-    return;
+    return apply_to_leaf_child(id, node, idx, std::move(msgs), depth);
   }
 
   for (Message& m : msgs) {
@@ -222,51 +268,66 @@ void BeTree::flush_one(uint64_t id, NodeRef node, size_t depth) {
   mark_dirty(child_id);
   if (overflowing(*child)) {
     std::vector<SplitInfo> splits;
-    fix_node(child_id, child, splits, depth + 1);
+    const Status fixed = fix_node(child_id, child, splits, depth + 1);
     size_t at = idx;
     for (auto& s : splits) {
       node->internal_insert(at, std::move(s.separator), s.right_id);
       ++at;
     }
+    DAMKIT_RETURN_IF_ERROR(fixed);
   }
+  return Status();
 }
 
-void BeTree::apply_to_leaf_child(uint64_t parent_id, NodeRef parent,
-                                 size_t child_idx, std::vector<Message> msgs,
-                                 size_t depth) {
+Status BeTree::apply_to_leaf_child(uint64_t parent_id, NodeRef parent,
+                                   size_t child_idx, std::vector<Message> msgs,
+                                   size_t depth) {
   const uint64_t leaf_id = parent->child(child_idx);
-  NodeRef leaf = fetch(leaf_id);
+  StatusOr<NodeRef> leaf_or = try_fetch(leaf_id);
+  if (!leaf_or.ok()) {
+    // Nothing applied yet: hand the messages back to the parent buffer so
+    // the flush can be retried without loss.
+    for (Message& m : msgs) parent->buffer_add(child_idx, std::move(m));
+    return leaf_or.status();
+  }
+  NodeRef leaf = *std::move(leaf_or);
   for (const Message& m : msgs) leaf->leaf_apply(m);
   mark_dirty(leaf_id);
 
   if (overflowing(*leaf)) {
     std::vector<SplitInfo> splits;
-    fix_node(leaf_id, leaf, splits, depth + 1);
+    const Status fixed = fix_node(leaf_id, leaf, splits, depth + 1);
     size_t at = child_idx;
     for (auto& s : splits) {
       parent->internal_insert(at, std::move(s.separator), s.right_id);
       ++at;
     }
     mark_dirty(parent_id);
-    return;
+    return fixed;
   }
 
   // Underflow: merge small leaves so tombstone-heavy workloads shrink the
   // tree instead of accumulating empty leaves.
   const auto min_bytes = static_cast<uint64_t>(
       config_.min_fill * static_cast<double>(config_.node_bytes));
-  if (leaf->byte_size() >= min_bytes || parent->child_count() < 2) return;
+  if (leaf->byte_size() >= min_bytes || parent->child_count() < 2) {
+    return Status();
+  }
 
   const size_t li = (child_idx + 1 < parent->child_count()) ? child_idx
                                                             : child_idx - 1;
   const uint64_t left_id = parent->child(li);
   const uint64_t right_id = parent->child(li + 1);
-  NodeRef left = fetch(left_id);
-  NodeRef right = fetch(right_id);
-  if (!left->is_leaf() || !right->is_leaf()) return;
+  StatusOr<NodeRef> left_or = try_fetch(left_id);
+  DAMKIT_RETURN_IF_ERROR(left_or.status());
+  StatusOr<NodeRef> right_or = try_fetch(right_id);
+  DAMKIT_RETURN_IF_ERROR(right_or.status());
+  NodeRef left = *std::move(left_or);
+  NodeRef right = *std::move(right_or);
+  if (!left->is_leaf() || !right->is_leaf()) return Status();
   const uint64_t merged =
       left->byte_size() + right->byte_size() - BeTreeNode::header_bytes();
-  if (merged > config_.node_bytes * 9 / 10) return;
+  if (merged > config_.node_bytes * 9 / 10) return Status();
 
   left->leaf_merge_from_right(*right);
   parent->internal_remove_child(li);
@@ -275,16 +336,18 @@ void BeTree::apply_to_leaf_child(uint64_t parent_id, NodeRef parent,
   pool_->erase(right_id);
   store_.free(right_id);
   ++op_stats_.leaf_merges;
-  collapse_root();
+  return collapse_root();
 }
 
-void BeTree::collapse_root() {
+Status BeTree::collapse_root() {
   while (height_ > 1) {
-    NodeRef root = fetch(root_);
-    if (root->is_leaf() || root->child_count() > 1) return;
+    StatusOr<NodeRef> root_or = try_fetch(root_);
+    DAMKIT_RETURN_IF_ERROR(root_or.status());
+    NodeRef root = *std::move(root_or);
+    if (root->is_leaf() || root->child_count() > 1) return Status();
     if (root->total_buffer_bytes() > 0) {
       // Push the stragglers down before collapsing.
-      flush_one(root_, root, /*depth=*/0);
+      DAMKIT_RETURN_IF_ERROR(flush_one(root_, root, /*depth=*/0));
       continue;
     }
     const uint64_t only = root->child(0);
@@ -293,25 +356,34 @@ void BeTree::collapse_root() {
     root_ = only;
     --height_;
   }
+  return Status();
 }
 
 std::optional<std::string> BeTree::get(std::string_view key) {
+  StatusOr<std::optional<std::string>> v = try_get(key);
+  DAMKIT_CHECK_OK(v.status());
+  return *std::move(v);
+}
+
+StatusOr<std::optional<std::string>> BeTree::try_get(std::string_view key) {
   ++op_stats_.gets;
-  if (root_ == kInvalidNode) return std::nullopt;
+  if (root_ == kInvalidNode) return std::optional<std::string>();
   std::vector<std::vector<Message>> collected;  // root-first
   uint64_t id = root_;
-  NodeRef node = fetch(id);
-  while (!node->is_leaf()) {
-    const size_t idx = node->child_index(key);
+  StatusOr<NodeRef> node = try_fetch(id);
+  DAMKIT_RETURN_IF_ERROR(node.status());
+  while (!(*node)->is_leaf()) {
+    const size_t idx = (*node)->child_index(key);
     std::vector<Message> msgs;
-    node->collect_for_key(idx, key, &msgs);
+    (*node)->collect_for_key(idx, key, &msgs);
     collected.push_back(std::move(msgs));
-    id = node->child(idx);
-    node = fetch(id);
+    id = (*node)->child(idx);
+    node = try_fetch(id);
+    DAMKIT_RETURN_IF_ERROR(node.status());
   }
   std::optional<std::string> state;
-  const size_t i = node->lower_bound(key);
-  if (node->key_equals(i, key)) state = node->value(i);
+  const size_t i = (*node)->lower_bound(key);
+  if ((*node)->key_equals(i, key)) state = (*node)->value(i);
   // Deeper buffers are older: apply leaf-adjacent levels first, each level
   // in arrival order.
   for (auto level = collected.rbegin(); level != collected.rend(); ++level) {
@@ -343,10 +415,13 @@ std::vector<std::vector<Message>> filter_pending(
 
 }  // namespace
 
-bool BeTree::scan_rec(uint64_t id, std::string_view lo, size_t limit,
-                      const std::vector<std::vector<Message>>& pending,
-                      std::vector<std::pair<std::string, std::string>>* out) {
-  NodeRef node = fetch(id);
+StatusOr<bool> BeTree::scan_rec(
+    uint64_t id, std::string_view lo, size_t limit,
+    const std::vector<std::vector<Message>>& pending,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  StatusOr<NodeRef> node_or = try_fetch(id);
+  DAMKIT_RETURN_IF_ERROR(node_or.status());
+  NodeRef node = *std::move(node_or);
   if (node->is_leaf()) {
     // Merge leaf entries with pending messages; std::map gives key order.
     std::map<std::string, std::optional<std::string>> state;
@@ -379,7 +454,7 @@ bool BeTree::scan_rec(uint64_t id, std::string_view lo, size_t limit,
   for (size_t i = start; i < node->child_count(); ++i) {
     if (config_.scan_prefetch_window > 1 && i >= prefetched_until) {
       const size_t end = std::min(i + window, node->child_count());
-      prefetch_children(*node, i, end);
+      DAMKIT_RETURN_IF_ERROR(prefetch_children(*node, i, end));
       prefetched_until = end;
       window = std::min(window * 2, config_.scan_prefetch_window);
     }
@@ -393,17 +468,29 @@ bool BeTree::scan_rec(uint64_t id, std::string_view lo, size_t limit,
       if (kv::compare(m.key, lo) >= 0) mine.push_back(m);
     }
     child_pending.push_back(std::move(mine));
-    if (scan_rec(node->child(i), lo, limit, child_pending, out)) return true;
+    StatusOr<bool> done = scan_rec(node->child(i), lo, limit, child_pending,
+                                   out);
+    DAMKIT_RETURN_IF_ERROR(done.status());
+    if (*done) return true;
   }
   return false;
 }
 
 std::vector<std::pair<std::string, std::string>> BeTree::scan(
     std::string_view lo, size_t limit) {
+  StatusOr<std::vector<std::pair<std::string, std::string>>> out =
+      try_scan(lo, limit);
+  DAMKIT_CHECK_OK(out.status());
+  return *std::move(out);
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>> BeTree::try_scan(
+    std::string_view lo, size_t limit) {
   ++op_stats_.scans;
   std::vector<std::pair<std::string, std::string>> out;
   if (root_ == kInvalidNode || limit == 0) return out;
-  scan_rec(root_, lo, limit, {}, &out);
+  StatusOr<bool> done = scan_rec(root_, lo, limit, {}, &out);
+  DAMKIT_RETURN_IF_ERROR(done.status());
   return out;
 }
 
@@ -476,7 +563,9 @@ void BeTree::bulk_load(
   root_ = level.front().second;
 }
 
-void BeTree::flush_cache() { pool_->flush_all(); }
+void BeTree::flush_cache() { DAMKIT_CHECK_OK(pool_->flush_all()); }
+
+Status BeTree::try_flush_cache() { return pool_->flush_all(); }
 
 void BeTree::export_metrics(stats::MetricsRegistry& reg,
                             std::string_view prefix) const {

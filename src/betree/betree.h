@@ -74,17 +74,26 @@ class BeTree {
 
   /// Insert or overwrite.
   void put(std::string_view key, std::string_view value);
+  /// Fallible put. Non-OK means some IO along the message path gave up
+  /// after retries; the tree stays structurally valid and no previously
+  /// acknowledged data is lost, but this message may not have been applied.
+  Status try_put(std::string_view key, std::string_view value);
   /// Delete (tombstone message; returns void — a Bε-tree delete is blind).
   void erase(std::string_view key);
+  Status try_erase(std::string_view key);
   /// Blind counter increment (8-byte LE semantics, see message.h).
   void upsert(std::string_view key, int64_t delta);
+  Status try_upsert(std::string_view key, int64_t delta);
 
-  /// Point query.
-  virtual std::optional<std::string> get(std::string_view key);
+  /// Point query (CHECK-aborts on IO failure; see try_get).
+  std::optional<std::string> get(std::string_view key);
+  virtual StatusOr<std::optional<std::string>> try_get(std::string_view key);
 
   /// Range query: up to `limit` live pairs with key >= lo, in key order.
   std::vector<std::pair<std::string, std::string>> scan(std::string_view lo,
                                                         size_t limit);
+  StatusOr<std::vector<std::pair<std::string, std::string>>> try_scan(
+      std::string_view lo, size_t limit);
 
   /// Build from `count` strictly-ascending items; tree must be empty.
   void bulk_load(uint64_t count,
@@ -92,6 +101,16 @@ class BeTree {
                      uint64_t)>& item);
 
   void flush_cache();  // write back all dirty nodes
+  /// Fallible checkpoint: failed nodes stay dirty (retried on next call).
+  Status try_flush_cache();
+
+  /// Retry policy for this tree's device IO (see blockdev::RetryPolicy).
+  void set_retry_policy(const blockdev::RetryPolicy& policy) {
+    store_.set_retry_policy(policy);
+  }
+  const blockdev::RetryCounters& retry_counters() const {
+    return store_.retry_counters();
+  }
 
   size_t height() const { return height_; }
   size_t target_fanout() const { return fanout_; }
@@ -132,37 +151,42 @@ class BeTree {
 
   /// Fetch for structural/mutating access (whole-node IO on miss).
   /// Subclasses may refine the IO accounting (see OptBeTree).
-  virtual NodeRef fetch(uint64_t id);
+  virtual StatusOr<NodeRef> try_fetch(uint64_t id);
+  /// CHECK-on-error wrapper around try_fetch (legacy/invariant paths).
+  NodeRef fetch(uint64_t id);
   /// Batch-read children [begin, end) of `node` that are not yet cached
   /// (one vectored device IO), inserting them clean and fully resident.
-  void prefetch_children(const BeTreeNode& node, size_t begin, size_t end);
+  Status prefetch_children(const BeTreeNode& node, size_t begin, size_t end);
   /// Additional flush pressure beyond whole-node overflow. The optimized
   /// Bε-tree caps per-child buffers at B/F (Theorem 9) by overriding this.
   virtual bool flush_pressure(const BeTreeNode& node) const;
   void install_new(uint64_t id, NodeRef node);
   void mark_dirty(uint64_t id) { pool_->mark_dirty(id); }
 
-  void root_add(Message msg);
+  Status root_add(Message msg);
   /// Restore size/fanout invariants at (id, node); any splits that the
-  /// parent must absorb are appended to `out` in ascending key order.
-  /// `depth` is the node's distance from the root (flush attribution).
-  void fix_node(uint64_t id, NodeRef node, std::vector<SplitInfo>& out,
-                size_t depth);
+  /// parent must absorb are appended to `out` in ascending key order —
+  /// INCLUDING on a non-OK return (the caller must link whatever splits
+  /// were produced or their subtrees would be orphaned). `depth` is the
+  /// node's distance from the root (flush attribution).
+  Status fix_node(uint64_t id, NodeRef node, std::vector<SplitInfo>& out,
+                  size_t depth);
   /// Move one child buffer down a level; fixes the child recursively and
   /// absorbs its splits into `node`. The flush is attributed to `depth`.
-  void flush_one(uint64_t id, NodeRef node, size_t depth);
+  Status flush_one(uint64_t id, NodeRef node, size_t depth);
   /// Apply messages to a leaf child of (parent); may merge/drop the leaf.
-  void apply_to_leaf_child(uint64_t parent_id, NodeRef parent,
-                           size_t child_idx, std::vector<Message> msgs,
-                           size_t depth);
-  void fix_root();
-  void collapse_root();
+  Status apply_to_leaf_child(uint64_t parent_id, NodeRef parent,
+                             size_t child_idx, std::vector<Message> msgs,
+                             size_t depth);
+  Status fix_root();
+  Status collapse_root();
   /// Depth-first range collection merging leaf entries with the pending
   /// ancestor messages routed to each subtree. Returns true once `limit`
   /// pairs have been emitted.
-  bool scan_rec(uint64_t id, std::string_view lo, size_t limit,
-                const std::vector<std::vector<Message>>& pending,
-                std::vector<std::pair<std::string, std::string>>* out);
+  StatusOr<bool> scan_rec(
+      uint64_t id, std::string_view lo, size_t limit,
+      const std::vector<std::vector<Message>>& pending,
+      std::vector<std::pair<std::string, std::string>>* out);
 
   bool overflowing(const BeTreeNode& n) const {
     return n.byte_size() > config_.node_bytes;

@@ -60,8 +60,10 @@ uint32_t OptBeTree::leaf_chunk_of(const BeTreeNode& leaf,
                          pos * chunks / (leaf.entry_count() + 1)));
 }
 
-OptBeTree::NodeRef OptBeTree::fetch(uint64_t id) {
-  NodeRef node = BeTree::fetch(id);
+StatusOr<OptBeTree::NodeRef> OptBeTree::try_fetch(uint64_t id) {
+  StatusOr<NodeRef> node_or = BeTree::try_fetch(id);
+  DAMKIT_RETURN_IF_ERROR(node_or.status());
+  NodeRef node = *std::move(node_or);
   if (!node->residency.partial) return node;
   // Structural access needs the full node: charge the bytes the query
   // path skipped, then re-account the cache entry at full size.
@@ -69,7 +71,7 @@ OptBeTree::NodeRef OptBeTree::fetch(uint64_t id) {
       std::min<uint64_t>(node->residency.charged_bytes, config_.node_bytes);
   const uint64_t remainder = config_.node_bytes - charged;
   if (remainder > 0) {
-    store_.touch_read(id, charged, remainder);
+    DAMKIT_RETURN_IF_ERROR(store_.try_touch_read(id, charged, remainder));
   }
   node->residency = BeTreeNode::Residency{};
   ++opt_stats_.residency_upgrades;
@@ -78,9 +80,9 @@ OptBeTree::NodeRef OptBeTree::fetch(uint64_t id) {
   return node;
 }
 
-void OptBeTree::charge_segment(uint64_t id, const NodeRef& node, uint32_t seg,
-                               std::span<const IoPart> parts,
-                               bool newly_loaded) {
+Status OptBeTree::charge_segment(uint64_t id, const NodeRef& node,
+                                 uint32_t seg, std::span<const IoPart> parts,
+                                 bool newly_loaded) {
   // All parts of one descent step go out as a single batch: the pivot
   // block and the buffer segment are known together (the parent's pivot
   // block delivered both addresses), so the device may overlap them.
@@ -95,7 +97,7 @@ void OptBeTree::charge_segment(uint64_t id, const NodeRef& node, uint32_t seg,
     spans.push_back({id, offset, len});
     total += len;
   }
-  store_.touch_read_batch(spans);
+  DAMKIT_RETURN_IF_ERROR(store_.try_touch_read_batch(spans));
   opt_stats_.segment_reads += spans.size();
   opt_stats_.segment_bytes_read += total;
 
@@ -113,11 +115,12 @@ void OptBeTree::charge_segment(uint64_t id, const NodeRef& node, uint32_t seg,
     pool_->erase(id);
     pool_->put(id, node, node->residency.charged_bytes, /*dirty=*/false);
   }
+  return Status();
 }
 
-std::optional<std::string> OptBeTree::get(std::string_view key) {
+StatusOr<std::optional<std::string>> OptBeTree::try_get(std::string_view key) {
   ++op_stats_.gets;
-  if (root_ == kInvalidNode) return std::nullopt;
+  if (root_ == kInvalidNode) return std::optional<std::string>();
 
   std::vector<std::vector<Message>> collected;  // root-first
   uint64_t id = root_;
@@ -143,7 +146,8 @@ std::optional<std::string> OptBeTree::get(std::string_view key) {
         const uint64_t len = leaf_segment_bytes(*node);
         const uint64_t hint = static_cast<uint64_t>(chunk) * len;
         const IoPart part{hint, len};
-        charge_segment(id, node, chunk, {&part, 1}, newly_loaded);
+        DAMKIT_RETURN_IF_ERROR(
+            charge_segment(id, node, chunk, {&part, 1}, newly_loaded));
       }
       const size_t i = node->lower_bound(key);
       if (node->key_equals(i, key)) result_state = node->value(i);
@@ -161,8 +165,8 @@ std::optional<std::string> OptBeTree::get(std::string_view key) {
       const uint64_t hint = (config_.node_bytes * idx) / node->child_count();
       const IoPart parts[] = {{0, index_block_bytes(*node)},
                               {hint, node->buffer_bytes(idx)}};
-      charge_segment(id, node, static_cast<uint32_t>(idx), parts,
-                     newly_loaded);
+      DAMKIT_RETURN_IF_ERROR(charge_segment(
+          id, node, static_cast<uint32_t>(idx), parts, newly_loaded));
     }
     std::vector<Message> msgs;
     node->collect_for_key(idx, key, &msgs);

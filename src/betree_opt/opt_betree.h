@@ -42,7 +42,7 @@ class OptBeTree final : public betree::BeTree {
   /// Point query using sub-node IOs: per internal level, one IO covering
   /// the child's pivot block plus the one buffer segment on the query
   /// path; at the leaf, one basement chunk.
-  std::optional<std::string> get(std::string_view key) override;
+  StatusOr<std::optional<std::string>> try_get(std::string_view key) override;
 
   /// Per-child buffer cap B/F in bytes.
   uint64_t segment_cap_bytes() const { return segment_cap_; }
@@ -58,7 +58,7 @@ class OptBeTree final : public betree::BeTree {
  protected:
   /// Structural access requires the whole node: upgrade partially-charged
   /// residents by charging the remaining bytes as one IO.
-  NodeRef fetch(uint64_t id) override;
+  StatusOr<NodeRef> try_fetch(uint64_t id) override;
 
   /// Theorem 9 invariant: flush as soon as any child's segment exceeds B/F.
   bool flush_pressure(const betree::BeTreeNode& node) const override;
@@ -82,8 +82,10 @@ class OptBeTree final : public betree::BeTree {
   /// Charge the sub-node IOs in `parts` for segment `seg` as ONE device
   /// batch (internal levels issue pivot block + buffer segment together)
   /// and (re-)account the cache entry at the node's accumulated charge.
-  void charge_segment(uint64_t id, const NodeRef& node, uint32_t seg,
-                      std::span<const IoPart> parts, bool newly_loaded);
+  /// On a non-OK return nothing is charged and the residency/cache state
+  /// is unchanged.
+  Status charge_segment(uint64_t id, const NodeRef& node, uint32_t seg,
+                        std::span<const IoPart> parts, bool newly_loaded);
 
   uint64_t segment_cap_;
   OptBeTreeStats opt_stats_;

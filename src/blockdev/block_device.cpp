@@ -15,32 +15,68 @@ NodeStore::NodeStore(sim::Device& dev, sim::IoContext& io, uint64_t node_bytes,
   DAMKIT_CHECK(base_offset < dev.capacity_bytes());
 }
 
-void NodeStore::read_node(uint64_t node_id, std::vector<uint8_t>& out) {
-  out.resize(node_bytes_);
-  io_->read(alloc_.offset_of(node_id), out);
-  ++stats_.node_reads;
-  stats_.bytes_read += node_bytes_;
-}
-
-void NodeStore::write_node(uint64_t node_id, std::span<const uint8_t> image) {
+std::span<const uint8_t> NodeStore::pad_image(std::span<const uint8_t> image) {
   DAMKIT_CHECK_MSG(image.size() <= node_bytes_,
                    "node image " << image.size() << " exceeds extent "
                                  << node_bytes_);
-  // Whole-extent write: pad the image so the device sees a node_bytes IO.
   scratch_.resize(node_bytes_);
   std::memcpy(scratch_.data(), image.data(), image.size());
   std::memset(scratch_.data() + image.size(), 0, node_bytes_ - image.size());
-  io_->write(alloc_.offset_of(node_id), scratch_);
+  return scratch_;
+}
+
+// The legacy void methods delegate to the try_* implementations: on an
+// infallible device the two are byte- and clock-identical, and on a
+// faulty device the legacy path aborts only after the shared retry
+// policy is exhausted (callers that can handle errors use try_*).
+
+void NodeStore::read_node(uint64_t node_id, std::vector<uint8_t>& out) {
+  DAMKIT_CHECK_OK(try_read_node(node_id, out));
+}
+
+Status NodeStore::try_read_node(uint64_t node_id, std::vector<uint8_t>& out) {
+  out.resize(node_bytes_);
+  const uint64_t offset = alloc_.offset_of(node_id);
+  DAMKIT_RETURN_IF_ERROR(with_retries(
+      *io_, retry_, &retry_counters_, /*retry_corruption=*/false,
+      [&] { return io_->read_checked(offset, std::span<uint8_t>(out)); }));
+  ++stats_.node_reads;
+  stats_.bytes_read += node_bytes_;
+  return Status();
+}
+
+void NodeStore::write_node(uint64_t node_id, std::span<const uint8_t> image) {
+  DAMKIT_CHECK_OK(try_write_node(node_id, image));
+}
+
+Status NodeStore::try_write_node(uint64_t node_id,
+                                 std::span<const uint8_t> image) {
+  // Whole-extent write: pad the image so the device sees a node_bytes IO.
+  const std::span<const uint8_t> padded = pad_image(image);
+  const uint64_t offset = alloc_.offset_of(node_id);
+  DAMKIT_RETURN_IF_ERROR(with_retries(
+      *io_, retry_, &retry_counters_, /*retry_corruption=*/true,
+      [&] { return io_->write_checked(offset, padded); }));
   ++stats_.node_writes;
   stats_.bytes_written += node_bytes_;
+  return Status();
 }
 
 void NodeStore::read_span(uint64_t node_id, uint64_t offset,
                           std::span<uint8_t> out) {
+  DAMKIT_CHECK_OK(try_read_span(node_id, offset, out));
+}
+
+Status NodeStore::try_read_span(uint64_t node_id, uint64_t offset,
+                                std::span<uint8_t> out) {
   DAMKIT_CHECK(offset + out.size() <= node_bytes_);
-  io_->read(alloc_.offset_of(node_id) + offset, out);
+  const uint64_t dev_offset = alloc_.offset_of(node_id) + offset;
+  DAMKIT_RETURN_IF_ERROR(
+      with_retries(*io_, retry_, &retry_counters_, /*retry_corruption=*/false,
+                   [&] { return io_->read_checked(dev_offset, out); }));
   ++stats_.span_reads;
   stats_.bytes_read += out.size();
+  return Status();
 }
 
 void NodeStore::peek_node(uint64_t node_id, std::vector<uint8_t>& out) {
@@ -48,70 +84,191 @@ void NodeStore::peek_node(uint64_t node_id, std::vector<uint8_t>& out) {
   dev_->read_bytes(alloc_.offset_of(node_id), out);
 }
 
-void NodeStore::touch_read(uint64_t node_id, uint64_t offset, uint64_t length) {
+void NodeStore::touch_read(uint64_t node_id, uint64_t offset,
+                           uint64_t length) {
+  DAMKIT_CHECK_OK(try_touch_read(node_id, offset, length));
+}
+
+Status NodeStore::try_touch_read(uint64_t node_id, uint64_t offset,
+                                 uint64_t length) {
   DAMKIT_CHECK(offset + length <= node_bytes_);
-  io_->touch_read(alloc_.offset_of(node_id) + offset, length);
+  const uint64_t dev_offset = alloc_.offset_of(node_id) + offset;
+  DAMKIT_RETURN_IF_ERROR(with_retries(
+      *io_, retry_, &retry_counters_, /*retry_corruption=*/false,
+      [&] { return io_->touch_read_checked(dev_offset, length); }));
   ++stats_.touch_reads;
   stats_.bytes_read += length;
+  return Status();
 }
 
 void NodeStore::read_nodes(std::span<const uint64_t> ids,
                            std::vector<std::vector<uint8_t>>& out) {
+  DAMKIT_CHECK_OK(try_read_nodes(ids, out));
+}
+
+Status NodeStore::try_read_nodes(std::span<const uint64_t> ids,
+                                 std::vector<std::vector<uint8_t>>& out) {
   out.resize(ids.size());
-  if (ids.empty()) return;
+  if (ids.empty()) return Status();
   std::vector<sim::IoRequest> reqs;
   reqs.reserve(ids.size());
-  for (uint64_t id : ids) {
-    reqs.push_back({sim::IoKind::kRead, alloc_.offset_of(id), node_bytes_});
+  std::vector<size_t> pending;  // indices into ids still unserved
+  pending.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    reqs.push_back(
+        {sim::IoKind::kRead, alloc_.offset_of(ids[i]), node_bytes_});
+    pending.push_back(i);
   }
-  io_->submit_batch(reqs);
+  const uint32_t max_attempts = std::max<uint32_t>(retry_.max_attempts, 1);
+  double backoff = static_cast<double>(retry_.backoff_ns);
+  std::vector<sim::IoCompletion> cs;
+  std::vector<Status> per_io;
+  Status abandoned;  // first failure among requests that exhausted retries
+  for (uint32_t attempt = 1;; ++attempt) {
+    std::vector<sim::IoRequest> batch;
+    batch.reserve(pending.size());
+    for (const size_t i : pending) batch.push_back(reqs[i]);
+    DAMKIT_RETURN_IF_ERROR(io_->submit_batch_checked(batch, &cs, &per_io));
+    std::vector<size_t> failed;
+    for (size_t j = 0; j < pending.size(); ++j) {
+      const size_t i = pending[j];
+      if (per_io[j].ok()) {
+        out[i].resize(node_bytes_);
+        dev_->read_bytes(reqs[i].offset, out[i]);
+      } else if (per_io[j].code() == StatusCode::kUnavailable &&
+                 attempt < max_attempts) {
+        failed.push_back(i);
+      } else {
+        ++retry_counters_.give_ups;
+        if (abandoned.ok()) abandoned = per_io[j];
+      }
+    }
+    if (failed.empty()) break;
+    io_->spend(static_cast<sim::SimTime>(backoff));
+    backoff *= retry_.backoff_multiplier;
+    retry_counters_.retries += failed.size();
+    pending = std::move(failed);
+  }
+  DAMKIT_RETURN_IF_ERROR(abandoned);
   ++stats_.read_batches;
   stats_.batched_reads += ids.size();
   stats_.bytes_read += node_bytes_ * ids.size();
-  for (size_t i = 0; i < ids.size(); ++i) {
-    out[i].resize(node_bytes_);
-    dev_->read_bytes(reqs[i].offset, out[i]);
-  }
+  return Status();
 }
 
 void NodeStore::write_nodes(std::span<const NodeImage> writes) {
-  if (writes.empty()) return;
+  DAMKIT_CHECK_OK(try_write_nodes(writes));
+}
+
+Status NodeStore::try_write_nodes(std::span<const NodeImage> writes,
+                                  std::vector<bool>* written) {
+  if (written != nullptr) written->assign(writes.size(), false);
+  if (writes.empty()) return Status();
   std::vector<sim::IoRequest> reqs;
   reqs.reserve(writes.size());
-  for (const NodeImage& w : writes) {
-    DAMKIT_CHECK_MSG(w.image.size() <= node_bytes_,
-                     "node image " << w.image.size() << " exceeds extent "
-                                   << node_bytes_);
-    reqs.push_back({sim::IoKind::kWrite, alloc_.offset_of(w.node_id),
+  std::vector<size_t> pending;
+  pending.reserve(writes.size());
+  for (size_t i = 0; i < writes.size(); ++i) {
+    DAMKIT_CHECK_MSG(writes[i].image.size() <= node_bytes_,
+                     "node image " << writes[i].image.size()
+                                   << " exceeds extent " << node_bytes_);
+    reqs.push_back({sim::IoKind::kWrite, alloc_.offset_of(writes[i].node_id),
                     node_bytes_});
+    pending.push_back(i);
   }
-  io_->submit_batch(reqs);
+  const uint32_t max_attempts = std::max<uint32_t>(retry_.max_attempts, 1);
+  double backoff = static_cast<double>(retry_.backoff_ns);
+  std::vector<sim::IoCompletion> cs;
+  std::vector<Status> per_io;
+  Status abandoned;  // first failure among requests that exhausted retries
+  for (uint32_t attempt = 1;; ++attempt) {
+    std::vector<sim::IoRequest> batch;
+    batch.reserve(pending.size());
+    for (const size_t i : pending) batch.push_back(reqs[i]);
+    DAMKIT_RETURN_IF_ERROR(io_->submit_batch_checked(batch, &cs, &per_io));
+    std::vector<size_t> failed;
+    for (size_t j = 0; j < pending.size(); ++j) {
+      const size_t i = pending[j];
+      const std::span<const uint8_t> padded = pad_image(writes[i].image);
+      if (per_io[j].ok()) {
+        dev_->write_bytes(reqs[i].offset, padded);
+        if (written != nullptr) (*written)[i] = true;
+        continue;
+      }
+      // A failed write's payload goes through the device's failure hook:
+      // nothing lands on a transient error, a torn prefix on kCorruption.
+      dev_->note_failed_write(reqs[i].offset, padded);
+      const bool retryable = per_io[j].code() == StatusCode::kUnavailable ||
+                             per_io[j].code() == StatusCode::kCorruption;
+      if (retryable && attempt < max_attempts) {
+        failed.push_back(i);
+      } else {
+        ++retry_counters_.give_ups;
+        if (abandoned.ok()) abandoned = per_io[j];
+      }
+    }
+    if (failed.empty()) break;
+    io_->spend(static_cast<sim::SimTime>(backoff));
+    backoff *= retry_.backoff_multiplier;
+    retry_counters_.retries += failed.size();
+    pending = std::move(failed);
+  }
+  DAMKIT_RETURN_IF_ERROR(abandoned);
   ++stats_.write_batches;
   stats_.batched_writes += writes.size();
   stats_.bytes_written += node_bytes_ * writes.size();
-  scratch_.resize(node_bytes_);
-  for (size_t i = 0; i < writes.size(); ++i) {
-    std::memcpy(scratch_.data(), writes[i].image.data(),
-                writes[i].image.size());
-    std::memset(scratch_.data() + writes[i].image.size(), 0,
-                node_bytes_ - writes[i].image.size());
-    dev_->write_bytes(reqs[i].offset, scratch_);
-  }
+  return Status();
 }
 
 void NodeStore::touch_read_batch(std::span<const NodeSpan> spans) {
-  if (spans.empty()) return;
+  DAMKIT_CHECK_OK(try_touch_read_batch(spans));
+}
+
+Status NodeStore::try_touch_read_batch(std::span<const NodeSpan> spans) {
+  if (spans.empty()) return Status();
   std::vector<sim::IoRequest> reqs;
   reqs.reserve(spans.size());
-  for (const NodeSpan& s : spans) {
+  std::vector<size_t> pending;
+  pending.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const NodeSpan& s = spans[i];
     DAMKIT_CHECK(s.offset + s.length <= node_bytes_);
-    reqs.push_back(
-        {sim::IoKind::kRead, alloc_.offset_of(s.node_id) + s.offset, s.length});
-    stats_.bytes_read += s.length;
+    reqs.push_back({sim::IoKind::kRead,
+                    alloc_.offset_of(s.node_id) + s.offset, s.length});
+    pending.push_back(i);
   }
-  io_->submit_batch(reqs);
+  const uint32_t max_attempts = std::max<uint32_t>(retry_.max_attempts, 1);
+  double backoff = static_cast<double>(retry_.backoff_ns);
+  std::vector<sim::IoCompletion> cs;
+  std::vector<Status> per_io;
+  Status abandoned;  // first failure among requests that exhausted retries
+  for (uint32_t attempt = 1;; ++attempt) {
+    std::vector<sim::IoRequest> batch;
+    batch.reserve(pending.size());
+    for (const size_t i : pending) batch.push_back(reqs[i]);
+    DAMKIT_RETURN_IF_ERROR(io_->submit_batch_checked(batch, &cs, &per_io));
+    std::vector<size_t> failed;
+    for (size_t j = 0; j < pending.size(); ++j) {
+      if (per_io[j].ok()) continue;
+      if (per_io[j].code() == StatusCode::kUnavailable &&
+          attempt < max_attempts) {
+        failed.push_back(pending[j]);
+      } else {
+        ++retry_counters_.give_ups;
+        if (abandoned.ok()) abandoned = per_io[j];
+      }
+    }
+    if (failed.empty()) break;
+    io_->spend(static_cast<sim::SimTime>(backoff));
+    backoff *= retry_.backoff_multiplier;
+    retry_counters_.retries += failed.size();
+    pending = std::move(failed);
+  }
+  DAMKIT_RETURN_IF_ERROR(abandoned);
+  for (const NodeSpan& s : spans) stats_.bytes_read += s.length;
   ++stats_.touch_batches;
   stats_.batched_touches += spans.size();
+  return Status();
 }
 
 void NodeStore::export_metrics(stats::MetricsRegistry& reg,
@@ -129,6 +286,8 @@ void NodeStore::export_metrics(stats::MetricsRegistry& reg,
   reg.add(p + "touch_batches", stats_.touch_batches);
   reg.add(p + "bytes_read", stats_.bytes_read);
   reg.add(p + "bytes_written", stats_.bytes_written);
+  reg.add(p + "io_retries", retry_counters_.retries);
+  reg.add(p + "io_give_ups", retry_counters_.give_ups);
   reg.add(p + "nodes_in_use", alloc_.slots_in_use());
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "blockdev/extent_allocator.h"
+#include "blockdev/retry.h"
 #include "sim/device.h"
 #include "stats/metrics.h"
 
@@ -51,22 +52,36 @@ class NodeStore {
   uint64_t nodes_in_use() const { return alloc_.slots_in_use(); }
 
   uint64_t allocate() { return alloc_.allocate(); }
+  StatusOr<uint64_t> try_allocate() { return alloc_.try_allocate(); }
   void free(uint64_t node_id) { alloc_.free(node_id); }
+
+  /// Retry policy applied by every try_* IO below: transient faults are
+  /// re-attempted up to the policy's budget with simulated backoff charged
+  /// to the IoContext, then surfaced. The legacy void methods share the
+  /// same policy and CHECK-abort on final failure.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+  const RetryCounters& retry_counters() const { return retry_counters_; }
 
   /// Read the entire node extent (cost: one IO of node_bytes).
   void read_node(uint64_t node_id, std::vector<uint8_t>& out);
+  Status try_read_node(uint64_t node_id, std::vector<uint8_t>& out);
 
   /// Write a node image (padded to the full extent; cost: one IO of
   /// node_bytes — classic trees write whole nodes).
   void write_node(uint64_t node_id, std::span<const uint8_t> image);
+  Status try_write_node(uint64_t node_id, std::span<const uint8_t> image);
 
   /// Read `length` bytes at `offset` within the node (cost: one IO of
   /// `length` bytes). Used by the optimized Bε-tree's pivot/segment reads.
   void read_span(uint64_t node_id, uint64_t offset, std::span<uint8_t> out);
+  Status try_read_span(uint64_t node_id, uint64_t offset,
+                       std::span<uint8_t> out);
 
   /// Charge a read of `length` bytes at node-relative `offset` without
   /// copying payload (layout experiments where only timing matters).
   void touch_read(uint64_t node_id, uint64_t offset, uint64_t length);
+  Status try_touch_read(uint64_t node_id, uint64_t offset, uint64_t length);
 
   /// Payload-only read with NO timing charge. Callers must charge the
   /// appropriate (possibly smaller) IO separately via touch_read — this is
@@ -91,13 +106,27 @@ class NodeStore {
   /// out is resized to ids.size(), each element to node_bytes.
   void read_nodes(std::span<const uint64_t> ids,
                   std::vector<std::vector<uint8_t>>& out);
+  /// Fallible vectored reads: failed requests alone are re-batched under
+  /// the retry policy; on give-up the first failure is returned and the
+  /// corresponding out slots are unspecified.
+  Status try_read_nodes(std::span<const uint64_t> ids,
+                        std::vector<std::vector<uint8_t>>& out);
 
   /// Vectored whole-node writes (each padded to the full extent), one
   /// device batch.
   void write_nodes(std::span<const NodeImage> writes);
+  /// Fallible vectored writes; failed requests alone are re-batched under
+  /// the retry policy. On give-up some extents may hold torn data — the
+  /// caller must keep the in-memory images authoritative (dirty) until a
+  /// later write succeeds. When `written` is non-null it is resized to
+  /// writes.size() and (*written)[i] reports whether write i durably
+  /// landed (all true on an OK return).
+  Status try_write_nodes(std::span<const NodeImage> writes,
+                         std::vector<bool>* written = nullptr);
 
   /// Vectored timing-only sub-extent reads, one device batch.
   void touch_read_batch(std::span<const NodeSpan> spans);
+  Status try_touch_read_batch(std::span<const NodeSpan> spans);
 
   sim::IoContext& io() { return *io_; }
   sim::Device& device() { return *dev_; }
@@ -111,12 +140,17 @@ class NodeStore {
                       std::string_view prefix) const;
 
  private:
+  /// Pad `image` into scratch_ as a full node_bytes extent image.
+  std::span<const uint8_t> pad_image(std::span<const uint8_t> image);
+
   sim::Device* dev_;
   sim::IoContext* io_;
   uint64_t node_bytes_;
   ExtentAllocator alloc_;
   std::vector<uint8_t> scratch_;  // write padding buffer
   NodeStoreStats stats_;
+  RetryPolicy retry_;
+  RetryCounters retry_counters_;
 };
 
 }  // namespace damkit::blockdev

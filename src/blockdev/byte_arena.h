@@ -24,15 +24,27 @@ class ByteArena {
     DAMKIT_CHECK(base_offset < dev.capacity_bytes());
   }
 
-  /// Reserve `length` bytes; returns the device offset.
-  uint64_t allocate(uint64_t length) {
+  /// Reserve `length` bytes; returns the device offset, or
+  /// kResourceExhausted when the bump pointer would pass the device end.
+  StatusOr<uint64_t> try_allocate(uint64_t length) {
     DAMKIT_CHECK(length > 0);
+    const uint64_t padded = damkit::align_up(length, alignment_);
+    if (padded < length || dev_->capacity_bytes() < padded ||
+        next_ > dev_->capacity_bytes() - padded) {
+      return Status::resource_exhausted(
+          "arena exhausted the device address space");
+    }
     const uint64_t offset = next_;
-    next_ += damkit::align_up(length, alignment_);
-    DAMKIT_CHECK_MSG(next_ <= dev_->capacity_bytes(),
-                     "arena exhausted the device address space");
+    next_ += padded;
     live_bytes_ += length;
     return offset;
+  }
+
+  /// CHECK-failing allocate for callers where exhaustion is a config bug.
+  uint64_t allocate(uint64_t length) {
+    StatusOr<uint64_t> offset = try_allocate(length);
+    DAMKIT_CHECK_OK(offset.status());
+    return *offset;
   }
 
   /// Release a previously allocated range (TRIMs the device).

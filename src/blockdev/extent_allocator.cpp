@@ -12,20 +12,28 @@ ExtentAllocator::ExtentAllocator(uint64_t base_offset, uint64_t slot_bytes,
   allocated_.assign(slot_count_, false);
 }
 
-uint64_t ExtentAllocator::allocate() {
+StatusOr<uint64_t> ExtentAllocator::try_allocate() {
   uint64_t slot;
   if (!free_list_.empty()) {
     slot = free_list_.back();
     free_list_.pop_back();
   } else {
-    DAMKIT_CHECK_MSG(next_fresh_ < slot_count_,
-                     "extent space exhausted: " << slot_count_ << " slots of "
-                                                << slot_bytes_ << " bytes");
+    if (next_fresh_ >= slot_count_) {
+      return Status::resource_exhausted(
+          "extent space exhausted: " + std::to_string(slot_count_) +
+          " slots of " + std::to_string(slot_bytes_) + " bytes");
+    }
     slot = next_fresh_++;
   }
   DAMKIT_CHECK(!allocated_[slot]);
   allocated_[slot] = true;
   return slot;
+}
+
+uint64_t ExtentAllocator::allocate() {
+  StatusOr<uint64_t> slot = try_allocate();
+  DAMKIT_CHECK_OK(slot.status());
+  return *slot;
 }
 
 void ExtentAllocator::free(uint64_t slot) {

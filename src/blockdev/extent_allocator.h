@@ -16,8 +16,12 @@ class ExtentAllocator {
   ExtentAllocator(uint64_t base_offset, uint64_t slot_bytes,
                   uint64_t slot_count);
 
-  /// Allocate a slot id; CHECK-fails when the device is full (the
-  /// experiments size devices generously; exhaustion is a config bug).
+  /// Allocate a slot id; returns kResourceExhausted when every slot is in
+  /// use.
+  StatusOr<uint64_t> try_allocate();
+
+  /// CHECK-failing allocate for callers that size devices generously
+  /// enough that exhaustion is a config bug.
   uint64_t allocate();
 
   void free(uint64_t slot);

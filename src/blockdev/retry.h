@@ -1,0 +1,61 @@
+// Retry-with-backoff for transient device faults.
+//
+// A RetryPolicy bounds how many times a fallible IO is re-attempted and
+// how much *simulated* time each backoff costs — retries are not free:
+// every re-attempt occupies the device again and every backoff advances
+// the caller's IoContext clock, so fault handling shows up honestly in
+// measured simulated seconds.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "sim/device.h"
+#include "util/status.h"
+
+namespace damkit::blockdev {
+
+/// `max_attempts` counts total tries (1 = fail fast, no retry). Attempt
+/// k+1 is preceded by a simulated wait of backoff_ns * multiplier^(k-1).
+struct RetryPolicy {
+  uint32_t max_attempts = 3;
+  sim::SimTime backoff_ns = 50 * sim::kNsPerUs;
+  double backoff_multiplier = 2.0;
+};
+
+struct RetryCounters {
+  uint64_t retries = 0;   // individual re-attempts after a retryable failure
+  uint64_t give_ups = 0;  // requests abandoned with a non-OK status
+};
+
+/// Run `attempt` until it returns OK or the policy is exhausted, charging
+/// each inter-attempt backoff to `io`. Transient (kUnavailable) failures
+/// are always retryable; kCorruption is retryable only when
+/// `retry_corruption` is set (a torn *write* is repaired by rewriting the
+/// extent in full; a corrupt read has nothing to retry into). Any other
+/// code surfaces immediately.
+template <typename Fn>
+Status with_retries(sim::IoContext& io, const RetryPolicy& policy,
+                    RetryCounters* counters, bool retry_corruption,
+                    Fn&& attempt) {
+  const uint32_t max_attempts = std::max<uint32_t>(policy.max_attempts, 1);
+  double backoff = static_cast<double>(policy.backoff_ns);
+  Status s = attempt();
+  for (uint32_t tries = 1; !s.ok(); ++tries) {
+    const bool retryable =
+        s.code() == StatusCode::kUnavailable ||
+        (retry_corruption && s.code() == StatusCode::kCorruption);
+    if (!retryable || tries >= max_attempts) {
+      if (counters != nullptr) ++counters->give_ups;
+      return s;
+    }
+    io.spend(static_cast<sim::SimTime>(backoff));
+    backoff *= policy.backoff_multiplier;
+    if (counters != nullptr) ++counters->retries;
+    s = attempt();
+  }
+  return s;
+}
+
+}  // namespace damkit::blockdev

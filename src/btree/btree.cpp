@@ -20,11 +20,12 @@ BTree::BTree(sim::Device& dev, sim::IoContext& io, BTreeConfig config)
       config_.cache_bytes, [this](uint64_t id, void* object) {
         auto* node = static_cast<BTreeNode*>(object);
         node->serialize(io_buf_);
-        store_.write_node(id, io_buf_);
+        return store_.try_write_node(id, io_buf_);
       });
   // Checkpoints write all dirty nodes as one device batch.
   pool_->set_batch_writeback(
-      [this](std::span<const std::pair<uint64_t, void*>> dirty) {
+      [this](std::span<const std::pair<uint64_t, void*>> dirty,
+             std::vector<bool>* written) {
         std::vector<std::vector<uint8_t>> images(dirty.size());
         std::vector<blockdev::NodeStore::NodeImage> writes;
         writes.reserve(dirty.size());
@@ -32,40 +33,53 @@ BTree::BTree(sim::Device& dev, sim::IoContext& io, BTreeConfig config)
           static_cast<BTreeNode*>(dirty[i].second)->serialize(images[i]);
           writes.push_back({dirty[i].first, images[i]});
         }
-        store_.write_nodes(writes);
+        return store_.try_write_nodes(writes, written);
       });
 }
 
-BTree::~BTree() { pool_->flush_all(); }
+BTree::~BTree() { DAMKIT_CHECK_OK(pool_->flush_all()); }
 
-BTree::NodeRef BTree::fetch(uint64_t id) {
+StatusOr<BTree::NodeRef> BTree::try_fetch(uint64_t id) {
   DAMKIT_CHECK(id != kInvalidNode);
   if (NodeRef cached = pool_->get<BTreeNode>(id)) return cached;
-  store_.read_node(id, io_buf_);
+  DAMKIT_RETURN_IF_ERROR(store_.try_read_node(id, io_buf_));
   NodeRef node = BTreeNode::deserialize(io_buf_);
   pool_->put(id, node, config_.node_bytes, /*dirty=*/false);
   return node;
+}
+
+BTree::NodeRef BTree::fetch(uint64_t id) {
+  StatusOr<NodeRef> node = try_fetch(id);
+  DAMKIT_CHECK_OK(node.status());
+  return *std::move(node);
 }
 
 void BTree::install_new(uint64_t id, NodeRef node) {
   pool_->put(id, std::move(node), config_.node_bytes, /*dirty=*/true);
 }
 
-BTree::NodeRef BTree::descend(std::string_view key, uint64_t* leaf_id,
-                              std::vector<PathEntry>* path) {
+Status BTree::descend(std::string_view key, uint64_t* leaf_id,
+                      std::vector<PathEntry>* path, NodeRef* leaf) {
   uint64_t id = root_;
-  NodeRef node = fetch(id);
-  while (!node->is_leaf()) {
-    const size_t idx = node->child_index(key);
-    if (path != nullptr) path->push_back({id, node, idx});
-    id = node->child(idx);
-    node = fetch(id);
+  StatusOr<NodeRef> node = try_fetch(id);
+  DAMKIT_RETURN_IF_ERROR(node.status());
+  while (!(*node)->is_leaf()) {
+    const size_t idx = (*node)->child_index(key);
+    if (path != nullptr) path->push_back({id, *node, idx});
+    id = (*node)->child(idx);
+    node = try_fetch(id);
+    DAMKIT_RETURN_IF_ERROR(node.status());
   }
   *leaf_id = id;
-  return node;
+  *leaf = *std::move(node);
+  return Status();
 }
 
 void BTree::put(std::string_view key, std::string_view value) {
+  DAMKIT_CHECK_OK(try_put(key, value));
+}
+
+Status BTree::try_put(std::string_view key, std::string_view value) {
   // A leaf must be able to hold two entries or splitting cannot make
   // progress; surface misconfiguration loudly.
   DAMKIT_CHECK_MSG(
@@ -76,38 +90,56 @@ void BTree::put(std::string_view key, std::string_view value) {
   ++op_stats_.puts;
   op_stats_.logical_bytes_written += key.size() + value.size();
   if (root_ == kInvalidNode) {
-    root_ = store_.allocate();
+    StatusOr<uint64_t> id = store_.try_allocate();
+    DAMKIT_RETURN_IF_ERROR(id.status());
+    root_ = *id;
     install_new(root_, BTreeNode::make_leaf());
     height_ = 1;
   }
   std::vector<PathEntry> path;
   uint64_t leaf_id;
-  NodeRef leaf = descend(key, &leaf_id, &path);
+  NodeRef leaf;
+  DAMKIT_RETURN_IF_ERROR(descend(key, &leaf_id, &path, &leaf));
   if (leaf->leaf_put(key, value)) ++size_;
   mark_dirty(leaf_id);
-  if (overflowing(*leaf)) split_upward(path, leaf_id, leaf);
+  if (overflowing(*leaf)) return split_upward(path, leaf_id, leaf);
+  return Status();
 }
 
-void BTree::split_upward(std::vector<PathEntry>& path, uint64_t node_id,
-                         NodeRef node) {
+Status BTree::split_upward(std::vector<PathEntry>& path, uint64_t node_id,
+                           NodeRef node) {
   while (overflowing(*node)) {
+    // Reserve every extent this round needs BEFORE mutating any node, so
+    // an allocation failure leaves the tree structurally intact (the node
+    // stays overflowing; a later put retries the split).
+    StatusOr<uint64_t> right_alloc = store_.try_allocate();
+    DAMKIT_RETURN_IF_ERROR(right_alloc.status());
+    const uint64_t right_id = *right_alloc;
+    uint64_t new_root = kInvalidNode;
+    if (path.empty()) {
+      StatusOr<uint64_t> root_alloc = store_.try_allocate();
+      if (!root_alloc.ok()) {
+        store_.free(right_id);
+        return root_alloc.status();
+      }
+      new_root = *root_alloc;
+    }
+
     ++op_stats_.splits;
     BTreeNode::SplitResult split = node->split();
-    const uint64_t right_id = store_.allocate();
     if (node->is_leaf()) node->set_next_leaf(right_id);
     install_new(right_id, split.right);
     mark_dirty(node_id);
 
     if (path.empty()) {
       // Grow a new root above.
-      const uint64_t new_root = store_.allocate();
       NodeRef root = BTreeNode::make_internal();
       root->internal_init(node_id);
       root->internal_insert(0, std::move(split.separator), right_id);
       install_new(new_root, root);
       root_ = new_root;
       ++height_;
-      return;
+      return Status();
     }
 
     PathEntry parent = path.back();
@@ -118,36 +150,53 @@ void BTree::split_upward(std::vector<PathEntry>& path, uint64_t node_id,
     node = parent.node;
     node_id = parent.id;
   }
+  return Status();
 }
 
 std::optional<std::string> BTree::get(std::string_view key) {
+  StatusOr<std::optional<std::string>> v = try_get(key);
+  DAMKIT_CHECK_OK(v.status());
+  return *std::move(v);
+}
+
+StatusOr<std::optional<std::string>> BTree::try_get(std::string_view key) {
   ++op_stats_.gets;
-  if (root_ == kInvalidNode) return std::nullopt;
+  if (root_ == kInvalidNode) return std::optional<std::string>();
   uint64_t leaf_id;
-  NodeRef leaf = descend(key, &leaf_id, nullptr);
+  NodeRef leaf;
+  DAMKIT_RETURN_IF_ERROR(descend(key, &leaf_id, nullptr, &leaf));
   const size_t i = leaf->lower_bound(key);
-  if (!leaf->key_equals(i, key)) return std::nullopt;
-  return leaf->value(i);
+  if (!leaf->key_equals(i, key)) return std::optional<std::string>();
+  return std::optional<std::string>(leaf->value(i));
 }
 
 bool BTree::erase(std::string_view key) {
+  StatusOr<bool> erased = try_erase(key);
+  DAMKIT_CHECK_OK(erased.status());
+  return *erased;
+}
+
+StatusOr<bool> BTree::try_erase(std::string_view key) {
   ++op_stats_.erases;
   if (root_ == kInvalidNode) return false;
   std::vector<PathEntry> path;
   uint64_t leaf_id;
-  NodeRef leaf = descend(key, &leaf_id, &path);
+  NodeRef leaf;
+  DAMKIT_RETURN_IF_ERROR(descend(key, &leaf_id, &path, &leaf));
   if (!leaf->leaf_erase(key)) return false;
   --size_;
   op_stats_.logical_bytes_written += key.size();
   mark_dirty(leaf_id);
   if (underflowing(*leaf) && !path.empty()) {
-    rebalance_upward(path, leaf_id, leaf);
+    // The key is already gone; a rebalance failure leaves the tree valid
+    // but under-filled, and the error is still surfaced to the caller.
+    DAMKIT_RETURN_IF_ERROR(rebalance_upward(path, leaf_id, leaf));
   }
   return true;
 }
 
-void BTree::rebalance_upward(std::vector<PathEntry>& path, uint64_t node_id,
-                             NodeRef node) {
+Status BTree::rebalance_upward(std::vector<PathEntry>& path, uint64_t node_id,
+                               NodeRef node) {
   while (underflowing(*node) && !path.empty()) {
     PathEntry parent = path.back();
     path.pop_back();
@@ -161,12 +210,16 @@ void BTree::rebalance_upward(std::vector<PathEntry>& path, uint64_t node_id,
       left_id = node_id;
       left = node;
       right_id = parent.node->child(left_idx + 1);
-      right = fetch(right_id);
+      StatusOr<NodeRef> sib = try_fetch(right_id);
+      DAMKIT_RETURN_IF_ERROR(sib.status());
+      right = *std::move(sib);
     } else {
       DAMKIT_CHECK(parent.child_idx > 0);
       left_idx = parent.child_idx - 1;
       left_id = parent.node->child(left_idx);
-      left = fetch(left_id);
+      StatusOr<NodeRef> sib = try_fetch(left_id);
+      DAMKIT_RETURN_IF_ERROR(sib.status());
+      left = *std::move(sib);
       right_id = node_id;
       right = node;
     }
@@ -204,29 +257,42 @@ void BTree::rebalance_upward(std::vector<PathEntry>& path, uint64_t node_id,
 
   // Collapse trivial roots: an internal root with one child.
   while (height_ > 1) {
-    NodeRef root = fetch(root_);
-    if (root->is_leaf() || root->child_count() > 1) break;
-    const uint64_t only_child = root->child(0);
+    StatusOr<NodeRef> root = try_fetch(root_);
+    DAMKIT_RETURN_IF_ERROR(root.status());
+    if ((*root)->is_leaf() || (*root)->child_count() > 1) break;
+    const uint64_t only_child = (*root)->child(0);
     pool_->erase(root_);
     store_.free(root_);
     root_ = only_child;
     --height_;
   }
+  return Status();
 }
 
 std::vector<std::pair<std::string, std::string>> BTree::scan(
+    std::string_view lo, size_t limit) {
+  StatusOr<std::vector<std::pair<std::string, std::string>>> out =
+      try_scan(lo, limit);
+  DAMKIT_CHECK_OK(out.status());
+  return *std::move(out);
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>> BTree::try_scan(
     std::string_view lo, size_t limit) {
   ++op_stats_.scans;
   std::vector<std::pair<std::string, std::string>> out;
   if (root_ == kInvalidNode || limit == 0) return out;
   uint64_t leaf_id;
-  NodeRef leaf = descend(lo, &leaf_id, nullptr);
+  NodeRef leaf;
+  DAMKIT_RETURN_IF_ERROR(descend(lo, &leaf_id, nullptr, &leaf));
   size_t i = leaf->lower_bound(lo);
   while (out.size() < limit) {
     if (i >= leaf->entry_count()) {
       const uint64_t next = leaf->next_leaf();
       if (next == kInvalidNode) break;
-      leaf = fetch(next);
+      StatusOr<NodeRef> next_leaf = try_fetch(next);
+      DAMKIT_RETURN_IF_ERROR(next_leaf.status());
+      leaf = *std::move(next_leaf);
       i = 0;
       continue;
     }
@@ -336,7 +402,9 @@ void BTree::bulk_load(
   root_ = below.nodes.front().second;
 }
 
-void BTree::flush() { pool_->flush_all(); }
+void BTree::flush() { DAMKIT_CHECK_OK(pool_->flush_all()); }
+
+Status BTree::try_flush() { return pool_->flush_all(); }
 
 void BTree::check_invariants() {
   if (root_ == kInvalidNode) {

@@ -55,16 +55,27 @@ class BTree {
 
   /// Insert or overwrite a key/value pair.
   void put(std::string_view key, std::string_view value);
+  /// Fallible put: non-OK means the tree was not modified, except that an
+  /// error during split propagation may leave a node transiently
+  /// overflowing — reads stay correct and a later put retries the split.
+  Status try_put(std::string_view key, std::string_view value);
 
   /// Point query; returns the value if present.
   std::optional<std::string> get(std::string_view key);
+  StatusOr<std::optional<std::string>> try_get(std::string_view key);
 
   /// Delete; returns true if the key existed.
   bool erase(std::string_view key);
+  /// Fallible erase. A non-OK status after the key was already removed
+  /// (rebalance IO failed) still reports the error; the tree stays valid
+  /// but may be transiently under-filled.
+  StatusOr<bool> try_erase(std::string_view key);
 
   /// Range query: up to `limit` pairs with key >= `lo`, in key order.
   std::vector<std::pair<std::string, std::string>> scan(std::string_view lo,
                                                         size_t limit);
+  StatusOr<std::vector<std::pair<std::string, std::string>>> try_scan(
+      std::string_view lo, size_t limit);
 
   /// Build the tree from `count` items in strictly ascending key order;
   /// item(i) supplies the i-th pair. The tree must be empty. Nodes are
@@ -75,6 +86,17 @@ class BTree {
 
   /// Write back all dirty nodes (checkpoint).
   void flush();
+  /// Fallible checkpoint: failed nodes stay dirty in the cache (no data
+  /// loss); calling again retries exactly the still-dirty set.
+  Status try_flush();
+
+  /// Retry policy for this tree's device IO (see blockdev::RetryPolicy).
+  void set_retry_policy(const blockdev::RetryPolicy& policy) {
+    store_.set_retry_policy(policy);
+  }
+  const blockdev::RetryCounters& retry_counters() const {
+    return store_.retry_counters();
+  }
 
   uint64_t size() const { return size_; }
   size_t height() const { return height_; }
@@ -97,7 +119,8 @@ class BTree {
  private:
   using NodeRef = std::shared_ptr<BTreeNode>;
 
-  NodeRef fetch(uint64_t id);
+  StatusOr<NodeRef> try_fetch(uint64_t id);
+  NodeRef fetch(uint64_t id);  // CHECK-on-error wrapper (invariant checks)
   void install_new(uint64_t id, NodeRef node);
   void mark_dirty(uint64_t id) { pool_->mark_dirty(id); }
 
@@ -107,13 +130,13 @@ class BTree {
     size_t child_idx;  // which child we descended into
   };
   /// Descend to the leaf for `key`, recording the internal path.
-  NodeRef descend(std::string_view key, uint64_t* leaf_id,
-                  std::vector<PathEntry>* path);
+  Status descend(std::string_view key, uint64_t* leaf_id,
+                 std::vector<PathEntry>* path, NodeRef* leaf);
 
-  void split_upward(std::vector<PathEntry>& path, uint64_t node_id,
-                    NodeRef node);
-  void rebalance_upward(std::vector<PathEntry>& path, uint64_t node_id,
-                        NodeRef node);
+  Status split_upward(std::vector<PathEntry>& path, uint64_t node_id,
+                      NodeRef node);
+  Status rebalance_upward(std::vector<PathEntry>& path, uint64_t node_id,
+                          NodeRef node);
 
   bool overflowing(const BTreeNode& n) const {
     return n.byte_size() > config_.node_bytes;

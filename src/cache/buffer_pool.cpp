@@ -1,5 +1,7 @@
 #include "cache/buffer_pool.h"
 
+#include <algorithm>
+
 namespace damkit::cache {
 
 BufferPool::BufferPool(uint64_t capacity_bytes, WritebackFn writeback)
@@ -40,9 +42,11 @@ void BufferPool::put(uint64_t id, std::shared_ptr<void> object,
   // transiently (a descent pins the parent while loading a child), but a
   // *resident* pinned set that alone exceeds M is a caller leak that would
   // silently invalidate every experiment run against this pool — abort.
+  // Entries kept resident only because their writeback failed are not
+  // caller leaks and are excluded from the abort condition.
   if (charged_bytes_ + charged_bytes > capacity_bytes_) {
     DAMKIT_CHECK_MSG(
-        charged_bytes_ <= capacity_bytes_,
+        charged_bytes_ - writeback_deferred_bytes_ <= capacity_bytes_,
         "BufferPool pinned set exceeds capacity: pinned="
             << charged_bytes_ << " > capacity=" << capacity_bytes_
             << " (callers hold too many references; incoming id=" << id
@@ -77,9 +81,13 @@ void BufferPool::erase(uint64_t id) {
   index_.erase(it);
 }
 
-void BufferPool::writeback(Entry& e) {
-  if (!e.dirty) return;
-  writeback_(e.id, e.object.get());
+Status BufferPool::writeback(Entry& e) {
+  if (!e.dirty) return Status();
+  const Status s = writeback_(e.id, e.object.get());
+  if (!s.ok()) {
+    ++stats_.writeback_failures;
+    return s;
+  }
   e.dirty = false;
   ++stats_.dirty_writebacks;
   DAMKIT_STATS_ONLY({
@@ -87,23 +95,47 @@ void BufferPool::writeback(Entry& e) {
       events_->emit({0, "cache", "writeback", e.id, e.bytes, 1});
     }
   });
+  return Status();
 }
 
-void BufferPool::flush_all() {
+Status BufferPool::flush_all() {
   if (batch_writeback_ != nullptr) {
     // Gather every dirty entry (MRU→LRU, a stable order) and hand them to
-    // the owner as one batch; the owner issues a single vectored write.
+    // the owner as one batch; the owner issues a single vectored write and
+    // reports which entries landed.
     std::vector<std::pair<uint64_t, void*>> dirty;
-    for (Entry& e : lru_) {
-      if (e.dirty) dirty.emplace_back(e.id, e.object.get());
+    std::vector<LruList::iterator> dirty_its;
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (it->dirty) {
+        dirty.emplace_back(it->id, it->object.get());
+        dirty_its.push_back(it);
+      }
     }
-    if (dirty.empty()) return;
-    batch_writeback_(dirty);
-    for (Entry& e : lru_) e.dirty = false;
-    stats_.dirty_writebacks += dirty.size();
-    return;
+    if (dirty.empty()) return Status();
+    std::vector<bool> written(dirty.size(), false);
+    const Status s = batch_writeback_(dirty, &written);
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      if (written[i]) {
+        dirty_its[i]->dirty = false;
+        ++stats_.dirty_writebacks;
+      } else {
+        ++stats_.writeback_failures;
+      }
+    }
+    DAMKIT_CHECK_MSG(s.ok() || !std::all_of(written.begin(), written.end(),
+                                            [](bool w) { return w; }),
+                     "batch writeback reported failure but marked every "
+                     "entry written");
+    return s;
   }
-  for (Entry& e : lru_) writeback(e);
+  // Per-entry path: keep going after a failure so one bad extent does not
+  // block the rest of the checkpoint; report the first failure.
+  Status first_failure;
+  for (Entry& e : lru_) {
+    const Status s = writeback(e);
+    if (!s.ok() && first_failure.ok()) first_failure = s;
+  }
+  return first_failure;
 }
 
 uint64_t BufferPool::pinned_bytes() const {
@@ -114,17 +146,20 @@ uint64_t BufferPool::pinned_bytes() const {
   return total;
 }
 
-void BufferPool::clear() {
-  flush_all();
+Status BufferPool::clear() {
+  DAMKIT_RETURN_IF_ERROR(flush_all());
   for (const Entry& e : lru_) {
     DAMKIT_CHECK_MSG(!pinned(e), "clear() with pinned entry id=" << e.id);
   }
   lru_.clear();
   index_.clear();
   charged_bytes_ = 0;
+  writeback_deferred_bytes_ = 0;
+  return Status();
 }
 
 void BufferPool::make_room(uint64_t incoming_bytes) {
+  writeback_deferred_bytes_ = 0;
   if (charged_bytes_ + incoming_bytes <= capacity_bytes_) return;
   // Walk from the cold end, skipping pinned entries. If everything is
   // pinned the pool runs over budget — by design it never deadlocks; the
@@ -138,7 +173,12 @@ void BufferPool::make_room(uint64_t incoming_bytes) {
       pinned_seen += it->bytes;
       continue;
     }
-    writeback(*it);
+    if (!writeback(*it).ok()) {
+      // The pool copy is now the only good one: keep the entry dirty and
+      // resident, try the next victim. A later eviction or flush retries.
+      writeback_deferred_bytes_ += it->bytes;
+      continue;
+    }
     charged_bytes_ -= it->bytes;
     index_.erase(it->id);
     DAMKIT_STATS_ONLY({
@@ -162,6 +202,7 @@ void BufferPool::export_metrics(stats::MetricsRegistry& reg,
   reg.add(p + "misses", st.misses);
   reg.add(p + "evictions", st.evictions);
   reg.add(p + "dirty_writebacks", st.dirty_writebacks);
+  reg.add(p + "writeback_failures", st.writeback_failures);
   reg.add(p + "inserted", st.inserted);
   reg.set(p + "hit_rate", st.hit_rate());
   reg.set(p + "capacity_bytes", static_cast<double>(capacity_bytes_));

@@ -30,6 +30,7 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  uint64_t writeback_failures = 0;  // failed attempts; entry stays dirty
   uint64_t inserted = 0;
   uint64_t pinned_bytes = 0;  // snapshot, refreshed by stats()
   uint64_t charged_bytes_hwm = 0;  // high-water of charged bytes
@@ -49,14 +50,22 @@ struct BufferPoolStats {
 class BufferPool {
  public:
   /// Writeback(id, object): owner must serialize and write the object to
-  /// its backing store, charging the IO to its IoContext.
-  using WritebackFn = std::function<void(uint64_t id, void* object)>;
+  /// its backing store, charging the IO to its IoContext. A non-OK return
+  /// means the object did NOT durably land; the pool keeps the entry dirty
+  /// and resident, so no data is lost — the write is retried on the next
+  /// eviction attempt or flush_all().
+  using WritebackFn = std::function<Status(uint64_t id, void* object)>;
 
   /// Vectored writeback for checkpoints: the owner serializes every listed
   /// object and writes them as ONE device batch (NodeStore::write_nodes),
-  /// so a flush cascade pays the slowest write instead of the sum.
+  /// so a flush cascade pays the slowest write instead of the sum. The
+  /// owner must set (*written)[i] for every entry that durably landed —
+  /// the pool clears dirty bits only for those — and return the first
+  /// failure (or OK). `*written` arrives sized to `dirty.size()`, all
+  /// false.
   using BatchWritebackFn =
-      std::function<void(std::span<const std::pair<uint64_t, void*>> dirty)>;
+      std::function<Status(std::span<const std::pair<uint64_t, void*>> dirty,
+                           std::vector<bool>* written)>;
 
   BufferPool(uint64_t capacity_bytes, WritebackFn writeback);
   ~BufferPool();
@@ -98,10 +107,14 @@ class BufferPool {
   }
 
   /// Write back every dirty entry (checkpoint); entries stay resident.
-  void flush_all();
+  /// On failure the entries whose writeback failed stay dirty (their data
+  /// is intact in the pool) and the first failure is returned — calling
+  /// again retries exactly the still-dirty set.
+  Status flush_all();
 
   /// Write back and drop everything evictable; CHECKs nothing is pinned.
-  void clear();
+  /// On writeback failure nothing is dropped and the failure is returned.
+  Status clear();
 
   bool contains(uint64_t id) const { return index_.count(id) > 0; }
   uint64_t charged_bytes() const { return charged_bytes_; }
@@ -139,8 +152,12 @@ class BufferPool {
   using LruList = std::list<Entry>;
 
   bool pinned(const Entry& e) const { return e.object.use_count() > 1; }
-  void writeback(Entry& e);
+  /// Write back `e` if dirty. On failure the entry stays dirty (and must
+  /// stay resident — its pool copy is the only authoritative one).
+  Status writeback(Entry& e);
   /// Evict cold unpinned entries until the budget fits `incoming_bytes`.
+  /// Entries whose writeback fails are skipped (kept dirty + resident) and
+  /// accounted in writeback_deferred_bytes_.
   void make_room(uint64_t incoming_bytes);
 
   uint64_t capacity_bytes_;
@@ -149,6 +166,10 @@ class BufferPool {
   LruList lru_;  // front = MRU, back = LRU victim candidate
   std::unordered_map<uint64_t, LruList::iterator> index_;
   uint64_t charged_bytes_ = 0;
+  // Bytes the latest make_room() could not evict because their writeback
+  // failed: unevictable through no fault of the caller, so put()'s
+  // pinned-leak abort excludes them from the resident pinned set.
+  uint64_t writeback_deferred_bytes_ = 0;
   mutable BufferPoolStats stats_;
   stats::TraceBuffer* events_ = nullptr;
 };

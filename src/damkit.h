@@ -31,6 +31,7 @@
 #include "pdam_tree/veb_layout.h"      // IWYU pragma: export
 #include "sim/closed_loop.h"           // IWYU pragma: export
 #include "sim/device.h"                // IWYU pragma: export
+#include "sim/fault_injection.h"       // IWYU pragma: export
 #include "sim/hdd.h"                   // IWYU pragma: export
 #include "sim/profiles.h"              // IWYU pragma: export
 #include "sim/scheduler.h"             // IWYU pragma: export

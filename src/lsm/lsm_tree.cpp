@@ -21,40 +21,53 @@ LsmTree::LsmTree(sim::Device& dev, sim::IoContext& io, LsmConfig config)
 LsmTree::~LsmTree() = default;
 
 void LsmTree::put(std::string_view key, std::string_view value) {
+  DAMKIT_CHECK_OK(try_put(key, value));
+}
+
+void LsmTree::erase(std::string_view key) { DAMKIT_CHECK_OK(try_erase(key)); }
+
+Status LsmTree::try_put(std::string_view key, std::string_view value) {
   ++stats_.puts;
   stats_.logical_bytes_written += key.size() + value.size();
   mem_.put(key, value);
   if (mem_.approximate_bytes() >= config_.memtable_bytes) {
-    flush_memtable();
-    maybe_compact();
+    DAMKIT_RETURN_IF_ERROR(flush_memtable());
+    return maybe_compact();
   }
+  return Status();
 }
 
-void LsmTree::erase(std::string_view key) {
+Status LsmTree::try_erase(std::string_view key) {
   ++stats_.erases;
   stats_.logical_bytes_written += key.size();
   mem_.erase(key);
   if (mem_.approximate_bytes() >= config_.memtable_bytes) {
-    flush_memtable();
-    maybe_compact();
+    DAMKIT_RETURN_IF_ERROR(flush_memtable());
+    return maybe_compact();
   }
+  return Status();
 }
 
-void LsmTree::flush() {
-  if (!mem_.empty()) {
-    flush_memtable();
-    maybe_compact();
-  }
+void LsmTree::flush() { DAMKIT_CHECK_OK(try_flush()); }
+
+Status LsmTree::try_flush() {
+  if (mem_.empty()) return Status();
+  DAMKIT_RETURN_IF_ERROR(flush_memtable());
+  return maybe_compact();
 }
 
-void LsmTree::flush_memtable() {
+Status LsmTree::flush_memtable() {
   const uint64_t mem_bytes = mem_.approximate_bytes();
   SSTableBuilder builder(*dev_, *io_, arena_, config_.block_bytes,
                          config_.bloom_bits_per_key, next_sequence_++);
   for (const auto& [key, slot] : mem_.entries()) {
     builder.add(Entry{key, slot.value, slot.tombstone});
   }
-  SSTableRef table = builder.finish();
+  // On give-up nothing was installed (the builder freed its extent) and
+  // the memtable stays authoritative; the next threshold crossing retries.
+  StatusOr<SSTableRef> table_or = builder.try_finish(retry_, &retry_counters_);
+  DAMKIT_RETURN_IF_ERROR(table_or.status());
+  SSTableRef table = *std::move(table_or);
   uint64_t table_bytes = 0;
   if (table != nullptr) {
     table_bytes = table->total_bytes();
@@ -67,6 +80,7 @@ void LsmTree::flush_memtable() {
     events_->emit({io_->now(), "lsm", "memtable_flush", 0, mem_bytes,
                    table_bytes});
   });
+  return Status();
 }
 
 uint64_t LsmTree::level_capacity(size_t level) const {
@@ -90,35 +104,36 @@ std::vector<size_t> LsmTree::level_table_counts() const {
   return counts;
 }
 
-void LsmTree::maybe_compact() {
+Status LsmTree::maybe_compact() {
   if (config_.style == CompactionStyle::kTiered) {
     for (bool changed = true; changed;) {
       changed = false;
       for (size_t i = 0; i < levels_.size(); ++i) {
         if (levels_[i].size() > config_.level0_limit) {
-          compact_tier(i);
+          DAMKIT_RETURN_IF_ERROR(compact_tier(i));
           changed = true;
         }
       }
     }
-    return;
+    return Status();
   }
   for (bool changed = true; changed;) {
     changed = false;
     if (levels_[0].size() > config_.level0_limit) {
-      compact_level0();
+      DAMKIT_RETURN_IF_ERROR(compact_level0());
       changed = true;
     }
     for (size_t i = 1; i < levels_.size(); ++i) {
       if (!levels_[i].empty() && level_bytes(i) > level_capacity(i)) {
-        compact_level(i);
+        DAMKIT_RETURN_IF_ERROR(compact_level(i));
         changed = true;
       }
     }
   }
+  return Status();
 }
 
-void LsmTree::compact_tier(size_t level) {
+Status LsmTree::compact_tier(size_t level) {
   if (level + 1 >= levels_.size()) levels_.resize(level + 2);
   // Merge the whole tier; newest-first order is already maintained.
   std::vector<SSTableRef> inputs = levels_[level];
@@ -128,17 +143,62 @@ void LsmTree::compact_tier(size_t level) {
   }
   // One output table per merge: in tiered compaction a run must stay a
   // single unit, or run counting (and with it termination) breaks.
-  std::vector<SSTableRef> outputs =
+  StatusOr<std::vector<SSTableRef>> outputs_or =
       merge_tables(inputs, bottom, level, /*split_output=*/false);
+  DAMKIT_RETURN_IF_ERROR(outputs_or.status());
+  std::vector<SSTableRef> outputs = *std::move(outputs_or);
   for (const auto& t : levels_[level]) t->release();
   levels_[level].clear();
   // The merged run lands at the *front* of the next tier (it is newer
   // than everything already there).
   levels_[level + 1].insert(levels_[level + 1].begin(), outputs.begin(),
                             outputs.end());
+  return Status();
 }
 
-std::vector<SSTableRef> LsmTree::merge_tables(
+Status LsmTree::charge_compaction_batches(std::vector<sim::IoRequest> reqs) {
+  std::vector<sim::IoCompletion> completions;
+  std::vector<Status> per_io;
+  const size_t width = std::max<size_t>(config_.compaction_batch_ios, 1);
+  const uint32_t max_attempts = std::max<uint32_t>(retry_.max_attempts, 1);
+  for (size_t i = 0; i < reqs.size(); i += width) {
+    const size_t n = std::min(width, reqs.size() - i);
+    std::vector<sim::IoRequest> batch(
+        reqs.begin() + static_cast<ptrdiff_t>(i),
+        reqs.begin() + static_cast<ptrdiff_t>(i + n));
+    ++stats_.compaction_batches;
+    stats_.compaction_batched_ios += batch.size();
+    double backoff = static_cast<double>(retry_.backoff_ns);
+    for (uint32_t attempt = 1;; ++attempt) {
+      DAMKIT_RETURN_IF_ERROR(
+          io_->submit_batch_checked(batch, &completions, &per_io));
+      // Re-batch only the transiently-failed requests; anything that
+      // exhausted its attempts (or failed non-transiently) abandons the
+      // compaction.
+      std::vector<sim::IoRequest> failed;
+      Status abandoned;
+      for (size_t j = 0; j < batch.size(); ++j) {
+        if (per_io[j].ok()) continue;
+        if (per_io[j].code() == StatusCode::kUnavailable &&
+            attempt < max_attempts) {
+          failed.push_back(batch[j]);
+        } else {
+          ++retry_counters_.give_ups;
+          if (abandoned.ok()) abandoned = per_io[j];
+        }
+      }
+      DAMKIT_RETURN_IF_ERROR(abandoned);
+      if (failed.empty()) break;
+      io_->spend(static_cast<sim::SimTime>(backoff));
+      backoff *= retry_.backoff_multiplier;
+      retry_counters_.retries += failed.size();
+      batch = std::move(failed);
+    }
+  }
+  return Status();
+}
+
+StatusOr<std::vector<SSTableRef>> LsmTree::merge_tables(
     const std::vector<SSTableRef>& inputs, bool bottom, size_t source_level,
     bool split_output) {
   ++stats_.compactions;
@@ -166,21 +226,15 @@ std::vector<SSTableRef> LsmTree::merge_tables(
       total += per_input.back().size();
     }
     if (total > 1) {
-      std::vector<sim::IoRequest> batch;
-      batch.reserve(config_.compaction_batch_ios);
-      for (size_t round = 0; total > 0; ++round) {
+      std::vector<sim::IoRequest> interleaved;
+      interleaved.reserve(total);
+      for (size_t round = 0; interleaved.size() < total; ++round) {
         for (const auto& runs : per_input) {
-          if (round >= runs.size()) continue;
-          batch.push_back(runs[round]);
-          --total;
-          if (batch.size() == config_.compaction_batch_ios || total == 0) {
-            ++stats_.compaction_batches;
-            stats_.compaction_batched_ios += batch.size();
-            io_->submit_batch(batch);
-            batch.clear();
-          }
+          if (round < runs.size()) interleaved.push_back(runs[round]);
         }
       }
+      DAMKIT_RETURN_IF_ERROR(
+          charge_compaction_batches(std::move(interleaved)));
       precharged = true;
     }
   }
@@ -191,18 +245,30 @@ std::vector<SSTableRef> LsmTree::merge_tables(
     size_t priority;
   };
   std::vector<Cursor> cursors;
+  std::vector<SSTableRef> outputs;
+  // Transactional failure: on a non-OK status, release every output
+  // written so far and leave the inputs untouched, so the pre-merge tree
+  // state stays authoritative. Passes OK through untouched.
+  const auto abort_merge = [&](const Status& s) {
+    if (!s.ok()) {
+      for (const auto& t : outputs) t->release();
+      outputs.clear();
+    }
+    return s;
+  };
+
   cursors.reserve(inputs.size());
   for (size_t i = 0; i < inputs.size(); ++i) {
-    SSTable::Iterator it =
-        inputs[i]->seek("", *io_, config_.scan_readahead_blocks,
-                        /*charge_io=*/!precharged);
+    SSTable::Iterator it = inputs[i]->seek(
+        "", *io_, config_.scan_readahead_blocks,
+        /*charge_io=*/!precharged, &retry_, &retry_counters_);
+    if (!it.valid()) DAMKIT_RETURN_IF_ERROR(abort_merge(it.status()));
     if (it.valid()) cursors.push_back({std::move(it), i});
   }
 
-  std::vector<SSTableRef> outputs;
   std::unique_ptr<SSTableBuilder> builder;
-  auto emit = [&](Entry e) {
-    if (bottom && e.tombstone) return;  // tombstones die at the bottom
+  auto emit = [&](Entry e) -> Status {
+    if (bottom && e.tombstone) return Status();  // tombstones die at bottom
     if (!builder) {
       builder = std::make_unique<SSTableBuilder>(
           *dev_, *io_, arena_, config_.block_bytes,
@@ -211,9 +277,12 @@ std::vector<SSTableRef> LsmTree::merge_tables(
     builder->add(std::move(e));
     if (split_output &&
         builder->data_bytes() >= config_.sstable_target_bytes) {
-      outputs.push_back(builder->finish());
+      StatusOr<SSTableRef> table = builder->try_finish(retry_, &retry_counters_);
+      DAMKIT_RETURN_IF_ERROR(table.status());
+      outputs.push_back(*std::move(table));
       builder.reset();
     }
+    return Status();
   };
 
   while (!cursors.empty()) {
@@ -232,17 +301,23 @@ std::vector<SSTableRef> LsmTree::merge_tables(
       if (kv::compare(cursors[i].it.entry().key, winner.key) == 0) {
         cursors[i].it.next();
         if (!cursors[i].it.valid()) {
+          // An exhausted cursor is fine; one that stopped on a read
+          // give-up aborts the merge (silently dropping its remaining
+          // entries would lose data).
+          DAMKIT_RETURN_IF_ERROR(abort_merge(cursors[i].it.status()));
           cursors.erase(cursors.begin() + static_cast<ptrdiff_t>(i));
           continue;
         }
       }
       ++i;
     }
-    emit(std::move(winner));
+    const Status emitted = emit(std::move(winner));
+    DAMKIT_RETURN_IF_ERROR(abort_merge(emitted));
   }
   if (builder) {
-    SSTableRef last = builder->finish();
-    if (last != nullptr) outputs.push_back(std::move(last));
+    StatusOr<SSTableRef> last = builder->try_finish(retry_, &retry_counters_);
+    DAMKIT_RETURN_IF_ERROR(abort_merge(last.status()));
+    if (*last != nullptr) outputs.push_back(*std::move(last));
   }
   uint64_t bytes_out = 0;
   for (const auto& t : outputs) bytes_out += t->total_bytes();
@@ -267,7 +342,7 @@ void LsmTree::install_level1plus(size_t level, std::vector<SSTableRef> added,
   });
 }
 
-void LsmTree::compact_level0() {
+Status LsmTree::compact_level0() {
   // All of L0 plus every overlapping L1 table.
   std::vector<SSTableRef> inputs = levels_[0];  // newest first already
   std::string lo = inputs.front()->min_key();
@@ -288,16 +363,18 @@ void LsmTree::compact_level0() {
   }
   // Remaining (non-overlapped) L1 tables also shadow deeper data; only
   // drop tombstones if L1 is the lowest level, which `bottom` captures.
-  std::vector<SSTableRef> outputs = merge_tables(inputs, bottom,
-                                                 /*source_level=*/0);
+  StatusOr<std::vector<SSTableRef>> outputs_or =
+      merge_tables(inputs, bottom, /*source_level=*/0);
+  DAMKIT_RETURN_IF_ERROR(outputs_or.status());
 
   for (const auto& t : levels_[0]) t->release();
   levels_[0].clear();
   for (const auto& t : overlapped) t->release();
-  install_level1plus(1, std::move(outputs), overlapped);
+  install_level1plus(1, *std::move(outputs_or), overlapped);
+  return Status();
 }
 
-void LsmTree::compact_level(size_t level) {
+Status LsmTree::compact_level(size_t level) {
   DAMKIT_CHECK(level >= 1);
   if (level + 1 >= levels_.size()) levels_.resize(level + 2);
   Level& lv = levels_[level];
@@ -318,58 +395,74 @@ void LsmTree::compact_level(size_t level) {
   for (size_t i = level + 2; i < levels_.size(); ++i) {
     if (!levels_[i].empty()) bottom = false;
   }
-  std::vector<SSTableRef> outputs = merge_tables(inputs, bottom, level);
+  StatusOr<std::vector<SSTableRef>> outputs_or =
+      merge_tables(inputs, bottom, level);
+  DAMKIT_RETURN_IF_ERROR(outputs_or.status());
 
   const auto it = std::find(lv.begin(), lv.end(), victim);
   DAMKIT_CHECK(it != lv.end());
   lv.erase(it);
   victim->release();
   for (const auto& t : overlapped) t->release();
-  install_level1plus(level + 1, std::move(outputs), overlapped);
+  install_level1plus(level + 1, *std::move(outputs_or), overlapped);
+  return Status();
 }
 
 std::optional<std::string> LsmTree::get(std::string_view key) {
+  StatusOr<std::optional<std::string>> value = try_get(key);
+  DAMKIT_CHECK_OK(value.status());
+  return *std::move(value);
+}
+
+StatusOr<std::optional<std::string>> LsmTree::try_get(std::string_view key) {
   ++stats_.gets;
   if (const auto hit = mem_.get(key)) {
-    if (hit->tombstone) return std::nullopt;
-    return hit->value;
+    if (hit->tombstone) return std::optional<std::string>();
+    return std::optional<std::string>(hit->value);
   }
   // Probe one table: returns the resolved value (or deletion) if found.
   enum class Probe { kMiss, kFound, kDeleted };
   std::string found;
-  const auto probe = [&](const SSTableRef& t) {
+  const auto probe = [&](const SSTableRef& t) -> StatusOr<Probe> {
     if (!t->overlaps(key, key)) return Probe::kMiss;
     ++stats_.table_probes;
     if (!t->may_contain(key)) {
       ++stats_.bloom_negative;
       return Probe::kMiss;
     }
-    const auto hit = t->get(key, *io_);
-    if (!hit.has_value()) return Probe::kMiss;
-    if (hit->tombstone) return Probe::kDeleted;
-    found = hit->value;
+    StatusOr<std::optional<Entry>> hit =
+        t->try_get(key, *io_, retry_, &retry_counters_);
+    DAMKIT_RETURN_IF_ERROR(hit.status());
+    if (!hit->has_value()) return Probe::kMiss;
+    if ((*hit)->tombstone) return Probe::kDeleted;
+    found = (*hit)->value;
     return Probe::kFound;
   };
+  const std::optional<std::string> miss;
 
   if (config_.style == CompactionStyle::kTiered) {
     // Every tier may hold overlapping runs: probe all, newest first.
     for (const auto& level : levels_) {
       for (const auto& t : level) {
-        switch (probe(t)) {
-          case Probe::kFound: return found;
-          case Probe::kDeleted: return std::nullopt;
+        StatusOr<Probe> p = probe(t);
+        DAMKIT_RETURN_IF_ERROR(p.status());
+        switch (*p) {
+          case Probe::kFound: return std::optional<std::string>(found);
+          case Probe::kDeleted: return miss;
           case Probe::kMiss: break;
         }
       }
     }
-    return std::nullopt;
+    return miss;
   }
 
   // L0: newest first, may overlap.
   for (const auto& t : levels_[0]) {
-    switch (probe(t)) {
-      case Probe::kFound: return found;
-      case Probe::kDeleted: return std::nullopt;
+    StatusOr<Probe> p = probe(t);
+    DAMKIT_RETURN_IF_ERROR(p.status());
+    switch (*p) {
+      case Probe::kFound: return std::optional<std::string>(found);
+      case Probe::kDeleted: return miss;
       case Probe::kMiss: break;
     }
   }
@@ -382,16 +475,26 @@ std::optional<std::string> LsmTree::get(std::string_view key) {
           return kv::compare(k, t->min_key()) < 0;
         });
     if (it == lv.begin()) continue;
-    switch (probe(*(it - 1))) {
-      case Probe::kFound: return found;
-      case Probe::kDeleted: return std::nullopt;
+    StatusOr<Probe> p = probe(*(it - 1));
+    DAMKIT_RETURN_IF_ERROR(p.status());
+    switch (*p) {
+      case Probe::kFound: return std::optional<std::string>(found);
+      case Probe::kDeleted: return miss;
       case Probe::kMiss: break;
     }
   }
-  return std::nullopt;
+  return miss;
 }
 
 std::vector<std::pair<std::string, std::string>> LsmTree::scan(
+    std::string_view lo, size_t limit) {
+  StatusOr<std::vector<std::pair<std::string, std::string>>> out =
+      try_scan(lo, limit);
+  DAMKIT_CHECK_OK(out.status());
+  return *std::move(out);
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>> LsmTree::try_scan(
     std::string_view lo, size_t limit) {
   ++stats_.scans;
   std::vector<std::pair<std::string, std::string>> out;
@@ -435,7 +538,9 @@ std::vector<std::pair<std::string, std::string>> LsmTree::scan(
       s.priority = priority++;
       if (kv::compare(t->max_key(), lo) >= 0) {
         s.it = std::make_unique<SSTable::Iterator>(
-            t->seek(lo, *io_, config_.scan_readahead_blocks));
+            t->seek(lo, *io_, config_.scan_readahead_blocks,
+                    /*charge_io=*/true, &retry_, &retry_counters_));
+        DAMKIT_RETURN_IF_ERROR(s.it->status());
         if (s.it->valid()) sources.push_back(std::move(s));
       }
     }
@@ -451,23 +556,31 @@ std::vector<std::pair<std::string, std::string>> LsmTree::scan(
     if (idx == lv.size()) continue;
     s.table_idx = idx;
     s.it = std::make_unique<SSTable::Iterator>(
-        lv[idx]->seek(lo, *io_, config_.scan_readahead_blocks));
+        lv[idx]->seek(lo, *io_, config_.scan_readahead_blocks,
+                      /*charge_io=*/true, &retry_, &retry_counters_));
+    DAMKIT_RETURN_IF_ERROR(s.it->status());
     if (s.it->valid()) sources.push_back(std::move(s));
   }
 
-  auto advance = [&](Source& s) {
+  auto advance = [&](Source& s) -> Status {
     if (s.mem != nullptr) {
       ++s.mem_it;
-      return;
+      return Status();
     }
     s.it->next();
+    DAMKIT_RETURN_IF_ERROR(s.it->status());
     // A level run continues into the next table.
     while (s.level != nullptr && !s.it->valid() &&
            s.table_idx + 1 < s.level->size()) {
       ++s.table_idx;
       s.it = std::make_unique<SSTable::Iterator>(
-          (*s.level)[s.table_idx]->seek(lo, *io_, config_.scan_readahead_blocks));
+          (*s.level)[s.table_idx]->seek(lo, *io_,
+                                        config_.scan_readahead_blocks,
+                                        /*charge_io=*/true, &retry_,
+                                        &retry_counters_));
+      DAMKIT_RETURN_IF_ERROR(s.it->status());
     }
+    return Status();
   };
 
   while (out.size() < limit) {
@@ -500,7 +613,9 @@ std::vector<std::pair<std::string, std::string>> LsmTree::scan(
     }
     // Skip every shadowed version of this key.
     for (auto& s : sources) {
-      while (s.valid() && kv::compare(s.key(), key) == 0) advance(s);
+      while (s.valid() && kv::compare(s.key(), key) == 0) {
+        DAMKIT_RETURN_IF_ERROR(advance(s));
+      }
     }
     if (!tombstone) out.emplace_back(key, std::move(value));
   }
@@ -524,6 +639,8 @@ void LsmTree::export_metrics(stats::MetricsRegistry& reg,
   reg.add(p + "logical_bytes_written", stats_.logical_bytes_written);
   reg.add(p + "bloom_negative", stats_.bloom_negative);
   reg.add(p + "table_probes", stats_.table_probes);
+  reg.add(p + "io_retries", retry_counters_.retries);
+  reg.add(p + "io_give_ups", retry_counters_.give_ups);
   for (size_t i = 0; i < compactions_by_level_.size(); ++i) {
     reg.add(p + "compactions.level" + std::to_string(i),
             compactions_by_level_[i]);

@@ -83,14 +83,34 @@ class LsmTree {
   void put(std::string_view key, std::string_view value);
   void erase(std::string_view key);
   std::optional<std::string> get(std::string_view key);
+  /// Fallible variants: a non-OK status means some device IO gave up after
+  /// retries. Mutations are applied to the memtable before any IO, so a
+  /// failed put/erase is still durable in memory; a failed memtable flush
+  /// or compaction leaves the previous tables (and the memtable) intact
+  /// and is retried by the next operation that crosses the threshold.
+  Status try_put(std::string_view key, std::string_view value);
+  Status try_erase(std::string_view key);
+  StatusOr<std::optional<std::string>> try_get(std::string_view key);
 
   /// Up to `limit` live pairs with key >= lo, in key order, merged across
   /// the memtable and every level (newest version wins).
   std::vector<std::pair<std::string, std::string>> scan(std::string_view lo,
                                                         size_t limit);
+  StatusOr<std::vector<std::pair<std::string, std::string>>> try_scan(
+      std::string_view lo, size_t limit);
 
   /// Force the memtable to disk (and any due compactions).
   void flush();
+  Status try_flush();
+
+  /// Retry policy for this tree's device IO (see blockdev::RetryPolicy).
+  void set_retry_policy(const blockdev::RetryPolicy& policy) {
+    retry_ = policy;
+  }
+  const blockdev::RetryPolicy& retry_policy() const { return retry_; }
+  const blockdev::RetryCounters& retry_counters() const {
+    return retry_counters_;
+  }
 
   /// Levels' table counts, for introspection ([0] = L0).
   std::vector<size_t> level_table_counts() const;
@@ -123,19 +143,24 @@ class LsmTree {
  private:
   using Level = std::vector<SSTableRef>;  // L0: newest first; L1+: by key
 
-  void flush_memtable();
-  void maybe_compact();
-  void compact_level0();
-  void compact_level(size_t level);
+  Status flush_memtable();
+  Status maybe_compact();
+  Status compact_level0();
+  Status compact_level(size_t level);
   /// Tiered: merge every run of `level` into level+1 wholesale.
-  void compact_tier(size_t level);
+  Status compact_tier(size_t level);
   /// Merge `inputs` (newest first) into new tables, splitting at the
   /// target size when `split_output` (leveled) or producing one table per
   /// merge (tiered: a run is one table). `bottom` drops tombstones.
   /// `source_level` attributes the compaction for per-level counts.
-  std::vector<SSTableRef> merge_tables(const std::vector<SSTableRef>& inputs,
-                                       bool bottom, size_t source_level,
-                                       bool split_output = true);
+  /// Transactional: on a non-OK return every output written so far has
+  /// been released and the inputs are untouched.
+  StatusOr<std::vector<SSTableRef>> merge_tables(
+      const std::vector<SSTableRef>& inputs, bool bottom, size_t source_level,
+      bool split_output = true);
+  /// Charge `reqs` as device batches of `compaction_batch_ios`, retrying
+  /// failed requests under the retry policy.
+  Status charge_compaction_batches(std::vector<sim::IoRequest> reqs);
   uint64_t level_capacity(size_t level) const;
   void install_level1plus(size_t level, std::vector<SSTableRef> added,
                           const std::vector<SSTableRef>& removed);
@@ -148,6 +173,8 @@ class LsmTree {
   std::vector<Level> levels_;
   uint64_t next_sequence_ = 1;
   size_t compact_cursor_ = 0;  // round-robin pick within a level
+  blockdev::RetryPolicy retry_;
+  blockdev::RetryCounters retry_counters_;
   LsmStats stats_;
   std::vector<uint64_t> compactions_by_level_;  // index = source level
   stats::TraceBuffer* events_ = nullptr;

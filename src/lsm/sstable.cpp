@@ -71,9 +71,16 @@ void SSTableBuilder::flush_block() {
 }
 
 SSTableRef SSTableBuilder::finish() {
+  StatusOr<SSTableRef> table = try_finish(blockdev::RetryPolicy{}, nullptr);
+  DAMKIT_CHECK_OK(table.status());
+  return *std::move(table);
+}
+
+StatusOr<SSTableRef> SSTableBuilder::try_finish(
+    const blockdev::RetryPolicy& policy, blockdev::RetryCounters* counters) {
   DAMKIT_CHECK(!finished_);
   finished_ = true;
-  if (count_ == 0) return nullptr;
+  if (count_ == 0) return SSTableRef(nullptr);
   flush_block();
 
   auto table = std::shared_ptr<SSTable>(new SSTable());
@@ -103,11 +110,23 @@ SSTableRef SSTableBuilder::finish() {
   }
   table->total_bytes_ = data_.size() + meta_bytes;
 
-  table->device_offset_ = arena_->allocate(table->total_bytes_);
+  StatusOr<uint64_t> offset = arena_->try_allocate(table->total_bytes_);
+  DAMKIT_RETURN_IF_ERROR(offset.status());
+  table->device_offset_ = *offset;
   // One streaming write: data payload followed by (opaque) metadata pad.
+  // A torn write is repaired by rewriting the extent in full, so
+  // kCorruption is retryable here.
   data_.resize(table->total_bytes_);
-  io_->write(table->device_offset_, data_);
-  return table;
+  const Status written = blockdev::with_retries(
+      *io_, policy, counters, /*retry_corruption=*/true,
+      [&] { return io_->write_checked(table->device_offset_, data_); });
+  if (!written.ok()) {
+    // No table came into existence: hand the extent back. The caller must
+    // keep the source data (e.g. the memtable) authoritative.
+    arena_->free(table->device_offset_, table->total_bytes_);
+    return written;
+  }
+  return SSTableRef(std::move(table));
 }
 
 SSTable::~SSTable() = default;
@@ -125,51 +144,80 @@ bool SSTable::overlaps(std::string_view lo, std::string_view hi) const {
 
 std::vector<Entry> SSTable::read_block(size_t block_idx,
                                        sim::IoContext& io) const {
+  std::vector<Entry> entries;
+  DAMKIT_CHECK_OK(try_read_block(block_idx, io, blockdev::RetryPolicy{},
+                                 nullptr, &entries));
+  return entries;
+}
+
+Status SSTable::try_read_block(size_t block_idx, sim::IoContext& io,
+                               const blockdev::RetryPolicy& policy,
+                               blockdev::RetryCounters* counters,
+                               std::vector<Entry>* out) const {
   DAMKIT_CHECK(block_idx < index_.size());
   DAMKIT_CHECK_MSG(!released_, "read from released SSTable");
   const IndexEntry& ie = index_[block_idx];
   std::vector<uint8_t> buf(ie.length);
-  io.read(device_offset_ + ie.offset, buf);
+  DAMKIT_RETURN_IF_ERROR(blockdev::with_retries(
+      io, policy, counters, /*retry_corruption=*/false, [&] {
+        return io.read_checked(device_offset_ + ie.offset, buf);
+      }));
   kv::Reader r(buf);
-  std::vector<Entry> entries;
-  entries.reserve(ie.entries);
-  for (uint32_t i = 0; i < ie.entries; ++i) entries.push_back(decode_entry(r));
-  return entries;
+  out->clear();
+  out->reserve(ie.entries);
+  for (uint32_t i = 0; i < ie.entries; ++i) out->push_back(decode_entry(r));
+  return Status();
 }
 
 std::optional<Entry> SSTable::get(std::string_view key,
                                   sim::IoContext& io) const {
+  StatusOr<std::optional<Entry>> hit =
+      try_get(key, io, blockdev::RetryPolicy{}, nullptr);
+  DAMKIT_CHECK_OK(hit.status());
+  return *std::move(hit);
+}
+
+StatusOr<std::optional<Entry>> SSTable::try_get(
+    std::string_view key, sim::IoContext& io,
+    const blockdev::RetryPolicy& policy,
+    blockdev::RetryCounters* counters) const {
   if (kv::compare(key, min_key_) < 0 || kv::compare(key, max_key_) > 0) {
-    return std::nullopt;
+    return std::optional<Entry>();
   }
-  if (!bloom_.may_contain(key)) return std::nullopt;
+  if (!bloom_.may_contain(key)) return std::optional<Entry>();
   // Last block whose first key <= key.
   const auto it = std::upper_bound(
       index_.begin(), index_.end(), key,
       [](std::string_view k, const IndexEntry& e) {
         return kv::compare(k, e.first_key) < 0;
       });
-  if (it == index_.begin()) return std::nullopt;
+  if (it == index_.begin()) return std::optional<Entry>();
   const size_t block_idx = static_cast<size_t>(it - index_.begin()) - 1;
-  const std::vector<Entry> entries = read_block(block_idx, io);
+  std::vector<Entry> entries;
+  DAMKIT_RETURN_IF_ERROR(
+      try_read_block(block_idx, io, policy, counters, &entries));
   const auto pos = std::lower_bound(
       entries.begin(), entries.end(), key,
       [](const Entry& e, std::string_view k) {
         return kv::compare(e.key, k) < 0;
       });
   if (pos == entries.end() || kv::compare(pos->key, key) != 0) {
-    return std::nullopt;
+    return std::optional<Entry>();
   }
-  return *pos;
+  return std::optional<Entry>(*pos);
 }
 
 SSTable::Iterator::Iterator(const SSTable* table, sim::IoContext* io,
                             std::string_view lo, size_t readahead_blocks,
-                            bool charge_io)
+                            bool charge_io,
+                            const blockdev::RetryPolicy* policy,
+                            blockdev::RetryCounters* counters)
     : table_(table),
       io_(io),
       readahead_(std::max<size_t>(readahead_blocks, 1)),
-      charge_io_(charge_io) {
+      charge_io_(charge_io),
+      policy_(policy),
+      counters_(counters) {
   // First block that could contain keys >= lo.
   const auto it = std::upper_bound(
       table_->index_.begin(), table_->index_.end(), lo,
@@ -199,7 +247,22 @@ void SSTable::Iterator::load_blocks(size_t first_block) {
   const uint64_t run_bytes = last.offset + last.length - first.offset;
   std::vector<uint8_t> buf(run_bytes);
   if (charge_io_) {
-    io_->read(table_->device_offset_ + first.offset, buf);
+    const uint64_t off = table_->device_offset_ + first.offset;
+    Status s;
+    if (policy_ != nullptr) {
+      s = blockdev::with_retries(*io_, *policy_, counters_,
+                                 /*retry_corruption=*/false,
+                                 [&] { return io_->read_checked(off, buf); });
+    } else {
+      s = io_->read_checked(off, buf);
+    }
+    if (!s.ok()) {
+      // The cursor stops here; the failure is reported via status() and
+      // valid() goes false so merge loops terminate cleanly.
+      status_ = s;
+      valid_ = false;
+      return;
+    }
   } else {
     // Timing was precharged by the caller (batched run requests); only
     // the payload is needed here.
@@ -231,9 +294,11 @@ void SSTable::Iterator::next() {
 }
 
 SSTable::Iterator SSTable::seek(std::string_view lo, sim::IoContext& io,
-                                size_t readahead_blocks,
-                                bool charge_io) const {
-  return Iterator(this, &io, lo, readahead_blocks, charge_io);
+                                size_t readahead_blocks, bool charge_io,
+                                const blockdev::RetryPolicy* policy,
+                                blockdev::RetryCounters* counters) const {
+  return Iterator(this, &io, lo, readahead_blocks, charge_io, policy,
+                  counters);
 }
 
 std::vector<sim::IoRequest> SSTable::run_requests(

@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "blockdev/byte_arena.h"
+#include "blockdev/retry.h"
 #include "sim/device.h"
 #include "util/bloom.h"
+#include "util/status.h"
 
 namespace damkit::lsm {
 
@@ -53,6 +55,11 @@ class SSTableBuilder {
   /// Write the table (one sequential device IO) and return its handle.
   /// The builder must not be reused. Returns nullptr if no entries.
   SSTableRef finish();
+  /// Fallible finish with retry-with-backoff on the table write. On
+  /// give-up the reserved extent is freed and no table exists — the
+  /// builder's source data (e.g. the memtable) must be kept by the caller.
+  StatusOr<SSTableRef> try_finish(const blockdev::RetryPolicy& policy,
+                                  blockdev::RetryCounters* counters);
 
  private:
   void flush_block();
@@ -106,6 +113,14 @@ class SSTable {
   /// the key is not in this table; a tombstone returns an Entry with
   /// tombstone=true.
   std::optional<Entry> get(std::string_view key, sim::IoContext& io) const;
+  /// Fallible lookup: the block read is retried under `policy` (transient
+  /// faults only — a corrupt read has nothing to retry into), then the
+  /// failure is surfaced.
+  StatusOr<std::optional<Entry>> try_get(std::string_view key,
+                                         sim::IoContext& io,
+                                         const blockdev::RetryPolicy& policy,
+                                         blockdev::RetryCounters* counters)
+      const;
 
   /// Sequential cursor over entries with key >= lo. `readahead_blocks`
   /// blocks are fetched per IO (1 = strict point granularity; scans and
@@ -117,17 +132,26 @@ class SSTable {
     bool valid() const { return valid_; }
     const Entry& entry() const { return current_; }
     void next();
+    /// Non-OK when the cursor stopped because a block read gave up after
+    /// retries (valid() is then false). Callers that treat an invalid
+    /// cursor as end-of-table MUST consult this or they silently truncate.
+    const Status& status() const { return status_; }
 
    private:
     friend class SSTable;
     Iterator(const SSTable* table, sim::IoContext* io, std::string_view lo,
-             size_t readahead_blocks, bool charge_io);
+             size_t readahead_blocks, bool charge_io,
+             const blockdev::RetryPolicy* policy,
+             blockdev::RetryCounters* counters);
     void load_blocks(size_t first_block);
 
     const SSTable* table_ = nullptr;
     sim::IoContext* io_ = nullptr;
     size_t readahead_ = 1;
     bool charge_io_ = true;
+    const blockdev::RetryPolicy* policy_ = nullptr;  // nullptr = fail fast
+    blockdev::RetryCounters* counters_ = nullptr;
+    Status status_;
     size_t next_block_ = 0;       // first block not yet fetched
     std::vector<Entry> entries_;  // decoded current run
     size_t pos_ = 0;
@@ -135,7 +159,9 @@ class SSTable {
     bool valid_ = false;
   };
   Iterator seek(std::string_view lo, sim::IoContext& io,
-                size_t readahead_blocks = 1, bool charge_io = true) const;
+                size_t readahead_blocks = 1, bool charge_io = true,
+                const blockdev::RetryPolicy* policy = nullptr,
+                blockdev::RetryCounters* counters = nullptr) const;
 
   /// The device reads a full sequential pass at `readahead_blocks` issues:
   /// one request per run of contiguous blocks. Used to precharge a
@@ -154,6 +180,10 @@ class SSTable {
 
   /// Read + decode one data block (one device IO).
   std::vector<Entry> read_block(size_t block_idx, sim::IoContext& io) const;
+  Status try_read_block(size_t block_idx, sim::IoContext& io,
+                        const blockdev::RetryPolicy& policy,
+                        blockdev::RetryCounters* counters,
+                        std::vector<Entry>* out) const;
 
   sim::Device* dev_ = nullptr;
   blockdev::ByteArena* arena_ = nullptr;

@@ -136,19 +136,42 @@ class Device {
   std::vector<IoCompletion> submit_batch(std::span<const IoRequest> reqs,
                                          SimTime now) {
     enforce_clock(now);
-    if (!reqs.empty()) {
-      ++stats_.batches;
-      stats_.batch_ios += reqs.size();
-      DAMKIT_STATS_ONLY({
-        if (stats::collecting()) {
-          batch_width_.record(reqs.size());
-          if (events_ != nullptr) {
-            events_->emit({now, "io", "batch", reqs.size(), 0, 0});
-          }
-        }
-      });
-    }
+    note_batch(reqs, now);
     return submit_batch_io(reqs, now);
+  }
+
+  /// Fallible submission: like submit(), but invalid requests surface as
+  /// kInvalidArgument/kOutOfRange instead of aborting, and the device's
+  /// fault hook may fail the IO (kUnavailable/kCorruption). A faulted IO
+  /// still occupies the device — timing is computed, charged, and written
+  /// to `*out` — but its payload must not be transferred (use
+  /// read_checked/write_checked, which honor this). `*out` is untouched
+  /// when the request itself was invalid.
+  Status submit_checked(const IoRequest& req, SimTime now, IoCompletion* out) {
+    DAMKIT_RETURN_IF_ERROR(bounds_status(req));
+    enforce_clock(now);
+    Status fault = inject_fault(req, now);
+    *out = submit_io(req, now);
+    return fault;
+  }
+
+  /// Fallible batch submission. Returns non-OK (with no timing charged)
+  /// only when a request is invalid; otherwise returns OK and reports each
+  /// request's injected-fault verdict in `*per_io` (OK = payload may move).
+  /// Completions are computed for every request, faulted or not.
+  Status submit_batch_checked(std::span<const IoRequest> reqs, SimTime now,
+                              std::vector<IoCompletion>* completions,
+                              std::vector<Status>* per_io) {
+    for (const IoRequest& req : reqs) {
+      DAMKIT_RETURN_IF_ERROR(bounds_status(req));
+    }
+    enforce_clock(now);
+    per_io->clear();
+    per_io->reserve(reqs.size());
+    for (const IoRequest& req : reqs) per_io->push_back(inject_fault(req, now));
+    note_batch(reqs, now);
+    *completions = submit_batch_io(reqs, now);
+    return Status();
   }
 
   uint64_t capacity_bytes() const { return capacity_; }
@@ -215,6 +238,38 @@ class Device {
     return c;
   }
 
+  /// Fallible timing + payload. On failure `out` is left untouched (reads)
+  /// or routed through note_failed_write (writes), so a faulted IO never
+  /// silently transfers data.
+  Status read_checked(uint64_t offset, std::span<uint8_t> out, SimTime now,
+                      IoCompletion* c) {
+    const Status s = submit_checked({IoKind::kRead, offset, out.size()}, now, c);
+    if (s.ok()) store_.read(offset, out);
+    return s;
+  }
+  Status write_checked(uint64_t offset, std::span<const uint8_t> data,
+                       SimTime now, IoCompletion* c) {
+    const Status s =
+        submit_checked({IoKind::kWrite, offset, data.size()}, now, c);
+    if (s.ok()) {
+      store_.write(offset, data);
+    } else {
+      note_failed_write(offset, data);
+    }
+    return s;
+  }
+
+  /// Payload hook for a write whose checked submission failed. The default
+  /// drops the payload entirely (nothing reached the media); fault models
+  /// override to persist a torn prefix. Callers that split timing from
+  /// payload (batched writes) must route each failed request's payload
+  /// here instead of write_bytes().
+  virtual void note_failed_write(uint64_t offset,
+                                 std::span<const uint8_t> data) {
+    (void)offset;
+    (void)data;
+  }
+
  protected:
   /// Timing model for a single request. `now` is guaranteed nondecreasing
   /// across calls (enforced by the public wrappers).
@@ -225,6 +280,16 @@ class Device {
   /// queues overlap on an SSD; the single actuator serializes on an HDD).
   virtual std::vector<IoCompletion> submit_batch_io(
       std::span<const IoRequest> reqs, SimTime now);
+
+  /// Fault-decision hook, consulted once per request in submission order
+  /// by the checked paths only (submit()/submit_batch() never fault: their
+  /// callers have no way to observe an error other than aborting). The
+  /// default injects nothing.
+  virtual Status inject_fault(const IoRequest& req, SimTime now) {
+    (void)req;
+    (void)now;
+    return Status();
+  }
 
   void enforce_clock(SimTime now) {
     DAMKIT_CHECK_MSG(now >= last_submit_,
@@ -272,6 +337,34 @@ class Device {
                      "IO past device end: off=" << req.offset
                                                 << " len=" << req.length
                                                 << " cap=" << capacity_);
+  }
+
+  /// check_bounds() as a Status, overflow-safe, for the checked paths.
+  Status bounds_status(const IoRequest& req) const {
+    if (req.length == 0) return Status::invalid_argument("zero-length IO");
+    if (req.offset > capacity_ || capacity_ - req.offset < req.length) {
+      return Status::out_of_range(
+          "IO past device end: off=" + std::to_string(req.offset) +
+          " len=" + std::to_string(req.length) +
+          " cap=" + std::to_string(capacity_));
+    }
+    return Status();
+  }
+
+  /// Shared batch bookkeeping for submit_batch / submit_batch_checked.
+  void note_batch(std::span<const IoRequest> reqs, SimTime now) {
+    if (reqs.empty()) return;
+    ++stats_.batches;
+    stats_.batch_ios += reqs.size();
+    (void)now;
+    DAMKIT_STATS_ONLY({
+      if (stats::collecting()) {
+        batch_width_.record(reqs.size());
+        if (events_ != nullptr) {
+          events_->emit({now, "io", "batch", reqs.size(), 0, 0});
+        }
+      }
+    });
   }
 
   uint64_t capacity_;
@@ -324,6 +417,42 @@ class IoContext {
     for (const IoCompletion& c : cs) done = std::max(done, c.finish);
     now_ = done;
     return cs;
+  }
+
+  /// Fallible variants. The clock still advances to the completion on a
+  /// faulted IO — a failed request occupies the device like any other —
+  /// so retry loops charge realistic time for every attempt.
+  Status read_checked(uint64_t offset, std::span<uint8_t> out) {
+    IoCompletion c;
+    const Status s = dev_->read_checked(offset, out, now_, &c);
+    advance_to(c.finish);
+    return s;
+  }
+  Status write_checked(uint64_t offset, std::span<const uint8_t> data) {
+    IoCompletion c;
+    const Status s = dev_->write_checked(offset, data, now_, &c);
+    advance_to(c.finish);
+    return s;
+  }
+  Status touch_read_checked(uint64_t offset, uint64_t length) {
+    IoCompletion c;
+    const Status s =
+        dev_->submit_checked({IoKind::kRead, offset, length}, now_, &c);
+    advance_to(c.finish);
+    return s;
+  }
+  /// Batch counterpart of submit_batch(): advances to the max completion
+  /// and reports per-request fault verdicts in `*per_io`. Non-OK return
+  /// (invalid request) charges no time.
+  Status submit_batch_checked(std::span<const IoRequest> reqs,
+                              std::vector<IoCompletion>* completions,
+                              std::vector<Status>* per_io) {
+    DAMKIT_RETURN_IF_ERROR(
+        dev_->submit_batch_checked(reqs, now_, completions, per_io));
+    SimTime done = now_;
+    for (const IoCompletion& c : *completions) done = std::max(done, c.finish);
+    now_ = done;
+    return Status();
   }
 
  private:

@@ -41,6 +41,12 @@ void json_append_string(std::string& out, std::string_view s) {
 }
 
 void json_append_double(std::string& out, double v) {
+  // JSON has no literal for NaN or ±Inf ("%g" would print "nan"/"inf",
+  // which no conforming parser accepts); serialize non-finite as null.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
   char buf[40];
   // %.17g round-trips any double; fall back from shorter forms when they
   // reparse exactly, keeping the common case ("0.25") readable.

@@ -20,7 +20,8 @@ namespace damkit::stats {
 /// Append a JSON string literal (quotes + escapes) to `out`.
 void json_append_string(std::string& out, std::string_view s);
 /// Append a double with enough digits to round-trip bit-exactly; integral
-/// values render without an exponent where possible.
+/// values render without an exponent where possible. Non-finite values
+/// (NaN, ±Inf) have no JSON literal and are serialized as `null`.
 void json_append_double(std::string& out, double v);
 
 /// Parsed JSON value. Numbers keep both views: `num` (double) always, and

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
+#include <limits>
 
 #include "stats/json.h"
 
@@ -176,6 +177,12 @@ StatusOr<MetricsRegistry> MetricsRegistry::from_json(std::string_view json) {
   }
   if (const JsonValue* gauges = root.find("gauges")) {
     for (const auto& [name, v] : gauges->object) {
+      // The writer serializes non-finite gauges as null (JSON has no NaN
+      // literal); read them back as NaN so the round-trip is total.
+      if (v.kind == JsonValue::Kind::kNull) {
+        reg.set(name, std::numeric_limits<double>::quiet_NaN());
+        continue;
+      }
       if (!v.is_number()) {
         return Status::invalid_argument("metrics json: gauge '" + name +
                                         "' is not a number");

@@ -1,6 +1,9 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
 
 namespace damkit {
 
@@ -40,8 +43,8 @@ uint64_t Rng::uniform(uint64_t bound) {
 Zipfian::Zipfian(uint64_t n, double theta) : n_(n), theta_(theta) {
   DAMKIT_CHECK(n > 0);
   DAMKIT_CHECK(theta > 0.0 && theta < 1.0);
-  zetan_ = zeta(n, theta);
-  zeta2theta_ = zeta(2, theta);
+  zetan_ = zeta_cached(n, theta);
+  zeta2theta_ = zeta_cached(2, theta);
   alpha_ = 1.0 / (1.0 - theta);
   eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
          (1.0 - zeta2theta_ / zetan_);
@@ -52,6 +55,33 @@ double Zipfian::zeta(uint64_t n, double theta) {
   for (uint64_t i = 1; i <= n; ++i) {
     sum += 1.0 / std::pow(static_cast<double>(i), theta);
   }
+  return sum;
+}
+
+double Zipfian::zeta_cached(uint64_t n, double theta) {
+  // Partial zeta sums accumulate left-to-right, so extending a cached
+  // prefix (theta, n0 < n) gives bit-identical results to a fresh O(n)
+  // computation — determinism is preserved across cache hits and misses.
+  static std::mutex mu;
+  static std::map<std::pair<double, uint64_t>, double> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  const auto exact = cache.find({theta, n});
+  if (exact != cache.end()) return exact->second;
+  // Largest cached n0 <= n for this theta: predecessor of (theta, n).
+  uint64_t start = 0;
+  double sum = 0.0;
+  auto it = cache.lower_bound({theta, n});
+  if (it != cache.begin()) {
+    --it;
+    if (it->first.first == theta) {
+      start = it->first.second;
+      sum = it->second;
+    }
+  }
+  for (uint64_t i = start + 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  cache.emplace(std::make_pair(theta, n), sum);
   return sum;
 }
 

@@ -42,10 +42,13 @@ class Rng {
   /// multiply-shift rejection method (unbiased).
   uint64_t uniform(uint64_t bound);
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Handles the full 64-bit range
+  /// ([0, UINT64_MAX]), where `hi - lo + 1` would wrap to zero.
   uint64_t uniform_range(uint64_t lo, uint64_t hi) {
     DAMKIT_CHECK(hi >= lo);
-    return lo + uniform(hi - lo + 1);
+    const uint64_t span = hi - lo;
+    if (span == ~0ULL) return next();
+    return lo + uniform(span + 1);
   }
 
   /// Uniform double in [0, 1).
@@ -70,7 +73,11 @@ class Rng {
 /// Zipfian distribution over {0, ..., n-1} with skew theta (0 < theta < 1
 /// typical; theta→0 approaches uniform). Uses the Gray et al. rejection-free
 /// method with precomputed zeta constants — O(1) per sample after O(n) setup
-/// amortized via incremental zeta updates for the common "fixed n" case.
+/// amortized via incremental zeta updates for the common "fixed n" case: a
+/// process-wide cache keyed on (theta, n) makes repeated construction with
+/// the same parameters O(log cache) and extends the partial sum
+/// incrementally when n grows for an already-seen theta. The cache is
+/// guarded by a mutex (constructors only; sampling never touches it).
 class Zipfian {
  public:
   Zipfian(uint64_t n, double theta);
@@ -83,6 +90,8 @@ class Zipfian {
 
  private:
   static double zeta(uint64_t n, double theta);
+  /// zeta(n, theta) via the process-wide (theta, n) cache described above.
+  static double zeta_cached(uint64_t n, double theta);
 
   uint64_t n_;
   double theta_;

@@ -11,6 +11,7 @@ std::string_view status_code_name(StatusCode code) {
     case StatusCode::kCorruption: return "corruption";
     case StatusCode::kResourceExhausted: return "resource_exhausted";
     case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";

@@ -25,6 +25,7 @@ enum class StatusCode : uint8_t {
   kCorruption,
   kResourceExhausted,
   kFailedPrecondition,
+  kUnavailable,
   kInternal,
 };
 
@@ -56,6 +57,10 @@ class [[nodiscard]] Status {
   static Status failed_precondition(std::string m) {
     return Status(StatusCode::kFailedPrecondition, std::move(m));
   }
+  /// Transient failure (e.g. an injected device fault); safe to retry.
+  static Status unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
   static Status internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
@@ -81,7 +86,8 @@ class [[nodiscard]] Status {
 template <typename T>
 class [[nodiscard]] StatusOr {
  public:
-  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(T value) : rep_(std::move(value)) {}
   StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT
 
   bool ok() const { return std::holds_alternative<T>(rep_); }

@@ -21,6 +21,7 @@ class BufferPoolTest : public testing::Test {
         capacity, [this](uint64_t id, void* obj) {
           written_.push_back(id);
           EXPECT_NE(obj, nullptr);
+          return Status();
         });
   }
 };
@@ -106,22 +107,25 @@ TEST_F(BufferPoolTest, FlushAllUsesBatchWriteback) {
   auto pool = make_pool(1000);
   std::vector<uint64_t> batched;
   pool->set_batch_writeback(
-      [&](std::span<const std::pair<uint64_t, void*>> dirty) {
+      [&](std::span<const std::pair<uint64_t, void*>> dirty,
+          std::vector<bool>* written) {
+        written->assign(dirty.size(), true);
         for (const auto& [id, obj] : dirty) {
           batched.push_back(id);
           EXPECT_NE(obj, nullptr);
         }
+        return Status();
       });
   pool->put(1, std::make_shared<Obj>(1), 100, true);
   pool->put(2, std::make_shared<Obj>(2), 100, false);
   pool->put(3, std::make_shared<Obj>(3), 100, true);
-  pool->flush_all();
+  ASSERT_TRUE(pool->flush_all().ok());
   EXPECT_EQ(batched, (std::vector<uint64_t>{3, 1}));  // MRU → LRU order
   EXPECT_TRUE(written_.empty());  // batch path replaces per-entry callback
   EXPECT_EQ(pool->stats().dirty_writebacks, 2u);
   EXPECT_FALSE(pool->is_dirty(1));
   EXPECT_FALSE(pool->is_dirty(3));
-  pool->flush_all();
+  ASSERT_TRUE(pool->flush_all().ok());
   EXPECT_EQ(batched.size(), 2u);  // nothing dirty: no second batch
 }
 
@@ -132,11 +136,66 @@ TEST_F(BufferPoolTest, MarkDirtyThenFlushAll) {
   pool->mark_dirty(1);
   EXPECT_TRUE(pool->is_dirty(1));
   EXPECT_FALSE(pool->is_dirty(2));
-  pool->flush_all();
+  ASSERT_TRUE(pool->flush_all().ok());
   EXPECT_EQ(written_, std::vector<uint64_t>{1});
   EXPECT_FALSE(pool->is_dirty(1));  // clean after writeback
-  pool->flush_all();
+  ASSERT_TRUE(pool->flush_all().ok());
   EXPECT_EQ(written_.size(), 1u);  // no double write
+}
+
+TEST_F(BufferPoolTest, FlushAllPerEntryPathWithoutBatchFn) {
+  // With no batch_writeback_ installed, flush_all walks entries MRU→LRU
+  // through the per-entry callback, skipping clean ones.
+  auto pool = make_pool(1000);
+  pool->put(1, std::make_shared<Obj>(1), 100, true);
+  pool->put(2, std::make_shared<Obj>(2), 100, false);
+  pool->put(3, std::make_shared<Obj>(3), 100, true);
+  pool->put(4, std::make_shared<Obj>(4), 100, true);
+  ASSERT_TRUE(pool->flush_all().ok());
+  EXPECT_EQ(written_, (std::vector<uint64_t>{4, 3, 1}));
+  EXPECT_EQ(pool->stats().dirty_writebacks, 3u);
+  EXPECT_FALSE(pool->is_dirty(1));
+  EXPECT_FALSE(pool->is_dirty(3));
+  EXPECT_FALSE(pool->is_dirty(4));
+  ASSERT_TRUE(pool->flush_all().ok());
+  EXPECT_EQ(written_.size(), 3u);  // all clean: nothing rewritten
+}
+
+TEST_F(BufferPoolTest, FlushAllFailureKeepsEntryDirtyAndResident) {
+  // A writeback failure mid-checkpoint must not lose the entry or its
+  // dirty bit: flush_all keeps going (other entries still land), reports
+  // the first failure, and the failed entry can be flushed again later.
+  uint64_t failing_id = 3;
+  std::vector<uint64_t> written;
+  BufferPool pool(1000, [&](uint64_t id, void*) {
+    if (id == failing_id) return Status::unavailable("injected");
+    written.push_back(id);
+    return Status();
+  });
+  pool.put(1, std::make_shared<Obj>(1), 100, true);
+  pool.put(2, std::make_shared<Obj>(2), 100, true);
+  pool.put(3, std::make_shared<Obj>(3), 100, true);
+  const uint64_t charged_before = pool.charged_bytes();
+
+  const Status s = pool.flush_all();
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  // The healthy entries were still written and cleaned...
+  EXPECT_EQ(written, (std::vector<uint64_t>{2, 1}));
+  EXPECT_FALSE(pool.is_dirty(1));
+  EXPECT_FALSE(pool.is_dirty(2));
+  // ...the failed one stays resident, dirty, and fully charged.
+  EXPECT_TRUE(pool.contains(3));
+  EXPECT_TRUE(pool.is_dirty(3));
+  EXPECT_EQ(pool.charged_bytes(), charged_before);
+  EXPECT_EQ(pool.stats().writeback_failures, 1u);
+  EXPECT_EQ(pool.stats().dirty_writebacks, 2u);
+
+  // Once the device recovers, a later checkpoint completes the flush.
+  failing_id = ~0ULL;
+  ASSERT_TRUE(pool.flush_all().ok());
+  EXPECT_EQ(written, (std::vector<uint64_t>{2, 1, 3}));
+  EXPECT_FALSE(pool.is_dirty(3));
+  EXPECT_EQ(pool.stats().dirty_writebacks, 3u);
 }
 
 TEST_F(BufferPoolTest, EraseDropsWithoutWriteback) {
@@ -153,7 +212,7 @@ TEST_F(BufferPoolTest, ClearFlushesAndEmpties) {
   auto pool = make_pool(1000);
   pool->put(1, std::make_shared<Obj>(1), 100, true);
   pool->put(2, std::make_shared<Obj>(2), 200, false);
-  pool->clear();
+  ASSERT_TRUE(pool->clear().ok());
   EXPECT_EQ(pool->entries(), 0u);
   EXPECT_EQ(pool->charged_bytes(), 0u);
   EXPECT_EQ(written_, std::vector<uint64_t>{1});
@@ -211,7 +270,7 @@ TEST_F(BufferPoolDeathTest, MarkDirtyAbsentAborts) {
 TEST_F(BufferPoolDeathTest, DestructorWithDirtyAborts) {
   EXPECT_DEATH(
       {
-        BufferPool p(1000, [](uint64_t, void*) {});
+        BufferPool p(1000, [](uint64_t, void*) { return Status(); });
         p.put(1, std::make_shared<Obj>(1), 10, true);
         // p destroyed with dirty entry
       },

@@ -1,0 +1,255 @@
+#include "sim/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/profiles.h"
+#include "sim/ssd.h"
+#include "stats/metrics.h"
+
+namespace damkit::sim {
+namespace {
+
+constexpr uint64_t kIo = 4096;
+
+FaultConfig all_faults(uint64_t seed, double rate) {
+  FaultConfig cfg;
+  cfg.seed = seed;
+  cfg.read_error_rate = rate;
+  cfg.write_error_rate = rate;
+  cfg.torn_write_rate = rate / 2.0;
+  cfg.latency_spike_rate = rate;
+  return cfg;
+}
+
+// One mixed checked read/write pass; returns the per-request status codes.
+std::vector<StatusCode> run_schedule(FaultInjectingDevice& dev, size_t ops) {
+  IoContext io(dev);
+  std::vector<uint8_t> buf(kIo, 0xab);
+  std::vector<StatusCode> codes;
+  codes.reserve(ops);
+  for (size_t i = 0; i < ops; ++i) {
+    const uint64_t off = (i % 64) * kIo;
+    const Status s = (i % 2 == 0) ? io.write_checked(off, buf)
+                                  : io.read_checked(off, buf);
+    codes.push_back(s.code());
+  }
+  return codes;
+}
+
+TEST(FaultInjectionTest, SameSeedReplaysSameSchedule) {
+  SsdDevice inner_a(testbed_ssd_profile());
+  SsdDevice inner_b(testbed_ssd_profile());
+  FaultInjectingDevice a(inner_a, all_faults(1234, 0.2));
+  FaultInjectingDevice b(inner_b, all_faults(1234, 0.2));
+  const auto codes_a = run_schedule(a, 400);
+  const auto codes_b = run_schedule(b, 400);
+  EXPECT_EQ(codes_a, codes_b);
+  EXPECT_EQ(a.fault_stats().injected_read_errors,
+            b.fault_stats().injected_read_errors);
+  EXPECT_EQ(a.fault_stats().injected_write_errors,
+            b.fault_stats().injected_write_errors);
+  EXPECT_EQ(a.fault_stats().injected_torn_writes,
+            b.fault_stats().injected_torn_writes);
+  EXPECT_EQ(a.fault_stats().injected_latency_spikes,
+            b.fault_stats().injected_latency_spikes);
+  EXPECT_GT(a.fault_stats().injected_errors(), 0u);
+}
+
+TEST(FaultInjectionTest, DifferentSeedsDiverge) {
+  SsdDevice inner_a(testbed_ssd_profile());
+  SsdDevice inner_b(testbed_ssd_profile());
+  FaultInjectingDevice a(inner_a, all_faults(1, 0.2));
+  FaultInjectingDevice b(inner_b, all_faults(2, 0.2));
+  EXPECT_NE(run_schedule(a, 400), run_schedule(b, 400));
+}
+
+TEST(FaultInjectionTest, ZeroRatesAreTimingTransparent) {
+  // A wrapper with every rate at zero must charge exactly the inner
+  // model's time and never fail — code that has not opted into faults
+  // keeps its previous behavior bit-for-bit.
+  SsdDevice plain(testbed_ssd_profile());
+  SsdDevice inner(testbed_ssd_profile());
+  FaultInjectingDevice wrapped(inner, FaultConfig{});
+  IoContext plain_io(plain);
+  IoContext wrapped_io(wrapped);
+  std::vector<uint8_t> buf(kIo);
+  for (size_t i = 0; i < 100; ++i) {
+    const uint64_t off = (i * 7 % 64) * kIo;
+    plain_io.write(off, buf);
+    ASSERT_TRUE(wrapped_io.write_checked(off, buf).ok());
+    plain_io.read(off, buf);
+    ASSERT_TRUE(wrapped_io.read_checked(off, buf).ok());
+  }
+  EXPECT_EQ(plain_io.now(), wrapped_io.now());
+}
+
+TEST(FaultInjectionTest, TransientReadLeavesPayloadUntouched) {
+  SsdDevice inner(testbed_ssd_profile());
+  FaultConfig cfg;
+  cfg.seed = 7;
+  cfg.read_error_rate = 1.0;  // every checked read fails
+  FaultInjectingDevice dev(inner, cfg);
+  IoContext io(dev);
+
+  std::vector<uint8_t> data(kIo, 0x5a);
+  ASSERT_TRUE(io.write_checked(0, data).ok());
+
+  std::vector<uint8_t> out(kIo, 0xee);
+  const SimTime before = io.now();
+  const Status s = io.read_checked(0, out);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  // Payload must not move on a faulted read...
+  EXPECT_EQ(out, std::vector<uint8_t>(kIo, 0xee));
+  // ...but the failed IO still occupied the device.
+  EXPECT_GT(io.now(), before);
+  EXPECT_EQ(dev.fault_stats().injected_read_errors, 1u);
+}
+
+TEST(FaultInjectionTest, TransientWriteLandsNothing) {
+  SsdDevice inner(testbed_ssd_profile());
+  FaultConfig cfg;
+  cfg.seed = 7;
+  cfg.write_error_rate = 1.0;
+  FaultInjectingDevice dev(inner, cfg);
+  IoContext io(dev);
+
+  std::vector<uint8_t> data(kIo, 0x5a);
+  EXPECT_EQ(io.write_checked(0, data).code(), StatusCode::kUnavailable);
+
+  std::vector<uint8_t> out(kIo, 0xee);
+  dev.read_bytes(0, out);  // payload-only: an unwritten range reads zero
+  EXPECT_EQ(out, std::vector<uint8_t>(kIo, 0));
+}
+
+TEST(FaultInjectionTest, TornWritePersistsStrictPrefix) {
+  SsdDevice inner(testbed_ssd_profile());
+  FaultConfig cfg;
+  cfg.seed = 99;
+  cfg.torn_write_rate = 1.0;  // every checked write tears
+  FaultInjectingDevice dev(inner, cfg);
+  IoContext io(dev);
+
+  std::vector<uint8_t> data(kIo);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31 + 1);  // never zero at index 0
+  }
+  EXPECT_EQ(io.write_checked(0, data).code(), StatusCode::kCorruption);
+
+  std::vector<uint8_t> out(kIo, 0xee);
+  dev.read_bytes(0, out);
+  // Some strict prefix of the payload landed; everything after it is
+  // still unwritten (zero). Find the boundary and check both halves.
+  size_t torn = 0;
+  while (torn < out.size() && out[torn] == data[torn]) ++torn;
+  EXPECT_LT(torn, data.size());  // strict: the full write never lands
+  for (size_t i = torn; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 0u) << "byte " << i << " past the torn prefix landed";
+  }
+  EXPECT_EQ(dev.fault_stats().injected_torn_writes, 1u);
+}
+
+TEST(FaultInjectionTest, LatencySpikesDelayCompletionOnly) {
+  SsdDevice plain(testbed_ssd_profile());
+  SsdDevice inner(testbed_ssd_profile());
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.latency_spike_rate = 1.0;  // every IO spikes
+  cfg.latency_spike_ns = 3 * kNsPerMs;
+  FaultInjectingDevice dev(inner, cfg);
+  IoContext plain_io(plain);
+  IoContext io(dev);
+
+  std::vector<uint8_t> buf(kIo);
+  plain_io.write(0, buf);
+  ASSERT_TRUE(io.write_checked(0, buf).ok());  // a spike is not an error
+  EXPECT_EQ(io.now(), plain_io.now() + cfg.latency_spike_ns);
+  EXPECT_EQ(dev.fault_stats().injected_latency_spikes, 1u);
+
+  std::vector<uint8_t> out(kIo);
+  dev.read_bytes(0, out);
+  EXPECT_EQ(out, buf);  // the spiked write still landed in full
+}
+
+TEST(FaultInjectionTest, BatchReportsPerRequestVerdicts) {
+  SsdDevice inner(testbed_ssd_profile());
+  FaultConfig cfg;
+  cfg.seed = 11;
+  cfg.read_error_rate = 0.5;
+  FaultInjectingDevice dev(inner, cfg);
+  IoContext io(dev);
+
+  std::vector<IoRequest> reqs;
+  for (uint64_t i = 0; i < 64; ++i) {
+    reqs.push_back({IoKind::kRead, i * kIo, kIo});
+  }
+  std::vector<IoCompletion> completions;
+  std::vector<Status> per_io;
+  ASSERT_TRUE(io.submit_batch_checked(reqs, &completions, &per_io).ok());
+  ASSERT_EQ(completions.size(), reqs.size());
+  ASSERT_EQ(per_io.size(), reqs.size());
+  size_t failed = 0;
+  for (const Status& s : per_io) {
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+      ++failed;
+    }
+  }
+  // At rate 0.5 over 64 draws, all-pass and all-fail are both ~1e-19.
+  EXPECT_GT(failed, 0u);
+  EXPECT_LT(failed, reqs.size());
+  EXPECT_EQ(dev.fault_stats().injected_read_errors, failed);
+  // Completions were computed for every request, faulted or not: the
+  // clock sits at the batch-wide max finish.
+  SimTime max_finish = 0;
+  for (const IoCompletion& c : completions) {
+    max_finish = std::max(max_finish, c.finish);
+  }
+  EXPECT_EQ(io.now(), max_finish);
+}
+
+TEST(FaultInjectionTest, LegacyPathsNeverFault) {
+  SsdDevice inner(testbed_ssd_profile());
+  FaultInjectingDevice dev(inner, all_faults(3, 1.0));
+  IoContext io(dev);
+  // Unchecked read/write/submit must ignore error draws entirely (they
+  // predate Status plumbing); only spikes apply, as slow IO is not error.
+  std::vector<uint8_t> data(kIo, 0x77);
+  io.write(0, data);
+  std::vector<uint8_t> out(kIo);
+  io.read(0, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(dev.fault_stats().injected_errors(), 0u);
+}
+
+TEST(FaultInjectionTest, ExportsFaultCounters) {
+  SsdDevice inner(testbed_ssd_profile());
+  FaultInjectingDevice dev(inner, all_faults(21, 0.3));
+  run_schedule(dev, 200);
+  stats::MetricsRegistry reg;
+  dev.export_metrics(reg, "dev.");
+  EXPECT_EQ(reg.counter("dev.faults.checked_reads"), 100u);
+  EXPECT_EQ(reg.counter("dev.faults.checked_writes"), 100u);
+  EXPECT_EQ(reg.counter("dev.faults.injected_read_errors"),
+            dev.fault_stats().injected_read_errors);
+  EXPECT_EQ(reg.counter("dev.faults.injected_write_errors"),
+            dev.fault_stats().injected_write_errors);
+  EXPECT_EQ(reg.counter("dev.faults.injected_torn_writes"),
+            dev.fault_stats().injected_torn_writes);
+  EXPECT_EQ(reg.counter("dev.faults.injected_latency_spikes"),
+            dev.fault_stats().injected_latency_spikes);
+  EXPECT_GT(dev.fault_stats().injected_errors(), 0u);
+}
+
+TEST(FaultInjectionDeathTest, RejectsOutOfRangeRates) {
+  SsdDevice inner(testbed_ssd_profile());
+  FaultConfig cfg;
+  cfg.read_error_rate = 1.5;
+  EXPECT_DEATH(FaultInjectingDevice(inner, cfg), "read_error_rate");
+}
+
+}  // namespace
+}  // namespace damkit::sim

@@ -1,5 +1,7 @@
 #include "stats/json.h"
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -22,6 +24,20 @@ TEST(JsonWriter, DoublesRoundTripShortest) {
   out.clear();
   json_append_double(out, 1e-9);
   EXPECT_EQ(std::stod(out), 1e-9);
+}
+
+TEST(JsonWriter, NonFiniteSerializesAsNull) {
+  // Regression: NaN/Inf used to be printed verbatim ("nan", "inf"), which
+  // is not JSON and broke every downstream parser of the snapshot.
+  std::string out;
+  json_append_double(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  json_append_double(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  json_append_double(out, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
 }
 
 TEST(JsonParser, ParsesScalarsAndContainers) {
@@ -93,6 +109,29 @@ TEST(RegistryJson, EmptyRegistryRoundTrips) {
   const auto back = MetricsRegistry::from_json(reg.to_json());
   ASSERT_TRUE(back.ok());
   EXPECT_TRUE(back->empty());
+}
+
+TEST(RegistryJson, NonFiniteGaugeRoundTripsAsNaN) {
+  // A gauge that went non-finite (e.g. a rate with a zero denominator)
+  // serializes as null and reads back as NaN; every finite neighbor is
+  // untouched and the snapshot stays parseable end to end.
+  MetricsRegistry reg;
+  reg.set("g.nan", std::numeric_limits<double>::quiet_NaN());
+  reg.set("g.inf", std::numeric_limits<double>::infinity());
+  reg.set("g.ninf", -std::numeric_limits<double>::infinity());
+  reg.set("g.ok", 2.5);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"g.nan\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g.inf\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g.ninf\": null"), std::string::npos) << json;
+
+  const auto back = MetricsRegistry::from_json(json);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_TRUE(std::isnan(back->gauge("g.nan")));
+  EXPECT_TRUE(std::isnan(back->gauge("g.inf")));
+  EXPECT_TRUE(std::isnan(back->gauge("g.ninf")));
+  EXPECT_DOUBLE_EQ(back->gauge("g.ok"), 2.5);
 }
 
 TEST(RegistryJson, RejectsCorruptHistogram) {

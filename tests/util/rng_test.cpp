@@ -31,6 +31,24 @@ TEST(RngTest, UniformRespectsBound) {
   }
 }
 
+TEST(RngTest, UniformRangeFullDomain) {
+  // Regression: [0, UINT64_MAX] used to compute `hi - lo + 1`, which wraps
+  // to zero and hit uniform()'s bound > 0 CHECK. The full domain must be
+  // served directly from the raw generator instead.
+  Rng rng(11);
+  bool low_half = false, high_half = false;
+  for (int i = 0; i < 256; ++i) {
+    const uint64_t v = rng.uniform_range(0, ~0ULL);
+    (v < (1ULL << 63) ? low_half : high_half) = true;
+  }
+  EXPECT_TRUE(low_half);
+  EXPECT_TRUE(high_half);
+  // Nearly-full range still respects the lower bound.
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_GE(rng.uniform_range(1, ~0ULL), 1u);
+  }
+}
+
 TEST(RngTest, UniformRangeInclusive) {
   Rng rng(9);
   bool hit_lo = false, hit_hi = false;
@@ -116,6 +134,29 @@ TEST(ZipfianTest, LowThetaApproachesUniform) {
     if (z.sample(rng) < 10) ++hot;  // top 1%
   }
   EXPECT_LT(hot, kSamples / 20);  // far from heavily skewed
+}
+
+TEST(ZipfianTest, ZetaCacheDoesNotChangeSamples) {
+  // The (theta, n) zeta cache must be a pure memoization: a Zipfian built
+  // cold, one built after the cache was warmed by a *larger* n for the same
+  // theta (incremental-extension path), and a repeat construction (cache-hit
+  // path) must all produce bit-identical sample streams for the same seed.
+  const auto draw = [](Zipfian& z, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint64_t> out(256);
+    for (auto& v : out) v = z.sample(rng);
+    return out;
+  };
+  Zipfian cold(600, 0.77);
+  const std::vector<uint64_t> baseline = draw(cold, 5150);
+
+  Zipfian warm_larger(1234, 0.77);  // extends the cached partial sum past 600
+  (void)warm_larger;
+  Zipfian after_extend(600, 0.77);
+  EXPECT_EQ(draw(after_extend, 5150), baseline);
+
+  Zipfian repeat(600, 0.77);  // pure cache hit
+  EXPECT_EQ(draw(repeat, 5150), baseline);
 }
 
 TEST(ZipfianDeathTest, RejectsBadParameters) {

@@ -8,7 +8,9 @@ Two checks, both against closed-form or checked-in expectations:
      snapshot and must not exceed the baseline by more than --threshold
      (default 15%). Simulated time is deterministic, so any increase is a
      real modeling/code change, not noise — the slack only exists to let
-     intentional small refinements land without a baseline dance.
+     intentional small refinements land without a baseline dance. Gated
+     gauges present in the current snapshot but absent from the baseline
+     also fail the gate (new bench sections must be baselined to be gated).
 
   2. Affine split: for every device section that exports a closed-form
      prediction (`<prefix>predicted_setup_seconds_per_io`), the measured
@@ -60,6 +62,19 @@ def check_regressions(current, baseline, threshold):
         elif cur < base * (1.0 - threshold):
             status = "improved (consider refreshing the baseline)"
         report.append(f"  {name}: {cur:.6g} / {base:.6g} ({status})")
+    # Gated gauges that only exist in the current snapshot would otherwise
+    # never be checked: a new bench section must enter the baseline before
+    # it can regress silently.
+    ungated = sorted(
+        k for k in current
+        if k.endswith(GATED_SUFFIXES) and k not in baseline
+    )
+    for name in ungated:
+        failures.append(
+            f"{name}: present in current snapshot but missing from the "
+            f"baseline — refresh the baseline to gate this new section"
+        )
+        report.append(f"  {name}: {current[name]:.6g} / (no baseline) UNGATED")
     return failures, report
 
 

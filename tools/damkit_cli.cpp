@@ -29,7 +29,8 @@ int usage() {
       "  damkit trace stats <file.csv>\n"
       "  damkit trace replay <file.csv> <hdd:IDX | ssd:IDX>\n"
       "  damkit metrics [--device hdd|ssd|hdd:IDX|ssd:IDX] [--ops N]\n"
-      "                 [--json FILE] [--trace FILE]");
+      "                 [--json FILE] [--trace FILE]\n"
+      "                 [--fault-seed SEED] [--fault-rate R]");
   return 2;
 }
 
@@ -187,12 +188,18 @@ std::unique_ptr<sim::Device> make_device(const std::string& spec) {
 }
 
 // Canned demo workload: load a Bε-tree, run a mixed read/write phase, and
-// checkpoint, collecting metrics from every layer it touched.
+// checkpoint, collecting metrics from every layer it touched. With
+// --fault-seed the device is wrapped in a FaultInjectingDevice and the
+// workload runs through the fallible try_* APIs: every injected fault is
+// either retried away by the NodeStore or surfaced (and counted) as a
+// failed operation — never an abort.
 int cmd_metrics(int argc, char** argv) {
   std::string device_spec = "ssd";
   std::string json_path;
   std::string trace_path;
   uint64_t ops = 20000;
+  uint64_t fault_seed = 0;  // 0 = fault injection off
+  double fault_rate = 0.01;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_next = i + 1 < argc;
@@ -204,44 +211,99 @@ int cmd_metrics(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--trace" && has_next) {
       trace_path = argv[++i];
+    } else if (arg == "--fault-seed" && has_next) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--fault-rate" && has_next) {
+      fault_rate = std::strtod(argv[++i], nullptr);
     } else {
       return usage();
     }
   }
-  std::unique_ptr<sim::Device> dev = make_device(device_spec);
-  if (dev == nullptr || ops == 0) return usage();
+  std::unique_ptr<sim::Device> inner = make_device(device_spec);
+  if (inner == nullptr || ops == 0) return usage();
+  if (fault_rate < 0.0 || fault_rate > 1.0) return usage();
+
+  std::unique_ptr<sim::FaultInjectingDevice> faulty;
+  if (fault_seed != 0) {
+    sim::FaultConfig fcfg;
+    fcfg.seed = fault_seed;
+    fcfg.read_error_rate = fault_rate;
+    fcfg.write_error_rate = fault_rate;
+    fcfg.torn_write_rate = fault_rate / 4.0;
+    fcfg.latency_spike_rate = fault_rate;
+    faulty = std::make_unique<sim::FaultInjectingDevice>(*inner, fcfg);
+  }
+  sim::Device& dev = (faulty != nullptr)
+                         ? static_cast<sim::Device&>(*faulty)
+                         : *inner;
 
   stats::TraceBuffer events;
-  dev->set_event_trace(&events);
-  sim::IoContext io(*dev);
+  dev.set_event_trace(&events);
+  sim::IoContext io(dev);
 
   betree::BeTreeConfig config;
   config.node_bytes = 256 * 1024;
   config.cache_bytes = 4 * 1024 * 1024;
-  betree::BeTree tree(*dev, io, config);
+  betree::BeTree tree(dev, io, config);
   tree.set_event_trace(&events);
 
   Rng rng(42);
   const auto key_of = [](uint64_t k) { return strfmt("key%012llu",
       static_cast<unsigned long long>(k)); };
+  uint64_t failed_ops = 0;
   for (uint64_t i = 0; i < ops; ++i) {
-    tree.put(key_of(rng.next() % (ops * 4)), std::string(100, 'v'));
+    const Status put =
+        tree.try_put(key_of(rng.next() % (ops * 4)), std::string(100, 'v'));
+    if (!put.ok()) ++failed_ops;
   }
   uint64_t found = 0;
   for (uint64_t i = 0; i < ops / 4; ++i) {
-    found += tree.get(key_of(rng.next() % (ops * 4))).has_value() ? 1 : 0;
+    StatusOr<std::optional<std::string>> hit =
+        tree.try_get(key_of(rng.next() % (ops * 4)));
+    if (!hit.ok()) {
+      ++failed_ops;
+    } else if (hit->has_value()) {
+      ++found;
+    }
   }
-  tree.scan(key_of(0), 100);
-  tree.flush_cache();
+  if (!tree.try_scan(key_of(0), 100).ok()) ++failed_ops;
+  // The checkpoint must land before the tree is destroyed (the destructor
+  // treats dirty state as a programming error); under injected faults a
+  // give-up is retried with fresh draws.
+  Status checkpoint = tree.try_flush_cache();
+  for (int tries = 0; !checkpoint.ok() && tries < 100; ++tries) {
+    checkpoint = tree.try_flush_cache();
+  }
+  DAMKIT_CHECK_OK(checkpoint);
 
   stats::MetricsRegistry reg;
-  dev->export_metrics(reg, "device.");
+  dev.export_metrics(reg, "device.");
   tree.export_metrics(reg, "betree.");
 
   std::printf("workload: %llu puts, %llu gets (%llu hits), 1 scan on %s\n",
               static_cast<unsigned long long>(ops),
               static_cast<unsigned long long>(ops / 4),
-              static_cast<unsigned long long>(found), dev->name().c_str());
+              static_cast<unsigned long long>(found), dev.name().c_str());
+  if (faulty != nullptr) {
+    std::printf("faults: seed %llu, %llu injected "
+                "(%llu read, %llu write, %llu torn, %llu spikes), "
+                "%llu retries, %llu give-ups, %llu failed ops\n",
+                static_cast<unsigned long long>(fault_seed),
+                static_cast<unsigned long long>(
+                    faulty->fault_stats().injected_errors()),
+                static_cast<unsigned long long>(
+                    faulty->fault_stats().injected_read_errors),
+                static_cast<unsigned long long>(
+                    faulty->fault_stats().injected_write_errors),
+                static_cast<unsigned long long>(
+                    faulty->fault_stats().injected_torn_writes),
+                static_cast<unsigned long long>(
+                    faulty->fault_stats().injected_latency_spikes),
+                static_cast<unsigned long long>(tree.retry_counters().retries),
+                static_cast<unsigned long long>(
+                    tree.retry_counters().give_ups),
+                static_cast<unsigned long long>(failed_ops));
+  }
   std::printf("simulated time: %.3f s\n\n", sim::to_seconds(io.now()));
 
   Table counters({"counter", "value"});
