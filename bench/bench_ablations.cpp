@@ -7,12 +7,13 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "betree/betree.h"
-#include "btree/btree.h"
+#include "betree/message.h"
 #include "harness/experiments.h"
 #include "harness/report.h"
+#include "kv/engine.h"
 #include "kv/slice.h"
 #include "sim/profiles.h"
+#include "stats/metrics.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 
@@ -31,12 +32,13 @@ void flush_policy_ablation(const bench::BenchArgs& args) {
     for (const bool skewed : {false, true}) {
       sim::HddDevice dev(sim::testbed_hdd_profile(), args.seed);
       sim::IoContext io(dev);
-      betree::BeTreeConfig cfg;
-      cfg.node_bytes = 256 * kKiB;
-      cfg.target_fanout = 16;
-      cfg.cache_bytes = 4 * kMiB;
-      cfg.flush_policy = policy;
-      betree::BeTree tree(dev, io, cfg);
+      kv::EngineConfig cfg;
+      cfg.betree.node_bytes = 256 * kKiB;
+      cfg.betree.target_fanout = 16;
+      cfg.betree.cache_bytes = 4 * kMiB;
+      cfg.betree.flush_policy = policy;
+      const auto tree =
+          kv::make_engine(kv::EngineKind::kBeTree, dev, io, cfg);
       Rng rng(args.seed);
       Zipfian zipf(items, 0.99);
       const sim::SimTime t0 = io.now();
@@ -44,21 +46,24 @@ void flush_policy_ablation(const bench::BenchArgs& args) {
         const uint64_t id =
             skewed ? zipf.sample(rng) * 0x9e3779b97f4a7c15ULL % (4 * items)
                    : rng.uniform(4 * items);
-        tree.put(kv::encode_key(id, 16), kv::make_value(id, kValueBytes));
+        tree->put(kv::encode_key(id, 16), kv::make_value(id, kValueBytes));
       }
-      tree.flush_cache();
+      tree->flush();
       const double ms = sim::to_seconds(io.now() - t0) * 1e3 /
                         static_cast<double>(items);
-      const auto& s = tree.op_stats();
+      stats::MetricsRegistry reg;
+      tree->export_metrics(reg, "betree.");
+      const uint64_t flushes = reg.counter("betree.flushes");
+      const uint64_t moved = reg.counter("betree.messages_moved");
       t.add_row(
           {policy == betree::FlushPolicy::kFullestChild ? "fullest child"
                                                         : "round robin",
            skewed ? "zipfian(0.99)" : "uniform", strfmt("%.4f", ms),
-           strfmt("%llu", static_cast<unsigned long long>(s.flushes)),
-           strfmt("%.0f", s.flushes == 0
+           strfmt("%llu", static_cast<unsigned long long>(flushes)),
+           strfmt("%.0f", flushes == 0
                               ? 0.0
-                              : static_cast<double>(s.messages_moved) /
-                                    static_cast<double>(s.flushes))});
+                              : static_cast<double>(moved) /
+                                    static_cast<double>(flushes))});
     }
   }
   harness::emit("A. Flush policy ablation", t,
@@ -74,7 +79,7 @@ void cache_ratio_ablation(const bench::BenchArgs& args) {
            "256KiB/16KiB"});
   for (const double ratio : {0.05, 0.25, 0.6}) {
     harness::SweepConfig cfg;
-    cfg.kind = harness::TreeKind::kBTree;
+    cfg.kind = kv::EngineKind::kBTree;
     cfg.node_sizes = {16 * kKiB, 256 * kKiB};
     cfg.items = args.quick ? 80'000 : 250'000;
     cfg.queries = args.quick ? 120 : 300;
@@ -108,11 +113,11 @@ void range_scan_ablation(const bench::BenchArgs& args) {
                               1 * kMiB, 4 * kMiB}) {
     sim::HddDevice dev(sim::testbed_hdd_profile(), args.seed);
     sim::IoContext io(dev);
-    btree::BTreeConfig cfg;
-    cfg.node_bytes = node;
-    cfg.cache_bytes = std::max<uint64_t>(node * 4, 4 * kMiB);
-    btree::BTree tree(dev, io, cfg);
-    tree.bulk_load(items, [](uint64_t i) {
+    kv::EngineConfig cfg;
+    cfg.btree.node_bytes = node;
+    cfg.btree.cache_bytes = std::max<uint64_t>(node * 4, 4 * kMiB);
+    const auto tree = kv::make_engine(kv::EngineKind::kBTree, dev, io, cfg);
+    tree->bulk_load(items, [](uint64_t i) {
       return std::make_pair(kv::encode_key(i, 16),
                             kv::make_value(i, kValueBytes));
     });
@@ -121,8 +126,8 @@ void range_scan_ablation(const bench::BenchArgs& args) {
     uint64_t bytes = 0;
     for (int s = 0; s < scans; ++s) {
       const uint64_t start = rng.uniform(items - scan_len);
-      for (const auto& [k, v] : tree.scan(kv::encode_key(start, 16),
-                                          scan_len)) {
+      for (const auto& [k, v] : tree->range_scan(kv::encode_key(start, 16),
+                                                 scan_len)) {
         bytes += k.size() + v.size();
       }
     }
@@ -148,11 +153,11 @@ void upsert_ablation(const bench::BenchArgs& args) {
   for (const bool blind : {true, false}) {
     sim::HddDevice dev(sim::testbed_hdd_profile(), args.seed);
     sim::IoContext io(dev);
-    betree::BeTreeConfig cfg;
-    cfg.node_bytes = 512 * kKiB;
-    cfg.cache_bytes = 2 * kMiB;
-    betree::BeTree tree(dev, io, cfg);
-    tree.bulk_load(counters, [](uint64_t i) {
+    kv::EngineConfig cfg;
+    cfg.betree.node_bytes = 512 * kKiB;
+    cfg.betree.cache_bytes = 2 * kMiB;
+    const auto tree = kv::make_engine(kv::EngineKind::kBeTree, dev, io, cfg);
+    tree->bulk_load(counters, [](uint64_t i) {
       return std::make_pair(kv::encode_key(i, 16),
                             betree::encode_counter(0));
     });
@@ -162,14 +167,14 @@ void upsert_ablation(const bench::BenchArgs& args) {
     for (uint64_t i = 0; i < ops; ++i) {
       const std::string key = kv::encode_key(rng.uniform(counters), 16);
       if (blind) {
-        tree.upsert(key, 1);
+        tree->upsert(key, 1);
       } else {
-        const auto cur = tree.get(key);
+        const auto cur = tree->get(key);
         const uint64_t v = cur ? betree::decode_counter(*cur) : 0;
-        tree.put(key, betree::encode_counter(v + 1));
+        tree->put(key, betree::encode_counter(v + 1));
       }
     }
-    tree.flush_cache();
+    tree->flush();
     t.add_row({blind ? "upsert message (blind)" : "read-modify-write",
                strfmt("%.3f",
                       sim::to_seconds(io.now() - t0) * 1e3 /

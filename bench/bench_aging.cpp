@@ -9,8 +9,8 @@
 // measure again. The paper's FAST'17 companion measured exactly this
 // degradation on real file systems.
 #include "bench_common.h"
-#include "btree/btree.h"
 #include "harness/report.h"
+#include "kv/engine.h"
 #include "kv/slice.h"
 #include "sim/profiles.h"
 #include "util/bytes.h"
@@ -34,11 +34,11 @@ int main(int argc, char** argv) {
   for (const uint64_t node : {16 * kKiB, 64 * kKiB, 256 * kKiB}) {
     sim::HddDevice dev(sim::testbed_hdd_profile(), args.seed);
     sim::IoContext io(dev);
-    btree::BTreeConfig cfg;
-    cfg.node_bytes = node;
-    cfg.cache_bytes = std::max<uint64_t>(node * 4, 4 * kMiB);
-    btree::BTree tree(dev, io, cfg);
-    tree.bulk_load(items, [](uint64_t i) {
+    kv::EngineConfig cfg;
+    cfg.btree.node_bytes = node;
+    cfg.btree.cache_bytes = std::max<uint64_t>(node * 4, 4 * kMiB);
+    const auto tree = kv::make_engine(kv::EngineKind::kBTree, dev, io, cfg);
+    tree->bulk_load(items, [](uint64_t i) {
       // Leave odd ids free so churn inserts *new* keys (forcing splits).
       return std::make_pair(kv::encode_key(i * 2, 16),
                             kv::make_value(i, kValueBytes));
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
       for (int s = 0; s < scans; ++s) {
         const uint64_t start = rng.uniform(items - scan_len) * 2;
         for (const auto& [k, v] :
-             tree.scan(kv::encode_key(start, 16), scan_len)) {
+             tree->range_scan(kv::encode_key(start, 16), scan_len)) {
           bytes += k.size() + v.size();
         }
       }
@@ -66,12 +66,12 @@ int main(int argc, char** argv) {
     for (uint64_t i = 0; i < churn; ++i) {
       const uint64_t id = rng.uniform(2 * items);
       if (i % 4 == 3) {
-        (void)tree.erase(kv::encode_key(id, 16));
+        tree->erase(kv::encode_key(id, 16));
       } else {
-        tree.put(kv::encode_key(id, 16), kv::make_value(id, kValueBytes));
+        tree->put(kv::encode_key(id, 16), kv::make_value(id, kValueBytes));
       }
     }
-    tree.flush();
+    tree->flush();
 
     const double aged = measure_scans();
     t.add_row({format_bytes(node), strfmt("%.1f", fresh),

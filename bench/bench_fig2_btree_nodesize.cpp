@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   bench::banner("Figure 2 — B-tree node-size sweep on HDD", "Figure 2, §7");
 
   harness::SweepConfig cfg;
-  cfg.kind = harness::TreeKind::kBTree;
+  cfg.kind = kv::EngineKind::kBTree;
   cfg.node_sizes = {4 * kKiB, 16 * kKiB, 64 * kKiB, 256 * kKiB, 1 * kMiB};
   cfg.items = args.quick ? 200'000 : 1'000'000;
   cfg.queries = args.quick ? 200 : 1000;

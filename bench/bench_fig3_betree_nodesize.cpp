@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   bench::banner("Figure 3 — Be-tree node-size sweep on HDD", "Figure 3, §7");
 
   harness::SweepConfig cfg;
-  cfg.kind = harness::TreeKind::kBeTree;
+  cfg.kind = kv::EngineKind::kBeTree;
   cfg.node_sizes = {64 * kKiB, 256 * kKiB, 1 * kMiB, 4 * kMiB};
   cfg.items = args.quick ? 200'000 : 1'000'000;
   cfg.queries = args.quick ? 150 : 600;
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
 
   // Sensitivity comparison against Figure 2's B-tree at shared sizes.
   harness::SweepConfig bt = cfg;
-  bt.kind = harness::TreeKind::kBTree;
+  bt.kind = kv::EngineKind::kBTree;
   bt.node_sizes = {64 * kKiB, 1 * kMiB};
   const auto btres = run_nodesize_sweep(sim::testbed_hdd_profile(), bt);
   Table cmp({"structure", "insert growth 64KiB->1MiB",

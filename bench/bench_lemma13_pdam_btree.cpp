@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "harness/experiments.h"
 #include "harness/report.h"
 #include "model/pdam.h"
 #include "pdam_tree/pdam_btree.h"
@@ -39,16 +40,22 @@ int main(int argc, char** argv) {
   pdam_tree::PdamTreeConfig bfs_cfg = veb_cfg;
   bfs_cfg.layout = pdam_tree::NodeLayout::kBfs;
 
-  const pdam_tree::PdamBTree veb(keys, veb_cfg);
-  const pdam_tree::PdamBTree bfs(keys, bfs_cfg);
   const model::PdamModel model(p, block);
 
+  const std::vector<int> clients = {1, 2, 4, 8, 16, 32};
   const uint64_t queries = args.quick ? 200 : 1000;
+  const harness::PdamQueryRun veb = harness::run_pdam_tree_queries(
+      keys, veb_cfg, clients, queries, args.seed + 1);
+  const harness::PdamQueryRun bfs = harness::run_pdam_tree_queries(
+      keys, bfs_cfg, clients, queries, args.seed + 1);
+  DAMKIT_CHECK(veb.oracle_ok && bfs.oracle_ok);
+
   Table t({"clients k", "vEB q/step", "BFS q/step", "model Om(k/log)",
            "small-node q/step", "big-plain q/step"});
-  for (int k : {1, 2, 4, 8, 16, 32}) {
-    const auto rv = veb.run_queries(k, queries, args.seed + 1);
-    const auto rb = bfs.run_queries(k, queries, args.seed + 1);
+  for (size_t i = 0; i < clients.size(); ++i) {
+    const int k = clients[i];
+    const auto& rv = veb.points[i].result;
+    const auto& rb = bfs.points[i].result;
     const double kk = std::min<double>(k, p);
     t.add_row({strfmt("%d", k), strfmt("%.3f", rv.throughput()),
                strfmt("%.3f", rb.throughput()),
@@ -66,7 +73,7 @@ int main(int argc, char** argv) {
       "optimum, P clients get the small-node optimum, and intermediate k "
       "degrades gracefully — no re-tuning.\n");
   std::printf("geometry: H=%d pivot levels, node height %d, %llu blocks/node\n",
-              veb.global_height(), veb.node_height(),
-              static_cast<unsigned long long>(veb.node_blocks()));
+              veb.global_height, veb.node_height,
+              static_cast<unsigned long long>(veb.node_blocks));
   return 0;
 }

@@ -13,9 +13,11 @@
 
 #include "bench_common.h"
 #include "harness/report.h"
+#include "kv/engine.h"
 #include "kv/slice.h"
 #include "lsm/lsm_tree.h"
 #include "sim/profiles.h"
+#include "stats/metrics.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 
@@ -35,13 +37,13 @@ int main(int argc, char** argv) {
        {64 * kKiB, 256 * kKiB, 1 * kMiB, 2 * kMiB, 8 * kMiB, 32 * kMiB}) {
     sim::HddDevice dev(sim::testbed_hdd_profile(), args.seed);
     sim::IoContext io(dev);
-    lsm::LsmConfig cfg;
-    cfg.memtable_bytes = 1 * kMiB;
-    cfg.sstable_target_bytes = sstable;
-    cfg.block_bytes = 4096;
-    cfg.level1_bytes = 8 * kMiB;
-    cfg.size_ratio = 10.0;
-    lsm::LsmTree tree(dev, io, cfg);
+    kv::EngineConfig cfg;
+    cfg.lsm.memtable_bytes = 1 * kMiB;
+    cfg.lsm.sstable_target_bytes = sstable;
+    cfg.lsm.block_bytes = 4096;
+    cfg.lsm.level1_bytes = 8 * kMiB;
+    cfg.lsm.size_ratio = 10.0;
+    const auto tree = kv::make_engine(kv::EngineKind::kLsm, dev, io, cfg);
 
     // Load phase (random order; the LSM makes it all sequential IO).
     Rng rng(args.seed);
@@ -49,9 +51,9 @@ int main(int argc, char** argv) {
     const sim::SimTime t0 = io.now();
     for (uint64_t i = 0; i < items; ++i) {
       const uint64_t id = i * 2654435761 % (4 * items);
-      tree.put(kv::encode_key(id, 16), kv::make_value(id, value_bytes));
+      tree->put(kv::encode_key(id, 16), kv::make_value(id, value_bytes));
     }
-    tree.flush();
+    tree->flush();
     const sim::SimTime t1 = io.now();
     const double insert_ms =
         sim::to_seconds(t1 - t0) * 1e3 / static_cast<double>(items);
@@ -64,17 +66,19 @@ int main(int argc, char** argv) {
     for (uint64_t q = 0; q < queries; ++q) {
       const uint64_t id =
           (rng.uniform(items)) * 2654435761 % (4 * items);
-      hits += tree.get(kv::encode_key(id, 16)).has_value() ? 1 : 0;
+      hits += tree->get(kv::encode_key(id, 16)).has_value() ? 1 : 0;
     }
     const double query_ms = sim::to_seconds(io.now() - q0) * 1e3 /
                             static_cast<double>(queries);
     DAMKIT_CHECK(hits == queries);
 
+    stats::MetricsRegistry reg;
+    tree->export_metrics(reg, "lsm.");
     t.add_row({format_bytes(sstable), strfmt("%.3f", insert_ms),
                strfmt("%.2f", query_ms), strfmt("%.1f", wamp),
                strfmt("%llu", static_cast<unsigned long long>(
-                                  tree.stats().compactions)),
-               strfmt("%zu", tree.level_count())});
+                                  reg.counter("lsm.compactions"))),
+               strfmt("%zu", tree->height())});
   }
   harness::emit("LSM: cost vs SSTable target size", t,
                 args.csv_prefix + "lsm_sstable.csv");
@@ -87,30 +91,32 @@ int main(int argc, char** argv) {
        {lsm::CompactionStyle::kLeveled, lsm::CompactionStyle::kTiered}) {
     sim::HddDevice dev(sim::testbed_hdd_profile(), args.seed);
     sim::IoContext io(dev);
-    lsm::LsmConfig cfg;
-    cfg.memtable_bytes = 1 * kMiB;
-    cfg.sstable_target_bytes = 2 * kMiB;
-    cfg.level1_bytes = 8 * kMiB;
-    cfg.size_ratio = 10.0;
-    cfg.style = style;
-    lsm::LsmTree tree(dev, io, cfg);
+    kv::EngineConfig cfg;
+    cfg.lsm.memtable_bytes = 1 * kMiB;
+    cfg.lsm.sstable_target_bytes = 2 * kMiB;
+    cfg.lsm.level1_bytes = 8 * kMiB;
+    cfg.lsm.size_ratio = 10.0;
+    cfg.lsm.style = style;
+    const auto tree = kv::make_engine(kv::EngineKind::kLsm, dev, io, cfg);
     Rng rng(args.seed);
     dev.clear_stats();
     const sim::SimTime t0 = io.now();
     for (uint64_t i = 0; i < items; ++i) {
       const uint64_t id = i * 2654435761 % (4 * items);
-      tree.put(kv::encode_key(id, 16), kv::make_value(id, value_bytes));
+      tree->put(kv::encode_key(id, 16), kv::make_value(id, value_bytes));
     }
-    tree.flush();
+    tree->flush();
     const double insert_ms =
         sim::to_seconds(io.now() - t0) * 1e3 / static_cast<double>(items);
     const double wamp = static_cast<double>(dev.stats().bytes_written) /
                         (static_cast<double>(items) * (16.0 + value_bytes));
-    const uint64_t probes_before = tree.stats().table_probes;
+    stats::MetricsRegistry before;
+    tree->export_metrics(before, "lsm.");
+    const uint64_t probes_before = before.counter("lsm.table_probes");
     const sim::SimTime q0 = io.now();
     for (uint64_t q = 0; q < queries; ++q) {
       const uint64_t id = (rng.uniform(items)) * 2654435761 % (4 * items);
-      if (!tree.get(kv::encode_key(id, 16)).has_value()) std::abort();
+      if (!tree->get(kv::encode_key(id, 16)).has_value()) std::abort();
     }
     const double query_ms = sim::to_seconds(io.now() - q0) * 1e3 /
                             static_cast<double>(queries);
@@ -118,9 +124,13 @@ int main(int argc, char** argv) {
         {style == lsm::CompactionStyle::kLeveled ? "leveled" : "tiered",
          strfmt("%.3f", insert_ms), strfmt("%.2f", query_ms),
          strfmt("%.1f", wamp),
-         strfmt("%.1f", static_cast<double>(tree.stats().table_probes -
-                                            probes_before) /
-                            static_cast<double>(queries))});
+         strfmt("%.1f", [&] {
+           stats::MetricsRegistry after;
+           tree->export_metrics(after, "lsm.");
+           return static_cast<double>(after.counter("lsm.table_probes") -
+                                      probes_before) /
+                  static_cast<double>(queries);
+         }())});
   }
   harness::emit("LSM: leveled vs tiered compaction", styles,
                 args.csv_prefix + "lsm_styles.csv");

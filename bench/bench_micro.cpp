@@ -6,11 +6,9 @@
 
 #include <memory>
 
-#include "betree/betree.h"
-#include "btree/btree.h"
 #include "cache/buffer_pool.h"
+#include "kv/engine.h"
 #include "kv/slice.h"
-#include "lsm/lsm_tree.h"
 #include "pdam_tree/veb_layout.h"
 #include "sim/closed_loop.h"
 #include "sim/hdd.h"
@@ -77,27 +75,29 @@ void BM_BufferPoolGetHit(benchmark::State& state) {
 }
 BENCHMARK(BM_BufferPoolGetHit);
 
-struct BTreeFixture {
-  BTreeFixture(uint64_t node_bytes, uint64_t items) {
+struct EngineFixture {
+  EngineFixture(kv::EngineKind kind, uint64_t node_bytes, uint64_t items) {
     sim::HddConfig cfg;
     cfg.capacity_bytes = 8ULL * kGiB;
     dev = std::make_unique<sim::HddDevice>(cfg, 1);
     io = std::make_unique<sim::IoContext>(*dev);
-    btree::BTreeConfig tc;
-    tc.node_bytes = node_bytes;
-    tc.cache_bytes = 64 * kMiB;  // in-cache: measures CPU cost
-    tree = std::make_unique<btree::BTree>(*dev, *io, tc);
+    kv::EngineConfig ec;
+    ec.btree.node_bytes = node_bytes;
+    ec.btree.cache_bytes = 64 * kMiB;  // in-cache: measures CPU cost
+    ec.betree.node_bytes = node_bytes;
+    ec.betree.cache_bytes = 64 * kMiB;
+    tree = kv::make_engine(kind, *dev, *io, ec);
     tree->bulk_load(items, [](uint64_t i) {
       return std::make_pair(kv::encode_key(i), kv::make_value(i, 100));
     });
   }
   std::unique_ptr<sim::HddDevice> dev;
   std::unique_ptr<sim::IoContext> io;
-  std::unique_ptr<btree::BTree> tree;
+  std::unique_ptr<kv::Dictionary> tree;
 };
 
 void BM_BTreeGet(benchmark::State& state) {
-  BTreeFixture f(64 * kKiB, 100'000);
+  EngineFixture f(kv::EngineKind::kBTree, 64 * kKiB, 100'000);
   Rng rng(3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(f.tree->get(kv::encode_key(rng.uniform(100'000))));
@@ -107,7 +107,7 @@ void BM_BTreeGet(benchmark::State& state) {
 BENCHMARK(BM_BTreeGet);
 
 void BM_BTreePut(benchmark::State& state) {
-  BTreeFixture f(64 * kKiB, 100'000);
+  EngineFixture f(kv::EngineKind::kBTree, 64 * kKiB, 100'000);
   Rng rng(3);
   for (auto _ : state) {
     const uint64_t id = rng.uniform(100'000);
@@ -117,27 +117,8 @@ void BM_BTreePut(benchmark::State& state) {
 }
 BENCHMARK(BM_BTreePut);
 
-struct BeTreeFixture {
-  BeTreeFixture(uint64_t node_bytes, uint64_t items) {
-    sim::HddConfig cfg;
-    cfg.capacity_bytes = 8ULL * kGiB;
-    dev = std::make_unique<sim::HddDevice>(cfg, 1);
-    io = std::make_unique<sim::IoContext>(*dev);
-    betree::BeTreeConfig tc;
-    tc.node_bytes = node_bytes;
-    tc.cache_bytes = 64 * kMiB;
-    tree = std::make_unique<betree::BeTree>(*dev, *io, tc);
-    tree->bulk_load(items, [](uint64_t i) {
-      return std::make_pair(kv::encode_key(i), kv::make_value(i, 100));
-    });
-  }
-  std::unique_ptr<sim::HddDevice> dev;
-  std::unique_ptr<sim::IoContext> io;
-  std::unique_ptr<betree::BeTree> tree;
-};
-
 void BM_BeTreePut(benchmark::State& state) {
-  BeTreeFixture f(256 * kKiB, 100'000);
+  EngineFixture f(kv::EngineKind::kBeTree, 256 * kKiB, 100'000);
   Rng rng(3);
   for (auto _ : state) {
     const uint64_t id = rng.uniform(200'000);
@@ -148,7 +129,7 @@ void BM_BeTreePut(benchmark::State& state) {
 BENCHMARK(BM_BeTreePut);
 
 void BM_BeTreeGet(benchmark::State& state) {
-  BeTreeFixture f(256 * kKiB, 100'000);
+  EngineFixture f(kv::EngineKind::kBeTree, 256 * kKiB, 100'000);
   Rng rng(3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(f.tree->get(kv::encode_key(rng.uniform(100'000))));
@@ -158,7 +139,7 @@ void BM_BeTreeGet(benchmark::State& state) {
 BENCHMARK(BM_BeTreeGet);
 
 void BM_BeTreeUpsert(benchmark::State& state) {
-  BeTreeFixture f(256 * kKiB, 100'000);
+  EngineFixture f(kv::EngineKind::kBeTree, 256 * kKiB, 100'000);
   Rng rng(3);
   for (auto _ : state) {
     f.tree->upsert(kv::encode_key(rng.uniform(100'000)), 1);
@@ -194,10 +175,10 @@ struct LsmFixture {
     cfg.capacity_bytes = 8ULL * kGiB;
     dev = std::make_unique<sim::HddDevice>(cfg, 1);
     io = std::make_unique<sim::IoContext>(*dev);
-    lsm::LsmConfig lc;
-    lc.memtable_bytes = 1 * kMiB;
-    lc.sstable_target_bytes = 2 * kMiB;
-    tree = std::make_unique<lsm::LsmTree>(*dev, *io, lc);
+    kv::EngineConfig ec;
+    ec.lsm.memtable_bytes = 1 * kMiB;
+    ec.lsm.sstable_target_bytes = 2 * kMiB;
+    tree = kv::make_engine(kv::EngineKind::kLsm, *dev, *io, ec);
     for (uint64_t i = 0; i < 100'000; ++i) {
       tree->put(kv::encode_key(i), kv::make_value(i, 100));
     }
@@ -205,7 +186,7 @@ struct LsmFixture {
   }
   std::unique_ptr<sim::HddDevice> dev;
   std::unique_ptr<sim::IoContext> io;
-  std::unique_ptr<lsm::LsmTree> tree;
+  std::unique_ptr<kv::Dictionary> tree;
 };
 
 void BM_LsmPut(benchmark::State& state) {

@@ -10,8 +10,8 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "betree_opt/opt_betree.h"
 #include "harness/report.h"
+#include "kv/engine.h"
 #include "kv/slice.h"
 #include "kv/workload.h"
 #include "sim/profiles.h"
@@ -31,19 +31,16 @@ PointResult measure(bool optimized, uint64_t node_bytes, uint64_t items,
   using namespace damkit;
   sim::HddDevice dev(sim::testbed_hdd_profile(), seed);
   sim::IoContext io(dev);
-  betree::BeTreeConfig cfg;
-  cfg.node_bytes = node_bytes;
-  cfg.target_fanout = 0;  // sqrt(B)
-  cfg.pivot_estimate_bytes = 24;
-  cfg.cache_bytes = std::max<uint64_t>(
+  kv::EngineConfig cfg;
+  cfg.betree.node_bytes = node_bytes;
+  cfg.betree.target_fanout = 0;  // sqrt(B)
+  cfg.betree.pivot_estimate_bytes = 24;
+  cfg.betree.cache_bytes = std::max<uint64_t>(
       static_cast<uint64_t>(0.25 * 122.0 * static_cast<double>(items)),
       node_bytes * 4);
-  std::unique_ptr<betree::BeTree> tree;
-  if (optimized) {
-    tree = std::make_unique<betree_opt::OptBeTree>(dev, io, cfg);
-  } else {
-    tree = std::make_unique<betree::BeTree>(dev, io, cfg);
-  }
+  const std::unique_ptr<kv::Dictionary> tree = kv::make_engine(
+      optimized ? kv::EngineKind::kOptBeTree : kv::EngineKind::kBeTree, dev,
+      io, cfg);
   tree->bulk_load(items, [](uint64_t i) {
     return std::make_pair(kv::encode_key(i, 16), kv::make_value(i, 100));
   });
@@ -74,7 +71,7 @@ PointResult measure(bool optimized, uint64_t node_bytes, uint64_t items,
       const uint64_t id = rng.uniform(items);
       tree->put(kv::encode_key(id, 16), kv::make_value(id ^ u, 100));
     }
-    tree->flush_cache();
+    tree->flush();
     out.insert_ms = sim::to_seconds(io.now() - before) * 1e3 /
                     static_cast<double>(inserts);
   }

@@ -5,15 +5,12 @@
 // (Bε, LSM) insert orders of magnitude faster than the B-tree at a
 // modest point-query premium, the Theorem-9 Bε-tree removes most of that
 // premium, and range scans favour big-leaf structures.
-#include <functional>
 #include <memory>
 
 #include "bench_common.h"
-#include "betree_opt/opt_betree.h"
-#include "btree/btree.h"
 #include "harness/report.h"
+#include "kv/engine.h"
 #include "kv/slice.h"
-#include "lsm/lsm_tree.h"
 #include "sim/profiles.h"
 #include "util/bytes.h"
 #include "util/rng.h"
@@ -40,26 +37,25 @@ struct Workload {
   uint64_t seed = 42;
 };
 
-// A minimal uniform interface over the four structures.
-struct Api {
-  std::function<void(std::string_view, std::string_view)> put;
-  std::function<bool(std::string_view)> get;
-  std::function<uint64_t(std::string_view, size_t)> scan_bytes;
-  std::function<void()> flush;
-};
-
 Result run(const Workload& w, sim::HddDevice& dev, sim::IoContext& io,
-           const Api& api) {
+           kv::Dictionary& dict) {
   Result r{};
   Rng rng(w.seed);
+  const auto scan_bytes = [&dict](std::string_view lo, size_t n) {
+    uint64_t bytes = 0;
+    for (const auto& [k, v] : dict.range_scan(lo, n)) {
+      bytes += k.size() + v.size();
+    }
+    return bytes;
+  };
   // Load (random order — the realistic ingest case the paper motivates).
   {
     const sim::SimTime t0 = io.now();
     for (uint64_t i = 0; i < w.items; ++i) {
       const uint64_t id = i * 2654435761 % (2 * w.items);
-      api.put(kv::encode_key(id, 16), kv::make_value(id, w.value_bytes));
+      dict.put(kv::encode_key(id, 16), kv::make_value(id, w.value_bytes));
     }
-    api.flush();
+    dict.flush();
     r.load_ms = sim::to_seconds(io.now() - t0) * 1e3 /
                 static_cast<double>(w.items);
   }
@@ -69,9 +65,9 @@ Result run(const Workload& w, sim::HddDevice& dev, sim::IoContext& io,
     const sim::SimTime t0 = io.now();
     for (uint64_t i = 0; i < w.inserts; ++i) {
       const uint64_t id = rng.uniform(2 * w.items);
-      api.put(kv::encode_key(id, 16), kv::make_value(id ^ i, w.value_bytes));
+      dict.put(kv::encode_key(id, 16), kv::make_value(id ^ i, w.value_bytes));
     }
-    api.flush();
+    dict.flush();
     r.insert_ms = sim::to_seconds(io.now() - t0) * 1e3 /
                   static_cast<double>(w.inserts);
     r.write_amp = static_cast<double>(dev.stats().bytes_written) /
@@ -83,7 +79,7 @@ Result run(const Workload& w, sim::HddDevice& dev, sim::IoContext& io,
     for (uint64_t i = 0; i < w.queries; ++i) {
       const uint64_t id =
           (rng.uniform(w.items)) * 2654435761 % (2 * w.items);
-      if (!api.get(kv::encode_key(id, 16))) {
+      if (!dict.get(kv::encode_key(id, 16)).has_value()) {
         std::fprintf(stderr, "missing key\n");
         std::abort();
       }
@@ -97,7 +93,7 @@ Result run(const Workload& w, sim::HddDevice& dev, sim::IoContext& io,
     uint64_t bytes = 0;
     for (int s = 0; s < w.scans; ++s) {
       const uint64_t start = rng.uniform(w.items);
-      bytes += api.scan_bytes(kv::encode_key(start, 16), w.scan_len);
+      bytes += scan_bytes(kv::encode_key(start, 16), w.scan_len);
     }
     r.scan_mbps =
         static_cast<double>(bytes) / sim::to_seconds(io.now() - t0) / 1e6;
@@ -124,88 +120,35 @@ int main(int argc, char** argv) {
 
   Table t({"structure", "load (ms/op)", "insert (ms/op)", "query (ms/op)",
            "scan MB/s", "insert write amp"});
-  auto add = [&t](const char* name, const Result& r) {
-    t.add_row({name, strfmt("%.3f", r.load_ms), strfmt("%.3f", r.insert_ms),
+
+  struct Contender {
+    const char* label;
+    kv::EngineKind kind;
+    uint64_t node_bytes;
+  };
+  const Contender contenders[] = {
+      {"B-tree 64 KiB", kv::EngineKind::kBTree, 64 * kKiB},  // Fig-2 optimum
+      {"Be-tree 1 MiB", kv::EngineKind::kBeTree, 1 * kMiB},  // Fig-3 regime
+      // Thm 9 pays off once alpha*B >> 1.
+      {"Thm-9 Be 4 MiB", kv::EngineKind::kOptBeTree, 4 * kMiB},
+      {"LSM 2 MiB SST", kv::EngineKind::kLsm, 2 * kMiB},
+  };
+  for (const Contender& c : contenders) {
+    sim::HddDevice dev(sim::testbed_hdd_profile(), w.seed);
+    sim::IoContext io(dev);
+    kv::EngineConfig cfg;
+    cfg.btree.node_bytes = c.node_bytes;
+    cfg.btree.cache_bytes = cache;
+    cfg.betree.node_bytes = c.node_bytes;
+    cfg.betree.cache_bytes = cache;
+    cfg.lsm.memtable_bytes = 4 * kMiB;
+    cfg.lsm.sstable_target_bytes = c.node_bytes;
+    cfg.lsm.level1_bytes = 40 * kMiB;
+    const auto dict = kv::make_engine(c.kind, dev, io, cfg);
+    const Result r = run(w, dev, io, *dict);
+    t.add_row({c.label, strfmt("%.3f", r.load_ms), strfmt("%.3f", r.insert_ms),
                strfmt("%.2f", r.query_ms), strfmt("%.1f", r.scan_mbps),
                strfmt("%.1f", r.write_amp)});
-  };
-
-  {
-    sim::HddDevice dev(sim::testbed_hdd_profile(), w.seed);
-    sim::IoContext io(dev);
-    btree::BTreeConfig cfg;
-    cfg.node_bytes = 64 * kKiB;  // its Figure-2 optimum
-    cfg.cache_bytes = cache;
-    btree::BTree tree(dev, io, cfg);
-    Api api{[&](auto k, auto v) { tree.put(k, v); },
-            [&](auto k) { return tree.get(k).has_value(); },
-            [&](auto lo, size_t n) {
-              uint64_t bytes = 0;
-              for (const auto& [k, v] : tree.scan(lo, n)) {
-                bytes += k.size() + v.size();
-              }
-              return bytes;
-            },
-            [&] { tree.flush(); }};
-    add("B-tree 64 KiB", run(w, dev, io, api));
-  }
-  {
-    sim::HddDevice dev(sim::testbed_hdd_profile(), w.seed);
-    sim::IoContext io(dev);
-    betree::BeTreeConfig cfg;
-    cfg.node_bytes = 1 * kMiB;  // its Figure-3 regime
-    cfg.cache_bytes = cache;
-    betree::BeTree tree(dev, io, cfg);
-    Api api{[&](auto k, auto v) { tree.put(k, v); },
-            [&](auto k) { return tree.get(k).has_value(); },
-            [&](auto lo, size_t n) {
-              uint64_t bytes = 0;
-              for (const auto& [k, v] : tree.scan(lo, n)) {
-                bytes += k.size() + v.size();
-              }
-              return bytes;
-            },
-            [&] { tree.flush_cache(); }};
-    add("Be-tree 1 MiB", run(w, dev, io, api));
-  }
-  {
-    sim::HddDevice dev(sim::testbed_hdd_profile(), w.seed);
-    sim::IoContext io(dev);
-    betree::BeTreeConfig cfg;
-    cfg.node_bytes = 4 * kMiB;  // Thm 9 pays off once alpha*B >> 1
-    cfg.cache_bytes = cache;
-    betree_opt::OptBeTree tree(dev, io, cfg);
-    Api api{[&](auto k, auto v) { tree.put(k, v); },
-            [&](auto k) { return tree.get(k).has_value(); },
-            [&](auto lo, size_t n) {
-              uint64_t bytes = 0;
-              for (const auto& [k, v] : tree.scan(lo, n)) {
-                bytes += k.size() + v.size();
-              }
-              return bytes;
-            },
-            [&] { tree.flush_cache(); }};
-    add("Thm-9 Be 4 MiB", run(w, dev, io, api));
-  }
-  {
-    sim::HddDevice dev(sim::testbed_hdd_profile(), w.seed);
-    sim::IoContext io(dev);
-    lsm::LsmConfig cfg;
-    cfg.memtable_bytes = 4 * kMiB;
-    cfg.sstable_target_bytes = 2 * kMiB;
-    cfg.level1_bytes = 40 * kMiB;
-    lsm::LsmTree tree(dev, io, cfg);
-    Api api{[&](auto k, auto v) { tree.put(k, v); },
-            [&](auto k) { return tree.get(k).has_value(); },
-            [&](auto lo, size_t n) {
-              uint64_t bytes = 0;
-              for (const auto& [k, v] : tree.scan(lo, n)) {
-                bytes += k.size() + v.size();
-              }
-              return bytes;
-            },
-            [&] { tree.flush(); }};
-    add("LSM 2 MiB SST", run(w, dev, io, api));
   }
 
   damkit::harness::emit("Shootout on the testbed HDD", t,

@@ -79,64 +79,67 @@ void run_ssd_batch(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
 void run_btree(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
   sim::SsdDevice dev(sim::testbed_ssd_profile());
   sim::IoContext io(dev);
-  btree::BTreeConfig config;
-  config.node_bytes = 64 * 1024;
-  config.cache_bytes = 2 * 1024 * 1024;
-  btree::BTree tree(dev, io, config);
+  kv::EngineConfig config;
+  config.btree.node_bytes = 64 * 1024;
+  config.btree.cache_bytes = 2 * 1024 * 1024;
+  const auto dict = kv::make_engine(kv::EngineKind::kBTree, dev, io, config);
   const uint64_t n = args.quick ? 4000 : 20000;
-  tree.bulk_load(n, [](uint64_t i) {
+  dict->bulk_load(n, [](uint64_t i) {
     return std::make_pair(key_of(i * 2), std::string(64, 'v'));
   });
-  Rng rng(args.seed + 2);
-  for (uint64_t i = 0; i < n / 2; ++i) {
-    tree.put(key_of(rng.next() % (n * 2)), std::string(64, 'v'));
-  }
-  for (uint64_t i = 0; i < n / 2; ++i) {
-    tree.get(key_of(rng.next() % (n * 2)));
-  }
-  tree.flush();
-  tree.export_metrics(reg, "btree.");
+  harness::PutGetSpec spec;
+  spec.puts = n / 2;
+  spec.gets = n / 2;
+  spec.key_modulus = n * 2;
+  spec.value_bytes = 64;
+  spec.seed = args.seed + 2;
+  spec.key_of = key_of;
+  harness::run_put_get(*dict, spec);
+  dict->flush();
+  dict->export_metrics(reg, "btree.");
   reg.set("btree.sim_seconds", sim::to_seconds(io.now()));
 }
 
 void run_betree(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
   sim::SsdDevice dev(sim::testbed_ssd_profile());
   sim::IoContext io(dev);
-  betree::BeTreeConfig config;
-  config.node_bytes = 128 * 1024;
-  config.cache_bytes = 1024 * 1024;
-  betree::BeTree tree(dev, io, config);
+  kv::EngineConfig config;
+  config.betree.node_bytes = 128 * 1024;
+  config.betree.cache_bytes = 1024 * 1024;
+  const auto dict = kv::make_engine(kv::EngineKind::kBeTree, dev, io, config);
   const uint64_t n = args.quick ? 6000 : 30000;
-  Rng rng(args.seed + 3);
-  for (uint64_t i = 0; i < n; ++i) {
-    tree.put(key_of(rng.next() % (n * 4)), std::string(100, 'v'));
-  }
-  for (uint64_t i = 0; i < n / 4; ++i) {
-    tree.get(key_of(rng.next() % (n * 4)));
-  }
-  tree.flush_cache();
-  tree.export_metrics(reg, "betree.");
+  harness::PutGetSpec spec;
+  spec.puts = n;
+  spec.gets = n / 4;
+  spec.key_modulus = n * 4;
+  spec.value_bytes = 100;
+  spec.seed = args.seed + 3;
+  spec.key_of = key_of;
+  harness::run_put_get(*dict, spec);
+  dict->flush();
+  dict->export_metrics(reg, "betree.");
   reg.set("betree.sim_seconds", sim::to_seconds(io.now()));
 }
 
 void run_lsm(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
   sim::SsdDevice dev(sim::testbed_ssd_profile());
   sim::IoContext io(dev);
-  lsm::LsmConfig config;
-  config.memtable_bytes = 256 * 1024;
-  config.sstable_target_bytes = 128 * 1024;
-  config.level1_bytes = 512 * 1024;
-  lsm::LsmTree tree(dev, io, config);
+  kv::EngineConfig config;
+  config.lsm.memtable_bytes = 256 * 1024;
+  config.lsm.sstable_target_bytes = 128 * 1024;
+  config.lsm.level1_bytes = 512 * 1024;
+  const auto dict = kv::make_engine(kv::EngineKind::kLsm, dev, io, config);
   const uint64_t n = args.quick ? 6000 : 30000;
-  Rng rng(args.seed + 4);
-  for (uint64_t i = 0; i < n; ++i) {
-    tree.put(key_of(rng.next() % (n * 4)), std::string(100, 'v'));
-  }
-  for (uint64_t i = 0; i < n / 4; ++i) {
-    tree.get(key_of(rng.next() % (n * 4)));
-  }
-  tree.flush();
-  tree.export_metrics(reg, "lsm.");
+  harness::PutGetSpec spec;
+  spec.puts = n;
+  spec.gets = n / 4;
+  spec.key_modulus = n * 4;
+  spec.value_bytes = 100;
+  spec.seed = args.seed + 4;
+  spec.key_of = key_of;
+  harness::run_put_get(*dict, spec);
+  dict->flush();
+  dict->export_metrics(reg, "lsm.");
   reg.set("lsm.sim_seconds", sim::to_seconds(io.now()));
 }
 
@@ -149,10 +152,10 @@ void run_pdam(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
   for (uint64_t i = 0; i < n; ++i) keys[i] = i * 7 + 3;
   pdam_tree::PdamTreeConfig config;
   config.parallelism = 8;
-  pdam_tree::PdamBTree tree(std::move(keys), config);
-  const auto rr =
-      tree.run_queries(config.parallelism, args.quick ? 200 : 800,
-                       args.seed + 5);
+  const harness::PdamQueryRun run = harness::run_pdam_tree_queries(
+      keys, config, {config.parallelism}, args.quick ? 200 : 800,
+      args.seed + 5);
+  const auto& rr = run.points[0].result;
   reg.add("pdam.steps", rr.steps);
   reg.add("pdam.queries", rr.queries);
   reg.add("pdam.block_fetch_runs", rr.block_fetch_runs);
@@ -160,6 +163,38 @@ void run_pdam(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
   reg.set("pdam.throughput_queries_per_step", rr.throughput());
   reg.set("pdam.slot_occupancy", rr.slot_occupancy(config.parallelism));
   reg.set("pdam.sim_steps", static_cast<double>(rr.steps));
+}
+
+// Router smoke: the same B-tree workload shape fanned across a 4-shard
+// ShardedEngine (hash partitioning, one device region per shard), with a
+// few cross-shard ordered-merge scans. Gated like every other section via
+// sharded.sim_seconds.
+void run_sharded(const bench::BenchArgs& args, stats::MetricsRegistry& reg) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  kv::EngineConfig config;
+  config.btree.node_bytes = 64 * 1024;
+  config.btree.cache_bytes = 512 * 1024;
+  kv::ShardedConfig sharded;
+  sharded.shards = 4;
+  kv::ShardedEngine engine(kv::EngineKind::kBTree, dev, io, config, sharded);
+  const uint64_t n = args.quick ? 4000 : 20000;
+  engine.bulk_load(n, [](uint64_t i) {
+    return std::make_pair(key_of(i * 2), std::string(64, 'v'));
+  });
+  harness::PutGetSpec spec;
+  spec.puts = n / 2;
+  spec.gets = n / 2;
+  spec.key_modulus = n * 2;
+  spec.value_bytes = 64;
+  spec.seed = args.seed + 6;
+  spec.key_of = key_of;
+  spec.scans = 8;
+  spec.scan_limit = 100;
+  harness::run_put_get(engine, spec);
+  engine.flush();
+  engine.export_metrics(reg, "sharded.");
+  reg.set("sharded.sim_seconds", sim::to_seconds(io.now()));
 }
 
 }  // namespace
@@ -177,6 +212,7 @@ int main(int argc, char** argv) {
   const std::vector<Section> sections = {
       {"hdd", run_hdd_affine}, {"ssd", run_ssd_batch}, {"btree", run_btree},
       {"betree", run_betree},  {"lsm", run_lsm},       {"pdam", run_pdam},
+      {"sharded", run_sharded},
   };
 
   std::vector<stats::MetricsRegistry> per_section(sections.size());

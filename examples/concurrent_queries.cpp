@@ -27,22 +27,28 @@ int main() {
   cfg.block_bytes = 1024;
   cfg.slot_bytes = 16;
   cfg.layout = pdam_tree::NodeLayout::kVeb;
-  const pdam_tree::PdamBTree veb(keys, cfg);
-  cfg.layout = pdam_tree::NodeLayout::kBfs;
-  const pdam_tree::PdamBTree bfs(keys, cfg);
+  pdam_tree::PdamTreeConfig bfs_cfg = cfg;
+  bfs_cfg.layout = pdam_tree::NodeLayout::kBfs;
 
-  std::printf("index: %zu keys, global height %d, PB-node height %d, "
+  const std::vector<int> clients = {1, 2, 4, 8, 16};
+  const harness::PdamQueryRun veb =
+      harness::run_pdam_tree_queries(keys, cfg, clients, 500, 99);
+  const harness::PdamQueryRun bfs =
+      harness::run_pdam_tree_queries(keys, bfs_cfg, clients, 500, 99);
+
+  std::printf("index: %llu keys, global height %d, PB-node height %d, "
               "%llu blocks per node, P = %d\n\n",
-              keys.size(), veb.global_height(), veb.node_height(),
-              static_cast<unsigned long long>(veb.node_blocks()),
+              static_cast<unsigned long long>(veb.keys), veb.global_height,
+              veb.node_height,
+              static_cast<unsigned long long>(veb.node_blocks),
               cfg.parallelism);
 
   std::printf("%8s %14s %14s %10s\n", "clients", "vEB q/step", "BFS q/step",
               "vEB gain");
-  for (int k : {1, 2, 4, 8, 16}) {
-    const auto rv = veb.run_queries(k, 500, 99);
-    const auto rb = bfs.run_queries(k, 500, 99);
-    std::printf("%8d %14.3f %14.3f %9.2fx\n", k, rv.throughput(),
+  for (size_t i = 0; i < clients.size(); ++i) {
+    const auto& rv = veb.points[i].result;
+    const auto& rb = bfs.points[i].result;
+    std::printf("%8d %14.3f %14.3f %9.2fx\n", clients[i], rv.throughput(),
                 rb.throughput(), rv.throughput() / rb.throughput());
   }
 
@@ -53,15 +59,8 @@ int main() {
       "Om(k / log_{PB/k} N).\n");
 
   // Oracle check: the step-driven clients answer the same queries as a
-  // plain binary search.
-  uint64_t probe = 0x123456789abcULL;
-  const uint64_t rank = veb.lower_bound(probe);
-  const uint64_t expect = static_cast<uint64_t>(
-      std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
-  std::printf("\nsanity: lower_bound(0x%llx) = %llu (std::lower_bound: "
-              "%llu)\n",
-              static_cast<unsigned long long>(probe),
-              static_cast<unsigned long long>(rank),
-              static_cast<unsigned long long>(expect));
-  return rank == expect ? 0 : 1;
+  // plain binary search (run_pdam_tree_queries probes both layouts).
+  std::printf("\nsanity: lower_bound oracle %s\n",
+              veb.oracle_ok && bfs.oracle_ok ? "ok" : "MISMATCH");
+  return veb.oracle_ok && bfs.oracle_ok ? 0 : 1;
 }

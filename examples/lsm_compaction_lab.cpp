@@ -21,12 +21,21 @@ int main() {
   sim::IoTrace trace;
   disk.set_trace(&trace);
 
-  lsm::LsmConfig config;
-  config.memtable_bytes = 512 * kKiB;
-  config.sstable_target_bytes = 1 * kMiB;
-  config.level1_bytes = 4 * kMiB;
-  config.size_ratio = 4.0;
-  lsm::LsmTree db(disk, io, config);
+  kv::EngineConfig config;
+  config.lsm.memtable_bytes = 512 * kKiB;
+  config.lsm.sstable_target_bytes = 1 * kMiB;
+  config.lsm.level1_bytes = 4 * kMiB;
+  config.lsm.size_ratio = 4.0;
+  const auto db = kv::make_engine(kv::EngineKind::kLsm, disk, io, config);
+
+  // Everything the old per-tree accessors exposed is in the metrics
+  // export: level shapes as lsm.level<i>.* gauges, compaction and bloom
+  // counters alongside them.
+  const auto snapshot = [&db] {
+    stats::MetricsRegistry reg;
+    db->export_metrics(reg, "lsm.");
+    return reg;
+  };
 
   Rng rng(2024);
   constexpr uint64_t kBurst = 20'000;
@@ -36,19 +45,24 @@ int main() {
   for (int burst = 1; burst <= kBursts; ++burst) {
     for (uint64_t i = 0; i < kBurst; ++i) {
       const uint64_t id = rng.uniform(1'000'000);
-      db.put(kv::encode_key(id), kv::make_value(id, 100));
+      db->put(kv::encode_key(id), kv::make_value(id, 100));
     }
-    db.flush();
-    const auto counts = db.level_table_counts();
+    db->flush();
+    const stats::MetricsRegistry reg = snapshot();
     std::string shape;
-    for (size_t l = 0; l < counts.size(); ++l) {
-      shape += "L" + std::to_string(l) + ":" + std::to_string(counts[l]) + " ";
+    for (size_t l = 0; l < db->height(); ++l) {
+      const std::string gauge = "lsm.level" + std::to_string(l) + ".tables";
+      shape += "L" + std::to_string(l) + ":" +
+               std::to_string(static_cast<uint64_t>(reg.gauge(gauge))) + " ";
     }
     std::printf("%5d  %-28s %11llu  %6.2f/%.2f     %7.2fs\n", burst,
                 shape.c_str(),
-                static_cast<unsigned long long>(db.stats().compactions),
-                static_cast<double>(db.stats().compaction_bytes_in) / 1e9,
-                static_cast<double>(db.stats().compaction_bytes_out) / 1e9,
+                static_cast<unsigned long long>(
+                    reg.counter("lsm.compactions")),
+                static_cast<double>(reg.counter("lsm.compaction_bytes_in")) /
+                    1e9,
+                static_cast<double>(reg.counter("lsm.compaction_bytes_out")) /
+                    1e9,
                 sim::to_seconds(io.now()));
   }
 
@@ -60,20 +74,22 @@ int main() {
   for (int q = 0; q < 2000; ++q) {
     const uint64_t id = (q % 2 == 0) ? probe.uniform(1'000'000)
                                      : 2'000'000 + probe.uniform(1'000'000);
-    hits += db.get(kv::encode_key(id)).has_value() ? 1 : 0;
+    hits += db->get(kv::encode_key(id)).has_value() ? 1 : 0;
   }
   std::printf("\npoint queries: 2000 issued, %llu hits\n",
               static_cast<unsigned long long>(hits));
 
-  const lsm::LsmStats& s = db.stats();
+  const stats::MetricsRegistry reg = snapshot();
+  const uint64_t bloom_negative = reg.counter("lsm.bloom_negative");
+  const uint64_t table_probes = reg.counter("lsm.table_probes");
   std::printf("\nbloom filters: %llu of %llu table probes skipped "
               "(%.0f%%)\n",
-              static_cast<unsigned long long>(s.bloom_negative),
-              static_cast<unsigned long long>(s.table_probes),
-              s.table_probes == 0
+              static_cast<unsigned long long>(bloom_negative),
+              static_cast<unsigned long long>(table_probes),
+              table_probes == 0
                   ? 0.0
-                  : 100.0 * static_cast<double>(s.bloom_negative) /
-                        static_cast<double>(s.table_probes));
+                  : 100.0 * static_cast<double>(bloom_negative) /
+                        static_cast<double>(table_probes));
 
   // What did the device actually see? LSM ingest is sequential writes.
   uint64_t write_ios = 0, write_bytes = 0;

@@ -28,8 +28,7 @@ struct WorkloadCost {
   double olap_scan_mbps;  // effective scan bandwidth
 };
 
-template <typename Tree>
-WorkloadCost run(Tree& tree, sim::IoContext& io, Rng& rng) {
+WorkloadCost run(kv::Dictionary& tree, sim::IoContext& io, Rng& rng) {
   WorkloadCost out{};
   {
     const sim::SimTime before = io.now();
@@ -49,7 +48,7 @@ WorkloadCost run(Tree& tree, sim::IoContext& io, Rng& rng) {
     uint64_t bytes = 0;
     for (int s = 0; s < kScans; ++s) {
       const uint64_t start = rng.uniform(kItems - kScanLen);
-      const auto rows = tree.scan(kv::encode_key(start), kScanLen);
+      const auto rows = tree.range_scan(kv::encode_key(start), kScanLen);
       for (const auto& [k, v] : rows) bytes += k.size() + v.size();
     }
     out.olap_scan_mbps =
@@ -72,15 +71,15 @@ int main() {
   for (const uint64_t node : {16 * kKiB, 128 * kKiB, 1 * kMiB}) {
     sim::HddDevice dev(sim::testbed_hdd_profile(), 7);
     sim::IoContext io(dev);
-    btree::BTreeConfig cfg;
-    cfg.node_bytes = node;
-    cfg.cache_bytes = std::max(cache, node * 4);
-    btree::BTree tree(dev, io, cfg);
-    tree.bulk_load(kItems, [](uint64_t i) {
+    kv::EngineConfig cfg;
+    cfg.btree.node_bytes = node;
+    cfg.btree.cache_bytes = std::max(cache, node * 4);
+    const auto tree = kv::make_engine(kv::EngineKind::kBTree, dev, io, cfg);
+    tree->bulk_load(kItems, [](uint64_t i) {
       return std::make_pair(kv::encode_key(i), kv::make_value(i, kValueBytes));
     });
     Rng rng(11);
-    const WorkloadCost c = run(tree, io, rng);
+    const WorkloadCost c = run(*tree, io, rng);
     std::printf("%-12s %-10s %16.2f %18.1f\n", "B-tree",
                 format_bytes(node).c_str(), c.oltp_ms_per_op,
                 c.olap_scan_mbps);
@@ -89,15 +88,15 @@ int main() {
   for (const uint64_t node : {1 * kMiB}) {
     sim::HddDevice dev(sim::testbed_hdd_profile(), 7);
     sim::IoContext io(dev);
-    betree::BeTreeConfig cfg;
-    cfg.node_bytes = node;
-    cfg.cache_bytes = std::max(cache, node * 4);
-    betree::BeTree tree(dev, io, cfg);
-    tree.bulk_load(kItems, [](uint64_t i) {
+    kv::EngineConfig cfg;
+    cfg.betree.node_bytes = node;
+    cfg.betree.cache_bytes = std::max(cache, node * 4);
+    const auto tree = kv::make_engine(kv::EngineKind::kBeTree, dev, io, cfg);
+    tree->bulk_load(kItems, [](uint64_t i) {
       return std::make_pair(kv::encode_key(i), kv::make_value(i, kValueBytes));
     });
     Rng rng(11);
-    const WorkloadCost c = run(tree, io, rng);
+    const WorkloadCost c = run(*tree, io, rng);
     std::printf("%-12s %-10s %16.2f %18.1f\n", "Be-tree",
                 format_bytes(node).c_str(), c.oltp_ms_per_op,
                 c.olap_scan_mbps);

@@ -17,7 +17,11 @@
 #include "harness/fitting.h"           // IWYU pragma: export
 #include "harness/parallel.h"          // IWYU pragma: export
 #include "harness/report.h"            // IWYU pragma: export
+#include "harness/workload_runner.h"   // IWYU pragma: export
 #include "blockdev/byte_arena.h"       // IWYU pragma: export
+#include "kv/dictionary.h"             // IWYU pragma: export
+#include "kv/engine.h"                 // IWYU pragma: export
+#include "kv/sharded_engine.h"         // IWYU pragma: export
 #include "kv/slice.h"                  // IWYU pragma: export
 #include "kv/workload.h"               // IWYU pragma: export
 #include "lsm/lsm_tree.h"              // IWYU pragma: export

@@ -6,9 +6,7 @@
 
 #include "harness/parallel.h"
 
-#include "betree/betree.h"
-#include "betree_opt/opt_betree.h"
-#include "btree/btree.h"
+#include "kv/engine.h"
 #include "kv/slice.h"
 #include "kv/workload.h"
 #include "sim/closed_loop.h"
@@ -77,77 +75,29 @@ PdamExperimentResult run_pdam_experiment(const sim::SsdConfig& ssd,
 
 namespace {
 
-/// Minimal dictionary facade so the sweep code is tree-agnostic.
-class Dict {
- public:
-  virtual ~Dict() = default;
-  virtual void bulk_load(uint64_t count, const kv::WorkloadSpec& spec) = 0;
-  virtual void put(std::string_view k, std::string_view v) = 0;
-  virtual bool get_ok(std::string_view k) = 0;
-  virtual void flush() = 0;
-  virtual size_t height() const = 0;
-  virtual double cache_hit_rate() const = 0;
-};
-
-class BTreeDict final : public Dict {
- public:
-  BTreeDict(sim::Device& dev, sim::IoContext& io, btree::BTreeConfig cfg)
-      : tree_(dev, io, cfg) {}
-  void bulk_load(uint64_t count, const kv::WorkloadSpec& spec) override {
-    tree_.bulk_load(count, [&spec](uint64_t i) {
-      kv::BulkItem item = kv::bulk_item(i, spec);
-      return std::make_pair(std::move(item.key), std::move(item.value));
-    });
-  }
-  void put(std::string_view k, std::string_view v) override {
-    tree_.put(k, v);
-  }
-  bool get_ok(std::string_view k) override {
-    return tree_.get(k).has_value();
-  }
-  void flush() override { tree_.flush(); }
-  size_t height() const override { return tree_.height(); }
-  double cache_hit_rate() const override {
-    return tree_.cache_stats().hit_rate();
-  }
-
- private:
-  btree::BTree tree_;
-};
-
-class BeTreeDict final : public Dict {
- public:
-  BeTreeDict(sim::Device& dev, sim::IoContext& io, betree::BeTreeConfig cfg,
-             bool optimized)
-      : tree_(optimized
-                  ? std::unique_ptr<betree::BeTree>(
-                        std::make_unique<betree_opt::OptBeTree>(dev, io, cfg))
-                  : std::make_unique<betree::BeTree>(dev, io, cfg)) {}
-  void bulk_load(uint64_t count, const kv::WorkloadSpec& spec) override {
-    tree_->bulk_load(count, [&spec](uint64_t i) {
-      kv::BulkItem item = kv::bulk_item(i, spec);
-      return std::make_pair(std::move(item.key), std::move(item.value));
-    });
-  }
-  void put(std::string_view k, std::string_view v) override {
-    tree_->put(k, v);
-  }
-  bool get_ok(std::string_view k) override {
-    return tree_->get(k).has_value();
-  }
-  void flush() override { tree_->flush_cache(); }
-  size_t height() const override { return tree_->height(); }
-  double cache_hit_rate() const override {
-    return tree_->cache_stats().hit_rate();
-  }
-
- private:
-  std::unique_ptr<betree::BeTree> tree_;
-};
-
-struct MeasuredPoint {
-  SweepPoint point;
-};
+/// EngineConfig for one sweep point: `node_bytes` mapped onto each
+/// engine's natural node/run granularity, cache sized by the sweep.
+kv::EngineConfig sweep_engine_config(const SweepConfig& config,
+                                     uint64_t node_bytes,
+                                     uint64_t effective_cache) {
+  kv::EngineConfig ecfg;
+  ecfg.btree.node_bytes = node_bytes;
+  ecfg.btree.cache_bytes = effective_cache;
+  ecfg.betree.node_bytes = node_bytes;
+  ecfg.betree.cache_bytes = effective_cache;
+  ecfg.betree.target_fanout = config.betree_fanout;
+  ecfg.betree.pivot_estimate_bytes = config.key_bytes + 8;
+  // LSM: the sorted-run granularity plays the node-size role.
+  ecfg.lsm.memtable_bytes = std::max<uint64_t>(node_bytes, 4 * kKiB);
+  ecfg.lsm.sstable_target_bytes = std::max<uint64_t>(node_bytes, 4 * kKiB);
+  ecfg.lsm.block_bytes = std::min<uint64_t>(node_bytes, 4 * kKiB);
+  ecfg.lsm.level1_bytes = std::max<uint64_t>(node_bytes * 8, 64 * kKiB);
+  // PDAM: a P·B node of roughly node_bytes.
+  ecfg.pdam.tree.block_bytes = std::max<uint64_t>(
+      512, node_bytes / static_cast<uint64_t>(ecfg.pdam.tree.parallelism));
+  ecfg.pdam.buffer_bytes = effective_cache;
+  return ecfg;
+}
 
 }  // namespace
 
@@ -171,32 +121,17 @@ SweepResult run_nodesize_sweep(const sim::HddConfig& hdd, SweepConfig config) {
     const uint64_t node_bytes = config.node_sizes[pi];
     sim::HddDevice dev(hdd, config.seed);
     sim::IoContext io(dev);
-    std::unique_ptr<Dict> dict;
     // The cache must hold at least a root-to-leaf path; beyond that the
     // configured data ratio governs (the paper's 4 GiB RAM / 16 GiB data).
     const uint64_t effective_cache = std::max(cache_bytes, node_bytes * 4);
-    switch (config.kind) {
-      case TreeKind::kBTree: {
-        btree::BTreeConfig cfg;
-        cfg.node_bytes = node_bytes;
-        cfg.cache_bytes = effective_cache;
-        dict = std::make_unique<BTreeDict>(dev, io, cfg);
-        break;
-      }
-      case TreeKind::kBeTree:
-      case TreeKind::kOptBeTree: {
-        betree::BeTreeConfig cfg;
-        cfg.node_bytes = node_bytes;
-        cfg.cache_bytes = effective_cache;
-        cfg.target_fanout = config.betree_fanout;
-        cfg.pivot_estimate_bytes = config.key_bytes + 8;
-        dict = std::make_unique<BeTreeDict>(
-            dev, io, cfg, config.kind == TreeKind::kOptBeTree);
-        break;
-      }
-    }
+    const std::unique_ptr<kv::Dictionary> dict = kv::make_engine(
+        config.kind, dev, io,
+        sweep_engine_config(config, node_bytes, effective_cache));
 
-    dict->bulk_load(config.items, spec);
+    dict->bulk_load(config.items, [&spec](uint64_t i) {
+      kv::BulkItem item = kv::bulk_item(i, spec);
+      return std::make_pair(std::move(item.key), std::move(item.value));
+    });
 
     Rng rng(config.seed ^ node_bytes);
     SweepPoint point;
@@ -208,7 +143,8 @@ SweepResult run_nodesize_sweep(const sim::HddConfig& hdd, SweepConfig config) {
       const sim::SimTime before = io.now();
       for (uint64_t q = 0; q < config.queries; ++q) {
         const uint64_t id = rng.uniform(config.items);
-        const bool ok = dict->get_ok(kv::encode_key(id, config.key_bytes));
+        const bool ok =
+            dict->get(kv::encode_key(id, config.key_bytes)).has_value();
         DAMKIT_CHECK_MSG(ok, "loaded key missing during sweep");
       }
       point.query_ms = sim::to_seconds(io.now() - before) * 1e3 /
@@ -259,20 +195,26 @@ SweepResult run_nodesize_sweep(const sim::HddConfig& hdd, SweepConfig config) {
     const double b_elems =
         std::max(2.0, b / static_cast<double>(entry_bytes));
     switch (config.kind) {
-      case TreeKind::kBTree: {
+      // B-tree-shaped overlay: one node-sized IO per uncached level. The
+      // LSM and PDAM engines fall back to the same shape (sorted-run /
+      // PB-node reads per level), calibrated at the first point like the
+      // others.
+      case kv::EngineKind::kBTree:
+      case kv::EngineKind::kLsm:
+      case kv::EngineKind::kPdam: {
         const double l = levels(b_elems);
         raw_q.push_back((s + t * b) * l * 1e3);
         raw_i.push_back((s + t * b) * l * 1e3);
         break;
       }
-      case TreeKind::kBeTree:
-      case TreeKind::kOptBeTree: {
+      case kv::EngineKind::kBeTree:
+      case kv::EngineKind::kOptBeTree: {
         const double f = (config.betree_fanout > 0)
                              ? static_cast<double>(config.betree_fanout)
                              : std::sqrt(b / static_cast<double>(
                                                  config.key_bytes + 8));
         const double l = levels(std::max(2.0, f));
-        if (config.kind == TreeKind::kBeTree) {
+        if (config.kind == kv::EngineKind::kBeTree) {
           raw_q.push_back((s + t * b) * l * 1e3);
         } else {
           raw_q.push_back((s + t * (b / f + f * 32.0)) * l * 1e3);
@@ -313,14 +255,18 @@ std::vector<WriteAmpPoint> run_write_amp_experiment(const sim::HddConfig& hdd,
     point.node_bytes = node_bytes;
     const uint64_t effective_cache = std::max(cache_bytes, node_bytes * 4);
 
-    {
+    const auto measure = [&](kv::EngineKind kind) {
       sim::HddDevice dev(hdd, config.seed);
       sim::IoContext io(dev);
-      btree::BTreeConfig cfg;
-      cfg.node_bytes = node_bytes;
-      cfg.cache_bytes = effective_cache;
-      btree::BTree tree(dev, io, cfg);
-      tree.bulk_load(config.items, [&spec](uint64_t i) {
+      kv::EngineConfig ecfg;
+      ecfg.btree.node_bytes = node_bytes;
+      ecfg.btree.cache_bytes = effective_cache;
+      ecfg.betree.node_bytes = node_bytes;
+      ecfg.betree.cache_bytes = effective_cache;
+      ecfg.betree.pivot_estimate_bytes = config.key_bytes + 8;
+      const std::unique_ptr<kv::Dictionary> dict =
+          kv::make_engine(kind, dev, io, ecfg);
+      dict->bulk_load(config.items, [&spec](uint64_t i) {
         kv::BulkItem item = kv::bulk_item(i, spec);
         return std::make_pair(std::move(item.key), std::move(item.value));
       });
@@ -328,39 +274,53 @@ std::vector<WriteAmpPoint> run_write_amp_experiment(const sim::HddConfig& hdd,
       Rng rng(config.seed);
       for (uint64_t u = 0; u < config.updates; ++u) {
         const uint64_t id = rng.uniform(config.items);
-        tree.put(kv::encode_key(id, config.key_bytes),
-                 kv::make_value(id ^ u, config.value_bytes));
+        dict->put(kv::encode_key(id, config.key_bytes),
+                  kv::make_value(id ^ u, config.value_bytes));
       }
-      tree.flush();
-      point.btree_write_amp = static_cast<double>(dev.stats().bytes_written) /
-                              static_cast<double>(logical);
-    }
-    {
-      sim::HddDevice dev(hdd, config.seed);
-      sim::IoContext io(dev);
-      betree::BeTreeConfig cfg;
-      cfg.node_bytes = node_bytes;
-      cfg.cache_bytes = effective_cache;
-      cfg.pivot_estimate_bytes = config.key_bytes + 8;
-      betree::BeTree tree(dev, io, cfg);
-      tree.bulk_load(config.items, [&spec](uint64_t i) {
-        kv::BulkItem item = kv::bulk_item(i, spec);
-        return std::make_pair(std::move(item.key), std::move(item.value));
-      });
-      dev.clear_stats();
-      Rng rng(config.seed);
-      for (uint64_t u = 0; u < config.updates; ++u) {
-        const uint64_t id = rng.uniform(config.items);
-        tree.put(kv::encode_key(id, config.key_bytes),
-                 kv::make_value(id ^ u, config.value_bytes));
-      }
-      tree.flush_cache();
-      point.betree_write_amp = static_cast<double>(dev.stats().bytes_written) /
-                               static_cast<double>(logical);
-    }
+      dict->flush();
+      return static_cast<double>(dev.stats().bytes_written) /
+             static_cast<double>(logical);
+    };
+    point.btree_write_amp = measure(kv::EngineKind::kBTree);
+    point.betree_write_amp = measure(kv::EngineKind::kBeTree);
     out[pi] = point;
   });
   return out;
+}
+
+PdamQueryRun run_pdam_tree_queries(const std::vector<uint64_t>& sorted_keys,
+                                   const pdam_tree::PdamTreeConfig& config,
+                                   const std::vector<int>& client_counts,
+                                   uint64_t queries_per_client,
+                                   uint64_t seed) {
+  const pdam_tree::PdamBTree tree(sorted_keys, config);
+  PdamQueryRun run;
+  run.global_height = tree.global_height();
+  run.node_height = tree.node_height();
+  run.node_blocks = tree.node_blocks();
+  run.keys = sorted_keys.size();
+  for (const int k : client_counts) {
+    PdamQueryPoint point;
+    point.clients = k;
+    point.result = tree.run_queries(k, queries_per_client, seed);
+    run.points.push_back(point);
+  }
+  // Oracle sweep (pure host CPU, no simulated time): the step-driven
+  // clients must answer lower_bound exactly. Probes stay within
+  // [0, max key]: past the last key the padded descent parks at the final
+  // leaf, a rank plain lower_bound cannot express.
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  const uint64_t back = sorted_keys.back();
+  for (int i = 0; i < 64 && run.oracle_ok; ++i) {
+    const uint64_t probe =
+        (i % 2 == 0) ? sorted_keys[rng.uniform(sorted_keys.size())]
+                     : rng.next() % (back + (back != ~0ULL ? 1 : 0));
+    const auto expect = static_cast<uint64_t>(
+        std::lower_bound(sorted_keys.begin(), sorted_keys.end(), probe) -
+        sorted_keys.begin());
+    run.oracle_ok = tree.lower_bound(probe) == expect;
+  }
+  return run;
 }
 
 }  // namespace damkit::harness

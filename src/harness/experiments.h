@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "harness/fitting.h"
+#include "kv/engine.h"
+#include "pdam_tree/pdam_btree.h"
 #include "sim/hdd.h"
 #include "sim/ssd.h"
 
@@ -62,10 +64,8 @@ PdamExperimentResult run_pdam_experiment(const sim::SsdConfig& ssd,
 // §7 / Figures 2–3: node-size sweeps for the dictionaries.
 // ---------------------------------------------------------------------------
 
-enum class TreeKind : uint8_t { kBTree, kBeTree, kOptBeTree };
-
 struct SweepConfig {
-  TreeKind kind = TreeKind::kBTree;
+  kv::EngineKind kind = kv::EngineKind::kBTree;
   std::vector<uint64_t> node_sizes;
   uint64_t items = 1'000'000;   // bulk-loaded data set
   size_t key_bytes = 16;
@@ -122,5 +122,33 @@ struct WriteAmpPoint {
 
 std::vector<WriteAmpPoint> run_write_amp_experiment(const sim::HddConfig& hdd,
                                                     WriteAmpConfig config);
+
+// ---------------------------------------------------------------------------
+// §8 / Lemma 13: step-driven PDAM B-tree query runs.
+// ---------------------------------------------------------------------------
+
+struct PdamQueryPoint {
+  int clients = 0;
+  pdam_tree::PdamBTree::RunResult result;
+};
+
+struct PdamQueryRun {
+  std::vector<PdamQueryPoint> points;  // one per requested client count
+  int global_height = 0;
+  int node_height = 0;
+  uint64_t node_blocks = 0;
+  uint64_t keys = 0;
+  /// Step-driven clients answer lower_bound exactly (checked against
+  /// std::lower_bound on random probes).
+  bool oracle_ok = true;
+};
+
+/// Builds one static PdamBTree over `sorted_keys` and runs the PDAM step
+/// scheduler once per entry of `client_counts` (each run_queries call uses
+/// `seed`, matching the historical per-bench loops).
+PdamQueryRun run_pdam_tree_queries(const std::vector<uint64_t>& sorted_keys,
+                                   const pdam_tree::PdamTreeConfig& config,
+                                   const std::vector<int>& client_counts,
+                                   uint64_t queries_per_client, uint64_t seed);
 
 }  // namespace damkit::harness

@@ -1,0 +1,264 @@
+#include "harness/workload_runner.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "kv/slice.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace damkit::harness {
+
+namespace {
+
+void fnv_mix(uint64_t* h, std::string_view bytes) {
+  for (const char c : bytes) {
+    *h ^= static_cast<uint8_t>(c);
+    *h *= 0x100000001b3ULL;
+  }
+  *h ^= 0xff;  // separator so field boundaries are part of the digest
+  *h *= 0x100000001b3ULL;
+}
+
+}  // namespace
+
+void WorkloadRunner::bulk_load(uint64_t items, const kv::WorkloadSpec& spec) {
+  dict_->bulk_load(items, [&spec](uint64_t i) {
+    kv::BulkItem item = kv::bulk_item(i, spec);
+    return std::make_pair(std::move(item.key), std::move(item.value));
+  });
+}
+
+WorkloadRunResult WorkloadRunner::run(const kv::WorkloadSpec& spec,
+                                      uint64_t ops,
+                                      const WorkloadRunOptions& options) {
+  WorkloadRunResult result;
+  kv::OpGenerator gen(spec);
+  const sim::SimTime before = io_->now();
+
+  for (uint64_t i = 0; i < ops; ++i) {
+    const kv::Op op = gen.next();
+    const std::string key = kv::encode_key(op.key_id, spec.key_bytes);
+    switch (op.type) {
+      case kv::OpType::kPut: {
+        ++result.puts;
+        const std::string value =
+            kv::make_value(op.key_id + i, spec.value_bytes);
+        if (options.fallible) {
+          if (!dict_->try_put(key, value).ok()) ++result.failed_ops;
+        } else {
+          dict_->put(key, value);
+        }
+        break;
+      }
+      case kv::OpType::kGet: {
+        ++result.gets;
+        std::optional<std::string> got;
+        if (options.fallible) {
+          StatusOr<std::optional<std::string>> r = dict_->try_get(key);
+          if (!r.ok()) {
+            ++result.failed_ops;
+            break;
+          }
+          got = *std::move(r);
+        } else {
+          got = dict_->get(key);
+        }
+        fnv_mix(&result.digest, key);
+        fnv_mix(&result.digest, got.has_value() ? "1" : "0");
+        if (got.has_value()) {
+          ++result.get_hits;
+          fnv_mix(&result.digest, *got);
+        }
+        break;
+      }
+      case kv::OpType::kDelete: {
+        ++result.erases;
+        if (options.fallible) {
+          if (!dict_->try_erase(key).ok()) ++result.failed_ops;
+        } else {
+          dict_->erase(key);
+        }
+        break;
+      }
+      case kv::OpType::kScan: {
+        ++result.scans;
+        std::vector<std::pair<std::string, std::string>> rows;
+        if (options.fallible) {
+          auto r = dict_->try_range_scan(key, op.scan_length);
+          if (!r.ok()) {
+            ++result.failed_ops;
+            break;
+          }
+          rows = *std::move(r);
+        } else {
+          rows = dict_->range_scan(key, op.scan_length);
+        }
+        fnv_mix(&result.digest, strfmt("scan:%zu", rows.size()));
+        for (const auto& [k, v] : rows) {
+          fnv_mix(&result.digest, k);
+          fnv_mix(&result.digest, v);
+        }
+        break;
+      }
+      case kv::OpType::kUpsert: {
+        ++result.upserts;
+        const auto delta = static_cast<int64_t>(op.key_id % 1000 + 1);
+        if (options.fallible) {
+          if (!dict_->try_upsert(key, delta).ok()) ++result.failed_ops;
+        } else {
+          dict_->upsert(key, delta);
+        }
+        break;
+      }
+    }
+  }
+
+  if (options.flush_at_end) {
+    if (options.fallible) {
+      if (!checkpoint_with_retries(*dict_, 200).ok()) ++result.failed_ops;
+    } else {
+      dict_->flush();
+    }
+  }
+  result.sim_elapsed = io_->now() - before;
+  return result;
+}
+
+PutGetResult run_put_get(kv::Dictionary& dict, const PutGetSpec& spec) {
+  DAMKIT_CHECK(spec.key_of != nullptr);
+  DAMKIT_CHECK(spec.key_modulus > 0);
+  PutGetResult result;
+  Rng rng(spec.seed);
+  const std::string value(spec.value_bytes, 'v');
+  for (uint64_t i = 0; i < spec.puts; ++i) {
+    const std::string key = spec.key_of(rng.next() % spec.key_modulus);
+    if (spec.fallible) {
+      const Status put = dict.try_put(key, value);
+      if (!put.ok()) {
+        DAMKIT_CHECK(spec.tolerate_failures);
+        ++result.failed_ops;
+      }
+    } else {
+      dict.put(key, value);
+    }
+  }
+  for (uint64_t i = 0; i < spec.gets; ++i) {
+    const std::string key = spec.key_of(rng.next() % spec.key_modulus);
+    if (spec.fallible) {
+      StatusOr<std::optional<std::string>> hit = dict.try_get(key);
+      if (!hit.ok()) {
+        DAMKIT_CHECK(spec.tolerate_failures);
+        ++result.failed_ops;
+      } else if (hit->has_value()) {
+        ++result.get_hits;
+      }
+    } else {
+      if (dict.get(key).has_value()) ++result.get_hits;
+    }
+  }
+  for (uint64_t i = 0; i < spec.scans; ++i) {
+    if (spec.fallible) {
+      const Status scan =
+          dict.try_range_scan(spec.key_of(0), spec.scan_limit).status();
+      if (!scan.ok()) {
+        DAMKIT_CHECK(spec.tolerate_failures);
+        ++result.failed_ops;
+      }
+    } else {
+      (void)dict.range_scan(spec.key_of(0), spec.scan_limit);
+    }
+  }
+  return result;
+}
+
+Status checkpoint_with_retries(kv::Dictionary& dict, int max_attempts) {
+  Status s = dict.checkpoint();
+  for (int tries = 0; !s.ok() && tries < max_attempts; ++tries) {
+    s = dict.checkpoint();
+  }
+  return s;
+}
+
+SoakReport run_fault_soak(kv::Dictionary& dict, const SoakSpec& spec) {
+  std::map<std::string, std::string> expected;
+  std::set<std::string> uncertain;  // failed mutation: old-or-new state
+  SoakReport report;
+  Rng rng(spec.seed);
+
+  for (uint64_t i = 0; i < spec.ops; ++i) {
+    const std::string key = kv::encode_key(rng.uniform(spec.key_space));
+    const uint64_t dice = rng.uniform(10);
+    if (dice < 6) {
+      const std::string value = kv::make_value(rng.next(), spec.value_bytes);
+      if (dict.try_put(key, value).ok()) {
+        expected[key] = value;
+        uncertain.erase(key);
+        ++report.ok_ops;
+      } else {
+        uncertain.insert(key);
+        ++report.failed_ops;
+      }
+    } else if (dice < 8) {
+      if (dict.try_erase(key).ok()) {
+        expected.erase(key);
+        uncertain.erase(key);
+        ++report.ok_ops;
+      } else {
+        uncertain.insert(key);
+        ++report.failed_ops;
+      }
+    } else {
+      StatusOr<std::optional<std::string>> got = dict.try_get(key);
+      if (!got.ok()) {
+        ++report.failed_ops;
+      } else {
+        ++report.ok_ops;
+        if (uncertain.count(key) == 0) {
+          const auto want = expected.find(key);
+          if (want == expected.end()) {
+            if (got->has_value()) {
+              report.violations.push_back("phantom key " + key);
+            }
+          } else if (!got->has_value()) {
+            report.violations.push_back("lost key " + key);
+          } else if (**got != want->second) {
+            report.violations.push_back("wrong value for key " + key);
+          }
+        }
+      }
+    }
+  }
+
+  // The checkpoint must eventually land (each attempt consumes fresh
+  // fault draws, so a give-up does not repeat forever).
+  const Status checkpoint =
+      checkpoint_with_retries(dict, spec.checkpoint_attempts);
+  report.checkpoint_ok = checkpoint.ok();
+  if (!checkpoint.ok()) {
+    report.violations.push_back("checkpoint never landed: " +
+                                std::string(checkpoint.message()));
+  }
+
+  // Full verification sweep: every op that reported success is durable.
+  // Reads can still fault; retry each key until the dictionary answers.
+  for (const auto& [key, value] : expected) {
+    if (uncertain.count(key) != 0) continue;
+    StatusOr<std::optional<std::string>> got = dict.try_get(key);
+    for (int tries = 0; !got.ok() && tries < spec.verify_read_attempts;
+         ++tries) {
+      got = dict.try_get(key);
+    }
+    if (!got.ok()) {
+      report.violations.push_back("verify read kept failing for " + key);
+    } else if (!got->has_value()) {
+      report.violations.push_back("lost key " + key);
+    } else if (**got != value) {
+      report.violations.push_back("wrong value for key " + key);
+    }
+  }
+  return report;
+}
+
+}  // namespace damkit::harness

@@ -1,0 +1,9 @@
+#include "kv/dictionary.h"
+
+namespace damkit::kv {
+
+Dictionary::~Dictionary() = default;
+
+void Dictionary::set_event_trace(stats::TraceBuffer* /*events*/) {}
+
+}  // namespace damkit::kv

@@ -1,0 +1,704 @@
+#include "kv/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "betree/message.h"
+#include "betree_opt/opt_betree.h"
+#include "blockdev/retry.h"
+
+namespace damkit::kv {
+
+namespace {
+
+// Shared read-modify-write upsert emulation for engines without native
+// upserts. Byte-for-byte the semantics of betree::apply_message(kUpsert):
+// absent counts as zero, arithmetic wraps.
+std::string bump_counter(const std::optional<std::string>& current,
+                         int64_t delta) {
+  const uint64_t base =
+      current.has_value() ? betree::decode_counter(*current) : 0;
+  return betree::encode_counter(base + static_cast<uint64_t>(delta));
+}
+
+// ---------------------------------------------------------------------------
+// B-tree
+// ---------------------------------------------------------------------------
+
+class BTreeEngine final : public Dictionary {
+ public:
+  BTreeEngine(sim::Device& dev, sim::IoContext& io,
+              const btree::BTreeConfig& config)
+      : tree_(dev, io, config) {
+    caps_.native_upsert = false;
+    caps_.native_bulk_load = true;
+  }
+
+  std::string_view name() const override { return "btree"; }
+  const Capabilities& capabilities() const override { return caps_; }
+
+  void put(std::string_view key, std::string_view value) override {
+    tree_.put(key, value);
+  }
+  Status try_put(std::string_view key, std::string_view value) override {
+    return tree_.try_put(key, value);
+  }
+  std::optional<std::string> get(std::string_view key) override {
+    return tree_.get(key);
+  }
+  StatusOr<std::optional<std::string>> try_get(std::string_view key) override {
+    return tree_.try_get(key);
+  }
+  void erase(std::string_view key) override { (void)tree_.erase(key); }
+  Status try_erase(std::string_view key) override {
+    return tree_.try_erase(key).status();
+  }
+  void upsert(std::string_view key, int64_t delta) override {
+    tree_.put(key, bump_counter(tree_.get(key), delta));
+  }
+  Status try_upsert(std::string_view key, int64_t delta) override {
+    StatusOr<std::optional<std::string>> current = tree_.try_get(key);
+    if (!current.ok()) return current.status();
+    return tree_.try_put(key, bump_counter(*current, delta));
+  }
+  std::vector<std::pair<std::string, std::string>> range_scan(
+      std::string_view lo, size_t limit) override {
+    return tree_.scan(lo, limit);
+  }
+  StatusOr<std::vector<std::pair<std::string, std::string>>> try_range_scan(
+      std::string_view lo, size_t limit) override {
+    return tree_.try_scan(lo, limit);
+  }
+  void bulk_load(
+      uint64_t count,
+      const std::function<std::pair<std::string, std::string>(uint64_t)>& item)
+      override {
+    tree_.bulk_load(count, item);
+  }
+  void flush() override { tree_.flush(); }
+  Status checkpoint() override { return tree_.try_flush(); }
+  void set_retry_policy(const blockdev::RetryPolicy& policy) override {
+    tree_.set_retry_policy(policy);
+  }
+  blockdev::RetryCounters retry_counters() const override {
+    return tree_.retry_counters();
+  }
+  size_t height() const override { return tree_.height(); }
+  double cache_hit_rate() const override {
+    return tree_.cache_stats().hit_rate();
+  }
+  void check_invariants() override { tree_.check_invariants(); }
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const override {
+    tree_.export_metrics(reg, prefix);
+  }
+
+ private:
+  btree::BTree tree_;
+  Capabilities caps_;
+};
+
+// ---------------------------------------------------------------------------
+// Bε-tree and its optimized variant (one adapter; OptBeTree is-a BeTree)
+// ---------------------------------------------------------------------------
+
+class BeTreeEngine final : public Dictionary {
+ public:
+  BeTreeEngine(sim::Device& dev, sim::IoContext& io,
+               const betree::BeTreeConfig& config, bool optimized)
+      : tree_(optimized ? std::unique_ptr<betree::BeTree>(
+                              std::make_unique<betree_opt::OptBeTree>(dev, io,
+                                                                      config))
+                        : std::make_unique<betree::BeTree>(dev, io, config)),
+        name_(optimized ? "opt-betree" : "betree") {
+    caps_.native_upsert = true;
+    caps_.native_bulk_load = true;
+  }
+
+  std::string_view name() const override { return name_; }
+  const Capabilities& capabilities() const override { return caps_; }
+
+  void put(std::string_view key, std::string_view value) override {
+    tree_->put(key, value);
+  }
+  Status try_put(std::string_view key, std::string_view value) override {
+    return tree_->try_put(key, value);
+  }
+  std::optional<std::string> get(std::string_view key) override {
+    return tree_->get(key);
+  }
+  StatusOr<std::optional<std::string>> try_get(std::string_view key) override {
+    return tree_->try_get(key);
+  }
+  void erase(std::string_view key) override { tree_->erase(key); }
+  Status try_erase(std::string_view key) override {
+    return tree_->try_erase(key);
+  }
+  void upsert(std::string_view key, int64_t delta) override {
+    tree_->upsert(key, delta);
+  }
+  Status try_upsert(std::string_view key, int64_t delta) override {
+    return tree_->try_upsert(key, delta);
+  }
+  std::vector<std::pair<std::string, std::string>> range_scan(
+      std::string_view lo, size_t limit) override {
+    return tree_->scan(lo, limit);
+  }
+  StatusOr<std::vector<std::pair<std::string, std::string>>> try_range_scan(
+      std::string_view lo, size_t limit) override {
+    return tree_->try_scan(lo, limit);
+  }
+  void bulk_load(
+      uint64_t count,
+      const std::function<std::pair<std::string, std::string>(uint64_t)>& item)
+      override {
+    tree_->bulk_load(count, item);
+  }
+  void flush() override { tree_->flush_cache(); }
+  Status checkpoint() override { return tree_->try_flush_cache(); }
+  void set_retry_policy(const blockdev::RetryPolicy& policy) override {
+    tree_->set_retry_policy(policy);
+  }
+  blockdev::RetryCounters retry_counters() const override {
+    return tree_->retry_counters();
+  }
+  size_t height() const override { return tree_->height(); }
+  double cache_hit_rate() const override {
+    return tree_->cache_stats().hit_rate();
+  }
+  void check_invariants() override { tree_->check_invariants(); }
+  void set_event_trace(stats::TraceBuffer* events) override {
+    tree_->set_event_trace(events);
+  }
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const override {
+    tree_->export_metrics(reg, prefix);
+  }
+
+ private:
+  std::unique_ptr<betree::BeTree> tree_;
+  std::string_view name_;
+  Capabilities caps_;
+};
+
+// ---------------------------------------------------------------------------
+// LSM-tree
+// ---------------------------------------------------------------------------
+
+class LsmEngine final : public Dictionary {
+ public:
+  LsmEngine(sim::Device& dev, sim::IoContext& io, const lsm::LsmConfig& config)
+      : tree_(dev, io, config) {
+    caps_.native_upsert = false;
+    caps_.native_bulk_load = false;  // emulated: memtable ingest in key order
+  }
+
+  std::string_view name() const override { return "lsm"; }
+  const Capabilities& capabilities() const override { return caps_; }
+
+  void put(std::string_view key, std::string_view value) override {
+    tree_.put(key, value);
+  }
+  Status try_put(std::string_view key, std::string_view value) override {
+    return tree_.try_put(key, value);
+  }
+  std::optional<std::string> get(std::string_view key) override {
+    return tree_.get(key);
+  }
+  StatusOr<std::optional<std::string>> try_get(std::string_view key) override {
+    return tree_.try_get(key);
+  }
+  void erase(std::string_view key) override { tree_.erase(key); }
+  Status try_erase(std::string_view key) override {
+    return tree_.try_erase(key);
+  }
+  void upsert(std::string_view key, int64_t delta) override {
+    tree_.put(key, bump_counter(tree_.get(key), delta));
+  }
+  Status try_upsert(std::string_view key, int64_t delta) override {
+    StatusOr<std::optional<std::string>> current = tree_.try_get(key);
+    if (!current.ok()) return current.status();
+    return tree_.try_put(key, bump_counter(*current, delta));
+  }
+  std::vector<std::pair<std::string, std::string>> range_scan(
+      std::string_view lo, size_t limit) override {
+    return tree_.scan(lo, limit);
+  }
+  StatusOr<std::vector<std::pair<std::string, std::string>>> try_range_scan(
+      std::string_view lo, size_t limit) override {
+    return tree_.try_scan(lo, limit);
+  }
+  void bulk_load(
+      uint64_t count,
+      const std::function<std::pair<std::string, std::string>(uint64_t)>& item)
+      override {
+    for (uint64_t i = 0; i < count; ++i) {
+      const std::pair<std::string, std::string> kv = item(i);
+      tree_.put(kv.first, kv.second);
+    }
+  }
+  void flush() override { tree_.flush(); }
+  Status checkpoint() override { return tree_.try_flush(); }
+  void set_retry_policy(const blockdev::RetryPolicy& policy) override {
+    tree_.set_retry_policy(policy);
+  }
+  blockdev::RetryCounters retry_counters() const override {
+    return tree_.retry_counters();
+  }
+  size_t height() const override { return tree_.level_count(); }
+  double cache_hit_rate() const override { return 0.0; }
+  void check_invariants() override { tree_.check_invariants(); }
+  void set_event_trace(stats::TraceBuffer* events) override {
+    tree_.set_event_trace(events);
+  }
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const override {
+    tree_.export_metrics(reg, prefix);
+  }
+
+ private:
+  lsm::LsmTree tree_;
+  Capabilities caps_;
+};
+
+// ---------------------------------------------------------------------------
+// PDAM B-tree
+// ---------------------------------------------------------------------------
+
+// The §8 structure is a *static* index; the adapter makes it a dictionary
+// the LSM way: an in-memory write buffer (mutations + tombstones) over a
+// sorted base run. Merging the buffer rewrites the base sequentially and
+// rebuilds a PdamBTree over the new ranks; the rebuilt tree supplies the
+// IO geometry (global height, PB-node height, blocks per node) that point
+// descents charge against the device. Offsets are a deterministic hash of
+// (level, node index) into a bounded device window — the index is a cost
+// model, not a byte store, exactly like the PdamBTree itself.
+class PdamEngine final : public Dictionary {
+ public:
+  PdamEngine(sim::Device& dev, sim::IoContext& io,
+             const PdamEngineConfig& config)
+      : io_(&io), cfg_(config) {
+    (void)dev;
+    caps_.native_upsert = false;
+    caps_.native_bulk_load = true;
+  }
+
+  std::string_view name() const override { return "pdam"; }
+  const Capabilities& capabilities() const override { return caps_; }
+
+  void put(std::string_view key, std::string_view value) override {
+    ++puts_;
+    buffer_insert(key, std::string(value));
+    if (buffer_bytes_ > cfg_.buffer_bytes) merge_buffer();
+  }
+  Status try_put(std::string_view key, std::string_view value) override {
+    ++puts_;
+    buffer_insert(key, std::string(value));
+    if (buffer_bytes_ > cfg_.buffer_bytes) return try_merge_buffer();
+    return Status();
+  }
+
+  std::optional<std::string> get(std::string_view key) override {
+    ++gets_;
+    const auto hit = buffer_.find(std::string(key));
+    if (hit != buffer_.end()) return hit->second;  // value or tombstone
+    const size_t rank = base_rank(key);
+    if (rank >= base_.size() || base_[rank].first != key) {
+      if (!base_.empty()) charge_descent(rank);
+      return std::nullopt;
+    }
+    charge_descent(rank);
+    return base_[rank].second;
+  }
+  StatusOr<std::optional<std::string>> try_get(std::string_view key) override {
+    ++gets_;
+    const auto hit = buffer_.find(std::string(key));
+    if (hit != buffer_.end()) return hit->second;
+    const size_t rank = base_rank(key);
+    const bool found = rank < base_.size() && base_[rank].first == key;
+    if (!base_.empty()) {
+      DAMKIT_RETURN_IF_ERROR(try_charge_descent(rank));
+    }
+    if (!found) return std::optional<std::string>();
+    return std::optional<std::string>(base_[rank].second);
+  }
+
+  void erase(std::string_view key) override {
+    ++erases_;
+    buffer_insert(key, std::nullopt);
+    if (buffer_bytes_ > cfg_.buffer_bytes) merge_buffer();
+  }
+  Status try_erase(std::string_view key) override {
+    ++erases_;
+    buffer_insert(key, std::nullopt);
+    if (buffer_bytes_ > cfg_.buffer_bytes) return try_merge_buffer();
+    return Status();
+  }
+
+  void upsert(std::string_view key, int64_t delta) override {
+    ++upserts_;
+    --gets_;  // the embedded read is part of the upsert, not a user get
+    put(key, bump_counter(get(key), delta));
+    --puts_;
+  }
+  Status try_upsert(std::string_view key, int64_t delta) override {
+    ++upserts_;
+    --gets_;
+    StatusOr<std::optional<std::string>> current = try_get(key);
+    if (!current.ok()) return current.status();
+    const Status s = try_put(key, bump_counter(*current, delta));
+    --puts_;
+    return s;
+  }
+
+  std::vector<std::pair<std::string, std::string>> range_scan(
+      std::string_view lo, size_t limit) override {
+    uint64_t base_consumed = 0;
+    auto out = merged_scan(lo, limit, &base_consumed);
+    charge_scan(lo, base_consumed);
+    return out;
+  }
+  StatusOr<std::vector<std::pair<std::string, std::string>>> try_range_scan(
+      std::string_view lo, size_t limit) override {
+    uint64_t base_consumed = 0;
+    auto out = merged_scan(lo, limit, &base_consumed);
+    DAMKIT_RETURN_IF_ERROR(try_charge_scan(lo, base_consumed));
+    return out;
+  }
+
+  void bulk_load(
+      uint64_t count,
+      const std::function<std::pair<std::string, std::string>(uint64_t)>& item)
+      override {
+    DAMKIT_CHECK_MSG(base_.empty() && buffer_.empty(),
+                     "bulk_load requires an empty dictionary");
+    base_.reserve(count);
+    uint64_t bytes = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      std::pair<std::string, std::string> kv = item(i);
+      if (!base_.empty()) {
+        DAMKIT_CHECK_MSG(base_.back().first < kv.first,
+                         "bulk_load keys must be strictly ascending");
+      }
+      bytes += entry_bytes(kv.first, kv.second);
+      base_.push_back(std::move(kv));
+    }
+    rebuild_index();
+    charge_base_write(bytes);
+  }
+
+  void flush() override {
+    if (!buffer_.empty() || index_ == nullptr) merge_buffer();
+  }
+  Status checkpoint() override {
+    if (!buffer_.empty() || (index_ == nullptr && !base_.empty())) {
+      return try_merge_buffer();
+    }
+    return Status();
+  }
+
+  void set_retry_policy(const blockdev::RetryPolicy& policy) override {
+    retry_ = policy;
+  }
+  blockdev::RetryCounters retry_counters() const override { return counters_; }
+
+  size_t height() const override { return descent_levels(); }
+  double cache_hit_rate() const override { return 0.0; }
+  void check_invariants() override {
+    DAMKIT_CHECK(std::is_sorted(
+        base_.begin(), base_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; }));
+    DAMKIT_CHECK(index_ == nullptr || base_.size() > 0);
+  }
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const override {
+    const std::string p(prefix);
+    reg.add(p + "puts", puts_);
+    reg.add(p + "gets", gets_);
+    reg.add(p + "erases", erases_);
+    reg.add(p + "upserts", upserts_);
+    reg.add(p + "scans", scans_);
+    reg.add(p + "buffer_merges", buffer_merges_);
+    reg.add(p + "merge_bytes_written", merge_bytes_written_);
+    reg.add(p + "node_reads", node_reads_);
+    reg.add(p + "io_retries", counters_.retries);
+    reg.add(p + "io_give_ups", counters_.give_ups);
+    reg.set(p + "height", static_cast<double>(descent_levels()));
+    reg.set(p + "base_entries", static_cast<double>(base_.size()));
+    reg.set(p + "buffer_entries", static_cast<double>(buffer_.size()));
+    reg.set(p + "buffer_bytes", static_cast<double>(buffer_bytes_));
+  }
+
+ private:
+  static uint64_t entry_bytes(std::string_view key, std::string_view value) {
+    return key.size() + value.size() + 6;  // leaf framing, as elsewhere
+  }
+
+  void buffer_insert(std::string_view key, std::optional<std::string> value) {
+    const uint64_t bytes =
+        entry_bytes(key, value.has_value() ? *value : std::string_view());
+    auto [it, inserted] = buffer_.insert_or_assign(std::string(key),
+                                                   std::move(value));
+    (void)it;
+    if (inserted) buffer_bytes_ += bytes;
+  }
+
+  size_t base_rank(std::string_view key) const {
+    const auto it = std::lower_bound(
+        base_.begin(), base_.end(), key,
+        [](const auto& entry, std::string_view k) { return entry.first < k; });
+    return static_cast<size_t>(it - base_.begin());
+  }
+
+  int descent_levels() const {
+    if (index_ == nullptr || base_.empty()) return 0;
+    const int node_h = std::max(1, index_->node_height());
+    return std::max(1, (index_->global_height() + node_h - 1) / node_h);
+  }
+
+  uint64_t node_bytes() const {
+    return index_->node_blocks() * cfg_.tree.block_bytes;
+  }
+
+  // Deterministic device offset for the PB-node at (level, rank path).
+  uint64_t node_offset(int level, uint64_t rank) const {
+    const int node_h = std::max(1, index_->node_height());
+    const int depth = std::min(index_->global_height(), (level + 1) * node_h);
+    const int shift = index_->global_height() - depth;
+    const uint64_t node_index = shift >= 64 ? 0 : rank >> shift;
+    const uint64_t nb = node_bytes();
+    const uint64_t slots = std::max<uint64_t>(1, cfg_.region_bytes / nb);
+    const uint64_t mixed =
+        (static_cast<uint64_t>(level) + 1) * 0x9e3779b97f4a7c15ULL +
+        node_index;
+    return cfg_.base_offset + (mixed % slots) * nb;
+  }
+
+  void charge_descent(uint64_t rank) {
+    const int levels = descent_levels();
+    for (int l = 0; l < levels; ++l) {
+      io_->touch_read(node_offset(l, rank), node_bytes());
+      ++node_reads_;
+    }
+  }
+  Status try_charge_descent(uint64_t rank) {
+    const int levels = descent_levels();
+    for (int l = 0; l < levels; ++l) {
+      const uint64_t off = node_offset(l, rank);
+      ++node_reads_;
+      DAMKIT_RETURN_IF_ERROR(blockdev::with_retries(
+          *io_, retry_, &counters_, /*retry_corruption=*/false,
+          [&] { return io_->touch_read_checked(off, node_bytes()); }));
+    }
+    return Status();
+  }
+
+  std::vector<std::pair<std::string, std::string>> merged_scan(
+      std::string_view lo, size_t limit, uint64_t* base_consumed) {
+    ++scans_;
+    std::vector<std::pair<std::string, std::string>> out;
+    size_t bi = base_rank(lo);
+    auto di = buffer_.lower_bound(std::string(lo));
+    while (out.size() < limit &&
+           (bi < base_.size() || di != buffer_.end())) {
+      const bool take_base =
+          di == buffer_.end() ||
+          (bi < base_.size() && base_[bi].first < di->first);
+      if (take_base) {
+        out.emplace_back(base_[bi].first, base_[bi].second);
+        ++bi;
+        ++*base_consumed;
+      } else {
+        if (bi < base_.size() && base_[bi].first == di->first) {
+          ++bi;  // buffer shadows the base entry
+          ++*base_consumed;
+        }
+        if (di->second.has_value()) {
+          out.emplace_back(di->first, *di->second);
+        }
+        ++di;
+      }
+    }
+    return out;
+  }
+
+  uint64_t scan_run_bytes(uint64_t base_entries) const {
+    if (base_entries == 0 || base_.empty()) return 0;
+    // Approximate the leaf run with the base's mean entry size.
+    uint64_t total = 0;
+    for (const auto& [k, v] : base_) total += entry_bytes(k, v);
+    const uint64_t mean = std::max<uint64_t>(1, total / base_.size());
+    const uint64_t b = cfg_.tree.block_bytes;
+    return (base_entries * mean + b - 1) / b * b;
+  }
+
+  void charge_scan(std::string_view lo, uint64_t base_entries) {
+    if (base_entries == 0 || base_.empty()) return;
+    const uint64_t rank = base_rank(lo);
+    charge_descent(rank);
+    io_->touch_read(node_offset(descent_levels() - 1, rank),
+                    scan_run_bytes(base_entries));
+  }
+  Status try_charge_scan(std::string_view lo, uint64_t base_entries) {
+    if (base_entries == 0 || base_.empty()) return Status();
+    const uint64_t rank = base_rank(lo);
+    DAMKIT_RETURN_IF_ERROR(try_charge_descent(rank));
+    const uint64_t off = node_offset(descent_levels() - 1, rank);
+    return blockdev::with_retries(
+        *io_, retry_, &counters_, /*retry_corruption=*/false, [&] {
+          return io_->touch_read_checked(off, scan_run_bytes(base_entries));
+        });
+  }
+
+  std::vector<std::pair<std::string, std::string>> merge_entries() const {
+    std::vector<std::pair<std::string, std::string>> merged;
+    merged.reserve(base_.size() + buffer_.size());
+    size_t bi = 0;
+    auto di = buffer_.begin();
+    while (bi < base_.size() || di != buffer_.end()) {
+      const bool take_base =
+          di == buffer_.end() ||
+          (bi < base_.size() && base_[bi].first < di->first);
+      if (take_base) {
+        merged.push_back(base_[bi]);
+        ++bi;
+      } else {
+        if (bi < base_.size() && base_[bi].first == di->first) ++bi;
+        if (di->second.has_value()) merged.emplace_back(di->first, *di->second);
+        ++di;
+      }
+    }
+    return merged;
+  }
+
+  uint64_t merged_bytes(
+      const std::vector<std::pair<std::string, std::string>>& merged) const {
+    uint64_t bytes = 0;
+    for (const auto& [k, v] : merged) bytes += entry_bytes(k, v);
+    return bytes;
+  }
+
+  void commit_merge(std::vector<std::pair<std::string, std::string>> merged) {
+    base_ = std::move(merged);
+    buffer_.clear();
+    buffer_bytes_ = 0;
+    ++buffer_merges_;
+    rebuild_index();
+  }
+
+  void merge_buffer() {
+    auto merged = merge_entries();
+    charge_base_write(merged_bytes(merged));
+    commit_merge(std::move(merged));
+  }
+  Status try_merge_buffer() {
+    auto merged = merge_entries();
+    DAMKIT_RETURN_IF_ERROR(try_charge_base_write(merged_bytes(merged)));
+    commit_merge(std::move(merged));
+    return Status();
+  }
+
+  void charge_base_write(uint64_t bytes) {
+    merge_bytes_written_ += bytes;
+    const uint64_t chunk = std::max<uint64_t>(cfg_.tree.block_bytes, 1);
+    for (uint64_t off = 0; off < bytes; off += chunk) {
+      io_->touch_write(cfg_.base_offset + off % cfg_.region_bytes,
+                       std::min(chunk, bytes - off));
+    }
+  }
+  Status try_charge_base_write(uint64_t bytes) {
+    merge_bytes_written_ += bytes;
+    const uint64_t chunk = std::max<uint64_t>(cfg_.tree.block_bytes, 1);
+    for (uint64_t off = 0; off < bytes; off += chunk) {
+      const uint64_t at = cfg_.base_offset + off % cfg_.region_bytes;
+      const uint64_t len = std::min(chunk, bytes - off);
+      // A torn write is repaired by rewriting the extent in full.
+      DAMKIT_RETURN_IF_ERROR(blockdev::with_retries(
+          *io_, retry_, &counters_, /*retry_corruption=*/true,
+          [&] { return io_->touch_write_checked(at, len); }));
+    }
+    return Status();
+  }
+
+  void rebuild_index() {
+    if (base_.empty()) {
+      index_.reset();
+      return;
+    }
+    std::vector<uint64_t> ranks(base_.size());
+    std::iota(ranks.begin(), ranks.end(), 0);
+    index_ = std::make_unique<pdam_tree::PdamBTree>(std::move(ranks),
+                                                    cfg_.tree);
+  }
+
+  sim::IoContext* io_;
+  PdamEngineConfig cfg_;
+  Capabilities caps_;
+
+  std::vector<std::pair<std::string, std::string>> base_;  // sorted, live
+  std::map<std::string, std::optional<std::string>> buffer_;  // nullopt = del
+  uint64_t buffer_bytes_ = 0;
+  std::unique_ptr<pdam_tree::PdamBTree> index_;
+
+  blockdev::RetryPolicy retry_;
+  blockdev::RetryCounters counters_;
+
+  uint64_t puts_ = 0, gets_ = 0, erases_ = 0, upserts_ = 0, scans_ = 0;
+  uint64_t buffer_merges_ = 0, merge_bytes_written_ = 0, node_reads_ = 0;
+};
+
+}  // namespace
+
+std::string_view engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kBTree:
+      return "btree";
+    case EngineKind::kBeTree:
+      return "betree";
+    case EngineKind::kOptBeTree:
+      return "opt-betree";
+    case EngineKind::kLsm:
+      return "lsm";
+    case EngineKind::kPdam:
+      return "pdam";
+  }
+  return "unknown";
+}
+
+std::optional<EngineKind> parse_engine_kind(std::string_view name) {
+  for (const EngineKind kind : kAllEngineKinds) {
+    if (engine_kind_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+void set_base_offset(EngineConfig& config, uint64_t offset) {
+  config.btree.base_offset = offset;
+  config.betree.base_offset = offset;
+  config.lsm.base_offset = offset;
+  config.pdam.base_offset = offset;
+}
+
+std::unique_ptr<Dictionary> EngineFactory::make_engine(
+    EngineKind kind, sim::Device& dev, sim::IoContext& io,
+    const EngineConfig& config) {
+  switch (kind) {
+    case EngineKind::kBTree:
+      return std::make_unique<BTreeEngine>(dev, io, config.btree);
+    case EngineKind::kBeTree:
+      return std::make_unique<BeTreeEngine>(dev, io, config.betree, false);
+    case EngineKind::kOptBeTree:
+      return std::make_unique<BeTreeEngine>(dev, io, config.betree, true);
+    case EngineKind::kLsm:
+      return std::make_unique<LsmEngine>(dev, io, config.lsm);
+    case EngineKind::kPdam:
+      return std::make_unique<PdamEngine>(dev, io, config.pdam);
+  }
+  DAMKIT_CHECK_MSG(false, "unknown engine kind");
+  return nullptr;
+}
+
+}  // namespace damkit::kv

@@ -70,7 +70,7 @@ TEST(SweepTest, BTreeCostsRiseWithLargeNodes) {
   // Figure 2 shape at reduced scale: past the optimum, query and insert
   // costs grow roughly linearly with node size.
   SweepConfig cfg;
-  cfg.kind = TreeKind::kBTree;
+  cfg.kind = kv::EngineKind::kBTree;
   cfg.node_sizes = {16 * kKiB, 64 * kKiB, 256 * kKiB, 1 * kMiB, 4 * kMiB};
   cfg.items = 250000;  // data ≫ cache even at the largest node size
   cfg.queries = 150;
@@ -91,7 +91,7 @@ TEST(SweepTest, BTreeCostsRiseWithLargeNodes) {
 
 TEST(SweepTest, BeTreeInsertsFarCheaperThanBTree) {
   SweepConfig b;
-  b.kind = TreeKind::kBTree;
+  b.kind = kv::EngineKind::kBTree;
   b.node_sizes = {64 * kKiB};
   b.items = 60000;
   b.queries = 100;
@@ -99,7 +99,7 @@ TEST(SweepTest, BeTreeInsertsFarCheaperThanBTree) {
   const auto bt = run_nodesize_sweep(sim::testbed_hdd_profile(), b);
 
   SweepConfig be = b;
-  be.kind = TreeKind::kBeTree;
+  be.kind = kv::EngineKind::kBeTree;
   const auto bet = run_nodesize_sweep(sim::testbed_hdd_profile(), be);
 
   EXPECT_LT(bet.points[0].insert_ms, bt.points[0].insert_ms * 0.5);
@@ -110,14 +110,14 @@ TEST(SweepTest, BeTreeLessSensitiveToNodeSizeThanBTree) {
   // hurts the B-tree much more than the Bε-tree on inserts.
   const std::vector<uint64_t> sizes{64 * kKiB, 1 * kMiB};
   SweepConfig b;
-  b.kind = TreeKind::kBTree;
+  b.kind = kv::EngineKind::kBTree;
   b.node_sizes = sizes;
   b.items = 250000;
   b.queries = 100;
   b.inserts = 400;
   const auto bt = run_nodesize_sweep(sim::testbed_hdd_profile(), b);
   SweepConfig be = b;
-  be.kind = TreeKind::kBeTree;
+  be.kind = kv::EngineKind::kBeTree;
   const auto bet = run_nodesize_sweep(sim::testbed_hdd_profile(), be);
 
   const double btree_growth = bt.points[1].insert_ms / bt.points[0].insert_ms;

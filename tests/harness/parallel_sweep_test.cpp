@@ -33,7 +33,7 @@ TEST(ParallelSweepTest, ZeroAndSingleThreadDegenerate) {
 
 TEST(ParallelSweepTest, NodesizeSweepIdenticalAcrossThreadCounts) {
   SweepConfig cfg;
-  cfg.kind = TreeKind::kBTree;
+  cfg.kind = kv::EngineKind::kBTree;
   cfg.node_sizes = {16 * kKiB, 64 * kKiB, 256 * kKiB, 1 * kMiB};
   cfg.items = 40000;
   cfg.queries = 60;

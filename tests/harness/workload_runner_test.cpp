@@ -1,0 +1,147 @@
+// WorkloadRunner: deterministic generic driving, the byte-exact legacy
+// put/get loop, checkpoint retries, and the fault-soak driver on a clean
+// device (its faulting behavior is covered by the integration soak).
+#include "harness/workload_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kv/engine.h"
+#include "kv/slice.h"
+#include "sim/profiles.h"
+#include "sim/ssd.h"
+#include "util/bytes.h"
+#include "util/table.h"
+
+namespace damkit {
+namespace {
+
+kv::EngineConfig small_config() {
+  kv::EngineConfig cfg;
+  cfg.btree.node_bytes = 16 * kKiB;
+  cfg.btree.cache_bytes = 256 * kKiB;
+  cfg.betree.node_bytes = 32 * kKiB;
+  cfg.betree.cache_bytes = 256 * kKiB;
+  cfg.lsm.memtable_bytes = 32 * kKiB;
+  cfg.lsm.sstable_target_bytes = 64 * kKiB;
+  cfg.pdam.buffer_bytes = 32 * kKiB;
+  return cfg;
+}
+
+kv::WorkloadSpec mixed_spec() {
+  kv::WorkloadSpec spec;
+  spec.key_space = 2000;
+  spec.value_bytes = 48;
+  spec.get_weight = 0.4;
+  spec.put_weight = 0.4;
+  spec.delete_weight = 0.05;
+  spec.scan_weight = 0.05;
+  spec.upsert_weight = 0.1;
+  spec.scan_length = 25;
+  spec.seed = 1234;
+  return spec;
+}
+
+TEST(WorkloadRunnerTest, RunIsDeterministicForAGivenSpec) {
+  const auto run_once = [] {
+    sim::SsdDevice dev(sim::testbed_ssd_profile());
+    sim::IoContext io(dev);
+    const auto dict =
+        kv::make_engine(kv::EngineKind::kBTree, dev, io, small_config());
+    harness::WorkloadRunner runner(*dict, io);
+    runner.bulk_load(1000, mixed_spec());
+    return runner.run(mixed_spec(), 3000);
+  };
+  const harness::WorkloadRunResult a = run_once();
+  const harness::WorkloadRunResult b = run_once();
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.sim_elapsed, b.sim_elapsed);
+  EXPECT_EQ(a.puts, b.puts);
+  EXPECT_EQ(a.gets, b.gets);
+  EXPECT_EQ(a.puts + a.gets + a.erases + a.scans + a.upserts, 3000u);
+  EXPECT_GT(a.get_hits, 0u);
+  EXPECT_EQ(a.failed_ops, 0u);
+}
+
+TEST(WorkloadRunnerTest, FallibleRunMatchesInfallibleOnCleanDevice) {
+  const auto run_once = [](bool fallible) {
+    sim::SsdDevice dev(sim::testbed_ssd_profile());
+    sim::IoContext io(dev);
+    const auto dict =
+        kv::make_engine(kv::EngineKind::kBeTree, dev, io, small_config());
+    harness::WorkloadRunner runner(*dict, io);
+    runner.bulk_load(500, mixed_spec());
+    harness::WorkloadRunOptions options;
+    options.fallible = fallible;
+    return runner.run(mixed_spec(), 2000, options);
+  };
+  // With no faults the try_* twins return the same data as the infallible
+  // calls, so the observable digest agrees.
+  const harness::WorkloadRunResult direct = run_once(false);
+  const harness::WorkloadRunResult checked = run_once(true);
+  EXPECT_EQ(direct.digest, checked.digest);
+  EXPECT_EQ(checked.failed_ops, 0u);
+}
+
+TEST(WorkloadRunnerTest, RunPutGetCountsHitsAndDrawsDeterministically) {
+  const auto run_once = [](bool fallible) {
+    sim::SsdDevice dev(sim::testbed_ssd_profile());
+    sim::IoContext io(dev);
+    const auto dict =
+        kv::make_engine(kv::EngineKind::kBTree, dev, io, small_config());
+    harness::PutGetSpec spec;
+    spec.puts = 800;
+    spec.gets = 400;
+    spec.key_modulus = 500;  // < puts: most gets hit
+    spec.value_bytes = 64;
+    spec.seed = 42;
+    spec.key_of = [](uint64_t id) { return strfmt("key%012llu", id); };
+    spec.scans = 1;
+    spec.scan_limit = 50;
+    spec.fallible = fallible;
+    const harness::PutGetResult result = harness::run_put_get(*dict, spec);
+    return std::make_pair(result, io.now());
+  };
+  // The loop draws the same RNG stream either way, so the fallible and
+  // infallible paths agree on hits and on simulated time (that equality
+  // is what lets damkit_cli flip --fault-seed without perturbing the
+  // fault-free workload).
+  const auto [direct, direct_time] = run_once(false);
+  const auto [checked, checked_time] = run_once(true);
+  EXPECT_GT(direct.get_hits, 0u);
+  EXPECT_EQ(direct.get_hits, checked.get_hits);
+  EXPECT_EQ(direct.failed_ops, 0u);
+  EXPECT_EQ(checked.failed_ops, 0u);
+  EXPECT_EQ(direct_time, checked_time);
+}
+
+TEST(WorkloadRunnerTest, CheckpointWithRetriesSucceedsImmediatelyWhenClean) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  const auto dict =
+      kv::make_engine(kv::EngineKind::kLsm, dev, io, small_config());
+  for (uint64_t i = 0; i < 500; ++i) {
+    dict->put(kv::encode_key(i), kv::make_value(i, 40));
+  }
+  EXPECT_TRUE(harness::checkpoint_with_retries(*dict, 10).ok());
+}
+
+TEST(WorkloadRunnerTest, FaultSoakOnCleanDeviceIsViolationFree) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  const auto dict =
+      kv::make_engine(kv::EngineKind::kBTree, dev, io, small_config());
+  harness::SoakSpec spec;
+  spec.ops = 2000;
+  spec.key_space = 1000;
+  spec.seed = 7;
+  const harness::SoakReport report = harness::run_fault_soak(*dict, spec);
+  EXPECT_EQ(report.failed_ops, 0u);
+  EXPECT_EQ(report.ok_ops, spec.ops);
+  EXPECT_TRUE(report.checkpoint_ok);
+  EXPECT_TRUE(report.violations.empty());
+}
+
+}  // namespace
+}  // namespace damkit

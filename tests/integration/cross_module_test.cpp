@@ -7,8 +7,8 @@
 
 #include "betree/betree.h"
 #include "btree/btree.h"
+#include "kv/engine.h"
 #include "kv/slice.h"
-#include "lsm/lsm_tree.h"
 #include "sim/profiles.h"
 #include "sim/ssd.h"
 #include "sim/trace.h"
@@ -21,17 +21,17 @@ namespace {
 TEST(CrossModuleTest, BTreeOnSsd) {
   sim::SsdDevice dev(sim::testbed_ssd_profile());
   sim::IoContext io(dev);
-  btree::BTreeConfig cfg;
-  cfg.node_bytes = 16 * kKiB;
-  cfg.cache_bytes = 1 * kMiB;
-  btree::BTree tree(dev, io, cfg);
+  kv::EngineConfig cfg;
+  cfg.btree.node_bytes = 16 * kKiB;
+  cfg.btree.cache_bytes = 1 * kMiB;
+  const auto tree = kv::make_engine(kv::EngineKind::kBTree, dev, io, cfg);
   for (uint64_t i = 0; i < 5000; ++i) {
-    tree.put(kv::encode_key(i), kv::make_value(i, 50));
+    tree->put(kv::encode_key(i), kv::make_value(i, 50));
   }
-  tree.flush();
-  tree.check_invariants();
+  tree->flush();
+  tree->check_invariants();
   for (uint64_t i = 0; i < 5000; i += 37) {
-    EXPECT_EQ(tree.get(kv::encode_key(i)), kv::make_value(i, 50));
+    EXPECT_EQ(tree->get(kv::encode_key(i)), kv::make_value(i, 50));
   }
   // Same logical workload is far faster on flash than the HDD testbed.
   EXPECT_GT(io.now(), 0u);
@@ -40,16 +40,16 @@ TEST(CrossModuleTest, BTreeOnSsd) {
 TEST(CrossModuleTest, SsdFasterThanHddForRandomTreeOps) {
   auto run_on = [](sim::Device& dev) {
     sim::IoContext io(dev);
-    btree::BTreeConfig cfg;
-    cfg.node_bytes = 16 * kKiB;
-    cfg.cache_bytes = 512 * kKiB;
-    btree::BTree tree(dev, io, cfg);
-    tree.bulk_load(30000, [](uint64_t i) {
+    kv::EngineConfig cfg;
+    cfg.btree.node_bytes = 16 * kKiB;
+    cfg.btree.cache_bytes = 512 * kKiB;
+    const auto tree = kv::make_engine(kv::EngineKind::kBTree, dev, io, cfg);
+    tree->bulk_load(30000, [](uint64_t i) {
       return std::make_pair(kv::encode_key(i), kv::make_value(i, 60));
     });
     Rng rng(5);
     for (int q = 0; q < 200; ++q) {
-      (void)tree.get(kv::encode_key(rng.uniform(30000)));
+      (void)tree->get(kv::encode_key(rng.uniform(30000)));
     }
     return io.now();
   };
@@ -66,14 +66,14 @@ TEST(CrossModuleTest, TracingThroughBeTreeWorkload) {
   dev.set_trace(&trace);
   sim::IoContext io(dev);
   {
-    betree::BeTreeConfig cfg;
-    cfg.node_bytes = 64 * kKiB;
-    cfg.cache_bytes = 512 * kKiB;
-    betree::BeTree tree(dev, io, cfg);
+    kv::EngineConfig cfg;
+    cfg.betree.node_bytes = 64 * kKiB;
+    cfg.betree.cache_bytes = 512 * kKiB;
+    const auto tree = kv::make_engine(kv::EngineKind::kBeTree, dev, io, cfg);
     for (uint64_t i = 0; i < 20000; ++i) {
-      tree.put(kv::encode_key(i), kv::make_value(i, 50));
+      tree->put(kv::encode_key(i), kv::make_value(i, 50));
     }
-    tree.flush_cache();
+    tree->flush();
   }
   dev.set_trace(nullptr);
   ASSERT_FALSE(trace.empty());
@@ -98,18 +98,18 @@ TEST(CrossModuleTest, TracingThroughBeTreeWorkload) {
 TEST(CrossModuleTest, LsmOnSsdProfile) {
   sim::SsdDevice dev(sim::testbed_ssd_profile());
   sim::IoContext io(dev);
-  lsm::LsmConfig cfg;
-  cfg.memtable_bytes = 64 * kKiB;
-  cfg.sstable_target_bytes = 256 * kKiB;
-  cfg.level1_bytes = 1 * kMiB;
-  lsm::LsmTree tree(dev, io, cfg);
+  kv::EngineConfig cfg;
+  cfg.lsm.memtable_bytes = 64 * kKiB;
+  cfg.lsm.sstable_target_bytes = 256 * kKiB;
+  cfg.lsm.level1_bytes = 1 * kMiB;
+  const auto tree = kv::make_engine(kv::EngineKind::kLsm, dev, io, cfg);
   for (uint64_t i = 0; i < 20000; ++i) {
-    tree.put(kv::encode_key(i % 5000), kv::make_value(i, 40));
+    tree->put(kv::encode_key(i % 5000), kv::make_value(i, 40));
   }
-  tree.flush();
-  tree.check_invariants();
+  tree->flush();
+  tree->check_invariants();
   for (uint64_t k = 0; k < 5000; k += 111) {
-    EXPECT_TRUE(tree.get(kv::encode_key(k)).has_value()) << k;
+    EXPECT_TRUE(tree->get(kv::encode_key(k)).has_value()) << k;
   }
 }
 
@@ -118,30 +118,30 @@ TEST(CrossModuleTest, TwoTreesShareOneDevice) {
   // the extent spaces must not alias.
   sim::HddDevice dev(sim::testbed_hdd_profile(), 1);
   sim::IoContext io(dev);
-  btree::BTreeConfig bcfg;
-  bcfg.node_bytes = 16 * kKiB;
-  bcfg.cache_bytes = 1 * kMiB;
-  bcfg.base_offset = 0;
-  btree::BTree bt(dev, io, bcfg);
+  kv::EngineConfig bcfg;
+  bcfg.btree.node_bytes = 16 * kKiB;
+  bcfg.btree.cache_bytes = 1 * kMiB;
+  kv::set_base_offset(bcfg, 0);
+  const auto bt = kv::make_engine(kv::EngineKind::kBTree, dev, io, bcfg);
 
-  betree::BeTreeConfig ecfg;
-  ecfg.node_bytes = 64 * kKiB;
-  ecfg.cache_bytes = 1 * kMiB;
-  ecfg.base_offset = 100ULL * kGiB;  // second half of the disk
-  betree::BeTree bet(dev, io, ecfg);
+  kv::EngineConfig ecfg;
+  ecfg.betree.node_bytes = 64 * kKiB;
+  ecfg.betree.cache_bytes = 1 * kMiB;
+  kv::set_base_offset(ecfg, 100ULL * kGiB);  // second half of the disk
+  const auto bet = kv::make_engine(kv::EngineKind::kBeTree, dev, io, ecfg);
 
   for (uint64_t i = 0; i < 3000; ++i) {
-    bt.put(kv::encode_key(i), "btree-" + std::to_string(i));
-    bet.put(kv::encode_key(i), "betree-" + std::to_string(i));
+    bt->put(kv::encode_key(i), "btree-" + std::to_string(i));
+    bet->put(kv::encode_key(i), "betree-" + std::to_string(i));
   }
-  bt.flush();
-  bet.flush_cache();
+  bt->flush();
+  bet->flush();
   for (uint64_t i = 0; i < 3000; i += 101) {
-    EXPECT_EQ(bt.get(kv::encode_key(i)), "btree-" + std::to_string(i));
-    EXPECT_EQ(bet.get(kv::encode_key(i)), "betree-" + std::to_string(i));
+    EXPECT_EQ(bt->get(kv::encode_key(i)), "btree-" + std::to_string(i));
+    EXPECT_EQ(bet->get(kv::encode_key(i)), "betree-" + std::to_string(i));
   }
-  bt.check_invariants();
-  bet.check_invariants();
+  bt->check_invariants();
+  bet->check_invariants();
 }
 
 TEST(CrossModuleDeathTest, OversizedEntriesRejectedUpFront) {
@@ -149,20 +149,20 @@ TEST(CrossModuleDeathTest, OversizedEntriesRejectedUpFront) {
   // both trees must reject them loudly instead.
   sim::HddDevice dev(sim::testbed_hdd_profile(), 1);
   sim::IoContext io(dev);
-  btree::BTreeConfig bcfg;
-  bcfg.node_bytes = 4096;
-  bcfg.cache_bytes = 64 * 1024;
-  btree::BTree bt(dev, io, bcfg);
-  EXPECT_DEATH(bt.put("k", std::string(4000, 'x')), "too large");
-  bt.put("k", std::string(1900, 'x'));  // within node/2: fine
+  kv::EngineConfig bcfg;
+  bcfg.btree.node_bytes = 4096;
+  bcfg.btree.cache_bytes = 64 * 1024;
+  const auto bt = kv::make_engine(kv::EngineKind::kBTree, dev, io, bcfg);
+  EXPECT_DEATH(bt->put("k", std::string(4000, 'x')), "too large");
+  bt->put("k", std::string(1900, 'x'));  // within node/2: fine
 
-  betree::BeTreeConfig ecfg;
-  ecfg.node_bytes = 4096;
-  ecfg.cache_bytes = 64 * 1024;
-  betree::BeTree bet(dev, io, ecfg);
-  EXPECT_DEATH(bet.put("k", std::string(4000, 'x')), "too large");
-  bet.put("k", std::string(1900, 'x'));
-  bet.flush_cache();
+  kv::EngineConfig ecfg;
+  ecfg.betree.node_bytes = 4096;
+  ecfg.betree.cache_bytes = 64 * 1024;
+  const auto bet = kv::make_engine(kv::EngineKind::kBeTree, dev, io, ecfg);
+  EXPECT_DEATH(bet->put("k", std::string(4000, 'x')), "too large");
+  bet->put("k", std::string(1900, 'x'));
+  bet->flush();
 }
 
 TEST(CrossModuleDeathTest, CorruptNodeImagesCaughtOnDeserialize) {

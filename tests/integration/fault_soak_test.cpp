@@ -4,37 +4,26 @@
 // either retried away inside the tree or surfaced as a non-OK Status —
 // never an abort — and no operation that reported success loses data.
 //
-// Mutations that *failed* leave their key in a deliberately unspecified
-// (old-or-new, but internally consistent) state, so the reference model
+// The soak loop itself is harness::run_fault_soak — one generic driver
+// over kv::Dictionary instead of the per-tree copies this file used to
+// carry. Mutations that *failed* leave their key in a deliberately
+// unspecified (old-or-new, but internally consistent) state; the runner
 // marks such keys "uncertain" and stops asserting their exact value.
 #include <gtest/gtest.h>
 
-#include <functional>
-#include <map>
-#include <optional>
-#include <set>
 #include <string>
+#include <tuple>
 
-#include "betree/betree.h"
-#include "betree_opt/opt_betree.h"
-#include "btree/btree.h"
-#include "kv/slice.h"
-#include "lsm/lsm_tree.h"
+#include "harness/workload_runner.h"
+#include "kv/engine.h"
 #include "sim/fault_injection.h"
 #include "sim/profiles.h"
 #include "sim/ssd.h"
 #include "stats/metrics.h"
 #include "util/bytes.h"
-#include "util/rng.h"
 
 namespace damkit {
 namespace {
-
-// Sized so the working set dwarfs the (deliberately tiny) caches below:
-// the soak is only meaningful if the trees do real device IO to fault.
-constexpr uint64_t kKeySpace = 4000;
-constexpr size_t kOps = 4000;
-constexpr size_t kValueBytes = 100;
 
 sim::FaultConfig soak_faults(uint64_t seed) {
   sim::FaultConfig cfg;
@@ -46,239 +35,128 @@ sim::FaultConfig soak_faults(uint64_t seed) {
   return cfg;
 }
 
-// Tree-shaped adapter so one soak loop drives all four dictionaries.
-struct SoakOps {
-  std::function<Status(const std::string&, const std::string&)> put;
-  std::function<Status(const std::string&)> erase;
-  std::function<StatusOr<std::optional<std::string>>(const std::string&)> get;
-  /// One checkpoint attempt; the harness retries give-ups with fresh draws.
-  std::function<Status()> checkpoint;
+// Sized so the working set dwarfs the (deliberately tiny) caches below:
+// the soak is only meaningful if the trees do real device IO to fault.
+kv::EngineConfig soak_config() {
+  kv::EngineConfig cfg;
+  cfg.btree.node_bytes = 16 * kKiB;
+  cfg.btree.cache_bytes = 64 * kKiB;
+  cfg.betree.node_bytes = 32 * kKiB;
+  cfg.betree.cache_bytes = 128 * kKiB;
+  cfg.lsm.memtable_bytes = 16 * kKiB;
+  cfg.lsm.sstable_target_bytes = 16 * kKiB;
+  cfg.lsm.block_bytes = 4 * kKiB;
+  cfg.lsm.level0_limit = 3;
+  cfg.lsm.level1_bytes = 128 * kKiB;
+  cfg.pdam.buffer_bytes = 16 * kKiB;  // frequent merges → real IO to fault
+  return cfg;
+}
+
+struct SoakOutcome {
+  harness::SoakReport report;
+  blockdev::RetryCounters counters;
+  uint64_t injected = 0;
+  stats::MetricsRegistry metrics;  // device.* + <engine-name>.*
+  sim::SimTime elapsed = 0;
 };
 
-struct SoakResult {
-  uint64_t ok_ops = 0;
-  uint64_t failed_ops = 0;
-};
+SoakOutcome run_engine_soak(kv::EngineKind kind, uint64_t fault_seed,
+                            uint64_t workload_seed) {
+  sim::SsdDevice inner(sim::testbed_ssd_profile());
+  sim::FaultInjectingDevice dev(inner, soak_faults(fault_seed));
+  sim::IoContext io(dev);
+  const auto tree = kv::make_engine(kind, dev, io, soak_config());
 
-SoakResult run_soak(const SoakOps& ops, uint64_t workload_seed) {
-  std::map<std::string, std::string> expected;
-  std::set<std::string> uncertain;  // failed mutation: old-or-new state
-  SoakResult result;
-  Rng rng(workload_seed);
+  harness::SoakSpec spec;
+  spec.seed = workload_seed;
+  SoakOutcome out;
+  out.report = harness::run_fault_soak(*tree, spec);
+  tree->check_invariants();
+  out.counters = tree->retry_counters();
+  out.injected = dev.fault_stats().injected_errors();
+  dev.export_metrics(out.metrics, "device.");
+  tree->export_metrics(out.metrics,
+                       std::string(kv::engine_kind_name(kind)) + ".");
+  out.elapsed = io.now();
+  return out;
+}
 
-  const auto key_at = [&](uint64_t k) { return kv::encode_key(k); };
-  for (size_t i = 0; i < kOps; ++i) {
-    const std::string key = key_at(rng.uniform(kKeySpace));
-    const uint64_t dice = rng.uniform(10);
-    if (dice < 6) {
-      const std::string value = kv::make_value(rng.next(), kValueBytes);
-      const Status s = ops.put(key, value);
-      if (s.ok()) {
-        expected[key] = value;
-        uncertain.erase(key);
-        ++result.ok_ops;
-      } else {
-        uncertain.insert(key);
-        ++result.failed_ops;
-      }
-    } else if (dice < 8) {
-      const Status s = ops.erase(key);
-      if (s.ok()) {
-        expected.erase(key);
-        uncertain.erase(key);
-        ++result.ok_ops;
-      } else {
-        uncertain.insert(key);
-        ++result.failed_ops;
-      }
-    } else {
-      StatusOr<std::optional<std::string>> got = ops.get(key);
-      if (!got.ok()) {
-        ++result.failed_ops;
-      } else {
-        ++result.ok_ops;
-        if (uncertain.count(key) == 0) {
-          const auto want = expected.find(key);
-          if (want == expected.end()) {
-            EXPECT_FALSE(got->has_value()) << "phantom key " << key;
-          } else if (!got->has_value()) {
-            ADD_FAILURE() << "lost key " << key;
-          } else {
-            EXPECT_EQ(**got, want->second);
-          }
-        }
-      }
-    }
+void expect_soak_clean(const SoakOutcome& out) {
+  for (const std::string& violation : out.report.violations) {
+    ADD_FAILURE() << violation;
   }
-
-  // The checkpoint must eventually land (each attempt consumes fresh
-  // fault draws, so a give-up does not repeat forever).
-  Status checkpoint = ops.checkpoint();
-  for (int tries = 0; !checkpoint.ok() && tries < 200; ++tries) {
-    checkpoint = ops.checkpoint();
-  }
-  EXPECT_TRUE(checkpoint.ok()) << checkpoint.message();
-
-  // Full verification sweep: every op that reported success is durable.
-  // Reads can still fault; retry each key until the tree answers.
-  for (const auto& [key, value] : expected) {
-    if (uncertain.count(key) != 0) continue;
-    StatusOr<std::optional<std::string>> got = ops.get(key);
-    for (int tries = 0; !got.ok() && tries < 200; ++tries) {
-      got = ops.get(key);
-    }
-    if (!got.ok()) {
-      ADD_FAILURE() << "verify read kept failing for " << key;
-    } else if (!got->has_value()) {
-      ADD_FAILURE() << "lost key " << key;
-    } else {
-      EXPECT_EQ(**got, value);
-    }
-  }
-  return result;
+  EXPECT_TRUE(out.report.checkpoint_ok);
+  EXPECT_GT(out.report.ok_ops, 0u);
 }
 
 // Every injected fault must be accounted for: retried (and then the
 // request either succeeded or eventually gave up) — never swallowed.
-void expect_faults_accounted(const sim::FaultInjectingDevice& dev,
-                             const blockdev::RetryCounters& counters) {
-  EXPECT_GT(dev.fault_stats().injected_errors(), 0u)
+void expect_faults_accounted(const SoakOutcome& out) {
+  EXPECT_GT(out.injected, 0u)
       << "soak injected nothing - rates or op count too low to test anything";
-  EXPECT_EQ(dev.fault_stats().injected_errors(),
-            counters.retries + counters.give_ups);
+  EXPECT_EQ(out.injected, out.counters.retries + out.counters.give_ups);
 }
 
 class FaultSoakTest : public testing::TestWithParam<uint64_t> {};
 
 TEST_P(FaultSoakTest, BTreeSurvives) {
-  sim::SsdDevice inner(sim::testbed_ssd_profile());
-  sim::FaultInjectingDevice dev(inner, soak_faults(GetParam()));
-  sim::IoContext io(dev);
-  btree::BTreeConfig cfg;
-  cfg.node_bytes = 16 * kKiB;
-  cfg.cache_bytes = 64 * kKiB;
-  btree::BTree tree(dev, io, cfg);
+  const SoakOutcome out = run_engine_soak(kv::EngineKind::kBTree, GetParam(),
+                                          GetParam() * 17 + 1);
+  expect_soak_clean(out);
+  expect_faults_accounted(out);
 
-  SoakOps ops;
-  ops.put = [&](const std::string& k, const std::string& v) {
-    return tree.try_put(k, v);
-  };
-  ops.erase = [&](const std::string& k) { return tree.try_erase(k).status(); };
-  ops.get = [&](const std::string& k) { return tree.try_get(k); };
-  ops.checkpoint = [&] { return tree.try_flush(); };
-  const SoakResult r = run_soak(ops, GetParam() * 17 + 1);
-  EXPECT_GT(r.ok_ops, 0u);
-  expect_faults_accounted(dev, tree.retry_counters());
-
-  stats::MetricsRegistry reg;
-  dev.export_metrics(reg, "device.");
-  tree.export_metrics(reg, "btree.");
-  EXPECT_GT(reg.counter("device.faults.injected_read_errors") +
-                reg.counter("device.faults.injected_write_errors") +
-                reg.counter("device.faults.injected_torn_writes"),
+  EXPECT_GT(out.metrics.counter("device.faults.injected_read_errors") +
+                out.metrics.counter("device.faults.injected_write_errors") +
+                out.metrics.counter("device.faults.injected_torn_writes"),
             0u);
-  EXPECT_EQ(reg.counter("btree.store.io_retries"),
-            tree.retry_counters().retries);
-  EXPECT_EQ(reg.counter("btree.store.io_give_ups"),
-            tree.retry_counters().give_ups);
+  EXPECT_EQ(out.metrics.counter("btree.store.io_retries"),
+            out.counters.retries);
+  EXPECT_EQ(out.metrics.counter("btree.store.io_give_ups"),
+            out.counters.give_ups);
 }
 
 TEST_P(FaultSoakTest, BeTreeSurvives) {
-  sim::SsdDevice inner(sim::testbed_ssd_profile());
-  sim::FaultInjectingDevice dev(inner, soak_faults(GetParam()));
-  sim::IoContext io(dev);
-  betree::BeTreeConfig cfg;
-  cfg.node_bytes = 32 * kKiB;
-  cfg.cache_bytes = 128 * kKiB;
-  betree::BeTree tree(dev, io, cfg);
-
-  SoakOps ops;
-  ops.put = [&](const std::string& k, const std::string& v) {
-    return tree.try_put(k, v);
-  };
-  ops.erase = [&](const std::string& k) { return tree.try_erase(k); };
-  ops.get = [&](const std::string& k) { return tree.try_get(k); };
-  ops.checkpoint = [&] { return tree.try_flush_cache(); };
-  const SoakResult r = run_soak(ops, GetParam() * 17 + 2);
-  EXPECT_GT(r.ok_ops, 0u);
-  expect_faults_accounted(dev, tree.retry_counters());
+  const SoakOutcome out = run_engine_soak(kv::EngineKind::kBeTree, GetParam(),
+                                          GetParam() * 17 + 2);
+  expect_soak_clean(out);
+  expect_faults_accounted(out);
 }
 
 TEST_P(FaultSoakTest, OptBeTreeSurvives) {
-  sim::SsdDevice inner(sim::testbed_ssd_profile());
-  sim::FaultInjectingDevice dev(inner, soak_faults(GetParam()));
-  sim::IoContext io(dev);
-  betree::BeTreeConfig cfg;
-  cfg.node_bytes = 32 * kKiB;
-  cfg.cache_bytes = 128 * kKiB;
-  betree_opt::OptBeTree tree(dev, io, cfg);
-
-  SoakOps ops;
-  ops.put = [&](const std::string& k, const std::string& v) {
-    return tree.try_put(k, v);
-  };
-  ops.erase = [&](const std::string& k) { return tree.try_erase(k); };
-  ops.get = [&](const std::string& k) { return tree.try_get(k); };
-  ops.checkpoint = [&] { return tree.try_flush_cache(); };
-  const SoakResult r = run_soak(ops, GetParam() * 17 + 3);
-  EXPECT_GT(r.ok_ops, 0u);
-  expect_faults_accounted(dev, tree.retry_counters());
+  const SoakOutcome out = run_engine_soak(kv::EngineKind::kOptBeTree,
+                                          GetParam(), GetParam() * 17 + 3);
+  expect_soak_clean(out);
+  expect_faults_accounted(out);
 }
 
 TEST_P(FaultSoakTest, LsmTreeSurvives) {
-  sim::SsdDevice inner(sim::testbed_ssd_profile());
-  sim::FaultInjectingDevice dev(inner, soak_faults(GetParam()));
-  sim::IoContext io(dev);
-  lsm::LsmConfig cfg;
-  cfg.memtable_bytes = 16 * kKiB;
-  cfg.sstable_target_bytes = 16 * kKiB;
-  cfg.block_bytes = 4 * kKiB;
-  cfg.level0_limit = 3;
-  cfg.level1_bytes = 128 * kKiB;
-  lsm::LsmTree tree(dev, io, cfg);
+  const SoakOutcome out = run_engine_soak(kv::EngineKind::kLsm, GetParam(),
+                                          GetParam() * 17 + 4);
+  expect_soak_clean(out);
+  expect_faults_accounted(out);
 
-  SoakOps ops;
-  ops.put = [&](const std::string& k, const std::string& v) {
-    return tree.try_put(k, v);
-  };
-  ops.erase = [&](const std::string& k) { return tree.try_erase(k); };
-  ops.get = [&](const std::string& k) { return tree.try_get(k); };
-  ops.checkpoint = [&] { return tree.try_flush(); };
-  const SoakResult r = run_soak(ops, GetParam() * 17 + 4);
-  EXPECT_GT(r.ok_ops, 0u);
-  expect_faults_accounted(dev, tree.retry_counters());
-  tree.check_invariants();
+  EXPECT_EQ(out.metrics.counter("lsm.io_retries"), out.counters.retries);
+  EXPECT_EQ(out.metrics.counter("lsm.io_give_ups"), out.counters.give_ups);
+}
 
-  stats::MetricsRegistry reg;
-  tree.export_metrics(reg, "lsm.");
-  EXPECT_EQ(reg.counter("lsm.io_retries"), tree.retry_counters().retries);
-  EXPECT_EQ(reg.counter("lsm.io_give_ups"), tree.retry_counters().give_ups);
+TEST_P(FaultSoakTest, PdamSurvives) {
+  const SoakOutcome out = run_engine_soak(kv::EngineKind::kPdam, GetParam(),
+                                          GetParam() * 17 + 5);
+  expect_soak_clean(out);
+  expect_faults_accounted(out);
+
+  EXPECT_EQ(out.metrics.counter("pdam.io_retries"), out.counters.retries);
+  EXPECT_EQ(out.metrics.counter("pdam.io_give_ups"), out.counters.give_ups);
 }
 
 // Determinism across runs: the same seed produces the same outcome
 // (ok/failed split and retry counts), per the replayability contract.
 TEST(FaultSoakDeterminismTest, SameSeedSameOutcome) {
   const auto run_once = [](uint64_t seed) {
-    sim::SsdDevice inner(sim::testbed_ssd_profile());
-    sim::FaultInjectingDevice dev(inner, soak_faults(seed));
-    sim::IoContext io(dev);
-    btree::BTreeConfig cfg;
-    cfg.node_bytes = 16 * kKiB;
-    cfg.cache_bytes = 64 * kKiB;
-    btree::BTree tree(dev, io, cfg);
-    SoakOps ops;
-    ops.put = [&](const std::string& k, const std::string& v) {
-      return tree.try_put(k, v);
-    };
-    ops.erase = [&](const std::string& k) {
-      return tree.try_erase(k).status();
-    };
-    ops.get = [&](const std::string& k) { return tree.try_get(k); };
-    ops.checkpoint = [&] { return tree.try_flush(); };
-    const SoakResult r = run_soak(ops, 77);
-    return std::make_tuple(r.ok_ops, r.failed_ops,
-                           tree.retry_counters().retries,
-                           tree.retry_counters().give_ups, io.now());
+    const SoakOutcome out = run_engine_soak(kv::EngineKind::kBTree, seed, 77);
+    return std::make_tuple(out.report.ok_ops, out.report.failed_ops,
+                           out.counters.retries, out.counters.give_ups,
+                           out.elapsed);
   };
   EXPECT_EQ(run_once(42), run_once(42));
 }

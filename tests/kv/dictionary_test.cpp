@@ -1,0 +1,179 @@
+// kv::Dictionary contract tests, run against every engine the factory can
+// build: the adapters must agree on observable results (only simulated
+// cost may differ between engines).
+#include "kv/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "betree/message.h"
+#include "kv/engine.h"
+#include "kv/slice.h"
+#include "sim/profiles.h"
+#include "sim/ssd.h"
+#include "stats/metrics.h"
+#include "util/bytes.h"
+
+namespace damkit {
+namespace {
+
+kv::EngineConfig small_config() {
+  kv::EngineConfig cfg;
+  cfg.btree.node_bytes = 16 * kKiB;
+  cfg.btree.cache_bytes = 256 * kKiB;
+  cfg.betree.node_bytes = 32 * kKiB;
+  cfg.betree.cache_bytes = 256 * kKiB;
+  cfg.lsm.memtable_bytes = 32 * kKiB;
+  cfg.lsm.sstable_target_bytes = 64 * kKiB;
+  cfg.pdam.buffer_bytes = 32 * kKiB;
+  return cfg;
+}
+
+TEST(EngineKindTest, NamesRoundTrip) {
+  for (const kv::EngineKind kind : kv::kAllEngineKinds) {
+    const auto parsed = kv::parse_engine_kind(kv::engine_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(kv::parse_engine_kind("rope").has_value());
+  EXPECT_FALSE(kv::parse_engine_kind("").has_value());
+}
+
+class DictionaryContractTest : public testing::TestWithParam<kv::EngineKind> {
+};
+
+TEST_P(DictionaryContractTest, PutGetEraseFlush) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  const auto dict = kv::make_engine(GetParam(), dev, io, small_config());
+
+  EXPECT_EQ(dict->name(), kv::engine_kind_name(GetParam()));
+  for (uint64_t i = 0; i < 2000; ++i) {
+    dict->put(kv::encode_key(i), kv::make_value(i, 40));
+  }
+  dict->flush();
+  dict->check_invariants();
+  for (uint64_t i = 0; i < 2000; i += 97) {
+    EXPECT_EQ(dict->get(kv::encode_key(i)), kv::make_value(i, 40)) << i;
+  }
+  EXPECT_FALSE(dict->get(kv::encode_key(999999)).has_value());
+
+  dict->erase(kv::encode_key(42));
+  EXPECT_FALSE(dict->get(kv::encode_key(42)).has_value());
+  dict->put(kv::encode_key(42), "back");
+  EXPECT_EQ(dict->get(kv::encode_key(42)), "back");
+
+  EXPECT_GT(dict->height(), 0u);
+  EXPECT_GE(dict->cache_hit_rate(), 0.0);
+  EXPECT_LE(dict->cache_hit_rate(), 1.0);
+}
+
+TEST_P(DictionaryContractTest, UpsertCounterSemantics) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  const auto dict = kv::make_engine(GetParam(), dev, io, small_config());
+
+  // Absent key counts from zero; repeated deltas accumulate identically
+  // whether the engine applies them natively (blind message) or emulates
+  // read-modify-write — that's the Capabilities contract.
+  dict->upsert("ctr", 5);
+  dict->upsert("ctr", 7);
+  dict->upsert("ctr", -2);
+  dict->flush();
+  const auto value = dict->get("ctr");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(betree::decode_counter(*value), 10u);
+}
+
+TEST_P(DictionaryContractTest, RangeScanOrderedAndLimited) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  const auto dict = kv::make_engine(GetParam(), dev, io, small_config());
+
+  dict->bulk_load(1000, [](uint64_t i) {
+    return std::make_pair(kv::encode_key(i), kv::make_value(i, 30));
+  });
+  const auto rows = dict->range_scan(kv::encode_key(10), 50);
+  ASSERT_EQ(rows.size(), 50u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].first, kv::encode_key(10 + i));
+    if (i > 0) EXPECT_LT(rows[i - 1].first, rows[i].first);
+  }
+  EXPECT_TRUE(dict->range_scan(kv::encode_key(2000), 10).empty());
+}
+
+TEST_P(DictionaryContractTest, TryTwinsSucceedOnCleanDevice) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  const auto dict = kv::make_engine(GetParam(), dev, io, small_config());
+
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(dict->try_put(kv::encode_key(i), kv::make_value(i, 40)).ok());
+  }
+  ASSERT_TRUE(dict->try_upsert("ctr", 3).ok());
+  const auto got = dict->try_get(kv::encode_key(7));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, kv::make_value(7, 40));
+  ASSERT_TRUE(dict->try_erase(kv::encode_key(7)).ok());
+  const auto scan = dict->try_range_scan(kv::encode_key(0), 20);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan->empty());
+  EXPECT_TRUE(dict->checkpoint().ok());
+
+  // Clean device: nothing to retry, nothing given up.
+  EXPECT_EQ(dict->retry_counters().retries, 0u);
+  EXPECT_EQ(dict->retry_counters().give_ups, 0u);
+}
+
+TEST_P(DictionaryContractTest, MetricsExportUnderPrefix) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  const auto dict = kv::make_engine(GetParam(), dev, io, small_config());
+  for (uint64_t i = 0; i < 200; ++i) {
+    dict->put(kv::encode_key(i), kv::make_value(i, 40));
+  }
+  dict->flush();
+
+  stats::MetricsRegistry reg;
+  dict->export_metrics(reg, "x.");
+  // Every engine exports *something*, all of it under the caller's prefix.
+  EXPECT_FALSE(reg.empty());
+  reg.for_each_counter([](const std::string& name, uint64_t) {
+    EXPECT_EQ(name.rfind("x.", 0), 0u) << name;
+  });
+  reg.for_each_gauge([](const std::string& name, double) {
+    EXPECT_EQ(name.rfind("x.", 0), 0u) << name;
+  });
+}
+
+TEST_P(DictionaryContractTest, CapabilitiesDescribeSingleEngine) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  const auto dict = kv::make_engine(GetParam(), dev, io, small_config());
+  const kv::Capabilities& caps = dict->capabilities();
+  EXPECT_FALSE(caps.sharded);
+  EXPECT_EQ(caps.shard_count, 1);
+  EXPECT_TRUE(caps.ordered_scans);
+  if (GetParam() == kv::EngineKind::kBeTree ||
+      GetParam() == kv::EngineKind::kOptBeTree) {
+    EXPECT_TRUE(caps.native_upsert);
+  }
+  if (GetParam() == kv::EngineKind::kBTree) {
+    EXPECT_FALSE(caps.native_upsert);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, DictionaryContractTest,
+                         testing::ValuesIn(kv::kAllEngineKinds),
+                         [](const auto& info) {
+                           return std::string(
+                               kv::engine_kind_name(info.param)) == "opt-betree"
+                                      ? std::string("opt_betree")
+                                      : std::string(
+                                            kv::engine_kind_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace damkit

@@ -28,7 +28,9 @@ int usage() {
       "  damkit optimize <alpha-per-entry> [entry_bytes]\n"
       "  damkit trace stats <file.csv>\n"
       "  damkit trace replay <file.csv> <hdd:IDX | ssd:IDX>\n"
-      "  damkit metrics [--device hdd|ssd|hdd:IDX|ssd:IDX] [--ops N]\n"
+      "  damkit metrics [--engine btree|betree|opt-betree|lsm|pdam]\n"
+      "                 [--shards N]\n"
+      "                 [--device hdd|ssd|hdd:IDX|ssd:IDX] [--ops N]\n"
       "                 [--json FILE] [--trace FILE]\n"
       "                 [--fault-seed SEED] [--fault-rate R]");
   return 2;
@@ -187,16 +189,19 @@ std::unique_ptr<sim::Device> make_device(const std::string& spec) {
   return nullptr;
 }
 
-// Canned demo workload: load a Bε-tree, run a mixed read/write phase, and
-// checkpoint, collecting metrics from every layer it touched. With
-// --fault-seed the device is wrapped in a FaultInjectingDevice and the
-// workload runs through the fallible try_* APIs: every injected fault is
-// either retried away by the NodeStore or surfaced (and counted) as a
+// Canned demo workload: load any of the five engines (or a sharded
+// composition of them) through the EngineFactory, run a mixed read/write
+// phase, and checkpoint, collecting metrics from every layer it touched.
+// With --fault-seed the device is wrapped in a FaultInjectingDevice and
+// the workload runs through the fallible try_* APIs: every injected fault
+// is either retried away by the engine or surfaced (and counted) as a
 // failed operation — never an abort.
 int cmd_metrics(int argc, char** argv) {
   std::string device_spec = "ssd";
   std::string json_path;
   std::string trace_path;
+  kv::EngineKind kind = kv::EngineKind::kBeTree;
+  size_t shards = 1;
   uint64_t ops = 20000;
   uint64_t fault_seed = 0;  // 0 = fault injection off
   double fault_rate = 0.01;
@@ -205,6 +210,14 @@ int cmd_metrics(int argc, char** argv) {
     const bool has_next = i + 1 < argc;
     if (arg == "--device" && has_next) {
       device_spec = argv[++i];
+    } else if (arg == "--engine" && has_next) {
+      const std::optional<kv::EngineKind> parsed =
+          kv::parse_engine_kind(argv[++i]);
+      if (!parsed.has_value()) return usage();
+      kind = *parsed;
+    } else if (arg == "--shards" && has_next) {
+      shards = std::strtoul(argv[++i], nullptr, 10);
+      if (shards == 0) return usage();
     } else if (arg == "--ops" && has_next) {
       ops = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--json" && has_next) {
@@ -241,49 +254,46 @@ int cmd_metrics(int argc, char** argv) {
   dev.set_event_trace(&events);
   sim::IoContext io(dev);
 
-  betree::BeTreeConfig config;
-  config.node_bytes = 256 * 1024;
-  config.cache_bytes = 4 * 1024 * 1024;
-  betree::BeTree tree(dev, io, config);
-  tree.set_event_trace(&events);
+  kv::EngineConfig config;
+  config.betree.node_bytes = 256 * 1024;
+  config.betree.cache_bytes = 4 * 1024 * 1024;
+  kv::ShardedConfig sharded;
+  sharded.shards = shards;
+  const std::unique_ptr<kv::Dictionary> tree =
+      kv::make_sharded_engine(kind, dev, io, config, sharded);
+  tree->set_event_trace(&events);
 
-  Rng rng(42);
-  const auto key_of = [](uint64_t k) { return strfmt("key%012llu",
-      static_cast<unsigned long long>(k)); };
-  uint64_t failed_ops = 0;
-  for (uint64_t i = 0; i < ops; ++i) {
-    const Status put =
-        tree.try_put(key_of(rng.next() % (ops * 4)), std::string(100, 'v'));
-    if (!put.ok()) ++failed_ops;
-  }
-  uint64_t found = 0;
-  for (uint64_t i = 0; i < ops / 4; ++i) {
-    StatusOr<std::optional<std::string>> hit =
-        tree.try_get(key_of(rng.next() % (ops * 4)));
-    if (!hit.ok()) {
-      ++failed_ops;
-    } else if (hit->has_value()) {
-      ++found;
-    }
-  }
-  if (!tree.try_scan(key_of(0), 100).ok()) ++failed_ops;
+  harness::PutGetSpec spec;
+  spec.puts = ops;
+  spec.gets = ops / 4;
+  spec.key_modulus = ops * 4;
+  spec.value_bytes = 100;
+  spec.seed = 42;
+  spec.key_of = [](uint64_t k) {
+    return strfmt("key%012llu", static_cast<unsigned long long>(k));
+  };
+  spec.scans = 1;
+  spec.scan_limit = 100;
+  spec.fallible = true;
+  spec.tolerate_failures = fault_seed != 0;
+  const harness::PutGetResult run = harness::run_put_get(*tree, spec);
   // The checkpoint must land before the tree is destroyed (the destructor
   // treats dirty state as a programming error); under injected faults a
   // give-up is retried with fresh draws.
-  Status checkpoint = tree.try_flush_cache();
-  for (int tries = 0; !checkpoint.ok() && tries < 100; ++tries) {
-    checkpoint = tree.try_flush_cache();
-  }
-  DAMKIT_CHECK_OK(checkpoint);
+  DAMKIT_CHECK_OK(harness::checkpoint_with_retries(*tree, 100));
 
   stats::MetricsRegistry reg;
   dev.export_metrics(reg, "device.");
-  tree.export_metrics(reg, "betree.");
+  tree->export_metrics(reg, std::string(kv::engine_kind_name(kind)) + ".");
 
-  std::printf("workload: %llu puts, %llu gets (%llu hits), 1 scan on %s\n",
+  std::printf("workload: %llu puts, %llu gets (%llu hits), 1 scan on %s "
+              "(%s, %zu shard%s)\n",
               static_cast<unsigned long long>(ops),
               static_cast<unsigned long long>(ops / 4),
-              static_cast<unsigned long long>(found), dev.name().c_str());
+              static_cast<unsigned long long>(run.get_hits),
+              dev.name().c_str(),
+              std::string(kv::engine_kind_name(kind)).c_str(), shards,
+              shards == 1 ? "" : "s");
   if (faulty != nullptr) {
     std::printf("faults: seed %llu, %llu injected "
                 "(%llu read, %llu write, %llu torn, %llu spikes), "
@@ -299,10 +309,11 @@ int cmd_metrics(int argc, char** argv) {
                     faulty->fault_stats().injected_torn_writes),
                 static_cast<unsigned long long>(
                     faulty->fault_stats().injected_latency_spikes),
-                static_cast<unsigned long long>(tree.retry_counters().retries),
                 static_cast<unsigned long long>(
-                    tree.retry_counters().give_ups),
-                static_cast<unsigned long long>(failed_ops));
+                    tree->retry_counters().retries),
+                static_cast<unsigned long long>(
+                    tree->retry_counters().give_ups),
+                static_cast<unsigned long long>(run.failed_ops));
   }
   std::printf("simulated time: %.3f s\n\n", sim::to_seconds(io.now()));
 
