@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
+#include "blockdev/codec.h"
 #include "stats/metrics.h"
 
 namespace damkit::bench {
@@ -15,7 +17,7 @@ namespace damkit::bench {
 struct BenchArgs {
   bool quick = false;    // reduced scale for smoke runs
   uint64_t seed = 42;
-  std::string csv_prefix = "results_";
+  std::string csv_prefix = "results/";
   /// Host threads for sweep parallelism. Each sweep point owns its device
   /// and RNG, so any value produces identical output — more threads only
   /// finish sooner.
@@ -23,6 +25,10 @@ struct BenchArgs {
   /// When non-empty, benches that collect a MetricsRegistry write its JSON
   /// snapshot here (CI's regression gate consumes it).
   std::string metrics_json;
+  /// Block codec for benches that build engines through EngineFactory.
+  /// kDefault keeps the factory's resolution (DAMKIT_CODEC env, else
+  /// identity); --codec identity|prefix|lz overrides it.
+  blockdev::CodecKind codec = blockdev::CodecKind::kDefault;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -39,13 +45,28 @@ inline BenchArgs parse_args(int argc, char** argv) {
       if (args.threads < 1) args.threads = 1;
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       args.metrics_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--codec") == 0 && i + 1 < argc) {
+      const auto parsed = blockdev::parse_codec_kind(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "unknown --codec (want identity|prefix|lz)\n");
+        std::exit(2);
+      }
+      args.codec = *parsed;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--quick] [--seed N] [--csv-prefix P] [--threads N] "
-          "[--metrics-json FILE]\n",
+          "[--metrics-json FILE] [--codec identity|prefix|lz]\n",
           argv[0]);
       std::exit(0);
     }
+  }
+  // The default prefix points into results/; create the directory so a
+  // fresh checkout (or a custom DIR/ prefix) can write CSVs immediately.
+  const std::filesystem::path dir =
+      std::filesystem::path(args.csv_prefix).parent_path();
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
   }
   return args;
 }

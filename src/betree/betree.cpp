@@ -14,7 +14,7 @@ BeTree::BeTree(sim::Device& dev, sim::IoContext& io, BeTreeConfig config)
     : dev_(&dev),
       io_(&io),
       config_(config),
-      store_(dev, io, config.node_bytes, config.base_offset) {
+      store_(dev, io, config.node_bytes, config.base_offset, config.codec) {
   DAMKIT_CHECK(config_.node_bytes >= 1024);
   DAMKIT_CHECK(config_.cache_bytes >= config_.node_bytes);
   if (config_.target_fanout > 0) {

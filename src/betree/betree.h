@@ -48,6 +48,10 @@ struct BeTreeConfig {
   /// node, so a short scan wastes at most one small batch while a long
   /// one reaches full device parallelism.
   size_t scan_prefetch_window = 8;
+  /// Block codec for stored node images (see blockdev::NodeStore). The
+  /// optimized Bε-tree's sub-node charges are scaled by each node's
+  /// stored/logical ratio, so Theorem-9 accounting stays consistent.
+  blockdev::CodecKind codec = blockdev::CodecKind::kIdentity;
 };
 
 struct BeTreeOpStats {

@@ -5,7 +5,7 @@
 namespace damkit::blockdev {
 
 NodeStore::NodeStore(sim::Device& dev, sim::IoContext& io, uint64_t node_bytes,
-                     uint64_t base_offset)
+                     uint64_t base_offset, CodecKind codec)
     : dev_(&dev),
       io_(&io),
       node_bytes_(node_bytes),
@@ -13,6 +13,8 @@ NodeStore::NodeStore(sim::Device& dev, sim::IoContext& io, uint64_t node_bytes,
              (dev.capacity_bytes() - base_offset) / node_bytes) {
   DAMKIT_CHECK(node_bytes_ > 0);
   DAMKIT_CHECK(base_offset < dev.capacity_bytes());
+  const CodecKind resolved = resolve_codec_kind(codec);
+  if (resolved != CodecKind::kIdentity) codec_ = make_codec(resolved);
 }
 
 std::span<const uint8_t> NodeStore::pad_image(std::span<const uint8_t> image) {
@@ -25,6 +27,49 @@ std::span<const uint8_t> NodeStore::pad_image(std::span<const uint8_t> image) {
   return scratch_;
 }
 
+void NodeStore::set_stored_len(uint64_t node_id, uint64_t len) {
+  if (node_id >= stored_len_.size()) stored_len_.resize(node_id + 1, 0);
+  stored_len_[node_id] = static_cast<uint32_t>(len);
+}
+
+NodeStore::PhysSpan NodeStore::physical_span(uint64_t node_id, uint64_t offset,
+                                             uint64_t length) const {
+  if (!compressed_node(node_id)) return {offset, length};
+  // Charge the stored image pro rata: a read of length/node_bytes of the
+  // node costs the same fraction of its compressed frame (at least one
+  // byte), clamped to fall inside the frame.
+  const uint64_t sl = stored_len(node_id);
+  const uint64_t plen = std::min(
+      sl, std::max<uint64_t>(1, (length * sl + node_bytes_ - 1) / node_bytes_));
+  uint64_t poff = offset * sl / node_bytes_;
+  if (poff + plen > sl) poff = sl - plen;
+  return {poff, plen};
+}
+
+void NodeStore::encode_image(std::span<const uint8_t> padded,
+                             std::vector<uint8_t>& out) const {
+  codec_->encode(padded, out);
+  // A frame that does not fit the extent falls back to the raw padded
+  // image (stored_len == node_bytes_ marks it unframed).
+  if (out.size() >= node_bytes_) out.assign(padded.begin(), padded.end());
+}
+
+Status NodeStore::fetch_payload(uint64_t node_id, std::vector<uint8_t>& out) {
+  const uint64_t offset = alloc_.offset_of(node_id);
+  if (!compressed_node(node_id)) {
+    out.resize(node_bytes_);
+    dev_->read_bytes(offset, out);
+    return Status();
+  }
+  dec_scratch_.resize(stored_len(node_id));
+  dev_->read_bytes(offset, dec_scratch_);
+  if (!codec_->decode(dec_scratch_, out) || out.size() != node_bytes_) {
+    return Status::corruption("node " + std::to_string(node_id) +
+                              ": stored codec frame failed to decode");
+  }
+  return Status();
+}
+
 // The legacy void methods delegate to the try_* implementations: on an
 // infallible device the two are byte- and clock-identical, and on a
 // faulty device the legacy path aborts only after the shared retry
@@ -35,13 +80,31 @@ void NodeStore::read_node(uint64_t node_id, std::vector<uint8_t>& out) {
 }
 
 Status NodeStore::try_read_node(uint64_t node_id, std::vector<uint8_t>& out) {
-  out.resize(node_bytes_);
   const uint64_t offset = alloc_.offset_of(node_id);
-  DAMKIT_RETURN_IF_ERROR(with_retries(
-      *io_, retry_, &retry_counters_, /*retry_corruption=*/false,
-      [&] { return io_->read_checked(offset, std::span<uint8_t>(out)); }));
+  if (!compressed_node(node_id)) {
+    out.resize(node_bytes_);
+    DAMKIT_RETURN_IF_ERROR(with_retries(
+        *io_, retry_, &retry_counters_, /*retry_corruption=*/false,
+        [&] { return io_->read_checked(offset, std::span<uint8_t>(out)); }));
+    ++stats_.node_reads;
+    stats_.bytes_read += node_bytes_;
+    return Status();
+  }
+  // Partial-extent read of the compressed frame: transfer time is charged
+  // for the stored bytes only, setup for the IO as usual.
+  dec_scratch_.resize(stored_len(node_id));
+  DAMKIT_RETURN_IF_ERROR(
+      with_retries(*io_, retry_, &retry_counters_, /*retry_corruption=*/false,
+                   [&] {
+                     return io_->read_checked(
+                         offset, std::span<uint8_t>(dec_scratch_));
+                   }));
+  if (!codec_->decode(dec_scratch_, out) || out.size() != node_bytes_) {
+    return Status::corruption("node " + std::to_string(node_id) +
+                              ": stored codec frame failed to decode");
+  }
   ++stats_.node_reads;
-  stats_.bytes_read += node_bytes_;
+  stats_.bytes_read += dec_scratch_.size();
   return Status();
 }
 
@@ -54,11 +117,27 @@ Status NodeStore::try_write_node(uint64_t node_id,
   // Whole-extent write: pad the image so the device sees a node_bytes IO.
   const std::span<const uint8_t> padded = pad_image(image);
   const uint64_t offset = alloc_.offset_of(node_id);
+  if (codec_ == nullptr) {
+    DAMKIT_RETURN_IF_ERROR(with_retries(
+        *io_, retry_, &retry_counters_, /*retry_corruption=*/true,
+        [&] { return io_->write_checked(offset, padded); }));
+    ++stats_.node_writes;
+    stats_.bytes_written += node_bytes_;
+    return Status();
+  }
+  // Compressed partial-extent write at the unchanged extent offset. On a
+  // torn write the retry rewrites the frame in full; stored_len_ is
+  // updated only once the image durably landed, and the try_* contract
+  // (the caller keeps failed images dirty) covers the give-up case.
+  encode_image(padded, enc_scratch_);
   DAMKIT_RETURN_IF_ERROR(with_retries(
-      *io_, retry_, &retry_counters_, /*retry_corruption=*/true,
-      [&] { return io_->write_checked(offset, padded); }));
+      *io_, retry_, &retry_counters_, /*retry_corruption=*/true, [&] {
+        return io_->write_checked(offset,
+                                  std::span<const uint8_t>(enc_scratch_));
+      }));
+  set_stored_len(node_id, enc_scratch_.size());
   ++stats_.node_writes;
-  stats_.bytes_written += node_bytes_;
+  stats_.bytes_written += enc_scratch_.size();
   return Status();
 }
 
@@ -71,17 +150,30 @@ Status NodeStore::try_read_span(uint64_t node_id, uint64_t offset,
                                 std::span<uint8_t> out) {
   DAMKIT_CHECK(offset + out.size() <= node_bytes_);
   const uint64_t dev_offset = alloc_.offset_of(node_id) + offset;
-  DAMKIT_RETURN_IF_ERROR(
-      with_retries(*io_, retry_, &retry_counters_, /*retry_corruption=*/false,
-                   [&] { return io_->read_checked(dev_offset, out); }));
+  if (!compressed_node(node_id)) {
+    DAMKIT_RETURN_IF_ERROR(with_retries(
+        *io_, retry_, &retry_counters_, /*retry_corruption=*/false,
+        [&] { return io_->read_checked(dev_offset, out); }));
+    ++stats_.span_reads;
+    stats_.bytes_read += out.size();
+    return Status();
+  }
+  // The logical span does not exist contiguously inside the frame: charge
+  // the scaled physical IO, then serve the payload from the decoded node.
+  const PhysSpan ps = physical_span(node_id, offset, out.size());
+  const uint64_t phys_offset = alloc_.offset_of(node_id) + ps.offset;
+  DAMKIT_RETURN_IF_ERROR(with_retries(
+      *io_, retry_, &retry_counters_, /*retry_corruption=*/false,
+      [&] { return io_->touch_read_checked(phys_offset, ps.length); }));
+  DAMKIT_RETURN_IF_ERROR(fetch_payload(node_id, node_scratch_));
+  std::memcpy(out.data(), node_scratch_.data() + offset, out.size());
   ++stats_.span_reads;
-  stats_.bytes_read += out.size();
+  stats_.bytes_read += ps.length;
   return Status();
 }
 
 void NodeStore::peek_node(uint64_t node_id, std::vector<uint8_t>& out) {
-  out.resize(node_bytes_);
-  dev_->read_bytes(alloc_.offset_of(node_id), out);
+  DAMKIT_CHECK_OK(fetch_payload(node_id, out));
 }
 
 void NodeStore::touch_read(uint64_t node_id, uint64_t offset,
@@ -92,12 +184,13 @@ void NodeStore::touch_read(uint64_t node_id, uint64_t offset,
 Status NodeStore::try_touch_read(uint64_t node_id, uint64_t offset,
                                  uint64_t length) {
   DAMKIT_CHECK(offset + length <= node_bytes_);
-  const uint64_t dev_offset = alloc_.offset_of(node_id) + offset;
+  const PhysSpan ps = physical_span(node_id, offset, length);
+  const uint64_t dev_offset = alloc_.offset_of(node_id) + ps.offset;
   DAMKIT_RETURN_IF_ERROR(with_retries(
       *io_, retry_, &retry_counters_, /*retry_corruption=*/false,
-      [&] { return io_->touch_read_checked(dev_offset, length); }));
+      [&] { return io_->touch_read_checked(dev_offset, ps.length); }));
   ++stats_.touch_reads;
-  stats_.bytes_read += length;
+  stats_.bytes_read += ps.length;
   return Status();
 }
 
@@ -110,31 +203,40 @@ Status NodeStore::try_read_nodes(std::span<const uint64_t> ids,
                                  std::vector<std::vector<uint8_t>>& out) {
   out.resize(ids.size());
   if (ids.empty()) return Status();
-  std::vector<sim::IoRequest> reqs;
+  std::vector<sim::IoRequest>& reqs = reqs_scratch_;
+  reqs.clear();
   reqs.reserve(ids.size());
-  std::vector<size_t> pending;  // indices into ids still unserved
+  std::vector<size_t>& pending = pending_scratch_;  // ids still unserved
+  pending.clear();
   pending.reserve(ids.size());
+  uint64_t total_bytes = 0;
   for (size_t i = 0; i < ids.size(); ++i) {
-    reqs.push_back(
-        {sim::IoKind::kRead, alloc_.offset_of(ids[i]), node_bytes_});
+    const uint64_t len =
+        compressed_node(ids[i]) ? stored_len(ids[i]) : node_bytes_;
+    reqs.push_back({sim::IoKind::kRead, alloc_.offset_of(ids[i]), len});
+    total_bytes += len;
     pending.push_back(i);
   }
   const uint32_t max_attempts = std::max<uint32_t>(retry_.max_attempts, 1);
   double backoff = static_cast<double>(retry_.backoff_ns);
-  std::vector<sim::IoCompletion> cs;
-  std::vector<Status> per_io;
+  std::vector<sim::IoCompletion>& cs = cs_scratch_;
+  std::vector<Status>& per_io = per_io_scratch_;
   Status abandoned;  // first failure among requests that exhausted retries
   for (uint32_t attempt = 1;; ++attempt) {
-    std::vector<sim::IoRequest> batch;
+    std::vector<sim::IoRequest>& batch = batch_scratch_;
+    batch.clear();
     batch.reserve(pending.size());
     for (const size_t i : pending) batch.push_back(reqs[i]);
     DAMKIT_RETURN_IF_ERROR(io_->submit_batch_checked(batch, &cs, &per_io));
-    std::vector<size_t> failed;
+    std::vector<size_t>& failed = failed_scratch_;
+    failed.clear();
     for (size_t j = 0; j < pending.size(); ++j) {
       const size_t i = pending[j];
       if (per_io[j].ok()) {
-        out[i].resize(node_bytes_);
-        dev_->read_bytes(reqs[i].offset, out[i]);
+        if (const Status decoded = fetch_payload(ids[i], out[i]);
+            !decoded.ok() && abandoned.ok()) {
+          abandoned = decoded;
+        }
       } else if (per_io[j].code() == StatusCode::kUnavailable &&
                  attempt < max_attempts) {
         failed.push_back(i);
@@ -147,12 +249,12 @@ Status NodeStore::try_read_nodes(std::span<const uint64_t> ids,
     io_->spend(static_cast<sim::SimTime>(backoff));
     backoff *= retry_.backoff_multiplier;
     retry_counters_.retries += failed.size();
-    pending = std::move(failed);
+    std::swap(pending, failed);
   }
   DAMKIT_RETURN_IF_ERROR(abandoned);
   ++stats_.read_batches;
   stats_.batched_reads += ids.size();
-  stats_.bytes_read += node_bytes_ * ids.size();
+  stats_.bytes_read += total_bytes;
   return Status();
 }
 
@@ -164,40 +266,55 @@ Status NodeStore::try_write_nodes(std::span<const NodeImage> writes,
                                   std::vector<bool>* written) {
   if (written != nullptr) written->assign(writes.size(), false);
   if (writes.empty()) return Status();
-  std::vector<sim::IoRequest> reqs;
+  // Stage every device image up front (padded, and encoded when a codec
+  // is active) so retry attempts reuse the same bytes instead of
+  // re-padding per IO per attempt.
+  if (batch_images_.size() < writes.size()) batch_images_.resize(writes.size());
+  std::vector<sim::IoRequest>& reqs = reqs_scratch_;
+  reqs.clear();
   reqs.reserve(writes.size());
-  std::vector<size_t> pending;
+  std::vector<size_t>& pending = pending_scratch_;
+  pending.clear();
   pending.reserve(writes.size());
+  uint64_t total_bytes = 0;
   for (size_t i = 0; i < writes.size(); ++i) {
-    DAMKIT_CHECK_MSG(writes[i].image.size() <= node_bytes_,
-                     "node image " << writes[i].image.size()
-                                   << " exceeds extent " << node_bytes_);
+    const std::span<const uint8_t> padded = pad_image(writes[i].image);
+    if (codec_ == nullptr) {
+      batch_images_[i].assign(padded.begin(), padded.end());
+    } else {
+      encode_image(padded, batch_images_[i]);
+    }
     reqs.push_back({sim::IoKind::kWrite, alloc_.offset_of(writes[i].node_id),
-                    node_bytes_});
+                    batch_images_[i].size()});
+    total_bytes += batch_images_[i].size();
     pending.push_back(i);
   }
   const uint32_t max_attempts = std::max<uint32_t>(retry_.max_attempts, 1);
   double backoff = static_cast<double>(retry_.backoff_ns);
-  std::vector<sim::IoCompletion> cs;
-  std::vector<Status> per_io;
+  std::vector<sim::IoCompletion>& cs = cs_scratch_;
+  std::vector<Status>& per_io = per_io_scratch_;
   Status abandoned;  // first failure among requests that exhausted retries
   for (uint32_t attempt = 1;; ++attempt) {
-    std::vector<sim::IoRequest> batch;
+    std::vector<sim::IoRequest>& batch = batch_scratch_;
+    batch.clear();
     batch.reserve(pending.size());
     for (const size_t i : pending) batch.push_back(reqs[i]);
     DAMKIT_RETURN_IF_ERROR(io_->submit_batch_checked(batch, &cs, &per_io));
-    std::vector<size_t> failed;
+    std::vector<size_t>& failed = failed_scratch_;
+    failed.clear();
     for (size_t j = 0; j < pending.size(); ++j) {
       const size_t i = pending[j];
-      const std::span<const uint8_t> padded = pad_image(writes[i].image);
       if (per_io[j].ok()) {
-        dev_->write_bytes(reqs[i].offset, padded);
+        dev_->write_bytes(reqs[i].offset, batch_images_[i]);
+        if (codec_ != nullptr) {
+          set_stored_len(writes[i].node_id, batch_images_[i].size());
+        }
         if (written != nullptr) (*written)[i] = true;
         continue;
       }
       // A failed write's payload goes through the device's failure hook:
       // nothing lands on a transient error, a torn prefix on kCorruption.
-      dev_->note_failed_write(reqs[i].offset, padded);
+      dev_->note_failed_write(reqs[i].offset, batch_images_[i]);
       const bool retryable = per_io[j].code() == StatusCode::kUnavailable ||
                              per_io[j].code() == StatusCode::kCorruption;
       if (retryable && attempt < max_attempts) {
@@ -211,12 +328,12 @@ Status NodeStore::try_write_nodes(std::span<const NodeImage> writes,
     io_->spend(static_cast<sim::SimTime>(backoff));
     backoff *= retry_.backoff_multiplier;
     retry_counters_.retries += failed.size();
-    pending = std::move(failed);
+    std::swap(pending, failed);
   }
   DAMKIT_RETURN_IF_ERROR(abandoned);
   ++stats_.write_batches;
   stats_.batched_writes += writes.size();
-  stats_.bytes_written += node_bytes_ * writes.size();
+  stats_.bytes_written += total_bytes;
   return Status();
 }
 
@@ -226,28 +343,35 @@ void NodeStore::touch_read_batch(std::span<const NodeSpan> spans) {
 
 Status NodeStore::try_touch_read_batch(std::span<const NodeSpan> spans) {
   if (spans.empty()) return Status();
-  std::vector<sim::IoRequest> reqs;
+  std::vector<sim::IoRequest>& reqs = reqs_scratch_;
+  reqs.clear();
   reqs.reserve(spans.size());
-  std::vector<size_t> pending;
+  std::vector<size_t>& pending = pending_scratch_;
+  pending.clear();
   pending.reserve(spans.size());
+  uint64_t total_bytes = 0;
   for (size_t i = 0; i < spans.size(); ++i) {
     const NodeSpan& s = spans[i];
     DAMKIT_CHECK(s.offset + s.length <= node_bytes_);
+    const PhysSpan ps = physical_span(s.node_id, s.offset, s.length);
     reqs.push_back({sim::IoKind::kRead,
-                    alloc_.offset_of(s.node_id) + s.offset, s.length});
+                    alloc_.offset_of(s.node_id) + ps.offset, ps.length});
+    total_bytes += ps.length;
     pending.push_back(i);
   }
   const uint32_t max_attempts = std::max<uint32_t>(retry_.max_attempts, 1);
   double backoff = static_cast<double>(retry_.backoff_ns);
-  std::vector<sim::IoCompletion> cs;
-  std::vector<Status> per_io;
+  std::vector<sim::IoCompletion>& cs = cs_scratch_;
+  std::vector<Status>& per_io = per_io_scratch_;
   Status abandoned;  // first failure among requests that exhausted retries
   for (uint32_t attempt = 1;; ++attempt) {
-    std::vector<sim::IoRequest> batch;
+    std::vector<sim::IoRequest>& batch = batch_scratch_;
+    batch.clear();
     batch.reserve(pending.size());
     for (const size_t i : pending) batch.push_back(reqs[i]);
     DAMKIT_RETURN_IF_ERROR(io_->submit_batch_checked(batch, &cs, &per_io));
-    std::vector<size_t> failed;
+    std::vector<size_t>& failed = failed_scratch_;
+    failed.clear();
     for (size_t j = 0; j < pending.size(); ++j) {
       if (per_io[j].ok()) continue;
       if (per_io[j].code() == StatusCode::kUnavailable &&
@@ -262,10 +386,10 @@ Status NodeStore::try_touch_read_batch(std::span<const NodeSpan> spans) {
     io_->spend(static_cast<sim::SimTime>(backoff));
     backoff *= retry_.backoff_multiplier;
     retry_counters_.retries += failed.size();
-    pending = std::move(failed);
+    std::swap(pending, failed);
   }
   DAMKIT_RETURN_IF_ERROR(abandoned);
-  for (const NodeSpan& s : spans) stats_.bytes_read += s.length;
+  stats_.bytes_read += total_bytes;
   ++stats_.touch_batches;
   stats_.batched_touches += spans.size();
   return Status();
@@ -289,6 +413,9 @@ void NodeStore::export_metrics(stats::MetricsRegistry& reg,
   reg.add(p + "io_retries", retry_counters_.retries);
   reg.add(p + "io_give_ups", retry_counters_.give_ups);
   reg.add(p + "nodes_in_use", alloc_.slots_in_use());
+  // codec.* appears only when compression is on, so identity-codec metric
+  // snapshots stay byte-identical to the pre-codec ones.
+  if (codec_ != nullptr) codec_->stats().export_metrics(reg, p + "codec.");
 }
 
 }  // namespace damkit::blockdev

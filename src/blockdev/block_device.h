@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "blockdev/codec.h"
 #include "blockdev/extent_allocator.h"
 #include "blockdev/retry.h"
 #include "sim/device.h"
@@ -45,15 +47,39 @@ class NodeStore {
  public:
   /// Carves the device (from `base_offset` up) into node slots of
   /// `node_bytes`. The IoContext is borrowed; it must outlive the store.
+  ///
+  /// With a non-identity `codec`, every whole-node write compresses the
+  /// padded image and stores it at the front of the (unchanged) extent as
+  /// a partial-extent IO, so the device charges transfer time only for
+  /// the compressed bytes while the allocator layout and setup cost stay
+  /// exactly as before — the affine model's point. Reads issue the stored
+  /// (compressed) length and decode; sub-extent span/touch charges are
+  /// scaled by the node's stored/logical ratio. Callers keep addressing
+  /// nodes in logical (uncompressed) units throughout.
   NodeStore(sim::Device& dev, sim::IoContext& io, uint64_t node_bytes,
-            uint64_t base_offset = 0);
+            uint64_t base_offset = 0,
+            CodecKind codec = CodecKind::kIdentity);
 
   uint64_t node_bytes() const { return node_bytes_; }
   uint64_t nodes_in_use() const { return alloc_.slots_in_use(); }
 
+  /// The active codec (kIdentity when compression is off).
+  CodecKind codec_kind() const {
+    return codec_ == nullptr ? CodecKind::kIdentity : codec_->kind();
+  }
+  /// Physical bytes node_id occupies on the device: its compressed frame
+  /// size, or node_bytes() when stored raw / never written.
+  uint64_t stored_bytes(uint64_t node_id) const {
+    const uint32_t sl = stored_len(node_id);
+    return sl == 0 ? node_bytes_ : sl;
+  }
+
   uint64_t allocate() { return alloc_.allocate(); }
   StatusOr<uint64_t> try_allocate() { return alloc_.try_allocate(); }
-  void free(uint64_t node_id) { alloc_.free(node_id); }
+  void free(uint64_t node_id) {
+    alloc_.free(node_id);
+    if (node_id < stored_len_.size()) stored_len_[node_id] = 0;
+  }
 
   /// Retry policy applied by every try_* IO below: transient faults are
   /// re-attempted up to the policy's budget with simulated backoff charged
@@ -143,11 +169,53 @@ class NodeStore {
   /// Pad `image` into scratch_ as a full node_bytes extent image.
   std::span<const uint8_t> pad_image(std::span<const uint8_t> image);
 
+  /// Stored (device) length of node_id's image. 0 = never written through
+  /// this store (read raw, full extent); node_bytes_ = stored raw
+  /// unframed (incompressible); anything smaller is a codec frame.
+  uint32_t stored_len(uint64_t node_id) const {
+    return node_id < stored_len_.size() ? stored_len_[node_id] : 0;
+  }
+  void set_stored_len(uint64_t node_id, uint64_t len);
+  /// True when node_id's on-device image is a codec frame.
+  bool compressed_node(uint64_t node_id) const {
+    const uint32_t sl = stored_len(node_id);
+    return codec_ != nullptr && sl != 0 && sl != node_bytes_;
+  }
+  /// Map a logical [offset, length) within the node to the physical IO
+  /// charged against its stored image (identity on uncompressed nodes).
+  struct PhysSpan {
+    uint64_t offset;
+    uint64_t length;
+  };
+  PhysSpan physical_span(uint64_t node_id, uint64_t offset,
+                         uint64_t length) const;
+  /// Encode `padded` (a full logical image) into `out` as the bytes that
+  /// actually hit the device: the codec frame, or the padded image itself
+  /// when the frame would not fit the extent.
+  void encode_image(std::span<const uint8_t> padded,
+                    std::vector<uint8_t>& out) const;
+  /// Fetch node_id's payload into `out` (decoding compressed frames).
+  /// Non-OK only when a frame fails to decode (kCorruption).
+  Status fetch_payload(uint64_t node_id, std::vector<uint8_t>& out);
+
   sim::Device* dev_;
   sim::IoContext* io_;
   uint64_t node_bytes_;
   ExtentAllocator alloc_;
-  std::vector<uint8_t> scratch_;  // write padding buffer
+  std::unique_ptr<BlockCodec> codec_;  // nullptr = identity (no-op path)
+  std::vector<uint32_t> stored_len_;   // per-node stored image length
+  // Reused per-store scratch (no per-IO vector allocations on hot paths).
+  std::vector<uint8_t> scratch_;      // write padding buffer
+  std::vector<uint8_t> enc_scratch_;  // codec frame staging
+  std::vector<uint8_t> dec_scratch_;  // stored-image staging for decode
+  std::vector<uint8_t> node_scratch_;  // decoded node for span reads
+  std::vector<std::vector<uint8_t>> batch_images_;  // batched write staging
+  std::vector<sim::IoRequest> reqs_scratch_;
+  std::vector<sim::IoRequest> batch_scratch_;
+  std::vector<size_t> pending_scratch_;
+  std::vector<size_t> failed_scratch_;
+  std::vector<sim::IoCompletion> cs_scratch_;
+  std::vector<Status> per_io_scratch_;
   NodeStoreStats stats_;
   RetryPolicy retry_;
   RetryCounters retry_counters_;

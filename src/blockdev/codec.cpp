@@ -1,0 +1,284 @@
+#include "blockdev/codec.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/status.h"
+
+namespace damkit::blockdev {
+
+namespace {
+
+constexpr uint8_t kModeRaw = 0;
+constexpr uint8_t kModeTokens = 1;
+
+// Fibonacci hash of the next 4/8 bytes at `p` into `bits` buckets.
+inline uint32_t hash4(const uint8_t* p, int bits) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - bits);
+}
+inline uint32_t hash8(const uint8_t* p, int bits) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return static_cast<uint32_t>((v * 0x9e3779b97f4a7c15ULL) >> (64 - bits));
+}
+
+inline size_t match_length(const uint8_t* a, const uint8_t* b,
+                           const uint8_t* end) {
+  const uint8_t* start = a;
+  while (a < end && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return static_cast<size_t>(a - start);
+}
+
+// Emit [lit][match] token pairs. `emit_match(len, dist)` follows each
+// literal run except the final one.
+class TokenWriter {
+ public:
+  TokenWriter(std::span<const uint8_t> raw, std::vector<uint8_t>& out)
+      : raw_(raw), out_(&out) {}
+
+  void emit_match(size_t pos, size_t len, size_t dist) {
+    put_uvarint(*out_, pos - lit_start_);
+    out_->insert(out_->end(), raw_.begin() + static_cast<ptrdiff_t>(lit_start_),
+                 raw_.begin() + static_cast<ptrdiff_t>(pos));
+    put_uvarint(*out_, len);
+    put_uvarint(*out_, dist);
+    lit_start_ = pos + len;
+  }
+
+  void finish() {
+    put_uvarint(*out_, raw_.size() - lit_start_);
+    out_->insert(out_->end(), raw_.begin() + static_cast<ptrdiff_t>(lit_start_),
+                 raw_.end());
+  }
+
+ private:
+  std::span<const uint8_t> raw_;
+  std::vector<uint8_t>* out_;
+  size_t lit_start_ = 0;
+};
+
+}  // namespace
+
+std::string_view codec_kind_name(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kIdentity:
+      return "identity";
+    case CodecKind::kPrefix:
+      return "prefix";
+    case CodecKind::kLz:
+      return "lz";
+    case CodecKind::kDefault:
+      return "default";
+  }
+  return "unknown";
+}
+
+std::optional<CodecKind> parse_codec_kind(std::string_view name) {
+  for (const CodecKind kind : kAllCodecKinds) {
+    if (codec_kind_name(kind) == name) return kind;
+  }
+  if (name == "default") return CodecKind::kDefault;
+  return std::nullopt;
+}
+
+CodecKind resolve_codec_kind(CodecKind kind) {
+  if (kind != CodecKind::kDefault) return kind;
+  const char* env = std::getenv("DAMKIT_CODEC");
+  if (env != nullptr && *env != '\0') {
+    const std::optional<CodecKind> parsed = parse_codec_kind(env);
+    if (parsed.has_value() && *parsed != CodecKind::kDefault) return *parsed;
+  }
+  return CodecKind::kIdentity;
+}
+
+void CodecStats::export_metrics(stats::MetricsRegistry& reg,
+                                std::string_view prefix) const {
+  const std::string p(prefix);
+  reg.add(p + "encode_calls", encode_calls);
+  reg.add(p + "decode_calls", decode_calls);
+  reg.add(p + "raw_bytes", raw_bytes);
+  reg.add(p + "encoded_bytes", encoded_bytes);
+  reg.add(p + "raw_fallbacks", raw_fallbacks);
+  reg.set(p + "ratio", ratio());
+  reg.set(p + "bytes_saved", static_cast<double>(bytes_saved()));
+}
+
+BlockCodec::~BlockCodec() = default;
+
+void BlockCodec::encode(std::span<const uint8_t> raw,
+                        std::vector<uint8_t>& out) const {
+  out.clear();
+  put_uvarint(out, raw.size());
+  out.push_back(kModeTokens);
+  const size_t header = out.size();
+  bool tokens = encode_tokens(raw, out);
+  // A token stream no smaller than the input is worse than storing raw.
+  if (tokens && out.size() - header >= raw.size()) tokens = false;
+  if (!tokens) {
+    out.resize(header);
+    out[header - 1] = kModeRaw;
+    out.insert(out.end(), raw.begin(), raw.end());
+    ++stats_.raw_fallbacks;
+  }
+  ++stats_.encode_calls;
+  stats_.raw_bytes += raw.size();
+  stats_.encoded_bytes += out.size();
+}
+
+bool BlockCodec::decode(std::span<const uint8_t> frame,
+                        std::vector<uint8_t>& out) const {
+  ++stats_.decode_calls;
+  out.clear();
+  size_t pos = 0;
+  uint64_t raw_len = 0;
+  if (!get_uvarint(frame, pos, &raw_len)) return false;
+  if (pos >= frame.size()) return false;  // mode byte is always present
+  const uint8_t mode = frame[pos++];
+  out.reserve(raw_len);
+  if (mode == kModeRaw) {
+    if (frame.size() - pos != raw_len) return false;  // exact: no trailing
+    out.assign(frame.begin() + static_cast<ptrdiff_t>(pos),
+               frame.begin() + static_cast<ptrdiff_t>(pos + raw_len));
+    return true;
+  }
+  if (mode != kModeTokens) return false;
+  // The stream is [lit][match]...[lit]: every match is followed by another
+  // literal run, and the final run may be empty (the encoder always closes
+  // with one).
+  for (;;) {
+    uint64_t lit_len = 0;
+    if (!get_uvarint(frame, pos, &lit_len)) return false;
+    if (lit_len > raw_len - out.size() || frame.size() - pos < lit_len) {
+      return false;
+    }
+    out.insert(out.end(), frame.begin() + static_cast<ptrdiff_t>(pos),
+               frame.begin() + static_cast<ptrdiff_t>(pos + lit_len));
+    pos += lit_len;
+    if (out.size() == raw_len) return pos == frame.size();
+    uint64_t match_len = 0;
+    uint64_t dist = 0;
+    if (!get_uvarint(frame, pos, &match_len)) return false;
+    if (!get_uvarint(frame, pos, &dist)) return false;
+    if (match_len == 0 || dist == 0 || dist > out.size() ||
+        match_len > raw_len - out.size()) {
+      return false;
+    }
+    // Byte-at-a-time copy: overlapping matches (dist < match_len) replay
+    // their own output, run-length style.
+    size_t from = out.size() - dist;
+    for (uint64_t i = 0; i < match_len; ++i) out.push_back(out[from + i]);
+  }
+}
+
+bool IdentityCodec::encode_tokens(std::span<const uint8_t> raw,
+                                  std::vector<uint8_t>& out) const {
+  (void)raw;
+  (void)out;
+  return false;  // always frame verbatim
+}
+
+bool PrefixDeltaCodec::encode_tokens(std::span<const uint8_t> raw,
+                                     std::vector<uint8_t>& out) const {
+  constexpr size_t kMinMatch = 8;
+  constexpr int kHashBits = 15;
+  if (raw.size() < kMinMatch) return false;
+  std::vector<uint32_t> last(1u << kHashBits, 0);
+  std::vector<bool> seen(1u << kHashBits, false);
+  const uint8_t* base = raw.data();
+  const uint8_t* end = base + raw.size();
+  TokenWriter tokens(raw, out);
+  size_t pos = 0;
+  const size_t limit = raw.size() - kMinMatch;
+  while (pos <= limit) {
+    const uint32_t h = hash8(base + pos, kHashBits);
+    const size_t candidate = last[h];
+    const bool have = seen[h];
+    last[h] = static_cast<uint32_t>(pos);
+    seen[h] = true;
+    if (have) {
+      const size_t len = match_length(base + pos, base + candidate, end);
+      if (len >= kMinMatch) {
+        tokens.emit_match(pos, len, pos - candidate);
+        // Seed the table sparsely inside the match so the *next* record's
+        // shared prefix still finds this one.
+        for (size_t i = pos + 1; i + kMinMatch <= pos + len; i += kMinMatch) {
+          const uint32_t hi = hash8(base + i, kHashBits);
+          last[hi] = static_cast<uint32_t>(i);
+          seen[hi] = true;
+        }
+        pos += len;
+        continue;
+      }
+    }
+    ++pos;
+  }
+  tokens.finish();
+  return true;
+}
+
+bool LzCodec::encode_tokens(std::span<const uint8_t> raw,
+                            std::vector<uint8_t>& out) const {
+  constexpr size_t kMinMatch = 4;
+  constexpr int kHashBits = 15;
+  constexpr int kMaxChain = 32;
+  if (raw.size() < kMinMatch) return false;
+  constexpr uint32_t kNil = 0xffffffffu;
+  std::vector<uint32_t> head(1u << kHashBits, kNil);
+  std::vector<uint32_t> prev(raw.size(), kNil);
+  const uint8_t* base = raw.data();
+  const uint8_t* end = base + raw.size();
+  const auto insert = [&](size_t p) {
+    const uint32_t h = hash4(base + p, kHashBits);
+    prev[p] = head[h];
+    head[h] = static_cast<uint32_t>(p);
+  };
+  TokenWriter tokens(raw, out);
+  size_t pos = 0;
+  const size_t limit = raw.size() - kMinMatch;
+  while (pos <= limit) {
+    size_t best_len = 0;
+    size_t best_pos = 0;
+    uint32_t candidate = head[hash4(base + pos, kHashBits)];
+    for (int depth = 0; candidate != kNil && depth < kMaxChain; ++depth) {
+      const size_t len = match_length(base + pos, base + candidate, end);
+      if (len > best_len) {
+        best_len = len;
+        best_pos = candidate;
+      }
+      candidate = prev[candidate];
+    }
+    if (best_len >= kMinMatch) {
+      tokens.emit_match(pos, best_len, pos - best_pos);
+      const size_t stop = std::min(pos + best_len, limit + 1);
+      for (size_t i = pos; i < stop; ++i) insert(i);
+      pos += best_len;
+    } else {
+      insert(pos);
+      ++pos;
+    }
+  }
+  tokens.finish();
+  return true;
+}
+
+std::unique_ptr<BlockCodec> make_codec(CodecKind kind) {
+  switch (resolve_codec_kind(kind)) {
+    case CodecKind::kIdentity:
+      return std::make_unique<IdentityCodec>();
+    case CodecKind::kPrefix:
+      return std::make_unique<PrefixDeltaCodec>();
+    case CodecKind::kLz:
+      return std::make_unique<LzCodec>();
+    case CodecKind::kDefault:
+      break;  // unreachable: resolve_codec_kind never returns kDefault
+  }
+  DAMKIT_CHECK_MSG(false, "unresolved codec kind");
+  return nullptr;
+}
+
+}  // namespace damkit::blockdev

@@ -13,7 +13,7 @@ BTree::BTree(sim::Device& dev, sim::IoContext& io, BTreeConfig config)
     : dev_(&dev),
       io_(&io),
       config_(config),
-      store_(dev, io, config.node_bytes, config.base_offset) {
+      store_(dev, io, config.node_bytes, config.base_offset, config.codec) {
   DAMKIT_CHECK(config_.node_bytes >= 512);
   DAMKIT_CHECK(config_.cache_bytes >= config_.node_bytes);
   pool_ = std::make_unique<cache::BufferPool>(

@@ -32,6 +32,10 @@ struct BTreeConfig {
   double min_fill = 0.25;
   /// Device offset where this tree's extents begin.
   uint64_t base_offset = 0;
+  /// Block codec for stored node images (see blockdev::NodeStore): node
+  /// writes become partial-extent IOs of the compressed frame, shrinking
+  /// the transfer term while layout and setup cost are unchanged.
+  blockdev::CodecKind codec = blockdev::CodecKind::kIdentity;
 };
 
 struct BTreeOpStats {

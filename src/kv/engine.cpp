@@ -685,17 +685,25 @@ void set_base_offset(EngineConfig& config, uint64_t offset) {
 std::unique_ptr<Dictionary> EngineFactory::make_engine(
     EngineKind kind, sim::Device& dev, sim::IoContext& io,
     const EngineConfig& config) {
+  // Resolve the factory-level codec once (kDefault consults DAMKIT_CODEC)
+  // and push it into the per-tree sub-configs so the built tree is
+  // indistinguishable from a hand-built one with that codec.
+  EngineConfig cfg = config;
+  const blockdev::CodecKind codec = blockdev::resolve_codec_kind(cfg.codec);
+  cfg.btree.codec = codec;
+  cfg.betree.codec = codec;
+  cfg.lsm.codec = codec;
   switch (kind) {
     case EngineKind::kBTree:
-      return std::make_unique<BTreeEngine>(dev, io, config.btree);
+      return std::make_unique<BTreeEngine>(dev, io, cfg.btree);
     case EngineKind::kBeTree:
-      return std::make_unique<BeTreeEngine>(dev, io, config.betree, false);
+      return std::make_unique<BeTreeEngine>(dev, io, cfg.betree, false);
     case EngineKind::kOptBeTree:
-      return std::make_unique<BeTreeEngine>(dev, io, config.betree, true);
+      return std::make_unique<BeTreeEngine>(dev, io, cfg.betree, true);
     case EngineKind::kLsm:
-      return std::make_unique<LsmEngine>(dev, io, config.lsm);
+      return std::make_unique<LsmEngine>(dev, io, cfg.lsm);
     case EngineKind::kPdam:
-      return std::make_unique<PdamEngine>(dev, io, config.pdam);
+      return std::make_unique<PdamEngine>(dev, io, cfg.pdam);
   }
   DAMKIT_CHECK_MSG(false, "unknown engine kind");
   return nullptr;

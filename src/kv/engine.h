@@ -15,6 +15,7 @@
 #include <string_view>
 
 #include "betree/betree.h"
+#include "blockdev/codec.h"
 #include "btree/btree.h"
 #include "kv/dictionary.h"
 #include "lsm/lsm_tree.h"
@@ -57,6 +58,13 @@ struct EngineConfig {
   betree::BeTreeConfig betree;
   lsm::LsmConfig lsm;
   PdamEngineConfig pdam;
+  /// Block codec for the built engine's stored images. kDefault resolves
+  /// via the DAMKIT_CODEC environment variable (identity when unset), so a
+  /// CI leg can flip every factory-built engine without code changes. The
+  /// resolved kind overrides the per-tree `codec` sub-config fields; the
+  /// PDAM engine is touch-only (a cost model, not a byte store) and
+  /// ignores it.
+  blockdev::CodecKind codec = blockdev::CodecKind::kDefault;
 };
 
 /// Place every engine kind's extent space at `offset` (shard regions).

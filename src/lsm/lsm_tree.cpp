@@ -12,6 +12,11 @@ LsmTree::LsmTree(sim::Device& dev, sim::IoContext& io, LsmConfig config)
       io_(&io),
       config_(config),
       arena_(dev, config.base_offset) {
+  const blockdev::CodecKind resolved =
+      blockdev::resolve_codec_kind(config_.codec);
+  if (resolved != blockdev::CodecKind::kIdentity) {
+    codec_ = blockdev::make_codec(resolved);
+  }
   DAMKIT_CHECK(config_.memtable_bytes >= 1024);
   DAMKIT_CHECK(config_.sstable_target_bytes >= config_.block_bytes);
   DAMKIT_CHECK(config_.size_ratio > 1.0);
@@ -59,7 +64,8 @@ Status LsmTree::try_flush() {
 Status LsmTree::flush_memtable() {
   const uint64_t mem_bytes = mem_.approximate_bytes();
   SSTableBuilder builder(*dev_, *io_, arena_, config_.block_bytes,
-                         config_.bloom_bits_per_key, next_sequence_++);
+                         config_.bloom_bits_per_key, next_sequence_++,
+                         codec_.get());
   for (const auto& [key, slot] : mem_.entries()) {
     builder.add(Entry{key, slot.value, slot.tombstone});
   }
@@ -272,7 +278,7 @@ StatusOr<std::vector<SSTableRef>> LsmTree::merge_tables(
     if (!builder) {
       builder = std::make_unique<SSTableBuilder>(
           *dev_, *io_, arena_, config_.block_bytes,
-          config_.bloom_bits_per_key, next_sequence_++);
+          config_.bloom_bits_per_key, next_sequence_++, codec_.get());
     }
     builder->add(std::move(e));
     if (split_output &&
@@ -663,6 +669,9 @@ void LsmTree::export_metrics(stats::MetricsRegistry& reg,
             static_cast<double>(stats_.flush_bytes_out +
                                 stats_.compaction_bytes_out) /
                 static_cast<double>(stats_.logical_bytes_written));
+  }
+  if (codec_ != nullptr) {
+    codec_->stats().export_metrics(reg, p + "codec.");
   }
 }
 

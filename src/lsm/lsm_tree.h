@@ -53,6 +53,10 @@ struct LsmConfig {
   double size_ratio = 10.0;         // level i+1 / level i capacity
   CompactionStyle style = CompactionStyle::kLeveled;
   uint64_t base_offset = 0;         // device offset of the table arena
+  /// Block codec for stored SSTable data blocks. Each block is framed
+  /// individually, so point reads stay one-block IOs; saved bytes shrink
+  /// the transfer term of every read, write, and compaction.
+  blockdev::CodecKind codec = blockdev::CodecKind::kIdentity;
 };
 
 struct LsmStats {
@@ -168,6 +172,7 @@ class LsmTree {
   sim::Device* dev_;
   sim::IoContext* io_;
   LsmConfig config_;
+  std::unique_ptr<blockdev::BlockCodec> codec_;  // nullptr = identity
   blockdev::ByteArena arena_;
   MemTable mem_;
   std::vector<Level> levels_;

@@ -32,13 +32,18 @@ Entry decode_entry(kv::Reader& r) {
 SSTableBuilder::SSTableBuilder(sim::Device& dev, sim::IoContext& io,
                                blockdev::ByteArena& arena,
                                uint64_t block_bytes, double bloom_bits_per_key,
-                               uint64_t sequence)
+                               uint64_t sequence,
+                               const blockdev::BlockCodec* codec)
     : dev_(&dev),
       io_(&io),
       arena_(&arena),
       block_bytes_(block_bytes),
       bloom_bits_(bloom_bits_per_key),
-      sequence_(sequence) {
+      sequence_(sequence),
+      codec_(codec != nullptr &&
+                     codec->kind() != blockdev::CodecKind::kIdentity
+                 ? codec
+                 : nullptr) {
   DAMKIT_CHECK(block_bytes_ >= 256);
 }
 
@@ -65,8 +70,16 @@ void SSTableBuilder::add(Entry entry) {
 
 void SSTableBuilder::flush_block() {
   if (block_.empty()) return;
-  index_.back().length = static_cast<uint32_t>(block_.size());
-  data_.insert(data_.end(), block_.begin(), block_.end());
+  if (codec_ != nullptr) {
+    // Blocks are framed individually so a point read still costs exactly
+    // one (now smaller) block IO; the index addresses physical extents.
+    codec_->encode(block_, enc_);
+    index_.back().length = static_cast<uint32_t>(enc_.size());
+    data_.insert(data_.end(), enc_.begin(), enc_.end());
+  } else {
+    index_.back().length = static_cast<uint32_t>(block_.size());
+    data_.insert(data_.end(), block_.begin(), block_.end());
+  }
   block_.clear();
 }
 
@@ -86,6 +99,7 @@ StatusOr<SSTableRef> SSTableBuilder::try_finish(
   auto table = std::shared_ptr<SSTable>(new SSTable());
   table->dev_ = dev_;
   table->arena_ = arena_;
+  table->codec_ = codec_;
   table->entry_count_ = count_;
   table->sequence_ = sequence_;
   table->min_key_ = std::move(first_key_);
@@ -162,9 +176,20 @@ Status SSTable::try_read_block(size_t block_idx, sim::IoContext& io,
       io, policy, counters, /*retry_corruption=*/false, [&] {
         return io.read_checked(device_offset_ + ie.offset, buf);
       }));
-  kv::Reader r(buf);
   out->clear();
   out->reserve(ie.entries);
+  if (codec_ != nullptr) {
+    std::vector<uint8_t> raw;
+    if (!codec_->decode(buf, raw)) {
+      return Status::corruption("SSTable block " +
+                                std::to_string(block_idx) +
+                                ": stored codec frame failed to decode");
+    }
+    kv::Reader r(raw);
+    for (uint32_t i = 0; i < ie.entries; ++i) out->push_back(decode_entry(r));
+    return Status();
+  }
+  kv::Reader r(buf);
   for (uint32_t i = 0; i < ie.entries; ++i) out->push_back(decode_entry(r));
   return Status();
 }
@@ -270,10 +295,33 @@ void SSTable::Iterator::load_blocks(size_t first_block) {
   }
 
   entries_.clear();
-  kv::Reader r(buf);
-  for (size_t b = first_block; b < end; ++b) {
-    for (uint32_t i = 0; i < table_->index_[b].entries; ++i) {
-      entries_.push_back(decode_entry(r));
+  if (table_->codec_ != nullptr) {
+    // The run is a concatenation of per-block frames: slice each block
+    // out of the physical buffer via the index and decode it.
+    std::vector<uint8_t> raw;
+    for (size_t b = first_block; b < end; ++b) {
+      const IndexEntry& ie = table_->index_[b];
+      const std::span<const uint8_t> frame(buf.data() +
+                                               (ie.offset - first.offset),
+                                           ie.length);
+      if (!table_->codec_->decode(frame, raw)) {
+        status_ = Status::corruption(
+            "SSTable block " + std::to_string(b) +
+            ": stored codec frame failed to decode");
+        valid_ = false;
+        return;
+      }
+      kv::Reader r(raw);
+      for (uint32_t i = 0; i < ie.entries; ++i) {
+        entries_.push_back(decode_entry(r));
+      }
+    }
+  } else {
+    kv::Reader r(buf);
+    for (size_t b = first_block; b < end; ++b) {
+      for (uint32_t i = 0; i < table_->index_[b].entries; ++i) {
+        entries_.push_back(decode_entry(r));
+      }
     }
   }
   next_block_ = end;

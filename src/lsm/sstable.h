@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "blockdev/byte_arena.h"
+#include "blockdev/codec.h"
 #include "blockdev/retry.h"
 #include "sim/device.h"
 #include "util/bloom.h"
@@ -40,10 +41,14 @@ using SSTableRef = std::shared_ptr<const SSTable>;
 /// Streams sorted entries into a new table image and writes it out.
 class SSTableBuilder {
  public:
-  /// `sequence` orders tables by recency (larger = newer).
+  /// `sequence` orders tables by recency (larger = newer). With a
+  /// non-null `codec` each data block is stored as a compressed frame and
+  /// the index addresses physical (compressed) block extents; the codec
+  /// must outlive every table this builder produces. nullptr = identity.
   SSTableBuilder(sim::Device& dev, sim::IoContext& io,
                  blockdev::ByteArena& arena, uint64_t block_bytes,
-                 double bloom_bits_per_key, uint64_t sequence);
+                 double bloom_bits_per_key, uint64_t sequence,
+                 const blockdev::BlockCodec* codec = nullptr);
   ~SSTableBuilder();
 
   /// Keys must arrive in strictly ascending order.
@@ -70,9 +75,11 @@ class SSTableBuilder {
   uint64_t block_bytes_;
   double bloom_bits_;
   uint64_t sequence_;
+  const blockdev::BlockCodec* codec_;
 
-  std::vector<uint8_t> data_;    // completed blocks
-  std::vector<uint8_t> block_;   // current block under construction
+  std::vector<uint8_t> data_;    // completed (possibly compressed) blocks
+  std::vector<uint8_t> block_;   // current block under construction (raw)
+  std::vector<uint8_t> enc_;     // codec frame staging
   struct IndexEntry {
     std::string first_key;
     uint64_t offset;  // within the table image
@@ -187,6 +194,7 @@ class SSTable {
 
   sim::Device* dev_ = nullptr;
   blockdev::ByteArena* arena_ = nullptr;
+  const blockdev::BlockCodec* codec_ = nullptr;  // nullptr = identity
   uint64_t device_offset_ = 0;
   uint64_t total_bytes_ = 0;
   uint64_t data_bytes_ = 0;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "blockdev/codec.h"
 #include "harness/workload_runner.h"
 #include "kv/sharded_engine.h"
 #include "kv/slice.h"
@@ -60,7 +61,9 @@ harness::WorkloadRunResult drive(kv::Dictionary& dict, sim::IoContext& io) {
 }
 
 // The acceptance criterion of the unification: five engines and a sharded
-// composition, one op stream, one digest.
+// composition, one op stream, one digest — and compression must be
+// invisible to the data plane, so the whole matrix repeats per codec
+// (identity, prefix, lz) against a single cross-codec reference digest.
 TEST(CrossEngineDifferentialTest, AllEnginesObserveIdenticalData) {
   struct Row {
     std::string name;
@@ -68,23 +71,28 @@ TEST(CrossEngineDifferentialTest, AllEnginesObserveIdenticalData) {
   };
   std::vector<Row> rows;
 
-  for (const kv::EngineKind kind : kv::kAllEngineKinds) {
-    sim::SsdDevice dev(sim::testbed_ssd_profile());
-    sim::IoContext io(dev);
-    const auto dict = kv::make_engine(kind, dev, io, small_config());
-    rows.push_back({std::string(dict->name()), drive(*dict, io)});
-  }
-  {
-    sim::SsdDevice dev(sim::testbed_ssd_profile());
-    sim::IoContext io(dev);
-    kv::ShardedConfig sharded;
-    sharded.shards = 4;
-    const auto dict = kv::make_sharded_engine(kv::EngineKind::kBTree, dev, io,
-                                              small_config(), sharded);
-    rows.push_back({std::string(dict->name()), drive(*dict, io)});
+  for (const blockdev::CodecKind codec : blockdev::kAllCodecKinds) {
+    kv::EngineConfig cfg = small_config();
+    cfg.codec = codec;
+    const std::string tag = "/" + std::string(blockdev::codec_kind_name(codec));
+    for (const kv::EngineKind kind : kv::kAllEngineKinds) {
+      sim::SsdDevice dev(sim::testbed_ssd_profile());
+      sim::IoContext io(dev);
+      const auto dict = kv::make_engine(kind, dev, io, cfg);
+      rows.push_back({std::string(dict->name()) + tag, drive(*dict, io)});
+    }
+    {
+      sim::SsdDevice dev(sim::testbed_ssd_profile());
+      sim::IoContext io(dev);
+      kv::ShardedConfig sharded;
+      sharded.shards = 4;
+      const auto dict = kv::make_sharded_engine(kv::EngineKind::kBTree, dev,
+                                                io, cfg, sharded);
+      rows.push_back({std::string(dict->name()) + tag, drive(*dict, io)});
+    }
   }
 
-  ASSERT_EQ(rows.size(), 6u);
+  ASSERT_EQ(rows.size(), 18u);
   const harness::WorkloadRunResult& reference = rows[0].result;
   EXPECT_GT(reference.get_hits, 0u);
   EXPECT_GT(reference.scans, 0u);

@@ -61,11 +61,15 @@ struct SoakOutcome {
 };
 
 SoakOutcome run_engine_soak(kv::EngineKind kind, uint64_t fault_seed,
-                            uint64_t workload_seed) {
+                            uint64_t workload_seed,
+                            blockdev::CodecKind codec =
+                                blockdev::CodecKind::kDefault) {
   sim::SsdDevice inner(sim::testbed_ssd_profile());
   sim::FaultInjectingDevice dev(inner, soak_faults(fault_seed));
   sim::IoContext io(dev);
-  const auto tree = kv::make_engine(kind, dev, io, soak_config());
+  kv::EngineConfig cfg = soak_config();
+  cfg.codec = codec;
+  const auto tree = kv::make_engine(kind, dev, io, cfg);
 
   harness::SoakSpec spec;
   spec.seed = workload_seed;
@@ -147,6 +151,33 @@ TEST_P(FaultSoakTest, PdamSurvives) {
 
   EXPECT_EQ(out.metrics.counter("pdam.io_retries"), out.counters.retries);
   EXPECT_EQ(out.metrics.counter("pdam.io_give_ups"), out.counters.give_ups);
+}
+
+// Compression under fire: the same soak with an explicit non-identity
+// codec. Torn compressed frames must repair via the write-retry path and
+// stored-length bookkeeping must survive failed writes (a stale length
+// would make a later read decode garbage). The accounting invariant is
+// identical: decode failures surface as corruption Statuses and never
+// masquerade as injected-fault give-ups.
+TEST_P(FaultSoakTest, BTreeSurvivesWithCompression) {
+  const SoakOutcome out =
+      run_engine_soak(kv::EngineKind::kBTree, GetParam(), GetParam() * 17 + 6,
+                      blockdev::CodecKind::kLz);
+  expect_soak_clean(out);
+  expect_faults_accounted(out);
+  // Compression actually engaged: the codec gauges are exported and bytes
+  // were saved on this workload's sorted-record node images.
+  EXPECT_GT(out.metrics.counter("btree.store.codec.encode_calls"), 0u);
+  EXPECT_LT(out.metrics.gauge("btree.store.codec.ratio"), 1.0);
+}
+
+TEST_P(FaultSoakTest, LsmTreeSurvivesWithCompression) {
+  const SoakOutcome out =
+      run_engine_soak(kv::EngineKind::kLsm, GetParam(), GetParam() * 17 + 7,
+                      blockdev::CodecKind::kPrefix);
+  expect_soak_clean(out);
+  expect_faults_accounted(out);
+  EXPECT_GT(out.metrics.counter("lsm.codec.encode_calls"), 0u);
 }
 
 // Determinism across runs: the same seed produces the same outcome

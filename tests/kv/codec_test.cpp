@@ -55,6 +55,16 @@ TEST(CodecTest, ReaderPositionAdvances) {
   EXPECT_EQ(r.remaining(), 8u);
 }
 
+TEST(CodecTest, LengthPrefixOfExactlyRemainingBytesReads) {
+  std::vector<uint8_t> buf;
+  Writer w(buf);
+  const std::string payload(1000, 'x');
+  w.put_lp_bytes(payload);
+  Reader r(buf);
+  EXPECT_EQ(r.get_lp_bytes(), payload);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
 TEST(CodecDeathTest, ShortReadAborts) {
   std::vector<uint8_t> buf;
   Writer w(buf);
@@ -70,6 +80,34 @@ TEST(CodecDeathTest, TruncatedLengthPrefixAborts) {
   w.put_u32(100);  // claims 100 bytes follow; none do
   Reader r(buf);
   EXPECT_DEATH(r.get_lp_bytes(), "short read");
+}
+
+TEST(CodecDeathTest, TruncationMidFixedWidthFieldAborts) {
+  std::vector<uint8_t> buf;
+  Writer w(buf);
+  w.put_u64(0x1122334455667788ULL);
+  // Every strict prefix of the u64 must refuse a u64 read.
+  for (size_t cut = 0; cut < 8; ++cut) {
+    Reader r(std::span(buf.data(), cut));
+    EXPECT_DEATH(r.get_u64(), "short read") << cut;
+  }
+}
+
+TEST(CodecDeathTest, MaxLengthPrefixDoesNotOverflowBoundsCheck) {
+  // A corrupt image claiming UINT32_MAX payload bytes must hit the bounds
+  // CHECK, not wrap pos + n and hand out a bogus 4 GiB string.
+  std::vector<uint8_t> buf;
+  Writer w(buf);
+  w.put_u32(UINT32_MAX);
+  w.put_bytes("tiny");
+  Reader r(buf);
+  EXPECT_DEATH(r.get_lp_bytes(), "short read");
+}
+
+TEST(CodecDeathTest, LargeGetBytesPastEndAborts) {
+  const std::vector<uint8_t> buf(16, 0);
+  Reader r(buf);
+  EXPECT_DEATH(r.get_bytes(buf.size() + 1), "short read");
 }
 
 }  // namespace

@@ -29,7 +29,7 @@ int usage() {
       "  damkit trace stats <file.csv>\n"
       "  damkit trace replay <file.csv> <hdd:IDX | ssd:IDX>\n"
       "  damkit metrics [--engine btree|betree|opt-betree|lsm|pdam]\n"
-      "                 [--shards N]\n"
+      "                 [--codec identity|prefix|lz] [--shards N]\n"
       "                 [--device hdd|ssd|hdd:IDX|ssd:IDX] [--ops N]\n"
       "                 [--json FILE] [--trace FILE]\n"
       "                 [--fault-seed SEED] [--fault-rate R]");
@@ -201,6 +201,8 @@ int cmd_metrics(int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
   kv::EngineKind kind = kv::EngineKind::kBeTree;
+  // Unset keeps the factory default (kDefault → DAMKIT_CODEC → identity).
+  blockdev::CodecKind codec = blockdev::CodecKind::kDefault;
   size_t shards = 1;
   uint64_t ops = 20000;
   uint64_t fault_seed = 0;  // 0 = fault injection off
@@ -215,6 +217,11 @@ int cmd_metrics(int argc, char** argv) {
           kv::parse_engine_kind(argv[++i]);
       if (!parsed.has_value()) return usage();
       kind = *parsed;
+    } else if (arg == "--codec" && has_next) {
+      const std::optional<blockdev::CodecKind> parsed =
+          blockdev::parse_codec_kind(argv[++i]);
+      if (!parsed.has_value()) return usage();
+      codec = *parsed;
     } else if (arg == "--shards" && has_next) {
       shards = std::strtoul(argv[++i], nullptr, 10);
       if (shards == 0) return usage();
@@ -257,6 +264,7 @@ int cmd_metrics(int argc, char** argv) {
   kv::EngineConfig config;
   config.betree.node_bytes = 256 * 1024;
   config.betree.cache_bytes = 4 * 1024 * 1024;
+  config.codec = codec;
   kv::ShardedConfig sharded;
   sharded.shards = shards;
   const std::unique_ptr<kv::Dictionary> tree =
