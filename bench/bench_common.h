@@ -29,6 +29,11 @@ struct BenchArgs {
   /// kDefault keeps the factory's resolution (DAMKIT_CODEC env, else
   /// identity); --codec identity|prefix|lz overrides it.
   blockdev::CodecKind codec = blockdev::CodecKind::kDefault;
+  /// Concurrent client sessions for benches that drive the serving layer
+  /// (run_concurrent); 1 keeps the sequential path.
+  uint64_t clients = 1;
+  /// Per-client admission depth for the serving layer.
+  uint64_t inflight = 4;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -52,10 +57,17 @@ inline BenchArgs parse_args(int argc, char** argv) {
         std::exit(2);
       }
       args.codec = *parsed;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      args.clients = std::strtoull(argv[++i], nullptr, 10);
+      if (args.clients < 1) args.clients = 1;
+    } else if (std::strcmp(argv[i], "--inflight") == 0 && i + 1 < argc) {
+      args.inflight = std::strtoull(argv[++i], nullptr, 10);
+      if (args.inflight < 1) args.inflight = 1;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--quick] [--seed N] [--csv-prefix P] [--threads N] "
-          "[--metrics-json FILE] [--codec identity|prefix|lz]\n",
+          "[--metrics-json FILE] [--codec identity|prefix|lz] "
+          "[--clients K] [--inflight D]\n",
           argv[0]);
       std::exit(0);
     }

@@ -21,6 +21,7 @@
 #include "blockdev/byte_arena.h"       // IWYU pragma: export
 #include "kv/dictionary.h"             // IWYU pragma: export
 #include "kv/engine.h"                 // IWYU pragma: export
+#include "kv/op_apply.h"               // IWYU pragma: export
 #include "kv/sharded_engine.h"         // IWYU pragma: export
 #include "kv/slice.h"                  // IWYU pragma: export
 #include "kv/workload.h"               // IWYU pragma: export
@@ -33,6 +34,10 @@
 #include "model/tree_costs.h"          // IWYU pragma: export
 #include "pdam_tree/pdam_btree.h"      // IWYU pragma: export
 #include "pdam_tree/veb_layout.h"      // IWYU pragma: export
+#include "serve/io_chain.h"            // IWYU pragma: export
+#include "serve/op_queue.h"            // IWYU pragma: export
+#include "serve/scheduler.h"           // IWYU pragma: export
+#include "serve/session.h"             // IWYU pragma: export
 #include "sim/closed_loop.h"           // IWYU pragma: export
 #include "sim/device.h"                // IWYU pragma: export
 #include "sim/fault_injection.h"       // IWYU pragma: export

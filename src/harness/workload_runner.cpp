@@ -4,24 +4,13 @@
 #include <set>
 #include <utility>
 
+#include "kv/op_apply.h"
 #include "kv/slice.h"
+#include "serve/scheduler.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 namespace damkit::harness {
-
-namespace {
-
-void fnv_mix(uint64_t* h, std::string_view bytes) {
-  for (const char c : bytes) {
-    *h ^= static_cast<uint8_t>(c);
-    *h *= 0x100000001b3ULL;
-  }
-  *h ^= 0xff;  // separator so field boundaries are part of the digest
-  *h *= 0x100000001b3ULL;
-}
-
-}  // namespace
 
 void WorkloadRunner::bulk_load(uint64_t items, const kv::WorkloadSpec& spec) {
   dict_->bulk_load(items, [&spec](uint64_t i) {
@@ -37,83 +26,20 @@ WorkloadRunResult WorkloadRunner::run(const kv::WorkloadSpec& spec,
   kv::OpGenerator gen(spec);
   const sim::SimTime before = io_->now();
 
+  kv::ApplyCounters counters;
+  const kv::ApplyOptions apply_options{options.fallible};
   for (uint64_t i = 0; i < ops; ++i) {
     const kv::Op op = gen.next();
-    const std::string key = kv::encode_key(op.key_id, spec.key_bytes);
-    switch (op.type) {
-      case kv::OpType::kPut: {
-        ++result.puts;
-        const std::string value =
-            kv::make_value(op.key_id + i, spec.value_bytes);
-        if (options.fallible) {
-          if (!dict_->try_put(key, value).ok()) ++result.failed_ops;
-        } else {
-          dict_->put(key, value);
-        }
-        break;
-      }
-      case kv::OpType::kGet: {
-        ++result.gets;
-        std::optional<std::string> got;
-        if (options.fallible) {
-          StatusOr<std::optional<std::string>> r = dict_->try_get(key);
-          if (!r.ok()) {
-            ++result.failed_ops;
-            break;
-          }
-          got = *std::move(r);
-        } else {
-          got = dict_->get(key);
-        }
-        fnv_mix(&result.digest, key);
-        fnv_mix(&result.digest, got.has_value() ? "1" : "0");
-        if (got.has_value()) {
-          ++result.get_hits;
-          fnv_mix(&result.digest, *got);
-        }
-        break;
-      }
-      case kv::OpType::kDelete: {
-        ++result.erases;
-        if (options.fallible) {
-          if (!dict_->try_erase(key).ok()) ++result.failed_ops;
-        } else {
-          dict_->erase(key);
-        }
-        break;
-      }
-      case kv::OpType::kScan: {
-        ++result.scans;
-        std::vector<std::pair<std::string, std::string>> rows;
-        if (options.fallible) {
-          auto r = dict_->try_range_scan(key, op.scan_length);
-          if (!r.ok()) {
-            ++result.failed_ops;
-            break;
-          }
-          rows = *std::move(r);
-        } else {
-          rows = dict_->range_scan(key, op.scan_length);
-        }
-        fnv_mix(&result.digest, strfmt("scan:%zu", rows.size()));
-        for (const auto& [k, v] : rows) {
-          fnv_mix(&result.digest, k);
-          fnv_mix(&result.digest, v);
-        }
-        break;
-      }
-      case kv::OpType::kUpsert: {
-        ++result.upserts;
-        const auto delta = static_cast<int64_t>(op.key_id % 1000 + 1);
-        if (options.fallible) {
-          if (!dict_->try_upsert(key, delta).ok()) ++result.failed_ops;
-        } else {
-          dict_->upsert(key, delta);
-        }
-        break;
-      }
-    }
+    kv::apply_op(*dict_, op, i, spec, apply_options, &result.digest,
+                 &counters);
   }
+  result.puts = counters.puts;
+  result.gets = counters.gets;
+  result.erases = counters.erases;
+  result.scans = counters.scans;
+  result.upserts = counters.upserts;
+  result.get_hits = counters.get_hits;
+  result.failed_ops = counters.failed_ops;
 
   if (options.flush_at_end) {
     if (options.fallible) {
@@ -123,6 +49,53 @@ WorkloadRunResult WorkloadRunner::run(const kv::WorkloadSpec& spec,
     }
   }
   result.sim_elapsed = io_->now() - before;
+  return result;
+}
+
+ConcurrentRunResult WorkloadRunner::run_concurrent(
+    const kv::WorkloadSpec& spec, uint64_t ops,
+    const ConcurrentRunOptions& options) {
+  serve::ServeConfig config;
+  config.clients = options.clients;
+  config.inflight = options.inflight;
+  config.fallible = options.fallible;
+  config.replay_device_factory = options.replay_device_factory;
+  config.lane_of = options.lane_of;
+  config.lanes = options.lanes;
+
+  const sim::SimTime before = io_->now();
+  serve::Scheduler scheduler(*dict_, *io_, config);
+  serve::ServeResult served = scheduler.serve(spec, ops);
+
+  ConcurrentRunResult result;
+  result.base.puts = served.counters.puts;
+  result.base.gets = served.counters.gets;
+  result.base.erases = served.counters.erases;
+  result.base.scans = served.counters.scans;
+  result.base.upserts = served.counters.upserts;
+  result.base.get_hits = served.counters.get_hits;
+  result.base.failed_ops = served.counters.failed_ops;
+  result.base.digest = served.digest;
+
+  if (options.flush_at_end) {
+    if (options.fallible) {
+      if (!checkpoint_with_retries(*dict_, 200).ok()) {
+        ++result.base.failed_ops;
+      }
+    } else {
+      dict_->flush();
+    }
+  }
+  result.base.sim_elapsed = io_->now() - before;
+
+  result.concurrent_elapsed = served.concurrent_elapsed;
+  result.speedup = served.speedup();
+  result.throughput_ops_per_sec = served.throughput_ops_per_sec();
+  result.latency = std::move(served.latency);
+  result.batches = served.batches;
+  result.batch_ios = served.batch_ios;
+  result.lane_ios = std::move(served.lane_ios);
+  result.max_lane_depth = served.max_lane_depth;
   return result;
 }
 

@@ -23,7 +23,9 @@
 
 #include "kv/dictionary.h"
 #include "kv/workload.h"
+#include "serve/scheduler.h"
 #include "sim/device.h"
+#include "util/histogram.h"
 
 namespace damkit::harness {
 
@@ -49,6 +51,37 @@ struct WorkloadRunResult {
   sim::SimTime sim_elapsed = 0;
 };
 
+/// run_concurrent(): the serving-layer entry point. The base fields mirror
+/// run() exactly — same counters, same digest, same serial simulated time
+/// — plus the concurrent timeline computed by serve::Scheduler.
+struct ConcurrentRunOptions {
+  /// Client sessions (the CLI/bench --clients flag).
+  uint64_t clients = 1;
+  /// Per-client admission depth (--inflight).
+  uint64_t inflight = 4;
+  bool fallible = false;
+  bool flush_at_end = true;
+  /// Fresh same-timing device for the concurrent replay; when absent the
+  /// concurrent timeline equals the serial one (see serve::ServeConfig).
+  std::function<std::unique_ptr<sim::Device>()> replay_device_factory;
+  /// Dispatch-lane map (die/shard) for replay; default single lane.
+  std::function<size_t(uint64_t)> lane_of;
+  size_t lanes = 1;
+};
+
+struct ConcurrentRunResult {
+  /// Identical to what run() would report for the same (spec, ops).
+  WorkloadRunResult base;
+  sim::SimTime concurrent_elapsed = 0;
+  double speedup = 1.0;
+  double throughput_ops_per_sec = 0.0;
+  Histogram latency;  // per-op ns under concurrency
+  uint64_t batches = 0;
+  uint64_t batch_ios = 0;
+  std::vector<uint64_t> lane_ios;
+  uint64_t max_lane_depth = 0;
+};
+
 class WorkloadRunner {
  public:
   WorkloadRunner(kv::Dictionary& dict, sim::IoContext& io)
@@ -62,6 +95,13 @@ class WorkloadRunner {
   /// which ops run or what values they write.
   WorkloadRunResult run(const kv::WorkloadSpec& spec, uint64_t ops,
                         const WorkloadRunOptions& options = {});
+
+  /// Serve the same op stream through k concurrent client sessions (see
+  /// serve::Scheduler). Digest and counters equal run()'s by construction;
+  /// the concurrent makespan, speedup, and latency tails are added on top.
+  ConcurrentRunResult run_concurrent(const kv::WorkloadSpec& spec,
+                                     uint64_t ops,
+                                     const ConcurrentRunOptions& options = {});
 
   kv::Dictionary& dictionary() { return *dict_; }
 

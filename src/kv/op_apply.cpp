@@ -1,0 +1,101 @@
+#include "kv/op_apply.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kv/slice.h"
+#include "util/table.h"
+
+namespace damkit::kv {
+
+void fnv_mix(uint64_t* h, std::string_view bytes) {
+  for (const char c : bytes) {
+    *h ^= static_cast<uint8_t>(c);
+    *h *= 0x100000001b3ULL;
+  }
+  *h ^= 0xff;  // separator so field boundaries are part of the digest
+  *h *= 0x100000001b3ULL;
+}
+
+void apply_op(Dictionary& dict, const Op& op, uint64_t global_index,
+              const WorkloadSpec& spec, const ApplyOptions& options,
+              uint64_t* digest, ApplyCounters* counters) {
+  const std::string key = encode_key(op.key_id, spec.key_bytes);
+  switch (op.type) {
+    case OpType::kPut: {
+      ++counters->puts;
+      const std::string value =
+          make_value(op.key_id + global_index, spec.value_bytes);
+      if (options.fallible) {
+        if (!dict.try_put(key, value).ok()) ++counters->failed_ops;
+      } else {
+        dict.put(key, value);
+      }
+      break;
+    }
+    case OpType::kGet: {
+      ++counters->gets;
+      std::optional<std::string> got;
+      if (options.fallible) {
+        StatusOr<std::optional<std::string>> r = dict.try_get(key);
+        if (!r.ok()) {
+          ++counters->failed_ops;
+          break;
+        }
+        got = *std::move(r);
+      } else {
+        got = dict.get(key);
+      }
+      fnv_mix(digest, key);
+      fnv_mix(digest, got.has_value() ? "1" : "0");
+      if (got.has_value()) {
+        ++counters->get_hits;
+        fnv_mix(digest, *got);
+      }
+      break;
+    }
+    case OpType::kDelete: {
+      ++counters->erases;
+      if (options.fallible) {
+        if (!dict.try_erase(key).ok()) ++counters->failed_ops;
+      } else {
+        dict.erase(key);
+      }
+      break;
+    }
+    case OpType::kScan: {
+      ++counters->scans;
+      std::vector<std::pair<std::string, std::string>> rows;
+      if (options.fallible) {
+        auto r = dict.try_range_scan(key, op.scan_length);
+        if (!r.ok()) {
+          ++counters->failed_ops;
+          break;
+        }
+        rows = *std::move(r);
+      } else {
+        rows = dict.range_scan(key, op.scan_length);
+      }
+      fnv_mix(digest, strfmt("scan:%zu", rows.size()));
+      for (const auto& [k, v] : rows) {
+        fnv_mix(digest, k);
+        fnv_mix(digest, v);
+      }
+      break;
+    }
+    case OpType::kUpsert: {
+      ++counters->upserts;
+      const auto delta = static_cast<int64_t>(op.key_id % 1000 + 1);
+      if (options.fallible) {
+        if (!dict.try_upsert(key, delta).ok()) ++counters->failed_ops;
+      } else {
+        dict.upsert(key, delta);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace damkit::kv

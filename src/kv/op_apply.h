@@ -1,0 +1,44 @@
+// Shared application of one generated Op against a Dictionary.
+//
+// WorkloadRunner::run() and the concurrent serving layer (src/serve/) must
+// observe byte-identical behavior per op — same written values, same digest
+// mixing over read results — or the cross-engine differential test cannot
+// extend to concurrent runs. Factoring the op switch here makes divergence
+// impossible by construction: both callers drive the same code.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "kv/dictionary.h"
+#include "kv/workload.h"
+
+namespace damkit::kv {
+
+/// FNV-1a over `bytes` plus a field separator, accumulated into *h.
+/// Seed h with kFnvOffsetBasis; identical op streams against engines that
+/// return identical data yield identical digests.
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+void fnv_mix(uint64_t* h, std::string_view bytes);
+
+struct ApplyCounters {
+  uint64_t puts = 0, gets = 0, erases = 0, scans = 0, upserts = 0;
+  uint64_t get_hits = 0;
+  uint64_t failed_ops = 0;
+};
+
+struct ApplyOptions {
+  /// Drive the try_* twins; non-OK ops count as failed instead of aborting.
+  bool fallible = false;
+};
+
+/// Apply `op` to `dict`. `global_index` is the op's position in the overall
+/// generated stream — put values are make_value(key_id + global_index, ...),
+/// so the index an op is *applied under* must match the index it was
+/// *generated at* regardless of which client session carried it.
+/// Read results are mixed into *digest; counters are bumped in *counters.
+void apply_op(Dictionary& dict, const Op& op, uint64_t global_index,
+              const WorkloadSpec& spec, const ApplyOptions& options,
+              uint64_t* digest, ApplyCounters* counters);
+
+}  // namespace damkit::kv

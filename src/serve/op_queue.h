@@ -1,0 +1,81 @@
+// Bounded blocking submission queue: one per client session.
+//
+// A session's producer thread pushes generated ops; the scheduler's
+// controller thread pops them in round-robin order across sessions. The
+// bound is the backpressure mechanism: a producer that runs ahead of the
+// controller blocks instead of buffering the whole op stream. One producer
+// and one consumer per queue (SPSC), guarded by a mutex + two condvars —
+// contention is cross-thread handoff only, never producer-vs-producer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "kv/workload.h"
+#include "util/status.h"
+
+namespace damkit::serve {
+
+/// One generated op plus its position in the overall op stream. The global
+/// index rides along because put values depend on it (see kv::apply_op) and
+/// because the controller uses it to re-establish the canonical order.
+struct ClientOp {
+  kv::Op op;
+  uint64_t global_index = 0;
+};
+
+class OpQueue {
+ public:
+  explicit OpQueue(size_t capacity) : capacity_(capacity) {
+    DAMKIT_CHECK_MSG(capacity > 0, "OpQueue capacity must be positive");
+  }
+
+  OpQueue(const OpQueue&) = delete;
+  OpQueue& operator=(const OpQueue&) = delete;
+
+  /// Block until there is room, then enqueue. No-op if closed.
+  void push(const ClientOp& op) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) return;
+    queue_.push_back(op);
+    not_empty_.notify_one();
+  }
+
+  /// Block until an op is available (returns true) or the queue is closed
+  /// and drained (returns false).
+  bool pop(ClientOp* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return false;
+    *out = queue_.front();
+    queue_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wake all waiters; subsequent pushes are dropped, pops drain then
+  /// return false. Used for shutdown (normal end-of-stream needs no close:
+  /// the controller pops exactly the ops each producer pushes).
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<ClientOp> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace damkit::serve

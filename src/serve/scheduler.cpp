@@ -1,0 +1,249 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/session.h"
+#include "sim/trace.h"
+#include "util/table.h"
+
+namespace damkit::serve {
+
+namespace {
+
+/// One served op, ready for replay: which client carried it and the IO
+/// chain it produced on the serving device.
+struct OpRecord {
+  OpIoChain chain;
+};
+
+/// Replay-time state of one admitted op.
+struct OpState {
+  size_t next_stage = 0;
+  sim::SimTime ready = 0;  // when the next stage may issue
+  sim::SimTime issue = 0;  // admission instant
+  bool done = false;
+};
+
+}  // namespace
+
+double ServeResult::speedup() const {
+  if (concurrent_elapsed == 0) return 1.0;
+  return static_cast<double>(serial_elapsed) /
+         static_cast<double>(concurrent_elapsed);
+}
+
+double ServeResult::throughput_ops_per_sec() const {
+  const double secs = sim::to_seconds(concurrent_elapsed);
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(ops) / secs;
+}
+
+void ServeResult::export_metrics(stats::MetricsRegistry& reg,
+                                 std::string_view prefix) const {
+  const std::string p(prefix);
+  reg.add(p + "ops", ops);
+  reg.add(p + "failed_ops", counters.failed_ops);
+  reg.add(p + "batches", batches);
+  reg.add(p + "batch_ios", batch_ios);
+  reg.set(p + "serial_seconds", sim::to_seconds(serial_elapsed));
+  reg.set(p + "concurrent_seconds", sim::to_seconds(concurrent_elapsed));
+  reg.set(p + "speedup", speedup());
+  reg.set(p + "throughput_ops_per_sec", throughput_ops_per_sec());
+  reg.set(p + "max_lane_depth", static_cast<double>(max_lane_depth));
+  for (size_t i = 0; i < lane_ios.size(); ++i) {
+    reg.add(p + strfmt("lane.%zu.ios", i), lane_ios[i]);
+  }
+  stats::export_histogram_summary(reg, p + "latency_ns", latency);
+}
+
+Scheduler::Scheduler(kv::Dictionary& dict, sim::IoContext& io,
+                     ServeConfig config)
+    : dict_(&dict), io_(&io), config_(std::move(config)) {
+  DAMKIT_CHECK_MSG(config_.clients >= 1, "need at least one client");
+  DAMKIT_CHECK_MSG(config_.inflight >= 1, "need inflight depth >= 1");
+  DAMKIT_CHECK_MSG(config_.lanes >= 1, "need at least one dispatch lane");
+}
+
+namespace {
+
+/// The discrete-event replay loop (see the file comment in scheduler.h).
+void replay(const std::vector<OpRecord>& records, const ServeConfig& config,
+            ServeResult* result) {
+  result->lane_ios.assign(config.lanes, 0);
+  if (!config.replay_device_factory || records.empty()) {
+    // No replay device: the concurrent timeline degenerates to the
+    // serial one (still correct for k = 1).
+    result->concurrent_elapsed = result->serial_elapsed;
+    return;
+  }
+  const std::unique_ptr<sim::Device> dev = config.replay_device_factory();
+  const uint64_t k = config.clients;
+  const size_t n = records.size();
+
+  std::vector<OpState> state(n);
+  // Per client: next op to admit (ops of client c are c, c+k, c+2k, ...)
+  // and how many are currently open.
+  std::vector<size_t> next_op(k);
+  std::vector<uint64_t> open_count(k, 0);
+  for (uint64_t c = 0; c < k; ++c) next_op[c] = c;
+
+  std::vector<size_t> active;  // admitted, not yet done; sorted per round
+  size_t completed = 0;
+  sim::SimTime makespan = 0;
+
+  const auto admit = [&](uint64_t c, sim::SimTime t) {
+    while (next_op[c] < n && open_count[c] < config.inflight) {
+      const size_t id = next_op[c];
+      state[id] = OpState{0, t, t, false};
+      active.push_back(id);
+      ++open_count[c];
+      next_op[c] += k;
+    }
+  };
+  const auto complete = [&](size_t id, sim::SimTime t) {
+    state[id].done = true;
+    result->latency.record(t - state[id].issue);
+    makespan = std::max(makespan, t);
+    const uint64_t c = id % k;
+    --open_count[c];
+    ++completed;
+    admit(c, t);
+  };
+
+  for (uint64_t c = 0; c < k; ++c) admit(c, /*t=*/0);
+
+  std::vector<std::vector<std::pair<sim::IoRequest, size_t>>> lane_queues(
+      config.lanes);
+  while (completed < n) {
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](size_t id) { return state[id].done; }),
+                 active.end());
+    std::sort(active.begin(), active.end());
+    DAMKIT_CHECK_MSG(!active.empty(), "replay stalled with ops pending");
+
+    sim::SimTime t = ~sim::SimTime{0};
+    for (const size_t id : active) t = std::min(t, state[id].ready);
+
+    // Chains exhausted at t complete without device work; their clients
+    // may admit successors at the same instant, picked up next round.
+    // complete() admits into `active`, so walk by index over the snapshot
+    // length — newly admitted ops wait for the next round anyway.
+    bool completed_any = false;
+    const size_t active_count = active.size();
+    for (size_t idx = 0; idx < active_count; ++idx) {
+      const size_t id = active[idx];
+      if (state[id].ready == t &&
+          state[id].next_stage == records[id].chain.stages.size()) {
+        complete(id, t);
+        completed_any = true;
+      }
+    }
+    if (completed_any) continue;
+
+    // Cross-client batch formation through the per-lane dispatch queues:
+    // every runnable stage's IOs are bucketed by lane, then the lanes are
+    // drained round-robin into one submission-queue batch.
+    std::vector<size_t> runnable;
+    for (const size_t id : active) {
+      if (state[id].ready == t) runnable.push_back(id);
+    }
+    for (auto& q : lane_queues) q.clear();
+    for (const size_t id : runnable) {
+      const IoStage& stage = records[id].chain.stages[state[id].next_stage];
+      for (const sim::IoRequest& req : stage.ios) {
+        const size_t lane =
+            config.lane_of ? config.lane_of(req.offset) % config.lanes : 0;
+        lane_queues[lane].emplace_back(req, id);
+        ++result->lane_ios[lane];
+      }
+    }
+    std::vector<sim::IoRequest> reqs;
+    std::vector<size_t> owner;
+    for (const auto& q : lane_queues) {
+      result->max_lane_depth =
+          std::max<uint64_t>(result->max_lane_depth, q.size());
+    }
+    for (size_t depth = 0;; ++depth) {
+      bool any = false;
+      for (const auto& q : lane_queues) {
+        if (depth < q.size()) {
+          reqs.push_back(q[depth].first);
+          owner.push_back(q[depth].second);
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+
+    const std::vector<sim::IoCompletion> cs = dev->submit_batch(reqs, t);
+    ++result->batches;
+    result->batch_ios += reqs.size();
+
+    std::unordered_map<size_t, sim::SimTime> stage_finish;
+    for (size_t i = 0; i < cs.size(); ++i) {
+      sim::SimTime& f = stage_finish[owner[i]];
+      f = std::max(f, cs[i].finish);
+    }
+    for (const size_t id : runnable) {
+      const sim::SimTime f = stage_finish[id];
+      ++state[id].next_stage;
+      if (state[id].next_stage == records[id].chain.stages.size()) {
+        complete(id, f);
+      } else {
+        state[id].ready = f;
+      }
+    }
+  }
+  result->concurrent_elapsed = makespan;
+}
+
+}  // namespace
+
+ServeResult Scheduler::serve(const kv::WorkloadSpec& spec, uint64_t ops) {
+  ServeResult result;
+  result.ops = ops;
+
+  // --- Data phase: commit ops in generator order, record IO chains. ---
+  sim::Device& dev = io_->device();
+  sim::IoTrace trace;
+  dev.set_trace(&trace);
+
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  sessions.reserve(config_.clients);
+  for (uint64_t c = 0; c < config_.clients; ++c) {
+    sessions.push_back(std::make_unique<ClientSession>(
+        spec, c, config_.clients, ops, config_.queue_capacity));
+  }
+
+  std::vector<OpRecord> records;
+  records.reserve(ops);
+  const sim::SimTime before = io_->now();
+  const kv::ApplyOptions apply_options{config_.fallible};
+  for (uint64_t i = 0; i < ops; ++i) {
+    ClientOp client_op;
+    const bool got = sessions[i % config_.clients]->next(&client_op);
+    DAMKIT_CHECK_MSG(got, "session " << i % config_.clients
+                                     << " ended before op " << i);
+    DAMKIT_CHECK_MSG(client_op.global_index == i,
+                     "session " << i % config_.clients << " delivered op "
+                                << client_op.global_index << " at slot "
+                                << i);
+    const size_t trace_begin = trace.size();
+    kv::apply_op(*dict_, client_op.op, i, spec, apply_options,
+                 &result.digest, &result.counters);
+    records.push_back(
+        {build_io_chain(trace.records(), trace_begin, trace.size())});
+  }
+  dev.set_trace(nullptr);
+  sessions.clear();  // joins the producers
+  result.serial_elapsed = io_->now() - before;
+
+  // --- Replay phase: re-time the chains under k-client concurrency. ---
+  replay(records, config_, &result);
+  return result;
+}
+
+}  // namespace damkit::serve

@@ -1,0 +1,41 @@
+#include "serve/session.h"
+
+#include "util/status.h"
+
+namespace damkit::serve {
+
+namespace {
+
+uint64_t ops_in_class(uint64_t total_ops, uint64_t clients,
+                      uint64_t client_id) {
+  // Indices client_id, client_id + clients, ... below total_ops.
+  if (client_id >= total_ops) return 0;
+  return (total_ops - client_id - 1) / clients + 1;
+}
+
+}  // namespace
+
+ClientSession::ClientSession(const kv::WorkloadSpec& spec, uint64_t client_id,
+                             uint64_t clients, uint64_t total_ops,
+                             size_t queue_capacity)
+    : client_id_(client_id),
+      op_count_(ops_in_class(total_ops, clients, client_id)),
+      queue_(queue_capacity) {
+  DAMKIT_CHECK_MSG(clients > 0 && client_id < clients,
+                   "client " << client_id << " of " << clients);
+  producer_ = std::thread([this, spec, clients, total_ops] {
+    kv::OpGenerator gen(spec);
+    for (uint64_t i = 0; i < total_ops; ++i) {
+      const kv::Op op = gen.next();
+      if (i % clients != client_id_) continue;
+      queue_.push({op, i});
+    }
+  });
+}
+
+ClientSession::~ClientSession() {
+  queue_.close();
+  if (producer_.joinable()) producer_.join();
+}
+
+}  // namespace damkit::serve

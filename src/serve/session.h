@@ -1,0 +1,53 @@
+// A client session: one logical client of the serving layer.
+//
+// Each session owns a full copy of the workload's OpGenerator and a
+// producer thread that generates the entire op stream, keeps only the ops
+// in its residue class (global index i belongs to client i mod k), and
+// pushes them into its bounded submission queue. The controller pops
+// sessions round-robin in global-index order, so the committed op order is
+// the generator order no matter how the producer threads race — that is
+// what makes a k-client run's digest equal the single-client reference.
+//
+// (Each producer regenerating the full stream costs k× generation CPU but
+// zero coordination; generation is pure RNG arithmetic, far cheaper than
+// the engine work the controller does per op.)
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "kv/workload.h"
+#include "serve/op_queue.h"
+
+namespace damkit::serve {
+
+class ClientSession {
+ public:
+  /// Session `client_id` of `clients` total, covering the ops of its
+  /// residue class among the first `total_ops` ops of `spec`'s stream.
+  /// The producer thread starts immediately.
+  ClientSession(const kv::WorkloadSpec& spec, uint64_t client_id,
+                uint64_t clients, uint64_t total_ops, size_t queue_capacity);
+
+  /// Closes the queue and joins the producer.
+  ~ClientSession();
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  uint64_t client_id() const { return client_id_; }
+  /// Ops this session will produce in total.
+  uint64_t op_count() const { return op_count_; }
+
+  /// Pop this session's next op (blocks on the producer). False once the
+  /// session's stream is exhausted.
+  bool next(ClientOp* out) { return queue_.pop(out); }
+
+ private:
+  const uint64_t client_id_;
+  const uint64_t op_count_;
+  OpQueue queue_;
+  std::thread producer_;
+};
+
+}  // namespace damkit::serve

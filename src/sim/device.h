@@ -325,11 +325,12 @@ class Device {
         }
       }
     });
-    if (trace_ != nullptr) record_trace(req, c);
+    if (trace_ != nullptr) record_trace(req, c, now);
   }
 
   /// Out-of-line so this header need not see IoTrace's definition.
-  void record_trace(const IoRequest& req, const IoCompletion& c);
+  void record_trace(const IoRequest& req, const IoCompletion& c,
+                    SimTime submit);
 
   void check_bounds(const IoRequest& req) const {
     DAMKIT_CHECK_MSG(req.length > 0, "zero-length IO");

@@ -44,6 +44,21 @@ struct SsdConfig {
 
   int total_dies() const { return channels * dies_per_channel; }
 
+  /// Which die serves byte `offset` (the FTL stripe mapping). Lives on
+  /// the config so schedulers can build per-die dispatch lanes without a
+  /// device instance.
+  int die_of(uint64_t offset) const {
+    const uint64_t stripe = offset / stripe_bytes;
+    if (!hashed_striping) {
+      return static_cast<int>(stripe % static_cast<uint64_t>(total_dies()));
+    }
+    uint64_t z = stripe + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<int>(z % static_cast<uint64_t>(total_dies()));
+  }
+
   /// Device saturation bandwidth implied by the config (bytes/s): dies
   /// limited by page reads, channels limited by bus transfers.
   double saturated_read_bps() const;
@@ -63,18 +78,7 @@ class SsdDevice final : public Device {
   const SsdConfig& config() const { return config_; }
 
   /// Which die serves byte `offset` (stripe mapping). Exposed for tests.
-  int die_of(uint64_t offset) const {
-    const uint64_t stripe = offset / config_.stripe_bytes;
-    if (!config_.hashed_striping) {
-      return static_cast<int>(stripe %
-                              static_cast<uint64_t>(config_.total_dies()));
-    }
-    uint64_t z = stripe + 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    z ^= z >> 31;
-    return static_cast<int>(z % static_cast<uint64_t>(config_.total_dies()));
-  }
+  int die_of(uint64_t offset) const { return config_.die_of(offset); }
   int channel_of_die(int die) const { return die % config_.channels; }
 
   /// Fraction of simulated time die `die` spent serving page ops, over the

@@ -40,13 +40,14 @@ uint64_t IoTrace::total_bytes() const {
 }
 
 std::string IoTrace::to_csv() const {
-  std::string out = "kind,offset,length,start,finish\n";
-  char line[128];
+  std::string out = "kind,offset,length,submit,start,finish\n";
+  char line[160];
   for (const auto& r : records_) {
-    std::snprintf(line, sizeof(line), "%c,%llu,%llu,%llu,%llu\n",
+    std::snprintf(line, sizeof(line), "%c,%llu,%llu,%llu,%llu,%llu\n",
                   r.kind == IoKind::kRead ? 'R' : 'W',
                   static_cast<unsigned long long>(r.offset),
                   static_cast<unsigned long long>(r.length),
+                  static_cast<unsigned long long>(r.submit),
                   static_cast<unsigned long long>(r.start),
                   static_cast<unsigned long long>(r.finish));
     out += line;
@@ -66,14 +67,15 @@ IoTrace IoTrace::from_csv(const std::string& csv) {
     pos = eol + 1;
     if (line.empty()) continue;
     char kind = 0;
-    unsigned long long off = 0, len = 0, start = 0, finish = 0;
-    const int n = std::sscanf(line.c_str(), "%c,%llu,%llu,%llu,%llu", &kind,
-                              &off, &len, &start, &finish);
-    DAMKIT_CHECK_MSG(n == 5, "malformed trace line: " << line);
+    unsigned long long off = 0, len = 0, submit = 0, start = 0, finish = 0;
+    const int n =
+        std::sscanf(line.c_str(), "%c,%llu,%llu,%llu,%llu,%llu", &kind, &off,
+                    &len, &submit, &start, &finish);
+    DAMKIT_CHECK_MSG(n == 6, "malformed trace line: " << line);
     DAMKIT_CHECK_MSG(kind == 'R' || kind == 'W',
                      "bad trace kind: " << kind);
     trace.records_.push_back({kind == 'R' ? IoKind::kRead : IoKind::kWrite,
-                              off, len, start, finish});
+                              off, len, submit, start, finish});
   }
   return trace;
 }
@@ -108,8 +110,9 @@ SimTime replay_trace(Device& dev, const IoTrace& trace) {
 }
 
 // Out-of-line member of Device (declared in device.h).
-void Device::record_trace(const IoRequest& req, const IoCompletion& c) {
-  trace_->record(req, c);
+void Device::record_trace(const IoRequest& req, const IoCompletion& c,
+                          SimTime submit) {
+  trace_->record(req, c, submit);
 }
 
 }  // namespace damkit::sim

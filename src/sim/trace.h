@@ -19,14 +19,16 @@ struct TraceRecord {
   IoKind kind = IoKind::kRead;
   uint64_t offset = 0;
   uint64_t length = 0;
+  SimTime submit = 0;  // caller clock at submission (batch members share it)
   SimTime start = 0;   // service start on the recording device
   SimTime finish = 0;  // completion on the recording device
 };
 
 class IoTrace {
  public:
-  void record(const IoRequest& req, const IoCompletion& c) {
-    records_.push_back({req.kind, req.offset, req.length, c.start, c.finish});
+  void record(const IoRequest& req, const IoCompletion& c, SimTime submit) {
+    records_.push_back(
+        {req.kind, req.offset, req.length, submit, c.start, c.finish});
   }
 
   const std::vector<TraceRecord>& records() const { return records_; }
@@ -41,7 +43,7 @@ class IoTrace {
   /// Total payload bytes, reads + writes.
   uint64_t total_bytes() const;
 
-  /// CSV round trip: header "kind,offset,length,start,finish".
+  /// CSV round trip: header "kind,offset,length,submit,start,finish".
   std::string to_csv() const;
   static IoTrace from_csv(const std::string& csv);
   bool save(const std::string& path) const;

@@ -230,4 +230,15 @@ StatusOr<MetricsRegistry> MetricsRegistry::from_json(std::string_view json) {
   return reg;
 }
 
+void export_histogram_summary(MetricsRegistry& reg, std::string_view name,
+                              const Histogram& h) {
+  const std::string base(name);
+  reg.histo(base).merge(h);
+  reg.add(base + ".count", h.count());
+  reg.set(base + ".mean", h.mean());
+  reg.set(base + ".p50", static_cast<double>(h.percentile(50.0)));
+  reg.set(base + ".p99", static_cast<double>(h.percentile(99.0)));
+  reg.set(base + ".p999", static_cast<double>(h.percentile(99.9)));
+}
+
 }  // namespace damkit::stats

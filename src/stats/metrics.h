@@ -100,4 +100,12 @@ class MetricsRegistry {
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
+/// Store a copy of `h` as histogram `name` and export the standard tail
+/// summary next to it as gauges: "<name>.p50", "<name>.p99", "<name>.p999",
+/// "<name>.mean", and counter "<name>.count". The serving layer and benches
+/// publish latency distributions through this so reports and gates read
+/// percentiles without re-deriving them from buckets.
+void export_histogram_summary(MetricsRegistry& reg, std::string_view name,
+                              const Histogram& h);
+
 }  // namespace damkit::stats

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <tuple>
 
 #include "kv/engine.h"
 #include "kv/slice.h"
@@ -114,6 +116,54 @@ TEST(WorkloadRunnerTest, RunPutGetCountsHitsAndDrawsDeterministically) {
   EXPECT_EQ(direct.failed_ops, 0u);
   EXPECT_EQ(checked.failed_ops, 0u);
   EXPECT_EQ(direct_time, checked_time);
+}
+
+TEST(WorkloadRunnerTest, RunConcurrentMatchesRunAndAddsTheTimeline) {
+  const auto build = [] {
+    auto dev = std::make_unique<sim::SsdDevice>(sim::testbed_ssd_profile());
+    auto io = std::make_unique<sim::IoContext>(*dev);
+    auto dict = kv::make_engine(kv::EngineKind::kBTree, *dev, *io,
+                                small_config());
+    return std::make_tuple(std::move(dev), std::move(io), std::move(dict));
+  };
+  auto [ref_dev, ref_io, ref_dict] = build();
+  harness::WorkloadRunner ref_runner(*ref_dict, *ref_io);
+  ref_runner.bulk_load(1000, mixed_spec());
+  const harness::WorkloadRunResult reference =
+      ref_runner.run(mixed_spec(), 3000);
+
+  auto [dev, io, dict] = build();
+  harness::WorkloadRunner runner(*dict, *io);
+  runner.bulk_load(1000, mixed_spec());
+  harness::ConcurrentRunOptions copts;
+  copts.clients = 4;
+  copts.inflight = 2;
+  const sim::SsdConfig profile = sim::testbed_ssd_profile();
+  copts.replay_device_factory = [profile] {
+    return std::make_unique<sim::SsdDevice>(profile);
+  };
+  copts.lanes = static_cast<size_t>(profile.total_dies());
+  copts.lane_of = [profile](uint64_t offset) {
+    return static_cast<size_t>(profile.die_of(offset));
+  };
+  const harness::ConcurrentRunResult run =
+      runner.run_concurrent(mixed_spec(), 3000, copts);
+
+  // The base block reproduces run() exactly: same data observed, same
+  // counters, same serial simulated time.
+  EXPECT_EQ(run.base.digest, reference.digest);
+  EXPECT_EQ(run.base.get_hits, reference.get_hits);
+  EXPECT_EQ(run.base.puts, reference.puts);
+  EXPECT_EQ(run.base.sim_elapsed, reference.sim_elapsed);
+  // The concurrent timeline rides on top: a full latency distribution and
+  // a makespan no worse than the serialized one.
+  EXPECT_EQ(run.latency.count(), 3000u);
+  EXPECT_GE(run.speedup, 1.0);
+  EXPECT_GT(run.throughput_ops_per_sec, 0.0);
+  EXPECT_GT(run.batches, 0u);
+  uint64_t lane_total = 0;
+  for (const uint64_t n : run.lane_ios) lane_total += n;
+  EXPECT_EQ(lane_total, run.batch_ios);
 }
 
 TEST(WorkloadRunnerTest, CheckpointWithRetriesSucceedsImmediatelyWhenClean) {

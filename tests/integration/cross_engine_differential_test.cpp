@@ -8,6 +8,7 @@
 // router's aggregate equals the per-shard sum (io_retries conservation).
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,93 @@ TEST(CrossEngineDifferentialTest, AllEnginesObserveIdenticalData) {
     EXPECT_EQ(row.result.scans, reference.scans) << row.name;
     EXPECT_EQ(row.result.upserts, reference.upserts) << row.name;
   }
+}
+
+harness::ConcurrentRunResult drive_concurrent(kv::Dictionary& dict,
+                                              sim::IoContext& io,
+                                              uint64_t clients) {
+  harness::WorkloadRunner runner(dict, io);
+  runner.bulk_load(1500, differential_spec());
+  harness::ConcurrentRunOptions copts;
+  copts.clients = clients;
+  copts.inflight = 3;
+  const sim::SsdConfig profile = sim::testbed_ssd_profile();
+  copts.replay_device_factory = [profile] {
+    return std::make_unique<sim::SsdDevice>(profile);
+  };
+  copts.lanes = static_cast<size_t>(profile.total_dies());
+  copts.lane_of = [profile](uint64_t offset) {
+    return static_cast<size_t>(profile.die_of(offset));
+  };
+  const harness::ConcurrentRunResult result =
+      runner.run_concurrent(differential_spec(), 6000, copts);
+  dict.check_invariants();
+  return result;
+}
+
+// The differential extended to the serving layer: a k-client concurrent
+// run must observe exactly the data the single-client reference observed,
+// for every engine and the sharded composition. The scheduler's virtual
+// round-robin makes this an equality, not a statistical claim.
+TEST(CrossEngineDifferentialTest, ConcurrentServingMatchesSequentialReference) {
+  for (const kv::EngineKind kind : kv::kAllEngineKinds) {
+    sim::SsdDevice ref_dev(sim::testbed_ssd_profile());
+    sim::IoContext ref_io(ref_dev);
+    const auto ref_dict =
+        kv::make_engine(kind, ref_dev, ref_io, small_config());
+    const harness::WorkloadRunResult reference = drive(*ref_dict, ref_io);
+
+    sim::SsdDevice dev(sim::testbed_ssd_profile());
+    sim::IoContext io(dev);
+    const auto dict = kv::make_engine(kind, dev, io, small_config());
+    const harness::ConcurrentRunResult run = drive_concurrent(*dict, io, 4);
+    EXPECT_EQ(run.base.digest, reference.digest) << dict->name();
+    EXPECT_EQ(run.base.get_hits, reference.get_hits) << dict->name();
+    EXPECT_EQ(run.base.sim_elapsed, reference.sim_elapsed) << dict->name();
+    EXPECT_EQ(run.latency.count(), 6000u) << dict->name();
+  }
+  {
+    sim::SsdDevice ref_dev(sim::testbed_ssd_profile());
+    sim::IoContext ref_io(ref_dev);
+    kv::ShardedConfig sharded;
+    sharded.shards = 4;
+    const auto ref_dict = kv::make_sharded_engine(
+        kv::EngineKind::kBTree, ref_dev, ref_io, small_config(), sharded);
+    const harness::WorkloadRunResult reference = drive(*ref_dict, ref_io);
+
+    sim::SsdDevice dev(sim::testbed_ssd_profile());
+    sim::IoContext io(dev);
+    const auto dict = kv::make_sharded_engine(kv::EngineKind::kBTree, dev, io,
+                                              small_config(), sharded);
+    const harness::ConcurrentRunResult run = drive_concurrent(*dict, io, 4);
+    EXPECT_EQ(run.base.digest, reference.digest) << dict->name();
+    EXPECT_EQ(run.base.sim_elapsed, reference.sim_elapsed) << dict->name();
+  }
+}
+
+// Same seed, same client count: the whole concurrent outcome — digest and
+// every exported serving metric, timeline included — must be bit-equal
+// across runs. This is the replayability bar for concurrent experiments.
+TEST(CrossEngineDifferentialTest, ConcurrentServingIsDeterministic) {
+  const auto run_once = [] {
+    sim::SsdDevice dev(sim::testbed_ssd_profile());
+    sim::IoContext io(dev);
+    const auto dict =
+        kv::make_engine(kv::EngineKind::kBTree, dev, io, small_config());
+    return drive_concurrent(*dict, io, 8);
+  };
+  const harness::ConcurrentRunResult a = run_once();
+  const harness::ConcurrentRunResult b = run_once();
+  EXPECT_EQ(a.base.digest, b.base.digest);
+  EXPECT_EQ(a.base.sim_elapsed, b.base.sim_elapsed);
+  EXPECT_EQ(a.concurrent_elapsed, b.concurrent_elapsed);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.batch_ios, b.batch_ios);
+  EXPECT_EQ(a.lane_ios, b.lane_ios);
+  EXPECT_EQ(a.max_lane_depth, b.max_lane_depth);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_EQ(a.latency.percentile(50.0), b.latency.percentile(50.0));
+  EXPECT_EQ(a.latency.percentile(99.9), b.latency.percentile(99.9));
 }
 
 // Conservation under sharding: all four shards fault against the same

@@ -11,6 +11,7 @@
 // marks such keys "uncertain" and stops asserting their exact value.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <tuple>
 
@@ -178,6 +179,58 @@ TEST_P(FaultSoakTest, LsmTreeSurvivesWithCompression) {
   expect_soak_clean(out);
   expect_faults_accounted(out);
   EXPECT_GT(out.metrics.counter("lsm.codec.encode_calls"), 0u);
+}
+
+// The serving layer under fire: k concurrent clients drive the fallible
+// path against a fault-injecting device. The accounting contract is the
+// same as the sequential soak — every injected fault is either retried
+// away or surfaced (injected == retries + give_ups) — and the concurrent
+// scheduler must not perturb it: same seed, same split, any k.
+TEST(FaultSoakServingTest, ConcurrentClientsKeepFaultAccounting) {
+  const auto soak_once = [](uint64_t clients) {
+    sim::SsdDevice inner(sim::testbed_ssd_profile());
+    sim::FaultInjectingDevice dev(inner, soak_faults(404));
+    sim::IoContext io(dev);
+    const auto tree =
+        kv::make_engine(kv::EngineKind::kBTree, dev, io, soak_config());
+
+    kv::WorkloadSpec spec;
+    spec.key_space = 3000;
+    spec.value_bytes = 72;
+    spec.get_weight = 0.35;
+    spec.put_weight = 0.4;
+    spec.delete_weight = 0.1;
+    spec.upsert_weight = 0.15;
+    spec.seed = 555;
+
+    harness::WorkloadRunner runner(*tree, io);
+    runner.bulk_load(1000, spec);
+    harness::ConcurrentRunOptions copts;
+    copts.clients = clients;
+    copts.inflight = 2;
+    copts.fallible = true;
+    // Replay on a clean device: the faults already shaped the recorded
+    // chains (retries appear as extra IOs in the trace).
+    const sim::SsdConfig profile = sim::testbed_ssd_profile();
+    copts.replay_device_factory = [profile] {
+      return std::make_unique<sim::SsdDevice>(profile);
+    };
+    const harness::ConcurrentRunResult run =
+        runner.run_concurrent(spec, 4000, copts);
+    tree->check_invariants();
+
+    const blockdev::RetryCounters counters = tree->retry_counters();
+    EXPECT_EQ(dev.fault_stats().injected_errors(),
+              counters.retries + counters.give_ups)
+        << "clients=" << clients;
+    EXPECT_GT(counters.retries, 0u) << "clients=" << clients;
+    EXPECT_EQ(run.latency.count(), 4000u) << "clients=" << clients;
+    return std::make_tuple(run.base.digest, run.base.failed_ops,
+                           counters.retries, counters.give_ups);
+  };
+  const auto reference = soak_once(1);
+  EXPECT_EQ(soak_once(4), reference);
+  EXPECT_EQ(soak_once(16), reference);
 }
 
 // Determinism across runs: the same seed produces the same outcome

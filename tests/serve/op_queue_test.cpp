@@ -1,0 +1,88 @@
+// OpQueue: bounded SPSC handoff between a session's producer thread and
+// the scheduler's controller. FIFO order, backpressure at the capacity
+// bound, and close() semantics (wake waiters, drop pushes, drain pops).
+#include "serve/op_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace damkit::serve {
+namespace {
+
+ClientOp make_op(uint64_t index) {
+  ClientOp op;
+  op.op.type = kv::OpType::kPut;
+  op.op.key_id = index * 7;
+  op.global_index = index;
+  return op;
+}
+
+TEST(OpQueueTest, PopsInPushOrder) {
+  OpQueue q(16);
+  for (uint64_t i = 0; i < 10; ++i) q.push(make_op(i));
+  for (uint64_t i = 0; i < 10; ++i) {
+    ClientOp out;
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.global_index, i);
+    EXPECT_EQ(out.op.key_id, i * 7);
+  }
+}
+
+TEST(OpQueueTest, ProducerBlocksAtCapacityUntilConsumed) {
+  OpQueue q(4);
+  constexpr uint64_t kOps = 100;  // far past the bound: producer must block
+  std::thread producer([&q] {
+    for (uint64_t i = 0; i < kOps; ++i) q.push(make_op(i));
+  });
+  for (uint64_t i = 0; i < kOps; ++i) {
+    ClientOp out;
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.global_index, i);
+  }
+  producer.join();
+}
+
+TEST(OpQueueTest, CloseWakesBlockedPop) {
+  OpQueue q(4);
+  std::thread consumer([&q] {
+    ClientOp out;
+    EXPECT_FALSE(q.pop(&out));  // empty + closed: end of stream
+  });
+  q.close();
+  consumer.join();
+}
+
+TEST(OpQueueTest, CloseDrainsPendingThenEndsStream) {
+  OpQueue q(8);
+  q.push(make_op(0));
+  q.push(make_op(1));
+  q.close();
+  ClientOp out;
+  EXPECT_TRUE(q.pop(&out));
+  EXPECT_EQ(out.global_index, 0u);
+  EXPECT_TRUE(q.pop(&out));
+  EXPECT_EQ(out.global_index, 1u);
+  EXPECT_FALSE(q.pop(&out));
+  // Pushes after close are dropped, not enqueued.
+  q.push(make_op(2));
+  EXPECT_FALSE(q.pop(&out));
+}
+
+TEST(OpQueueTest, CloseUnblocksFullQueueProducer) {
+  OpQueue q(1);
+  q.push(make_op(0));  // queue now full
+  std::thread producer([&q] {
+    q.push(make_op(1));  // blocks until close drops it
+  });
+  q.close();
+  producer.join();
+  ClientOp out;
+  EXPECT_TRUE(q.pop(&out));  // the op enqueued before close survives
+  EXPECT_EQ(out.global_index, 0u);
+  EXPECT_FALSE(q.pop(&out));
+}
+
+}  // namespace
+}  // namespace damkit::serve

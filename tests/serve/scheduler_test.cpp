@@ -1,0 +1,177 @@
+// serve::Scheduler: the record/replay split must keep a k-client run
+// bit-identical to the single-client reference (digest, counters, serial
+// time), while the replayed concurrent timeline is deterministic, faster
+// when the device has parallelism to exploit, and falls back to the serial
+// makespan when no replay device is supplied.
+#include "serve/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/workload_runner.h"
+#include "kv/engine.h"
+#include "serve/session.h"
+#include "sim/profiles.h"
+#include "sim/ssd.h"
+#include "stats/metrics.h"
+#include "util/bytes.h"
+
+namespace damkit {
+namespace {
+
+// The cache must be small against the working set: a scheduler test where
+// every op hits cache has nothing to overlap in replay.
+kv::EngineConfig small_config() {
+  kv::EngineConfig cfg;
+  cfg.btree.node_bytes = 16 * kKiB;
+  cfg.btree.cache_bytes = 32 * kKiB;
+  return cfg;
+}
+
+kv::WorkloadSpec mixed_spec() {
+  kv::WorkloadSpec spec;
+  spec.key_space = 6000;
+  spec.value_bytes = 48;
+  spec.get_weight = 0.4;
+  spec.put_weight = 0.4;
+  spec.delete_weight = 0.05;
+  spec.scan_weight = 0.05;
+  spec.upsert_weight = 0.1;
+  spec.scan_length = 25;
+  spec.seed = 909;
+  return spec;
+}
+
+serve::ServeConfig replayed_config(uint64_t clients, uint64_t inflight = 4) {
+  serve::ServeConfig cfg;
+  cfg.clients = clients;
+  cfg.inflight = inflight;
+  const sim::SsdConfig profile = sim::testbed_ssd_profile();
+  cfg.replay_device_factory = [profile]() -> std::unique_ptr<sim::Device> {
+    return std::make_unique<sim::SsdDevice>(profile);
+  };
+  cfg.lanes = static_cast<size_t>(profile.total_dies());
+  cfg.lane_of = [profile](uint64_t offset) {
+    return static_cast<size_t>(profile.die_of(offset));
+  };
+  return cfg;
+}
+
+serve::ServeResult serve_once(const serve::ServeConfig& cfg, uint64_t ops) {
+  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  sim::IoContext io(dev);
+  const auto dict =
+      kv::make_engine(kv::EngineKind::kBTree, dev, io, small_config());
+  harness::WorkloadRunner(*dict, io).bulk_load(1500, mixed_spec());
+  serve::Scheduler scheduler(*dict, io, cfg);
+  return scheduler.serve(mixed_spec(), ops);
+}
+
+TEST(ClientSessionTest, ProducesItsResidueClassInOrder) {
+  serve::ClientSession session(mixed_spec(), /*client_id=*/1, /*clients=*/3,
+                               /*total_ops=*/10, /*queue_capacity=*/4);
+  EXPECT_EQ(session.op_count(), 3u);  // global indices 1, 4, 7
+  serve::ClientOp op;
+  // Pop exactly op_count() ops — the controller's contract; the stream has
+  // no end-of-stream marker (the destructor closes the queue).
+  for (const uint64_t expected : {1u, 4u, 7u}) {
+    ASSERT_TRUE(session.next(&op));
+    EXPECT_EQ(op.global_index, expected);
+  }
+}
+
+TEST(ClientSessionTest, RoundRobinMergeReconstructsTheGeneratorStream) {
+  const kv::WorkloadSpec spec = mixed_spec();
+  constexpr uint64_t kClients = 4;
+  constexpr uint64_t kOps = 23;  // not a multiple of k: ragged tail
+  std::vector<std::unique_ptr<serve::ClientSession>> sessions;
+  for (uint64_t c = 0; c < kClients; ++c) {
+    sessions.push_back(std::make_unique<serve::ClientSession>(
+        spec, c, kClients, kOps, /*queue_capacity=*/4));
+  }
+  kv::OpGenerator generator(spec);
+  for (uint64_t i = 0; i < kOps; ++i) {
+    const kv::Op expected = generator.next();
+    serve::ClientOp got;
+    ASSERT_TRUE(sessions[i % kClients]->next(&got));
+    EXPECT_EQ(got.global_index, i);
+    EXPECT_EQ(got.op.type, expected.type);
+    EXPECT_EQ(got.op.key_id, expected.key_id);
+    EXPECT_EQ(got.op.scan_length, expected.scan_length);
+  }
+}
+
+TEST(SchedulerTest, KClientDigestEqualsSingleClientReference) {
+  const serve::ServeResult one = serve_once(replayed_config(1), 2000);
+  const serve::ServeResult eight = serve_once(replayed_config(8), 2000);
+  EXPECT_EQ(eight.digest, one.digest);
+  EXPECT_EQ(eight.serial_elapsed, one.serial_elapsed);
+  EXPECT_EQ(eight.counters.gets, one.counters.gets);
+  EXPECT_EQ(eight.counters.puts, one.counters.puts);
+  EXPECT_EQ(eight.counters.get_hits, one.counters.get_hits);
+  EXPECT_EQ(eight.ops, 2000u);
+}
+
+TEST(SchedulerTest, ServeIsDeterministic) {
+  const serve::ServeResult a = serve_once(replayed_config(8), 2000);
+  const serve::ServeResult b = serve_once(replayed_config(8), 2000);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.serial_elapsed, b.serial_elapsed);
+  EXPECT_EQ(a.concurrent_elapsed, b.concurrent_elapsed);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.batch_ios, b.batch_ios);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_EQ(a.latency.percentile(99.0), b.latency.percentile(99.0));
+}
+
+TEST(SchedulerTest, ParallelDeviceShortensTheConcurrentMakespan) {
+  const serve::ServeResult one = serve_once(replayed_config(1), 2000);
+  const serve::ServeResult eight = serve_once(replayed_config(8), 2000);
+  EXPECT_LT(eight.concurrent_elapsed, one.concurrent_elapsed);
+  EXPECT_GT(eight.speedup(), 1.0);
+  // Every op's latency is observed exactly once.
+  EXPECT_EQ(eight.latency.count(), 2000u);
+}
+
+TEST(SchedulerTest, DeeperAdmissionNeverSlowsTheReplay) {
+  const serve::ServeResult shallow = serve_once(replayed_config(4, 1), 2000);
+  const serve::ServeResult deep = serve_once(replayed_config(4, 8), 2000);
+  EXPECT_LE(deep.concurrent_elapsed, shallow.concurrent_elapsed);
+}
+
+TEST(SchedulerTest, WithoutReplayDeviceConcurrentEqualsSerial) {
+  serve::ServeConfig cfg;
+  cfg.clients = 4;
+  const serve::ServeResult result = serve_once(cfg, 1000);
+  EXPECT_EQ(result.concurrent_elapsed, result.serial_elapsed);
+  EXPECT_DOUBLE_EQ(result.speedup(), 1.0);
+  EXPECT_EQ(result.batches, 0u);
+}
+
+TEST(SchedulerTest, LaneAccountingIsConserved) {
+  const serve::ServeResult result = serve_once(replayed_config(8), 2000);
+  uint64_t lane_total = 0;
+  for (const uint64_t n : result.lane_ios) lane_total += n;
+  EXPECT_EQ(lane_total, result.batch_ios);
+  EXPECT_GT(result.batch_ios, 0u);
+  EXPECT_GE(result.max_lane_depth, 1u);
+  EXPECT_EQ(result.lane_ios.size(),
+            static_cast<size_t>(sim::testbed_ssd_profile().total_dies()));
+}
+
+TEST(SchedulerTest, ExportMetricsCoversTheServingSurface) {
+  const serve::ServeResult result = serve_once(replayed_config(8), 1000);
+  stats::MetricsRegistry reg;
+  result.export_metrics(reg, "serve.");
+  EXPECT_EQ(reg.counter("serve.ops"), 1000u);
+  EXPECT_EQ(reg.counter("serve.batches"), result.batches);
+  EXPECT_EQ(reg.counter("serve.latency_ns.count"), 1000u);
+  EXPECT_GT(reg.gauge("serve.latency_ns.p99"), 0.0);
+  EXPECT_GT(reg.gauge("serve.speedup"), 1.0);
+  EXPECT_GT(reg.gauge("serve.throughput_ops_per_sec"), 0.0);
+}
+
+}  // namespace
+}  // namespace damkit

@@ -33,7 +33,28 @@ TEST(TraceTest, RecordsServedIos) {
   EXPECT_EQ(trace.records()[1].offset, 8192u);
   EXPECT_EQ(trace.records()[1].length, 1024u);
   EXPECT_GT(trace.records()[0].finish, trace.records()[0].start);
+  // The submission clock is captured per record: the second IO was issued
+  // at the first one's completion time.
+  EXPECT_EQ(trace.records()[0].submit, 0u);
+  EXPECT_EQ(trace.records()[1].submit, trace.records()[0].finish);
+  EXPECT_LE(trace.records()[1].submit, trace.records()[1].start);
   EXPECT_EQ(trace.total_bytes(), 4096u + 1024);
+}
+
+TEST(TraceTest, BatchMembersShareSubmitTime) {
+  SsdConfig cfg;
+  cfg.capacity_bytes = 4ULL * kGiB;
+  SsdDevice dev(cfg);
+  IoTrace trace;
+  dev.set_trace(&trace);
+  const std::vector<IoRequest> reqs = {
+      {IoKind::kRead, 0, 4096},
+      {IoKind::kRead, 64 * kMiB, 4096},
+      {IoKind::kRead, 128 * kMiB, 4096},
+  };
+  dev.submit_batch(reqs, /*now=*/500);
+  ASSERT_EQ(trace.size(), 3u);
+  for (const auto& r : trace.records()) EXPECT_EQ(r.submit, 500u);
 }
 
 TEST(TraceTest, SequentialFraction) {
@@ -73,6 +94,7 @@ TEST(TraceTest, CsvRoundTrip) {
     EXPECT_EQ(back.records()[i].kind, trace.records()[i].kind);
     EXPECT_EQ(back.records()[i].offset, trace.records()[i].offset);
     EXPECT_EQ(back.records()[i].length, trace.records()[i].length);
+    EXPECT_EQ(back.records()[i].submit, trace.records()[i].submit);
     EXPECT_EQ(back.records()[i].start, trace.records()[i].start);
     EXPECT_EQ(back.records()[i].finish, trace.records()[i].finish);
   }
@@ -131,7 +153,7 @@ TEST(TraceTest, ReplayPreservesOrderAndSizes) {
 
 TEST(TraceDeathTest, MalformedCsvAborts) {
   EXPECT_DEATH(IoTrace::from_csv("kind,offset\nR,1,2\n"), "malformed");
-  EXPECT_DEATH(IoTrace::from_csv("header\nX,1,2,3,4\n"), "bad trace kind");
+  EXPECT_DEATH(IoTrace::from_csv("header\nX,1,2,3,4,5\n"), "bad trace kind");
   EXPECT_DEATH(IoTrace::load("/nonexistent/damkit.csv"), "cannot open");
 }
 

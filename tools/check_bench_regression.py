@@ -14,10 +14,21 @@ Two checks, both against closed-form or checked-in expectations:
 
   2. Affine split: for every device section that exports a closed-form
      prediction (`<prefix>predicted_setup_seconds_per_io`), the measured
-     split must agree within --affine-tolerance (default 5%).
+     split must agree within --affine-tolerance (default 5%). Disable
+     with --no-affine for snapshots that have no affine section
+     (bench_concurrency).
+
+  3. PDAM throughput ratio: when the snapshot carries
+     `pdam_predicted_ratio.k<K>` / `pdam_measured_ratio.k<K>` gauge pairs
+     (bench_concurrency's normalized throughput-vs-clients curve against
+     the Lemma 13 prediction), each measured ratio must agree with its
+     prediction within --pdam-tolerance (default 35% — the prediction is
+     an Omega() bound, not an equality). Skipped when no such gauges
+     exist.
 
 Usage: check_bench_regression.py CURRENT.json BASELINE.json
-         [--threshold 0.15] [--affine-tolerance 0.05]
+         [--threshold 0.15] [--affine-tolerance 0.05] [--no-affine]
+         [--pdam-tolerance 0.35]
 
 Exit status 0 iff every check passes. Stdlib only.
 """
@@ -113,12 +124,49 @@ def check_affine(current, tolerance):
     return failures, report
 
 
+def check_pdam(current, tolerance):
+    """Measured vs predicted normalized throughput ratio per client count.
+
+    Auto-activates when pdam_predicted_ratio.k<K> gauges are present.
+    """
+    failures, report = [], []
+    prefix = "pdam_predicted_ratio."
+    points = sorted(
+        name[len(prefix):] for name in current if name.startswith(prefix)
+    )
+    for point in points:
+        predicted = current.get(f"pdam_predicted_ratio.{point}")
+        measured = current.get(f"pdam_measured_ratio.{point}")
+        if measured is None or not predicted:
+            failures.append(f"pdam_measured_ratio.{point}: pair incomplete")
+            continue
+        err = abs(measured - predicted) / predicted
+        line = (
+            f"  {point}: measured {measured:.4g}x, predicted "
+            f"{predicted:.4g}x ({err * 100.0:.1f}% off)"
+        )
+        if err > tolerance:
+            failures.append(
+                f"pdam_measured_ratio.{point}: {err * 100.0:.1f}% from the "
+                f"Lemma 13 prediction (> {tolerance * 100.0:.0f}%)"
+            )
+            line += "  FAIL"
+        report.append(line)
+    return failures, report
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current")
     parser.add_argument("baseline")
     parser.add_argument("--threshold", type=float, default=0.15)
     parser.add_argument("--affine-tolerance", type=float, default=0.05)
+    parser.add_argument(
+        "--no-affine",
+        action="store_true",
+        help="skip the affine-split check (snapshot has no device section)",
+    )
+    parser.add_argument("--pdam-tolerance", type=float, default=0.35)
     args = parser.parse_args()
 
     current = load_gauges(args.current)
@@ -127,14 +175,23 @@ def main():
     reg_failures, reg_report = check_regressions(
         current, baseline, args.threshold
     )
-    aff_failures, aff_report = check_affine(current, args.affine_tolerance)
+    aff_failures, aff_report = ([], [])
+    if not args.no_affine:
+        aff_failures, aff_report = check_affine(
+            current, args.affine_tolerance
+        )
+    pdam_failures, pdam_report = check_pdam(current, args.pdam_tolerance)
 
     print("simulated-time gauges vs baseline:")
     print("\n".join(reg_report) or "  (none)")
-    print("affine-split consistency:")
-    print("\n".join(aff_report) or "  (none)")
+    if not args.no_affine:
+        print("affine-split consistency:")
+        print("\n".join(aff_report) or "  (none)")
+    if pdam_report or pdam_failures:
+        print("PDAM throughput-vs-clients consistency:")
+        print("\n".join(pdam_report) or "  (none)")
 
-    failures = reg_failures + aff_failures
+    failures = reg_failures + aff_failures + pdam_failures
     if failures:
         print("\nFAILED:", file=sys.stderr)
         for f in failures:

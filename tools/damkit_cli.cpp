@@ -32,7 +32,8 @@ int usage() {
       "                 [--codec identity|prefix|lz] [--shards N]\n"
       "                 [--device hdd|ssd|hdd:IDX|ssd:IDX] [--ops N]\n"
       "                 [--json FILE] [--trace FILE]\n"
-      "                 [--fault-seed SEED] [--fault-rate R]");
+      "                 [--fault-seed SEED] [--fault-rate R]\n"
+      "                 [--clients K] [--inflight D]");
   return 2;
 }
 
@@ -207,6 +208,8 @@ int cmd_metrics(int argc, char** argv) {
   uint64_t ops = 20000;
   uint64_t fault_seed = 0;  // 0 = fault injection off
   double fault_rate = 0.01;
+  uint64_t clients = 1;  // > 1 serves through the concurrent scheduler
+  uint64_t inflight = 4;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_next = i + 1 < argc;
@@ -235,6 +238,12 @@ int cmd_metrics(int argc, char** argv) {
       fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--fault-rate" && has_next) {
       fault_rate = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--clients" && has_next) {
+      clients = std::strtoull(argv[++i], nullptr, 10);
+      if (clients == 0) return usage();
+    } else if (arg == "--inflight" && has_next) {
+      inflight = std::strtoull(argv[++i], nullptr, 10);
+      if (inflight == 0) return usage();
     } else {
       return usage();
     }
@@ -271,20 +280,60 @@ int cmd_metrics(int argc, char** argv) {
       kv::make_sharded_engine(kind, dev, io, config, sharded);
   tree->set_event_trace(&events);
 
-  harness::PutGetSpec spec;
-  spec.puts = ops;
-  spec.gets = ops / 4;
-  spec.key_modulus = ops * 4;
-  spec.value_bytes = 100;
-  spec.seed = 42;
-  spec.key_of = [](uint64_t k) {
-    return strfmt("key%012llu", static_cast<unsigned long long>(k));
-  };
-  spec.scans = 1;
-  spec.scan_limit = 100;
-  spec.fallible = true;
-  spec.tolerate_failures = fault_seed != 0;
-  const harness::PutGetResult run = harness::run_put_get(*tree, spec);
+  uint64_t get_hits = 0;
+  uint64_t failed_ops = 0;
+  std::optional<harness::ConcurrentRunResult> served;
+  if (clients > 1) {
+    // Concurrent serving demo: bulk-load, then serve a mixed workload
+    // through k client sessions with the requested admission depth,
+    // replaying the concurrent timeline on a fresh same-spec device.
+    harness::WorkloadRunner runner(*tree, io);
+    kv::WorkloadSpec wspec;
+    wspec.key_space = ops * 4;
+    wspec.value_bytes = 100;
+    wspec.get_weight = 0.4;
+    wspec.put_weight = 0.4;
+    wspec.delete_weight = 0.05;
+    wspec.scan_weight = 0.05;
+    wspec.upsert_weight = 0.1;
+    wspec.scan_length = 50;
+    wspec.seed = 42;
+    runner.bulk_load(ops / 2, wspec);
+    harness::ConcurrentRunOptions copts;
+    copts.clients = clients;
+    copts.inflight = inflight;
+    copts.fallible = true;
+    copts.replay_device_factory = [&device_spec] {
+      return make_device(device_spec);
+    };
+    if (const auto* ssd = dynamic_cast<const sim::SsdDevice*>(inner.get())) {
+      const sim::SsdConfig scfg = ssd->config();
+      copts.lanes = static_cast<size_t>(scfg.total_dies());
+      copts.lane_of = [scfg](uint64_t offset) {
+        return static_cast<size_t>(scfg.die_of(offset));
+      };
+    }
+    served = runner.run_concurrent(wspec, ops, copts);
+    get_hits = served->base.get_hits;
+    failed_ops = served->base.failed_ops;
+  } else {
+    harness::PutGetSpec spec;
+    spec.puts = ops;
+    spec.gets = ops / 4;
+    spec.key_modulus = ops * 4;
+    spec.value_bytes = 100;
+    spec.seed = 42;
+    spec.key_of = [](uint64_t k) {
+      return strfmt("key%012llu", static_cast<unsigned long long>(k));
+    };
+    spec.scans = 1;
+    spec.scan_limit = 100;
+    spec.fallible = true;
+    spec.tolerate_failures = fault_seed != 0;
+    const harness::PutGetResult run = harness::run_put_get(*tree, spec);
+    get_hits = run.get_hits;
+    failed_ops = run.failed_ops;
+  }
   // The checkpoint must land before the tree is destroyed (the destructor
   // treats dirty state as a programming error); under injected faults a
   // give-up is retried with fresh draws.
@@ -293,15 +342,48 @@ int cmd_metrics(int argc, char** argv) {
   stats::MetricsRegistry reg;
   dev.export_metrics(reg, "device.");
   tree->export_metrics(reg, std::string(kv::engine_kind_name(kind)) + ".");
+  if (served.has_value()) {
+    reg.set("serve.clients", static_cast<double>(clients));
+    reg.set("serve.inflight", static_cast<double>(inflight));
+    reg.set("serve.speedup", served->speedup);
+    reg.set("serve.throughput_ops_per_sec", served->throughput_ops_per_sec);
+    reg.set("serve.concurrent_seconds",
+            sim::to_seconds(served->concurrent_elapsed));
+    reg.add("serve.batches", served->batches);
+    reg.add("serve.batch_ios", served->batch_ios);
+    stats::export_histogram_summary(reg, "serve.latency_ns", served->latency);
+  }
 
-  std::printf("workload: %llu puts, %llu gets (%llu hits), 1 scan on %s "
-              "(%s, %zu shard%s)\n",
-              static_cast<unsigned long long>(ops),
-              static_cast<unsigned long long>(ops / 4),
-              static_cast<unsigned long long>(run.get_hits),
-              dev.name().c_str(),
-              std::string(kv::engine_kind_name(kind)).c_str(), shards,
-              shards == 1 ? "" : "s");
+  if (served.has_value()) {
+    std::printf(
+        "serving: %llu ops, %llu clients (depth %llu) on %s (%s, %zu "
+        "shard%s)\n",
+        static_cast<unsigned long long>(ops),
+        static_cast<unsigned long long>(clients),
+        static_cast<unsigned long long>(inflight), dev.name().c_str(),
+        std::string(kv::engine_kind_name(kind)).c_str(), shards,
+        shards == 1 ? "" : "s");
+    std::printf(
+        "concurrent: %.3f s simulated (speedup %.2fx, %.0f ops/s), "
+        "latency p50 %llu us, p99 %llu us, p999 %llu us\n",
+        sim::to_seconds(served->concurrent_elapsed), served->speedup,
+        served->throughput_ops_per_sec,
+        static_cast<unsigned long long>(served->latency.percentile(50.0) /
+                                        sim::kNsPerUs),
+        static_cast<unsigned long long>(served->latency.percentile(99.0) /
+                                        sim::kNsPerUs),
+        static_cast<unsigned long long>(served->latency.percentile(99.9) /
+                                        sim::kNsPerUs));
+  } else {
+    std::printf("workload: %llu puts, %llu gets (%llu hits), 1 scan on %s "
+                "(%s, %zu shard%s)\n",
+                static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(ops / 4),
+                static_cast<unsigned long long>(get_hits),
+                dev.name().c_str(),
+                std::string(kv::engine_kind_name(kind)).c_str(), shards,
+                shards == 1 ? "" : "s");
+  }
   if (faulty != nullptr) {
     std::printf("faults: seed %llu, %llu injected "
                 "(%llu read, %llu write, %llu torn, %llu spikes), "
@@ -321,7 +403,7 @@ int cmd_metrics(int argc, char** argv) {
                     tree->retry_counters().retries),
                 static_cast<unsigned long long>(
                     tree->retry_counters().give_ups),
-                static_cast<unsigned long long>(run.failed_ops));
+                static_cast<unsigned long long>(failed_ops));
   }
   std::printf("simulated time: %.3f s\n\n", sim::to_seconds(io.now()));
 
