@@ -1,0 +1,263 @@
+// BENCH_wal: is write-ahead logging an affine cost you can price from the
+// model, and is it exactly free when switched off?
+//
+// The durability layer (src/wal/) adds one kind of device traffic: group
+// commits, each a submit_batch of whole log blocks. Under the paper's
+// affine lens a commit costs s + t·(blocks written) — a fixed setup per
+// commit plus a per-block transfer term — so the total overhead of
+// wrapping an engine must be predictable from two WAL counters alone:
+//
+//     sim_time(wal) − sim_time(plain)  ≈  s·commits + t·commit_blocks
+//
+// with (s, t) fitted, §4.2-style, from a bare-log microbenchmark on the
+// same device (two record sizes → two (blocks/commit, secs/commit)
+// points → a line). Three sections:
+//
+//   1. off switch — every workload runs twice without the wrapper; sim
+//      time and state digest must be BIT-IDENTICAL (asserted). Durability
+//      is opt-in, and opting out must change nothing.
+//   2. transparency — the wrapped run's final state digest must equal the
+//      plain run's (asserted): the WAL only adds traffic, never content.
+//   3. affine overhead — measured overhead per engine vs the fitted
+//      s·commits + t·blocks prediction, within 15% (asserted).
+//
+// CI gates the emitted JSON against bench/baselines/
+// BENCH_wal_baseline.json via tools/check_bench_regression.py.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "damkit.h"
+
+namespace {
+
+using namespace damkit;
+
+std::string key_of(uint64_t k) {
+  return strfmt("%016llu", static_cast<unsigned long long>(k));
+}
+
+kv::EngineConfig engine_config() {
+  kv::EngineConfig cfg;
+  // Caches far below the working set: the plain runs must do real device
+  // IO, so the overhead gate differentiates a live engine, not a memtable.
+  cfg.btree.node_bytes = 16 * kKiB;
+  cfg.btree.cache_bytes = 128 * kKiB;
+  cfg.betree.node_bytes = 16 * kKiB;
+  cfg.betree.cache_bytes = 96 * kKiB;
+  cfg.lsm.memtable_bytes = 128 * kKiB;
+  cfg.lsm.sstable_target_bytes = 128 * kKiB;
+  cfg.lsm.level1_bytes = 1 * kMiB;
+  return cfg;
+}
+
+// Commit every 8 mutations, auto-checkpoint off: the measured window then
+// contains exactly the traffic the affine prediction prices.
+wal::DurabilityConfig durability_config(uint64_t capacity_bytes) {
+  wal::DurabilityConfig cfg = wal::default_durability_config(capacity_bytes);
+  cfg.checkpoint_wal_bytes = 0;
+  cfg.wal.group_ops = 8;
+  return cfg;
+}
+
+// Mixed mutation stream: puts, upserts, and erases all produce WAL
+// records (three frame types); gets keep the read path in the window.
+void drive_ops(const bench::BenchArgs& args, kv::Dictionary& dict) {
+  const uint64_t ops = args.quick ? 3'000 : 10'000;
+  Rng rng(args.seed + 29);
+  for (uint64_t i = 0; i < ops; ++i) {
+    const uint64_t id = rng.next() % ops;
+    const uint64_t roll = rng.next() % 100;
+    if (roll < 55) {
+      dict.put(key_of(id), kv::make_value(id, 96));
+    } else if (roll < 70) {
+      dict.upsert(key_of(id), static_cast<int64_t>(id % 17) - 8);
+    } else if (roll < 80) {
+      dict.erase(key_of(id));
+    } else {
+      (void)dict.get(key_of(id));
+    }
+  }
+}
+
+struct RunOutcome {
+  double sim_s = 0.0;      // measured window: ops only, construction excluded
+  uint64_t digest = 0;     // state digest after the window
+  uint64_t commits = 0;    // wal.commits (0 for plain runs)
+  uint64_t blocks = 0;     // wal.commit_blocks
+};
+
+RunOutcome run_engine(const bench::BenchArgs& args, kv::EngineKind kind,
+                      bool with_wal) {
+  const sim::SsdConfig profile = sim::testbed_ssd_profile();
+  sim::SsdDevice dev(profile);
+  sim::IoContext io(dev);
+  std::unique_ptr<kv::Dictionary> eng =
+      kv::make_engine(kind, dev, io, engine_config());
+  std::unique_ptr<wal::DurableEngine> durable;
+  if (with_wal) {
+    durable = std::make_unique<wal::DurableEngine>(
+        std::move(eng), dev, io, durability_config(profile.capacity_bytes));
+  }
+  kv::Dictionary& dict = with_wal ? *durable : *eng;
+
+  const sim::SimTime start = io.now();
+  drive_ops(args, dict);
+  // Flush the group buffer so the window covers every record's commit —
+  // without forcing a checkpoint (snapshot traffic is priced separately).
+  if (with_wal) DAMKIT_CHECK_OK(durable->log().commit());
+  RunOutcome out;
+  out.sim_s = sim::to_seconds(io.now() - start);
+  out.digest = harness::state_digest(dict);
+  if (with_wal) {
+    stats::MetricsRegistry reg;
+    durable->export_metrics(reg, "e.");
+    out.commits = reg.counter("e.wal.commits");
+    out.blocks = reg.counter("e.wal.commit_blocks");
+  }
+  dict.abandon();  // measured state only; no teardown flush
+  return out;
+}
+
+// §4.2-style fit of the commit cost: append/commit a bare log at the same
+// region with two record sizes; each run yields one (blocks-per-commit,
+// seconds-per-commit) point, and the line through them is (s, t).
+struct AffineFit {
+  double s = 0.0;        // seconds per commit (setup)
+  double t_block = 0.0;  // seconds per committed block (transfer)
+};
+
+struct CalPoint {
+  double per_commit_s = 0.0;
+  double blocks_per_commit = 0.0;
+};
+
+CalPoint calibrate_point(const bench::BenchArgs& args, size_t value_bytes) {
+  const sim::SsdConfig profile = sim::testbed_ssd_profile();
+  sim::SsdDevice dev(profile);
+  sim::IoContext io(dev);
+  const wal::DurabilityConfig cfg = durability_config(profile.capacity_bytes);
+  wal::WriteAheadLog log(dev, io, cfg.wal);
+  DAMKIT_CHECK_OK(log.reset(1));
+
+  const uint64_t records = args.quick ? 2'000 : 6'000;
+  const std::string value(value_bytes, 'w');
+  const sim::SimTime start = io.now();
+  for (uint64_t lsn = 1; lsn <= records; ++lsn) {
+    DAMKIT_CHECK_OK(log.append(wal::WriteAheadLog::RecordType::kPut,
+                               key_of(lsn), value, lsn));
+  }
+  DAMKIT_CHECK_OK(log.commit());
+  const double elapsed = sim::to_seconds(io.now() - start);
+
+  stats::MetricsRegistry reg;
+  log.export_metrics(reg, "c.");
+  const double commits = static_cast<double>(reg.counter("c.wal.commits"));
+  CalPoint point;
+  point.per_commit_s = elapsed / commits;
+  point.blocks_per_commit =
+      static_cast<double>(reg.counter("c.wal.commit_blocks")) / commits;
+  return point;
+}
+
+AffineFit calibrate(const bench::BenchArgs& args) {
+  // 24-byte values: a commit is mostly a single tail-block rewrite.
+  // 1500-byte values: several fresh blocks per commit. The spread pins t.
+  const CalPoint a = calibrate_point(args, 24);
+  const CalPoint b = calibrate_point(args, 1'500);
+  AffineFit fit;
+  fit.t_block = (b.per_commit_s - a.per_commit_s) /
+                (b.blocks_per_commit - a.blocks_per_commit);
+  fit.s = a.per_commit_s - fit.t_block * a.blocks_per_commit;
+  return fit;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  if (args.metrics_json.empty()) args.metrics_json = "BENCH_wal.json";
+  bench::banner("write-ahead logging as an affine cost",
+                "§4.2 extension: commit traffic priced as s + t*blocks");
+
+  const AffineFit fit = calibrate(args);
+  std::printf("bare-log fit: s = %.1f us/commit, t = %.1f us/block\n",
+              fit.s * 1e6, fit.t_block * 1e6);
+
+  const std::vector<kv::EngineKind> kinds = {
+      kv::EngineKind::kBTree, kv::EngineKind::kBeTree, kv::EngineKind::kLsm};
+  // Per kind: plain, plain again (bit-identical gate), wrapped.
+  std::vector<RunOutcome> runs(kinds.size() * 3);
+  harness::parallel_sweep(runs.size(), args.threads, [&](size_t i) {
+    runs[i] = run_engine(args, kinds[i / 3], (i % 3) == 2);
+  });
+
+  int failures = 0;
+  stats::MetricsRegistry reg;
+  reg.set("wal.cal.setup_us_per_commit", fit.s * 1e6);
+  reg.set("wal.cal.transfer_us_per_block", fit.t_block * 1e6);
+  Table table({"engine", "off_sim_s", "on_sim_s", "commits", "blocks",
+               "overhead_s", "predicted_s", "err%"});
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    const std::string name(kv::engine_kind_name(kinds[k]));
+    const RunOutcome& off1 = runs[k * 3];
+    const RunOutcome& off2 = runs[k * 3 + 1];
+    const RunOutcome& on = runs[k * 3 + 2];
+
+    if (off1.sim_s != off2.sim_s || off1.digest != off2.digest) {
+      std::fprintf(stderr,
+                   "FAIL %s: WAL-off reruns differ (%.9f s vs %.9f s, "
+                   "digest %016llx vs %016llx) — the off switch is not "
+                   "bit-identical\n",
+                   name.c_str(), off1.sim_s, off2.sim_s,
+                   static_cast<unsigned long long>(off1.digest),
+                   static_cast<unsigned long long>(off2.digest));
+      ++failures;
+    }
+    if (on.digest != off1.digest) {
+      std::fprintf(stderr,
+                   "FAIL %s: wrapped digest %016llx != plain %016llx — the "
+                   "WAL changed engine contents\n",
+                   name.c_str(), static_cast<unsigned long long>(on.digest),
+                   static_cast<unsigned long long>(off1.digest));
+      ++failures;
+    }
+
+    const double overhead = on.sim_s - off1.sim_s;
+    const double predicted = fit.s * static_cast<double>(on.commits) +
+                             fit.t_block * static_cast<double>(on.blocks);
+    const double err = std::abs(overhead - predicted) / predicted;
+    if (err > 0.15) {
+      std::fprintf(stderr,
+                   "FAIL %s: measured WAL overhead %.4f s is %.1f%% off "
+                   "s*commits + t*blocks = %.4f s (limit 15%%)\n",
+                   name.c_str(), overhead, err * 100.0, predicted);
+      ++failures;
+    }
+
+    reg.set("wal.off." + name + ".sim_seconds", off1.sim_s);
+    reg.set("wal.on." + name + ".sim_seconds", on.sim_s);
+    reg.set("wal.overhead." + name + ".measured_s", overhead);
+    reg.set("wal.overhead." + name + ".predicted_s", predicted);
+    reg.set("wal.overhead." + name + ".tracking_error", err);
+    table.add_row({name, strfmt("%.4f", off1.sim_s), strfmt("%.4f", on.sim_s),
+                   strfmt("%llu", static_cast<unsigned long long>(on.commits)),
+                   strfmt("%llu", static_cast<unsigned long long>(on.blocks)),
+                   strfmt("%.4f", overhead), strfmt("%.4f", predicted),
+                   strfmt("%.1f", err * 100.0)});
+  }
+  harness::emit("WAL overhead vs s*commits + t*blocks (testbed SSD)", table,
+                args.csv_prefix + "wal_overhead.csv");
+  std::printf(
+      "model: the wrapper adds only group commits; their cost is affine in\n"
+      "commit count (setup) and committed blocks (transfer), with (s, t)\n"
+      "fitted from a bare-log microbenchmark on the same device.\n");
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d WAL model check(s) FAILED\n", failures);
+  }
+  const bool wrote = bench::write_metrics_json(reg, args.metrics_json);
+  return (failures == 0 && wrote) ? 0 : 1;
+}

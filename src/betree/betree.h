@@ -108,6 +108,11 @@ class BeTree {
   /// Fallible checkpoint: failed nodes stay dirty (retried on next call).
   Status try_flush_cache();
 
+  /// Crash teardown: drop all cached (possibly dirty) nodes without
+  /// writing them back, so a tree over a dead device can be destroyed
+  /// without the destructor's flush aborting. Terminal — destroy after.
+  void abandon() { pool_->discard_all(); }
+
   /// Retry policy for this tree's device IO (see blockdev::RetryPolicy).
   void set_retry_policy(const blockdev::RetryPolicy& policy) {
     store_.set_retry_policy(policy);

@@ -94,6 +94,11 @@ class BTree {
   /// loss); calling again retries exactly the still-dirty set.
   Status try_flush();
 
+  /// Crash teardown: drop all cached (possibly dirty) nodes without
+  /// writing them back, so a tree over a dead device can be destroyed
+  /// without the destructor's flush aborting. Terminal — destroy after.
+  void abandon() { pool_->discard_all(); }
+
   /// Retry policy for this tree's device IO (see blockdev::RetryPolicy).
   void set_retry_policy(const blockdev::RetryPolicy& policy) {
     store_.set_retry_policy(policy);

@@ -158,6 +158,16 @@ Status BufferPool::clear() {
   return Status();
 }
 
+void BufferPool::discard_all() {
+  for (const Entry& e : lru_) {
+    DAMKIT_CHECK_MSG(!pinned(e), "discard_all() with pinned entry id=" << e.id);
+  }
+  lru_.clear();
+  index_.clear();
+  charged_bytes_ = 0;
+  writeback_deferred_bytes_ = 0;
+}
+
 void BufferPool::make_room(uint64_t incoming_bytes) {
   writeback_deferred_bytes_ = 0;
   if (charged_bytes_ + incoming_bytes <= capacity_bytes_) return;

@@ -116,6 +116,12 @@ class BufferPool {
   /// On writeback failure nothing is dropped and the failure is returned.
   Status clear();
 
+  /// Drop every entry WITHOUT writeback — crash teardown. Dirty state is
+  /// lost by design (the caller is abandoning a dead device, and the
+  /// destructor's dirty-entry abort must not fire on that path); CHECKs
+  /// nothing is pinned. The pool is empty afterwards.
+  void discard_all();
+
   bool contains(uint64_t id) const { return index_.count(id) > 0; }
   uint64_t charged_bytes() const { return charged_bytes_; }
   uint64_t capacity_bytes() const { return capacity_bytes_; }

@@ -13,6 +13,7 @@
 #include "blockdev/block_device.h"     // IWYU pragma: export
 #include "btree/btree.h"               // IWYU pragma: export
 #include "cache/buffer_pool.h"         // IWYU pragma: export
+#include "harness/crash.h"             // IWYU pragma: export
 #include "harness/experiments.h"       // IWYU pragma: export
 #include "harness/fitting.h"           // IWYU pragma: export
 #include "harness/parallel.h"          // IWYU pragma: export
@@ -55,3 +56,6 @@
 #include "util/stats.h"                // IWYU pragma: export
 #include "util/status.h"               // IWYU pragma: export
 #include "util/table.h"                // IWYU pragma: export
+#include "wal/durable_engine.h"        // IWYU pragma: export
+#include "wal/snapshot.h"              // IWYU pragma: export
+#include "wal/wal.h"                   // IWYU pragma: export

@@ -6,4 +6,6 @@ Dictionary::~Dictionary() = default;
 
 void Dictionary::set_event_trace(stats::TraceBuffer* /*events*/) {}
 
+void Dictionary::abandon() {}
+
 }  // namespace damkit::kv

@@ -99,6 +99,13 @@ class Dictionary {
   /// loss); calling again retries exactly the remaining set.
   virtual Status checkpoint() = 0;
 
+  /// Crash teardown: drop all dirty in-memory state WITHOUT writing it
+  /// back, so a dictionary whose device died can be destroyed without
+  /// tripping the flush-on-destruction aborts. The dictionary must not be
+  /// used afterwards except for destruction; recovery builds a fresh one.
+  /// Default is a no-op (engines with no deferred write-back state).
+  virtual void abandon();
+
   virtual void set_retry_policy(const blockdev::RetryPolicy& policy) = 0;
   virtual blockdev::RetryCounters retry_counters() const = 0;
 

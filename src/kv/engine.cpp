@@ -80,6 +80,7 @@ class BTreeEngine final : public Dictionary {
   }
   void flush() override { tree_.flush(); }
   Status checkpoint() override { return tree_.try_flush(); }
+  void abandon() override { tree_.abandon(); }
   void set_retry_policy(const blockdev::RetryPolicy& policy) override {
     tree_.set_retry_policy(policy);
   }
@@ -159,6 +160,7 @@ class BeTreeEngine final : public Dictionary {
   }
   void flush() override { tree_->flush_cache(); }
   Status checkpoint() override { return tree_->try_flush_cache(); }
+  void abandon() override { tree_->abandon(); }
   void set_retry_policy(const blockdev::RetryPolicy& policy) override {
     tree_->set_retry_policy(policy);
   }

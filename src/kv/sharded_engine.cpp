@@ -190,6 +190,10 @@ Status ShardedEngine::checkpoint() {
   return first;
 }
 
+void ShardedEngine::abandon() {
+  for (const auto& shard : inner_) shard->abandon();
+}
+
 void ShardedEngine::set_retry_policy(const blockdev::RetryPolicy& policy) {
   for (const auto& shard : inner_) shard->set_retry_policy(policy);
 }

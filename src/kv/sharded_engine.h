@@ -65,6 +65,7 @@ class ShardedEngine final : public Dictionary {
       override;
   void flush() override;
   Status checkpoint() override;
+  void abandon() override;
   void set_retry_policy(const blockdev::RetryPolicy& policy) override;
   blockdev::RetryCounters retry_counters() const override;
   size_t height() const override;

@@ -19,6 +19,15 @@
 //     delta (garbage collection, remapping, link retraining — the tail
 //     events Didona et al. highlight).
 //
+// On top of the probabilistic classes sits a deterministic *crash point*:
+// arm it at the Nth checked IO and that IO fails — a write lands only as
+// a seeded strict prefix (power loss mid-extent), a read returns nothing —
+// and every later checked IO fails kUnavailable until reboot() is called.
+// The media (the wrapper's sparse store) survives the crash, which is
+// exactly what a recovery path gets to work with. The crash check consumes
+// no randomness, so arming it never perturbs the probabilistic schedules
+// of IOs before the crash point.
+//
 // Faults are only consulted on the *checked* submission paths
 // (submit_checked / read_checked / ...); the legacy CHECK-abort paths
 // never fail, so code that has not opted into error handling keeps its
@@ -48,6 +57,9 @@ struct FaultConfig {
   double torn_write_rate = 0.0;     // P(kCorruption + torn prefix) per write
   double latency_spike_rate = 0.0;  // P(finish += latency_spike_ns) per IO
   SimTime latency_spike_ns = 10 * kNsPerMs;
+  /// 1-based checked-IO index at which the device dies; 0 = never. The
+  /// crash_at_io-th checked IO and every later one fail until reboot().
+  uint64_t crash_at_io = 0;
 };
 
 struct FaultStats {
@@ -57,6 +69,8 @@ struct FaultStats {
   uint64_t injected_write_errors = 0;
   uint64_t injected_torn_writes = 0;
   uint64_t injected_latency_spikes = 0;
+  uint64_t crashes = 0;                // crash points that actually fired
+  uint64_t post_crash_rejections = 0;  // checked IOs refused while dead
 
   uint64_t injected_errors() const {
     return injected_read_errors + injected_write_errors +
@@ -79,6 +93,23 @@ class FaultInjectingDevice : public Device {
   const FaultStats& fault_stats() const { return fstats_; }
   const FaultConfig& fault_config() const { return cfg_; }
   Device& inner() { return *inner_; }
+
+  /// Checked IOs observed so far (reads + writes), the clock the crash
+  /// point is armed against.
+  uint64_t checked_ios() const {
+    return fstats_.checked_reads + fstats_.checked_writes;
+  }
+  /// True once the crash point has fired and until reboot().
+  bool crashed() const { return crashed_; }
+  /// Arm (or re-arm) the crash at the `nth` checked IO, 1-based and
+  /// absolute; 0 disarms. Must name an IO that has not happened yet.
+  void set_crash_at(uint64_t nth);
+  /// Arm the crash so that exactly `more` further checked IOs succeed and
+  /// the one after them dies.
+  void crash_after(uint64_t more) { set_crash_at(checked_ios() + more + 1); }
+  /// Power the device back up: the crash disarms, checked IOs succeed
+  /// again, and the media keeps whatever had landed (torn tail included).
+  void reboot();
 
   /// Persists the torn prefix recorded for a failed write at `offset`, if
   /// any; a transient error leaves the media untouched.
@@ -104,6 +135,8 @@ class FaultInjectingDevice : public Device {
   Rng fault_rng_;  // error/torn draws, checked submissions only
   Rng spike_rng_;  // latency spikes, every submission
   FaultStats fstats_;
+  uint64_t crash_at_ = 0;  // 1-based checked-IO index; 0 = disarmed
+  bool crashed_ = false;
   // Torn prefix length per faulted write offset, recorded by inject_fault
   // and consumed by note_failed_write.
   std::unordered_map<uint64_t, uint64_t> pending_torn_;

@@ -1,0 +1,184 @@
+#include "wal/snapshot.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace damkit::wal {
+
+namespace {
+
+constexpr uint32_t kHeaderMagic = 0x504E534Bu;  // "KSNP"
+// magic + seq + last_lsn + entries + payload_bytes + payload_check.
+constexpr uint64_t kHeaderPayload = 4 + 5 * 8;
+constexpr uint64_t kHeaderBytes = kHeaderPayload + 8;  // + header_check
+// Device-request granularity for payload transfer.
+constexpr uint64_t kIoChunk = 256ULL << 10;
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(sim::Device& dev, sim::IoContext& io,
+                             const SnapshotConfig& cfg)
+    : dev_(&dev), io_(&io), cfg_(cfg) {
+  DAMKIT_CHECK_MSG(cfg_.block_bytes >= kHeaderBytes,
+                   "snapshot block_bytes too small");
+  DAMKIT_CHECK_MSG(cfg_.slot_bytes >= 2 * cfg_.block_bytes &&
+                       cfg_.slot_bytes % cfg_.block_bytes == 0,
+                   "snapshot slot must be >= 2 blocks and block-aligned");
+  DAMKIT_CHECK_MSG(
+      cfg_.base_offset + 2 * cfg_.slot_bytes <= dev_->capacity_bytes(),
+      "snapshot slots past device end");
+}
+
+Status SnapshotStore::write(const SnapshotMeta& meta,
+                            std::span<const uint8_t> payload) {
+  DAMKIT_CHECK_MSG(meta.payload_bytes == payload.size(),
+                   "snapshot meta/payload size mismatch");
+  const uint64_t bb = cfg_.block_bytes;
+  const uint64_t slot = slot_offset(meta.seq);
+  const uint64_t padded = align_up(std::max<uint64_t>(payload.size(), 1), bb);
+  if (bb + padded > cfg_.slot_bytes) {
+    return Status::resource_exhausted(
+        "snapshot payload of " + std::to_string(payload.size()) +
+        " bytes does not fit a " + std::to_string(cfg_.slot_bytes) +
+        "-byte slot");
+  }
+
+  // Phase 1: payload blocks, one batch per attempt. A torn or failed
+  // chunk is repaired by rewriting; nothing is loadable until the header
+  // lands, so partial payload states are harmless.
+  std::vector<uint8_t> image(payload.begin(), payload.end());
+  image.resize(padded, 0);
+  std::vector<sim::IoRequest> reqs;
+  for (uint64_t off = 0; off < padded; off += kIoChunk) {
+    reqs.push_back({sim::IoKind::kWrite, slot + bb + off,
+                    std::min(kIoChunk, padded - off)});
+  }
+  DAMKIT_RETURN_IF_ERROR(blockdev::with_retries(
+      *io_, retry_, &counters_, /*retry_corruption=*/true, [&]() -> Status {
+        std::vector<sim::IoCompletion> cs;
+        std::vector<Status> per_io;
+        DAMKIT_RETURN_IF_ERROR(io_->submit_batch_checked(reqs, &cs, &per_io));
+        Status first;
+        for (size_t i = 0; i < reqs.size(); ++i) {
+          const auto chunk = std::span<const uint8_t>(image).subspan(
+              reqs[i].offset - (slot + bb), reqs[i].length);
+          if (per_io[i].ok()) {
+            dev_->write_bytes(reqs[i].offset, chunk);
+          } else {
+            dev_->note_failed_write(reqs[i].offset, chunk);
+            if (first.ok()) first = per_io[i];
+          }
+        }
+        return first;
+      }));
+
+  // Phase 2: the header block, strictly after the payload is durable —
+  // this single block write is the snapshot's commit point.
+  std::vector<uint8_t> header(bb, 0);
+  store_u32(header.data(), kHeaderMagic);
+  store_u64(header.data() + 4, meta.seq);
+  store_u64(header.data() + 12, meta.last_lsn);
+  store_u64(header.data() + 20, meta.entries);
+  store_u64(header.data() + 28, meta.payload_bytes);
+  store_u64(header.data() + 36, fnv1a(payload));
+  store_u64(header.data() + kHeaderPayload,
+            fnv1a({header.data(), kHeaderPayload}));
+  DAMKIT_RETURN_IF_ERROR(blockdev::with_retries(
+      *io_, retry_, &counters_, /*retry_corruption=*/true,
+      [&] { return io_->write_checked(slot, header); }));
+
+  ++writes_;
+  written_bytes_ += payload.size();
+  return Status();
+}
+
+StatusOr<bool> SnapshotStore::load_slot(int slot, SnapshotMeta* meta,
+                                        std::vector<uint8_t>* payload) {
+  const uint64_t bb = cfg_.block_bytes;
+  const uint64_t at =
+      cfg_.base_offset + static_cast<uint64_t>(slot) * cfg_.slot_bytes;
+  std::vector<uint8_t> header(bb);
+  DAMKIT_RETURN_IF_ERROR(blockdev::with_retries(
+      *io_, retry_, &counters_, /*retry_corruption=*/false,
+      [&] { return io_->read_checked(at, header); }));
+  const uint32_t magic = load_u32(header.data());
+  if (magic != kHeaderMagic) {
+    if (magic != 0) ++invalid_slots_;
+    return false;
+  }
+  if (fnv1a({header.data(), kHeaderPayload}) !=
+      load_u64(header.data() + kHeaderPayload)) {
+    ++invalid_slots_;
+    return false;
+  }
+  SnapshotMeta m;
+  m.seq = load_u64(header.data() + 4);
+  m.last_lsn = load_u64(header.data() + 12);
+  m.entries = load_u64(header.data() + 20);
+  m.payload_bytes = load_u64(header.data() + 28);
+  const uint64_t payload_check = load_u64(header.data() + 36);
+  if (m.payload_bytes > cfg_.slot_bytes - bb ||
+      static_cast<int>(m.seq % 2) != slot) {
+    ++invalid_slots_;
+    return false;
+  }
+  std::vector<uint8_t> body(m.payload_bytes);
+  for (uint64_t off = 0; off < m.payload_bytes; off += kIoChunk) {
+    const uint64_t len = std::min(kIoChunk, m.payload_bytes - off);
+    DAMKIT_RETURN_IF_ERROR(blockdev::with_retries(
+        *io_, retry_, &counters_, /*retry_corruption=*/false, [&] {
+          return io_->read_checked(at + bb + off,
+                                   std::span<uint8_t>(body.data() + off, len));
+        }));
+  }
+  if (fnv1a(body) != payload_check) {
+    // The interrupted-checkpoint signature: a stale header over a payload
+    // that was being overwritten when the crash hit.
+    ++invalid_slots_;
+    return false;
+  }
+  *meta = m;
+  *payload = std::move(body);
+  return true;
+}
+
+StatusOr<bool> SnapshotStore::load(SnapshotMeta* meta,
+                                   std::vector<uint8_t>* payload) {
+  ++loads_;
+  SnapshotMeta best;
+  std::vector<uint8_t> best_payload;
+  bool found = false;
+  for (int slot = 0; slot < 2; ++slot) {
+    SnapshotMeta m;
+    std::vector<uint8_t> body;
+    StatusOr<bool> ok = load_slot(slot, &m, &body);
+    DAMKIT_RETURN_IF_ERROR(ok.status());
+    if (*ok && (!found || m.seq > best.seq)) {
+      best = m;
+      best_payload = std::move(body);
+      found = true;
+    }
+  }
+  if (!found) {
+    *meta = SnapshotMeta{};
+    payload->clear();
+    return false;
+  }
+  *meta = best;
+  *payload = std::move(best_payload);
+  return true;
+}
+
+void SnapshotStore::export_metrics(stats::MetricsRegistry& reg,
+                                   std::string_view prefix) const {
+  const std::string p(prefix);
+  reg.add(p + "snapshot.writes", writes_);
+  reg.add(p + "snapshot.written_bytes", written_bytes_);
+  reg.add(p + "snapshot.loads", loads_);
+  reg.add(p + "snapshot.invalid_slots", invalid_slots_);
+  reg.add(p + "snapshot.io_retries", counters_.retries);
+  reg.add(p + "snapshot.io_give_ups", counters_.give_ups);
+}
+
+}  // namespace damkit::wal

@@ -242,7 +242,48 @@ TEST_F(BufferPoolTest, DestructorToleratesCleanEntries) {
   pool.reset();  // clean entries: fine
 }
 
+TEST_F(BufferPoolTest, DiscardAllDropsDirtyStateWithoutWriteback) {
+  // The crash-teardown path: a pool over a dead device must be emptiable
+  // without issuing a single writeback (which would CHECK-abort or spend
+  // simulated IO that never happened).
+  auto pool = make_pool(1000);
+  pool->put(1, std::make_shared<Obj>(1), 100, true);
+  pool->put(2, std::make_shared<Obj>(2), 100, true);
+  pool->put(3, std::make_shared<Obj>(3), 100, false);
+  pool->discard_all();
+  EXPECT_TRUE(written_.empty());
+  EXPECT_FALSE(pool->contains(1));
+  EXPECT_FALSE(pool->contains(2));
+  EXPECT_FALSE(pool->contains(3));
+  EXPECT_EQ(pool->charged_bytes(), 0u);
+  // And the destructor's dirty-entry abort no longer fires.
+  pool.reset();
+}
+
+TEST_F(BufferPoolTest, DiscardAllAfterFailedWritebackIsClean) {
+  // Entries kept resident because their writeback failed (the deferred
+  // set) are exactly what discard_all must be able to drop post-crash.
+  bool fail = true;
+  auto pool = std::make_unique<BufferPool>(1000, [&fail](uint64_t, void*) {
+    return fail ? Status::unavailable("dead device") : Status();
+  });
+  pool->put(1, std::make_shared<Obj>(1), 100, true);
+  EXPECT_FALSE(pool->flush_all().ok());
+  pool->discard_all();
+  pool.reset();
+}
+
 using BufferPoolDeathTest = BufferPoolTest;
+
+TEST_F(BufferPoolDeathTest, DiscardAllWithPinnedEntryAborts) {
+  auto pool = make_pool(1000);
+  auto held = std::make_shared<Obj>(1);
+  pool->put(1, held, 100, true);
+  EXPECT_DEATH(pool->discard_all(), "pinned");
+  // The death ran in a forked child; clean up the parent's dirty entry.
+  held.reset();
+  pool->discard_all();
+}
 
 TEST_F(BufferPoolDeathTest, PinnedSetOverBudgetAborts) {
   auto pool = make_pool(100);

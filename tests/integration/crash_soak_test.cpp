@@ -1,0 +1,148 @@
+// The crash-consistency differential: for every engine (five trees plus a
+// 4-shard ShardedEngine) behind wal::DurableEngine, crash the device at a
+// seeded checked-IO point mid-workload, recover from device bytes twice
+// (bit-equal both times), resume the remaining stream, and require the
+// final state digest to equal an uncrashed reference run's — for EVERY
+// crash point. The default test sweeps a fast subset; the exhaustive
+// every-k-th-IO × seeds sweep is DISABLED_ and runs via
+// --gtest_also_run_disabled_tests in the CI crash-soak job.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/crash.h"
+#include "kv/engine.h"
+#include "kv/sharded_engine.h"
+#include "sim/device.h"
+#include "util/bytes.h"
+
+namespace damkit {
+namespace {
+
+kv::EngineConfig small_config() {
+  kv::EngineConfig cfg;
+  cfg.btree.node_bytes = 16 * kKiB;
+  cfg.btree.cache_bytes = 256 * kKiB;
+  cfg.betree.node_bytes = 32 * kKiB;
+  cfg.betree.cache_bytes = 256 * kKiB;
+  cfg.lsm.memtable_bytes = 32 * kKiB;
+  cfg.lsm.sstable_target_bytes = 64 * kKiB;
+  cfg.pdam.buffer_bytes = 32 * kKiB;
+  return cfg;
+}
+
+struct EngineUnderTest {
+  std::string name;
+  std::function<std::unique_ptr<kv::Dictionary>(sim::Device&,
+                                                sim::IoContext&)>
+      factory;
+};
+
+std::vector<EngineUnderTest> engines_under_test() {
+  std::vector<EngineUnderTest> engines;
+  for (const kv::EngineKind kind : kv::kAllEngineKinds) {
+    engines.push_back({std::string(kv::engine_kind_name(kind)),
+                       [kind](sim::Device& dev, sim::IoContext& io) {
+                         return kv::make_engine(kind, dev, io, small_config());
+                       }});
+  }
+  engines.push_back({"sharded-btree",
+                     [](sim::Device& dev, sim::IoContext& io) {
+                       kv::ShardedConfig sharded;
+                       sharded.shards = 4;
+                       return kv::make_sharded_engine(kv::EngineKind::kBTree,
+                                                      dev, io, small_config(),
+                                                      sharded);
+                     }});
+  return engines;
+}
+
+harness::CrashCycleSpec base_spec(const EngineUnderTest& engine,
+                                  uint64_t seed) {
+  harness::CrashCycleSpec spec;
+  spec.make_engine = engine.factory;
+  spec.workload.key_space = 2000;
+  spec.workload.value_bytes = 56;
+  spec.workload.get_weight = 0.25;
+  spec.workload.put_weight = 0.40;
+  spec.workload.delete_weight = 0.10;
+  spec.workload.scan_weight = 0.05;
+  spec.workload.upsert_weight = 0.20;
+  spec.workload.scan_length = 30;
+  spec.workload.seed = seed;
+  spec.bulk_items = 800;
+  spec.ops = 2000;
+  // Periodic checkpoints so crash points land inside checkpoints too.
+  spec.checkpoint_every_ops = 500;
+  spec.fault_seed = seed * 7919 + 1;
+  return spec;
+}
+
+void check_cycle(const harness::CrashCycleReport& report,
+                 const std::string& label) {
+  EXPECT_TRUE(report.crashed) << label << ": crash point never fired";
+  EXPECT_EQ(report.recovered_digest, report.rerecovered_digest)
+      << label << ": double recovery diverged (recovery is not idempotent)";
+  EXPECT_LE(report.durable_mutations, report.mutations_total) << label;
+  EXPECT_EQ(report.final_digest, report.reference_digest)
+      << label << ": recovered+resumed state differs from the uncrashed "
+      << "reference (durable prefix broken; durable_mutations="
+      << report.durable_mutations << " of " << report.mutations_total << ")";
+}
+
+// Crash points spread across the run, derived from a clean probe of the
+// post-setup checked-IO count so they track workload/engine IO volume.
+std::vector<uint64_t> sweep_points(uint64_t span, size_t count) {
+  std::vector<uint64_t> points;
+  for (size_t i = 1; i <= count; ++i) {
+    const uint64_t at = span * i / (count + 1);
+    points.push_back(at == 0 ? 1 : at);
+  }
+  return points;
+}
+
+void run_sweep(uint64_t seed, size_t crash_points) {
+  for (const EngineUnderTest& engine : engines_under_test()) {
+    harness::CrashCycleSpec spec = base_spec(engine, seed);
+    const uint64_t reference = harness::reference_state_digest(spec);
+
+    // Probe: same spec, no crash — measures the IO span and doubles as the
+    // WAL-wrapper transparency check against the unwrapped reference.
+    const harness::CrashCycleReport probe =
+        harness::run_crash_cycle(spec, reference);
+    ASSERT_FALSE(probe.crashed) << engine.name;
+    EXPECT_EQ(probe.final_digest, reference)
+        << engine.name << ": the WAL wrapper changed observable data";
+    ASSERT_GT(probe.post_setup_ios, 1u) << engine.name;
+
+    for (const uint64_t at : sweep_points(probe.post_setup_ios, crash_points)) {
+      spec.crash_after_ios = at;
+      const harness::CrashCycleReport report =
+          harness::run_crash_cycle(spec, reference);
+      check_cycle(report, engine.name + " seed=" + std::to_string(seed) +
+                              " crash_at=" + std::to_string(at));
+    }
+  }
+}
+
+// Fast subset: every engine, one seed, four crash points spread across
+// the run. Keeps the default ctest lane quick while still exercising
+// crash-in-commit, crash-in-checkpoint, and crash-in-tree-IO windows.
+TEST(CrashSoakTest, RecoveredStateMatchesReferenceAcrossEngines) {
+  run_sweep(/*seed=*/2026, /*crash_points=*/4);
+}
+
+// The exhaustive sweep behind the crash-soak CI job:
+//   3 seeds x 8 crash points x (5 engines + sharded) = 144 crash cycles.
+// Run with: ctest -R CrashSoak --gtest_also_run_disabled_tests, or invoke
+// the test binary with --gtest_also_run_disabled_tests.
+TEST(CrashSoakTest, DISABLED_FullCrashPointSweep) {
+  for (const uint64_t seed : {2026u, 4051u, 8101u}) {
+    run_sweep(seed, /*crash_points=*/8);
+  }
+}
+
+}  // namespace
+}  // namespace damkit

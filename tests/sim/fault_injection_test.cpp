@@ -244,6 +244,115 @@ TEST(FaultInjectionTest, ExportsFaultCounters) {
   EXPECT_GT(dev.fault_stats().injected_errors(), 0u);
 }
 
+TEST(FaultInjectionTest, CrashPointFiresAtExactlyTheArmedIo) {
+  SsdDevice inner(testbed_ssd_profile());
+  FaultInjectingDevice dev(inner, FaultConfig{});  // zero rates: crash only
+  IoContext io(dev);
+  std::vector<uint8_t> buf(kIo, 0x5a);
+  dev.set_crash_at(4);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(io.write_checked((i - 1) * kIo, buf).ok()) << i;
+  }
+  EXPECT_FALSE(dev.crashed());
+  // The 4th checked IO is a write: it dies kCorruption with a torn prefix.
+  const Status s = io.write_checked(3 * kIo, buf);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_TRUE(dev.crashed());
+  EXPECT_EQ(dev.fault_stats().crashes, 1u);
+  // Every later checked IO is refused until reboot, reads included.
+  EXPECT_EQ(io.read_checked(0, buf).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(io.write_checked(0, buf).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(dev.fault_stats().post_crash_rejections, 2u);
+
+  dev.reboot();
+  EXPECT_FALSE(dev.crashed());
+  EXPECT_TRUE(io.write_checked(3 * kIo, buf).ok());
+  // The first three writes survived the crash on the media.
+  std::vector<uint8_t> out(kIo);
+  dev.read_bytes(0, out);
+  EXPECT_EQ(out, buf);
+}
+
+TEST(FaultInjectionTest, CrashOnReadIsUnavailableAndLeavesMediaIntact) {
+  SsdDevice inner(testbed_ssd_profile());
+  FaultInjectingDevice dev(inner, FaultConfig{});
+  IoContext io(dev);
+  std::vector<uint8_t> buf(kIo, 0x17);
+  ASSERT_TRUE(io.write_checked(0, buf).ok());
+  dev.crash_after(0);
+  std::vector<uint8_t> out(kIo, 0);
+  const Status s = io.read_checked(0, out);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(dev.crashed());
+  dev.reboot();
+  ASSERT_TRUE(io.read_checked(0, out).ok());
+  EXPECT_EQ(out, buf);
+}
+
+TEST(FaultInjectionTest, CrashTornWriteIsDeterministicPerSeed) {
+  const auto crashed_media = [](uint64_t seed) {
+    SsdDevice inner(testbed_ssd_profile());
+    FaultConfig cfg;
+    cfg.seed = seed;
+    FaultInjectingDevice dev(inner, cfg);
+    IoContext io(dev);
+    std::vector<uint8_t> ones(kIo, 0xFF);
+    dev.set_crash_at(1);
+    EXPECT_FALSE(io.write_checked(0, ones).ok());
+    std::vector<uint8_t> media(kIo);
+    dev.read_bytes(0, media);
+    return media;
+  };
+  EXPECT_EQ(crashed_media(42), crashed_media(42));
+  // The torn prefix is a STRICT prefix: some tail bytes never land.
+  const std::vector<uint8_t> media = crashed_media(42);
+  size_t landed = 0;
+  while (landed < media.size() && media[landed] == 0xFF) ++landed;
+  EXPECT_LT(landed, media.size());
+  for (size_t i = landed; i < media.size(); ++i) {
+    EXPECT_EQ(media[i], 0u) << i;
+  }
+}
+
+TEST(FaultInjectionTest, ArmingACrashDoesNotPerturbFaultSchedules) {
+  // The crash check consumes no randomness: the probabilistic fault
+  // pattern before the crash point must be identical with and without an
+  // armed crash.
+  SsdDevice inner_a(testbed_ssd_profile());
+  SsdDevice inner_b(testbed_ssd_profile());
+  FaultInjectingDevice a(inner_a, all_faults(77, 0.25));
+  FaultInjectingDevice b(inner_b, all_faults(77, 0.25));
+  b.set_crash_at(151);
+  const auto codes_a = run_schedule(a, 150);
+  const auto codes_b = run_schedule(b, 150);
+  EXPECT_EQ(codes_a, codes_b);
+  EXPECT_FALSE(b.crashed());
+}
+
+TEST(FaultInjectionTest, ExportsCrashCounters) {
+  SsdDevice inner(testbed_ssd_profile());
+  FaultInjectingDevice dev(inner, FaultConfig{});
+  IoContext io(dev);
+  std::vector<uint8_t> buf(kIo);
+  dev.crash_after(0);
+  EXPECT_FALSE(io.write_checked(0, buf).ok());
+  EXPECT_FALSE(io.read_checked(0, buf).ok());
+  stats::MetricsRegistry reg;
+  dev.export_metrics(reg, "dev.");
+  EXPECT_EQ(reg.counter("dev.faults.crashes"), 1u);
+  EXPECT_EQ(reg.counter("dev.faults.post_crash_rejections"), 1u);
+}
+
+TEST(FaultInjectionDeathTest, RejectsCrashPointInThePast) {
+  SsdDevice inner(testbed_ssd_profile());
+  FaultInjectingDevice dev(inner, FaultConfig{});
+  IoContext io(dev);
+  std::vector<uint8_t> buf(kIo);
+  ASSERT_TRUE(io.write_checked(0, buf).ok());
+  EXPECT_DEATH(dev.set_crash_at(1), "crash");
+}
+
 TEST(FaultInjectionDeathTest, RejectsOutOfRangeRates) {
   SsdDevice inner(testbed_ssd_profile());
   FaultConfig cfg;

@@ -33,7 +33,13 @@ int usage() {
       "                 [--device hdd|ssd|hdd:IDX|ssd:IDX] [--ops N]\n"
       "                 [--json FILE] [--trace FILE]\n"
       "                 [--fault-seed SEED] [--fault-rate R]\n"
-      "                 [--clients K] [--inflight D]");
+      "                 [--clients K] [--inflight D]\n"
+      "                 [--wal] [--crash-at IO]\n"
+      "\n"
+      "  --wal wraps the engine in the write-ahead log + snapshot layer\n"
+      "  (crash-consistent durability; off by default). --crash-at N kills\n"
+      "  the device at its N-th checked IO, then reboots and recovers —\n"
+      "  requires --wal, incompatible with --clients > 1.");
   return 2;
 }
 
@@ -210,6 +216,8 @@ int cmd_metrics(int argc, char** argv) {
   double fault_rate = 0.01;
   uint64_t clients = 1;  // > 1 serves through the concurrent scheduler
   uint64_t inflight = 4;
+  bool use_wal = false;   // wrap the engine in the durability layer
+  uint64_t crash_at = 0;  // kill the device at this checked IO (0 = never)
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_next = i + 1 < argc;
@@ -244,22 +252,35 @@ int cmd_metrics(int argc, char** argv) {
     } else if (arg == "--inflight" && has_next) {
       inflight = std::strtoull(argv[++i], nullptr, 10);
       if (inflight == 0) return usage();
+    } else if (arg == "--wal") {
+      use_wal = true;
+    } else if (arg == "--crash-at" && has_next) {
+      crash_at = std::strtoull(argv[++i], nullptr, 10);
+      if (crash_at == 0) return usage();
     } else {
       return usage();
     }
   }
+  // A crash demo without the durability layer has nothing to recover, and
+  // the concurrent scheduler drives ops from worker threads the (single
+  // LSN stream) WAL wrapper does not serialize.
+  if (crash_at != 0 && !use_wal) return usage();
+  if (use_wal && clients > 1) return usage();
   std::unique_ptr<sim::Device> inner = make_device(device_spec);
   if (inner == nullptr || ops == 0) return usage();
   if (fault_rate < 0.0 || fault_rate > 1.0) return usage();
 
   std::unique_ptr<sim::FaultInjectingDevice> faulty;
-  if (fault_seed != 0) {
+  if (fault_seed != 0 || crash_at != 0) {
     sim::FaultConfig fcfg;
-    fcfg.seed = fault_seed;
-    fcfg.read_error_rate = fault_rate;
-    fcfg.write_error_rate = fault_rate;
-    fcfg.torn_write_rate = fault_rate / 4.0;
-    fcfg.latency_spike_rate = fault_rate;
+    fcfg.seed = fault_seed != 0 ? fault_seed : 1;
+    if (fault_seed != 0) {
+      fcfg.read_error_rate = fault_rate;
+      fcfg.write_error_rate = fault_rate;
+      fcfg.torn_write_rate = fault_rate / 4.0;
+      fcfg.latency_spike_rate = fault_rate;
+    }
+    fcfg.crash_at_io = crash_at;
     faulty = std::make_unique<sim::FaultInjectingDevice>(*inner, fcfg);
   }
   sim::Device& dev = (faulty != nullptr)
@@ -276,8 +297,15 @@ int cmd_metrics(int argc, char** argv) {
   config.codec = codec;
   kv::ShardedConfig sharded;
   sharded.shards = shards;
-  const std::unique_ptr<kv::Dictionary> tree =
-      kv::make_sharded_engine(kind, dev, io, config, sharded);
+  const auto make_inner = [&]() {
+    return kv::make_sharded_engine(kind, dev, io, config, sharded);
+  };
+  wal::DurabilityConfig durability;
+  std::unique_ptr<kv::Dictionary> tree = make_inner();
+  if (use_wal) {
+    durability = wal::default_durability_config(inner->capacity_bytes());
+    tree = wal::make_durable(std::move(tree), dev, io, durability);
+  }
   tree->set_event_trace(&events);
 
   uint64_t get_hits = 0;
@@ -329,15 +357,48 @@ int cmd_metrics(int argc, char** argv) {
     spec.scans = 1;
     spec.scan_limit = 100;
     spec.fallible = true;
-    spec.tolerate_failures = fault_seed != 0;
+    spec.tolerate_failures = faulty != nullptr;
     const harness::PutGetResult run = harness::run_put_get(*tree, spec);
     get_hits = run.get_hits;
     failed_ops = run.failed_ops;
   }
-  // The checkpoint must land before the tree is destroyed (the destructor
-  // treats dirty state as a programming error); under injected faults a
-  // give-up is retried with fresh draws.
-  DAMKIT_CHECK_OK(harness::checkpoint_with_retries(*tree, 100));
+  // The armed crash can fire during the workload or inside the final
+  // checkpoint below; either way the recovery path is the same.
+  bool crashed = faulty != nullptr && faulty->crashed();
+  if (!crashed) {
+    const Status ckpt = harness::checkpoint_with_retries(*tree, 100);
+    crashed = faulty != nullptr && faulty->crashed();
+    if (!crashed) DAMKIT_CHECK_OK(ckpt);
+  }
+  if (crashed) {
+    // The armed crash fired: drop the dead in-memory state, reboot the
+    // device, and rebuild from the durable bytes alone — the same path
+    // the crash-soak harness exercises.
+    std::printf("crash: device died at checked IO %llu; rebooting and "
+                "recovering from WAL + snapshot ...\n",
+                static_cast<unsigned long long>(crash_at));
+    tree->abandon();
+    tree.reset();
+    faulty->reboot();
+    wal::RecoveryReport report;
+    auto recovered =
+        wal::DurableEngine::recover(make_inner, dev, io, durability, &report);
+    DAMKIT_CHECK(recovered.ok());
+    tree = std::move(*recovered);
+    std::printf("recovery: %llu snapshot entries (lsn %llu), %llu WAL "
+                "records replayed, durable lsn %llu, torn tail %s, "
+                "%llu stale records\n",
+                static_cast<unsigned long long>(report.snapshot_entries),
+                static_cast<unsigned long long>(report.snapshot_lsn),
+                static_cast<unsigned long long>(report.replayed_records),
+                static_cast<unsigned long long>(report.durable_lsn),
+                report.torn_tail ? "yes" : "no",
+                static_cast<unsigned long long>(report.stale_records));
+    // The checkpoint must land before the tree is destroyed (the
+    // destructor treats dirty state as a programming error); the device
+    // is healthy again after reboot().
+    DAMKIT_CHECK_OK(harness::checkpoint_with_retries(*tree, 100));
+  }
 
   stats::MetricsRegistry reg;
   dev.export_metrics(reg, "device.");
