@@ -10,6 +10,7 @@
 #include <string>
 
 #include "blockdev/codec.h"
+#include "sim/ssd.h"
 #include "stats/metrics.h"
 
 namespace damkit::bench {
@@ -34,6 +35,20 @@ struct BenchArgs {
   uint64_t clients = 1;
   /// Per-client admission depth for the serving layer.
   uint64_t inflight = 4;
+  /// NVMe submission-queue depth override for MQ-device benches
+  /// (--queue-depth; 0 keeps the device profile's default).
+  int queue_depth = 0;
+  /// Completion-mode override for MQ-device benches (--completion-mode
+  /// polling|interrupt; unset keeps the profile's default).
+  bool has_completion_mode = false;
+  sim::CompletionMode completion_mode = sim::CompletionMode::kInterrupt;
+
+  /// Applies the MQ overrides to an SSD profile.
+  sim::SsdConfig apply_mq_overrides(sim::SsdConfig cfg) const {
+    if (queue_depth > 0) cfg.queue_depth = queue_depth;
+    if (has_completion_mode) cfg.completion_mode = completion_mode;
+    return cfg;
+  }
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -63,11 +78,30 @@ inline BenchArgs parse_args(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--inflight") == 0 && i + 1 < argc) {
       args.inflight = std::strtoull(argv[++i], nullptr, 10);
       if (args.inflight < 1) args.inflight = 1;
+    } else if (std::strcmp(argv[i], "--queue-depth") == 0 && i + 1 < argc) {
+      args.queue_depth = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (args.queue_depth < 1) {
+        std::fprintf(stderr, "--queue-depth wants a positive integer\n");
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--completion-mode") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "polling") == 0) {
+        args.completion_mode = sim::CompletionMode::kPolling;
+      } else if (std::strcmp(mode, "interrupt") == 0) {
+        args.completion_mode = sim::CompletionMode::kInterrupt;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --completion-mode (want polling|interrupt)\n");
+        std::exit(2);
+      }
+      args.has_completion_mode = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--quick] [--seed N] [--csv-prefix P] [--threads N] "
           "[--metrics-json FILE] [--codec identity|prefix|lz] "
-          "[--clients K] [--inflight D]\n",
+          "[--clients K] [--inflight D] [--queue-depth N] "
+          "[--completion-mode polling|interrupt]\n",
           argv[0]);
       std::exit(0);
     }

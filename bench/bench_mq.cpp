@@ -1,0 +1,191 @@
+// BENCH_mq: where the PDAM mispredicts a multi-queue NVMe device and the
+// MQ refinement corrects it.
+//
+// The §4.1 protocol (q closed-loop clients, fixed IOs each, per-client
+// time ratio vs q = 1) is run against sim::MqSsdDevice on the MQ testbed
+// profile, then read through both models:
+//
+//   * the PDAM's segmented refit finds a breakpoint P̂ and predicts the
+//     ratio max(1, q/P̂) — flat until the knee. On this device per-IO
+//     latency grows linearly from the FIRST added client (the inflight
+//     penalty), so the flat segment is wrong across the whole mid-range;
+//   * the MQ model's linear latency law lat(q) = l0 + β(q−1) with a flash
+//     ceiling tracks the same sweep closely.
+//
+// CI gates this snapshot (BENCH_mq.json) three ways:
+//   1. regression — mq.q<q>.sim_seconds vs bench/baselines/
+//      BENCH_mq_baseline.json;
+//   2. model consistency — mq_measured_ratio.q<q> must agree with
+//      mq_predicted_ratio.q<q> within 20% via check_bench_regression.py,
+//      with the gauge families pinned by BENCH_mq_manifest.json so the
+//      pairs cannot silently vanish;
+//   3. the in-binary gates below: every MQ prediction within 20%, and at
+//      least one regime where the PDAM's prediction is off by more than
+//      35% (the demonstration this bench exists for). The PDAM error is
+//      exported as pdam_mispredict.q<q> — deliberately NOT under the
+//      pdam_predicted_ratio.* family, which the checker treats as a gate.
+//
+// A GC rider shows the second failure mode: seeded die-level garbage
+// collection stretches the same workload's makespan while both models,
+// fitted on a quiet device, predict no change (gc_demo.* gauges).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "damkit.h"
+
+namespace {
+
+using namespace damkit;
+
+constexpr double kMqTolerance = 0.20;
+constexpr double kPdamTolerance = 0.35;
+
+double pdam_predicted_ratio(double p_hat, double q) {
+  return std::max(1.0, q / std::max(1.0, p_hat));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  if (args.metrics_json.empty()) args.metrics_json = "BENCH_mq.json";
+  bench::banner("PDAM vs MQ model on a multi-queue NVMe device",
+                "§4.1 protocol against the MQ refinement (ROADMAP item 2)");
+
+  const sim::SsdConfig profile =
+      args.apply_mq_overrides(sim::testbed_mq_profile());
+  std::printf("device: %s, %d SQ/CQ pairs, depth %d, %s completions\n",
+              profile.name.c_str(), profile.queue_pairs, profile.queue_depth,
+              sim::completion_mode_name(profile.completion_mode));
+
+  harness::MqExperimentConfig cfg;
+  cfg.client_counts = {1, 2, 4, 8, 16, 32, 64};
+  cfg.ios_per_client = args.quick ? 512 : 2048;
+  cfg.io_bytes = 16 * 1024;
+  cfg.seed = args.seed;
+  cfg.threads = args.threads;
+  const harness::MqExperimentResult res = harness::run_mq_experiment(profile,
+                                                                     cfg);
+
+  stats::MetricsRegistry reg;
+  reg.set("mq_fit.l0_us", res.fit.l0_s * 1e6);
+  reg.set("mq_fit.beta_us", res.fit.beta_s * 1e6);
+  reg.set("mq_fit.saturated_kiops", res.fit.saturated_iops / 1e3);
+  reg.set("mq_fit.r2", res.fit.r2);
+  reg.set("pdam_fit.p", res.pdam_fit.p);
+  reg.set("pdam_fit.r2", res.pdam_fit.r2);
+
+  const model::MqModel mq(res.fit.l0_s, res.fit.beta_s, res.fit.saturated_iops,
+                          cfg.io_bytes);
+  const double t1 = res.samples[0].seconds;
+
+  int failures = 0;
+  double worst_pdam_err = 0.0;
+  double worst_mq_err = 0.0;
+  Table table({"clients", "sim_seconds", "measured_x", "mq_x", "pdam_x",
+               "pdam_err"});
+  for (const harness::MqSample& s : res.samples) {
+    const double q = static_cast<double>(s.clients);
+    const double measured = s.seconds / t1;
+    const double mq_predicted = mq.predicted_ratio(q);
+    const double pdam_predicted = pdam_predicted_ratio(res.pdam_fit.p, q);
+    const double mq_err = std::abs(mq_predicted - measured) / measured;
+    const double pdam_err = std::abs(pdam_predicted - measured) / measured;
+    worst_mq_err = std::max(worst_mq_err, mq_err);
+    worst_pdam_err = std::max(worst_pdam_err, pdam_err);
+
+    const std::string suffix = strfmt("q%d", s.clients);
+    reg.set(strfmt("mq.q%d.sim_seconds", s.clients), s.seconds);
+    reg.set(strfmt("mq.q%d.throughput_kiops", s.clients),
+            static_cast<double>(s.total_ios) / s.seconds / 1e3);
+    reg.set("mq_measured_ratio." + suffix, measured);
+    reg.set("mq_predicted_ratio." + suffix, mq_predicted);
+    // Informational: how far the PDAM's best reading of this device is
+    // from the truth. NOT exported as pdam_predicted_ratio.* — that
+    // family is a consistency gate, and here the inconsistency is the
+    // result.
+    reg.set("pdam_mispredict." + suffix, pdam_err);
+
+    if (mq_err > kMqTolerance) {
+      std::fprintf(stderr,
+                   "FAIL %s: MQ model %.2fx vs measured %.2fx "
+                   "(%.0f%% > %.0f%%)\n",
+                   suffix.c_str(), mq_predicted, measured, mq_err * 100.0,
+                   kMqTolerance * 100.0);
+      ++failures;
+    }
+    table.add_row({strfmt("%d", s.clients), strfmt("%.4f", s.seconds),
+                   strfmt("%.2f", measured), strfmt("%.2f", mq_predicted),
+                   strfmt("%.2f", pdam_predicted),
+                   strfmt("%.0f%%", pdam_err * 100.0)});
+  }
+
+  // The demonstration gate: somewhere in the sweep the PDAM must be off by
+  // more than its own consistency tolerance while the MQ model tracks.
+  if (worst_pdam_err <= kPdamTolerance) {
+    std::fprintf(stderr,
+                 "FAIL: PDAM worst error %.0f%% never exceeds %.0f%% — "
+                 "no misprediction regime to demonstrate\n",
+                 worst_pdam_err * 100.0, kPdamTolerance * 100.0);
+    ++failures;
+  }
+
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "fits: MQ l0=%.0fus beta=%.1fus sat=%.1fk IOPS (r2=%.4f); "
+      "PDAM P̂=%.1f (r2=%.4f)\n",
+      res.fit.l0_s * 1e6, res.fit.beta_s * 1e6, res.fit.saturated_iops / 1e3,
+      res.fit.r2, res.pdam_fit.p, res.pdam_fit.r2);
+  std::printf("worst model error over the sweep: MQ %.0f%%, PDAM %.0f%%\n",
+              worst_mq_err * 100.0, worst_pdam_err * 100.0);
+
+  // GC rider: the same q = 8 round on a device running background die-level
+  // garbage collection. Both models were fitted on the quiet device, so
+  // their prediction for this round is unchanged — the measured slowdown is
+  // pure unmodeled tail.
+  {
+    sim::ClosedLoopConfig cl;
+    cl.clients = 8;
+    cl.ios_per_client = cfg.ios_per_client;
+    cl.io_bytes = cfg.io_bytes;
+    cl.seed = cfg.seed + 8;
+
+    sim::MqSsdDevice quiet(profile);
+    const sim::ClosedLoopResult quiet_run = sim::run_closed_loop(quiet, cl);
+
+    sim::SsdConfig gc_profile = profile;
+    gc_profile.gc_interval_s = 20e-3;
+    gc_profile.gc_burst_s = 2e-3;  // 10% of die time to background GC
+    sim::MqSsdDevice busy(gc_profile);
+    const sim::ClosedLoopResult gc_run = sim::run_closed_loop(busy, cl);
+
+    const double slowdown = sim::to_seconds(gc_run.makespan) /
+                            sim::to_seconds(quiet_run.makespan);
+    reg.set("gc_demo.slowdown", slowdown);
+    reg.set("gc_demo.bursts", static_cast<double>(busy.gc_bursts()));
+    reg.set("gc_demo.stolen_seconds", busy.gc_stolen_seconds());
+    busy.export_metrics(reg, "gc_demo.dev.");
+    std::printf(
+        "gc rider (q=8): %.3fx slowdown from %llu bursts stealing %.3fs "
+        "of die time (both models predict 1.000x)\n",
+        slowdown, static_cast<unsigned long long>(busy.gc_bursts()),
+        busy.gc_stolen_seconds());
+    if (slowdown <= 1.0) {
+      std::fprintf(stderr,
+                   "FAIL gc rider: expected a measurable slowdown, got "
+                   "%.4fx\n",
+                   slowdown);
+      ++failures;
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d gate failure(s)\n", failures);
+  }
+  const bool wrote = bench::write_metrics_json(reg, args.metrics_json);
+  return (wrote && failures == 0) ? 0 : 1;
+}

@@ -30,6 +30,7 @@
 #include "lsm/sstable.h"               // IWYU pragma: export
 #include "model/affine.h"              // IWYU pragma: export
 #include "model/dam.h"                 // IWYU pragma: export
+#include "model/mq.h"                  // IWYU pragma: export
 #include "model/optimize.h"            // IWYU pragma: export
 #include "model/pdam.h"                // IWYU pragma: export
 #include "model/tree_costs.h"          // IWYU pragma: export
@@ -43,6 +44,7 @@
 #include "sim/device.h"                // IWYU pragma: export
 #include "sim/fault_injection.h"       // IWYU pragma: export
 #include "sim/hdd.h"                   // IWYU pragma: export
+#include "sim/mq_ssd.h"                // IWYU pragma: export
 #include "sim/profiles.h"              // IWYU pragma: export
 #include "sim/scheduler.h"             // IWYU pragma: export
 #include "sim/ssd.h"                   // IWYU pragma: export

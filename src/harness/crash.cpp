@@ -57,8 +57,18 @@ uint64_t state_digest(kv::Dictionary& dict) {
   return h;
 }
 
+namespace {
+
+std::unique_ptr<sim::Device> make_cycle_device(const CrashCycleSpec& spec) {
+  if (spec.make_device) return spec.make_device();
+  return std::make_unique<sim::SsdDevice>(sim::testbed_ssd_profile());
+}
+
+}  // namespace
+
 uint64_t reference_state_digest(const CrashCycleSpec& spec) {
-  sim::SsdDevice dev(sim::testbed_ssd_profile());
+  const std::unique_ptr<sim::Device> dev_holder = make_cycle_device(spec);
+  sim::Device& dev = *dev_holder;
   sim::IoContext io(dev);
   const std::unique_ptr<kv::Dictionary> dict = spec.make_engine(dev, io);
   bulk_load_items(*dict, spec.bulk_items, spec.workload);
@@ -79,10 +89,10 @@ CrashCycleReport run_crash_cycle(const CrashCycleSpec& spec,
   report.reference_digest = reference_digest;
   report.mutations_total = count_mutations(spec.workload, spec.ops);
 
-  sim::SsdDevice inner_dev(sim::testbed_ssd_profile());
+  const std::unique_ptr<sim::Device> inner_dev = make_cycle_device(spec);
   sim::FaultConfig faults;  // zero rates: the crash is the only fault
   faults.seed = spec.fault_seed;
-  sim::FaultInjectingDevice dev(inner_dev, faults);
+  sim::FaultInjectingDevice dev(*inner_dev, faults);
   sim::IoContext io(dev);
   const wal::DurabilityConfig dcfg = spec.durability.value_or(
       wal::default_durability_config(dev.capacity_bytes()));

@@ -28,6 +28,12 @@ struct CrashCycleSpec {
   /// for the crashed run and once per recovery.
   std::function<std::unique_ptr<kv::Dictionary>(sim::Device&, sim::IoContext&)>
       make_engine;
+  /// Builds the underlying simulated device (reference run, and the inner
+  /// device the fault injector wraps in the crashed run). Defaults to
+  /// SsdDevice(testbed_ssd_profile()); the crash soak also sweeps
+  /// MqSsdDevice — device models change timing, never payload semantics,
+  /// so every digest must be identical either way.
+  std::function<std::unique_ptr<sim::Device>()> make_device;
   kv::WorkloadSpec workload;
   uint64_t bulk_items = 1500;
   uint64_t ops = 2000;

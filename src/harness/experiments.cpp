@@ -10,6 +10,7 @@
 #include "kv/slice.h"
 #include "kv/workload.h"
 #include "sim/closed_loop.h"
+#include "sim/mq_ssd.h"
 #include "util/bytes.h"
 
 namespace damkit::harness {
@@ -70,6 +71,33 @@ PdamExperimentResult run_pdam_experiment(const sim::SsdConfig& ssd,
     result.samples[i] = sample;
   });
   result.fit = fit_pdam(result.samples);
+  return result;
+}
+
+MqExperimentResult run_mq_experiment(const sim::SsdConfig& ssd,
+                                     MqExperimentConfig config) {
+  MqExperimentResult result;
+  result.samples.resize(config.client_counts.size());
+  result.pdam_samples.resize(config.client_counts.size());
+  parallel_sweep(config.client_counts.size(), config.threads, [&](size_t i) {
+    const int clients = config.client_counts[i];
+    sim::MqSsdDevice dev(ssd);
+    sim::ClosedLoopConfig cl;
+    cl.clients = clients;
+    cl.ios_per_client = config.ios_per_client;
+    cl.io_bytes = config.io_bytes;
+    cl.seed = config.seed + static_cast<uint64_t>(clients);
+    const sim::ClosedLoopResult r = sim::run_closed_loop(dev, cl);
+    MqSample sample;
+    sample.clients = clients;
+    sample.seconds = sim::to_seconds(r.makespan);
+    sample.total_ios = r.total_ios;
+    result.samples[i] = sample;
+    result.pdam_samples[i] = PdamSample{
+        clients, sample.seconds, r.total_bytes};
+  });
+  result.fit = fit_mq(result.samples);
+  result.pdam_fit = fit_pdam(result.pdam_samples);
   return result;
 }
 

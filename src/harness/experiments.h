@@ -61,6 +61,35 @@ PdamExperimentResult run_pdam_experiment(const sim::SsdConfig& ssd,
                                          PdamExperimentConfig config);
 
 // ---------------------------------------------------------------------------
+// MQ refit (ROADMAP item 2): the §4.1 protocol against the multi-queue
+// device, fitted to both models so benches can show where they diverge.
+// ---------------------------------------------------------------------------
+
+struct MqExperimentConfig {
+  std::vector<int> client_counts = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+  uint64_t ios_per_client = 2048;
+  uint64_t io_bytes = 16 * 1024;
+  uint64_t seed = 41;
+  int threads = 1;
+};
+
+struct MqExperimentResult {
+  std::vector<MqSample> samples;
+  MqFit fit;
+  /// The same sweep viewed through the paper's §4.1 methodology: a
+  /// two-segment regression whose breakpoint would be "P". On an MQ
+  /// device the left segment is not flat (lat grows with q from q = 1),
+  /// so this fit is the PDAM's best — and wrong — reading of the device.
+  std::vector<PdamSample> pdam_samples;
+  PdamFit pdam_fit;
+};
+
+/// Runs the closed-loop sweep on a sim::MqSsdDevice built from `ssd`
+/// (which carries the MQ knobs) and fits both models.
+MqExperimentResult run_mq_experiment(const sim::SsdConfig& ssd,
+                                     MqExperimentConfig config);
+
+// ---------------------------------------------------------------------------
 // §7 / Figures 2–3: node-size sweeps for the dictionaries.
 // ---------------------------------------------------------------------------
 

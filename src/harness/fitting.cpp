@@ -1,5 +1,6 @@
 #include "harness/fitting.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/status.h"
@@ -53,6 +54,67 @@ PdamFit fit_pdam(const std::vector<PdamSample>& samples) {
     fit.saturated_mbps =
         static_cast<double>(last.total_bytes) / last.seconds / 1e6;
   }
+  return fit;
+}
+
+MqFit fit_mq(const std::vector<MqSample>& samples) {
+  DAMKIT_CHECK(samples.size() >= 3);
+  MqFit fit;
+  // The ceiling is the best throughput any round achieved; rounds near it
+  // are flash-limited, the rest are latency-limited and carry the linear
+  // lat(q) law.
+  double sat = 0.0;
+  for (const MqSample& s : samples) {
+    DAMKIT_CHECK(s.clients >= 1 && s.seconds > 0.0 && s.total_ios > 0);
+    sat = std::max(sat, static_cast<double>(s.total_ios) / s.seconds);
+  }
+  fit.saturated_iops = sat;
+
+  std::vector<double> x, y;
+  for (const MqSample& s : samples) {
+    const double throughput = static_cast<double>(s.total_ios) / s.seconds;
+    if (throughput >= 0.85 * sat && s.clients > 1) continue;
+    // Effective per-IO time of a q-client closed loop: q · makespan / ios.
+    const double per_io =
+        s.seconds * static_cast<double>(s.clients) /
+        static_cast<double>(s.total_ios);
+    x.push_back(static_cast<double>(s.clients) - 1.0);
+    y.push_back(per_io);
+  }
+  if (x.size() >= 2) {
+    const LinearFit lf = linear_fit(x, y);
+    fit.l0_s = lf.intercept;
+    fit.beta_s = std::max(0.0, lf.slope);
+  } else {
+    // Degenerate sweep (everything at the ceiling): flat latency law.
+    fit.l0_s = y.empty() ? samples.front().seconds *
+                               samples.front().clients /
+                               static_cast<double>(samples.front().total_ios)
+                         : y.front();
+    fit.beta_s = 0.0;
+  }
+  if (fit.l0_s <= 0.0) {
+    fit.l0_s = y.empty() ? 1e-6 : y.front();
+    fit.beta_s = 0.0;
+  }
+
+  // r² of the full model against every sample's per-IO time.
+  double ss_res = 0.0, ss_tot = 0.0, mean = 0.0;
+  std::vector<double> per_io;
+  for (const MqSample& s : samples) {
+    per_io.push_back(s.seconds * static_cast<double>(s.clients) /
+                     static_cast<double>(s.total_ios));
+    mean += per_io.back();
+  }
+  mean /= static_cast<double>(per_io.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double q = static_cast<double>(samples[i].clients);
+    const double predicted =
+        std::max(fit.l0_s + fit.beta_s * (q - 1.0), q / fit.saturated_iops);
+    ss_res += (per_io[i] - predicted) * (per_io[i] - predicted);
+    ss_tot += (per_io[i] - mean) * (per_io[i] - mean);
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
   return fit;
 }
 

@@ -47,4 +47,28 @@ struct PdamFit {
 
 PdamFit fit_pdam(const std::vector<PdamSample>& samples);
 
+/// One point of the MQ sweep: makespan of `clients` closed-loop streams
+/// issuing `total_ios` block IOs in total against a multi-queue device.
+struct MqSample {
+  int clients = 0;
+  double seconds = 0.0;      // makespan
+  uint64_t total_ios = 0;    // IOs completed in this round
+};
+
+/// MQ-model parameters (model::MqModel) recovered from the sweep: the
+/// linear latency law lat(q) = l0 + beta·(q−1) by OLS over the
+/// latency-limited points, plus the flash-side throughput ceiling.
+struct MqFit {
+  double l0_s = 0.0;            // lat(1): base per-IO latency
+  double beta_s = 0.0;          // added latency per outstanding command
+  double saturated_iops = 0.0;  // flash-core ceiling (IOs per second)
+  double r2 = 0.0;              // of the full min(q/lat, sat) model
+};
+
+/// Fits the MQ latency law. Each sample yields an effective per-IO time
+/// seconds·clients/total_ios = max(lat(q), q/sat); points at ≥85% of the
+/// best observed throughput are treated as ceiling-limited and excluded
+/// from the latency OLS (they'd bend the line the ceiling explains).
+MqFit fit_mq(const std::vector<MqSample>& samples);
+
 }  // namespace damkit::harness

@@ -1,0 +1,86 @@
+// The MQ model — the multi-queue refinement of the PDAM (arXiv 2507.06349,
+// ROADMAP item 2). Where the PDAM says "P block IOs per step, flat until
+// the knee", the MQ model says per-IO latency grows *linearly* with total
+// queue depth q,
+//
+//   lat(q) = l0 + beta · (q − 1),
+//
+// so a closed loop of q one-outstanding clients saturates smoothly toward
+// 1/beta IOs per second instead of hitting a sharp knee at P, until the
+// flash core's hard ceiling (saturated_iops) finally binds:
+//
+//   throughput(q) = min( q / lat(q), saturated_iops ).
+//
+// Fitted by harness::fit_mq from the same §4.1-style sweep the PDAM fit
+// uses; bench_mq compares both models' predictions against the simulated
+// multi-queue device.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace damkit::model {
+
+class MqModel {
+ public:
+  /// `base_latency_s` is lat(1) (queue depth one, no contention),
+  /// `depth_slope_s` the added latency per additional outstanding command,
+  /// `saturated_iops` the flash-side ceiling, `block_bytes` the IO size
+  /// the parameters were fitted at.
+  MqModel(double base_latency_s, double depth_slope_s, double saturated_iops,
+          uint64_t block_bytes)
+      : l0_s_(base_latency_s),
+        beta_s_(depth_slope_s),
+        saturated_iops_(saturated_iops),
+        block_bytes_(block_bytes) {
+    DAMKIT_CHECK(base_latency_s > 0.0);
+    DAMKIT_CHECK(depth_slope_s >= 0.0);
+    DAMKIT_CHECK(saturated_iops > 0.0);
+    DAMKIT_CHECK(block_bytes > 0);
+  }
+
+  double base_latency_s() const { return l0_s_; }
+  double depth_slope_s() const { return beta_s_; }
+  double saturated_iops() const { return saturated_iops_; }
+  uint64_t block_bytes() const { return block_bytes_; }
+
+  /// Per-IO latency at total outstanding depth q (the linear MQ law).
+  double latency_s(double q) const {
+    DAMKIT_CHECK(q >= 1.0);
+    return l0_s_ + beta_s_ * (q - 1.0);
+  }
+
+  /// Closed-loop throughput of q one-outstanding clients, IOs per second:
+  /// latency-limited while shallow, flash-ceiling-limited when deep.
+  double throughput_iops(double q) const {
+    return std::min(q / latency_s(q), saturated_iops_);
+  }
+
+  double saturated_bps() const {
+    return saturated_iops_ * static_cast<double>(block_bytes_);
+  }
+
+  /// Predicted seconds for the §4.1 protocol: `clients` closed-loop
+  /// streams, each performing `ios_per_client` block IOs.
+  double predicted_seconds(double clients, uint64_t ios_per_client) const {
+    return static_cast<double>(ios_per_client) * clients /
+           throughput_iops(clients);
+  }
+
+  /// Per-client time ratio vs the single-client run — the normalized curve
+  /// bench_mq gates. The PDAM predicts max(1, clients/P) (flat, then
+  /// linear); the MQ model predicts a smooth rise from q = 1 on.
+  double predicted_ratio(double clients) const {
+    return predicted_seconds(clients, 1) / predicted_seconds(1.0, 1);
+  }
+
+ private:
+  double l0_s_;
+  double beta_s_;
+  double saturated_iops_;
+  uint64_t block_bytes_;
+};
+
+}  // namespace damkit::model

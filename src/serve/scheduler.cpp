@@ -153,7 +153,11 @@ void replay(const std::vector<OpRecord>& records, const ServeConfig& config,
     for (auto& q : lane_queues) q.clear();
     for (const size_t id : runnable) {
       const IoStage& stage = records[id].chain.stages[state[id].next_stage];
-      for (const sim::IoRequest& req : stage.ios) {
+      for (sim::IoRequest req : stage.ios) {
+        // Per-client session → device queue pair: the owning client's id
+        // rides on the request, so a multi-queue device lands each
+        // session on its own SQ/CQ pair instead of one shared SQ.
+        req.queue = static_cast<uint32_t>(id % k);
         const size_t lane =
             config.lane_of ? config.lane_of(req.offset) % config.lanes : 0;
         lane_queues[lane].emplace_back(req, id);

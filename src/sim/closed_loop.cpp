@@ -48,8 +48,12 @@ ClosedLoopResult run_closed_loop(
     const uint64_t offset = next_offset(p.client, rng);
     DAMKIT_CHECK_MSG(offset + config.io_bytes <= dev.capacity_bytes(),
                      "offset generator out of range");
+    // Each client owns its queue-pair tag: multi-queue devices route the
+    // IO onto the client's SQ/CQ pair, single-queue devices ignore it.
     const IoCompletion c =
-        dev.submit({config.kind, offset, config.io_bytes}, p.issue_at);
+        dev.submit({config.kind, offset, config.io_bytes,
+                    static_cast<uint32_t>(p.client)},
+                   p.issue_at);
 
     result.latency.record(c.latency(p.issue_at));
     result.makespan = std::max(result.makespan, c.finish);

@@ -49,11 +49,15 @@ enum class SchedPolicy : uint8_t { kFifo, kSstf, kScan };
 
 const char* sched_policy_name(SchedPolicy p);
 
-/// A single device IO: a contiguous byte range.
+/// A single device IO: a contiguous byte range. `queue` names the NVMe
+/// submission/completion queue pair carrying the request; devices without
+/// per-client queues (HDD, plain SSD) ignore it, `MqSsdDevice` routes on
+/// it (mod its configured queue_pairs).
 struct IoRequest {
   IoKind kind = IoKind::kRead;
   uint64_t offset = 0;
   uint64_t length = 0;
+  uint32_t queue = 0;
 };
 
 /// When a submitted IO started service and when it completed.

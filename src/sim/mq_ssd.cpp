@@ -1,0 +1,148 @@
+#include "sim/mq_ssd.h"
+
+#include <algorithm>
+
+namespace damkit::sim {
+
+namespace {
+
+uint64_t splitmix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void insert_sorted(std::vector<SimTime>& v, SimTime t) {
+  v.insert(std::upper_bound(v.begin(), v.end(), t), t);
+}
+
+}  // namespace
+
+MqSsdDevice::MqSsdDevice(SsdConfig config) : SsdDevice(std::move(config)) {
+  DAMKIT_CHECK_MSG(config_.queue_pairs >= 1, "need at least one SQ/CQ pair");
+  DAMKIT_CHECK_MSG(config_.queue_depth >= 1, "need queue depth >= 1");
+  DAMKIT_CHECK_MSG(
+      config_.gc_interval_s <= 0.0 ||
+          config_.gc_interval_s > 2.0 * config_.gc_burst_s,
+      "gc bursts would consume more die time than the gc interval provides");
+  sq_inflight_.resize(static_cast<size_t>(config_.queue_pairs));
+  queue_ios_.assign(static_cast<size_t>(config_.queue_pairs), 0);
+  if (config_.gc_interval_s > 0.0) {
+    const auto dies = static_cast<size_t>(config_.total_dies());
+    gc_next_.resize(dies);
+    gc_rng_.resize(dies);
+    for (size_t d = 0; d < dies; ++d) {
+      gc_rng_[d] = config_.gc_seed ^ (0x517cc1b727220a95ULL * (d + 1));
+      gc_next_[d] = next_gc_gap(d);
+    }
+  }
+}
+
+std::string MqSsdDevice::name() const { return config_.name + " (mq)"; }
+
+uint64_t MqSsdDevice::queue_ios(int queue) const {
+  DAMKIT_CHECK(queue >= 0 && queue < config_.queue_pairs);
+  return queue_ios_[static_cast<size_t>(queue)];
+}
+
+void MqSsdDevice::prune(std::vector<SimTime>& inflight, SimTime t) {
+  // Sorted ascending: drop the completed prefix.
+  auto it = std::upper_bound(inflight.begin(), inflight.end(), t);
+  inflight.erase(inflight.begin(), it);
+}
+
+SimTime MqSsdDevice::next_gc_gap(size_t die) {
+  // Jittered spacing in [0.5, 1.5) × gc_interval_s, per-die deterministic.
+  const double u =
+      static_cast<double>(splitmix64(&gc_rng_[die]) >> 11) * 0x1.0p-53;
+  return from_seconds(config_.gc_interval_s * (0.5 + u));
+}
+
+void MqSsdDevice::on_die_touch(int die, SimTime issue) {
+  if (gc_next_.empty()) return;
+  const auto d = static_cast<size_t>(die);
+  const SimTime burst = from_seconds(config_.gc_burst_s);
+  // Apply every background burst due by `issue`: each steals die time,
+  // pushing the die's free horizon (and thus any foreground IO queued on
+  // it) back by the burst length.
+  while (gc_next_[d] <= issue) {
+    die_free_[d] = std::max(die_free_[d], gc_next_[d]) + burst;
+    gc_stolen_total_ += burst;
+    ++gc_bursts_;
+    gc_next_[d] += next_gc_gap(d);
+  }
+}
+
+IoCompletion MqSsdDevice::submit_io(const IoRequest& req, SimTime now) {
+  check_bounds(req);
+  const auto q = static_cast<size_t>(
+      req.queue % static_cast<uint32_t>(config_.queue_pairs));
+  std::vector<SimTime>& sq = sq_inflight_[q];
+
+  // Bounded SQ admission: free completed slots; if the pair is still at
+  // its depth bound, the command stalls in host memory until the pair's
+  // earliest outstanding completion frees a slot.
+  SimTime admit = now;
+  prune(sq, admit);
+  if (sq.size() >= static_cast<size_t>(config_.queue_depth)) {
+    admit = sq.front();
+    ++admission_stalls_;
+    sq_wait_total_ += admit - now;
+    prune(sq, admit);
+  }
+  prune(all_inflight_, admit);
+
+  // Depth-dependent fetch/arbitration: every command outstanding across
+  // the controller lengthens this command's path to the flash core.
+  const uint64_t inflight = all_inflight_.size();
+  max_inflight_ = std::max(max_inflight_, inflight + 1);
+  const SimTime penalty = from_seconds(config_.inflight_penalty_s) * inflight;
+  penalty_total_ += penalty;
+  const SimTime issue =
+      admit + from_seconds(config_.command_overhead_s) + penalty;
+
+  const FlashService flash = serve_flash(req, issue);
+  SimTime link_occupancy = 0;
+  SimTime finish = serve_link(req.length, flash.finish, &link_occupancy);
+
+  // CQ reap: doorbell + host completion handling, mode-dependent.
+  const SimTime completion = from_seconds(config_.completion_s());
+  finish += completion;
+  completion_total_ += completion;
+
+  horizon_ = std::max(horizon_, finish);
+  insert_sorted(sq, finish);
+  insert_sorted(all_inflight_, finish);
+  ++queue_ios_[q];
+
+  const SimTime page_service = from_seconds(
+      (req.kind == IoKind::kRead) ? config_.page_read_s
+                                  : config_.page_write_s);
+  const SimTime bus_service = from_seconds(config_.bus_s_per_page);
+  const IoCompletion c{issue, finish};
+  account(req, c, now, (issue - admit) + completion,
+          flash.total_pages * (page_service + bus_service) + link_occupancy);
+  return c;
+}
+
+void MqSsdDevice::export_metrics(stats::MetricsRegistry& reg,
+                                 std::string_view prefix) const {
+  SsdDevice::export_metrics(reg, prefix);
+  const std::string p = std::string(prefix) + "mq.";
+  reg.set(p + "queue_pairs", static_cast<double>(config_.queue_pairs));
+  reg.set(p + "queue_depth", static_cast<double>(config_.queue_depth));
+  reg.set(p + "sq_wait_seconds", to_seconds(sq_wait_total_));
+  reg.set(p + "inflight_penalty_seconds", to_seconds(penalty_total_));
+  reg.set(p + "completion_seconds", to_seconds(completion_total_));
+  reg.set(p + "max_inflight", static_cast<double>(max_inflight_));
+  reg.set(p + "admission_stalls", static_cast<double>(admission_stalls_));
+  for (int i = 0; i < config_.queue_pairs; ++i) {
+    reg.set(p + "queue" + std::to_string(i) + ".ios",
+            static_cast<double>(queue_ios_[static_cast<size_t>(i)]));
+  }
+  reg.set(p + "gc.bursts", static_cast<double>(gc_bursts_));
+  reg.set(p + "gc.stolen_seconds", to_seconds(gc_stolen_total_));
+}
+
+}  // namespace damkit::sim

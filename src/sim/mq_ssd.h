@@ -1,0 +1,92 @@
+// NVMe-style multi-queue SSD simulator — the device the MQ model
+// (arXiv 2507.06349, ROADMAP item 2) is fitted against.
+//
+// MqSsdDevice shares SsdDevice's flash core (channels × dies, striping,
+// per-channel buses, host link) and adds the host/firmware mechanism the
+// PDAM cannot express:
+//
+//   * per-client SQ/CQ pairs: IoRequest::queue % queue_pairs names the
+//     pair; each pair holds at most queue_depth outstanding commands, and
+//     an admission past the bound stalls until the pair's earliest
+//     completion frees a slot;
+//   * queue-depth-dependent latency: every command outstanding across the
+//     controller at admission adds inflight_penalty_s to the new command's
+//     fetch/arbitration time — the linear lat(q) law the MQ paper
+//     measures. It is pure latency (commands overlap freely), so a closed
+//     loop saturates *smoothly* toward 1/penalty instead of at the PDAM's
+//     sharp knee;
+//   * polling-vs-interrupt completion: a fixed per-IO host cost appended
+//     after the flash/link stages, selected by SsdConfig::completion_mode;
+//   * die-level garbage collection: each die runs seeded background
+//     program/erase bursts (gc_interval_s apart, gc_burst_s long) that
+//     steal die time from foreground IOs — the tail-latency perturbation
+//     no averaged model predicts.
+//
+// Timing only: data placement and payload semantics are identical to
+// SsdDevice, so any engine must produce bit-identical results on either
+// device (the cross-device differential test pins this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ssd.h"
+
+namespace damkit::sim {
+
+class MqSsdDevice final : public SsdDevice {
+ public:
+  explicit MqSsdDevice(SsdConfig config);
+
+  std::string name() const override;
+
+  /// Introspection for tests and benches.
+  uint64_t gc_bursts() const { return gc_bursts_; }
+  double gc_stolen_seconds() const { return to_seconds(gc_stolen_total_); }
+  uint64_t admission_stalls() const { return admission_stalls_; }
+  double sq_wait_seconds() const { return to_seconds(sq_wait_total_); }
+  uint64_t max_inflight() const { return max_inflight_; }
+  uint64_t queue_ios(int queue) const;
+
+  /// SsdDevice metrics plus, under `<prefix>mq.`: queue_pairs/queue_depth,
+  /// sq_wait_seconds (bounded-depth admission stalls),
+  /// inflight_penalty_seconds (depth-dependent fetch latency),
+  /// completion_seconds (polling/interrupt reap cost), max_inflight,
+  /// admission_stalls, per-queue IO counts (queue<i>.ios), and
+  /// gc.bursts / gc.stolen_seconds.
+  void export_metrics(stats::MetricsRegistry& reg,
+                      std::string_view prefix) const override;
+
+ protected:
+  IoCompletion submit_io(const IoRequest& req, SimTime now) override;
+  void on_die_touch(int die, SimTime issue) override;
+
+ private:
+  /// Drop completions at or before `t` from a queue's outstanding set
+  /// (slots free the moment their command completes).
+  static void prune(std::vector<SimTime>& inflight, SimTime t);
+
+  SimTime next_gc_gap(size_t die);
+
+  // Outstanding completion times, per queue pair and controller-wide.
+  // Sorted-vector multisets: queue_depth is small (NVMe SQs are bounded)
+  // and submissions vastly outnumber queue slots.
+  std::vector<std::vector<SimTime>> sq_inflight_;
+  std::vector<SimTime> all_inflight_;
+  std::vector<uint64_t> queue_ios_;
+
+  // GC schedule per die: next burst start (in die time) and RNG stream.
+  std::vector<SimTime> gc_next_;
+  std::vector<uint64_t> gc_rng_;
+
+  SimTime sq_wait_total_ = 0;       // admission stalls on full SQs
+  SimTime penalty_total_ = 0;       // depth-dependent fetch latency
+  SimTime completion_total_ = 0;    // CQ reap cost (polling/interrupt)
+  SimTime gc_stolen_total_ = 0;     // die time consumed by GC bursts
+  uint64_t gc_bursts_ = 0;
+  uint64_t admission_stalls_ = 0;
+  uint64_t max_inflight_ = 0;
+};
+
+}  // namespace damkit::sim

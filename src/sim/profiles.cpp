@@ -144,4 +144,33 @@ SsdConfig testbed_ssd_profile() {
                           4096, 520.0, 3.0, 20e-6);
 }
 
+SsdConfig testbed_mq_profile() {
+  SsdConfig cfg;
+  cfg.name = "500 GB gen4 NVMe";
+  cfg.capacity_bytes = 500ULL * kGiB;
+  // Eight dies behind four channels: enough flash parallelism that the
+  // host-side mechanism (fetch + depth penalty + completion) is what
+  // shapes the throughput curve until deep queues.
+  cfg.channels = 4;
+  cfg.dies_per_channel = 2;
+  cfg.page_bytes = 4096;
+  cfg.stripe_bytes = 16 * kKiB;
+  cfg.hashed_striping = true;
+  cfg.page_read_s = 40e-6;
+  cfg.page_write_s = 120e-6;
+  cfg.bus_s_per_page = 2e-6;
+  cfg.command_overhead_s = 20e-6;
+  cfg.link_bps = 0.0;  // PCIe gen4 never binds at these rates
+
+  cfg.queue_pairs = 8;
+  cfg.queue_depth = 32;
+  cfg.completion_mode = CompletionMode::kInterrupt;
+  cfg.interrupt_completion_s = 8e-6;
+  cfg.polling_completion_s = 1e-6;
+  cfg.inflight_penalty_s = 15e-6;
+  cfg.gc_interval_s = 0.0;  // experiments opt in
+  cfg.gc_burst_s = 2e-3;
+  return cfg;
+}
+
 }  // namespace damkit::sim

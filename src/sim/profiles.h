@@ -42,4 +42,12 @@ std::vector<SsdConfig> paper_ssd_profiles();
 HddConfig testbed_hdd_profile();
 SsdConfig testbed_ssd_profile();
 
+/// NVMe multi-queue testbed (for sim::MqSsdDevice): a PCIe device whose
+/// link never binds — the controller is the bottleneck instead. Carries
+/// the MQ knobs (8 SQ/CQ pairs of depth 32, interrupt completions, a
+/// linear queue-depth latency penalty) so the §4-style sweep exhibits the
+/// smooth lat(q) saturation of the MQ paper rather than the PDAM's sharp
+/// knee. GC is off by default; experiments enable it per run.
+SsdConfig testbed_mq_profile();
+
 }  // namespace damkit::sim

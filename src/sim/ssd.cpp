@@ -5,6 +5,16 @@
 
 namespace damkit::sim {
 
+const char* completion_mode_name(CompletionMode m) {
+  switch (m) {
+    case CompletionMode::kPolling:
+      return "polling";
+    case CompletionMode::kInterrupt:
+      return "interrupt";
+  }
+  return "unknown";
+}
+
 double SsdConfig::saturated_read_bps() const {
   const double die_limit = static_cast<double>(total_dies()) *
                            static_cast<double>(page_bytes) / page_read_s;
@@ -15,17 +25,70 @@ double SsdConfig::saturated_read_bps() const {
   return limit;
 }
 
+namespace {
+
+/// Fork-join latency in seconds of one read IO at `offset` on an idle
+/// device: the exact stripe/die/channel walk of SsdDevice::submit_io plus
+/// command overhead and the link stage, evaluated statelessly. At QD1 a
+/// stream never overlaps its own IOs (every resource drains before the
+/// next submission), so this is the precise per-IO time of a closed loop.
+double qd1_read_latency_s(const SsdConfig& cfg, uint64_t offset,
+                          uint64_t io_bytes) {
+  std::vector<double> die_free(static_cast<size_t>(cfg.total_dies()), 0.0);
+  std::vector<double> chan_free(static_cast<size_t>(cfg.channels), 0.0);
+  double finish = 0.0;
+  uint64_t off = offset;
+  uint64_t remaining = io_bytes;
+  while (remaining > 0) {
+    const uint64_t in_stripe = cfg.stripe_bytes - (off % cfg.stripe_bytes);
+    const uint64_t chunk = std::min(remaining, in_stripe);
+    const uint64_t pages = (chunk + cfg.page_bytes - 1) / cfg.page_bytes;
+    const auto die = static_cast<size_t>(cfg.die_of(off));
+    const size_t chan = die % static_cast<size_t>(cfg.channels);
+    double die_t = die_free[die];
+    double chan_t = chan_free[chan];
+    for (uint64_t p = 0; p < pages; ++p) {
+      die_t += cfg.page_read_s;
+      chan_t = std::max(chan_t, die_t) + cfg.bus_s_per_page;
+    }
+    die_free[die] = die_t;
+    chan_free[chan] = chan_t;
+    finish = std::max(finish, chan_t);
+    off += chunk;
+    remaining -= chunk;
+  }
+  double latency = cfg.command_overhead_s + finish;
+  if (cfg.link_bps > 0.0) {
+    latency += static_cast<double>(io_bytes) / cfg.link_bps;
+  }
+  return latency;
+}
+
+}  // namespace
+
 double SsdConfig::qd1_read_bps(uint64_t io_bytes) const {
-  // An IO fans out over its stripes (parallel dies); each die serves its
-  // stripe's pages serially. A single stream never overlaps its own IOs,
-  // so QD1 bandwidth is io_bytes over one fork-join latency.
-  const double pages_per_stripe =
-      std::ceil(static_cast<double>(std::min(io_bytes, stripe_bytes)) /
-                static_cast<double>(page_bytes));
-  double latency = command_overhead_s +
-                   pages_per_stripe * (page_read_s + bus_s_per_page);
-  if (link_bps > 0.0) latency += static_cast<double>(io_bytes) / link_bps;
-  return static_cast<double>(io_bytes) / latency;
+  DAMKIT_CHECK(io_bytes > 0 && io_bytes <= capacity_bytes);
+  if (!hashed_striping) {
+    // Round-robin striping is rotation-symmetric: every aligned placement
+    // sees the same relative die/channel sequence, so one walk suffices.
+    return static_cast<double>(io_bytes) /
+           qd1_read_latency_s(*this, 0, io_bytes);
+  }
+  // Hashed striping: the fan-out (and hence the fork-join latency) depends
+  // on which dies the IO's stripes hash to. Average over a deterministic
+  // sample of io-aligned placements — the same distribution a closed loop
+  // with aligned uniform offsets draws from.
+  constexpr int kSamples = 128;
+  double sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t off = static_cast<uint64_t>(i) * io_bytes;
+    if (off + io_bytes > capacity_bytes) break;
+    sum += qd1_read_latency_s(*this, off, io_bytes);
+    ++n;
+  }
+  DAMKIT_CHECK(n > 0);
+  return static_cast<double>(io_bytes) / (sum / n);
 }
 
 SsdDevice::SsdDevice(SsdConfig config)
@@ -36,13 +99,13 @@ SsdDevice::SsdDevice(SsdConfig config)
   die_free_.assign(static_cast<size_t>(config_.total_dies()), 0);
   channel_free_.assign(static_cast<size_t>(config_.channels), 0);
   die_busy_.assign(static_cast<size_t>(config_.total_dies()), 0);
+  own_service_scratch_.assign(static_cast<size_t>(config_.total_dies()), 0);
 }
 
 std::string SsdDevice::name() const { return config_.name; }
 
-IoCompletion SsdDevice::submit_io(const IoRequest& req, SimTime now) {
-  check_bounds(req);
-  const SimTime issue = now + from_seconds(config_.command_overhead_s);
+SsdDevice::FlashService SsdDevice::serve_flash(const IoRequest& req,
+                                               SimTime issue) {
   const double service_s = (req.kind == IoKind::kRead) ? config_.page_read_s
                                                        : config_.page_write_s;
   const SimTime page_service = from_seconds(service_s);
@@ -52,10 +115,10 @@ IoCompletion SsdDevice::submit_io(const IoRequest& req, SimTime now) {
   // serially by its die (a die has one sense amp), then cross the channel
   // bus. Different stripes of one large IO land on different dies and
   // proceed in parallel — exactly the internal parallelism the PDAM models.
-  SimTime finish = issue;
+  FlashService out;
+  out.finish = issue;
   uint64_t off = req.offset;
   uint64_t remaining = req.length;
-  uint64_t total_pages = 0;
   while (remaining > 0) {
     const uint64_t in_stripe =
         config_.stripe_bytes - (off % config_.stripe_bytes);
@@ -65,8 +128,19 @@ IoCompletion SsdDevice::submit_io(const IoRequest& req, SimTime now) {
 
     const int die = die_of(off);
     const int chan = channel_of_die(die);
+    on_die_touch(die, issue);
     SimTime die_t = std::max(issue, die_free_[static_cast<size_t>(die)]);
-    die_wait_total_ += die_t - issue;  // queued behind this die's backlog
+    // Die-wait split: backlog this request created on the die (sibling
+    // stripes that hashed to it) is self-serialization, not contention
+    // with other requests.
+    const SimTime wait = die_t - issue;
+    const SimTime self =
+        std::min(wait, own_service_scratch_[static_cast<size_t>(die)]);
+    self_wait_total_ += self;
+    die_wait_total_ += wait - self;
+    if (own_service_scratch_[static_cast<size_t>(die)] == 0) {
+      touched_scratch_.push_back(die);
+    }
     SimTime chan_t = channel_free_[static_cast<size_t>(chan)];
     for (uint64_t p = 0; p < pages; ++p) {
       die_t += page_service;  // die busy for the page op
@@ -75,34 +149,55 @@ IoCompletion SsdDevice::submit_io(const IoRequest& req, SimTime now) {
     }
     die_busy_[static_cast<size_t>(die)] += pages * page_service;
     die_free_[static_cast<size_t>(die)] = die_t;
+    own_service_scratch_[static_cast<size_t>(die)] += pages * page_service;
     channel_free_[static_cast<size_t>(chan)] = chan_t;
-    finish = std::max(finish, chan_t);
+    out.finish = std::max(out.finish, chan_t);
 
-    total_pages += pages;
+    out.total_pages += pages;
     off += chunk;
     remaining -= chunk;
   }
+  for (const int die : touched_scratch_) {
+    own_service_scratch_[static_cast<size_t>(die)] = 0;
+  }
+  touched_scratch_.clear();
+  return out;
+}
+
+SimTime SsdDevice::serve_link(uint64_t length, SimTime flash_finish,
+                              SimTime* occupancy) {
+  *occupancy = 0;
+  if (config_.link_bps <= 0.0) return flash_finish;
+  *occupancy =
+      from_seconds(static_cast<double>(length) / config_.link_bps);
+  const SimTime start_link = std::max(flash_finish, link_free_);
+  link_free_ = start_link + *occupancy;
+  return link_free_;
+}
+
+IoCompletion SsdDevice::submit_io(const IoRequest& req, SimTime now) {
+  check_bounds(req);
+  const SimTime issue = now + from_seconds(config_.command_overhead_s);
+  const FlashService flash = serve_flash(req, issue);
 
   // Host-link stage: the whole payload crosses one shared pipe
   // contiguously once the flash side has produced it. Link saturation is
   // what bounds the device's effective parallelism.
   SimTime link_occupancy = 0;
-  if (config_.link_bps > 0.0) {
-    link_occupancy =
-        from_seconds(static_cast<double>(req.length) / config_.link_bps);
-    const SimTime start_link = std::max(finish, link_free_);
-    link_free_ = start_link + link_occupancy;
-    finish = link_free_;
-  }
+  const SimTime finish = serve_link(req.length, flash.finish, &link_occupancy);
 
   horizon_ = std::max(horizon_, finish);
 
   // Affine split: setup is the fixed host/firmware command cost; transfer
   // is the page-proportional flash + bus work plus the link occupancy
   // (die queueing is tracked separately as die_wait).
+  const SimTime page_service = from_seconds(
+      (req.kind == IoKind::kRead) ? config_.page_read_s
+                                  : config_.page_write_s);
+  const SimTime bus_service = from_seconds(config_.bus_s_per_page);
   const IoCompletion c{issue, finish};
   account(req, c, now, issue - now,
-          total_pages * (page_service + bus_service) + link_occupancy);
+          flash.total_pages * (page_service + bus_service) + link_occupancy);
   return c;
 }
 
@@ -118,6 +213,7 @@ void SsdDevice::export_metrics(stats::MetricsRegistry& reg,
   Device::export_metrics(reg, prefix);
   const std::string p(prefix);
   reg.set(p + "die_wait_seconds", to_seconds(die_wait_total_));
+  reg.set(p + "intra_io_wait_seconds", to_seconds(self_wait_total_));
   double total_util = 0.0;
   for (int d = 0; d < config_.total_dies(); ++d) {
     const double util = die_utilization(d);
@@ -138,18 +234,31 @@ std::vector<IoCompletion> SsdDevice::submit_batch_io(
   // the per-die/per-channel free-time queues overlap them; the dispatch
   // order only decides who queues behind whom on a shared die, channel
   // bus, or host link — round-robin keeps that fair across dies instead
-  // of letting one die's backlog serialize the bus.
+  // of letting one die's backlog serialize the bus. Dispatch credits are
+  // weighted by stripe fan-out: a w-stripe request occupies w dies'
+  // worth of service, so its bucket sits out the next w-1 rounds rather
+  // than claiming a fresh slot every round.
   std::vector<IoCompletion> out(reqs.size());
-  std::vector<std::vector<size_t>> by_die(
-      static_cast<size_t>(config_.total_dies()));
+  struct Bucket {
+    std::vector<size_t> idx;
+    size_t next = 0;
+    size_t resume_round = 0;
+  };
+  std::vector<Bucket> by_die(static_cast<size_t>(config_.total_dies()));
   for (size_t i = 0; i < reqs.size(); ++i) {
-    by_die[static_cast<size_t>(die_of(reqs[i].offset))].push_back(i);
+    by_die[static_cast<size_t>(die_of(reqs[i].offset))].idx.push_back(i);
   }
   size_t served = 0;
   for (size_t round = 0; served < reqs.size(); ++round) {
-    for (const auto& bucket : by_die) {
-      if (round >= bucket.size()) continue;
-      out[bucket[round]] = submit_io(reqs[bucket[round]], now);
+    for (Bucket& bucket : by_die) {
+      if (bucket.next >= bucket.idx.size() || round < bucket.resume_round) {
+        continue;
+      }
+      const size_t i = bucket.idx[bucket.next++];
+      out[i] = submit_io(reqs[i], now);
+      bucket.resume_round =
+          round + static_cast<size_t>(
+                      config_.stripes_of(reqs[i].offset, reqs[i].length));
       ++served;
     }
   }

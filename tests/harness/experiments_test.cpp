@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "model/mq.h"
 #include "sim/profiles.h"
 #include "util/bytes.h"
 
@@ -64,6 +65,33 @@ TEST(PdamExperimentTest, TimeFlatThenLinear) {
   const double tail_ratio = res.samples.back().seconds /
                             res.samples[res.samples.size() - 2].seconds;
   EXPECT_NEAR(tail_ratio, 2.0, 0.25);
+}
+
+TEST(MqExperimentTest, MqFitTracksWherePdamMispredicts) {
+  // The MQ refit at reduced scale: on the multi-queue testbed the
+  // per-client time ratio rises from the very first added client (the
+  // inflight penalty), so the PDAM's flat left segment is wrong while the
+  // MQ model's linear latency law tracks.
+  MqExperimentConfig cfg;
+  cfg.client_counts = {1, 2, 4, 8, 16, 32};
+  cfg.ios_per_client = 256;
+  const auto res = run_mq_experiment(sim::testbed_mq_profile(), cfg);
+  ASSERT_EQ(res.samples.size(), 6u);
+  ASSERT_EQ(res.pdam_samples.size(), 6u);
+  EXPECT_GT(res.fit.l0_s, 0.0);
+  EXPECT_GT(res.fit.beta_s, 0.0);
+  EXPECT_GT(res.fit.saturated_iops, 0.0);
+  EXPECT_GT(res.fit.r2, 0.95);
+
+  const model::MqModel mq(res.fit.l0_s, res.fit.beta_s,
+                          res.fit.saturated_iops, cfg.io_bytes);
+  for (size_t i = 0; i < res.samples.size(); ++i) {
+    const double measured_ratio = res.samples[i].seconds / res.samples[0].seconds;
+    const double predicted_ratio =
+        mq.predicted_ratio(static_cast<double>(res.samples[i].clients));
+    EXPECT_NEAR(predicted_ratio, measured_ratio, measured_ratio * 0.2)
+        << "clients=" << res.samples[i].clients;
+  }
 }
 
 TEST(SweepTest, BTreeCostsRiseWithLargeNodes) {

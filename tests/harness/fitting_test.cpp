@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 namespace damkit::harness {
@@ -69,9 +70,43 @@ TEST(FitPdamTest, SoftKneeStillRecoverable) {
   EXPECT_LT(fit.p, 15.0);
 }
 
+TEST(FitMqTest, RecoversTheLinearLatencyLaw) {
+  // Synthetic MQ device: lat(q) = 200 us + 15 us·(q−1), flash ceiling
+  // 40k IOPS. Effective per-IO time is max(lat(q), q/sat); makespan of a
+  // q-client round of 1000 IOs each follows directly.
+  const double l0 = 200e-6, beta = 15e-6, sat = 40000.0;
+  std::vector<MqSample> samples;
+  for (int q : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}) {
+    const double lat = l0 + beta * (q - 1);
+    const double throughput = std::min(q / lat, sat);
+    const uint64_t ios = 1000ULL * static_cast<uint64_t>(q);
+    samples.push_back({q, static_cast<double>(ios) / throughput, ios});
+  }
+  const MqFit fit = fit_mq(samples);
+  EXPECT_NEAR(fit.l0_s, l0, l0 * 0.05);
+  EXPECT_NEAR(fit.beta_s, beta, beta * 0.05);
+  EXPECT_NEAR(fit.saturated_iops, sat, sat * 0.05);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitMqTest, CeilingOnlySweepDegradesGracefully) {
+  // Every round at the flash ceiling: no latency information survives,
+  // so the fit reports a flat law at the observed per-IO time.
+  std::vector<MqSample> samples;
+  for (int q : {8, 16, 32}) {
+    const uint64_t ios = 1000ULL * static_cast<uint64_t>(q);
+    samples.push_back({q, static_cast<double>(ios) / 40000.0, ios});
+  }
+  const MqFit fit = fit_mq(samples);
+  EXPECT_GT(fit.l0_s, 0.0);
+  EXPECT_EQ(fit.beta_s, 0.0);
+  EXPECT_NEAR(fit.saturated_iops, 40000.0, 1.0);
+}
+
 TEST(FitDeathTest, RequiresEnoughSamples) {
   EXPECT_DEATH(fit_affine({{4096, 0.01}}), "");
   EXPECT_DEATH(fit_pdam({{1, 1.0, 1}, {2, 1.0, 2}}), "");
+  EXPECT_DEATH(fit_mq({{1, 1.0, 100}, {2, 1.0, 200}}), "");
 }
 
 }  // namespace

@@ -3,9 +3,10 @@
 // seeded checked-IO point mid-workload, recover from device bytes twice
 // (bit-equal both times), resume the remaining stream, and require the
 // final state digest to equal an uncrashed reference run's — for EVERY
-// crash point. The default test sweeps a fast subset; the exhaustive
-// every-k-th-IO × seeds sweep is DISABLED_ and runs via
-// --gtest_also_run_disabled_tests in the CI crash-soak job.
+// crash point. The default test sweeps a fast subset (including an MQ
+// NVMe device leg); the exhaustive every-k-th-IO × seeds sweep is
+// DISABLED_ and runs via --gtest_also_run_disabled_tests in the nightly
+// crash-sweep workflow.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -16,6 +17,8 @@
 #include "kv/engine.h"
 #include "kv/sharded_engine.h"
 #include "sim/device.h"
+#include "sim/mq_ssd.h"
+#include "sim/profiles.h"
 #include "util/bytes.h"
 
 namespace damkit {
@@ -134,7 +137,36 @@ TEST(CrashSoakTest, RecoveredStateMatchesReferenceAcrossEngines) {
   run_sweep(/*seed=*/2026, /*crash_points=*/4);
 }
 
-// The exhaustive sweep behind the crash-soak CI job:
+// MQ-device rider in the fast lane: the same differential with the
+// multi-queue NVMe model underneath, bounded to two engines (the first
+// tree and the sharded composition) x two crash points. A device model
+// changes timing only — recovered payloads must be identical to the
+// plain-SSD runs' reference digests.
+TEST(CrashSoakTest, MqDeviceRecoversLikeThePlainSsd) {
+  const std::vector<EngineUnderTest> engines = engines_under_test();
+  for (const EngineUnderTest* engine : {&engines.front(), &engines.back()}) {
+    harness::CrashCycleSpec spec = base_spec(*engine, /*seed=*/2026);
+    spec.make_device = [] {
+      return std::make_unique<sim::MqSsdDevice>(sim::testbed_mq_profile());
+    };
+    const uint64_t reference = harness::reference_state_digest(spec);
+    const harness::CrashCycleReport probe =
+        harness::run_crash_cycle(spec, reference);
+    ASSERT_FALSE(probe.crashed) << engine->name;
+    EXPECT_EQ(probe.final_digest, reference)
+        << engine->name << ": the WAL wrapper changed observable data on mq";
+    ASSERT_GT(probe.post_setup_ios, 1u) << engine->name;
+    for (const uint64_t at : sweep_points(probe.post_setup_ios, 2)) {
+      spec.crash_after_ios = at;
+      const harness::CrashCycleReport report =
+          harness::run_crash_cycle(spec, reference);
+      check_cycle(report,
+                  engine->name + " on mq-ssd crash_at=" + std::to_string(at));
+    }
+  }
+}
+
+// The exhaustive sweep behind the nightly crash-sweep workflow:
 //   3 seeds x 8 crash points x (5 engines + sharded) = 144 crash cycles.
 // Run with: ctest -R CrashSoak --gtest_also_run_disabled_tests, or invoke
 // the test binary with --gtest_also_run_disabled_tests.

@@ -1,0 +1,51 @@
+#include "model/mq.h"
+
+#include <gtest/gtest.h>
+
+namespace damkit::model {
+namespace {
+
+TEST(MqModelTest, LatencyLawIsLinearInDepth) {
+  const MqModel m(200e-6, 15e-6, 40000.0, 16 * 1024);
+  EXPECT_DOUBLE_EQ(m.latency_s(1.0), 200e-6);
+  EXPECT_DOUBLE_EQ(m.latency_s(9.0), 200e-6 + 8 * 15e-6);
+  EXPECT_NEAR(m.latency_s(5.0) - m.latency_s(4.0), m.depth_slope_s(), 1e-12);
+}
+
+TEST(MqModelTest, ThroughputRisesSmoothlyThenHitsTheCeiling) {
+  const MqModel m(200e-6, 15e-6, 40000.0, 16 * 1024);
+  // Latency-limited regime: more clients always help, but sublinearly —
+  // the smooth saturation that replaces the PDAM's sharp knee.
+  EXPECT_NEAR(m.throughput_iops(1.0), 1.0 / 200e-6, 1.0);
+  EXPECT_GT(m.throughput_iops(4.0), m.throughput_iops(1.0));
+  EXPECT_LT(m.throughput_iops(4.0), 4.0 * m.throughput_iops(1.0));
+  // Deep queues: the flash-core ceiling binds exactly.
+  EXPECT_DOUBLE_EQ(m.throughput_iops(1000.0), 40000.0);
+  EXPECT_DOUBLE_EQ(m.saturated_bps(), 40000.0 * 16.0 * 1024.0);
+}
+
+TEST(MqModelTest, PredictedRatioStartsAtOneAndGrowsFromTheFirstClient) {
+  const MqModel m(200e-6, 15e-6, 40000.0, 16 * 1024);
+  EXPECT_DOUBLE_EQ(m.predicted_ratio(1.0), 1.0);
+  // The defining divergence from the PDAM: no flat segment. Adding the
+  // second client already raises per-client time.
+  EXPECT_GT(m.predicted_ratio(2.0), 1.0);
+  EXPECT_GT(m.predicted_ratio(16.0), m.predicted_ratio(8.0));
+}
+
+TEST(MqModelTest, ZeroSlopeDegeneratesToThePdamKnee) {
+  // beta = 0 makes lat(q) flat, so throughput is linear until the ceiling
+  // — exactly a PDAM with P = sat · l0.
+  const MqModel m(100e-6, 0.0, 50000.0, 4096);
+  EXPECT_DOUBLE_EQ(m.predicted_ratio(4.0), 1.0);   // below the knee
+  EXPECT_DOUBLE_EQ(m.predicted_ratio(10.0), 2.0);  // 2× past P = 5
+}
+
+TEST(MqModelDeathTest, RejectsNonPhysicalParameters) {
+  EXPECT_DEATH(MqModel(0.0, 1e-6, 1000.0, 4096), "");
+  EXPECT_DEATH(MqModel(1e-4, -1e-6, 1000.0, 4096), "");
+  EXPECT_DEATH(MqModel(1e-4, 1e-6, 0.0, 4096), "");
+}
+
+}  // namespace
+}  // namespace damkit::model

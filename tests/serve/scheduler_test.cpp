@@ -7,12 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/workload_runner.h"
 #include "kv/engine.h"
 #include "serve/session.h"
+#include "sim/mq_ssd.h"
 #include "sim/profiles.h"
 #include "sim/ssd.h"
 #include "stats/metrics.h"
@@ -159,6 +164,65 @@ TEST(SchedulerTest, LaneAccountingIsConserved) {
   EXPECT_GE(result.max_lane_depth, 1u);
   EXPECT_EQ(result.lane_ios.size(),
             static_cast<size_t>(sim::testbed_ssd_profile().total_dies()));
+}
+
+// Replay-device spy: forwards timing to an owned MqSsdDevice while
+// tallying which SQ/CQ pair each request named, into shared state that
+// outlives the device (the scheduler destroys its replay device before
+// serve() returns).
+class QueueSpyDevice final : public sim::Device {
+ public:
+  QueueSpyDevice(const sim::SsdConfig& cfg,
+                 std::shared_ptr<std::map<uint32_t, uint64_t>> counts)
+      : sim::Device(cfg.capacity_bytes),
+        inner_(cfg),
+        counts_(std::move(counts)) {}
+  std::string name() const override { return inner_.name(); }
+
+ protected:
+  sim::IoCompletion submit_io(const sim::IoRequest& req,
+                              sim::SimTime now) override {
+    ++(*counts_)[req.queue];
+    return inner_.submit(req, now);
+  }
+  std::vector<sim::IoCompletion> submit_batch_io(
+      std::span<const sim::IoRequest> reqs, sim::SimTime now) override {
+    for (const sim::IoRequest& req : reqs) ++(*counts_)[req.queue];
+    return inner_.submit_batch(reqs, now);
+  }
+
+ private:
+  sim::MqSsdDevice inner_;
+  std::shared_ptr<std::map<uint32_t, uint64_t>> counts_;
+};
+
+// PR-7's sessions must map onto the MQ device's queue pairs: with k
+// clients replaying onto an MqSsdDevice, every request carries its
+// owning client's id in IoRequest::queue, so all k pairs see traffic —
+// not one shared SQ.
+TEST(SchedulerTest, SessionsLandOnDistinctMqQueuePairs) {
+  const sim::SsdConfig profile = sim::testbed_mq_profile();
+  const auto counts = std::make_shared<std::map<uint32_t, uint64_t>>();
+  serve::ServeConfig cfg;
+  cfg.clients = 4;
+  cfg.replay_device_factory = [profile,
+                               counts]() -> std::unique_ptr<sim::Device> {
+    return std::make_unique<QueueSpyDevice>(profile, counts);
+  };
+  cfg.lanes = static_cast<size_t>(profile.total_dies());
+  cfg.lane_of = [profile](uint64_t offset) {
+    return static_cast<size_t>(profile.die_of(offset));
+  };
+  const serve::ServeResult result = serve_once(cfg, 2000);
+  EXPECT_GT(result.batch_ios, 0u);
+  EXPECT_EQ(counts->size(), 4u) << "expected one queue id per client";
+  uint64_t total = 0;
+  for (const auto& [queue, ios] : *counts) {
+    EXPECT_LT(queue, 4u);
+    EXPECT_GT(ios, 0u) << "queue pair " << queue << " saw no traffic";
+    total += ios;
+  }
+  EXPECT_EQ(total, result.batch_ios);
 }
 
 TEST(SchedulerTest, ExportMetricsCoversTheServingSurface) {

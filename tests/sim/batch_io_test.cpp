@@ -174,6 +174,33 @@ TEST(BatchIoTest, SsdBatchExploitsDieParallelism) {
   EXPECT_GE(speedup, 8.0);  // disjoint dies: expect near the full P = 16
 }
 
+TEST(BatchIoTest, MultiStripeRequestsPayFullDispatchWeight) {
+  // Regression for the first-stripe-only bucketing bug: batch dispatch
+  // buckets requests by their FIRST stripe's die, but a w-stripe request
+  // occupies w dies' worth of service. It must therefore consume w
+  // round-robin credits (its bucket sits out the next w−1 rounds) instead
+  // of letting its bucket claim a fresh slot every round and starve other
+  // dies' requests on shared downstream resources.
+  //
+  // A slow host link serializes payloads in dispatch order, making that
+  // order observable. Buckets: die 0 holds A (4-stripe) then B; die 1
+  // holds C then D. Weighted round-robin dispatches A, C, D, B — die 1's
+  // second request overtakes die 0's because A already spent die 0's
+  // credit four rounds ahead. The buggy unweighted order was A, C, B, D.
+  SsdConfig cfg = ssd_config(2, 2);
+  cfg.link_bps = 1e6;  // 64 KiB ≈ 65 ms on the link: dominates flash time
+  SsdDevice dev(cfg);
+  const std::vector<IoRequest> reqs = {
+      {IoKind::kRead, 0, 256 * kKiB},              // A: dies 0..3, bucket 0
+      {IoKind::kRead, 4 * 64 * kKiB, 64 * kKiB},   // B: die 0
+      {IoKind::kRead, 64 * kKiB, 64 * kKiB},       // C: die 1
+      {IoKind::kRead, 5 * 64 * kKiB, 64 * kKiB},   // D: die 1
+  };
+  const std::vector<IoCompletion> cs = dev.submit_batch(reqs, 0);
+  ASSERT_EQ(cs.size(), 4u);
+  EXPECT_LT(cs[3].finish, cs[1].finish);  // D crosses the link before B
+}
+
 TEST(BatchIoTest, BatchAdvancesClockToMaxNotSum) {
   const SsdConfig cfg = ssd_config(4, 4);
   SsdDevice dev(cfg);

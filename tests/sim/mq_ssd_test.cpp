@@ -1,0 +1,194 @@
+// Tests for the NVMe-style multi-queue device: SQ/CQ routing, bounded
+// queue depth, depth-dependent latency, polling-vs-interrupt completion
+// cost, and seeded die-level GC interference. Timing only — payload
+// semantics are pinned against SsdDevice by the cross-engine
+// differential test.
+#include "sim/mq_ssd.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/closed_loop.h"
+#include "util/bytes.h"
+
+namespace damkit::sim {
+namespace {
+
+SsdConfig mq_config() {
+  SsdConfig cfg;
+  cfg.name = "test-mq-ssd";
+  cfg.capacity_bytes = 4ULL * kGiB;
+  cfg.channels = 2;
+  cfg.dies_per_channel = 2;
+  cfg.page_bytes = 4096;
+  cfg.stripe_bytes = 64 * kKiB;
+  cfg.page_read_s = 50e-6;
+  cfg.page_write_s = 200e-6;
+  cfg.bus_s_per_page = 2e-6;
+  cfg.command_overhead_s = 10e-6;
+  cfg.queue_pairs = 4;
+  cfg.queue_depth = 32;
+  cfg.completion_mode = CompletionMode::kPolling;
+  cfg.inflight_penalty_s = 0.0;
+  cfg.gc_interval_s = 0.0;
+  return cfg;
+}
+
+TEST(MqSsdTest, RequestsRouteToQueuePairsModuloPairs) {
+  MqSsdDevice dev(mq_config());
+  for (uint32_t i = 0; i < 8; ++i) {
+    dev.submit({IoKind::kRead, static_cast<uint64_t>(i) * 64 * kKiB,
+                64 * kKiB, i},
+               0);
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_EQ(dev.queue_ios(q), 2u) << "queue " << q;
+  }
+}
+
+TEST(MqSsdTest, MatchesPlainSsdAtQueueDepthOnePlusCompletionCost) {
+  // A single IO on an idle MQ device is the plain flash walk plus the CQ
+  // reap cost — the MQ mechanisms are strictly additive.
+  const SsdConfig cfg = mq_config();
+  SsdDevice plain(cfg);
+  MqSsdDevice mq(cfg);
+  const IoCompletion a = plain.submit({IoKind::kRead, 0, 64 * kKiB}, 0);
+  const IoCompletion b = mq.submit({IoKind::kRead, 0, 64 * kKiB}, 0);
+  EXPECT_EQ(b.finish, a.finish + from_seconds(cfg.polling_completion_s));
+}
+
+TEST(MqSsdTest, BoundedQueueDepthStallsAdmission) {
+  SsdConfig cfg = mq_config();
+  cfg.queue_pairs = 1;
+  cfg.queue_depth = 1;
+  MqSsdDevice dev(cfg);
+  const IoCompletion first = dev.submit({IoKind::kRead, 0, 64 * kKiB}, 0);
+  // Same pair, still outstanding: the second command has no SQ slot and
+  // stalls in host memory until the first completion frees one.
+  const IoCompletion second =
+      dev.submit({IoKind::kRead, 64 * kKiB, 64 * kKiB}, 0);
+  EXPECT_GE(second.start, first.finish);
+  EXPECT_EQ(dev.admission_stalls(), 1u);
+  EXPECT_NEAR(dev.sq_wait_seconds(), to_seconds(first.finish), 1e-9);
+}
+
+TEST(MqSsdTest, DeepQueuesDoNotStallBelowTheBound) {
+  SsdConfig cfg = mq_config();
+  cfg.queue_pairs = 1;
+  cfg.queue_depth = 8;
+  MqSsdDevice dev(cfg);
+  for (int i = 0; i < 8; ++i) {
+    dev.submit({IoKind::kRead, static_cast<uint64_t>(i) * 64 * kKiB,
+                64 * kKiB},
+               0);
+  }
+  EXPECT_EQ(dev.admission_stalls(), 0u);
+  EXPECT_EQ(dev.sq_wait_seconds(), 0.0);
+  EXPECT_EQ(dev.max_inflight(), 8u);
+}
+
+TEST(MqSsdTest, InflightPenaltyGrowsFetchLatencyLinearly) {
+  SsdConfig cfg = mq_config();
+  cfg.inflight_penalty_s = 100e-6;
+  MqSsdDevice dev(cfg);
+  // Disjoint dies and distinct pairs: no flash or SQ interaction — the
+  // only difference between the commands is the outstanding count at
+  // admission. Service start shifts by exactly one penalty per prior
+  // inflight command.
+  const IoCompletion a =
+      dev.submit({IoKind::kRead, 0, 64 * kKiB, 0}, 0);
+  const IoCompletion b =
+      dev.submit({IoKind::kRead, 64 * kKiB, 64 * kKiB, 1}, 0);
+  const IoCompletion c =
+      dev.submit({IoKind::kRead, 2 * 64 * kKiB, 64 * kKiB, 2}, 0);
+  const SimTime penalty = from_seconds(cfg.inflight_penalty_s);
+  EXPECT_EQ(b.start, a.start + penalty);
+  EXPECT_EQ(c.start, a.start + 2 * penalty);
+}
+
+TEST(MqSsdTest, InterruptCompletionCostsMoreThanPolling) {
+  SsdConfig polling = mq_config();
+  polling.completion_mode = CompletionMode::kPolling;
+  SsdConfig interrupt = mq_config();
+  interrupt.completion_mode = CompletionMode::kInterrupt;
+  MqSsdDevice poll_dev(polling);
+  MqSsdDevice intr_dev(interrupt);
+  const IoCompletion p = poll_dev.submit({IoKind::kRead, 0, 64 * kKiB}, 0);
+  const IoCompletion i = intr_dev.submit({IoKind::kRead, 0, 64 * kKiB}, 0);
+  EXPECT_EQ(i.finish - p.finish,
+            from_seconds(interrupt.interrupt_completion_s -
+                         polling.polling_completion_s));
+}
+
+TEST(MqSsdTest, GcBurstsStealDieTimeDeterministically) {
+  SsdConfig cfg = mq_config();
+  cfg.gc_interval_s = 500e-6;
+  cfg.gc_burst_s = 100e-6;
+
+  const auto run = [](const SsdConfig& c) {
+    MqSsdDevice dev(c);
+    ClosedLoopConfig loop;
+    loop.clients = 1;
+    loop.ios_per_client = 64;
+    loop.io_bytes = 64 * kKiB;
+    loop.seed = 13;
+    const ClosedLoopResult r = run_closed_loop(dev, loop);
+    return std::make_tuple(r.makespan, dev.gc_bursts(),
+                           dev.gc_stolen_seconds());
+  };
+
+  const auto [makespan, bursts, stolen] = run(cfg);
+  EXPECT_GT(bursts, 0u);
+  EXPECT_NEAR(stolen, static_cast<double>(bursts) * cfg.gc_burst_s, 1e-9);
+
+  // Seeded: an identical device replays the identical burst schedule.
+  const auto [makespan2, bursts2, stolen2] = run(cfg);
+  EXPECT_EQ(makespan2, makespan);
+  EXPECT_EQ(bursts2, bursts);
+
+  // And foreground IOs actually pay for the stolen die time.
+  SsdConfig quiet = cfg;
+  quiet.gc_interval_s = 0.0;
+  const auto [quiet_makespan, quiet_bursts, quiet_stolen] = run(quiet);
+  EXPECT_EQ(quiet_bursts, 0u);
+  EXPECT_EQ(quiet_stolen, 0.0);
+  EXPECT_GT(makespan, quiet_makespan);
+}
+
+TEST(MqSsdTest, ExportsQueueAndGcMetrics) {
+  SsdConfig cfg = mq_config();
+  cfg.gc_interval_s = 500e-6;
+  cfg.gc_burst_s = 100e-6;
+  MqSsdDevice dev(cfg);
+  ClosedLoopConfig loop;
+  loop.clients = 4;
+  loop.ios_per_client = 32;
+  loop.io_bytes = 64 * kKiB;
+  loop.seed = 5;
+  run_closed_loop(dev, loop);
+
+  stats::MetricsRegistry reg;
+  dev.export_metrics(reg, "dev.");
+  EXPECT_EQ(reg.gauge("dev.mq.queue_pairs"), 4.0);
+  EXPECT_EQ(reg.gauge("dev.mq.queue_depth"), 32.0);
+  EXPECT_GT(reg.gauge("dev.mq.max_inflight"), 1.0);
+  EXPECT_GT(reg.gauge("dev.mq.completion_seconds"), 0.0);
+  EXPECT_GT(reg.gauge("dev.mq.gc.bursts"), 0.0);
+  EXPECT_GT(reg.gauge("dev.mq.gc.stolen_seconds"), 0.0);
+  double per_queue = 0.0;
+  for (int q = 0; q < cfg.queue_pairs; ++q) {
+    per_queue += reg.gauge("dev.mq.queue" + std::to_string(q) + ".ios");
+  }
+  EXPECT_EQ(per_queue, 4.0 * 32.0);  // every IO landed on some pair
+}
+
+TEST(MqSsdDeathTest, RejectsGcBurstsLongerThanTheInterval) {
+  SsdConfig cfg = mq_config();
+  cfg.gc_interval_s = 150e-6;
+  cfg.gc_burst_s = 100e-6;  // interval must exceed 2 × burst
+  EXPECT_DEATH(MqSsdDevice dev(cfg), "gc bursts");
+}
+
+}  // namespace
+}  // namespace damkit::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/closed_loop.h"
 #include "util/bytes.h"
 
 namespace damkit::sim {
@@ -87,6 +88,56 @@ TEST(SsdTest, SaturatedBandwidthFormula) {
   EXPECT_NEAR(cfg.saturated_read_bps(), 4 * 4096 / 50e-6, 1.0);
   EXPECT_GT(cfg.qd1_read_bps(64 * kKiB), 0.0);
   EXPECT_LT(cfg.qd1_read_bps(64 * kKiB), cfg.saturated_read_bps());
+}
+
+TEST(SsdTest, Qd1ClosedFormMatchesSimulatedBandwidth) {
+  // The acceptance bar for the qd1_read_bps fix: the closed form must
+  // agree with a simulated single-client closed loop within 5% across the
+  // whole io_bytes range, for both striping modes. The old form priced
+  // only the first stripe's pages — multi-stripe IOs made it wildly
+  // optimistic under round-robin and blind to die collisions when hashed.
+  for (const bool hashed : {false, true}) {
+    SsdConfig cfg = small_config();
+    cfg.hashed_striping = hashed;
+    for (const uint64_t io_bytes :
+         {4 * kKiB, 16 * kKiB, 64 * kKiB, 256 * kKiB, 1024 * kKiB}) {
+      SsdDevice dev(cfg);
+      ClosedLoopConfig loop;
+      loop.clients = 1;
+      loop.ios_per_client = 400;
+      loop.io_bytes = io_bytes;
+      loop.seed = 7;
+      const ClosedLoopResult r = run_closed_loop(dev, loop);
+      const double closed_form = cfg.qd1_read_bps(io_bytes);
+      EXPECT_NEAR(r.throughput_bps(), closed_form, closed_form * 0.05)
+          << (hashed ? "hashed" : "round-robin") << " io_bytes=" << io_bytes;
+    }
+  }
+}
+
+TEST(SsdTest, DieWaitCountsOnlyCrossRequestQueueing) {
+  SsdDevice dev(small_config());
+  // Two single-stripe reads on the same die, both submitted at t = 0: the
+  // second queues behind the first — genuine cross-request contention.
+  dev.submit({IoKind::kRead, 0, 64 * kKiB}, 0);
+  dev.submit({IoKind::kRead, 4 * 64 * kKiB, 64 * kKiB}, 0);
+  EXPECT_GT(dev.die_wait_seconds(), 0.0);
+  EXPECT_EQ(dev.intra_io_wait_seconds(), 0.0);
+}
+
+TEST(SsdTest, IntraIoSerializationIsNotDieWait) {
+  SsdConfig cfg = small_config();
+  cfg.channels = 1;
+  cfg.dies_per_channel = 1;  // every stripe lands on the single die
+  SsdDevice dev(cfg);
+  // One two-stripe read on an idle device: the second stripe queues
+  // behind the first, but that backlog is the request's own fan-out lost
+  // to a die collision — self-serialization, not contention. The old
+  // accounting charged it to die_wait, inflating the contention signal
+  // for every multi-stripe IO.
+  dev.submit({IoKind::kRead, 0, 2 * 64 * kKiB}, 0);
+  EXPECT_EQ(dev.die_wait_seconds(), 0.0);
+  EXPECT_GT(dev.intra_io_wait_seconds(), 0.0);
 }
 
 TEST(SsdTest, StatsAccounting) {

@@ -26,9 +26,21 @@ Two checks, both against closed-form or checked-in expectations:
      an Omega() bound, not an equality). Skipped when no such gauges
      exist.
 
+  4. MQ time ratio: the same pair check over `mq_predicted_ratio.q<Q>` /
+     `mq_measured_ratio.q<Q>` (bench_mq's per-client time curve against
+     the fitted MQ model), at the tighter --mq-tolerance (default 20% —
+     the MQ law is a fit, not a bound). Skipped when no such gauges
+     exist.
+
+  5. Manifest: with --manifest FILE, every gauge-family prefix listed in
+     the file's "families" array must match at least one gauge in the
+     CURRENT snapshot. The pair checks above auto-activate only when
+     their gauges exist, so a rename or dropped export would silently
+     disarm them — the manifest turns that absence into a failure.
+
 Usage: check_bench_regression.py CURRENT.json BASELINE.json
          [--threshold 0.15] [--affine-tolerance 0.05] [--no-affine]
-         [--pdam-tolerance 0.35]
+         [--pdam-tolerance 0.35] [--mq-tolerance 0.20] [--manifest FILE]
 
 Exit status 0 iff every check passes. Stdlib only.
 """
@@ -124,21 +136,24 @@ def check_affine(current, tolerance):
     return failures, report
 
 
-def check_pdam(current, tolerance):
-    """Measured vs predicted normalized throughput ratio per client count.
+def check_ratio_pairs(current, family, tolerance, what):
+    """Measured vs predicted normalized ratio per sweep point.
 
-    Auto-activates when pdam_predicted_ratio.k<K> gauges are present.
+    Auto-activates when <family>_predicted_ratio.<P> gauges are present;
+    each must pair with <family>_measured_ratio.<P> within `tolerance`.
     """
     failures, report = [], []
-    prefix = "pdam_predicted_ratio."
+    prefix = f"{family}_predicted_ratio."
     points = sorted(
         name[len(prefix):] for name in current if name.startswith(prefix)
     )
     for point in points:
-        predicted = current.get(f"pdam_predicted_ratio.{point}")
-        measured = current.get(f"pdam_measured_ratio.{point}")
+        predicted = current.get(f"{family}_predicted_ratio.{point}")
+        measured = current.get(f"{family}_measured_ratio.{point}")
         if measured is None or not predicted:
-            failures.append(f"pdam_measured_ratio.{point}: pair incomplete")
+            failures.append(
+                f"{family}_measured_ratio.{point}: pair incomplete"
+            )
             continue
         err = abs(measured - predicted) / predicted
         line = (
@@ -147,8 +162,34 @@ def check_pdam(current, tolerance):
         )
         if err > tolerance:
             failures.append(
-                f"pdam_measured_ratio.{point}: {err * 100.0:.1f}% from the "
-                f"Lemma 13 prediction (> {tolerance * 100.0:.0f}%)"
+                f"{family}_measured_ratio.{point}: {err * 100.0:.1f}% from "
+                f"the {what} (> {tolerance * 100.0:.0f}%)"
+            )
+            line += "  FAIL"
+        report.append(line)
+    return failures, report
+
+
+def check_manifest(current, manifest_path):
+    """Every gauge-family prefix in the manifest must be populated.
+
+    The ratio-pair checks only run when their gauges exist, so a bench
+    that stops exporting them would pass CI with the gate silently
+    disarmed. The manifest pins which families a snapshot must carry.
+    """
+    with open(manifest_path) as f:
+        doc = json.load(f)
+    families = doc.get("families")
+    if not isinstance(families, list) or not families:
+        raise SystemExit(f"{manifest_path}: 'families' must be a non-empty list")
+    failures, report = [], []
+    for family in families:
+        count = sum(1 for name in current if name.startswith(family))
+        line = f"  {family}*: {count} gauge(s)"
+        if count == 0:
+            failures.append(
+                f"manifest family '{family}' matches no gauge in the "
+                f"current snapshot — an expected export vanished"
             )
             line += "  FAIL"
         report.append(line)
@@ -167,6 +208,12 @@ def main():
         help="skip the affine-split check (snapshot has no device section)",
     )
     parser.add_argument("--pdam-tolerance", type=float, default=0.35)
+    parser.add_argument("--mq-tolerance", type=float, default=0.20)
+    parser.add_argument(
+        "--manifest",
+        help="JSON file whose 'families' gauge-name prefixes must all be "
+        "populated in the current snapshot",
+    )
     args = parser.parse_args()
 
     current = load_gauges(args.current)
@@ -180,7 +227,15 @@ def main():
         aff_failures, aff_report = check_affine(
             current, args.affine_tolerance
         )
-    pdam_failures, pdam_report = check_pdam(current, args.pdam_tolerance)
+    pdam_failures, pdam_report = check_ratio_pairs(
+        current, "pdam", args.pdam_tolerance, "Lemma 13 prediction"
+    )
+    mq_failures, mq_report = check_ratio_pairs(
+        current, "mq", args.mq_tolerance, "fitted MQ model"
+    )
+    man_failures, man_report = ([], [])
+    if args.manifest:
+        man_failures, man_report = check_manifest(current, args.manifest)
 
     print("simulated-time gauges vs baseline:")
     print("\n".join(reg_report) or "  (none)")
@@ -190,8 +245,17 @@ def main():
     if pdam_report or pdam_failures:
         print("PDAM throughput-vs-clients consistency:")
         print("\n".join(pdam_report) or "  (none)")
+    if mq_report or mq_failures:
+        print("MQ time-vs-clients consistency:")
+        print("\n".join(mq_report) or "  (none)")
+    if args.manifest:
+        print("expected gauge families (manifest):")
+        print("\n".join(man_report) or "  (none)")
 
-    failures = reg_failures + aff_failures + pdam_failures
+    failures = (
+        reg_failures + aff_failures + pdam_failures + mq_failures
+        + man_failures
+    )
     if failures:
         print("\nFAILED:", file=sys.stderr)
         for f in failures:

@@ -3,6 +3,7 @@
 //   damkit devices                         list calibrated device profiles
 //   damkit fit hdd <index>                 run §4.2 and fit the affine model
 //   damkit fit ssd <index>                 run §4.1 and fit the PDAM
+//   damkit fit mq                          sweep the MQ testbed, fit MqModel
 //   damkit optimize <alpha> [entry_bytes]  Cor 6/7/12 design guidance
 //   damkit trace stats <file.csv>          analyze a recorded IO trace
 //   damkit trace replay <file.csv> <hdd-index|ssd:index>  what-if replay
@@ -25,21 +26,28 @@ int usage() {
       "  damkit devices\n"
       "  damkit fit hdd <index 0-4>\n"
       "  damkit fit ssd <index 0-3>\n"
+      "  damkit fit mq\n"
       "  damkit optimize <alpha-per-entry> [entry_bytes]\n"
       "  damkit trace stats <file.csv>\n"
       "  damkit trace replay <file.csv> <hdd:IDX | ssd:IDX>\n"
       "  damkit metrics [--engine btree|betree|opt-betree|lsm|pdam]\n"
       "                 [--codec identity|prefix|lz] [--shards N]\n"
-      "                 [--device hdd|ssd|hdd:IDX|ssd:IDX] [--ops N]\n"
+      "                 [--device hdd|ssd|mq-ssd|hdd:IDX|ssd:IDX] [--ops N]\n"
       "                 [--json FILE] [--trace FILE]\n"
       "                 [--fault-seed SEED] [--fault-rate R]\n"
       "                 [--clients K] [--inflight D]\n"
+      "                 [--queue-depth N] [--completion-mode "
+      "polling|interrupt]\n"
       "                 [--wal] [--crash-at IO]\n"
       "\n"
       "  --wal wraps the engine in the write-ahead log + snapshot layer\n"
       "  (crash-consistent durability; off by default). --crash-at N kills\n"
       "  the device at its N-th checked IO, then reboots and recovers —\n"
-      "  requires --wal, incompatible with --clients > 1.");
+      "  requires --wal, incompatible with --clients > 1.\n"
+      "  --device mq-ssd is the multi-queue NVMe model (per-client SQ/CQ\n"
+      "  pairs); --queue-depth and --completion-mode tune its admission\n"
+      "  bound and completion cost (they also apply to plain ssd profiles,\n"
+      "  which ignore them).");
   return 2;
 }
 
@@ -67,7 +75,7 @@ int cmd_devices() {
   }
   std::fputs(ssds.to_string().c_str(), stdout);
   std::puts("(testbed profiles: sim::testbed_hdd_profile(), "
-            "sim::testbed_ssd_profile())");
+            "sim::testbed_ssd_profile(), sim::testbed_mq_profile())");
   return 0;
 }
 
@@ -99,6 +107,27 @@ int cmd_fit_ssd(size_t index) {
               res.fit.p, res.fit.saturated_mbps, res.fit.r2);
   for (const auto& s : res.samples) {
     std::printf("  p=%2d  %8.2f s\n", s.threads, s.seconds);
+  }
+  return 0;
+}
+
+int cmd_fit_mq() {
+  const sim::SsdConfig profile = sim::testbed_mq_profile();
+  std::printf("running the §4.1-style closed-loop sweep on %s "
+              "(1..64 clients) ...\n",
+              profile.name.c_str());
+  const auto res = harness::run_mq_experiment(profile, {});
+  std::printf("MQ fit:   l0 = %.0f us, beta = %.1f us/client, saturated = "
+              "%.1fk IOPS, R^2 = %.4f\n",
+              res.fit.l0_s * 1e6, res.fit.beta_s * 1e6,
+              res.fit.saturated_iops / 1e3, res.fit.r2);
+  std::printf("PDAM refit on the same sweep: P = %.1f (R^2 = %.3f) — "
+              "compare the mid-range rows below\n",
+              res.pdam_fit.p, res.pdam_fit.r2);
+  const double t1 = res.samples.empty() ? 1.0 : res.samples[0].seconds;
+  for (const auto& s : res.samples) {
+    std::printf("  q=%2d  %8.3f s  (%.2fx the single-client time)\n",
+                s.clients, s.seconds, s.seconds / t1);
   }
   return 0;
 }
@@ -166,9 +195,32 @@ int cmd_trace_replay(const char* path, const std::string& target) {
   return 0;
 }
 
-// Build the device named by `spec`: "hdd"/"ssd" (testbed profiles) or
-// "hdd:IDX"/"ssd:IDX" (paper profiles). Returns nullptr on a bad spec.
-std::unique_ptr<sim::Device> make_device(const std::string& spec) {
+// MQ knobs a --device spec may override. queue_depth 0 and an empty
+// completion_mode keep the profile's defaults; plain SSD/HDD models
+// ignore both.
+struct DeviceOverrides {
+  int queue_depth = 0;
+  std::string completion_mode;
+
+  // Returns false on an unknown completion mode.
+  bool apply(sim::SsdConfig& profile) const {
+    if (queue_depth > 0) profile.queue_depth = queue_depth;
+    if (completion_mode == "polling") {
+      profile.completion_mode = sim::CompletionMode::kPolling;
+    } else if (completion_mode == "interrupt") {
+      profile.completion_mode = sim::CompletionMode::kInterrupt;
+    } else if (!completion_mode.empty()) {
+      return false;
+    }
+    return true;
+  }
+};
+
+// Build the device named by `spec`: "hdd"/"ssd"/"mq-ssd" (testbed
+// profiles) or "hdd:IDX"/"ssd:IDX" (paper profiles). Returns nullptr on a
+// bad spec.
+std::unique_ptr<sim::Device> make_device(const std::string& spec,
+                                         const DeviceOverrides& over = {}) {
   const auto colon = spec.find(':');
   const std::string kind = spec.substr(0, colon);
   if (kind == "hdd") {
@@ -191,7 +243,13 @@ std::unique_ptr<sim::Device> make_device(const std::string& spec) {
       if (index >= profiles.size()) return nullptr;
       profile = profiles[index];
     }
+    if (!over.apply(profile)) return nullptr;
     return std::make_unique<sim::SsdDevice>(profile);
+  }
+  if (kind == "mq-ssd" && colon == std::string::npos) {
+    auto profile = sim::testbed_mq_profile();
+    if (!over.apply(profile)) return nullptr;
+    return std::make_unique<sim::MqSsdDevice>(profile);
   }
   return nullptr;
 }
@@ -216,6 +274,7 @@ int cmd_metrics(int argc, char** argv) {
   double fault_rate = 0.01;
   uint64_t clients = 1;  // > 1 serves through the concurrent scheduler
   uint64_t inflight = 4;
+  DeviceOverrides overrides;  // --queue-depth / --completion-mode
   bool use_wal = false;   // wrap the engine in the durability layer
   uint64_t crash_at = 0;  // kill the device at this checked IO (0 = never)
   for (int i = 2; i < argc; ++i) {
@@ -252,6 +311,16 @@ int cmd_metrics(int argc, char** argv) {
     } else if (arg == "--inflight" && has_next) {
       inflight = std::strtoull(argv[++i], nullptr, 10);
       if (inflight == 0) return usage();
+    } else if (arg == "--queue-depth" && has_next) {
+      overrides.queue_depth =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (overrides.queue_depth < 1) return usage();
+    } else if (arg == "--completion-mode" && has_next) {
+      overrides.completion_mode = argv[++i];
+      if (overrides.completion_mode != "polling" &&
+          overrides.completion_mode != "interrupt") {
+        return usage();
+      }
     } else if (arg == "--wal") {
       use_wal = true;
     } else if (arg == "--crash-at" && has_next) {
@@ -266,7 +335,7 @@ int cmd_metrics(int argc, char** argv) {
   // LSN stream) WAL wrapper does not serialize.
   if (crash_at != 0 && !use_wal) return usage();
   if (use_wal && clients > 1) return usage();
-  std::unique_ptr<sim::Device> inner = make_device(device_spec);
+  std::unique_ptr<sim::Device> inner = make_device(device_spec, overrides);
   if (inner == nullptr || ops == 0) return usage();
   if (fault_rate < 0.0 || fault_rate > 1.0) return usage();
 
@@ -331,8 +400,8 @@ int cmd_metrics(int argc, char** argv) {
     copts.clients = clients;
     copts.inflight = inflight;
     copts.fallible = true;
-    copts.replay_device_factory = [&device_spec] {
-      return make_device(device_spec);
+    copts.replay_device_factory = [&device_spec, &overrides] {
+      return make_device(device_spec, overrides);
     };
     if (const auto* ssd = dynamic_cast<const sim::SsdDevice*>(inner.get())) {
       const sim::SsdConfig scfg = ssd->config();
@@ -524,6 +593,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "devices") return cmd_devices();
+  if (cmd == "fit" && argc == 3 && std::strcmp(argv[2], "mq") == 0) {
+    return cmd_fit_mq();
+  }
   if (cmd == "fit" && argc == 4) {
     const size_t index = std::strtoul(argv[3], nullptr, 10);
     if (std::strcmp(argv[2], "hdd") == 0) return cmd_fit_hdd(index);
