@@ -10,6 +10,7 @@
 #include <string>
 
 #include "blockdev/codec.h"
+#include "kv/workload.h"
 #include "sim/ssd.h"
 #include "stats/metrics.h"
 
@@ -42,6 +43,11 @@ struct BenchArgs {
   /// polling|interrupt; unset keeps the profile's default).
   bool has_completion_mode = false;
   sim::CompletionMode completion_mode = sim::CompletionMode::kInterrupt;
+  /// Named workload preset (--workload ycsb-a..ycsb-f|shift|olap) for
+  /// benches that drive an OpGenerator mix; empty keeps each bench's
+  /// built-in spec. `workload_spec` is the validated preset.
+  std::string workload;
+  std::optional<kv::WorkloadSpec> workload_spec;
 
   /// Applies the MQ overrides to an SSD profile.
   sim::SsdConfig apply_mq_overrides(sim::SsdConfig cfg) const {
@@ -96,13 +102,21 @@ inline BenchArgs parse_args(int argc, char** argv) {
         std::exit(2);
       }
       args.has_completion_mode = true;
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      args.workload = argv[++i];
+      args.workload_spec = kv::make_workload_preset(args.workload);
+      if (!args.workload_spec.has_value()) {
+        std::fprintf(stderr, "unknown --workload (want %s)\n",
+                     kv::workload_preset_names());
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--quick] [--seed N] [--csv-prefix P] [--threads N] "
           "[--metrics-json FILE] [--codec identity|prefix|lz] "
           "[--clients K] [--inflight D] [--queue-depth N] "
-          "[--completion-mode polling|interrupt]\n",
-          argv[0]);
+          "[--completion-mode polling|interrupt] [--workload %s]\n",
+          argv[0], kv::workload_preset_names());
       std::exit(0);
     }
   }

@@ -458,14 +458,22 @@ StatusOr<bool> BeTree::scan_rec(
       prefetched_until = end;
       window = std::min(window * 2, config_.scan_prefetch_window);
     }
-    const std::string* child_lo = (i == 0) ? nullptr : &node->pivot(i - 1);
-    const std::string* child_hi =
-        (i == node->pivot_count()) ? nullptr : &node->pivot(i);
+    std::string lo_buf, hi_buf;
+    const std::string* child_lo = nullptr;
+    if (i > 0) {
+      lo_buf = std::string(node->pivot(i - 1));
+      child_lo = &lo_buf;
+    }
+    const std::string* child_hi = nullptr;
+    if (i != node->pivot_count()) {
+      hi_buf = std::string(node->pivot(i));
+      child_hi = &hi_buf;
+    }
     std::vector<std::vector<Message>> child_pending =
         filter_pending(pending, child_lo, child_hi);
     std::vector<Message> mine;
-    for (const Message& m : node->buffer(i)) {
-      if (kv::compare(m.key, lo) >= 0) mine.push_back(m);
+    for (const MessageView m : node->buffer(i)) {
+      if (kv::compare(m.key, lo) >= 0) mine.push_back(m.to_message());
     }
     child_pending.push_back(std::move(mine));
     StatusOr<bool> done = scan_rec(node->child(i), lo, limit, child_pending,
@@ -526,7 +534,7 @@ void BeTree::bulk_load(
       cur = BeTreeNode::make_leaf();
     }
     if (cur->entry_count() == 0) cur_first = key;
-    cur->leaf_append(std::move(key), std::move(value));
+    cur->leaf_append(key, value);
   }
   {
     const uint64_t id = store_.allocate();
@@ -632,11 +640,19 @@ void BeTree::check_subtree(uint64_t id, const std::string* lo,
     DAMKIT_CHECK(kv::compare(node->pivot(i), node->pivot(i + 1)) < 0);
   }
   for (size_t i = 0; i < node->child_count(); ++i) {
-    const std::string* child_lo = (i == 0) ? lo : &node->pivot(i - 1);
-    const std::string* child_hi =
-        (i == node->pivot_count()) ? hi : &node->pivot(i);
+    std::string lo_buf, hi_buf;
+    const std::string* child_lo = lo;
+    if (i > 0) {
+      lo_buf = std::string(node->pivot(i - 1));
+      child_lo = &lo_buf;
+    }
+    const std::string* child_hi = hi;
+    if (i != node->pivot_count()) {
+      hi_buf = std::string(node->pivot(i));
+      child_hi = &hi_buf;
+    }
     // Buffer routing: every pending message belongs to this child's range.
-    for (const Message& m : node->buffer(i)) {
+    for (const MessageView m : node->buffer(i)) {
       DAMKIT_CHECK_MSG(
           child_lo == nullptr || kv::compare(*child_lo, m.key) <= 0,
           "misrouted message below child " << i << "/" << node->child_count()

@@ -12,9 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <string_view>
+
+#include "util/bytes.h"
 
 namespace damkit::betree {
 
@@ -30,6 +33,91 @@ struct Message {
     return 1 + 2 + 4 + key_len + payload_len;
   }
   uint64_t bytes() const { return bytes_for(key.size(), payload.size()); }
+};
+
+// ---------------------------------------------------------------------------
+// Wire-format message records. Node buffer segments hold messages packed in
+// arrival order as [u8 kind][u16 klen][u32 plen][key][payload] — exactly the
+// serialized node layout, so segments round-trip by memcpy.
+// ---------------------------------------------------------------------------
+
+/// Full record length of the message record at `p`.
+inline size_t message_record_len(const uint8_t* p) {
+  return size_t{7} + load_u16(p + 1) + load_u32(p + 3);
+}
+
+/// Encode a message record at `p` (caller allocates bytes_for(...) bytes).
+inline void encode_message_record(uint8_t* p, MessageKind kind,
+                                  std::string_view key,
+                                  std::string_view payload) {
+  p[0] = static_cast<uint8_t>(kind);
+  store_u16(p + 1, static_cast<uint16_t>(key.size()));
+  store_u32(p + 3, static_cast<uint32_t>(payload.size()));
+  std::memcpy(p + 7, key.data(), key.size());
+  std::memcpy(p + 7 + key.size(), payload.data(), payload.size());
+}
+
+/// Zero-copy view of one message record; valid while the backing segment
+/// is unmutated.
+struct MessageView {
+  MessageKind kind = MessageKind::kPut;
+  std::string_view key;
+  std::string_view payload;
+
+  Message to_message() const {
+    return Message{kind, std::string(key), std::string(payload)};
+  }
+  uint64_t bytes() const {
+    return Message::bytes_for(key.size(), payload.size());
+  }
+};
+
+inline MessageView decode_message_view(const uint8_t* p) {
+  const uint16_t klen = load_u16(p + 1);
+  const uint32_t plen = load_u32(p + 3);
+  return MessageView{
+      static_cast<MessageKind>(p[0]),
+      std::string_view(reinterpret_cast<const char*>(p + 7), klen),
+      std::string_view(reinterpret_cast<const char*>(p + 7 + klen), plen)};
+}
+
+/// Forward range over a packed message segment, in arrival order.
+class MsgRange {
+ public:
+  MsgRange() = default;
+  MsgRange(const uint8_t* data, size_t size, size_t count)
+      : data_(data), size_(size), count_(count) {}
+
+  class iterator {
+   public:
+    explicit iterator(const uint8_t* p) : p_(p) {}
+    MessageView operator*() const { return decode_message_view(p_); }
+    iterator& operator++() {
+      p_ += message_record_len(p_);
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return p_ == o.p_; }
+    bool operator!=(const iterator& o) const { return p_ != o.p_; }
+
+   private:
+    const uint8_t* p_;
+  };
+
+  iterator begin() const { return iterator(data_); }
+  iterator end() const { return iterator(data_ + size_); }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// O(i) positional decode — test/debug convenience only.
+  MessageView operator[](size_t i) const {
+    iterator it = begin();
+    for (; i > 0; --i) ++it;
+    return *it;
+  }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t count_ = 0;
 };
 
 /// Encode a counter for use with kUpsert payloads/values.

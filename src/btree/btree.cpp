@@ -167,7 +167,7 @@ StatusOr<std::optional<std::string>> BTree::try_get(std::string_view key) {
   DAMKIT_RETURN_IF_ERROR(descend(key, &leaf_id, nullptr, &leaf));
   const size_t i = leaf->lower_bound(key);
   if (!leaf->key_equals(i, key)) return std::optional<std::string>();
-  return std::optional<std::string>(leaf->value(i));
+  return std::optional<std::string>(std::string(leaf->value(i)));
 }
 
 bool BTree::erase(std::string_view key) {
@@ -223,7 +223,7 @@ Status BTree::rebalance_upward(std::vector<PathEntry>& path, uint64_t node_id,
       right_id = node_id;
       right = node;
     }
-    const std::string separator = parent.node->pivot(left_idx);
+    const std::string separator(parent.node->pivot(left_idx));
 
     uint64_t merged = left->byte_size() + right->byte_size() -
                       BTreeNode::header_bytes();
@@ -351,7 +351,7 @@ void BTree::bulk_load(
       cur_id = store_.allocate();
     }
     if (cur->entry_count() == 0) cur_first = key;
-    cur->leaf_append(std::move(key), std::move(value));
+    cur->leaf_append(key, value);
   }
   if (pending) {
     pending->set_next_leaf(cur_id);
@@ -471,9 +471,19 @@ void BTree::check_subtree(uint64_t id, const std::string* lo,
     DAMKIT_CHECK(kv::compare(node->pivot(i), node->pivot(i + 1)) < 0);
   }
   for (size_t i = 0; i < node->child_count(); ++i) {
-    const std::string* child_lo = (i == 0) ? lo : &node->pivot(i - 1);
-    const std::string* child_hi =
-        (i == node->pivot_count()) ? hi : &node->pivot(i);
+    // Pivot views don't outlive fetches inside the recursion; materialize
+    // the bounds for this child.
+    std::string lo_buf, hi_buf;
+    const std::string* child_lo = lo;
+    if (i > 0) {
+      lo_buf = std::string(node->pivot(i - 1));
+      child_lo = &lo_buf;
+    }
+    const std::string* child_hi = hi;
+    if (i != node->pivot_count()) {
+      hi_buf = std::string(node->pivot(i));
+      child_hi = &hi_buf;
+    }
     check_subtree(node->child(i), child_lo, child_hi, depth + 1, leaf_depth,
                   entries, expected_leaf);
   }

@@ -9,7 +9,23 @@
 namespace damkit::btree {
 
 namespace {
+
 constexpr uint32_t kMagic = 0x42544e44;  // "BTND"
+
+size_t leaf_record_len(const uint8_t* p) {
+  return size_t{6} + load_u16(p) + load_u32(p + 2);
+}
+
+size_t pivot_record_len(const uint8_t* p) { return size_t{2} + load_u16(p); }
+
+std::string_view leaf_record_key(std::string_view rec) {
+  return rec.substr(6, load_u16(reinterpret_cast<const uint8_t*>(rec.data())));
+}
+
+std::string_view pivot_record_key(std::string_view rec) {
+  return rec.substr(2);
+}
+
 }  // namespace
 
 uint64_t BTreeNode::header_bytes() {
@@ -23,46 +39,51 @@ uint64_t BTreeNode::leaf_entry_bytes(size_t klen, size_t vlen) {
 
 uint64_t BTreeNode::pivot_bytes(size_t klen) { return 2 + klen; }
 
+void BTreeNode::encode_leaf_record(uint8_t* p, std::string_view key,
+                                   std::string_view value) {
+  store_u16(p, static_cast<uint16_t>(key.size()));
+  store_u32(p + 2, static_cast<uint32_t>(value.size()));
+  std::memcpy(p + 6, key.data(), key.size());
+  std::memcpy(p + 6 + key.size(), value.data(), value.size());
+}
+
+void BTreeNode::encode_pivot_record(uint8_t* p, std::string_view key) {
+  store_u16(p, static_cast<uint16_t>(key.size()));
+  std::memcpy(p + 2, key.data(), key.size());
+}
+
 std::shared_ptr<BTreeNode> BTreeNode::make_leaf() {
   auto n = std::shared_ptr<BTreeNode>(new BTreeNode());
   n->is_leaf_ = true;
-  n->byte_size_ = header_bytes();
   return n;
 }
 
 std::shared_ptr<BTreeNode> BTreeNode::make_internal() {
   auto n = std::shared_ptr<BTreeNode>(new BTreeNode());
   n->is_leaf_ = false;
-  n->byte_size_ = header_bytes();
   return n;
 }
 
 size_t BTreeNode::lower_bound(std::string_view key) const {
-  const auto it = std::lower_bound(
-      keys_.begin(), keys_.end(), key,
-      [](const std::string& a, std::string_view b) {
-        return kv::compare(a, b) < 0;
-      });
-  return static_cast<size_t>(it - keys_.begin());
+  return page_.lower_bound(key, leaf_record_key);
 }
 
 bool BTreeNode::key_equals(size_t i, std::string_view key) const {
-  return i < keys_.size() && kv::compare(keys_[i], key) == 0;
+  return i < page_.count() && kv::compare(this->key(i), key) == 0;
 }
 
 bool BTreeNode::leaf_put(std::string_view key, std::string_view value) {
   DAMKIT_CHECK(is_leaf_);
   const size_t i = lower_bound(key);
   if (key_equals(i, key)) {
-    byte_size_ += value.size();
-    byte_size_ -= values_[i].size();
-    values_[i].assign(value);
+    uint8_t* p = page_.replace_alloc(i, leaf_entry_bytes(key.size(),
+                                                         value.size()));
+    encode_leaf_record(p, key, value);
     return false;
   }
-  keys_.insert(keys_.begin() + static_cast<ptrdiff_t>(i), std::string(key));
-  values_.insert(values_.begin() + static_cast<ptrdiff_t>(i),
-                 std::string(value));
-  byte_size_ += leaf_entry_bytes(key.size(), value.size());
+  uint8_t* p =
+      page_.insert_alloc(i, leaf_entry_bytes(key.size(), value.size()));
+  encode_leaf_record(p, key, value);
   return true;
 }
 
@@ -70,122 +91,97 @@ bool BTreeNode::leaf_erase(std::string_view key) {
   DAMKIT_CHECK(is_leaf_);
   const size_t i = lower_bound(key);
   if (!key_equals(i, key)) return false;
-  byte_size_ -= leaf_entry_bytes(keys_[i].size(), values_[i].size());
-  keys_.erase(keys_.begin() + static_cast<ptrdiff_t>(i));
-  values_.erase(values_.begin() + static_cast<ptrdiff_t>(i));
+  page_.erase(i);
   return true;
 }
 
-void BTreeNode::leaf_append(std::string key, std::string value) {
+void BTreeNode::leaf_append(std::string_view key, std::string_view value) {
   DAMKIT_CHECK(is_leaf_);
-  DAMKIT_CHECK(keys_.empty() || kv::compare(keys_.back(), key) < 0);
-  byte_size_ += leaf_entry_bytes(key.size(), value.size());
-  keys_.push_back(std::move(key));
-  values_.push_back(std::move(value));
+  DAMKIT_CHECK(page_.empty() ||
+               kv::compare(this->key(page_.count() - 1), key) < 0);
+  uint8_t* p = page_.insert_alloc(page_.count(),
+                                  leaf_entry_bytes(key.size(), value.size()));
+  encode_leaf_record(p, key, value);
 }
 
 size_t BTreeNode::child_index(std::string_view key) const {
   DAMKIT_CHECK(!is_leaf_);
-  const auto it = std::upper_bound(
-      keys_.begin(), keys_.end(), key,
-      [](std::string_view a, const std::string& b) {
-        return kv::compare(a, b) < 0;
-      });
-  return static_cast<size_t>(it - keys_.begin());
+  return page_.upper_bound(key, pivot_record_key);
 }
 
 void BTreeNode::internal_init(uint64_t first_child) {
   DAMKIT_CHECK(!is_leaf_);
   DAMKIT_CHECK(children_.empty());
   children_.push_back(first_child);
-  byte_size_ += child_bytes();
 }
 
-void BTreeNode::internal_insert(size_t child_idx, std::string pivot,
+void BTreeNode::internal_insert(size_t child_idx, std::string_view pivot,
                                 uint64_t right_child) {
   DAMKIT_CHECK(!is_leaf_);
   DAMKIT_CHECK(child_idx < children_.size());
-  byte_size_ += pivot_bytes(pivot.size()) + child_bytes();
-  keys_.insert(keys_.begin() + static_cast<ptrdiff_t>(child_idx),
-               std::move(pivot));
+  uint8_t* p = page_.insert_alloc(child_idx, pivot_bytes(pivot.size()));
+  encode_pivot_record(p, pivot);
   children_.insert(children_.begin() + static_cast<ptrdiff_t>(child_idx) + 1,
                    right_child);
 }
 
 void BTreeNode::internal_remove(size_t pivot_idx) {
   DAMKIT_CHECK(!is_leaf_);
-  DAMKIT_CHECK(pivot_idx < keys_.size());
-  byte_size_ -= pivot_bytes(keys_[pivot_idx].size()) + child_bytes();
-  keys_.erase(keys_.begin() + static_cast<ptrdiff_t>(pivot_idx));
+  DAMKIT_CHECK(pivot_idx < page_.count());
+  page_.erase(pivot_idx);
   children_.erase(children_.begin() + static_cast<ptrdiff_t>(pivot_idx) + 1);
 }
 
-void BTreeNode::internal_set_pivot(size_t i, std::string key) {
+void BTreeNode::internal_set_pivot(size_t i, std::string_view key) {
   DAMKIT_CHECK(!is_leaf_);
-  DAMKIT_CHECK(i < keys_.size());
-  byte_size_ += pivot_bytes(key.size());
-  byte_size_ -= pivot_bytes(keys_[i].size());
-  keys_[i] = std::move(key);
+  DAMKIT_CHECK(i < page_.count());
+  uint8_t* p = page_.replace_alloc(i, pivot_bytes(key.size()));
+  encode_pivot_record(p, key);
 }
 
 BTreeNode::SplitResult BTreeNode::split() {
   SplitResult result;
   if (is_leaf_) {
-    DAMKIT_CHECK(keys_.size() >= 2);
+    DAMKIT_CHECK(page_.count() >= 2);
     // Split point: first index where the prefix reaches half the payload.
-    const uint64_t payload = byte_size_ - header_bytes();
+    const uint64_t payload = byte_size() - header_bytes();
     uint64_t acc = 0;
     size_t m = 0;
-    while (m + 1 < keys_.size() && acc < payload / 2) {
-      acc += leaf_entry_bytes(keys_[m].size(), values_[m].size());
+    while (m + 1 < page_.count() && acc < payload / 2) {
+      acc += page_.record(m).size();
       ++m;
     }
     if (m == 0) m = 1;
 
     result.right = make_leaf();
     BTreeNode& r = *result.right;
-    for (size_t i = m; i < keys_.size(); ++i) {
-      r.byte_size_ += leaf_entry_bytes(keys_[i].size(), values_[i].size());
-    }
-    r.keys_.assign(std::make_move_iterator(keys_.begin() + static_cast<ptrdiff_t>(m)),
-                   std::make_move_iterator(keys_.end()));
-    r.values_.assign(
-        std::make_move_iterator(values_.begin() + static_cast<ptrdiff_t>(m)),
-        std::make_move_iterator(values_.end()));
-    keys_.resize(m);
-    values_.resize(m);
-    byte_size_ -= r.byte_size_ - header_bytes();
+    for (size_t i = m; i < page_.count(); ++i) r.page_.append(page_.record(i));
+    page_.truncate(m);
     r.next_leaf_ = next_leaf_;
     // Caller sets this->next_leaf_ to the new node's id once allocated.
-    result.separator = r.keys_.front();
+    result.separator = std::string(r.key(0));
   } else {
-    DAMKIT_CHECK(keys_.size() >= 3);
+    DAMKIT_CHECK(page_.count() >= 3);
     // Median pivot (by bytes) moves up.
-    const uint64_t payload = byte_size_ - header_bytes();
+    const uint64_t payload = byte_size() - header_bytes();
     uint64_t acc = child_bytes();
     size_t m = 0;
-    while (m + 2 < keys_.size() && acc < payload / 2) {
-      acc += pivot_bytes(keys_[m].size()) + child_bytes();
+    while (m + 2 < page_.count() && acc < payload / 2) {
+      acc += page_.record(m).size() + child_bytes();
       ++m;
     }
     if (m == 0) m = 1;
 
-    result.separator = std::move(keys_[m]);
+    result.separator = std::string(pivot(m));
     result.right = make_internal();
     BTreeNode& r = *result.right;
-    for (size_t i = m + 1; i < keys_.size(); ++i) {
-      r.byte_size_ += pivot_bytes(keys_[i].size());
+    for (size_t i = m + 1; i < page_.count(); ++i) {
+      r.page_.append(page_.record(i));
     }
-    r.byte_size_ += child_bytes() * (children_.size() - (m + 1));
-    r.keys_.assign(
-        std::make_move_iterator(keys_.begin() + static_cast<ptrdiff_t>(m) + 1),
-        std::make_move_iterator(keys_.end()));
     r.children_.assign(children_.begin() + static_cast<ptrdiff_t>(m) + 1,
                        children_.end());
-    keys_.resize(m);
+    page_.truncate(m);
     children_.resize(m + 1);
-    byte_size_ -= r.byte_size_ - header_bytes();
-    byte_size_ -= pivot_bytes(result.separator.size());
   }
   return result;
 }
@@ -193,29 +189,21 @@ BTreeNode::SplitResult BTreeNode::split() {
 void BTreeNode::merge_from_right(BTreeNode& right, std::string_view separator) {
   DAMKIT_CHECK(is_leaf_ == right.is_leaf_);
   if (is_leaf_) {
-    for (size_t i = 0; i < right.keys_.size(); ++i) {
-      byte_size_ +=
-          leaf_entry_bytes(right.keys_[i].size(), right.values_[i].size());
-      keys_.push_back(std::move(right.keys_[i]));
-      values_.push_back(std::move(right.values_[i]));
+    for (size_t i = 0; i < right.page_.count(); ++i) {
+      page_.append(right.page_.record(i));
     }
     next_leaf_ = right.next_leaf_;
   } else {
-    byte_size_ += pivot_bytes(separator.size());
-    keys_.emplace_back(separator);
-    for (auto& k : right.keys_) {
-      byte_size_ += pivot_bytes(k.size());
-      keys_.push_back(std::move(k));
+    uint8_t* p = page_.insert_alloc(page_.count(),
+                                    pivot_bytes(separator.size()));
+    encode_pivot_record(p, separator);
+    for (size_t i = 0; i < right.page_.count(); ++i) {
+      page_.append(right.page_.record(i));
     }
-    for (uint64_t c : right.children_) {
-      byte_size_ += child_bytes();
-      children_.push_back(c);
-    }
+    for (uint64_t c : right.children_) children_.push_back(c);
   }
-  right.keys_.clear();
-  right.values_.clear();
+  right.page_.clear();
   right.children_.clear();
-  right.byte_size_ = header_bytes();
 }
 
 std::string BTreeNode::borrow_balance(BTreeNode& right,
@@ -223,93 +211,71 @@ std::string BTreeNode::borrow_balance(BTreeNode& right,
   DAMKIT_CHECK(is_leaf_ == right.is_leaf_);
   if (is_leaf_) {
     // Move entries across until the byte sizes are as balanced as possible.
-    while (byte_size_ < right.byte_size_ && right.keys_.size() > 1) {
-      const uint64_t moved =
-          leaf_entry_bytes(right.keys_.front().size(),
-                           right.values_.front().size());
-      if (byte_size_ + moved > right.byte_size_ - moved &&
-          byte_size_ + moved > right.byte_size_) {
+    while (byte_size() < right.byte_size() && right.page_.count() > 1) {
+      const uint64_t moved = right.page_.record(0).size();
+      if (byte_size() + moved > right.byte_size() - moved &&
+          byte_size() + moved > right.byte_size()) {
         break;
       }
-      keys_.push_back(std::move(right.keys_.front()));
-      values_.push_back(std::move(right.values_.front()));
-      right.keys_.erase(right.keys_.begin());
-      right.values_.erase(right.values_.begin());
-      byte_size_ += moved;
-      right.byte_size_ -= moved;
+      page_.append(right.page_.record(0));
+      right.page_.drop_front(1);
     }
-    while (right.byte_size_ < byte_size_ && keys_.size() > 1) {
-      const uint64_t moved =
-          leaf_entry_bytes(keys_.back().size(), values_.back().size());
-      if (right.byte_size_ + moved > byte_size_ - moved &&
-          right.byte_size_ + moved > byte_size_) {
+    while (right.byte_size() < byte_size() && page_.count() > 1) {
+      const uint64_t moved = page_.record(page_.count() - 1).size();
+      if (right.byte_size() + moved > byte_size() - moved &&
+          right.byte_size() + moved > byte_size()) {
         break;
       }
-      right.keys_.insert(right.keys_.begin(), std::move(keys_.back()));
-      right.values_.insert(right.values_.begin(), std::move(values_.back()));
-      keys_.pop_back();
-      values_.pop_back();
-      right.byte_size_ += moved;
-      byte_size_ -= moved;
+      right.page_.insert(0, page_.record(page_.count() - 1));
+      page_.truncate(page_.count() - 1);
     }
-    return right.keys_.front();
+    return std::string(right.key(0));
   }
 
   // Internal: rotate through the separator.
   std::string sep(separator);
-  while (byte_size_ < right.byte_size_ && right.keys_.size() > 1) {
+  while (byte_size() < right.byte_size() && right.page_.count() > 1) {
     const uint64_t gain = pivot_bytes(sep.size()) + child_bytes();
-    const uint64_t loss =
-        pivot_bytes(right.keys_.front().size()) + child_bytes();
-    if (byte_size_ + gain > right.byte_size_ - loss) break;
-    keys_.push_back(std::move(sep));
+    const uint64_t loss = right.page_.record(0).size() + child_bytes();
+    if (byte_size() + gain > right.byte_size() - loss) break;
+    uint8_t* p = page_.insert_alloc(page_.count(), pivot_bytes(sep.size()));
+    encode_pivot_record(p, sep);
     children_.push_back(right.children_.front());
-    byte_size_ += gain;
-    sep = std::move(right.keys_.front());
-    right.keys_.erase(right.keys_.begin());
+    sep = std::string(right.pivot(0));
+    right.page_.drop_front(1);
     right.children_.erase(right.children_.begin());
-    right.byte_size_ -= loss;
   }
-  while (right.byte_size_ < byte_size_ && keys_.size() > 1) {
+  while (right.byte_size() < byte_size() && page_.count() > 1) {
     const uint64_t gain = pivot_bytes(sep.size()) + child_bytes();
-    const uint64_t loss = pivot_bytes(keys_.back().size()) + child_bytes();
-    if (right.byte_size_ + gain > byte_size_ - loss) break;
-    right.keys_.insert(right.keys_.begin(), std::move(sep));
+    const uint64_t loss = page_.record(page_.count() - 1).size() +
+                          child_bytes();
+    if (right.byte_size() + gain > byte_size() - loss) break;
+    uint8_t* p = right.page_.insert_alloc(0, pivot_bytes(sep.size()));
+    encode_pivot_record(p, sep);
     right.children_.insert(right.children_.begin(), children_.back());
-    right.byte_size_ += gain;
-    sep = std::move(keys_.back());
-    keys_.pop_back();
+    sep = std::string(pivot(page_.count() - 1));
+    page_.truncate(page_.count() - 1);
     children_.pop_back();
-    byte_size_ -= loss;
   }
   return sep;
 }
 
 void BTreeNode::serialize(std::vector<uint8_t>& out) const {
   out.clear();
-  out.reserve(byte_size_);
+  out.reserve(byte_size());
   kv::Writer w(out);
   w.put_u32(kMagic);
   w.put_u8(is_leaf_ ? 1 : 0);
-  w.put_u32(static_cast<uint32_t>(is_leaf_ ? keys_.size() : children_.size()));
+  w.put_u32(static_cast<uint32_t>(is_leaf_ ? page_.count()
+                                           : children_.size()));
   w.put_u64(next_leaf_);
-  if (is_leaf_) {
-    for (size_t i = 0; i < keys_.size(); ++i) {
-      w.put_u16(static_cast<uint16_t>(keys_[i].size()));
-      w.put_u32(static_cast<uint32_t>(values_[i].size()));
-      w.put_bytes(keys_[i]);
-      w.put_bytes(values_[i]);
-    }
-  } else {
+  if (!is_leaf_) {
     for (uint64_t c : children_) w.put_u64(c);
-    for (const auto& k : keys_) {
-      w.put_u16(static_cast<uint16_t>(k.size()));
-      w.put_bytes(k);
-    }
   }
-  DAMKIT_CHECK_MSG(out.size() == byte_size_,
+  page_.write_to(&out);
+  DAMKIT_CHECK_MSG(out.size() == byte_size(),
                    "size accounting drift: serialized "
-                       << out.size() << " vs tracked " << byte_size_);
+                       << out.size() << " vs tracked " << byte_size());
 }
 
 std::shared_ptr<BTreeNode> BTreeNode::deserialize(
@@ -322,27 +288,16 @@ std::shared_ptr<BTreeNode> BTreeNode::deserialize(
   auto node = leaf ? make_leaf() : make_internal();
   node->next_leaf_ = next;
   if (leaf) {
-    node->keys_.reserve(count);
-    node->values_.reserve(count);
-    for (uint32_t i = 0; i < count; ++i) {
-      const uint16_t klen = r.get_u16();
-      const uint32_t vlen = r.get_u32();
-      node->keys_.push_back(r.get_bytes(klen));
-      node->values_.push_back(r.get_bytes(vlen));
-      node->byte_size_ += leaf_entry_bytes(klen, vlen);
-    }
+    node->page_.build_from_prefix(image.data() + r.position(),
+                                  image.size() - r.position(), count,
+                                  leaf_record_len);
   } else {
     node->children_.reserve(count);
-    for (uint32_t i = 0; i < count; ++i) {
-      node->children_.push_back(r.get_u64());
-      node->byte_size_ += child_bytes();
-    }
-    node->keys_.reserve(count - 1);
-    for (uint32_t i = 0; i + 1 < count; ++i) {
-      const uint16_t klen = r.get_u16();
-      node->keys_.push_back(r.get_bytes(klen));
-      node->byte_size_ += pivot_bytes(klen);
-    }
+    for (uint32_t i = 0; i < count; ++i) node->children_.push_back(r.get_u64());
+    node->page_.build_from_prefix(image.data() + r.position(),
+                                  image.size() - r.position(),
+                                  count == 0 ? 0 : count - 1,
+                                  pivot_record_len);
   }
   return node;
 }
@@ -350,12 +305,14 @@ std::shared_ptr<BTreeNode> BTreeNode::deserialize(
 uint64_t BTreeNode::recomputed_byte_size() const {
   uint64_t size = header_bytes();
   if (is_leaf_) {
-    for (size_t i = 0; i < keys_.size(); ++i) {
-      size += leaf_entry_bytes(keys_[i].size(), values_[i].size());
+    for (size_t i = 0; i < page_.count(); ++i) {
+      size += leaf_entry_bytes(key(i).size(), value(i).size());
     }
   } else {
     size += child_bytes() * children_.size();
-    for (const auto& k : keys_) size += pivot_bytes(k.size());
+    for (size_t i = 0; i < page_.count(); ++i) {
+      size += pivot_bytes(pivot(i).size());
+    }
   }
   return size;
 }

@@ -1,10 +1,15 @@
 // In-memory B-tree node and its on-"disk" image.
 //
 // A node is either a leaf (sorted key/value entries, chained to the next
-// leaf B+-tree style) or an internal node (n-1 pivots, n child ids). The
-// serialized size is tracked incrementally so overflow/underflow checks
-// are O(1); serialize()/deserialize() produce a little-endian image whose
-// length always equals byte_size().
+// leaf B+-tree style) or an internal node (n-1 pivots, n child ids).
+//
+// Records live in a node::SlottedPage in wire format, so deserialize is
+// one bulk copy plus a header walk (no per-entry string allocations),
+// serialize of an untouched node is one memcpy, and key()/value()/pivot()
+// are zero-copy kv::Slice views into the page. The wire image is
+// byte-identical to the pre-slotted layout, and byte_size() is derived
+// from the page's live bytes, so sizes (and therefore every split/merge
+// decision and sim-time gauge) are unchanged by construction.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,10 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "kv/slice.h"
+#include "node/slotted_page.h"
+#include "util/bytes.h"
 
 namespace damkit::btree {
 
@@ -24,12 +33,21 @@ class BTreeNode {
   static std::shared_ptr<BTreeNode> make_internal();
 
   bool is_leaf() const { return is_leaf_; }
-  uint64_t byte_size() const { return byte_size_; }
+  uint64_t byte_size() const {
+    return header_bytes() + child_bytes() * children_.size() +
+           page_.live_bytes();
+  }
 
-  // --- Leaf accessors ---
-  size_t entry_count() const { return keys_.size(); }
-  const std::string& key(size_t i) const { return keys_[i]; }
-  const std::string& value(size_t i) const { return values_[i]; }
+  // --- Leaf accessors (views are invalidated by any mutation) ---
+  size_t entry_count() const { return page_.count(); }
+  kv::Slice key(size_t i) const {
+    const kv::Slice rec = page_.record(i);
+    return rec.substr(6, rec_klen(rec));
+  }
+  kv::Slice value(size_t i) const {
+    const kv::Slice rec = page_.record(i);
+    return rec.substr(6 + rec_klen(rec));
+  }
   uint64_t next_leaf() const { return next_leaf_; }
   void set_next_leaf(uint64_t id) { next_leaf_ = id; }
 
@@ -43,13 +61,13 @@ class BTreeNode {
   /// Remove `key` if present; returns true if removed.
   bool leaf_erase(std::string_view key);
   /// Append an entry known to sort after all existing ones (bulk load).
-  void leaf_append(std::string key, std::string value);
+  void leaf_append(std::string_view key, std::string_view value);
 
   // --- Internal accessors ---
   size_t child_count() const { return children_.size(); }
   uint64_t child(size_t i) const { return children_[i]; }
-  size_t pivot_count() const { return keys_.size(); }
-  const std::string& pivot(size_t i) const { return keys_[i]; }
+  size_t pivot_count() const { return page_.count(); }
+  kv::Slice pivot(size_t i) const { return page_.record(i).substr(2); }
 
   /// Index of the child covering `key`: first pivot > key.
   size_t child_index(std::string_view key) const;
@@ -57,12 +75,12 @@ class BTreeNode {
   /// Seed an internal node with its first child (no pivot yet).
   void internal_init(uint64_t first_child);
   /// Insert `(pivot, right_child)` after child at `child_idx`.
-  void internal_insert(size_t child_idx, std::string pivot,
+  void internal_insert(size_t child_idx, std::string_view pivot,
                        uint64_t right_child);
   /// Remove pivot `i` and child `i+1` (after a merge of i+1 into i).
   void internal_remove(size_t pivot_idx);
   /// Replace pivot i's key (borrow rebalancing).
-  void internal_set_pivot(size_t i, std::string key);
+  void internal_set_pivot(size_t i, std::string_view key);
 
   // --- Splitting (both kinds) ---
   struct SplitResult {
@@ -89,7 +107,7 @@ class BTreeNode {
       std::span<const uint8_t> image);
 
   /// Recompute byte_size_ from scratch (used by tests to cross-check the
-  /// incremental accounting).
+  /// record length fields against the encoded key/value lengths).
   uint64_t recomputed_byte_size() const;
 
   static uint64_t header_bytes();
@@ -100,13 +118,21 @@ class BTreeNode {
  private:
   BTreeNode() = default;
 
+  static uint16_t rec_klen(std::string_view rec) {
+    return load_u16(reinterpret_cast<const uint8_t*>(rec.data()));
+  }
+  /// Encode a leaf record [u16 klen][u32 vlen][key][value] at `p`.
+  static void encode_leaf_record(uint8_t* p, std::string_view key,
+                                 std::string_view value);
+  /// Encode a pivot record [u16 klen][key] at `p`.
+  static void encode_pivot_record(uint8_t* p, std::string_view key);
+
   bool is_leaf_ = true;
-  // Leaf: entry keys. Internal: pivots (child_count-1 of them).
-  std::vector<std::string> keys_;
-  std::vector<std::string> values_;    // leaf only
+  // Leaf: [u16 klen][u32 vlen][key][value] records. Internal: [u16
+  // klen][key] pivot records (child_count-1 of them).
+  node::SlottedPage page_;
   std::vector<uint64_t> children_;     // internal only
   uint64_t next_leaf_ = kInvalidNode;  // leaf only
-  uint64_t byte_size_ = 0;
 };
 
 }  // namespace damkit::btree

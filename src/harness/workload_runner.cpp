@@ -28,10 +28,11 @@ WorkloadRunResult WorkloadRunner::run(const kv::WorkloadSpec& spec,
 
   kv::ApplyCounters counters;
   const kv::ApplyOptions apply_options{options.fallible};
+  kv::ApplyScratch scratch;  // key/value buffers reused across all ops
   for (uint64_t i = 0; i < ops; ++i) {
     const kv::Op op = gen.next();
     kv::apply_op(*dict_, op, i, spec, apply_options, &result.digest,
-                 &counters);
+                 &counters, &scratch);
   }
   result.puts = counters.puts;
   result.gets = counters.gets;

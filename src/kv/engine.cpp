@@ -1,6 +1,7 @@
 #include "kv/engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <numeric>
 #include <utility>
@@ -9,6 +10,8 @@
 #include "betree/message.h"
 #include "betree_opt/opt_betree.h"
 #include "blockdev/retry.h"
+#include "node/slotted_page.h"
+#include "util/bytes.h"
 
 namespace damkit::kv {
 
@@ -308,24 +311,25 @@ class PdamEngine final : public Dictionary {
     const auto hit = buffer_.find(std::string(key));
     if (hit != buffer_.end()) return hit->second;  // value or tombstone
     const size_t rank = base_rank(key);
-    if (rank >= base_.size() || base_[rank].first != key) {
+    if (rank >= base_.count() || compare(base_key(rank), key) != 0) {
       if (!base_.empty()) charge_descent(rank);
       return std::nullopt;
     }
     charge_descent(rank);
-    return base_[rank].second;
+    return std::string(base_value(rank));
   }
   StatusOr<std::optional<std::string>> try_get(std::string_view key) override {
     ++gets_;
     const auto hit = buffer_.find(std::string(key));
     if (hit != buffer_.end()) return hit->second;
     const size_t rank = base_rank(key);
-    const bool found = rank < base_.size() && base_[rank].first == key;
+    const bool found =
+        rank < base_.count() && compare(base_key(rank), key) == 0;
     if (!base_.empty()) {
       DAMKIT_RETURN_IF_ERROR(try_charge_descent(rank));
     }
     if (!found) return std::optional<std::string>();
-    return std::optional<std::string>(base_[rank].second);
+    return std::optional<std::string>(std::string(base_value(rank)));
   }
 
   void erase(std::string_view key) override {
@@ -377,19 +381,16 @@ class PdamEngine final : public Dictionary {
       override {
     DAMKIT_CHECK_MSG(base_.empty() && buffer_.empty(),
                      "bulk_load requires an empty dictionary");
-    base_.reserve(count);
-    uint64_t bytes = 0;
     for (uint64_t i = 0; i < count; ++i) {
-      std::pair<std::string, std::string> kv = item(i);
+      const std::pair<std::string, std::string> kv = item(i);
       if (!base_.empty()) {
-        DAMKIT_CHECK_MSG(base_.back().first < kv.first,
+        DAMKIT_CHECK_MSG(compare(base_key(base_.count() - 1), kv.first) < 0,
                          "bulk_load keys must be strictly ascending");
       }
-      bytes += entry_bytes(kv.first, kv.second);
-      base_.push_back(std::move(kv));
+      append_base_entry(kv.first, kv.second);
     }
     rebuild_index();
-    charge_base_write(bytes);
+    charge_base_write(base_.live_bytes());
   }
 
   void flush() override {
@@ -410,10 +411,10 @@ class PdamEngine final : public Dictionary {
   size_t height() const override { return descent_levels(); }
   double cache_hit_rate() const override { return 0.0; }
   void check_invariants() override {
-    DAMKIT_CHECK(std::is_sorted(
-        base_.begin(), base_.end(),
-        [](const auto& a, const auto& b) { return a.first < b.first; }));
-    DAMKIT_CHECK(index_ == nullptr || base_.size() > 0);
+    for (size_t i = 1; i < base_.count(); ++i) {
+      DAMKIT_CHECK(compare(base_key(i - 1), base_key(i)) < 0);
+    }
+    DAMKIT_CHECK(index_ == nullptr || base_.count() > 0);
   }
   void export_metrics(stats::MetricsRegistry& reg,
                       std::string_view prefix) const override {
@@ -429,7 +430,7 @@ class PdamEngine final : public Dictionary {
     reg.add(p + "io_retries", counters_.retries);
     reg.add(p + "io_give_ups", counters_.give_ups);
     reg.set(p + "height", static_cast<double>(descent_levels()));
-    reg.set(p + "base_entries", static_cast<double>(base_.size()));
+    reg.set(p + "base_entries", static_cast<double>(base_.count()));
     reg.set(p + "buffer_entries", static_cast<double>(buffer_.size()));
     reg.set(p + "buffer_bytes", static_cast<double>(buffer_bytes_));
   }
@@ -437,6 +438,37 @@ class PdamEngine final : public Dictionary {
  private:
   static uint64_t entry_bytes(std::string_view key, std::string_view value) {
     return key.size() + value.size() + 6;  // leaf framing, as elsewhere
+  }
+
+  // The base run is a flat slotted page of [u16 klen][u32 vlen][key][value]
+  // records in key order; record size equals entry_bytes exactly, so
+  // live_bytes() IS the base's accounted byte total.
+  static size_t base_record_len(const uint8_t* p) {
+    return size_t{6} + load_u16(p) + load_u32(p + 2);
+  }
+  static std::string_view base_record_key(std::string_view rec) {
+    return rec.substr(6,
+                      load_u16(reinterpret_cast<const uint8_t*>(rec.data())));
+  }
+  std::string_view base_key(size_t i) const {
+    return base_record_key(base_.record(i));
+  }
+  std::string_view base_value(size_t i) const {
+    const std::string_view rec = base_.record(i);
+    return rec.substr(
+        6 + load_u16(reinterpret_cast<const uint8_t*>(rec.data())));
+  }
+  static void append_entry(node::SlottedPage& page, std::string_view key,
+                           std::string_view value) {
+    uint8_t* p = page.insert_alloc(page.count(),
+                                   entry_bytes(key, value));
+    store_u16(p, static_cast<uint16_t>(key.size()));
+    store_u32(p + 2, static_cast<uint32_t>(value.size()));
+    std::memcpy(p + 6, key.data(), key.size());
+    std::memcpy(p + 6 + key.size(), value.data(), value.size());
+  }
+  void append_base_entry(std::string_view key, std::string_view value) {
+    append_entry(base_, key, value);
   }
 
   void buffer_insert(std::string_view key, std::optional<std::string> value) {
@@ -449,10 +481,7 @@ class PdamEngine final : public Dictionary {
   }
 
   size_t base_rank(std::string_view key) const {
-    const auto it = std::lower_bound(
-        base_.begin(), base_.end(), key,
-        [](const auto& entry, std::string_view k) { return entry.first < k; });
-    return static_cast<size_t>(it - base_.begin());
+    return base_.lower_bound(key, base_record_key);
   }
 
   int descent_levels() const {
@@ -505,16 +534,17 @@ class PdamEngine final : public Dictionary {
     size_t bi = base_rank(lo);
     auto di = buffer_.lower_bound(std::string(lo));
     while (out.size() < limit &&
-           (bi < base_.size() || di != buffer_.end())) {
+           (bi < base_.count() || di != buffer_.end())) {
       const bool take_base =
           di == buffer_.end() ||
-          (bi < base_.size() && base_[bi].first < di->first);
+          (bi < base_.count() && compare(base_key(bi), di->first) < 0);
       if (take_base) {
-        out.emplace_back(base_[bi].first, base_[bi].second);
+        out.emplace_back(std::string(base_key(bi)),
+                         std::string(base_value(bi)));
         ++bi;
         ++*base_consumed;
       } else {
-        if (bi < base_.size() && base_[bi].first == di->first) {
+        if (bi < base_.count() && compare(base_key(bi), di->first) == 0) {
           ++bi;  // buffer shadows the base entry
           ++*base_consumed;
         }
@@ -529,10 +559,10 @@ class PdamEngine final : public Dictionary {
 
   uint64_t scan_run_bytes(uint64_t base_entries) const {
     if (base_entries == 0 || base_.empty()) return 0;
-    // Approximate the leaf run with the base's mean entry size.
-    uint64_t total = 0;
-    for (const auto& [k, v] : base_) total += entry_bytes(k, v);
-    const uint64_t mean = std::max<uint64_t>(1, total / base_.size());
+    // Approximate the leaf run with the base's mean entry size; the flat
+    // run makes the total a gauge read instead of an O(n) walk.
+    const uint64_t mean =
+        std::max<uint64_t>(1, base_.live_bytes() / base_.count());
     const uint64_t b = cfg_.tree.block_bytes;
     return (base_entries * mean + b - 1) / b * b;
   }
@@ -555,35 +585,29 @@ class PdamEngine final : public Dictionary {
         });
   }
 
-  std::vector<std::pair<std::string, std::string>> merge_entries() const {
-    std::vector<std::pair<std::string, std::string>> merged;
-    merged.reserve(base_.size() + buffer_.size());
+  node::SlottedPage merge_entries() const {
+    node::SlottedPage merged;
     size_t bi = 0;
     auto di = buffer_.begin();
-    while (bi < base_.size() || di != buffer_.end()) {
+    while (bi < base_.count() || di != buffer_.end()) {
       const bool take_base =
           di == buffer_.end() ||
-          (bi < base_.size() && base_[bi].first < di->first);
+          (bi < base_.count() && compare(base_key(bi), di->first) < 0);
       if (take_base) {
-        merged.push_back(base_[bi]);
+        merged.append(base_.record(bi));
         ++bi;
       } else {
-        if (bi < base_.size() && base_[bi].first == di->first) ++bi;
-        if (di->second.has_value()) merged.emplace_back(di->first, *di->second);
+        if (bi < base_.count() && compare(base_key(bi), di->first) == 0) ++bi;
+        if (di->second.has_value()) {
+          append_entry(merged, di->first, *di->second);
+        }
         ++di;
       }
     }
     return merged;
   }
 
-  uint64_t merged_bytes(
-      const std::vector<std::pair<std::string, std::string>>& merged) const {
-    uint64_t bytes = 0;
-    for (const auto& [k, v] : merged) bytes += entry_bytes(k, v);
-    return bytes;
-  }
-
-  void commit_merge(std::vector<std::pair<std::string, std::string>> merged) {
+  void commit_merge(node::SlottedPage merged) {
     base_ = std::move(merged);
     buffer_.clear();
     buffer_bytes_ = 0;
@@ -592,13 +616,13 @@ class PdamEngine final : public Dictionary {
   }
 
   void merge_buffer() {
-    auto merged = merge_entries();
-    charge_base_write(merged_bytes(merged));
+    node::SlottedPage merged = merge_entries();
+    charge_base_write(merged.live_bytes());
     commit_merge(std::move(merged));
   }
   Status try_merge_buffer() {
-    auto merged = merge_entries();
-    DAMKIT_RETURN_IF_ERROR(try_charge_base_write(merged_bytes(merged)));
+    node::SlottedPage merged = merge_entries();
+    DAMKIT_RETURN_IF_ERROR(try_charge_base_write(merged.live_bytes()));
     commit_merge(std::move(merged));
     return Status();
   }
@@ -630,7 +654,7 @@ class PdamEngine final : public Dictionary {
       index_.reset();
       return;
     }
-    std::vector<uint64_t> ranks(base_.size());
+    std::vector<uint64_t> ranks(base_.count());
     std::iota(ranks.begin(), ranks.end(), 0);
     index_ = std::make_unique<pdam_tree::PdamBTree>(std::move(ranks),
                                                     cfg_.tree);
@@ -640,7 +664,7 @@ class PdamEngine final : public Dictionary {
   PdamEngineConfig cfg_;
   Capabilities caps_;
 
-  std::vector<std::pair<std::string, std::string>> base_;  // sorted, live
+  node::SlottedPage base_;  // sorted flat run of wire-format records
   std::map<std::string, std::optional<std::string>> buffer_;  // nullopt = del
   uint64_t buffer_bytes_ = 0;
   std::unique_ptr<pdam_tree::PdamBTree> index_;

@@ -21,13 +21,17 @@ void fnv_mix(uint64_t* h, std::string_view bytes) {
 
 void apply_op(Dictionary& dict, const Op& op, uint64_t global_index,
               const WorkloadSpec& spec, const ApplyOptions& options,
-              uint64_t* digest, ApplyCounters* counters) {
-  const std::string key = encode_key(op.key_id, spec.key_bytes);
+              uint64_t* digest, ApplyCounters* counters,
+              ApplyScratch* scratch) {
+  thread_local ApplyScratch fallback;
+  if (scratch == nullptr) scratch = &fallback;
+  std::string& key = scratch->key;
+  encode_key_to(op.key_id, spec.key_bytes, &key);
   switch (op.type) {
     case OpType::kPut: {
       ++counters->puts;
-      const std::string value =
-          make_value(op.key_id + global_index, spec.value_bytes);
+      std::string& value = scratch->value;
+      make_value_to(op.key_id + global_index, spec.value_bytes, &value);
       if (options.fallible) {
         if (!dict.try_put(key, value).ok()) ++counters->failed_ops;
       } else {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "kv/dictionary.h"
@@ -32,13 +33,25 @@ struct ApplyOptions {
   bool fallible = false;
 };
 
+/// Reusable per-stream buffers for apply_op. The key/value encodings are
+/// rebuilt for every op; routing them through a scratch keeps their string
+/// capacity alive across ops so the hot generator loop does zero
+/// steady-state allocations. One scratch per driving thread.
+struct ApplyScratch {
+  std::string key;
+  std::string value;
+};
+
 /// Apply `op` to `dict`. `global_index` is the op's position in the overall
 /// generated stream — put values are make_value(key_id + global_index, ...),
 /// so the index an op is *applied under* must match the index it was
 /// *generated at* regardless of which client session carried it.
 /// Read results are mixed into *digest; counters are bumped in *counters.
+/// `scratch` may be null (a per-thread fallback is used); passing one per
+/// run keeps buffer reuse explicit.
 void apply_op(Dictionary& dict, const Op& op, uint64_t global_index,
               const WorkloadSpec& spec, const ApplyOptions& options,
-              uint64_t* digest, ApplyCounters* counters);
+              uint64_t* digest, ApplyCounters* counters,
+              ApplyScratch* scratch = nullptr);
 
 }  // namespace damkit::kv

@@ -7,13 +7,18 @@
 namespace damkit::kv {
 
 std::string encode_key(uint64_t id, size_t width) {
+  std::string key;
+  encode_key_to(id, width, &key);
+  return key;
+}
+
+void encode_key_to(uint64_t id, size_t width, std::string* out) {
   DAMKIT_CHECK(width >= 8);
-  std::string key(width, '\0');
+  out->assign(width, '\0');
   for (int i = 0; i < 8; ++i) {
-    key[width - 1 - static_cast<size_t>(i)] =
+    (*out)[width - 1 - static_cast<size_t>(i)] =
         static_cast<char>((id >> (8 * i)) & 0xff);
   }
-  return key;
 }
 
 uint64_t decode_key(std::string_view key) {
@@ -27,29 +32,26 @@ uint64_t decode_key(std::string_view key) {
 }
 
 std::string make_value(uint64_t id, size_t len) {
+  std::string value;
+  make_value_to(id, len, &value);
+  return value;
+}
+
+void make_value_to(uint64_t id, size_t len, std::string* out) {
   static constexpr char kAlphabet[] =
       "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
-  std::string value(len, '\0');
+  out->resize(len);
   uint64_t state = id * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL;
   for (size_t i = 0; i < len; ++i) {
     state ^= state << 13;
     state ^= state >> 7;
     state ^= state << 17;
-    value[i] = kAlphabet[state & 63];
+    (*out)[i] = kAlphabet[state & 63];
   }
-  return value;
 }
 
 bool check_value(uint64_t id, std::string_view value) {
   return make_value(id, value.size()) == value;
-}
-
-int compare(std::string_view a, std::string_view b) {
-  const size_t n = std::min(a.size(), b.size());
-  const int c = n == 0 ? 0 : std::memcmp(a.data(), b.data(), n);
-  if (c != 0) return c;
-  if (a.size() == b.size()) return 0;
-  return a.size() < b.size() ? -1 : 1;
 }
 
 }  // namespace damkit::kv

@@ -5,15 +5,26 @@
 // big-endian (numeric order == byte order).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 
 namespace damkit::kv {
 
+/// Keys and values flow through the node layer as borrowed views; the
+/// alias names the contract (zero-copy, valid only while the backing node
+/// or pin is alive) at API boundaries.
+using Slice = std::string_view;
+
 /// Encode `id` as a fixed-width big-endian key of `width` >= 8 bytes
 /// (left-padded with zeros) so lexicographic order matches numeric order.
 std::string encode_key(uint64_t id, size_t width = 8);
+
+/// encode_key into a caller-owned buffer whose capacity is reused across
+/// calls — the per-op allocation-free path for generator loops.
+void encode_key_to(uint64_t id, size_t width, std::string* out);
 
 /// Inverse of encode_key (reads the trailing 8 bytes).
 uint64_t decode_key(std::string_view key);
@@ -22,10 +33,37 @@ uint64_t decode_key(std::string_view key);
 /// `id` — verifiable without storing the expected bytes.
 std::string make_value(uint64_t id, size_t len);
 
+/// make_value into a caller-owned buffer (capacity reused across calls).
+void make_value_to(uint64_t id, size_t len, std::string* out);
+
 /// True iff `value` equals make_value(id, value.size()).
 bool check_value(uint64_t id, std::string_view value);
 
-/// Three-way lexicographic comparison (memcmp semantics).
-int compare(std::string_view a, std::string_view b);
+/// Three-way lexicographic comparison (memcmp semantics). Inline and
+/// word-wise on purpose: this sits inside the node-search dependency
+/// chain, where an out-of-line memcmp call costs more than the compare.
+inline int compare(std::string_view a, std::string_view b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t x, y;
+    std::memcpy(&x, a.data() + i, 8);
+    std::memcpy(&y, b.data() + i, 8);
+    if (x != y) {
+      // First differing byte decides; byte order == numeric order after a
+      // big-endian swap.
+      x = __builtin_bswap64(x);
+      y = __builtin_bswap64(y);
+      return x < y ? -1 : 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const int d = static_cast<int>(static_cast<uint8_t>(a[i])) -
+                  static_cast<int>(static_cast<uint8_t>(b[i]));
+    if (d != 0) return d;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
 
 }  // namespace damkit::kv

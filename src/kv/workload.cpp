@@ -13,6 +13,8 @@ OpGenerator::OpGenerator(const WorkloadSpec& spec)
   total_weight_ = spec_.get_weight + spec_.put_weight + spec_.delete_weight +
                   spec_.scan_weight + spec_.upsert_weight;
   DAMKIT_CHECK_MSG(total_weight_ > 0.0, "all op weights are zero");
+  DAMKIT_CHECK_MSG(spec_.olap_every == 0 || spec_.olap_len > 0,
+                   "olap_every set but olap_len is zero");
   if (spec_.distribution == Distribution::kZipfian) {
     zipf_.emplace(spec_.key_space, spec_.zipf_theta);
   }
@@ -25,7 +27,15 @@ uint64_t OpGenerator::next_key_id() {
     case Distribution::kZipfian: {
       // Scramble the rank so hot keys are spread over the key space.
       const uint64_t rank = zipf_->sample(rng_);
-      return (rank * 0x9e3779b97f4a7c15ULL) % spec_.key_space;
+      uint64_t id = (rank * 0x9e3779b97f4a7c15ULL) % spec_.key_space;
+      if (spec_.hot_shift_every > 0) {
+        // Rotate the scrambled hot set over time. Pure post-processing of
+        // the drawn rank: the RNG stream is untouched, so with the field
+        // at its default 0 the stream is bit-identical to the base.
+        const uint64_t epoch = op_index_ / spec_.hot_shift_every;
+        id = (id + epoch * spec_.hot_shift_stride) % spec_.key_space;
+      }
+      return id;
     }
     case Distribution::kSequential: {
       const uint64_t id = sequential_cursor_;
@@ -52,7 +62,68 @@ Op OpGenerator::next() {
   } else {
     op.type = OpType::kUpsert;
   }
+  if (spec_.olap_every > 0) {
+    // Periodic analytic burst: the op keeps its RNG draws (key id and mix
+    // roll) so the stream stays aligned, but inside the burst window the
+    // type is overridden to a range scan.
+    const uint64_t phase = op_index_ % (spec_.olap_every + spec_.olap_len);
+    if (phase >= spec_.olap_every) {
+      op.type = OpType::kScan;
+      op.scan_length = spec_.scan_length;
+    }
+  }
+  ++op_index_;
   return op;
+}
+
+std::optional<WorkloadSpec> make_workload_preset(std::string_view name) {
+  // All presets share the YCSB-style base: Zipfian key popularity over the
+  // default key space. Weights follow the YCSB core workload definitions
+  // (read-modify-write maps to the dictionary's upsert).
+  WorkloadSpec spec;
+  spec.distribution = Distribution::kZipfian;
+  spec.get_weight = spec.put_weight = 0.0;
+  if (name == "ycsb-a") {  // update heavy: 50/50 read/update
+    spec.get_weight = 0.5;
+    spec.put_weight = 0.5;
+  } else if (name == "ycsb-b") {  // read mostly: 95/5
+    spec.get_weight = 0.95;
+    spec.put_weight = 0.05;
+  } else if (name == "ycsb-c") {  // read only
+    spec.get_weight = 1.0;
+  } else if (name == "ycsb-d") {  // read latest: drifting hot set
+    spec.get_weight = 0.95;
+    spec.put_weight = 0.05;
+    spec.hot_shift_every = 1000;
+    spec.hot_shift_stride = 127;
+  } else if (name == "ycsb-e") {  // scan heavy: short ranges
+    spec.scan_weight = 0.95;
+    spec.put_weight = 0.05;
+    spec.scan_length = 50;
+  } else if (name == "ycsb-f") {  // read-modify-write
+    spec.get_weight = 0.5;
+    spec.upsert_weight = 0.5;
+  } else if (name == "shift") {  // OLTP mix under a fast-moving hot set
+    spec.get_weight = 0.45;
+    spec.put_weight = 0.45;
+    spec.delete_weight = 0.05;
+    spec.upsert_weight = 0.05;
+    spec.hot_shift_every = 500;
+    spec.hot_shift_stride = 4099;
+  } else if (name == "olap") {  // OLTP mix with periodic analytic bursts
+    spec.get_weight = 0.5;
+    spec.put_weight = 0.5;
+    spec.olap_every = 900;
+    spec.olap_len = 100;
+    spec.scan_length = 200;
+  } else {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+const char* workload_preset_names() {
+  return "ycsb-a|ycsb-b|ycsb-c|ycsb-d|ycsb-e|ycsb-f|shift|olap";
 }
 
 std::vector<uint64_t> shuffled_ids(uint64_t n, uint64_t seed) {
@@ -66,6 +137,11 @@ std::vector<uint64_t> shuffled_ids(uint64_t n, uint64_t seed) {
 BulkItem bulk_item(uint64_t index, const WorkloadSpec& spec) {
   return BulkItem{encode_key(index, spec.key_bytes),
                   make_value(index, spec.value_bytes)};
+}
+
+void bulk_item_to(uint64_t index, const WorkloadSpec& spec, BulkItem* out) {
+  encode_key_to(index, spec.key_bytes, &out->key);
+  make_value_to(index, spec.value_bytes, &out->value);
 }
 
 }  // namespace damkit::kv

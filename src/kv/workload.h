@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.h"
@@ -39,7 +40,36 @@ struct WorkloadSpec {
   uint32_t scan_length = 100;
 
   uint64_t seed = 7;
+
+  // --- Scenario extensions (all default-off). With every field at its
+  // default the generated op stream is bit-identical to the base
+  // generator: the extensions neither draw from nor reorder the RNG
+  // stream, they only post-process the drawn (key, op) pair.
+
+  /// Time-shifting Zipfian hot set: every `hot_shift_every` ops the
+  /// scrambled hot key ids rotate forward by `hot_shift_stride`, modelling
+  /// a working set that drifts over time (YCSB-D's "read latest" flavor).
+  /// 0 = static hot set. Applies to the Zipfian distribution only.
+  uint64_t hot_shift_every = 0;
+  uint64_t hot_shift_stride = 0;
+
+  /// Periodic scan-heavy OLAP phase: after every `olap_every` ordinary
+  /// ops, the next `olap_len` ops are forced to range scans of
+  /// `scan_length` rows (an analytic burst riding on the OLTP mix).
+  /// olap_every = 0 disables the phase.
+  uint64_t olap_every = 0;
+  uint64_t olap_len = 0;
 };
+
+/// Named workload presets: the YCSB core workloads "ycsb-a" .. "ycsb-f"
+/// (update-heavy, read-mostly, read-only, read-latest, scan-heavy,
+/// read-modify-write) plus the scenario extras "shift" (time-shifting
+/// Zipfian hot set) and "olap" (periodic scan burst on an OLTP mix).
+/// Returns nullopt for an unknown name.
+std::optional<WorkloadSpec> make_workload_preset(std::string_view name);
+
+/// Comma-separated preset names for CLI help/usage text.
+const char* workload_preset_names();
 
 /// Stream of operations drawn from a WorkloadSpec.
 class OpGenerator {
@@ -57,6 +87,7 @@ class OpGenerator {
   Rng rng_;
   std::optional<Zipfian> zipf_;
   uint64_t sequential_cursor_ = 0;
+  uint64_t op_index_ = 0;  // ops generated so far (hot-shift / OLAP clock)
   double total_weight_;
 };
 
@@ -71,5 +102,9 @@ struct BulkItem {
   std::string value;
 };
 BulkItem bulk_item(uint64_t index, const WorkloadSpec& spec);
+
+/// bulk_item into caller-owned buffers: the strings' capacity is reused
+/// across calls, so a bulk-load loop does zero steady-state allocations.
+void bulk_item_to(uint64_t index, const WorkloadSpec& spec, BulkItem* out);
 
 }  // namespace damkit::kv

@@ -301,7 +301,7 @@ StatusOr<std::vector<SSTableRef>> LsmTree::merge_tables(
         best = i;
       }
     }
-    Entry winner = cursors[best].it.entry();
+    Entry winner = cursors[best].it.entry().to_entry();
     // Advance every cursor positioned at this key (shadowed versions).
     for (size_t i = 0; i < cursors.size();) {
       if (kv::compare(cursors[i].it.entry().key, winner.key) == 0) {

@@ -4,10 +4,13 @@
 
 #include "kv/codec.h"
 #include "kv/slice.h"
+#include "node/slotted_page.h"
 
 namespace damkit::lsm {
 
 namespace {
+
+// Block entry record: [u8 tombstone][u16 klen][u32 vlen][key][value].
 
 void encode_entry(kv::Writer& w, const Entry& e) {
   w.put_u8(e.tombstone ? 1 : 0);
@@ -17,14 +20,22 @@ void encode_entry(kv::Writer& w, const Entry& e) {
   w.put_bytes(e.value);
 }
 
-Entry decode_entry(kv::Reader& r) {
-  Entry e;
-  e.tombstone = r.get_u8() != 0;
-  const uint16_t klen = r.get_u16();
-  const uint32_t vlen = r.get_u32();
-  e.key = r.get_bytes(klen);
-  e.value = r.get_bytes(vlen);
-  return e;
+size_t entry_record_len(const uint8_t* p) {
+  return size_t{7} + load_u16(p + 1) + load_u32(p + 3);
+}
+
+std::string_view entry_record_key(std::string_view rec) {
+  return rec.substr(
+      7, load_u16(reinterpret_cast<const uint8_t*>(rec.data()) + 1));
+}
+
+EntryView decode_entry_view(const uint8_t* p) {
+  const uint16_t klen = load_u16(p + 1);
+  const uint32_t vlen = load_u32(p + 3);
+  return EntryView{
+      std::string_view(reinterpret_cast<const char*>(p + 7), klen),
+      std::string_view(reinterpret_cast<const char*>(p + 7 + klen), vlen),
+      p[0] != 0};
 }
 
 }  // namespace
@@ -156,41 +167,29 @@ bool SSTable::overlaps(std::string_view lo, std::string_view hi) const {
   return kv::compare(max_key_, lo) >= 0 && kv::compare(min_key_, hi) <= 0;
 }
 
-std::vector<Entry> SSTable::read_block(size_t block_idx,
-                                       sim::IoContext& io) const {
-  std::vector<Entry> entries;
-  DAMKIT_CHECK_OK(try_read_block(block_idx, io, blockdev::RetryPolicy{},
-                                 nullptr, &entries));
-  return entries;
-}
-
-Status SSTable::try_read_block(size_t block_idx, sim::IoContext& io,
-                               const blockdev::RetryPolicy& policy,
-                               blockdev::RetryCounters* counters,
-                               std::vector<Entry>* out) const {
+Status SSTable::try_fetch_block_raw(size_t block_idx, sim::IoContext& io,
+                                    const blockdev::RetryPolicy& policy,
+                                    blockdev::RetryCounters* counters,
+                                    std::vector<uint8_t>* raw) const {
   DAMKIT_CHECK(block_idx < index_.size());
   DAMKIT_CHECK_MSG(!released_, "read from released SSTable");
   const IndexEntry& ie = index_[block_idx];
+  if (codec_ == nullptr) {
+    raw->resize(ie.length);
+    return blockdev::with_retries(
+        io, policy, counters, /*retry_corruption=*/false, [&] {
+          return io.read_checked(device_offset_ + ie.offset, *raw);
+        });
+  }
   std::vector<uint8_t> buf(ie.length);
   DAMKIT_RETURN_IF_ERROR(blockdev::with_retries(
       io, policy, counters, /*retry_corruption=*/false, [&] {
         return io.read_checked(device_offset_ + ie.offset, buf);
       }));
-  out->clear();
-  out->reserve(ie.entries);
-  if (codec_ != nullptr) {
-    std::vector<uint8_t> raw;
-    if (!codec_->decode(buf, raw)) {
-      return Status::corruption("SSTable block " +
-                                std::to_string(block_idx) +
-                                ": stored codec frame failed to decode");
-    }
-    kv::Reader r(raw);
-    for (uint32_t i = 0; i < ie.entries; ++i) out->push_back(decode_entry(r));
-    return Status();
+  if (!codec_->decode(buf, *raw)) {
+    return Status::corruption("SSTable block " + std::to_string(block_idx) +
+                              ": stored codec frame failed to decode");
   }
-  kv::Reader r(buf);
-  for (uint32_t i = 0; i < ie.entries; ++i) out->push_back(decode_entry(r));
   return Status();
 }
 
@@ -218,18 +217,23 @@ StatusOr<std::optional<Entry>> SSTable::try_get(
       });
   if (it == index_.begin()) return std::optional<Entry>();
   const size_t block_idx = static_cast<size_t>(it - index_.begin()) - 1;
-  std::vector<Entry> entries;
+  std::vector<uint8_t> raw;
   DAMKIT_RETURN_IF_ERROR(
-      try_read_block(block_idx, io, policy, counters, &entries));
-  const auto pos = std::lower_bound(
-      entries.begin(), entries.end(), key,
-      [](const Entry& e, std::string_view k) {
-        return kv::compare(e.key, k) < 0;
-      });
-  if (pos == entries.end() || kv::compare(pos->key, key) != 0) {
+      try_fetch_block_raw(block_idx, io, policy, counters, &raw));
+  // Index the block in place and binary-search it without materializing
+  // entries; only a hit is copied out.
+  node::SlottedPage page;
+  page.build_from_image(raw.data(), raw.size(), index_[block_idx].entries,
+                        entry_record_len);
+  const size_t pos = page.lower_bound(key, entry_record_key);
+  if (pos >= page.count()) return std::optional<Entry>();
+  const std::string_view rec = page.record(pos);
+  if (kv::compare(entry_record_key(rec), key) != 0) {
     return std::optional<Entry>();
   }
-  return std::optional<Entry>(*pos);
+  return std::optional<Entry>(
+      decode_entry_view(reinterpret_cast<const uint8_t*>(rec.data()))
+          .to_entry());
 }
 
 SSTable::Iterator::Iterator(const SSTable* table, sim::IoContext* io,
@@ -294,10 +298,15 @@ void SSTable::Iterator::load_blocks(size_t first_block) {
     table_->dev_->read_bytes(table_->device_offset_ + first.offset, buf);
   }
 
-  entries_.clear();
+  size_t run_entries = 0;
+  for (size_t b = first_block; b < end; ++b) {
+    run_entries += table_->index_[b].entries;
+  }
   if (table_->codec_ != nullptr) {
     // The run is a concatenation of per-block frames: slice each block
-    // out of the physical buffer via the index and decode it.
+    // out of the physical buffer via the index, decode it, and splice the
+    // raw blocks back into one contiguous run.
+    run_.clear();
     std::vector<uint8_t> raw;
     for (size_t b = first_block; b < end; ++b) {
       const IndexEntry& ie = table_->index_[b];
@@ -311,31 +320,26 @@ void SSTable::Iterator::load_blocks(size_t first_block) {
         valid_ = false;
         return;
       }
-      kv::Reader r(raw);
-      for (uint32_t i = 0; i < ie.entries; ++i) {
-        entries_.push_back(decode_entry(r));
-      }
+      run_.insert(run_.end(), raw.begin(), raw.end());
     }
   } else {
-    kv::Reader r(buf);
-    for (size_t b = first_block; b < end; ++b) {
-      for (uint32_t i = 0; i < table_->index_[b].entries; ++i) {
-        entries_.push_back(decode_entry(r));
-      }
-    }
+    // Uncompressed blocks are already wire-format records back to back.
+    run_ = std::move(buf);
   }
   next_block_ = end;
-  pos_ = 0;
-  DAMKIT_CHECK(!entries_.empty());
-  current_ = entries_[0];
+  run_pos_ = 0;
+  run_remaining_ = run_entries;
+  DAMKIT_CHECK(run_remaining_ > 0);
+  current_ = decode_entry_view(run_.data());
   valid_ = true;
 }
 
 void SSTable::Iterator::next() {
   DAMKIT_CHECK(valid_);
-  ++pos_;
-  if (pos_ < entries_.size()) {
-    current_ = entries_[pos_];
+  if (run_remaining_ > 1) {
+    run_pos_ += entry_record_len(run_.data() + run_pos_);
+    --run_remaining_;
+    current_ = decode_entry_view(run_.data() + run_pos_);
     return;
   }
   load_blocks(next_block_);

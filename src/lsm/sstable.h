@@ -35,6 +35,18 @@ struct Entry {
   bool tombstone = false;
 };
 
+/// Zero-copy view of one entry inside a decoded block; valid until the
+/// backing buffer is refilled (e.g. the iterator loads its next run).
+struct EntryView {
+  std::string_view key;
+  std::string_view value;
+  bool tombstone = false;
+
+  Entry to_entry() const {
+    return Entry{std::string(key), std::string(value), tombstone};
+  }
+};
+
 class SSTable;
 using SSTableRef = std::shared_ptr<const SSTable>;
 
@@ -137,7 +149,7 @@ class SSTable {
   class Iterator {
    public:
     bool valid() const { return valid_; }
-    const Entry& entry() const { return current_; }
+    const EntryView& entry() const { return current_; }
     void next();
     /// Non-OK when the cursor stopped because a block read gave up after
     /// retries (valid() is then false). Callers that treat an invalid
@@ -159,10 +171,11 @@ class SSTable {
     const blockdev::RetryPolicy* policy_ = nullptr;  // nullptr = fail fast
     blockdev::RetryCounters* counters_ = nullptr;
     Status status_;
-    size_t next_block_ = 0;       // first block not yet fetched
-    std::vector<Entry> entries_;  // decoded current run
-    size_t pos_ = 0;
-    Entry current_;
+    size_t next_block_ = 0;        // first block not yet fetched
+    std::vector<uint8_t> run_;     // decoded current run, wire format
+    size_t run_pos_ = 0;           // byte offset of the current record
+    size_t run_remaining_ = 0;     // records left in run_ (incl. current)
+    EntryView current_;            // borrows from run_
     bool valid_ = false;
   };
   Iterator seek(std::string_view lo, sim::IoContext& io,
@@ -185,12 +198,12 @@ class SSTable {
   friend class SSTableBuilder;
   SSTable() = default;
 
-  /// Read + decode one data block (one device IO).
-  std::vector<Entry> read_block(size_t block_idx, sim::IoContext& io) const;
-  Status try_read_block(size_t block_idx, sim::IoContext& io,
-                        const blockdev::RetryPolicy& policy,
-                        blockdev::RetryCounters* counters,
-                        std::vector<Entry>* out) const;
+  /// Read one data block (one device IO) and leave its decoded (raw,
+  /// post-codec) wire-format bytes in `*raw`.
+  Status try_fetch_block_raw(size_t block_idx, sim::IoContext& io,
+                             const blockdev::RetryPolicy& policy,
+                             blockdev::RetryCounters* counters,
+                             std::vector<uint8_t>* raw) const;
 
   sim::Device* dev_ = nullptr;
   blockdev::ByteArena* arena_ = nullptr;

@@ -1,0 +1,18 @@
+#include "node/slotted_page.h"
+
+namespace damkit::node {
+
+void SlottedPage::compact_now() {
+  std::vector<uint8_t> fresh;
+  fresh.reserve(live_bytes_);
+  for (Slot& s : slots_) {
+    const uint32_t off = static_cast<uint32_t>(fresh.size());
+    fresh.insert(fresh.end(), heap_.begin() + s.off,
+                 heap_.begin() + s.off + s.len);
+    s.off = off;
+  }
+  heap_ = std::move(fresh);
+  compact_ = true;
+}
+
+}  // namespace damkit::node

@@ -226,6 +226,7 @@ ServeResult Scheduler::serve(const kv::WorkloadSpec& spec, uint64_t ops) {
   records.reserve(ops);
   const sim::SimTime before = io_->now();
   const kv::ApplyOptions apply_options{config_.fallible};
+  kv::ApplyScratch scratch;  // all sessions apply on this thread
   for (uint64_t i = 0; i < ops; ++i) {
     ClientOp client_op;
     const bool got = sessions[i % config_.clients]->next(&client_op);
@@ -237,7 +238,7 @@ ServeResult Scheduler::serve(const kv::WorkloadSpec& spec, uint64_t ops) {
                                 << i);
     const size_t trace_begin = trace.size();
     kv::apply_op(*dict_, client_op.op, i, spec, apply_options,
-                 &result.digest, &result.counters);
+                 &result.digest, &result.counters, &scratch);
     records.push_back(
         {build_io_chain(trace.records(), trace_begin, trace.size())});
   }

@@ -172,13 +172,13 @@ TEST(BeTreeNodeTest, InternalSplitPartitionsBuffersByChild) {
   uint64_t total_after = 0;
   for (size_t c = 0; c < node->child_count(); ++c) {
     total_after += node->buffer_count(c);
-    for (const Message& m : node->buffer(c)) {
+    for (const MessageView m : node->buffer(c)) {
       EXPECT_LT(kv::compare(m.key, sr.separator), 0);
     }
   }
   for (size_t c = 0; c < sr.right->child_count(); ++c) {
     total_after += sr.right->buffer_count(c);
-    for (const Message& m : sr.right->buffer(c)) {
+    for (const MessageView m : sr.right->buffer(c)) {
       EXPECT_GE(kv::compare(m.key, sr.separator), 0);
     }
   }

@@ -177,7 +177,7 @@ TEST(BTreeNodeTest, BorrowBalancesLeafBytes) {
     right->leaf_put("m" + kv::encode_key(static_cast<uint64_t>(i)),
                     std::string(20, 'v'));
   }
-  const std::string sep = right->key(0);
+  const std::string sep(right->key(0));
   const std::string new_sep = left->borrow_balance(*right, sep);
   EXPECT_GT(left->entry_count(), 1u);
   EXPECT_EQ(new_sep, right->key(0));

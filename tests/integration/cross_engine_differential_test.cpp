@@ -113,6 +113,64 @@ TEST(CrossEngineDifferentialTest, AllEnginesObserveIdenticalData) {
   }
 }
 
+// The scenario suite: every named workload preset (YCSB core workloads
+// A-F plus the shift/olap extras) drives all five engines and a 4-shard
+// composition to one digest per preset. The preset-only generator fields
+// (hot-set rotation, OLAP scan bursts) shape the op stream before it
+// reaches any engine, so they must be exactly as engine-invisible as the
+// base mix.
+TEST(CrossEngineDifferentialTest, WorkloadPresetsObserveIdenticalData) {
+  const char* names[] = {"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d",
+                         "ycsb-e", "ycsb-f", "shift",  "olap"};
+  for (const char* name : names) {
+    const std::optional<kv::WorkloadSpec> preset =
+        kv::make_workload_preset(name);
+    ASSERT_TRUE(preset.has_value()) << name;
+    kv::WorkloadSpec spec = *preset;
+    spec.key_space = 3000;
+    spec.value_bytes = 56;
+    spec.seed = 2026;
+
+    const auto drive_spec = [&spec](kv::Dictionary& dict,
+                                    sim::IoContext& io) {
+      harness::WorkloadRunner runner(dict, io);
+      runner.bulk_load(1200, spec);
+      const harness::WorkloadRunResult result = runner.run(spec, 2500);
+      dict.check_invariants();
+      return result;
+    };
+
+    std::vector<std::pair<std::string, harness::WorkloadRunResult>> rows;
+    for (const kv::EngineKind kind : kv::kAllEngineKinds) {
+      sim::SsdDevice dev(sim::testbed_ssd_profile());
+      sim::IoContext io(dev);
+      const auto dict = kv::make_engine(kind, dev, io, small_config());
+      rows.emplace_back(std::string(dict->name()), drive_spec(*dict, io));
+    }
+    {
+      sim::SsdDevice dev(sim::testbed_ssd_profile());
+      sim::IoContext io(dev);
+      kv::ShardedConfig sharded;
+      sharded.shards = 4;
+      const auto dict = kv::make_sharded_engine(kv::EngineKind::kBTree, dev,
+                                                io, small_config(), sharded);
+      rows.emplace_back(std::string(dict->name()), drive_spec(*dict, io));
+    }
+
+    const harness::WorkloadRunResult& reference = rows[0].second;
+    // Every preset observes data: point hits for the read mixes, scan rows
+    // for the scan-heavy ones (ycsb-e's gets are zero by design).
+    EXPECT_GT(reference.get_hits + reference.scans, 0u) << name;
+    for (const auto& [engine, result] : rows) {
+      EXPECT_EQ(result.digest, reference.digest) << name << "/" << engine;
+      EXPECT_EQ(result.get_hits, reference.get_hits)
+          << name << "/" << engine;
+      EXPECT_EQ(result.failed_ops, 0u) << name << "/" << engine;
+      EXPECT_EQ(result.scans, reference.scans) << name << "/" << engine;
+    }
+  }
+}
+
 // The MQ-device acceptance criterion: MqSsdDevice layers queue-pair
 // admission, completion costs, and GC on top of the same flash core, so
 // it must be a pure timing refinement. At a single client every engine

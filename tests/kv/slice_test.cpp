@@ -69,5 +69,22 @@ TEST(SliceTest, CompareTreatsBytesUnsigned) {
   EXPECT_GT(compare(hi, lo), 0);
 }
 
+TEST(SliceTest, ToVariantsMatchAndReuseCapacity) {
+  std::string key, value;
+  encode_key_to(12345, 16, &key);
+  make_value_to(12345, 100, &value);
+  EXPECT_EQ(key, encode_key(12345, 16));
+  EXPECT_EQ(value, make_value(12345, 100));
+  // Same-size refills reuse the existing heap buffer.
+  const char* key_data = key.data();
+  const char* value_data = value.data();
+  encode_key_to(999, 16, &key);
+  make_value_to(999, 100, &value);
+  EXPECT_EQ(key.data(), key_data);
+  EXPECT_EQ(value.data(), value_data);
+  EXPECT_EQ(key, encode_key(999, 16));
+  EXPECT_EQ(value, make_value(999, 100));
+}
+
 }  // namespace
 }  // namespace damkit::kv

@@ -119,5 +119,123 @@ TEST(WorkloadDeathTest, ZeroWeightsRejected) {
   EXPECT_DEATH(OpGenerator{spec}, "weights");
 }
 
+TEST(WorkloadTest, DefaultOffExtensionsKeepStreamIdentical) {
+  // The scenario fields must be pure no-ops at their defaults: a spec with
+  // them explicitly zeroed generates the bit-identical op stream (this is
+  // what keeps every pinned digest in the repo valid).
+  WorkloadSpec base;
+  base.distribution = Distribution::kZipfian;
+  base.scan_weight = 0.2;
+  WorkloadSpec extended = base;
+  extended.hot_shift_every = 0;
+  extended.hot_shift_stride = 0;
+  extended.olap_every = 0;
+  extended.olap_len = 0;
+  OpGenerator a(base), b(extended);
+  for (int i = 0; i < 5000; ++i) {
+    const Op x = a.next(), y = b.next();
+    ASSERT_EQ(x.key_id, y.key_id);
+    ASSERT_EQ(x.type, y.type);
+  }
+}
+
+TEST(WorkloadTest, HotShiftRotatesKeysNotTypesOrDraws) {
+  // With a hot-set shift the op *types* (and hence the RNG stream) are
+  // unchanged; only the zipfian key ids move once the first epoch ends.
+  WorkloadSpec base;
+  base.distribution = Distribution::kZipfian;
+  base.key_space = 10000;
+  WorkloadSpec shifted = base;
+  shifted.hot_shift_every = 100;
+  shifted.hot_shift_stride = 17;
+  OpGenerator a(base), b(shifted);
+  int diverged = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Op x = a.next(), y = b.next();
+    ASSERT_EQ(x.type, y.type) << i;
+    if (i < 100) {
+      ASSERT_EQ(x.key_id, y.key_id) << i;  // epoch 0: shift is zero
+    } else {
+      // Rotation by (i/100)*17 mod key_space of the same drawn id.
+      const uint64_t epoch = static_cast<uint64_t>(i) / 100;
+      ASSERT_EQ((x.key_id + epoch * 17) % 10000, y.key_id) << i;
+      if (x.key_id != y.key_id) ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 800);
+}
+
+TEST(WorkloadTest, OlapPhaseForcesScanBursts) {
+  WorkloadSpec spec;
+  spec.olap_every = 50;
+  spec.olap_len = 10;
+  spec.scan_length = 123;
+  OpGenerator gen(spec);
+  for (int i = 0; i < 600; ++i) {
+    const Op op = gen.next();
+    const uint64_t phase = static_cast<uint64_t>(i) % 60;
+    if (phase >= 50) {
+      ASSERT_EQ(op.type, OpType::kScan) << i;
+      ASSERT_EQ(op.scan_length, 123u) << i;
+    } else {
+      // The OLTP window keeps the base mix (no scan weight configured).
+      ASSERT_NE(op.type, OpType::kScan) << i;
+    }
+  }
+}
+
+TEST(WorkloadTest, PresetsAreNamedAndValid) {
+  const char* names[] = {"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d",
+                         "ycsb-e", "ycsb-f", "shift",  "olap"};
+  for (const char* name : names) {
+    const auto spec = make_workload_preset(name);
+    ASSERT_TRUE(spec.has_value()) << name;
+    EXPECT_EQ(spec->distribution, Distribution::kZipfian) << name;
+    // Every preset must construct a valid generator (weights nonzero, olap
+    // fields consistent) and draw ops without dying.
+    OpGenerator gen(*spec);
+    for (int i = 0; i < 100; ++i) gen.next();
+    EXPECT_NE(std::string(workload_preset_names()).find(name),
+              std::string::npos)
+        << name;
+  }
+  EXPECT_FALSE(make_workload_preset("ycsb-z").has_value());
+  EXPECT_FALSE(make_workload_preset("").has_value());
+}
+
+TEST(WorkloadTest, PresetWeightsMatchYcsbDefinitions) {
+  EXPECT_DOUBLE_EQ(make_workload_preset("ycsb-a")->get_weight, 0.5);
+  EXPECT_DOUBLE_EQ(make_workload_preset("ycsb-a")->put_weight, 0.5);
+  EXPECT_DOUBLE_EQ(make_workload_preset("ycsb-b")->get_weight, 0.95);
+  EXPECT_DOUBLE_EQ(make_workload_preset("ycsb-c")->get_weight, 1.0);
+  EXPECT_GT(make_workload_preset("ycsb-d")->hot_shift_every, 0u);
+  EXPECT_DOUBLE_EQ(make_workload_preset("ycsb-e")->scan_weight, 0.95);
+  EXPECT_DOUBLE_EQ(make_workload_preset("ycsb-f")->upsert_weight, 0.5);
+  EXPECT_GT(make_workload_preset("shift")->hot_shift_stride, 0u);
+  EXPECT_GT(make_workload_preset("olap")->olap_len, 0u);
+}
+
+TEST(WorkloadTest, BulkItemToReusesBuffers) {
+  WorkloadSpec spec;
+  BulkItem scratch;
+  bulk_item_to(7, spec, &scratch);
+  const BulkItem fresh = bulk_item(7, spec);
+  EXPECT_EQ(scratch.key, fresh.key);
+  EXPECT_EQ(scratch.value, fresh.value);
+  // A second same-size fill must not reallocate (the steady-state
+  // allocation-free contract is the point of the _to variants).
+  const char* key_data = scratch.key.data();
+  bulk_item_to(9, spec, &scratch);
+  EXPECT_EQ(scratch.key.data(), key_data);
+  EXPECT_EQ(scratch.key, bulk_item(9, spec).key);
+}
+
+TEST(WorkloadDeathTest, OlapEveryWithoutLenRejected) {
+  WorkloadSpec spec;
+  spec.olap_every = 100;
+  spec.olap_len = 0;
+  EXPECT_DEATH(OpGenerator{spec}, "olap_len");
+}
+
 }  // namespace
 }  // namespace damkit::kv

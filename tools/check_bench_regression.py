@@ -38,9 +38,20 @@ Two checks, both against closed-form or checked-in expectations:
      their gauges exist, so a rename or dropped export would silently
      disarm them — the manifest turns that absence into a failure.
 
+  6. Wall-clock mode (--wallclock): for BENCH_cpu.json snapshots. Gates
+     host-time gauges instead of simulated time: `.wall_ns` must not grow
+     and `.ops_per_sec` must not shrink beyond --wallclock-tolerance
+     (default 50% — wall clock is noisy across hosts, so the gate only
+     catches collapses, not drift). Implies skipping the simulated-time,
+     affine, PDAM, and MQ checks (those gauges do not exist in a CPU
+     snapshot); the manifest check still applies. With --advisory,
+     wall-clock failures are reported but the exit status stays 0 — the
+     CI shape for shared runners whose absolute speed is not a contract.
+
 Usage: check_bench_regression.py CURRENT.json BASELINE.json
          [--threshold 0.15] [--affine-tolerance 0.05] [--no-affine]
          [--pdam-tolerance 0.35] [--mq-tolerance 0.20] [--manifest FILE]
+         [--wallclock] [--wallclock-tolerance 0.5] [--advisory]
 
 Exit status 0 iff every check passes. Stdlib only.
 """
@@ -91,6 +102,68 @@ def check_regressions(current, baseline, threshold):
     ungated = sorted(
         k for k in current
         if k.endswith(GATED_SUFFIXES) and k not in baseline
+    )
+    for name in ungated:
+        failures.append(
+            f"{name}: present in current snapshot but missing from the "
+            f"baseline — refresh the baseline to gate this new section"
+        )
+        report.append(f"  {name}: {current[name]:.6g} / (no baseline) UNGATED")
+    return failures, report
+
+
+WALLCLOCK_SUFFIXES = (".wall_ns", ".ops_per_sec", ".speedup_ratio")
+
+
+def check_wallclock(current, baseline, tolerance):
+    """Noise-tolerant host-time gate for BENCH_cpu snapshots.
+
+    `.wall_ns` gauges are lower-is-better; `.ops_per_sec` and the micro
+    sections' same-binary `.speedup_ratio` gauges are higher-is-better.
+    (The micro sections' legacy_/slotted_wall_ns raw numbers are
+    deliberately ungated: only their ratio is a contract.) The wide
+    default tolerance makes this a collapse detector (a lost zero-copy
+    path, an accidental O(n^2)), not a drift detector: wall clock varies
+    across hosts and runs in ways simulated time never does.
+    """
+    failures, report = [], []
+    gated = sorted(k for k in baseline if k.endswith(WALLCLOCK_SUFFIXES))
+    if not gated:
+        failures.append(
+            "baseline contains no gated *.wall_ns / *.ops_per_sec gauges"
+        )
+    for name in gated:
+        base = baseline[name]
+        if name not in current:
+            failures.append(f"{name}: missing from current snapshot")
+            continue
+        cur = current[name]
+        if base <= 0:
+            failures.append(f"{name}: baseline value {base:.6g} is not gateable")
+            continue
+        lower_better = name.endswith(".wall_ns")
+        ratio = cur / base
+        if lower_better:
+            worse = cur > base * (1.0 + tolerance)
+            improved = cur < base * (1.0 - tolerance)
+        else:
+            worse = cur < base * (1.0 - tolerance)
+            improved = cur > base * (1.0 + tolerance)
+        status = "ok"
+        if worse:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {cur:.6g} vs baseline {base:.6g} "
+                f"({(ratio - 1.0) * 100.0:+.1f}%, tolerance "
+                f"{tolerance * 100.0:.0f}%, "
+                f"{'lower' if lower_better else 'higher'} is better)"
+            )
+        elif improved:
+            status = "improved (consider refreshing the baseline)"
+        report.append(f"  {name}: {cur:.6g} / {base:.6g} ({status})")
+    ungated = sorted(
+        k for k in current
+        if k.endswith(WALLCLOCK_SUFFIXES) and k not in baseline
     )
     for name in ungated:
         failures.append(
@@ -214,10 +287,55 @@ def main():
         help="JSON file whose 'families' gauge-name prefixes must all be "
         "populated in the current snapshot",
     )
+    parser.add_argument(
+        "--wallclock",
+        action="store_true",
+        help="gate *.wall_ns / *.ops_per_sec host-time gauges instead of "
+        "simulated time (BENCH_cpu snapshots); disables the sim-time, "
+        "affine, PDAM, and MQ checks",
+    )
+    parser.add_argument("--wallclock-tolerance", type=float, default=0.5)
+    parser.add_argument(
+        "--advisory",
+        action="store_true",
+        help="report failures but exit 0 (CI shape for wall-clock gates on "
+        "shared runners)",
+    )
     args = parser.parse_args()
 
     current = load_gauges(args.current)
     baseline = load_gauges(args.baseline)
+
+    if args.wallclock:
+        failures, report = check_wallclock(
+            current, baseline, args.wallclock_tolerance
+        )
+        print("wall-clock gauges vs baseline:")
+        print("\n".join(report) or "  (none)")
+        # Manifest failures stay hard even under --advisory: a missing
+        # gauge family means the bench dropped an export (a code bug),
+        # not that a shared runner was slow.
+        hard_failures = []
+        if args.manifest:
+            man_failures, man_report = check_manifest(current, args.manifest)
+            hard_failures += man_failures
+            print("expected gauge families (manifest):")
+            print("\n".join(man_report) or "  (none)")
+        if failures or hard_failures:
+            print("\nFAILED:", file=sys.stderr)
+            for f in failures + hard_failures:
+                print(f"  {f}", file=sys.stderr)
+            if hard_failures:
+                return 1
+            if args.advisory:
+                print(
+                    "(advisory mode: wall-clock failures do not gate)",
+                    file=sys.stderr,
+                )
+                return 0
+            return 1
+        print("\nall wall-clock bench gates passed")
+        return 0
 
     reg_failures, reg_report = check_regressions(
         current, baseline, args.threshold
@@ -260,6 +378,9 @@ def main():
         print("\nFAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
+        if args.advisory:
+            print("(advisory mode: failures do not gate)", file=sys.stderr)
+            return 0
         return 1
     print("\nall bench gates passed")
     return 0

@@ -39,7 +39,12 @@ int usage() {
       "                 [--queue-depth N] [--completion-mode "
       "polling|interrupt]\n"
       "                 [--wal] [--crash-at IO]\n"
+      "                 [--workload ycsb-a..ycsb-f|shift|olap]\n"
       "\n"
+      "  --workload swaps the demo loop for a named scenario (YCSB core\n"
+      "  workloads A-F, a time-shifting Zipfian hot set, or an OLTP mix\n"
+      "  with periodic OLAP scan bursts), driven through WorkloadRunner\n"
+      "  with a result digest.\n"
       "  --wal wraps the engine in the write-ahead log + snapshot layer\n"
       "  (crash-consistent durability; off by default). --crash-at N kills\n"
       "  the device at its N-th checked IO, then reboots and recovers —\n"
@@ -277,6 +282,8 @@ int cmd_metrics(int argc, char** argv) {
   DeviceOverrides overrides;  // --queue-depth / --completion-mode
   bool use_wal = false;   // wrap the engine in the durability layer
   uint64_t crash_at = 0;  // kill the device at this checked IO (0 = never)
+  std::string workload;   // named preset; empty keeps the legacy demo loop
+  std::optional<kv::WorkloadSpec> preset;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_next = i + 1 < argc;
@@ -319,6 +326,14 @@ int cmd_metrics(int argc, char** argv) {
       overrides.completion_mode = argv[++i];
       if (overrides.completion_mode != "polling" &&
           overrides.completion_mode != "interrupt") {
+        return usage();
+      }
+    } else if (arg == "--workload" && has_next) {
+      workload = argv[++i];
+      preset = kv::make_workload_preset(workload);
+      if (!preset.has_value()) {
+        std::fprintf(stderr, "unknown --workload (want %s)\n",
+                     kv::workload_preset_names());
         return usage();
       }
     } else if (arg == "--wal") {
@@ -380,20 +395,25 @@ int cmd_metrics(int argc, char** argv) {
   uint64_t get_hits = 0;
   uint64_t failed_ops = 0;
   std::optional<harness::ConcurrentRunResult> served;
+  std::optional<harness::WorkloadRunResult> seq_run;
   if (clients > 1) {
     // Concurrent serving demo: bulk-load, then serve a mixed workload
     // through k client sessions with the requested admission depth,
     // replaying the concurrent timeline on a fresh same-spec device.
     harness::WorkloadRunner runner(*tree, io);
     kv::WorkloadSpec wspec;
+    if (preset.has_value()) {
+      wspec = *preset;
+    } else {
+      wspec.value_bytes = 100;
+      wspec.get_weight = 0.4;
+      wspec.put_weight = 0.4;
+      wspec.delete_weight = 0.05;
+      wspec.scan_weight = 0.05;
+      wspec.upsert_weight = 0.1;
+      wspec.scan_length = 50;
+    }
     wspec.key_space = ops * 4;
-    wspec.value_bytes = 100;
-    wspec.get_weight = 0.4;
-    wspec.put_weight = 0.4;
-    wspec.delete_weight = 0.05;
-    wspec.scan_weight = 0.05;
-    wspec.upsert_weight = 0.1;
-    wspec.scan_length = 50;
     wspec.seed = 42;
     runner.bulk_load(ops / 2, wspec);
     harness::ConcurrentRunOptions copts;
@@ -413,6 +433,19 @@ int cmd_metrics(int argc, char** argv) {
     served = runner.run_concurrent(wspec, ops, copts);
     get_hits = served->base.get_hits;
     failed_ops = served->base.failed_ops;
+  } else if (preset.has_value()) {
+    // Named-scenario demo: bulk-load, then drive the preset through the
+    // generic runner (same path the cross-engine differential pins).
+    kv::WorkloadSpec wspec = *preset;
+    wspec.key_space = ops * 4;
+    wspec.seed = 42;
+    harness::WorkloadRunner runner(*tree, io);
+    runner.bulk_load(ops / 2, wspec);
+    harness::WorkloadRunOptions wopts;
+    wopts.fallible = true;
+    seq_run = runner.run(wspec, ops, wopts);
+    get_hits = seq_run->get_hits;
+    failed_ops = seq_run->failed_ops;
   } else {
     harness::PutGetSpec spec;
     spec.puts = ops;
@@ -504,6 +537,21 @@ int cmd_metrics(int argc, char** argv) {
                                         sim::kNsPerUs),
         static_cast<unsigned long long>(served->latency.percentile(99.9) /
                                         sim::kNsPerUs));
+  } else if (seq_run.has_value()) {
+    std::printf(
+        "workload '%s': %llu ops (%llu puts, %llu gets [%llu hits], "
+        "%llu deletes, %llu scans, %llu upserts), digest %llu on %s "
+        "(%s, %zu shard%s)\n",
+        workload.c_str(), static_cast<unsigned long long>(ops),
+        static_cast<unsigned long long>(seq_run->puts),
+        static_cast<unsigned long long>(seq_run->gets),
+        static_cast<unsigned long long>(seq_run->get_hits),
+        static_cast<unsigned long long>(seq_run->erases),
+        static_cast<unsigned long long>(seq_run->scans),
+        static_cast<unsigned long long>(seq_run->upserts),
+        static_cast<unsigned long long>(seq_run->digest), dev.name().c_str(),
+        std::string(kv::engine_kind_name(kind)).c_str(), shards,
+        shards == 1 ? "" : "s");
   } else {
     std::printf("workload: %llu puts, %llu gets (%llu hits), 1 scan on %s "
                 "(%s, %zu shard%s)\n",
